@@ -1,0 +1,112 @@
+// Command dcbench regenerates the paper's tables and figures as text
+// reports. Each experiment is addressable by name:
+//
+//	dcbench -exp table2      # Table 2: execution accuracy by (M, C) zone
+//	dcbench -exp figure7     # Figure 7: dev-split characterization
+//	dcbench -exp sampling    # §3: block sampling + snapshot iteration cost
+//	dcbench -exp consolidation  # Figure 4 / §2.2: query consolidation
+//	dcbench -exp slicing     # Figure 5: recipe slicing
+//	dcbench -exp ablations   # semantic layer / retrieval / checker ablations
+//	dcbench -exp all         # everything (default)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"datachat/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, slicing, ablations, all")
+	seed := flag.Int64("seed", 42, "corpus seed")
+	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
+	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
+	flag.Parse()
+
+	run := func(name string, fn func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "dcbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	var suite *experiments.Suite
+	getSuite := func() *experiments.Suite {
+		if suite == nil {
+			suite = experiments.NewSuite(1)
+		}
+		return suite
+	}
+
+	run("figure7", func() error {
+		fmt.Print(getSuite().Figure7(*seed).Report())
+		fmt.Println()
+		return nil
+	})
+	run("table2", func() error {
+		r, err := getSuite().Table2(experiments.Table2Options{PerZone: *perZone, Seed: *seed})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		return nil
+	})
+	run("sampling", func() error {
+		r, err := experiments.Sampling(*rows, []float64{0.1, 0.01}, 10)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		return nil
+	})
+	run("consolidation", func() error {
+		r, err := experiments.Consolidation(50_000, 8, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		return nil
+	})
+	run("slicing", func() error {
+		r, err := experiments.Slicing(15)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		return nil
+	})
+	run("ablations", func() error {
+		s := getSuite()
+		sem, err := s.AblateSemanticLayer(10, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(sem.Report())
+		ret, err := s.AblateRetrieval(10, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(ret.Report())
+		chk, err := s.AblateChecker(10, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(chk.Report())
+		budget, err := s.AblatePromptBudget(10, *seed, 120)
+		if err != nil {
+			return err
+		}
+		fmt.Print(budget.Report())
+		fmt.Println()
+		return nil
+	})
+}

@@ -1,0 +1,103 @@
+package datachat_test
+
+import (
+	"strings"
+	"testing"
+
+	"datachat"
+)
+
+// TestPublicAPIEndToEnd exercises the root package the way a downstream
+// user would: platform, session, GEL, charts, recipes, cloud, snapshots,
+// and the DAG executor — all through the re-exported API.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	p := datachat.New()
+	p.RegisterFile("sales.csv", "region,price\neast,10\nwest,20\neast,30\n")
+	if _, err := p.CreateSession("s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RequestGEL("s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.Table.NumRows())
+	}
+
+	// Direct skill execution over a standalone context.
+	reg := datachat.NewRegistry()
+	ctx := datachat.NewContext()
+	tbl, err := datachat.ReadCSV("sales", "region,price\neast,10\nwest,20\neast,30\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Datasets["sales"] = tbl
+	g := datachat.NewGraph()
+	g.Add(datachat.Invocation{Skill: "KeepRows", Inputs: []string{"sales"},
+		Args: datachat.Args{"condition": "price > 15"}, Output: "big"})
+	last := g.Add(datachat.Invocation{Skill: "Compute", Inputs: []string{"big"},
+		Args: datachat.Args{"aggregates": []string{"count of records as n"}}})
+	ex := datachat.NewExecutor(reg, ctx)
+	out, err := ex.Run(g, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := out.Table.Column("n")
+	if c.Value(0).I != 2 {
+		t.Errorf("count = %v", c.Value(0))
+	}
+
+	// Slicing through the public API.
+	sliced, report, err := datachat.Slice(g, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sliced.Len() != 2 || report.NodesBefore != 2 {
+		t.Errorf("slice = %d nodes (report %+v)", sliced.Len(), report)
+	}
+
+	// Charts through the public API.
+	chart, err := datachat.BuildChart(tbl, datachat.ChartSpec{Type: 0 /* Bar */, X: "region", Y: "price"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(datachat.RenderChart(chart), "east") {
+		t.Error("chart render missing category")
+	}
+
+	// Cloud + snapshots through the public API.
+	db := datachat.NewCloudDatabase("wh", datachat.DefaultCloudPricing, 0)
+	if err := db.CreateTable(tbl.WithName("sales")); err != nil {
+		t.Fatal(err)
+	}
+	store := datachat.NewSnapshotStore(10)
+	if _, err := store.Create("snap", db, "sales", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if got, err := store.Get("snap"); err != nil || got.NumRows() != 3 {
+		t.Errorf("snapshot = %v, %v", got, err)
+	}
+
+	// GEL runner through the public API.
+	parser := datachat.NewGELParser(reg)
+	runner := datachat.NewGELRunner(parser, datachat.NewExecutor(reg, ctx), []string{
+		"Use the dataset sales",
+		"Count the rows",
+	})
+	steps, err := runner.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cnt, _ := steps[1].Result.Table.Column("rows")
+	if cnt.Value(0).I != 3 {
+		t.Errorf("GEL count = %v", cnt.Value(0))
+	}
+
+	// NL2Code through the public API.
+	sys := datachat.NewNL2CodeSystem(reg, datachat.NewExampleLibrary(nil))
+	p.UseNL2Code(sys)
+	layer := datachat.NewSemanticLayer()
+	if err := layer.Define(datachat.Concept{Name: "spend", Kind: "synonym", Expansion: "price"}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,75 @@
+package datachat_test
+
+import (
+	"fmt"
+
+	"datachat"
+)
+
+// ExampleNew shows the platform quickstart: register data, open a session,
+// and run GEL sentences.
+func ExampleNew() {
+	p := datachat.New()
+	p.RegisterFile("sales.csv", "region,price\neast,10\nwest,20\neast,30\n")
+	if _, err := p.CreateSession("analysis", "ann"); err != nil {
+		fmt.Println(err)
+		return
+	}
+	res, err := p.RequestGEL("analysis", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("loaded %d rows × %d columns\n", res.Table.NumRows(), res.Table.NumCols())
+	// Output: loaded 3 rows × 2 columns
+}
+
+// ExampleNewExecutor shows direct DAG execution with consolidation: three
+// relational skills compile into one SQL task.
+func ExampleNewExecutor() {
+	reg := datachat.NewRegistry()
+	ctx := datachat.NewContext()
+	tbl, _ := datachat.ReadCSV("sales", "region,price\neast,10\nwest,20\neast,30\n")
+	ctx.Datasets["sales"] = tbl
+
+	g := datachat.NewGraph()
+	g.Add(datachat.Invocation{Skill: "KeepRows", Inputs: []string{"sales"},
+		Args: datachat.Args{"condition": "price >= 10"}, Output: "kept"})
+	g.Add(datachat.Invocation{Skill: "KeepColumns", Inputs: []string{"kept"},
+		Args: datachat.Args{"columns": []string{"region"}}, Output: "proj"})
+	last := g.Add(datachat.Invocation{Skill: "LimitRows", Inputs: []string{"proj"},
+		Args: datachat.Args{"count": 2}})
+
+	ex := datachat.NewExecutor(reg, ctx)
+	res, err := ex.Run(g, last)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	stats := ex.Stats()
+	fmt.Printf("%d rows via %d SQL task(s), %d query block(s)\n",
+		res.Table.NumRows(), stats.SQLTasks, stats.QueryBlocks)
+	// Output: 2 rows via 1 SQL task(s), 1 query block(s)
+}
+
+// ExampleNewGELRunner steps a recipe line by line, the Figure 2a debugger
+// interaction.
+func ExampleNewGELRunner() {
+	reg := datachat.NewRegistry()
+	ctx := datachat.NewContext()
+	tbl, _ := datachat.ReadCSV("people", "age\n10\n20\n30\n40\n")
+	ctx.Datasets["people"] = tbl
+	runner := datachat.NewGELRunner(datachat.NewGELParser(reg), datachat.NewExecutor(reg, ctx), []string{
+		"Use the dataset people",
+		"Keep the rows where age > 15",
+		"Count the rows",
+	})
+	steps, err := runner.RunAll()
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	c, _ := steps[2].Result.Table.Column("rows")
+	fmt.Println("count:", c.Value(0))
+	// Output: count: 3
+}

@@ -1,0 +1,3 @@
+module datachat
+
+go 1.22

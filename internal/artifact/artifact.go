@@ -1,0 +1,319 @@
+// Package artifact implements §2.3's artifacts: persisted results (charts,
+// tables, models, snapshots, explanations) that always carry the recipe
+// that produced them, plus the sharing machinery of §2.4 — per-user access
+// levels and secret-link sharing for recipients outside the platform.
+package artifact
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datachat/internal/dataset"
+	"datachat/internal/recipe"
+	"datachat/internal/viz"
+)
+
+// Type classifies an artifact.
+type Type string
+
+// Artifact types.
+const (
+	TypeTable       Type = "table"
+	TypeChart       Type = "chart"
+	TypeModel       Type = "model"
+	TypeSnapshot    Type = "snapshot"
+	TypeExplanation Type = "explanation"
+)
+
+// Access is a sharing permission level.
+type Access int
+
+// Access levels, ordered by privilege.
+const (
+	NoAccess Access = iota
+	ViewAccess
+	EditAccess
+	OwnerAccess
+)
+
+// String names the access level.
+func (a Access) String() string {
+	switch a {
+	case ViewAccess:
+		return "view"
+	case EditAccess:
+		return "edit"
+	case OwnerAccess:
+		return "owner"
+	default:
+		return "none"
+	}
+}
+
+// Artifact is one persisted result and its provenance.
+type Artifact struct {
+	// Name is the unique artifact name within the store.
+	Name string
+	// Type classifies the payload.
+	Type Type
+	// Owner is the creating user.
+	Owner string
+	// CreatedAt and RefreshedAt track lifecycle times.
+	CreatedAt, RefreshedAt time.Time
+	// Recipe reproduces the artifact (§2.3: every artifact has one).
+	Recipe *recipe.Recipe
+	// Table, Chart, ModelName, Explanation hold the typed payload.
+	Table       *dataset.Table
+	Chart       *viz.Chart
+	ModelName   string
+	Explanation string
+}
+
+// Store holds artifacts with per-user permissions and secret links.
+type Store struct {
+	mu       sync.RWMutex
+	byName   map[string]*Artifact
+	perms    map[string]map[string]Access // artifact -> user -> access
+	secrets  map[string]string            // secret -> artifact name
+	clock    func() time.Time
+	randRead func([]byte) (int, error)
+}
+
+// NewStore returns an empty artifact store.
+func NewStore() *Store {
+	return &Store{
+		byName:   map[string]*Artifact{},
+		perms:    map[string]map[string]Access{},
+		secrets:  map[string]string{},
+		clock:    time.Now,
+		randRead: rand.Read,
+	}
+}
+
+// SetClock overrides the time source for deterministic tests.
+func (s *Store) SetClock(clock func() time.Time) { s.clock = clock }
+
+// Save persists an artifact owned by its Owner. Names are unique.
+func (s *Store) Save(a *Artifact) error {
+	if a.Name == "" {
+		return fmt.Errorf("artifact: name must not be empty")
+	}
+	if a.Owner == "" {
+		return fmt.Errorf("artifact: owner must not be empty")
+	}
+	if a.Recipe == nil {
+		return fmt.Errorf("artifact: %q must carry a recipe (§2.3)", a.Name)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(a.Name)
+	if _, dup := s.byName[key]; dup {
+		return fmt.Errorf("artifact: %q already exists", a.Name)
+	}
+	a.CreatedAt = s.clock()
+	a.RefreshedAt = a.CreatedAt
+	s.byName[key] = a
+	s.perms[key] = map[string]Access{a.Owner: OwnerAccess}
+	return nil
+}
+
+// AccessOf returns user's access to the named artifact.
+func (s *Store) AccessOf(name, user string) Access {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.perms[strings.ToLower(name)][user]
+}
+
+// Get fetches an artifact, enforcing at least view access.
+func (s *Store) Get(name, user string) (*Artifact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key := strings.ToLower(name)
+	a, ok := s.byName[key]
+	if !ok {
+		return nil, fmt.Errorf("artifact: no artifact %q", name)
+	}
+	if s.perms[key][user] < ViewAccess {
+		return nil, fmt.Errorf("artifact: %s has no access to %q", user, name)
+	}
+	return a, nil
+}
+
+// Share grants a user access to an artifact; only owners and editors may
+// share, and only owners may grant edit.
+func (s *Store) Share(name, byUser, withUser string, access Access) error {
+	if access != ViewAccess && access != EditAccess {
+		return fmt.Errorf("artifact: can only grant view or edit, not %v", access)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.byName[key]; !ok {
+		return fmt.Errorf("artifact: no artifact %q", name)
+	}
+	granter := s.perms[key][byUser]
+	if granter < EditAccess {
+		return fmt.Errorf("artifact: %s cannot share %q", byUser, name)
+	}
+	if access == EditAccess && granter < OwnerAccess {
+		return fmt.Errorf("artifact: only the owner may grant edit on %q", name)
+	}
+	s.perms[key][withUser] = access
+	return nil
+}
+
+// Revoke removes a user's access (owners cannot be revoked).
+func (s *Store) Revoke(name, byUser, fromUser string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.byName[key]; !ok {
+		return fmt.Errorf("artifact: no artifact %q", name)
+	}
+	if s.perms[key][byUser] < OwnerAccess {
+		return fmt.Errorf("artifact: %s cannot revoke access on %q", byUser, name)
+	}
+	if s.perms[key][fromUser] >= OwnerAccess {
+		return fmt.Errorf("artifact: cannot revoke the owner of %q", name)
+	}
+	delete(s.perms[key], fromUser)
+	return nil
+}
+
+// CreateSecretLink mints a secret that grants view access to the artifact
+// without a platform account (§2.4's URL sharing). The returned secret is
+// the link's key material.
+func (s *Store) CreateSecretLink(name, byUser string) (string, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.byName[key]; !ok {
+		return "", fmt.Errorf("artifact: no artifact %q", name)
+	}
+	if s.perms[key][byUser] < EditAccess {
+		return "", fmt.Errorf("artifact: %s cannot create links for %q", byUser, name)
+	}
+	buf := make([]byte, 16)
+	if _, err := s.randRead(buf); err != nil {
+		return "", fmt.Errorf("artifact: generating secret: %w", err)
+	}
+	secret := hex.EncodeToString(buf)
+	s.secrets[secret] = key
+	return secret, nil
+}
+
+// GetBySecret resolves a secret link to its artifact (view-only).
+func (s *Store) GetBySecret(secret string) (*Artifact, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	key, ok := s.secrets[secret]
+	if !ok {
+		return nil, fmt.Errorf("artifact: invalid or revoked link")
+	}
+	a, ok := s.byName[key]
+	if !ok {
+		return nil, fmt.Errorf("artifact: linked artifact was deleted")
+	}
+	return a, nil
+}
+
+// RevokeSecret invalidates a secret link.
+func (s *Store) RevokeSecret(secret, byUser string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key, ok := s.secrets[secret]
+	if !ok {
+		return fmt.Errorf("artifact: unknown link")
+	}
+	if s.perms[key][byUser] < EditAccess {
+		return fmt.Errorf("artifact: %s cannot revoke links", byUser)
+	}
+	delete(s.secrets, secret)
+	return nil
+}
+
+// Rename changes an artifact's name (edit access required).
+func (s *Store) Rename(name, byUser, newName string) error {
+	if newName == "" {
+		return fmt.Errorf("artifact: new name must not be empty")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	newKey := strings.ToLower(newName)
+	a, ok := s.byName[key]
+	if !ok {
+		return fmt.Errorf("artifact: no artifact %q", name)
+	}
+	if s.perms[key][byUser] < EditAccess {
+		return fmt.Errorf("artifact: %s cannot rename %q", byUser, name)
+	}
+	if _, dup := s.byName[newKey]; dup && newKey != key {
+		return fmt.Errorf("artifact: %q already exists", newName)
+	}
+	delete(s.byName, key)
+	a.Name = newName
+	s.byName[newKey] = a
+	s.perms[newKey] = s.perms[key]
+	if newKey != key {
+		delete(s.perms, key)
+	}
+	for secret, target := range s.secrets {
+		if target == key {
+			s.secrets[secret] = newKey
+		}
+	}
+	return nil
+}
+
+// Delete removes an artifact (owner only) and invalidates its links.
+func (s *Store) Delete(name, byUser string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.byName[key]; !ok {
+		return fmt.Errorf("artifact: no artifact %q", name)
+	}
+	if s.perms[key][byUser] < OwnerAccess {
+		return fmt.Errorf("artifact: only the owner may delete %q", name)
+	}
+	delete(s.byName, key)
+	delete(s.perms, key)
+	for secret, target := range s.secrets {
+		if target == key {
+			delete(s.secrets, secret)
+		}
+	}
+	return nil
+}
+
+// List returns the names of artifacts user can at least view, sorted.
+func (s *Store) List(user string) []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var names []string
+	for key, a := range s.byName {
+		if s.perms[key][user] >= ViewAccess {
+			names = append(names, a.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
+}
+
+// MarkRefreshed stamps a refresh time after a recipe replay.
+func (s *Store) MarkRefreshed(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	a, ok := s.byName[strings.ToLower(name)]
+	if !ok {
+		return fmt.Errorf("artifact: no artifact %q", name)
+	}
+	a.RefreshedAt = s.clock()
+	return nil
+}

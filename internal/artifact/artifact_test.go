@@ -1,0 +1,237 @@
+package artifact
+
+import (
+	"testing"
+	"time"
+
+	"datachat/internal/recipe"
+)
+
+func testRecipe() *recipe.Recipe {
+	return &recipe.Recipe{Name: "r", Steps: []recipe.Step{
+		{Skill: "CountRows", Inputs: []string{"base"}, Output: "n"},
+	}}
+}
+
+func save(t *testing.T, s *Store, name, owner string) *Artifact {
+	t.Helper()
+	a := &Artifact{Name: name, Type: TypeTable, Owner: owner, Recipe: testRecipe()}
+	if err := s.Save(a); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestSaveAndGet(t *testing.T) {
+	s := NewStore()
+	now := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	s.SetClock(func() time.Time { return now })
+	a := save(t, s, "chart1", "ann")
+	if !a.CreatedAt.Equal(now) {
+		t.Errorf("CreatedAt = %v", a.CreatedAt)
+	}
+	got, err := s.Get("Chart1", "ann") // case-insensitive
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != "chart1" {
+		t.Errorf("got = %s", got.Name)
+	}
+	if _, err := s.Get("chart1", "bob"); err == nil {
+		t.Error("non-member should be denied")
+	}
+	if _, err := s.Get("missing", "ann"); err == nil {
+		t.Error("missing artifact should error")
+	}
+}
+
+func TestSaveValidation(t *testing.T) {
+	s := NewStore()
+	if err := s.Save(&Artifact{Name: "", Owner: "a", Recipe: testRecipe()}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := s.Save(&Artifact{Name: "x", Owner: "", Recipe: testRecipe()}); err == nil {
+		t.Error("empty owner should fail")
+	}
+	if err := s.Save(&Artifact{Name: "x", Owner: "a"}); err == nil {
+		t.Error("missing recipe should fail — every artifact carries one")
+	}
+	save(t, s, "x", "a")
+	if err := s.Save(&Artifact{Name: "x", Owner: "a", Recipe: testRecipe()}); err == nil {
+		t.Error("duplicate name should fail")
+	}
+}
+
+func TestSharingLevels(t *testing.T) {
+	s := NewStore()
+	save(t, s, "a1", "ann")
+	if err := s.Share("a1", "ann", "bob", ViewAccess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a1", "bob"); err != nil {
+		t.Errorf("viewer should read: %v", err)
+	}
+	// Viewers cannot share onwards.
+	if err := s.Share("a1", "bob", "carl", ViewAccess); err == nil {
+		t.Error("viewer should not share")
+	}
+	// Editors can share view but not edit.
+	if err := s.Share("a1", "ann", "dana", EditAccess); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Share("a1", "dana", "carl", ViewAccess); err != nil {
+		t.Errorf("editor should share view: %v", err)
+	}
+	if err := s.Share("a1", "dana", "carl", EditAccess); err == nil {
+		t.Error("editor should not grant edit")
+	}
+	if err := s.Share("a1", "ann", "x", OwnerAccess); err == nil {
+		t.Error("cannot grant owner")
+	}
+	if err := s.Share("missing", "ann", "x", ViewAccess); err == nil {
+		t.Error("missing artifact should error")
+	}
+}
+
+func TestRevoke(t *testing.T) {
+	s := NewStore()
+	save(t, s, "a1", "ann")
+	if err := s.Share("a1", "ann", "bob", ViewAccess); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Revoke("a1", "bob", "ann"); err == nil {
+		t.Error("non-owner should not revoke")
+	}
+	if err := s.Revoke("a1", "ann", "ann"); err == nil {
+		t.Error("owner cannot be revoked")
+	}
+	if err := s.Revoke("a1", "ann", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a1", "bob"); err == nil {
+		t.Error("revoked user should be denied")
+	}
+}
+
+func TestSecretLinks(t *testing.T) {
+	s := NewStore()
+	save(t, s, "a1", "ann")
+	secret, err := s.CreateSecretLink("a1", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(secret) != 32 {
+		t.Errorf("secret = %q", secret)
+	}
+	got, err := s.GetBySecret(secret)
+	if err != nil || got.Name != "a1" {
+		t.Errorf("GetBySecret = %v, %v", got, err)
+	}
+	if _, err := s.GetBySecret("bogus"); err == nil {
+		t.Error("bogus secret should fail")
+	}
+	// Viewers cannot mint links.
+	if err := s.Share("a1", "ann", "bob", ViewAccess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.CreateSecretLink("a1", "bob"); err == nil {
+		t.Error("viewer should not create links")
+	}
+	if err := s.RevokeSecret(secret, "bob"); err == nil {
+		t.Error("viewer should not revoke links")
+	}
+	if err := s.RevokeSecret(secret, "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.GetBySecret(secret); err == nil {
+		t.Error("revoked secret should fail")
+	}
+}
+
+func TestRenameKeepsLinksAndPerms(t *testing.T) {
+	s := NewStore()
+	save(t, s, "old", "ann")
+	if err := s.Share("old", "ann", "bob", ViewAccess); err != nil {
+		t.Fatal(err)
+	}
+	secret, err := s.CreateSecretLink("old", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Rename("old", "bob", "new"); err == nil {
+		t.Error("viewer should not rename")
+	}
+	if err := s.Rename("old", "ann", "new"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("new", "bob"); err != nil {
+		t.Errorf("perms lost on rename: %v", err)
+	}
+	got, err := s.GetBySecret(secret)
+	if err != nil || got.Name != "new" {
+		t.Errorf("link lost on rename: %v, %v", got, err)
+	}
+	save(t, s, "taken", "ann")
+	if err := s.Rename("new", "ann", "taken"); err == nil {
+		t.Error("rename onto existing should fail")
+	}
+}
+
+func TestDelete(t *testing.T) {
+	s := NewStore()
+	save(t, s, "a1", "ann")
+	secret, _ := s.CreateSecretLink("a1", "ann")
+	if err := s.Delete("a1", "bob"); err == nil {
+		t.Error("non-owner should not delete")
+	}
+	if err := s.Delete("a1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Get("a1", "ann"); err == nil {
+		t.Error("deleted artifact should be gone")
+	}
+	if _, err := s.GetBySecret(secret); err == nil {
+		t.Error("links to deleted artifacts should fail")
+	}
+}
+
+func TestList(t *testing.T) {
+	s := NewStore()
+	save(t, s, "zeta", "ann")
+	save(t, s, "alpha", "ann")
+	save(t, s, "private", "bob")
+	if err := s.Share("private", "bob", "ann", ViewAccess); err != nil {
+		t.Fatal(err)
+	}
+	got := s.List("ann")
+	want := []string{"alpha", "private", "zeta"}
+	if len(got) != 3 {
+		t.Fatalf("list = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("list = %v, want %v", got, want)
+		}
+	}
+	if len(s.List("nobody")) != 0 {
+		t.Error("stranger should see nothing")
+	}
+}
+
+func TestMarkRefreshed(t *testing.T) {
+	s := NewStore()
+	now := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	s.SetClock(func() time.Time { return now })
+	save(t, s, "a1", "ann")
+	now = now.Add(time.Hour)
+	if err := s.MarkRefreshed("a1"); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := s.Get("a1", "ann")
+	if !a.RefreshedAt.Equal(now) {
+		t.Errorf("RefreshedAt = %v", a.RefreshedAt)
+	}
+	if err := s.MarkRefreshed("missing"); err == nil {
+		t.Error("missing artifact should error")
+	}
+}

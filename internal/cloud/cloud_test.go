@@ -1,0 +1,221 @@
+package cloud
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"datachat/internal/dataset"
+	"datachat/internal/sqlengine"
+)
+
+func bigTable(rows int) *dataset.Table {
+	ids := make([]int64, rows)
+	vals := make([]float64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+		vals[i] = float64(i % 100)
+	}
+	return dataset.MustNewTable("events",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("v", vals, nil),
+	)
+}
+
+func TestCreateScanAndMeter(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 1000)
+	if err := db.CreateTable(bigTable(10_000)); err != nil {
+		t.Fatal(err)
+	}
+	stats, err := db.Stats("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Rows != 10_000 || stats.Blocks != 10 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	got, err := db.Scan("events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 10_000 {
+		t.Errorf("scan rows = %d", got.NumRows())
+	}
+	if db.Meter().BytesScanned() != stats.Bytes {
+		t.Errorf("meter = %d, want %d", db.Meter().BytesScanned(), stats.Bytes)
+	}
+	if db.Meter().Queries() != 1 {
+		t.Errorf("queries = %d", db.Meter().Queries())
+	}
+	if db.Meter().Cost(DefaultPricing) <= 0 {
+		t.Error("cost should be positive")
+	}
+	if db.Meter().SimulatedLatency() <= 0 {
+		t.Error("latency should be positive")
+	}
+}
+
+func TestSampleCostProportionalToRate(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 100)
+	if err := db.CreateTable(bigTable(100_000)); err != nil {
+		t.Fatal(err)
+	}
+	full, _ := db.Stats("events")
+
+	db.Meter().Reset()
+	sample, err := db.SampleBlocks("events", 0.10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sampleBytes := db.Meter().BytesScanned()
+	ratio := float64(sampleBytes) / float64(full.Bytes)
+	if math.Abs(ratio-0.10) > 0.02 {
+		t.Errorf("10%% sample scanned %.3f of the table", ratio)
+	}
+	rowRatio := float64(sample.NumRows()) / 100_000
+	if math.Abs(rowRatio-0.10) > 0.02 {
+		t.Errorf("10%% sample returned %.3f of rows", rowRatio)
+	}
+}
+
+func TestSampleDeterministicBySeed(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 50)
+	if err := db.CreateTable(bigTable(5000)); err != nil {
+		t.Fatal(err)
+	}
+	a, err := db.SampleBlocks("events", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := db.SampleBlocks("events", 0.2, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Equal(b) {
+		t.Error("same seed should give same sample")
+	}
+	c, err := db.SampleBlocks("events", 0.2, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Equal(c) {
+		t.Error("different seeds should (almost surely) differ")
+	}
+}
+
+func TestSampleRateValidation(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 0)
+	if err := db.CreateTable(bigTable(10)); err != nil {
+		t.Fatal(err)
+	}
+	for _, rate := range []float64{0, -1, 1.5} {
+		if _, err := db.SampleBlocks("events", rate, 1); err == nil {
+			t.Errorf("rate %v should be rejected", rate)
+		}
+	}
+	// Tiny rate still reads at least one block.
+	got, err := db.SampleBlocks("events", 0.0001, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() == 0 {
+		t.Error("minimum one block should be read")
+	}
+}
+
+func TestDuplicateAndMissingTables(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 0)
+	if err := db.CreateTable(bigTable(10)); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(bigTable(10)); err == nil {
+		t.Error("duplicate create should fail")
+	}
+	if _, err := db.Scan("nope"); err == nil {
+		t.Error("missing table scan should fail")
+	}
+	if _, err := db.Stats("nope"); err == nil {
+		t.Error("missing table stats should fail")
+	}
+	if err := db.DropTable("events"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropTable("events"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 0)
+	empty := dataset.MustNewTable("empty", dataset.IntColumn("x", nil, nil))
+	if err := db.CreateTable(empty); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.Scan("empty")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NumRows() != 0 {
+		t.Errorf("rows = %d", got.NumRows())
+	}
+}
+
+func TestSQLOverCloudChargesMeter(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 100)
+	if err := db.CreateTable(bigTable(1000)); err != nil {
+		t.Fatal(err)
+	}
+	out, err := sqlengine.Exec(db, "SELECT COUNT(*) AS n FROM events WHERE v > 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.NumRows() != 1 {
+		t.Errorf("rows = %d", out.NumRows())
+	}
+	if db.Meter().BytesScanned() == 0 {
+		t.Error("SQL over cloud should charge the meter")
+	}
+}
+
+func TestTableNamesSorted(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 0)
+	for _, name := range []string{"zeta", "alpha", "mid"} {
+		tbl := bigTable(1).WithName(name)
+		if err := db.CreateTable(tbl); err != nil {
+			t.Fatal(err)
+		}
+	}
+	names := db.TableNames()
+	if names[0] != "alpha" || names[2] != "zeta" {
+		t.Errorf("names = %v", names)
+	}
+}
+
+func TestSampleCostMonotoneProperty(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 64)
+	if err := db.CreateTable(bigTable(20_000)); err != nil {
+		t.Fatal(err)
+	}
+	// Property: a higher sample rate never scans fewer bytes.
+	f := func(a, b uint8) bool {
+		ra := 0.01 + float64(a%100)/101.0
+		rb := 0.01 + float64(b%100)/101.0
+		if ra > rb {
+			ra, rb = rb, ra
+		}
+		db.Meter().Reset()
+		if _, err := db.SampleBlocks("events", ra, 3); err != nil {
+			return false
+		}
+		lo := db.Meter().BytesScanned()
+		db.Meter().Reset()
+		if _, err := db.SampleBlocks("events", rb, 3); err != nil {
+			return false
+		}
+		hi := db.Meter().BytesScanned()
+		return lo <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

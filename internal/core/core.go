@@ -1,0 +1,292 @@
+// Package core is the DataChat platform façade: it wires the skill
+// registry, sessions with their locks and DAG executors, the artifact store
+// with sharing and secret links, the Home Screen and Insights Boards, cloud
+// database connections, the snapshot store, the semantic layer, the GEL
+// parser, the phrase-based translator, and the NL2Code system into one
+// object — the paper's system as a single API.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"datachat/internal/artifact"
+	"datachat/internal/cloud"
+	"datachat/internal/gel"
+	"datachat/internal/nl2code"
+	"datachat/internal/phrase"
+	"datachat/internal/semantic"
+	"datachat/internal/session"
+	"datachat/internal/skills"
+	"datachat/internal/snapshot"
+	"datachat/internal/viz"
+)
+
+// Platform is one DataChat deployment.
+type Platform struct {
+	// Registry is the installed skill set.
+	Registry *skills.Registry
+	// Artifacts stores saved artifacts with permissions and links.
+	Artifacts *artifact.Store
+	// Home is the Home Screen folder tree.
+	Home *session.HomeScreen
+	// Snapshots is the fixed-cost local snapshot store.
+	Snapshots *snapshot.Store
+	// Semantic is the deployment-wide semantic layer.
+	Semantic *semantic.Layer
+	// Parser is the GEL parser.
+	Parser *gel.Parser
+
+	mu       sync.Mutex
+	sessions map[string]*session.Session
+	boards   map[string]*session.InsightsBoard
+	clouds   map[string]*cloud.Database
+	files    map[string]string
+	nl2      *nl2code.System
+}
+
+// New creates an empty platform.
+func New() *Platform {
+	reg := skills.NewRegistry()
+	return &Platform{
+		Registry:  reg,
+		Artifacts: artifact.NewStore(),
+		Home:      session.NewHomeScreen(),
+		Snapshots: snapshot.NewStore(50),
+		Semantic:  semantic.NewLayer(),
+		Parser:    gel.MustNewParser(reg),
+		sessions:  map[string]*session.Session{},
+		boards:    map[string]*session.InsightsBoard{},
+		clouds:    map[string]*cloud.Database{},
+		files:     map[string]string{},
+	}
+}
+
+// ConnectDatabase attaches a cloud database to the platform.
+func (p *Platform) ConnectDatabase(db *cloud.Database) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := strings.ToLower(db.Name())
+	if _, dup := p.clouds[key]; dup {
+		return fmt.Errorf("core: database %q is already connected", db.Name())
+	}
+	p.clouds[key] = db
+	return nil
+}
+
+// Database returns a connected database.
+func (p *Platform) Database(name string) (*cloud.Database, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	db, ok := p.clouds[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: no connected database %q", name)
+	}
+	return db, nil
+}
+
+// RegisterFile makes CSV content loadable by name or URL in every session
+// created afterwards (the offline stand-in for file upload / URL fetch).
+func (p *Platform) RegisterFile(name, csvContent string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.files[name] = csvContent
+}
+
+// CreateSession opens a session for owner, seeded with the platform's
+// files, databases, and snapshot store.
+func (p *Platform) CreateSession(name, owner string) (*session.Session, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, dup := p.sessions[key]; dup {
+		return nil, fmt.Errorf("core: session %q already exists", name)
+	}
+	ctx := skills.NewContext()
+	for fileName, content := range p.files {
+		ctx.Files[fileName] = content
+	}
+	for _, db := range p.clouds {
+		ctx.Cloud[db.Name()] = db
+	}
+	ctx.Snapshots = p.Snapshots
+	s := session.New(name, owner, p.Registry, ctx)
+	p.sessions[key] = s
+	return s, nil
+}
+
+// Session returns an open session.
+func (p *Platform) Session(name string) (*session.Session, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	s, ok := p.sessions[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("core: no session %q", name)
+	}
+	return s, nil
+}
+
+// Sessions lists open session names, sorted.
+func (p *Platform) Sessions() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	names := make([]string, 0, len(p.sessions))
+	for _, s := range p.sessions {
+		names = append(names, s.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Board returns (creating on first use) an Insights Board.
+func (p *Platform) Board(name string) *session.InsightsBoard {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	key := strings.ToLower(name)
+	b, ok := p.boards[key]
+	if !ok {
+		b = session.NewInsightsBoard(name)
+		p.boards[key] = b
+	}
+	return b
+}
+
+// RequestGEL parses a GEL sentence and executes it in a session on behalf
+// of a user — the console's one-line entry point. Sentences that do not
+// name datasets act on `current` (pass "" to require explicit names).
+func (p *Platform) RequestGEL(sessionName, user, line, current string) (*skills.Result, error) {
+	s, err := p.Session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	inv, err := p.Parser.Parse(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(inv.Inputs) == 0 && needsInput(inv.Skill) {
+		if current == "" {
+			return nil, fmt.Errorf("core: %s needs a dataset; load or use one first", inv.Skill)
+		}
+		inv.Inputs = []string{current}
+	}
+	res, _, err := s.Request(user, inv)
+	return res, err
+}
+
+func needsInput(skill string) bool {
+	switch skill {
+	case "LoadData", "LoadTable", "SampleTable", "CreateSnapshot", "UseSnapshot",
+		"RefreshSnapshot", "ListDatasets", "UseDataset", "Define", "ShareSession",
+		"ShareArtifact", "PublishToInsightsBoard", "AddComment", "ExplainModel", "RunSQL":
+		return false
+	default:
+		return true
+	}
+}
+
+// TranslatePhrase runs the §4.8 phrase-based translator against a dataset
+// in a session.
+func (p *Platform) TranslatePhrase(sessionName, input, datasetName string) (*phrase.Translation, error) {
+	s, err := p.Session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	t, err := s.Context().Dataset(datasetName)
+	if err != nil {
+		return nil, err
+	}
+	tr := &phrase.Translator{Layer: p.Semantic}
+	return tr.Translate(input, t)
+}
+
+// UseNL2Code installs an NL2Code system (with its example library).
+func (p *Platform) UseNL2Code(sys *nl2code.System) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.nl2 = sys
+}
+
+// NL2Code translates an English request into a checked program against a
+// session's datasets (Figure 6's pipeline, end to end).
+func (p *Platform) NL2Code(sessionName, question string) (*nl2code.Response, error) {
+	p.mu.Lock()
+	sys := p.nl2
+	p.mu.Unlock()
+	if sys == nil {
+		sys = nl2code.NewSystem(p.Registry, nl2code.NewLibrary(nil))
+	}
+	s, err := p.Session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	return sys.Generate(nl2code.Request{
+		Question: question,
+		Tables:   s.Context().Datasets,
+		Layer:    p.Semantic,
+	})
+}
+
+// RefreshArtifact replays an artifact's recipe against a session (with the
+// sub-DAG cache invalidated so changed source data is re-read), updates the
+// stored payload, and stamps the refresh time — the §2.3 "refresh"
+// interaction surfaced on every artifact.
+func (p *Platform) RefreshArtifact(sessionName, user, artifactName string) (*artifact.Artifact, error) {
+	a, err := p.Artifacts.Get(artifactName, user)
+	if err != nil {
+		return nil, err
+	}
+	if p.Artifacts.AccessOf(artifactName, user) < artifact.EditAccess {
+		return nil, fmt.Errorf("core: %s cannot refresh %q", user, artifactName)
+	}
+	s, err := p.Session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	res, err := a.Recipe.Replay(s.Executor(), true)
+	if err != nil {
+		return nil, fmt.Errorf("core: refreshing %q: %w", artifactName, err)
+	}
+	a.Table = res.Table
+	if len(res.Charts) > 0 {
+		a.Chart = res.Charts[0]
+	}
+	if err := p.Artifacts.MarkRefreshed(artifactName); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// RenderBoard lays out an Insights Board as text: each pinned artifact in
+// placement order with its caption and payload (chart or table preview),
+// plus the board's text boxes — the console's stand-in for presenting an
+// IB (§2.4).
+func (p *Platform) RenderBoard(boardName, user string) (string, error) {
+	board := p.Board(boardName)
+	var b strings.Builder
+	fmt.Fprintf(&b, "═══ Insights Board: %s ═══\n", board.Name)
+	for _, t := range board.Texts() {
+		fmt.Fprintf(&b, "  %s\n", t.Text)
+	}
+	for _, item := range board.Items() {
+		a, err := p.Artifacts.Get(item.Artifact, user)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "\n─── %s (%s, at %d,%d %d×%d) ───\n",
+			a.Name, a.Type, item.X, item.Y, item.W, item.H)
+		if item.Caption != "" {
+			fmt.Fprintf(&b, "%s\n", item.Caption)
+		}
+		switch {
+		case a.Chart != nil:
+			b.WriteString(viz.Render(a.Chart))
+		case a.Table != nil:
+			b.WriteString(a.Table.Head(5).String())
+		case a.Explanation != "":
+			b.WriteString(a.Explanation + "\n")
+		}
+	}
+	return b.String(), nil
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/artifact"
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/nl2code"
+	"datachat/internal/semantic"
+	"datachat/internal/session"
+	"datachat/internal/skills"
+	"datachat/internal/spider"
+)
+
+func newPlatform(t *testing.T) *Platform {
+	t.Helper()
+	p := New()
+	p.RegisterFile("people.csv", "name,age,dept\nann,30,eng\nbob,25,eng\ncarl,40,sales\n")
+	return p
+}
+
+func TestSessionLifecycle(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("analysis", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.CreateSession("analysis", "ann"); err == nil {
+		t.Error("duplicate session should fail")
+	}
+	got, err := p.Session("Analysis")
+	if err != nil || got != s {
+		t.Errorf("Session lookup = %v, %v", got, err)
+	}
+	if _, err := p.Session("nope"); err == nil {
+		t.Error("missing session should error")
+	}
+	if names := p.Sessions(); len(names) != 1 || names[0] != "analysis" {
+		t.Errorf("sessions = %v", names)
+	}
+}
+
+func TestRequestGELEndToEnd(t *testing.T) {
+	p := newPlatform(t)
+	if _, err := p.CreateSession("s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RequestGEL("s", "ann", "Load data from the file people.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 3 {
+		t.Errorf("rows = %d", res.Table.NumRows())
+	}
+	// The load materialized the output into the session; follow up on it.
+	s, _ := p.Session("s")
+	var current string
+	for name := range s.Context().Datasets {
+		if strings.HasPrefix(name, "node") {
+			current = name
+		}
+	}
+	if current == "" {
+		t.Fatal("loaded dataset not materialized")
+	}
+	res, err = p.RequestGEL("s", "ann", "Keep the rows where age > 26", current)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 {
+		t.Errorf("filtered rows = %d", res.Table.NumRows())
+	}
+	// Input-requiring sentence without a current dataset fails helpfully.
+	if _, err := p.RequestGEL("s", "ann", "Count the rows", ""); err == nil {
+		t.Error("missing current dataset should fail")
+	}
+	// Bad GEL fails at parse.
+	if _, err := p.RequestGEL("s", "ann", "frobnicate", current); err == nil {
+		t.Error("bad GEL should fail")
+	}
+}
+
+func TestDatabasesAndSessionsSeeding(t *testing.T) {
+	p := newPlatform(t)
+	db := cloud.NewDatabase("warehouse", cloud.DefaultPricing, 100)
+	ids := make([]int64, 500)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	if err := db.CreateTable(dataset.MustNewTable("events", dataset.IntColumn("id", ids, nil))); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ConnectDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ConnectDatabase(db); err == nil {
+		t.Error("duplicate connect should fail")
+	}
+	if _, err := p.Database("warehouse"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Database("nope"); err == nil {
+		t.Error("missing database should error")
+	}
+	if _, err := p.CreateSession("s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.RequestGEL("s", "ann", "Sample 10% of the table events from the database warehouse", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() == 0 || res.Table.NumRows() >= 500 {
+		t.Errorf("sample rows = %d", res.Table.NumRows())
+	}
+	// Snapshot skills work against the platform store.
+	if _, err := p.RequestGEL("s", "ann", "Create a snapshot ev of the table events from the database warehouse", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Snapshots.Get("ev"); err != nil {
+		t.Errorf("snapshot not in platform store: %v", err)
+	}
+}
+
+func TestArtifactFlowWithBoards(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("s", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RequestGEL("s", "ann", "Load data from the file people.csv", ""); err != nil {
+		t.Fatal(err)
+	}
+	_, id, err := s.Request("ann", skills.Invocation{Skill: "Compute", Inputs: []string{"node0"},
+		Args: skills.Args{"aggregates": []string{"count of records as n"}, "for_each": []string{"dept"}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.SaveArtifact(p.Artifacts, "ann", "dept_counts", id, artifact.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Recipe == nil || len(a.Recipe.Steps) == 0 {
+		t.Fatal("artifact has no recipe")
+	}
+	// Organize, share, pin.
+	if err := p.Home.Place("reports", "dept_counts"); err != nil {
+		t.Fatal(err)
+	}
+	secret, err := p.Artifacts.CreateSecretLink("dept_counts", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Artifacts.GetBySecret(secret); err != nil {
+		t.Fatal(err)
+	}
+	board := p.Board("launch")
+	if err := board.Pin(session.BoardItem{Artifact: "dept_counts", W: 6, H: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if p.Board("launch") != board {
+		t.Error("Board should be idempotent")
+	}
+}
+
+func TestNL2CodeThroughPlatform(t *testing.T) {
+	p := newPlatform(t)
+	domains := spider.Domains(1)
+	var sales *spider.Domain
+	for _, d := range domains {
+		if d.Name == "sales" {
+			sales = d
+		}
+	}
+	var examples []*nl2code.LibraryExample
+	for _, ex := range spider.GenerateLibrary(domains, 99, 6) {
+		examples = append(examples, &nl2code.LibraryExample{Question: ex.Question, Program: ex.Gold, Domain: ex.Domain})
+	}
+	p.UseNL2Code(nl2code.NewSystem(p.Registry, nl2code.NewLibrary(examples)))
+	for _, c := range sales.Layer.Concepts() {
+		if err := p.Semantic.Define(*c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s, err := p.CreateSession("s", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, table := range sales.Tables {
+		s.Context().Datasets[name] = table
+	}
+	resp, err := p.NL2Code("s", "What is the average price for each region?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Program) == 0 || resp.Python == "" || len(resp.GEL) == 0 {
+		t.Errorf("response incomplete: %+v", resp)
+	}
+	if _, err := p.NL2Code("missing", "q"); err == nil {
+		t.Error("missing session should error")
+	}
+}
+
+func TestTranslatePhraseThroughPlatform(t *testing.T) {
+	p := newPlatform(t)
+	if err := p.Semantic.Define(semantic.Concept{
+		Name: "veterans", Kind: semantic.Filter, Expansion: "age >= 40"}); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.CreateSession("s", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Context().Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("age", []int64{30, 25, 40}, nil),
+		dataset.StringColumn("dept", []string{"eng", "eng", "sales"}, nil),
+	)
+	got, err := p.TranslatePhrase("s", "Visualize dept where veterans", "people")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Invocation.Args.StringOr("filter", "") != "(age >= 40)" {
+		t.Errorf("filter = %v", got.Invocation.Args["filter"])
+	}
+	if _, err := p.TranslatePhrase("s", "Visualize dept", "missing"); err == nil {
+		t.Error("missing dataset should error")
+	}
+}
+
+func TestRefreshArtifact(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("s", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Context().Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("age", []int64{10, 20, 30}, nil))
+	_, id, err := s.Request("ann", skills.Invocation{Skill: "CountRows",
+		Inputs: []string{"people"}, Output: "n"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SaveArtifact(p.Artifacts, "ann", "rowcount", id, artifact.TypeTable); err != nil {
+		t.Fatal(err)
+	}
+	// Underlying data grows; refresh must see it.
+	s.Context().Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("age", []int64{10, 20, 30, 40, 50}, nil))
+	a, err := p.RefreshArtifact("s", "ann", "rowcount")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := a.Table.Column("rows")
+	if c.Value(0).I != 5 {
+		t.Errorf("refreshed count = %v, want 5", c.Value(0))
+	}
+	if !a.RefreshedAt.After(a.CreatedAt) {
+		t.Error("RefreshedAt not advanced")
+	}
+	// Viewers cannot refresh.
+	if err := p.Artifacts.Share("rowcount", "ann", "bob", artifact.ViewAccess); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.RefreshArtifact("s", "bob", "rowcount"); err == nil {
+		t.Error("viewer refresh should fail")
+	}
+	if _, err := p.RefreshArtifact("s", "ann", "missing"); err == nil {
+		t.Error("missing artifact refresh should fail")
+	}
+}
+
+func TestRenderBoard(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("s", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Context().Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("age", []int64{10, 20, 30}, nil),
+		dataset.StringColumn("dept", []string{"a", "b", "a"}, nil))
+	_, id, err := s.Request("ann", skills.Invocation{Skill: "PlotChart", Inputs: []string{"people"},
+		Args: skills.Args{"chart": "bar", "x": "dept", "title": "People by dept"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.SaveArtifact(p.Artifacts, "ann", "dept_chart", id, ""); err != nil {
+		t.Fatal(err)
+	}
+	board := p.Board("review")
+	if err := board.Pin(session.BoardItem{Artifact: "dept_chart", W: 6, H: 4, Caption: "headcount"}); err != nil {
+		t.Fatal(err)
+	}
+	board.AddText(session.TextBox{Text: "Q2 review"})
+	out, err := p.RenderBoard("review", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"Insights Board: review", "Q2 review", "dept_chart", "headcount", "People by dept"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("board render missing %q:\n%s", want, out)
+		}
+	}
+	// Rendering for a user without access to a pinned artifact fails.
+	if _, err := p.RenderBoard("review", "stranger"); err == nil {
+		t.Error("stranger should not render the board's artifacts")
+	}
+}
+
+func TestSaveModelArtifact(t *testing.T) {
+	p := newPlatform(t)
+	s, err := p.CreateSession("s", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	xs := make([]int64, 40)
+	ys := make([]float64, 40)
+	for i := range xs {
+		xs[i] = int64(i)
+		ys[i] = 2 * float64(i)
+	}
+	s.Context().Datasets["lin"] = dataset.MustNewTable("lin",
+		dataset.IntColumn("x", xs, nil), dataset.FloatColumn("y", ys, nil))
+	_, id, err := s.Request("ann", skills.Invocation{Skill: "TrainModel", Inputs: []string{"lin"},
+		Args: skills.Args{"target": "y", "features": []string{"x"}, "name": "m"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := s.SaveArtifact(p.Artifacts, "ann", "gdp_model", id, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Type != artifact.TypeModel {
+		t.Errorf("type = %s, want model", a.Type)
+	}
+	if a.ModelName == "" {
+		t.Error("model kind not recorded")
+	}
+}

@@ -1,0 +1,279 @@
+package dag
+
+import (
+	"fmt"
+
+	"datachat/internal/skills"
+	"datachat/internal/sqlengine"
+)
+
+// Stats counts what an execution did, for transparency and benchmarks.
+type Stats struct {
+	// TasksRun is the number of execution tasks dispatched.
+	TasksRun int
+	// SQLTasks counts consolidated SQL tasks; DirectTasks counts direct
+	// skill applications.
+	SQLTasks, DirectTasks int
+	// NodesConsolidated counts skill nodes folded into SQL tasks.
+	NodesConsolidated int
+	// QueryBlocks sums the SELECT-block counts of executed SQL tasks — the
+	// §2.2 flatness measure.
+	QueryBlocks int
+	// CacheHits counts nodes served from the sub-DAG cache.
+	CacheHits int
+}
+
+// Executor compiles and runs DAGs against a skill context. It owns the
+// sub-DAG result cache, which persists across Run calls so shared prefixes
+// of successive requests are reused (§2.2).
+type Executor struct {
+	// Registry resolves skill definitions.
+	Registry *skills.Registry
+	// Ctx is the session execution environment.
+	Ctx *skills.Context
+	// Consolidate enables merging relational chains into single SQL tasks
+	// (on by default via NewExecutor; turn off for the naive baseline).
+	Consolidate bool
+	// UseCache enables the sub-DAG result cache.
+	UseCache bool
+
+	cache map[string]*skills.Result
+	stats Stats
+}
+
+// NewExecutor returns an executor with consolidation and caching enabled.
+func NewExecutor(reg *skills.Registry, ctx *skills.Context) *Executor {
+	return &Executor{
+		Registry:    reg,
+		Ctx:         ctx,
+		Consolidate: true,
+		UseCache:    true,
+		cache:       map[string]*skills.Result{},
+	}
+}
+
+// Stats returns cumulative execution statistics.
+func (e *Executor) Stats() Stats { return e.stats }
+
+// ResetStats zeroes the statistics counters.
+func (e *Executor) ResetStats() { e.stats = Stats{} }
+
+// InvalidateCache clears the sub-DAG cache (used after data refreshes).
+func (e *Executor) InvalidateCache() {
+	e.cache = map[string]*skills.Result{}
+}
+
+// Run executes the DAG up to target and returns its result. Intermediate
+// results are materialized into the context under their output names so
+// later requests (and sibling branches) can reference them.
+func (e *Executor) Run(g *Graph, target NodeID) (*skills.Result, error) {
+	needed, err := g.Ancestors(target)
+	if err != nil {
+		return nil, err
+	}
+	consumers := g.consumers(needed)
+	results := map[NodeID]*skills.Result{}
+	var compute func(id NodeID) (*skills.Result, error)
+
+	// materialize publishes a node result into the session datasets.
+	materialize := func(id NodeID, res *skills.Result) {
+		node := g.nodes[id]
+		results[id] = res
+		if res.Table != nil {
+			e.Ctx.Datasets[node.OutputName()] = res.Table.WithName(node.OutputName())
+		}
+	}
+
+	compute = func(id NodeID) (*skills.Result, error) {
+		if res, done := results[id]; done {
+			return res, nil
+		}
+		sig, err := g.Signature(id)
+		if err != nil {
+			return nil, err
+		}
+		if e.UseCache {
+			if res, hit := e.cache[sig]; hit {
+				e.stats.CacheHits++
+				materialize(id, res)
+				return res, nil
+			}
+		}
+		node := g.nodes[id]
+
+		// Try consolidating a relational chain ending at this node.
+		if e.Consolidate {
+			if res, ok, err := e.tryConsolidated(g, id, consumers, compute, materialize); err != nil {
+				return nil, err
+			} else if ok {
+				if e.UseCache {
+					e.cache[sig] = res
+				}
+				return res, nil
+			}
+		}
+
+		// Direct execution: compute parents first.
+		for i, p := range node.Parents {
+			if p < 0 {
+				if _, err := e.Ctx.Dataset(node.Inv.Inputs[i]); err != nil {
+					return nil, fmt.Errorf("dag: node %d: %w", id, err)
+				}
+				continue
+			}
+			if _, err := compute(p); err != nil {
+				return nil, err
+			}
+		}
+		inv := e.rewiredInvocation(g, node)
+		res, err := e.Registry.Execute(e.Ctx, inv)
+		if err != nil {
+			return nil, fmt.Errorf("dag: node %d (%s): %w", id, node.Inv.Skill, err)
+		}
+		e.stats.TasksRun++
+		e.stats.DirectTasks++
+		materialize(id, res)
+		if e.UseCache {
+			e.cache[sig] = res
+		}
+		return res, nil
+	}
+	return compute(target)
+}
+
+// rewiredInvocation replaces parent-input names with the parents' output
+// names (they are the same by construction, but Output defaults resolve
+// here).
+func (e *Executor) rewiredInvocation(g *Graph, node *Node) skills.Invocation {
+	inv := node.Inv
+	if len(node.Parents) > 0 {
+		inputs := append([]string{}, inv.Inputs...)
+		for i, p := range node.Parents {
+			if p >= 0 {
+				inputs[i] = g.nodes[p].OutputName()
+			}
+		}
+		inv.Inputs = inputs
+	}
+	return inv
+}
+
+// tryConsolidated attempts to execute the maximal single-input relational
+// chain ending at id as one SQL task. It reports ok=false when id is not
+// relational or the chain is trivial to the point that direct execution is
+// equivalent (a single non-mergeable node still consolidates fine — one
+// node, one block).
+func (e *Executor) tryConsolidated(
+	g *Graph,
+	id NodeID,
+	consumers map[NodeID][]NodeID,
+	compute func(NodeID) (*skills.Result, error),
+	materialize func(NodeID, *skills.Result),
+) (*skills.Result, bool, error) {
+	// Collect the chain bottom-up: id, its relational parent, and so on,
+	// as long as each link is single-input relational and feeds only the
+	// next chain node.
+	var chain []NodeID
+	cur := id
+	for {
+		node := g.nodes[cur]
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return nil, false, err
+		}
+		if def.MergeSQL == nil || len(node.Parents) != 1 {
+			break
+		}
+		chain = append(chain, cur)
+		parent := node.Parents[0]
+		if parent < 0 {
+			break
+		}
+		if len(consumers[parent]) != 1 {
+			break // shared sub-DAG: materialize the parent for everyone
+		}
+		cur = parent
+	}
+	if len(chain) == 0 {
+		return nil, false, nil
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	head := g.nodes[chain[0]]
+	baseName := head.Inv.Inputs[0]
+	if head.Parents[0] >= 0 {
+		if _, err := compute(head.Parents[0]); err != nil {
+			return nil, false, err
+		}
+		baseName = g.nodes[head.Parents[0]].OutputName()
+	} else if _, err := e.Ctx.Dataset(baseName); err != nil {
+		return nil, false, fmt.Errorf("dag: node %d: %w", head.ID, err)
+	}
+
+	builder := skills.NewQueryBuilder(baseName)
+	for _, nid := range chain {
+		node := g.nodes[nid]
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return nil, false, err
+		}
+		if err := def.MergeSQL(builder, node.Inv); err != nil {
+			return nil, false, fmt.Errorf("dag: consolidating node %d (%s): %w", nid, node.Inv.Skill, err)
+		}
+	}
+	table, err := sqlengine.ExecStmt(e.Ctx, builder.Stmt())
+	if err != nil {
+		return nil, false, fmt.Errorf("dag: consolidated task %q: %w", builder.SQL(), err)
+	}
+	res := &skills.Result{Table: table, Message: "via " + builder.SQL()}
+	e.stats.TasksRun++
+	e.stats.SQLTasks++
+	e.stats.NodesConsolidated += len(chain)
+	e.stats.QueryBlocks += builder.Blocks()
+	materialize(id, res)
+	return res, true, nil
+}
+
+// CompileSQL returns the consolidated SQL for the relational chain ending
+// at target without executing it — the SQL view of a recipe step (§2.3).
+func (e *Executor) CompileSQL(g *Graph, target NodeID) (string, error) {
+	var chain []NodeID
+	cur := target
+	for cur >= 0 {
+		node, err := g.Node(cur)
+		if err != nil {
+			return "", err
+		}
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return "", err
+		}
+		if def.MergeSQL == nil || len(node.Parents) != 1 {
+			break
+		}
+		chain = append(chain, cur)
+		cur = node.Parents[0]
+	}
+	if len(chain) == 0 {
+		return "", fmt.Errorf("dag: node %d is not a relational skill", target)
+	}
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	head := g.nodes[chain[0]]
+	baseName := head.Inv.Inputs[0]
+	if head.Parents[0] >= 0 {
+		baseName = g.nodes[head.Parents[0]].OutputName()
+	}
+	builder := skills.NewQueryBuilder(baseName)
+	for _, nid := range chain {
+		node := g.nodes[nid]
+		def, _ := e.Registry.Lookup(node.Inv.Skill)
+		if err := def.MergeSQL(builder, node.Inv); err != nil {
+			return "", err
+		}
+	}
+	return builder.SQL(), nil
+}

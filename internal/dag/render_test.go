@@ -1,0 +1,57 @@
+package dag
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/skills"
+)
+
+func renderFixture() *Graph {
+	g := NewGraph()
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"base"},
+		Args: skills.Args{"condition": "v > 1"}, Output: "shared"})
+	g.Add(skills.Invocation{Skill: "Compute", Inputs: []string{"shared"},
+		Args: skills.Args{"aggregates": []string{"count of records as n"}}, Output: "agg"})
+	g.Add(skills.Invocation{Skill: "JoinDatasets", Inputs: []string{"agg", "shared"},
+		Args: skills.Args{"on": "agg.n > shared.id"}, Output: "final"})
+	return g
+}
+
+func TestRenderDOT(t *testing.T) {
+	dot := RenderDOT(renderFixture(), reg)
+	for _, want := range []string{
+		"digraph recipe",
+		"n0 ->", "n1 ->",
+		"src_base",      // external source node
+		"Keep the rows", // GEL labels
+		"shape=box",     // sources are boxes
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT missing %q:\n%s", want, dot)
+		}
+	}
+	// A graph rendered without a registry still works (skill-name labels).
+	dot2 := RenderDOT(renderFixture(), nil)
+	if !strings.Contains(dot2, "KeepRows") {
+		t.Errorf("registry-less DOT missing skill name:\n%s", dot2)
+	}
+}
+
+func TestRenderASCII(t *testing.T) {
+	out := RenderASCII(renderFixture(), reg)
+	if !strings.Contains(out, "→ final") {
+		t.Errorf("ASCII missing sink:\n%s", out)
+	}
+	if !strings.Contains(out, "(source: base)") {
+		t.Errorf("ASCII missing source:\n%s", out)
+	}
+	// The shared node prints once and is referenced the second time.
+	if !strings.Contains(out, "(see above)") {
+		t.Errorf("shared subtree not deduplicated:\n%s", out)
+	}
+	// Indentation increases with depth.
+	if !strings.Contains(out, "  [") {
+		t.Errorf("no indentation:\n%s", out)
+	}
+}

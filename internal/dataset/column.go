@@ -1,0 +1,242 @@
+package dataset
+
+import (
+	"fmt"
+	"time"
+)
+
+// Column is a named, typed vector of values with a null mask. Storage is
+// columnar: one typed slice per column plus a shared null bitmap, so scans
+// and aggregations touch contiguous memory.
+type Column struct {
+	name  string
+	typ   Type
+	ints  []int64
+	fls   []float64
+	strs  []string
+	bools []bool
+	times []int64 // unix nanoseconds
+	nulls []bool
+	n     int
+}
+
+// NewColumn returns an empty column of the given name and type.
+func NewColumn(name string, typ Type) *Column {
+	return &Column{name: name, typ: typ}
+}
+
+// IntColumn builds an int column from values; a nil nulls mask means no nulls.
+func IntColumn(name string, vals []int64, nulls []bool) *Column {
+	c := &Column{name: name, typ: TypeInt, ints: vals, n: len(vals)}
+	c.setNulls(nulls)
+	return c
+}
+
+// FloatColumn builds a float column from values.
+func FloatColumn(name string, vals []float64, nulls []bool) *Column {
+	c := &Column{name: name, typ: TypeFloat, fls: vals, n: len(vals)}
+	c.setNulls(nulls)
+	return c
+}
+
+// StringColumn builds a string column from values.
+func StringColumn(name string, vals []string, nulls []bool) *Column {
+	c := &Column{name: name, typ: TypeString, strs: vals, n: len(vals)}
+	c.setNulls(nulls)
+	return c
+}
+
+// BoolColumn builds a bool column from values.
+func BoolColumn(name string, vals []bool, nulls []bool) *Column {
+	c := &Column{name: name, typ: TypeBool, bools: vals, n: len(vals)}
+	c.setNulls(nulls)
+	return c
+}
+
+// TimeColumn builds a time column from values.
+func TimeColumn(name string, vals []time.Time, nulls []bool) *Column {
+	nanos := make([]int64, len(vals))
+	for i, t := range vals {
+		nanos[i] = t.UnixNano()
+	}
+	c := &Column{name: name, typ: TypeTime, times: nanos, n: len(vals)}
+	c.setNulls(nulls)
+	return c
+}
+
+func (c *Column) setNulls(nulls []bool) {
+	if nulls != nil {
+		if len(nulls) != c.n {
+			panic(fmt.Sprintf("dataset: null mask length %d != column length %d", len(nulls), c.n))
+		}
+		c.nulls = nulls
+	}
+}
+
+// Name returns the column name.
+func (c *Column) Name() string { return c.name }
+
+// Type returns the column's logical type.
+func (c *Column) Type() Type { return c.typ }
+
+// Len returns the number of rows.
+func (c *Column) Len() int { return c.n }
+
+// IsNull reports whether row i is null.
+func (c *Column) IsNull(i int) bool {
+	if c.typ == TypeNull {
+		return true
+	}
+	return c.nulls != nil && c.nulls[i]
+}
+
+// NullCount returns the number of null rows.
+func (c *Column) NullCount() int {
+	if c.typ == TypeNull {
+		return c.n
+	}
+	count := 0
+	for _, isNull := range c.nulls {
+		if isNull {
+			count++
+		}
+	}
+	return count
+}
+
+// Value returns the value at row i.
+func (c *Column) Value(i int) Value {
+	if c.IsNull(i) {
+		return Null
+	}
+	switch c.typ {
+	case TypeInt:
+		return Int(c.ints[i])
+	case TypeFloat:
+		return Float(c.fls[i])
+	case TypeString:
+		return Str(c.strs[i])
+	case TypeBool:
+		return Bool(c.bools[i])
+	case TypeTime:
+		return Time(time.Unix(0, c.times[i]).UTC())
+	default:
+		return Null
+	}
+}
+
+// Append appends a value, coercing it to the column type. Appending a value
+// that cannot coerce records a null.
+func (c *Column) Append(v Value) {
+	if v.IsNull() {
+		c.appendNullSlot()
+		return
+	}
+	coerced, ok := Coerce(v, c.typ)
+	if !ok || coerced.IsNull() {
+		c.appendNullSlot()
+		return
+	}
+	switch c.typ {
+	case TypeInt:
+		c.ints = append(c.ints, coerced.I)
+	case TypeFloat:
+		c.fls = append(c.fls, coerced.F)
+	case TypeString:
+		c.strs = append(c.strs, coerced.S)
+	case TypeBool:
+		c.bools = append(c.bools, coerced.B)
+	case TypeTime:
+		c.times = append(c.times, coerced.T.UnixNano())
+	}
+	if c.nulls != nil {
+		c.nulls = append(c.nulls, false)
+	}
+	c.n++
+}
+
+func (c *Column) appendNullSlot() {
+	switch c.typ {
+	case TypeInt:
+		c.ints = append(c.ints, 0)
+	case TypeFloat:
+		c.fls = append(c.fls, 0)
+	case TypeString:
+		c.strs = append(c.strs, "")
+	case TypeBool:
+		c.bools = append(c.bools, false)
+	case TypeTime:
+		c.times = append(c.times, 0)
+	}
+	if c.nulls == nil {
+		c.nulls = make([]bool, c.n, c.n+1)
+	}
+	c.nulls = append(c.nulls, true)
+	c.n++
+}
+
+// Rename returns a shallow copy of the column under a new name. The data is
+// shared, which is safe because columns are immutable by convention once
+// published in a Table.
+func (c *Column) Rename(name string) *Column {
+	copied := *c
+	copied.name = name
+	return &copied
+}
+
+// Take returns a new column containing the rows at the given indexes, in
+// order. Indexes may repeat.
+func (c *Column) Take(idx []int) *Column {
+	out := NewColumn(c.name, c.typ)
+	switch c.typ {
+	case TypeInt:
+		out.ints = make([]int64, 0, len(idx))
+	case TypeFloat:
+		out.fls = make([]float64, 0, len(idx))
+	case TypeString:
+		out.strs = make([]string, 0, len(idx))
+	case TypeBool:
+		out.bools = make([]bool, 0, len(idx))
+	case TypeTime:
+		out.times = make([]int64, 0, len(idx))
+	}
+	for _, i := range idx {
+		if c.IsNull(i) {
+			out.appendNullSlot()
+			continue
+		}
+		switch c.typ {
+		case TypeInt:
+			out.ints = append(out.ints, c.ints[i])
+		case TypeFloat:
+			out.fls = append(out.fls, c.fls[i])
+		case TypeString:
+			out.strs = append(out.strs, c.strs[i])
+		case TypeBool:
+			out.bools = append(out.bools, c.bools[i])
+		case TypeTime:
+			out.times = append(out.times, c.times[i])
+		}
+		if out.nulls != nil {
+			out.nulls = append(out.nulls, false)
+		}
+		out.n++
+	}
+	return out
+}
+
+// Floats returns the column materialized as float64s with a validity mask
+// (false where the row is null or non-numeric). ML skills consume this view.
+func (c *Column) Floats() (vals []float64, valid []bool) {
+	vals = make([]float64, c.n)
+	valid = make([]bool, c.n)
+	for i := 0; i < c.n; i++ {
+		if c.IsNull(i) {
+			continue
+		}
+		if f, ok := c.Value(i).AsFloat(); ok {
+			vals[i], valid[i] = f, true
+		}
+	}
+	return vals, valid
+}

@@ -1,0 +1,117 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// ReadCSV parses CSV data with a header row into a table, inferring column
+// types from the data: a column is int if every non-null cell parses as int,
+// widening to float, time, bool, then string. An all-null column is typed
+// string so it stays usable.
+func ReadCSV(name string, r io.Reader) (*Table, error) {
+	reader := csv.NewReader(r)
+	reader.TrimLeadingSpace = true
+	records, err := reader.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: reading csv %q: %w", name, err)
+	}
+	if len(records) == 0 {
+		return nil, fmt.Errorf("dataset: csv %q has no header row", name)
+	}
+	header := records[0]
+	rows := records[1:]
+	cols := make([]*Column, len(header))
+	for j, colName := range header {
+		colName = strings.TrimSpace(colName)
+		typ := inferColumnType(rows, j)
+		c := NewColumn(colName, typ)
+		for _, rec := range rows {
+			if j >= len(rec) {
+				c.Append(Null)
+				continue
+			}
+			c.Append(parseAs(rec[j], typ))
+		}
+		cols[j] = c
+	}
+	return NewTable(name, cols...)
+}
+
+// ReadCSVString parses CSV from a string; a convenience for examples and tests.
+func ReadCSVString(name, data string) (*Table, error) {
+	return ReadCSV(name, strings.NewReader(data))
+}
+
+func inferColumnType(rows [][]string, col int) Type {
+	typ := TypeNull
+	for _, rec := range rows {
+		if col >= len(rec) {
+			continue
+		}
+		v := ParseValue(rec[col])
+		if v.IsNull() {
+			continue
+		}
+		typ = mergeInferred(typ, v.Type)
+		if typ == TypeString {
+			break
+		}
+	}
+	if typ == TypeNull {
+		return TypeString
+	}
+	return typ
+}
+
+func mergeInferred(a, b Type) Type {
+	if a == TypeNull {
+		return b
+	}
+	if a == b {
+		return a
+	}
+	if a.Numeric() && b.Numeric() {
+		return TypeFloat
+	}
+	return TypeString
+}
+
+func parseAs(cell string, typ Type) Value {
+	v := ParseValue(cell)
+	if v.IsNull() {
+		return Null
+	}
+	coerced, ok := Coerce(v, typ)
+	if !ok {
+		return Str(cell)
+	}
+	return coerced
+}
+
+// WriteCSV writes the table as CSV with a header row. Nulls become empty
+// cells so a round trip re-infers them as null.
+func WriteCSV(t *Table, w io.Writer) error {
+	writer := csv.NewWriter(w)
+	if err := writer.Write(t.ColumnNames()); err != nil {
+		return fmt.Errorf("dataset: writing csv header: %w", err)
+	}
+	record := make([]string, t.NumCols())
+	for r := 0; r < t.NumRows(); r++ {
+		for j, c := range t.Columns() {
+			v := c.Value(r)
+			if v.IsNull() {
+				record[j] = ""
+			} else {
+				record[j] = v.String()
+			}
+		}
+		if err := writer.Write(record); err != nil {
+			return fmt.Errorf("dataset: writing csv row %d: %w", r, err)
+		}
+	}
+	writer.Flush()
+	return writer.Error()
+}

@@ -1,0 +1,321 @@
+// Package dataset provides the columnar table substrate that every other
+// DataChat subsystem builds on: typed columns with null masks, tables with
+// schema operations, and a CSV codec with type inference.
+//
+// The design mirrors the spreadsheet-without-limits model from the paper's
+// §1: a Table is an immutable-by-convention collection of equal-length typed
+// columns, cheap to project and slice, and safe to share across sessions.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Type identifies the logical type of a column or value.
+type Type int
+
+// The supported logical types. TypeNull is used for untyped all-null columns
+// and for the null Value.
+const (
+	TypeNull Type = iota
+	TypeInt
+	TypeFloat
+	TypeString
+	TypeBool
+	TypeTime
+)
+
+// String returns the lower-case name of the type as used in schemas and GEL.
+func (t Type) String() string {
+	switch t {
+	case TypeNull:
+		return "null"
+	case TypeInt:
+		return "int"
+	case TypeFloat:
+		return "float"
+	case TypeString:
+		return "string"
+	case TypeBool:
+		return "bool"
+	case TypeTime:
+		return "time"
+	default:
+		return fmt.Sprintf("type(%d)", int(t))
+	}
+}
+
+// Numeric reports whether the type supports arithmetic.
+func (t Type) Numeric() bool { return t == TypeInt || t == TypeFloat }
+
+// TimeLayout is the canonical wire format for time values in CSV and GEL.
+const TimeLayout = "2006-01-02"
+
+// TimeLayoutFull is accepted on input for timestamp-resolution values.
+const TimeLayoutFull = "2006-01-02 15:04:05"
+
+// Value is a dynamically typed scalar: the unit of data exchanged between
+// rows, expressions, and skills. The zero Value is null.
+type Value struct {
+	Type Type
+	I    int64
+	F    float64
+	S    string
+	B    bool
+	T    time.Time
+}
+
+// Null is the null value.
+var Null = Value{}
+
+// Int returns an int value.
+func Int(v int64) Value { return Value{Type: TypeInt, I: v} }
+
+// Float returns a float value.
+func Float(v float64) Value { return Value{Type: TypeFloat, F: v} }
+
+// Str returns a string value.
+func Str(v string) Value { return Value{Type: TypeString, S: v} }
+
+// Bool returns a bool value.
+func Bool(v bool) Value { return Value{Type: TypeBool, B: v} }
+
+// Time returns a time value.
+func Time(v time.Time) Value { return Value{Type: TypeTime, T: v} }
+
+// IsNull reports whether the value is null.
+func (v Value) IsNull() bool { return v.Type == TypeNull }
+
+// AsFloat converts a numeric or bool value to float64. Returns false for
+// null, string, and time values.
+func (v Value) AsFloat() (float64, bool) {
+	switch v.Type {
+	case TypeInt:
+		return float64(v.I), true
+	case TypeFloat:
+		return v.F, true
+	case TypeBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// AsInt converts a numeric value to int64, truncating floats.
+func (v Value) AsInt() (int64, bool) {
+	switch v.Type {
+	case TypeInt:
+		return v.I, true
+	case TypeFloat:
+		return int64(v.F), true
+	case TypeBool:
+		if v.B {
+			return 1, true
+		}
+		return 0, true
+	default:
+		return 0, false
+	}
+}
+
+// String renders the value the way DataChat prints cells: nulls as "null",
+// floats with minimal digits, times with the canonical layout.
+func (v Value) String() string {
+	switch v.Type {
+	case TypeNull:
+		return "null"
+	case TypeInt:
+		return strconv.FormatInt(v.I, 10)
+	case TypeFloat:
+		if math.IsNaN(v.F) {
+			return "NaN"
+		}
+		return strconv.FormatFloat(v.F, 'g', -1, 64)
+	case TypeString:
+		return v.S
+	case TypeBool:
+		return strconv.FormatBool(v.B)
+	case TypeTime:
+		if v.T.Hour() == 0 && v.T.Minute() == 0 && v.T.Second() == 0 {
+			return v.T.Format(TimeLayout)
+		}
+		return v.T.Format(TimeLayoutFull)
+	default:
+		return "?"
+	}
+}
+
+// Compare orders two values. Nulls sort before everything; values of
+// different non-null types are coerced numerically when possible and
+// otherwise ordered by their string rendering. It returns -1, 0, or 1.
+func Compare(a, b Value) int {
+	an, bn := a.IsNull(), b.IsNull()
+	switch {
+	case an && bn:
+		return 0
+	case an:
+		return -1
+	case bn:
+		return 1
+	}
+	if a.Type == b.Type {
+		switch a.Type {
+		case TypeInt:
+			return cmpInt(a.I, b.I)
+		case TypeFloat:
+			return cmpFloat(a.F, b.F)
+		case TypeString:
+			return strings.Compare(a.S, b.S)
+		case TypeBool:
+			return cmpInt(b2i(a.B), b2i(b.B))
+		case TypeTime:
+			switch {
+			case a.T.Before(b.T):
+				return -1
+			case a.T.After(b.T):
+				return 1
+			default:
+				return 0
+			}
+		}
+	}
+	if af, ok := a.AsFloat(); ok {
+		if bf, ok2 := b.AsFloat(); ok2 {
+			return cmpFloat(af, bf)
+		}
+	}
+	return strings.Compare(a.String(), b.String())
+}
+
+// Equal reports whether two values compare equal under Compare.
+func Equal(a, b Value) bool { return Compare(a, b) == 0 }
+
+func cmpInt(a, b int64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func cmpFloat(a, b float64) int {
+	switch {
+	case a < b:
+		return -1
+	case a > b:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func b2i(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// ParseValue parses a string into the most specific Value it can represent:
+// empty and "null" parse as null, then bool, int, float, date, and finally
+// string. This drives CSV type inference and GEL literal parsing.
+func ParseValue(s string) Value {
+	trimmed := strings.TrimSpace(s)
+	if trimmed == "" || strings.EqualFold(trimmed, "null") || strings.EqualFold(trimmed, "nan") {
+		return Null
+	}
+	switch strings.ToLower(trimmed) {
+	case "true":
+		return Bool(true)
+	case "false":
+		return Bool(false)
+	}
+	if i, err := strconv.ParseInt(trimmed, 10, 64); err == nil {
+		return Int(i)
+	}
+	if f, err := strconv.ParseFloat(trimmed, 64); err == nil {
+		return Float(f)
+	}
+	if t, err := ParseTime(trimmed); err == nil {
+		return Time(t)
+	}
+	return Str(s)
+}
+
+// ParseTime parses the date formats DataChat accepts: 2006-01-02,
+// 2006-01-02 15:04:05, 01-02-2006, and 01/02/2006.
+func ParseTime(s string) (time.Time, error) {
+	for _, layout := range []string{TimeLayout, TimeLayoutFull, "01-02-2006", "01/02/2006", time.RFC3339} {
+		if t, err := time.Parse(layout, s); err == nil {
+			return t, nil
+		}
+	}
+	return time.Time{}, fmt.Errorf("dataset: cannot parse %q as a date", s)
+}
+
+// Coerce converts v to the target type when a lossless or conventional
+// conversion exists (int↔float, anything→string, string→parsed). It returns
+// false when no sensible conversion exists.
+func Coerce(v Value, t Type) (Value, bool) {
+	if v.IsNull() {
+		return Null, true
+	}
+	if v.Type == t {
+		return v, true
+	}
+	switch t {
+	case TypeFloat:
+		if f, ok := v.AsFloat(); ok {
+			return Float(f), true
+		}
+	case TypeInt:
+		if v.Type == TypeFloat && v.F == math.Trunc(v.F) {
+			return Int(int64(v.F)), true
+		}
+		if i, ok := v.AsInt(); ok && v.Type != TypeFloat {
+			return Int(i), true
+		}
+	case TypeString:
+		return Str(v.String()), true
+	case TypeBool:
+		if v.Type == TypeInt {
+			return Bool(v.I != 0), true
+		}
+	case TypeTime:
+		if v.Type == TypeString {
+			if tm, err := ParseTime(v.S); err == nil {
+				return Time(tm), true
+			}
+		}
+	}
+	return Null, false
+}
+
+// CommonType returns the narrowest type that can represent both inputs:
+// equal types stay, int+float widens to float, null defers to the other,
+// and anything else falls back to string.
+func CommonType(a, b Type) Type {
+	if a == b {
+		return a
+	}
+	if a == TypeNull {
+		return b
+	}
+	if b == TypeNull {
+		return a
+	}
+	if a.Numeric() && b.Numeric() {
+		return TypeFloat
+	}
+	return TypeString
+}

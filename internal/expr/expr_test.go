@@ -1,0 +1,327 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"datachat/internal/dataset"
+)
+
+func mustEval(t *testing.T, e Expr, env Env) dataset.Value {
+	t.Helper()
+	v, err := e.Eval(env)
+	if err != nil {
+		t.Fatalf("Eval(%s): %v", e, err)
+	}
+	return v
+}
+
+func TestArithmetic(t *testing.T) {
+	env := MapEnv{"x": dataset.Int(10), "y": dataset.Float(2.5)}
+	cases := []struct {
+		e    Expr
+		want dataset.Value
+	}{
+		{Bin(OpAdd, Column("x"), Lit(dataset.Int(5))), dataset.Int(15)},
+		{Bin(OpSub, Column("x"), Lit(dataset.Int(3))), dataset.Int(7)},
+		{Bin(OpMul, Column("x"), Column("y")), dataset.Float(25)},
+		{Bin(OpDiv, Column("x"), Lit(dataset.Int(4))), dataset.Float(2.5)},
+		{Bin(OpMod, Column("x"), Lit(dataset.Int(3))), dataset.Int(1)},
+		{Neg(Column("x")), dataset.Int(-10)},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.e, env); !dataset.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDivisionByZeroIsNull(t *testing.T) {
+	v := mustEval(t, Bin(OpDiv, Lit(dataset.Int(1)), Lit(dataset.Int(0))), nil)
+	if !v.IsNull() {
+		t.Errorf("1/0 = %v, want null", v)
+	}
+	v = mustEval(t, Bin(OpMod, Lit(dataset.Int(1)), Lit(dataset.Int(0))), nil)
+	if !v.IsNull() {
+		t.Errorf("1%%0 = %v, want null", v)
+	}
+}
+
+func TestComparisons(t *testing.T) {
+	env := MapEnv{"a": dataset.Int(3), "s": dataset.Str("cat")}
+	cases := []struct {
+		e    Expr
+		want bool
+	}{
+		{Bin(OpEq, Column("a"), Lit(dataset.Int(3))), true},
+		{Bin(OpNe, Column("a"), Lit(dataset.Int(3))), false},
+		{Bin(OpLt, Column("a"), Lit(dataset.Int(4))), true},
+		{Bin(OpGe, Column("a"), Lit(dataset.Float(3.0))), true},
+		{Bin(OpEq, Column("s"), Lit(dataset.Str("cat"))), true},
+		{Bin(OpGt, Column("s"), Lit(dataset.Str("bat"))), true},
+	}
+	for _, c := range cases {
+		if got := mustEval(t, c.e, env); got.B != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestNullPropagation(t *testing.T) {
+	env := MapEnv{"n": dataset.Null, "x": dataset.Int(1)}
+	for _, e := range []Expr{
+		Bin(OpAdd, Column("n"), Column("x")),
+		Bin(OpEq, Column("n"), Column("x")),
+		Bin(OpLt, Column("n"), Column("x")),
+		Neg(Column("n")),
+	} {
+		if got := mustEval(t, e, env); !got.IsNull() {
+			t.Errorf("%s = %v, want null", e, got)
+		}
+	}
+}
+
+func TestThreeValuedLogic(t *testing.T) {
+	tru := Lit(dataset.Bool(true))
+	fls := Lit(dataset.Bool(false))
+	nul := Lit(dataset.Null)
+	cases := []struct {
+		e      Expr
+		isNull bool
+		want   bool
+	}{
+		{Bin(OpAnd, fls, nul), false, false}, // false AND null = false
+		{Bin(OpAnd, nul, fls), false, false},
+		{Bin(OpAnd, tru, nul), true, false}, // true AND null = null
+		{Bin(OpOr, tru, nul), false, true},  // true OR null = true
+		{Bin(OpOr, nul, tru), false, true},
+		{Bin(OpOr, fls, nul), true, false}, // false OR null = null
+		{Bin(OpAnd, tru, tru), false, true},
+		{Bin(OpOr, fls, fls), false, false},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if c.isNull {
+			if !got.IsNull() {
+				t.Errorf("%s = %v, want null", c.e, got)
+			}
+		} else if got.IsNull() || got.B != c.want {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestLike(t *testing.T) {
+	cases := []struct {
+		s, pattern string
+		want       bool
+	}{
+		{"hello", "hello", true},
+		{"hello", "h%", true},
+		{"hello", "%llo", true},
+		{"hello", "h_llo", true},
+		{"hello", "h_lo", false},
+		{"hello", "%", true},
+		{"", "%", true},
+		{"", "_", false},
+		{"HELLO", "hello", true}, // case-insensitive
+		{"abc", "%b%", true},
+	}
+	for _, c := range cases {
+		e := Bin(OpLike, Lit(dataset.Str(c.s)), Lit(dataset.Str(c.pattern)))
+		if got := mustEval(t, e, nil); got.B != c.want {
+			t.Errorf("%q LIKE %q = %v, want %v", c.s, c.pattern, got.B, c.want)
+		}
+	}
+}
+
+func TestIsNullInBetween(t *testing.T) {
+	env := MapEnv{"n": dataset.Null, "x": dataset.Int(5)}
+	if got := mustEval(t, &IsNull{Operand: Column("n")}, env); !got.B {
+		t.Error("null IS NULL should be true")
+	}
+	if got := mustEval(t, &IsNull{Operand: Column("x"), Negated: true}, env); !got.B {
+		t.Error("5 IS NOT NULL should be true")
+	}
+	in := &In{Operand: Column("x"), List: []Expr{Lit(dataset.Int(1)), Lit(dataset.Int(5))}}
+	if got := mustEval(t, in, env); !got.B {
+		t.Error("5 IN (1,5) should be true")
+	}
+	notIn := &In{Operand: Column("x"), List: []Expr{Lit(dataset.Int(1))}, Negated: true}
+	if got := mustEval(t, notIn, env); !got.B {
+		t.Error("5 NOT IN (1) should be true")
+	}
+	// x IN (1, null) is null (unknown) when no match.
+	inNull := &In{Operand: Column("x"), List: []Expr{Lit(dataset.Int(1)), Lit(dataset.Null)}}
+	if got := mustEval(t, inNull, env); !got.IsNull() {
+		t.Errorf("5 IN (1, null) = %v, want null", got)
+	}
+	between := &Between{Operand: Column("x"), Lo: Lit(dataset.Int(1)), Hi: Lit(dataset.Int(10))}
+	if got := mustEval(t, between, env); !got.B {
+		t.Error("5 BETWEEN 1 AND 10 should be true")
+	}
+	notBetween := &Between{Operand: Column("x"), Lo: Lit(dataset.Int(6)), Hi: Lit(dataset.Int(10)), Negated: true}
+	if got := mustEval(t, notBetween, env); !got.B {
+		t.Error("5 NOT BETWEEN 6 AND 10 should be true")
+	}
+}
+
+func TestCaseExpr(t *testing.T) {
+	e := &Case{
+		Whens: []When{
+			{Cond: Bin(OpLt, Column("x"), Lit(dataset.Int(0))), Result: Lit(dataset.Str("neg"))},
+			{Cond: Bin(OpEq, Column("x"), Lit(dataset.Int(0))), Result: Lit(dataset.Str("zero"))},
+		},
+		Else: Lit(dataset.Str("pos")),
+	}
+	for x, want := range map[int64]string{-3: "neg", 0: "zero", 9: "pos"} {
+		got := mustEval(t, e, MapEnv{"x": dataset.Int(x)})
+		if got.S != want {
+			t.Errorf("case(%d) = %v, want %s", x, got, want)
+		}
+	}
+	noElse := &Case{Whens: []When{{Cond: Lit(dataset.Bool(false)), Result: Lit(dataset.Int(1))}}}
+	if got := mustEval(t, noElse, nil); !got.IsNull() {
+		t.Errorf("case with no match and no else = %v, want null", got)
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	cases := []struct {
+		e    Expr
+		want dataset.Value
+	}{
+		{Func("ABS", Lit(dataset.Int(-4))), dataset.Int(4)},
+		{Func("ABS", Lit(dataset.Float(-4.5))), dataset.Float(4.5)},
+		{Func("ROUND", Lit(dataset.Float(2.567)), Lit(dataset.Int(2))), dataset.Float(2.57)},
+		{Func("FLOOR", Lit(dataset.Float(2.9))), dataset.Float(2)},
+		{Func("CEIL", Lit(dataset.Float(2.1))), dataset.Float(3)},
+		{Func("SQRT", Lit(dataset.Int(16))), dataset.Float(4)},
+		{Func("POW", Lit(dataset.Int(2)), Lit(dataset.Int(10))), dataset.Float(1024)},
+		{Func("UPPER", Lit(dataset.Str("abc"))), dataset.Str("ABC")},
+		{Func("LOWER", Lit(dataset.Str("ABC"))), dataset.Str("abc")},
+		{Func("LENGTH", Lit(dataset.Str("hello"))), dataset.Int(5)},
+		{Func("TRIM", Lit(dataset.Str("  x "))), dataset.Str("x")},
+		{Func("CONCAT", Lit(dataset.Str("a")), Lit(dataset.Int(1))), dataset.Str("a1")},
+		{Func("REPLACE", Lit(dataset.Str("aba")), Lit(dataset.Str("a")), Lit(dataset.Str("c"))), dataset.Str("cbc")},
+		{Func("SUBSTR", Lit(dataset.Str("hello")), Lit(dataset.Int(2)), Lit(dataset.Int(3))), dataset.Str("ell")},
+		{Func("SUBSTR", Lit(dataset.Str("hello")), Lit(dataset.Int(4))), dataset.Str("lo")},
+		{Func("COALESCE", Lit(dataset.Null), Lit(dataset.Int(7))), dataset.Int(7)},
+		{Func("NULLIF", Lit(dataset.Int(3)), Lit(dataset.Int(3))), dataset.Null},
+		{Func("NULLIF", Lit(dataset.Int(3)), Lit(dataset.Int(4))), dataset.Int(3)},
+		{Func("IF", Lit(dataset.Bool(true)), Lit(dataset.Int(1)), Lit(dataset.Int(2))), dataset.Int(1)},
+		{Func("SIGN", Lit(dataset.Int(-9))), dataset.Int(-1)},
+		{Func("CAST", Lit(dataset.Str("42")), Lit(dataset.Str("int"))), dataset.Null}, // string "42" won't coerce to int directly
+		{Func("CAST", Lit(dataset.Int(42)), Lit(dataset.Str("string"))), dataset.Str("42")},
+	}
+	for _, c := range cases {
+		got := mustEval(t, c.e, nil)
+		if c.want.IsNull() {
+			if !got.IsNull() {
+				t.Errorf("%s = %v, want null", c.e, got)
+			}
+			continue
+		}
+		if !dataset.Equal(got, c.want) {
+			t.Errorf("%s = %v, want %v", c.e, got, c.want)
+		}
+	}
+}
+
+func TestDateFunctions(t *testing.T) {
+	d, _ := dataset.ParseTime("2021-07-15")
+	env := MapEnv{"d": dataset.Time(d)}
+	if got := mustEval(t, Func("YEAR", Column("d")), env); got.I != 2021 {
+		t.Errorf("YEAR = %v", got)
+	}
+	if got := mustEval(t, Func("MONTH", Column("d")), env); got.I != 7 {
+		t.Errorf("MONTH = %v", got)
+	}
+	if got := mustEval(t, Func("DAY", Column("d")), env); got.I != 15 {
+		t.Errorf("DAY = %v", got)
+	}
+	// String dates coerce.
+	if got := mustEval(t, Func("YEAR", Lit(dataset.Str("1999-12-31"))), nil); got.I != 1999 {
+		t.Errorf("YEAR(string) = %v", got)
+	}
+}
+
+func TestUnknownFunctionAndColumn(t *testing.T) {
+	if _, err := Func("NOPE", Lit(dataset.Int(1))).Eval(nil); err == nil {
+		t.Error("unknown function should error")
+	}
+	if _, err := Column("missing").Eval(MapEnv{}); err == nil {
+		t.Error("unknown column should error")
+	}
+}
+
+func TestColumnsCollection(t *testing.T) {
+	e := Bin(OpAnd,
+		Bin(OpGt, Column("a"), Lit(dataset.Int(1))),
+		&In{Operand: Column("b"), List: []Expr{Column("c")}},
+	)
+	cols := e.Columns(nil)
+	want := "a,b,c"
+	if got := strings.Join(cols, ","); got != want {
+		t.Errorf("Columns = %s, want %s", got, want)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	e := Bin(OpAnd,
+		Bin(OpGe, Column("age"), Lit(dataset.Int(21))),
+		Bin(OpLike, Column("name"), Lit(dataset.Str("a%"))),
+	)
+	want := "((age >= 21) AND (name LIKE 'a%'))"
+	if got := e.String(); got != want {
+		t.Errorf("String = %s, want %s", got, want)
+	}
+	quoted := Column("odd name")
+	if got := quoted.String(); got != `"odd name"` {
+		t.Errorf("quoted column = %s", got)
+	}
+}
+
+func TestLikeMatchProperty(t *testing.T) {
+	// Property: every string matches itself and the universal pattern.
+	f := func(raw string) bool {
+		s := strings.ToLower(strings.Map(func(r rune) rune {
+			if r == '%' || r == '_' {
+				return 'x'
+			}
+			return r
+		}, raw))
+		return likeMatch(s, s) && likeMatch(s, "%")
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestArithCommutativityProperty(t *testing.T) {
+	f := func(a, b int32) bool {
+		x, y := dataset.Int(int64(a)), dataset.Int(int64(b))
+		sum1, err1 := Bin(OpAdd, Lit(x), Lit(y)).Eval(nil)
+		sum2, err2 := Bin(OpAdd, Lit(y), Lit(x)).Eval(nil)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return dataset.Equal(sum1, sum2)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEvalBool(t *testing.T) {
+	if ok, err := EvalBool(Lit(dataset.Null), nil); err != nil || ok {
+		t.Error("null predicate should reject")
+	}
+	if ok, err := EvalBool(Lit(dataset.Bool(true)), nil); err != nil || !ok {
+		t.Error("true predicate should accept")
+	}
+	if ok, err := EvalBool(Lit(dataset.Int(0)), nil); err != nil || ok {
+		t.Error("0 predicate should reject")
+	}
+}

@@ -1,0 +1,75 @@
+package gel
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// TestParseNeverPanics feeds quasi-random sentences assembled from grammar
+// vocabulary and junk into the parser: it must return an invocation or an
+// error, never panic — console input is arbitrary.
+func TestParseNeverPanics(t *testing.T) {
+	p := parser(t)
+	vocab := []string{
+		"keep", "the", "rows", "columns", "where", "compute", "of", "for",
+		"each", "and", "call", "computed", "load", "data", "from", "url",
+		"visualize", "by", "plot", "a", "chart", "with", "x-axis", ",",
+		"predict", "time", "series", "measure", "next", "values", "'quoted",
+		"{", "}", "(", "12", "0.5", "-3", "...", "ünïcode", "", "sort",
+	}
+	f := func(picks []uint8) bool {
+		var sentence string
+		for i, pick := range picks {
+			if i > 16 {
+				break
+			}
+			sentence += vocab[int(pick)%len(vocab)] + " "
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Parse(%q) panicked: %v", sentence, r)
+			}
+		}()
+		_, _ = p.Parse(sentence)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestSuggestNeverPanics does the same for autocomplete prefixes.
+func TestSuggestNeverPanics(t *testing.T) {
+	p := parser(t)
+	f := func(prefix string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("Suggest(%q) panicked: %v", prefix, r)
+			}
+		}()
+		_ = p.Suggest(prefix, []string{"a", "b"})
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestTranslateConditionNeverPanics covers the friendly-phrase translator.
+func TestTranslateConditionNeverPanics(t *testing.T) {
+	p := parser(t)
+	f := func(cond string) bool {
+		defer func() {
+			if r := recover(); r != nil {
+				t.Errorf("TranslateCondition(%q) panicked: %v", cond, r)
+			}
+		}()
+		_ = p.TranslateCondition(cond)
+		_ = p.TranslateCondition("DATE is " + cond)
+		_ = p.TranslateCondition("x is between the dates " + cond + " to " + cond)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

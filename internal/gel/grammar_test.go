@@ -1,0 +1,125 @@
+package gel
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestGrammarConsistency cross-checks the GEL grammar against the skill
+// registry: every template must target a real skill, compile cleanly, and
+// only capture slots that are declared parameters of the skill (or the
+// runner-level pseudo-slots).
+func TestGrammarConsistency(t *testing.T) {
+	pseudo := map[string]bool{"inputs": true, "version": true}
+	covered := map[string]bool{}
+	for _, entry := range grammar {
+		def, err := reg.Lookup(entry.skill)
+		if err != nil {
+			t.Errorf("grammar targets unknown skill %q", entry.skill)
+			continue
+		}
+		covered[def.Name] = true
+		pat, err := compilePattern(entry.skill, entry.template)
+		if err != nil {
+			t.Errorf("template %q does not compile: %v", entry.template, err)
+			continue
+		}
+		params := map[string]bool{}
+		for _, p := range def.Params {
+			params[p.Name] = true
+		}
+		for _, seg := range pat.segments {
+			if seg.slot == "" {
+				continue
+			}
+			if !params[seg.slot] && !pseudo[seg.slot] {
+				t.Errorf("template %q captures %q, which %s does not declare",
+					entry.template, seg.slot, def.Name)
+			}
+		}
+		for k := range entry.extra {
+			if !params[k] {
+				t.Errorf("template %q implies %q, which %s does not declare",
+					entry.template, k, def.Name)
+			}
+		}
+	}
+	// Compute has a custom parser; count it as covered.
+	covered["Compute"] = true
+	// Every skill with a GEL template should be reachable from a sentence.
+	var missing []string
+	for _, name := range reg.Names() {
+		def, _ := reg.Lookup(name)
+		if def.GEL == "" {
+			continue
+		}
+		if !covered[name] {
+			missing = append(missing, name)
+		}
+	}
+	if len(missing) > 0 {
+		t.Errorf("skills with GEL templates but no grammar entry: %s", strings.Join(missing, ", "))
+	}
+}
+
+// TestEveryGrammarTemplateParsesItsOwnShape instantiates each template with
+// placeholder values and checks the parser maps the sentence back to the
+// intended skill — the grammar's own round trip.
+func TestEveryGrammarTemplateParsesItsOwnShape(t *testing.T) {
+	p := parser(t)
+	fill := func(template string) string {
+		out := template
+		replacements := map[string]string{
+			"{condition:rest}":  "x > 1",
+			"{formula:rest}":    "x + 1",
+			"{text:rest}":       "Hello",
+			"{on:rest}":         "a.id = b.id",
+			"{query:rest}":      "SELECT 1 AS one",
+			"{measure:rest}":    "sum of x",
+			"{meaning:rest}":    "x > 2",
+			"{filter:rest}":     "x > 3",
+			"{columns:list}":    "colA, colB",
+			"{inputs:list}":     "ds1 and ds2",
+			"{by:list}":         "colA, colB",
+			"{features:list}":   "colA, colB",
+			"{count:number}":    "5",
+			"{steps:number}":    "5",
+			"{k:number}":        "3",
+			"{size:number}":     "10",
+			"{rate:number}":     "0.1",
+			"{fraction:number}": "0.5",
+			"{version:number}":  "1",
+		}
+		for slot, value := range replacements {
+			out = strings.ReplaceAll(out, slot, value)
+		}
+		// Remaining generic word slots.
+		for strings.Contains(out, "{") {
+			start := strings.IndexByte(out, '{')
+			end := strings.IndexByte(out, '}')
+			if end < start {
+				break
+			}
+			out = out[:start] + "thing" + out[end+1:]
+		}
+		return out
+	}
+	for _, entry := range grammar {
+		sentence := fill(entry.template)
+		inv, err := p.Parse(sentence)
+		if err != nil {
+			t.Errorf("template %q → %q does not parse: %v", entry.template, sentence, err)
+			continue
+		}
+		if inv.Skill != entry.skill {
+			// Earlier templates may shadow more general ones for the same
+			// surface; only flag cross-skill captures.
+			def1, _ := reg.Lookup(inv.Skill)
+			def2, _ := reg.Lookup(entry.skill)
+			if def1.Name != def2.Name {
+				t.Errorf("template %q parsed as %s, want %s (sentence %q)",
+					entry.template, inv.Skill, entry.skill, sentence)
+			}
+		}
+	}
+}

@@ -1,0 +1,448 @@
+package gel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+// grammarEntry binds a sentence template to a skill, with extra implied
+// arguments (e.g. the "in descending order" variant of SortRows).
+type grammarEntry struct {
+	skill    string
+	template string
+	extra    skills.Args
+}
+
+// grammar is the GEL sentence grammar: the first matching template wins, so
+// more specific templates come first.
+var grammar = []grammarEntry{
+	{"LoadData", "load data from the url {source}", nil},
+	{"LoadData", "load data from the file {source}", nil},
+	{"LoadTable", "load the table {table} from the database {database}", nil},
+	{"UseDataset", "use the dataset {dataset} , version {version:number}", nil},
+	{"UseDataset", "use the dataset {dataset}", nil},
+	{"SampleTable", "sample {rate:number} of the table {table} from the database {database}", nil},
+	{"CreateSnapshot", "create a snapshot {name} of the table {table} from the database {database}", nil},
+	{"UseSnapshot", "use the snapshot {name}", nil},
+	{"RefreshSnapshot", "refresh the snapshot {name} from the database {database}", nil},
+	{"KeepRows", "keep the rows where {condition:rest}", nil},
+	{"DropRows", "drop the rows where {condition:rest}", nil},
+	{"KeepColumns", "keep the columns {columns:list}", nil},
+	{"DropColumns", "drop the columns {columns:list}", nil},
+	{"RenameColumn", "rename the column {column} to {to}", nil},
+	{"NewColumn", "create a new column {name} with text {text:rest}", nil},
+	{"NewColumn", "create a new column {name} as {formula:rest}", nil},
+	{"NewColumn", "create a new column {name} with {formula:rest}", nil},
+	{"ChangeType", "change the type of {column} to {type}", nil},
+	{"FillNull", "fill the null values in {column} with {value}", nil},
+	{"ReplaceValues", "replace {from} with {to} in the column {column}", nil},
+	{"SortRows", "sort the rows by {columns:list} in descending order", skills.Args{"descending": true}},
+	{"SortRows", "sort the rows by {columns:list}", nil},
+	{"LimitRows", "limit the data to {count:number} rows", nil},
+	{"SampleRows", "sample {fraction:number} of the rows", nil},
+	{"DistinctRows", "remove duplicate rows over {columns:list}", nil},
+	{"DistinctRows", "remove duplicate rows", nil},
+	{"Concatenate", "concatenate the datasets {inputs:list} remove all duplicates", skills.Args{"dedupe": true}},
+	{"Concatenate", "concatenate the datasets {inputs:list}", nil},
+	{"JoinDatasets", "join the datasets {inputs:list} on {on:rest}", nil},
+	{"Pivot", "pivot {columns} against {rows} computing {measure:rest}", nil},
+	{"Bin", "create bins of size {size:number} on {column}", nil},
+	{"ExtractDatePart", "extract the {part} from {column}", nil},
+	{"DescribeColumn", "describe the column {column}", nil},
+	{"DescribeDataset", "describe the dataset", nil},
+	{"ShowDataset", "show the dataset", nil},
+	{"CountRows", "count the rows", nil},
+	{"ListDatasets", "list the datasets", nil},
+	{"Correlate", "correlate {column1} with {column2}", nil},
+	{"TopValues", "show the top values of {column}", nil},
+	{"TrainModel", "train a model to predict {target} using {features:list}", nil},
+	{"TrainModel", "train a {model} model to predict {target}", nil},
+	{"TrainModel", "train a model to predict {target}", nil},
+	{"PredictWithModel", "predict with the model {model} using {features:list}", nil},
+	{"PredictTimeSeries", "predict time series with measure columns {measure} for the next {steps:number} values of {time}", nil},
+	{"ClusterRows", "cluster the rows into {k:number} groups using {columns:list}", nil},
+	{"DetectOutliers", "detect outliers in {column} using {method}", nil},
+	{"DetectOutliers", "detect outliers in {column}", nil},
+	{"EvaluateModel", "evaluate the model {model} against {target} using {features:list}", nil},
+	{"ExplainModel", "explain the model {model}", nil},
+	{"RunSQL", "run the sql query {query:rest}", nil},
+	{"SaveArtifact", "save this as {name}", nil},
+	{"ShareArtifact", "share the artifact {name} with {with}", nil},
+	{"ShareSession", "share this session with {with}", nil},
+	{"PublishToInsightsBoard", "publish {artifact} to the insights board {board}", nil},
+	{"AddComment", "comment: {text:rest}", nil},
+	{"ExportCSV", "export the data to {file}", nil},
+	{"Define", "define {phrase} as {meaning:rest}", nil},
+	{"PlotChart", "plot a {chart} chart with the x-axis {x} , the y-axis {y} , for each {for_each}", nil},
+	{"PlotChart", "plot a {chart} chart with the x-axis {x} , the y-axis {y}", nil},
+	{"PlotChart", "plot a {chart} chart with the x-axis {x}", nil},
+	{"Visualize", "visualize {kpi} by {by:list} where {filter:rest}", nil},
+	{"Visualize", "visualize {kpi} by {by:list}", nil},
+	{"Visualize", "visualize {kpi} where {filter:rest}", nil},
+	{"Visualize", "visualize {kpi}", nil},
+}
+
+// Parser parses GEL sentences into skill invocations.
+type Parser struct {
+	// Registry validates parsed invocations.
+	Registry *skills.Registry
+	// Now anchors relative date phrases ("Today - 10 years"). The zero
+	// value selects a fixed date so recipes replay deterministically.
+	Now time.Time
+
+	patterns []*pattern
+	extras   []skills.Args
+}
+
+// defaultNow pins relative dates when no clock is configured.
+var defaultNow = time.Date(2023, 6, 18, 0, 0, 0, 0, time.UTC) // SIGMOD'23 week
+
+// NewParser compiles the grammar.
+func NewParser(reg *skills.Registry) (*Parser, error) {
+	p := &Parser{Registry: reg}
+	for _, entry := range grammar {
+		compiled, err := compilePattern(entry.skill, entry.template)
+		if err != nil {
+			return nil, err
+		}
+		p.patterns = append(p.patterns, compiled)
+		p.extras = append(p.extras, entry.extra)
+	}
+	return p, nil
+}
+
+// MustNewParser is NewParser for the static built-in grammar.
+func MustNewParser(reg *skills.Registry) *Parser {
+	p, err := NewParser(reg)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *Parser) now() time.Time {
+	if p.Now.IsZero() {
+		return defaultNow
+	}
+	return p.Now
+}
+
+// Parse converts one GEL sentence into a skill invocation. Dataset inputs
+// named in the sentence (Concatenate, Join) land in Inv.Inputs; other
+// skills leave Inputs empty for the runner to wire to the current dataset.
+func (p *Parser) Parse(line string) (skills.Invocation, error) {
+	tokens := tokenize(strings.TrimSpace(line))
+	if len(tokens) == 0 {
+		return skills.Invocation{}, fmt.Errorf("gel: empty sentence")
+	}
+	if strings.EqualFold(tokens[0], "compute") {
+		return p.parseCompute(tokens)
+	}
+	for i, pat := range p.patterns {
+		caps, ok := pat.match(tokens)
+		if !ok {
+			continue
+		}
+		inv := skills.Invocation{Skill: pat.skill, Args: skills.Args{}}
+		for k, v := range caps {
+			if k == "inputs" {
+				list, _ := v.([]string)
+				inv.Inputs = list
+				continue
+			}
+			inv.Args[k] = p.convertCapture(pat.skill, k, v)
+		}
+		for k, v := range p.extras[i] {
+			inv.Args[k] = v
+		}
+		if _, err := p.Registry.Lookup(inv.Skill); err != nil {
+			return skills.Invocation{}, err
+		}
+		return inv, nil
+	}
+	return skills.Invocation{}, fmt.Errorf("gel: cannot understand %q; try 'Keep the rows where …' or another skill sentence", line)
+}
+
+// convertCapture post-processes captured values: numbers become numeric,
+// conditions run through the friendly-phrase translator, and measure
+// strings stay verbatim for AggSpecs to parse.
+func (p *Parser) convertCapture(skill, key string, v any) any {
+	s, isStr := v.(string)
+	if !isStr {
+		return v
+	}
+	switch key {
+	case "count", "steps", "k", "version", "bins":
+		if n, err := strconv.Atoi(s); err == nil {
+			return n
+		}
+		return s
+	case "rate", "fraction", "size", "threshold":
+		s = strings.TrimSuffix(s, "%")
+		if f, err := strconv.ParseFloat(s, 64); err == nil {
+			if strings.HasSuffix(fmt.Sprint(v), "%") {
+				return f / 100
+			}
+			return f
+		}
+		return s
+	case "condition", "filter":
+		return p.TranslateCondition(s)
+	case "measure":
+		if skill == "Pivot" {
+			return s
+		}
+		return s
+	default:
+		return s
+	}
+}
+
+// parseCompute handles the irregular Compute sentence:
+//
+//	Compute the count of case_id and sum of amount for each a, b and call
+//	the computed columns X and Y
+func (p *Parser) parseCompute(tokens []string) (skills.Invocation, error) {
+	if len(tokens) < 2 || !strings.EqualFold(tokens[1], "the") {
+		return skills.Invocation{}, fmt.Errorf("gel: expected 'Compute the …'")
+	}
+	rest := tokens[2:]
+	// Split off the alias clause.
+	var aliases []string
+	if i := indexPhrase(rest, "and", "call", "the", "computed", "columns"); i >= 0 {
+		aliases = splitList(rest[i+5:])
+		rest = rest[:i]
+	}
+	// Split off the grouping clause.
+	var keys []string
+	if i := indexPhrase(rest, "for", "each"); i >= 0 {
+		keys = splitList(rest[i+2:])
+		rest = rest[:i]
+	}
+	// What remains is "func of column (and func of column)*".
+	var aggStrings []string
+	var cur []string
+	flush := func() {
+		if len(cur) > 0 {
+			aggStrings = append(aggStrings, strings.Join(cur, " "))
+			cur = nil
+		}
+	}
+	for _, tok := range rest {
+		if strings.EqualFold(tok, "and") || tok == "," {
+			flush()
+			continue
+		}
+		cur = append(cur, tok)
+	}
+	flush()
+	if len(aggStrings) == 0 {
+		return skills.Invocation{}, fmt.Errorf("gel: Compute needs at least one aggregate like 'count of case_id'")
+	}
+	// Attach aliases positionally.
+	aggs := make([]any, 0, len(aggStrings))
+	for i, s := range aggStrings {
+		if i < len(aliases) {
+			s += " as " + aliases[i]
+		}
+		aggs = append(aggs, s)
+	}
+	inv := skills.Invocation{Skill: "Compute", Args: skills.Args{"aggregates": aggs}}
+	if len(keys) > 0 {
+		inv.Args["for_each"] = keys
+	}
+	// Validate eagerly so bad sentences fail at parse time.
+	if _, err := inv.Args.AggSpecs("aggregates"); err != nil {
+		return skills.Invocation{}, fmt.Errorf("gel: %w", err)
+	}
+	return inv, nil
+}
+
+func indexPhrase(tokens []string, phrase ...string) int {
+	for i := 0; i+len(phrase) <= len(tokens); i++ {
+		match := true
+		for j, w := range phrase {
+			if !strings.EqualFold(tokens[i+j], w) {
+				match = false
+				break
+			}
+		}
+		if match {
+			return i
+		}
+	}
+	return -1
+}
+
+func splitList(tokens []string) []string {
+	var out []string
+	for _, tok := range tokens {
+		if tok == "," || strings.EqualFold(tok, "and") {
+			continue
+		}
+		out = append(out, strings.Trim(tok, `'"`))
+	}
+	return out
+}
+
+// TranslateCondition rewrites GEL's friendly condition phrases into SQL
+// expressions the engine evaluates:
+//
+//	DATE is between the dates 01-01-2005 to 12-31-2020
+//	DATE is after Today - 10 years
+//	amount is at least 100
+//
+// Anything it does not recognize passes through as a SQL expression.
+func (p *Parser) TranslateCondition(cond string) string {
+	tokens := tokenize(cond)
+	if len(tokens) >= 2 && strings.EqualFold(tokens[1], "is") {
+		col := tokens[0]
+		rest := tokens[2:]
+		switch {
+		case len(rest) >= 5 && strings.EqualFold(rest[0], "between") && strings.EqualFold(rest[1], "the") && strings.EqualFold(rest[2], "dates"):
+			// col is between the dates D1 to D2
+			if i := indexOfFold(rest, "to"); i > 3 {
+				d1 := p.resolveDate(strings.Join(rest[3:i], " "))
+				d2 := p.resolveDate(strings.Join(rest[i+1:], " "))
+				if d1 != "" && d2 != "" {
+					return fmt.Sprintf("%s BETWEEN '%s' AND '%s'", col, d1, d2)
+				}
+			}
+		case len(rest) >= 2 && strings.EqualFold(rest[0], "after"):
+			if d := p.resolveDate(strings.Join(rest[1:], " ")); d != "" {
+				return fmt.Sprintf("%s > '%s'", col, d)
+			}
+		case len(rest) >= 2 && strings.EqualFold(rest[0], "before"):
+			if d := p.resolveDate(strings.Join(rest[1:], " ")); d != "" {
+				return fmt.Sprintf("%s < '%s'", col, d)
+			}
+		case len(rest) >= 3 && strings.EqualFold(rest[0], "at") && strings.EqualFold(rest[1], "least"):
+			return fmt.Sprintf("%s >= %s", col, strings.Join(rest[2:], " "))
+		case len(rest) >= 3 && strings.EqualFold(rest[0], "at") && strings.EqualFold(rest[1], "most"):
+			return fmt.Sprintf("%s <= %s", col, strings.Join(rest[2:], " "))
+		case len(rest) >= 2 && strings.EqualFold(rest[0], "not") && !strings.EqualFold(rest[1], "null"):
+			return fmt.Sprintf("%s <> %s", col, quoteIfNeeded(strings.Join(rest[1:], " ")))
+		case len(rest) == 2 && strings.EqualFold(rest[0], "not") && strings.EqualFold(rest[1], "null"):
+			return col + " IS NOT NULL"
+		case len(rest) == 1 && strings.EqualFold(rest[0], "null"):
+			return col + " IS NULL"
+		case len(rest) >= 1:
+			return fmt.Sprintf("%s = %s", col, quoteIfNeeded(strings.Join(rest, " ")))
+		}
+	}
+	return cond
+}
+
+func indexOfFold(tokens []string, word string) int {
+	for i, tok := range tokens {
+		if strings.EqualFold(tok, word) {
+			return i
+		}
+	}
+	return -1
+}
+
+func quoteIfNeeded(s string) string {
+	if s == "" {
+		return "''"
+	}
+	if s[0] == '\'' {
+		return s
+	}
+	if looksNumeric(s) {
+		return s
+	}
+	if strings.EqualFold(s, "true") || strings.EqualFold(s, "false") {
+		return s
+	}
+	return "'" + strings.ReplaceAll(s, "'", "''") + "'"
+}
+
+// resolveDate turns a GEL date phrase into an ISO date, handling absolute
+// dates (several formats) and "Today [- N years|months|days]". Returns ""
+// when the phrase is not a date.
+func (p *Parser) resolveDate(phrase string) string {
+	phrase = strings.TrimSpace(phrase)
+	if t, err := dataset.ParseTime(phrase); err == nil {
+		return t.Format(dataset.TimeLayout)
+	}
+	tokens := tokenize(phrase)
+	if len(tokens) == 0 || !strings.EqualFold(tokens[0], "today") {
+		return ""
+	}
+	t := p.now()
+	if len(tokens) == 1 {
+		return t.Format(dataset.TimeLayout)
+	}
+	if len(tokens) != 4 || (tokens[1] != "-" && tokens[1] != "+") {
+		return ""
+	}
+	n, err := strconv.Atoi(tokens[2])
+	if err != nil {
+		return ""
+	}
+	if tokens[1] == "-" {
+		n = -n
+	}
+	switch strings.ToLower(strings.TrimSuffix(tokens[3], "s")) {
+	case "year":
+		t = t.AddDate(n, 0, 0)
+	case "month":
+		t = t.AddDate(0, n, 0)
+	case "day":
+		t = t.AddDate(0, 0, n)
+	default:
+		return ""
+	}
+	return t.Format(dataset.TimeLayout)
+}
+
+// Suggest returns autocomplete candidates for a partial GEL sentence
+// (Figure 3c): the next literal keywords of any pattern the prefix could
+// still match, plus column names when the cursor sits in a column slot.
+func (p *Parser) Suggest(prefix string, columns []string) []string {
+	tokens := tokenize(strings.TrimSpace(prefix))
+	seen := map[string]bool{}
+	var out []string
+	add := func(s string) {
+		if s != "" && !seen[s] {
+			seen[s] = true
+			out = append(out, s)
+		}
+	}
+	for _, pat := range p.patterns {
+		next, ok := pat.nextLiterals(tokens)
+		if !ok {
+			continue
+		}
+		if strings.HasPrefix(next, "<") {
+			// A slot: suggest columns for column-flavored slots.
+			slot := strings.Trim(next, "<>")
+			if isColumnSlot(slot) {
+				for _, c := range columns {
+					add(c)
+				}
+			} else {
+				add(next)
+			}
+			continue
+		}
+		add(next)
+	}
+	return out
+}
+
+func isColumnSlot(slot string) bool {
+	switch slot {
+	case "column", "columns", "column1", "column2", "x", "y", "for_each",
+		"kpi", "by", "target", "features", "measure", "time":
+		return true
+	default:
+		return false
+	}
+}

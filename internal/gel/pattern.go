@@ -1,0 +1,223 @@
+// Package gel implements Guided English Language (§1, §2.3): the controlled
+// natural language DataChat recipes are written in. It provides the
+// sentence grammar (one or more patterns per skill), a parser from GEL text
+// to skill invocations, friendly date/condition phrases, autocomplete for
+// the console (Figure 3c), and the IDE-like recipe stepper with breakpoints
+// (Figure 2a).
+package gel
+
+import (
+	"fmt"
+	"strings"
+)
+
+// slotKind types a pattern placeholder.
+type slotKind int
+
+const (
+	slotWord   slotKind = iota // one token
+	slotNumber                 // one numeric token
+	slotList                   // comma/and separated tokens until next literal
+	slotRest                   // everything to end of sentence
+)
+
+// segment is one element of a compiled pattern: a literal word or a slot.
+type segment struct {
+	literal string
+	slot    string
+	kind    slotKind
+}
+
+// pattern is a compiled GEL sentence template.
+type pattern struct {
+	skill    string
+	raw      string
+	segments []segment
+}
+
+// compilePattern parses a template like
+// "keep the rows where {condition:rest}" into segments.
+func compilePattern(skill, raw string) (*pattern, error) {
+	p := &pattern{skill: skill, raw: raw}
+	for _, tok := range strings.Fields(raw) {
+		if strings.HasPrefix(tok, "{") && strings.HasSuffix(tok, "}") {
+			body := tok[1 : len(tok)-1]
+			name, kindName := body, "word"
+			if i := strings.IndexByte(body, ':'); i >= 0 {
+				name, kindName = body[:i], body[i+1:]
+			}
+			var kind slotKind
+			switch kindName {
+			case "word":
+				kind = slotWord
+			case "number":
+				kind = slotNumber
+			case "list":
+				kind = slotList
+			case "rest":
+				kind = slotRest
+			default:
+				return nil, fmt.Errorf("gel: unknown slot kind %q in pattern %q", kindName, raw)
+			}
+			p.segments = append(p.segments, segment{slot: name, kind: kind})
+			continue
+		}
+		p.segments = append(p.segments, segment{literal: strings.ToLower(tok)})
+	}
+	return p, nil
+}
+
+// tokenize splits a GEL sentence into tokens, keeping quoted strings
+// together and treating commas as separators.
+func tokenize(s string) []string {
+	var tokens []string
+	var cur strings.Builder
+	inQuote := byte(0)
+	flush := func() {
+		if cur.Len() > 0 {
+			tokens = append(tokens, cur.String())
+			cur.Reset()
+		}
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		switch {
+		case inQuote != 0:
+			cur.WriteByte(c)
+			if c == inQuote {
+				inQuote = 0
+			}
+		case c == '\'' || c == '"':
+			inQuote = c
+			cur.WriteByte(c)
+		case c == ' ' || c == '\t':
+			flush()
+		case c == ',':
+			flush()
+			tokens = append(tokens, ",")
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return tokens
+}
+
+// match attempts to bind the pattern against tokens, returning captured
+// slot values. Lists absorb comma/"and"-separated tokens until the next
+// literal matches; rest absorbs everything remaining.
+func (p *pattern) match(tokens []string) (map[string]any, bool) {
+	caps := map[string]any{}
+	ti := 0
+	for si := 0; si < len(p.segments); si++ {
+		seg := p.segments[si]
+		switch {
+		case seg.literal != "":
+			if ti >= len(tokens) || !strings.EqualFold(tokens[ti], seg.literal) {
+				return nil, false
+			}
+			ti++
+		case seg.kind == slotRest:
+			if ti >= len(tokens) {
+				return nil, false
+			}
+			caps[seg.slot] = strings.Join(tokens[ti:], " ")
+			ti = len(tokens)
+		case seg.kind == slotWord, seg.kind == slotNumber:
+			if ti >= len(tokens) || tokens[ti] == "," {
+				return nil, false
+			}
+			if seg.kind == slotNumber && !looksNumeric(tokens[ti]) {
+				return nil, false
+			}
+			caps[seg.slot] = strings.Trim(tokens[ti], `'"`)
+			ti++
+		case seg.kind == slotList:
+			stop := func(tok string) bool {
+				// The list ends where the next literal segment begins.
+				for sj := si + 1; sj < len(p.segments); sj++ {
+					if p.segments[sj].literal != "" {
+						return strings.EqualFold(tok, p.segments[sj].literal)
+					}
+				}
+				return false
+			}
+			var items []string
+			for ti < len(tokens) && !stop(tokens[ti]) {
+				tok := tokens[ti]
+				if tok == "," || strings.EqualFold(tok, "and") {
+					ti++
+					continue
+				}
+				items = append(items, strings.Trim(tok, `'"`))
+				ti++
+			}
+			if len(items) == 0 {
+				return nil, false
+			}
+			caps[seg.slot] = items
+		}
+	}
+	if ti != len(tokens) {
+		return nil, false
+	}
+	return caps, true
+}
+
+func looksNumeric(tok string) bool {
+	if tok == "" {
+		return false
+	}
+	dot := false
+	for i := 0; i < len(tok); i++ {
+		c := tok[i]
+		switch {
+		case c >= '0' && c <= '9':
+		case c == '.' && !dot:
+			dot = true
+		case (c == '-' || c == '+') && i == 0 && len(tok) > 1:
+		case c == '%' && i == len(tok)-1:
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// nextLiterals returns the candidate continuations after the tokens consume
+// a prefix of the pattern: the next literal word, or a slot marker.
+func (p *pattern) nextLiterals(tokens []string) (string, bool) {
+	ti := 0
+	for si := 0; si < len(p.segments); si++ {
+		seg := p.segments[si]
+		if ti >= len(tokens) {
+			if seg.literal != "" {
+				return seg.literal, true
+			}
+			return "<" + seg.slot + ">", true
+		}
+		switch {
+		case seg.literal != "":
+			if !strings.EqualFold(tokens[ti], seg.literal) {
+				return "", false
+			}
+			ti++
+		case seg.kind == slotRest:
+			return "", false // already inside free text
+		case seg.kind == slotWord, seg.kind == slotNumber:
+			ti++
+		case seg.kind == slotList:
+			stopWord := ""
+			for sj := si + 1; sj < len(p.segments); sj++ {
+				if p.segments[sj].literal != "" {
+					stopWord = p.segments[sj].literal
+					break
+				}
+			}
+			for ti < len(tokens) && !strings.EqualFold(tokens[ti], stopWord) {
+				ti++
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,160 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// KMeansModel is a fitted k-means clustering.
+type KMeansModel struct {
+	Features  []string
+	Centroids [][]float64
+	Inertia   float64
+	Iters     int
+}
+
+// TrainKMeans clusters the matrix rows into k clusters with Lloyd's
+// algorithm (k-means++ seeding, deterministic by seed).
+func TrainKMeans(m *Matrix, k int, seed int64, maxIters int) (*KMeansModel, error) {
+	n := len(m.Rows)
+	if k <= 0 {
+		return nil, fmt.Errorf("ml: k must be positive, got %d", k)
+	}
+	if k > n {
+		return nil, fmt.Errorf("ml: k=%d exceeds %d rows", k, n)
+	}
+	if maxIters <= 0 {
+		maxIters = 100
+	}
+	rng := rand.New(rand.NewSource(seed))
+	centroids := seedPlusPlus(m.Rows, k, rng)
+	assign := make([]int, n)
+	var iters int
+	for iters = 0; iters < maxIters; iters++ {
+		changed := false
+		for i, row := range m.Rows {
+			best, bestDist := 0, math.Inf(1)
+			for c, centroid := range centroids {
+				if d := sqDist(row, centroid); d < bestDist {
+					best, bestDist = c, d
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed = true
+			}
+		}
+		if !changed && iters > 0 {
+			break
+		}
+		// Recompute centroids.
+		counts := make([]int, k)
+		next := make([][]float64, k)
+		for c := range next {
+			next[c] = make([]float64, len(m.Names))
+		}
+		for i, row := range m.Rows {
+			c := assign[i]
+			counts[c]++
+			for j, x := range row {
+				next[c][j] += x
+			}
+		}
+		for c := range next {
+			if counts[c] == 0 {
+				// Re-seed an empty cluster at a random point.
+				copy(next[c], m.Rows[rng.Intn(n)])
+				continue
+			}
+			for j := range next[c] {
+				next[c][j] /= float64(counts[c])
+			}
+		}
+		centroids = next
+	}
+	inertia := 0.0
+	for i, row := range m.Rows {
+		inertia += sqDist(row, centroids[assign[i]])
+	}
+	return &KMeansModel{Features: m.Names, Centroids: centroids, Inertia: inertia, Iters: iters}, nil
+}
+
+func seedPlusPlus(rows [][]float64, k int, rng *rand.Rand) [][]float64 {
+	centroids := make([][]float64, 0, k)
+	centroids = append(centroids, rows[rng.Intn(len(rows))])
+	for len(centroids) < k {
+		dists := make([]float64, len(rows))
+		total := 0.0
+		for i, row := range rows {
+			best := math.Inf(1)
+			for _, c := range centroids {
+				if d := sqDist(row, c); d < best {
+					best = d
+				}
+			}
+			dists[i] = best
+			total += best
+		}
+		if total == 0 {
+			centroids = append(centroids, rows[rng.Intn(len(rows))])
+			continue
+		}
+		target := rng.Float64() * total
+		acc := 0.0
+		pick := len(rows) - 1
+		for i, d := range dists {
+			acc += d
+			if acc >= target {
+				pick = i
+				break
+			}
+		}
+		centroids = append(centroids, rows[pick])
+	}
+	return centroids
+}
+
+func sqDist(a, b []float64) float64 {
+	total := 0.0
+	for i := range a {
+		d := a[i] - b[i]
+		total += d * d
+	}
+	return total
+}
+
+// Predict implements Model, returning the nearest centroid index per row.
+func (km *KMeansModel) Predict(features [][]float64) []float64 {
+	out := make([]float64, len(features))
+	for i, row := range features {
+		best, bestDist := 0, math.Inf(1)
+		for c, centroid := range km.Centroids {
+			if d := sqDist(row, centroid); d < bestDist {
+				best, bestDist = c, d
+			}
+		}
+		out[i] = float64(best)
+	}
+	return out
+}
+
+// Kind implements Model.
+func (km *KMeansModel) Kind() string { return "kmeans" }
+
+// Explain implements Model.
+func (km *KMeansModel) Explain() string {
+	return fmt.Sprintf("Clustered rows into %d groups over (%s); within-cluster variance %.4g after %d iterations",
+		len(km.Centroids), join(km.Features), km.Inertia, km.Iters)
+}
+
+func join(names []string) string {
+	out := ""
+	for i, n := range names {
+		if i > 0 {
+			out += ", "
+		}
+		out += n
+	}
+	return out
+}

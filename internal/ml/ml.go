@@ -1,0 +1,298 @@
+// Package ml is the machine-learning substrate behind DataChat's ML skills
+// (Table 1: "Train a model to predict <column>", outlier discovery, time
+// series prediction). It implements linear and logistic regression, k-means
+// clustering, decision trees, outlier detectors, and a trend+seasonal time
+// series forecaster — all from scratch on float64 matrices extracted from
+// dataset tables.
+package ml
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"datachat/internal/dataset"
+)
+
+// Model is a trained predictor over numeric feature vectors.
+type Model interface {
+	// Predict returns one prediction per feature row.
+	Predict(features [][]float64) []float64
+	// Kind names the algorithm (e.g. "linear-regression").
+	Kind() string
+	// Explain returns a human-readable description of what was learned —
+	// the GEL-facing model explanation from §2.3.
+	Explain() string
+}
+
+// Matrix is a design matrix with column names, extracted from a table.
+type Matrix struct {
+	// Names are the feature column names (after encoding).
+	Names []string
+	// Rows holds one feature vector per retained table row.
+	Rows [][]float64
+	// Target holds the target value per retained row (empty if no target).
+	Target []float64
+	// Kept maps matrix rows back to source table row indexes.
+	Kept []int
+	// Levels records label encodings for categorical columns.
+	Levels map[string][]string
+}
+
+// BuildMatrix extracts features (and optionally a target) from a table.
+// Numeric and bool columns pass through; string columns are label-encoded
+// with a recorded level order; time columns become unix seconds. Rows where
+// the target (or any feature) is null are dropped.
+func BuildMatrix(t *dataset.Table, features []string, target string) (*Matrix, error) {
+	if len(features) == 0 {
+		return nil, fmt.Errorf("ml: at least one feature column required")
+	}
+	m := &Matrix{Names: append([]string{}, features...), Levels: map[string][]string{}}
+	cols := make([]*dataset.Column, len(features))
+	encoders := make([]func(dataset.Value) (float64, bool), len(features))
+	for i, name := range features {
+		c, err := t.Column(name)
+		if err != nil {
+			return nil, err
+		}
+		cols[i] = c
+		encoders[i] = encoderFor(c, name, m.Levels)
+	}
+	var targetCol *dataset.Column
+	var targetEnc func(dataset.Value) (float64, bool)
+	if target != "" {
+		c, err := t.Column(target)
+		if err != nil {
+			return nil, err
+		}
+		targetCol = c
+		targetEnc = encoderFor(c, target, m.Levels)
+	}
+	for r := 0; r < t.NumRows(); r++ {
+		row := make([]float64, len(cols))
+		ok := true
+		for i, c := range cols {
+			v, valid := encoders[i](c.Value(r))
+			if !valid {
+				ok = false
+				break
+			}
+			row[i] = v
+		}
+		if !ok {
+			continue
+		}
+		var y float64
+		if targetCol != nil {
+			v, valid := targetEnc(targetCol.Value(r))
+			if !valid {
+				continue
+			}
+			y = v
+		}
+		m.Rows = append(m.Rows, row)
+		m.Kept = append(m.Kept, r)
+		if targetCol != nil {
+			m.Target = append(m.Target, y)
+		}
+	}
+	if len(m.Rows) == 0 {
+		return nil, fmt.Errorf("ml: no usable rows after dropping nulls")
+	}
+	return m, nil
+}
+
+// encoderFor returns a closure mapping values of the column to floats,
+// registering label levels for string columns.
+func encoderFor(c *dataset.Column, name string, levels map[string][]string) func(dataset.Value) (float64, bool) {
+	switch c.Type() {
+	case dataset.TypeString:
+		index := map[string]int{}
+		var order []string
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				continue
+			}
+			s := c.Value(i).S
+			if _, seen := index[s]; !seen {
+				index[s] = len(order)
+				order = append(order, s)
+			}
+		}
+		levels[name] = order
+		return func(v dataset.Value) (float64, bool) {
+			if v.IsNull() {
+				return 0, false
+			}
+			i, ok := index[v.S]
+			return float64(i), ok
+		}
+	case dataset.TypeTime:
+		return func(v dataset.Value) (float64, bool) {
+			if v.IsNull() {
+				return 0, false
+			}
+			return float64(v.T.Unix()), true
+		}
+	default:
+		return func(v dataset.Value) (float64, bool) { return v.AsFloat() }
+	}
+}
+
+// Split partitions matrix rows into train and test sets with the given test
+// fraction, shuffled deterministically by seed.
+func (m *Matrix) Split(testFrac float64, seed int64) (train, test *Matrix) {
+	n := len(m.Rows)
+	idx := rand.New(rand.NewSource(seed)).Perm(n)
+	nTest := int(float64(n) * testFrac)
+	take := func(ids []int) *Matrix {
+		out := &Matrix{Names: m.Names, Levels: m.Levels}
+		for _, i := range ids {
+			out.Rows = append(out.Rows, m.Rows[i])
+			out.Kept = append(out.Kept, m.Kept[i])
+			if len(m.Target) > 0 {
+				out.Target = append(out.Target, m.Target[i])
+			}
+		}
+		return out
+	}
+	return take(idx[nTest:]), take(idx[:nTest])
+}
+
+// RMSE returns the root mean squared error between predictions and truth.
+func RMSE(pred, truth []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return math.NaN()
+	}
+	ss := 0.0
+	for i := range pred {
+		d := pred[i] - truth[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(pred)))
+}
+
+// MAE returns the mean absolute error.
+func MAE(pred, truth []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return math.NaN()
+	}
+	total := 0.0
+	for i := range pred {
+		total += math.Abs(pred[i] - truth[i])
+	}
+	return total / float64(len(pred))
+}
+
+// R2 returns the coefficient of determination.
+func R2(pred, truth []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return math.NaN()
+	}
+	mean := 0.0
+	for _, y := range truth {
+		mean += y
+	}
+	mean /= float64(len(truth))
+	ssRes, ssTot := 0.0, 0.0
+	for i := range truth {
+		ssRes += (truth[i] - pred[i]) * (truth[i] - pred[i])
+		ssTot += (truth[i] - mean) * (truth[i] - mean)
+	}
+	if ssTot == 0 {
+		if ssRes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return 1 - ssRes/ssTot
+}
+
+// Accuracy returns the fraction of predictions whose rounded value matches
+// the truth — the classification metric for label-encoded targets.
+func Accuracy(pred, truth []float64) float64 {
+	if len(pred) == 0 || len(pred) != len(truth) {
+		return math.NaN()
+	}
+	hits := 0
+	for i := range pred {
+		if math.Round(pred[i]) == math.Round(truth[i]) {
+			hits++
+		}
+	}
+	return float64(hits) / float64(len(pred))
+}
+
+// describeWeights renders weights for Explain strings.
+func describeWeights(names []string, weights []float64, bias float64) string {
+	parts := make([]string, 0, len(names)+1)
+	for i, name := range names {
+		parts = append(parts, fmt.Sprintf("%.4g·%s", weights[i], name))
+	}
+	parts = append(parts, fmt.Sprintf("%.4g", bias))
+	return strings.Join(parts, " + ")
+}
+
+// solveLinearSystem solves A·x = b in place via Gaussian elimination with
+// partial pivoting. A is n×n, b length n. Returns false when singular.
+func solveLinearSystem(a [][]float64, b []float64) ([]float64, bool) {
+	n := len(a)
+	for col := 0; col < n; col++ {
+		// Pivot.
+		pivot := col
+		for r := col + 1; r < n; r++ {
+			if math.Abs(a[r][col]) > math.Abs(a[pivot][col]) {
+				pivot = r
+			}
+		}
+		if math.Abs(a[pivot][col]) < 1e-12 {
+			return nil, false
+		}
+		a[col], a[pivot] = a[pivot], a[col]
+		b[col], b[pivot] = b[pivot], b[col]
+		// Eliminate below.
+		for r := col + 1; r < n; r++ {
+			factor := a[r][col] / a[col][col]
+			for k := col; k < n; k++ {
+				a[r][k] -= factor * a[col][k]
+			}
+			b[r] -= factor * b[col]
+		}
+	}
+	x := make([]float64, n)
+	for r := n - 1; r >= 0; r-- {
+		sum := b[r]
+		for k := r + 1; k < n; k++ {
+			sum -= a[r][k] * x[k]
+		}
+		x[r] = sum / a[r][r]
+	}
+	return x, true
+}
+
+// quantile returns the q-quantile (0..1) of sorted data via linear
+// interpolation.
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+func sortedCopy(xs []float64) []float64 {
+	out := append([]float64{}, xs...)
+	sort.Float64s(out)
+	return out
+}

@@ -1,0 +1,471 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"datachat/internal/dataset"
+)
+
+func TestBuildMatrixBasics(t *testing.T) {
+	tbl := dataset.MustNewTable("t",
+		dataset.FloatColumn("x", []float64{1, 2, 3, 4}, []bool{false, false, true, false}),
+		dataset.StringColumn("cat", []string{"a", "b", "a", "c"}, nil),
+		dataset.FloatColumn("y", []float64{10, 20, 30, 40}, nil),
+	)
+	m, err := BuildMatrix(tbl, []string{"x", "cat"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows) != 3 { // row 2 dropped: null x
+		t.Fatalf("rows = %d", len(m.Rows))
+	}
+	if m.Rows[1][1] != 1 { // "b" encoded as 1
+		t.Errorf("encoded cat = %v", m.Rows[1])
+	}
+	if got := m.Levels["cat"]; len(got) != 3 || got[0] != "a" {
+		t.Errorf("levels = %v", got)
+	}
+	if m.Kept[2] != 3 {
+		t.Errorf("kept = %v", m.Kept)
+	}
+}
+
+func TestBuildMatrixTimeAndErrors(t *testing.T) {
+	d1, _ := dataset.ParseTime("2020-01-01")
+	d2, _ := dataset.ParseTime("2020-01-02")
+	tbl := dataset.MustNewTable("t",
+		dataset.TimeColumn("when", []time.Time{d1, d2}, nil),
+		dataset.FloatColumn("y", []float64{1, 2}, nil),
+	)
+	m, err := BuildMatrix(tbl, []string{"when"}, "y")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Rows[1][0]-m.Rows[0][0] != 86400 {
+		t.Errorf("time delta = %v", m.Rows[1][0]-m.Rows[0][0])
+	}
+	if _, err := BuildMatrix(tbl, nil, "y"); err == nil {
+		t.Error("no features should error")
+	}
+	if _, err := BuildMatrix(tbl, []string{"missing"}, ""); err == nil {
+		t.Error("missing feature should error")
+	}
+	allNull := dataset.MustNewTable("t",
+		dataset.FloatColumn("x", []float64{0, 0}, []bool{true, true}),
+	)
+	if _, err := BuildMatrix(allNull, []string{"x"}, ""); err == nil {
+		t.Error("all-null matrix should error")
+	}
+}
+
+func TestLinearRegressionRecoversCoefficients(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	m := &Matrix{Names: []string{"a", "b"}}
+	for i := 0; i < 200; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		m.Rows = append(m.Rows, []float64{a, b})
+		m.Target = append(m.Target, 3*a-2*b+5+rng.NormFloat64()*0.01)
+	}
+	model, err := TrainLinear(m, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(model.Weights[0]-3) > 0.05 || math.Abs(model.Weights[1]+2) > 0.05 || math.Abs(model.Bias-5) > 0.1 {
+		t.Errorf("weights = %v bias = %v", model.Weights, model.Bias)
+	}
+	pred := model.Predict(m.Rows)
+	if r2 := R2(pred, m.Target); r2 < 0.999 {
+		t.Errorf("R2 = %v", r2)
+	}
+	if model.Kind() != "linear-regression" {
+		t.Errorf("kind = %s", model.Kind())
+	}
+	if model.Explain() == "" {
+		t.Error("explain empty")
+	}
+}
+
+func TestRidgeRescuesCollinearity(t *testing.T) {
+	m := &Matrix{Names: []string{"a", "b"}}
+	for i := 0; i < 50; i++ {
+		x := float64(i)
+		m.Rows = append(m.Rows, []float64{x, 2 * x}) // perfectly collinear
+		m.Target = append(m.Target, x)
+	}
+	if _, err := TrainLinear(m, 0); err == nil {
+		t.Error("OLS on collinear features should fail")
+	}
+	model, err := TrainLinear(m, 1e-3)
+	if err != nil {
+		t.Fatalf("ridge should succeed: %v", err)
+	}
+	if model.Kind() != "ridge-regression" {
+		t.Errorf("kind = %s", model.Kind())
+	}
+}
+
+func TestLinearRegressionErrors(t *testing.T) {
+	m := &Matrix{Names: []string{"a"}, Rows: [][]float64{{1}}}
+	if _, err := TrainLinear(m, 0); err == nil {
+		t.Error("missing target should error")
+	}
+	m.Target = []float64{1}
+	if _, err := TrainLinear(m, 0); err == nil {
+		t.Error("too few rows should error")
+	}
+}
+
+func TestLogisticRegressionSeparable(t *testing.T) {
+	m := &Matrix{Names: []string{"x"}}
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		m.Rows = append(m.Rows, []float64{x})
+		if x >= 50 {
+			m.Target = append(m.Target, 1)
+		} else {
+			m.Target = append(m.Target, 0)
+		}
+	}
+	model, err := TrainLogistic(m, 0.5, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.Predict(m.Rows)
+	if acc := Accuracy(pred, m.Target); acc < 0.95 {
+		t.Errorf("accuracy = %v", acc)
+	}
+	if p := model.Predict([][]float64{{0}})[0]; p > 0.2 {
+		t.Errorf("P(1 | x=0) = %v", p)
+	}
+	if p := model.Predict([][]float64{{99}})[0]; p < 0.8 {
+		t.Errorf("P(1 | x=99) = %v", p)
+	}
+}
+
+func TestLogisticRejectsNonBinary(t *testing.T) {
+	m := &Matrix{Names: []string{"x"}, Rows: [][]float64{{1}, {2}}, Target: []float64{0, 2}}
+	if _, err := TrainLogistic(m, 0.1, 10); err == nil {
+		t.Error("non-binary target should error")
+	}
+}
+
+func TestKMeansSeparatesClusters(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	m := &Matrix{Names: []string{"x", "y"}}
+	centers := [][]float64{{0, 0}, {10, 10}, {0, 10}}
+	var wantLabels []int
+	for i := 0; i < 300; i++ {
+		c := centers[i%3]
+		m.Rows = append(m.Rows, []float64{c[0] + rng.NormFloat64()*0.5, c[1] + rng.NormFloat64()*0.5})
+		wantLabels = append(wantLabels, i%3)
+	}
+	model, err := TrainKMeans(m, 3, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign := model.Predict(m.Rows)
+	// All points from the same true cluster should share a predicted label.
+	for c := 0; c < 3; c++ {
+		var first float64 = -1
+		for i, label := range wantLabels {
+			if label != c {
+				continue
+			}
+			if first < 0 {
+				first = assign[i]
+			} else if assign[i] != first {
+				t.Fatalf("cluster %d split across labels", c)
+			}
+		}
+	}
+	if model.Inertia > 300 {
+		t.Errorf("inertia = %v", model.Inertia)
+	}
+	if model.Explain() == "" || model.Kind() != "kmeans" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	m := &Matrix{Names: []string{"x"}, Rows: [][]float64{{1}, {2}}}
+	if _, err := TrainKMeans(m, 0, 1, 10); err == nil {
+		t.Error("k=0 should error")
+	}
+	if _, err := TrainKMeans(m, 3, 1, 10); err == nil {
+		t.Error("k>n should error")
+	}
+}
+
+func TestDecisionTreeLearnsStep(t *testing.T) {
+	m := &Matrix{Names: []string{"x"}}
+	for i := 0; i < 100; i++ {
+		x := float64(i)
+		m.Rows = append(m.Rows, []float64{x})
+		if x < 30 {
+			m.Target = append(m.Target, 1)
+		} else {
+			m.Target = append(m.Target, 9)
+		}
+	}
+	model, err := TrainTree(m, 4, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pred := model.Predict([][]float64{{10}, {80}})
+	if math.Abs(pred[0]-1) > 0.01 || math.Abs(pred[1]-9) > 0.01 {
+		t.Errorf("pred = %v", pred)
+	}
+	if model.Depth() < 1 {
+		t.Error("tree should have split")
+	}
+	if model.Explain() == "" {
+		t.Error("explain empty")
+	}
+}
+
+func TestDecisionTreeConstantTargetStaysLeaf(t *testing.T) {
+	m := &Matrix{Names: []string{"x"}}
+	for i := 0; i < 20; i++ {
+		m.Rows = append(m.Rows, []float64{float64(i)})
+		m.Target = append(m.Target, 7)
+	}
+	model, err := TrainTree(m, 5, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.Root.IsLeaf {
+		t.Error("constant target should produce a single leaf")
+	}
+	if got := model.Predict([][]float64{{100}})[0]; got != 7 {
+		t.Errorf("pred = %v", got)
+	}
+}
+
+func TestOutlierZScoreAndIQR(t *testing.T) {
+	series := make([]float64, 100)
+	rng := rand.New(rand.NewSource(3))
+	for i := range series {
+		series[i] = rng.NormFloat64()
+	}
+	series[10] = 50
+	series[90] = -40
+
+	for _, method := range []OutlierMethod{ZScore, IQR} {
+		report, err := DetectOutliers(series, method, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		found := map[int]bool{}
+		for _, i := range report.Indexes {
+			found[i] = true
+		}
+		if !found[10] || !found[90] {
+			t.Errorf("%v missed planted outliers: %v", method, report.Indexes)
+		}
+		if len(report.Indexes) > 6 {
+			t.Errorf("%v flagged too many: %d", method, len(report.Indexes))
+		}
+		if len(report.Scores) != len(report.Indexes) {
+			t.Errorf("%v scores/indexes mismatch", method)
+		}
+	}
+}
+
+func TestOutlierModelResidualRobustToTrend(t *testing.T) {
+	// A strong trend fools the plain z-score but not the model-based method.
+	series := make([]float64, 120)
+	for i := range series {
+		series[i] = float64(i) * 2
+	}
+	series[60] = 500 // planted anomaly
+	report, err := DetectOutliers(series, ModelResidual, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, i := range report.Indexes {
+		if i == 60 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("model-residual missed planted outlier: %v", report.Indexes)
+	}
+}
+
+func TestOutlierErrors(t *testing.T) {
+	if _, err := DetectOutliers([]float64{1, 2}, ZScore, 0); err == nil {
+		t.Error("too-short series should error")
+	}
+	if _, err := DetectOutliers([]float64{1, 2, 3}, OutlierMethod(99), 0); err == nil {
+		t.Error("unknown method should error")
+	}
+	// NaNs are skipped, constant series yields no outliers.
+	report, err := DetectOutliers([]float64{5, math.NaN(), 5, 5, 5}, ZScore, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(report.Indexes) != 0 {
+		t.Errorf("constant series flagged: %v", report.Indexes)
+	}
+}
+
+func TestForecastTrend(t *testing.T) {
+	series := make([]float64, 40)
+	for i := range series {
+		series[i] = 100 + 2*float64(i)
+	}
+	f, err := FitForecast(series, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f.Slope-2) > 1e-9 || math.Abs(f.Intercept-100) > 1e-9 {
+		t.Errorf("slope=%v intercept=%v", f.Slope, f.Intercept)
+	}
+	next := f.Next(3)
+	want := []float64{180, 182, 184}
+	for i := range want {
+		if math.Abs(next[i]-want[i]) > 1e-9 {
+			t.Errorf("next = %v, want %v", next, want)
+		}
+	}
+	if f.Residual > 1e-9 {
+		t.Errorf("residual = %v", f.Residual)
+	}
+}
+
+func TestForecastSeasonality(t *testing.T) {
+	// y = t + 10*[0,1,0,-1][t%4]
+	pattern := []float64{0, 10, 0, -10}
+	series := make([]float64, 48)
+	for i := range series {
+		series[i] = float64(i) + pattern[i%4]
+	}
+	f, err := FitForecast(series, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	next := f.Next(4)
+	for i, got := range next {
+		t0 := 48 + i
+		want := float64(t0) + pattern[t0%4]
+		if math.Abs(got-want) > 0.5 {
+			t.Errorf("next[%d] = %v, want %v", i, got, want)
+		}
+	}
+	if f.Explain() == "" || f.Kind() != "time-series-forecast" {
+		t.Error("metadata wrong")
+	}
+}
+
+func TestForecastErrors(t *testing.T) {
+	if _, err := FitForecast([]float64{1, 2}, 0); err == nil {
+		t.Error("too-short series should error")
+	}
+	if _, err := FitForecast([]float64{1, 2, 3, 4}, 4); err == nil {
+		t.Error("period without two full cycles should error")
+	}
+	if _, err := FitForecast([]float64{1, math.NaN(), 3}, 0); err == nil {
+		t.Error("NaN should error")
+	}
+}
+
+func TestSplitPartitions(t *testing.T) {
+	m := &Matrix{Names: []string{"x"}}
+	for i := 0; i < 100; i++ {
+		m.Rows = append(m.Rows, []float64{float64(i)})
+		m.Target = append(m.Target, float64(i))
+		m.Kept = append(m.Kept, i)
+	}
+	train, test := m.Split(0.25, 5)
+	if len(train.Rows) != 75 || len(test.Rows) != 25 {
+		t.Fatalf("split sizes = %d/%d", len(train.Rows), len(test.Rows))
+	}
+	seen := map[float64]bool{}
+	for _, r := range append(append([][]float64{}, train.Rows...), test.Rows...) {
+		if seen[r[0]] {
+			t.Fatal("row appears twice")
+		}
+		seen[r[0]] = true
+	}
+	if len(seen) != 100 {
+		t.Errorf("rows lost: %d", len(seen))
+	}
+}
+
+func TestMetricsEdgeCases(t *testing.T) {
+	if !math.IsNaN(RMSE(nil, nil)) || !math.IsNaN(MAE([]float64{1}, nil)) {
+		t.Error("empty/mismatched metrics should be NaN")
+	}
+	if got := RMSE([]float64{1, 2}, []float64{1, 2}); got != 0 {
+		t.Errorf("perfect RMSE = %v", got)
+	}
+	if got := R2([]float64{5, 5}, []float64{5, 5}); got != 1 {
+		t.Errorf("constant perfect R2 = %v", got)
+	}
+	if got := Accuracy([]float64{0.9, 0.1}, []float64{1, 0}); got != 1 {
+		t.Errorf("accuracy = %v", got)
+	}
+}
+
+func TestForecastResidualNonNegativeProperty(t *testing.T) {
+	f := func(raw []float64) bool {
+		if len(raw) < 6 {
+			return true
+		}
+		series := make([]float64, len(raw))
+		for i, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				x = 0
+			}
+			series[i] = math.Mod(x, 1000)
+		}
+		model, err := FitForecast(series, 0)
+		if err != nil {
+			return false
+		}
+		return model.Residual >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveLinearSystem(t *testing.T) {
+	// 2x + y = 5; x - y = 1 => x = 2, y = 1
+	a := [][]float64{{2, 1}, {1, -1}}
+	b := []float64{5, 1}
+	x, ok := solveLinearSystem(a, b)
+	if !ok {
+		t.Fatal("solvable system reported singular")
+	}
+	if math.Abs(x[0]-2) > 1e-9 || math.Abs(x[1]-1) > 1e-9 {
+		t.Errorf("x = %v", x)
+	}
+	if _, ok := solveLinearSystem([][]float64{{1, 1}, {2, 2}}, []float64{1, 2}); ok {
+		t.Error("singular system should report failure")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	sorted := []float64{1, 2, 3, 4, 5}
+	if got := quantile(sorted, 0.5); got != 3 {
+		t.Errorf("median = %v", got)
+	}
+	if got := quantile(sorted, 0); got != 1 {
+		t.Errorf("q0 = %v", got)
+	}
+	if got := quantile(sorted, 1); got != 5 {
+		t.Errorf("q1 = %v", got)
+	}
+	if got := quantile(sorted, 0.25); got != 2 {
+		t.Errorf("q25 = %v", got)
+	}
+	if !math.IsNaN(quantile(nil, 0.5)) {
+		t.Error("empty quantile should be NaN")
+	}
+}

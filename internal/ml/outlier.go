@@ -1,0 +1,152 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// OutlierMethod selects an outlier-detection algorithm. The paper (§2.1)
+// notes users graduating from simple statistical methods to more robust
+// ones; we provide both ends of that spectrum.
+type OutlierMethod int
+
+// Supported outlier methods.
+const (
+	// ZScore flags values more than k standard deviations from the mean.
+	ZScore OutlierMethod = iota
+	// IQR flags values beyond k interquartile ranges from the quartiles —
+	// robust to the outliers themselves.
+	IQR
+	// ModelResidual fits a tree to the series indexed by position and
+	// flags large residuals; robust to trend and regime shifts.
+	ModelResidual
+)
+
+// String names the method.
+func (m OutlierMethod) String() string {
+	switch m {
+	case ZScore:
+		return "zscore"
+	case IQR:
+		return "iqr"
+	case ModelResidual:
+		return "model-residual"
+	default:
+		return fmt.Sprintf("method(%d)", int(m))
+	}
+}
+
+// OutlierReport describes the outliers found in one numeric series.
+type OutlierReport struct {
+	Method    OutlierMethod
+	Threshold float64
+	// Indexes are the positions of flagged values in the input series.
+	Indexes []int
+	// Scores are the per-flagged-value anomaly scores (|z|, IQR multiples,
+	// or |residual| depending on the method).
+	Scores []float64
+	// Lo and Hi bound the non-outlier region for threshold methods.
+	Lo, Hi float64
+}
+
+// DetectOutliers flags anomalies in a numeric series. NaNs are skipped.
+// threshold <= 0 selects the method's conventional default (3 for z-score,
+// 1.5 for IQR, 3 sigma-equivalents for model residuals).
+func DetectOutliers(series []float64, method OutlierMethod, threshold float64) (*OutlierReport, error) {
+	clean := make([]float64, 0, len(series))
+	pos := make([]int, 0, len(series))
+	for i, x := range series {
+		if !math.IsNaN(x) {
+			clean = append(clean, x)
+			pos = append(pos, i)
+		}
+	}
+	if len(clean) < 3 {
+		return nil, fmt.Errorf("ml: outlier detection needs at least 3 values, got %d", len(clean))
+	}
+	report := &OutlierReport{Method: method, Threshold: threshold}
+	switch method {
+	case ZScore:
+		if threshold <= 0 {
+			threshold = 3
+		}
+		report.Threshold = threshold
+		mean, std := meanStd(clean)
+		if std == 0 {
+			return report, nil
+		}
+		report.Lo, report.Hi = mean-threshold*std, mean+threshold*std
+		for i, x := range clean {
+			if z := math.Abs(x-mean) / std; z > threshold {
+				report.Indexes = append(report.Indexes, pos[i])
+				report.Scores = append(report.Scores, z)
+			}
+		}
+	case IQR:
+		if threshold <= 0 {
+			threshold = 1.5
+		}
+		report.Threshold = threshold
+		sorted := sortedCopy(clean)
+		q1 := quantile(sorted, 0.25)
+		q3 := quantile(sorted, 0.75)
+		iqr := q3 - q1
+		if iqr == 0 {
+			return report, nil
+		}
+		report.Lo, report.Hi = q1-threshold*iqr, q3+threshold*iqr
+		for i, x := range clean {
+			if x < report.Lo || x > report.Hi {
+				dist := math.Max(report.Lo-x, x-report.Hi) / iqr
+				report.Indexes = append(report.Indexes, pos[i])
+				report.Scores = append(report.Scores, dist+threshold)
+			}
+		}
+	case ModelResidual:
+		if threshold <= 0 {
+			threshold = 3
+		}
+		report.Threshold = threshold
+		// Fit a shallow tree to value ~ position, then flag large residuals.
+		m := &Matrix{Names: []string{"t"}}
+		for i, x := range clean {
+			m.Rows = append(m.Rows, []float64{float64(i)})
+			m.Target = append(m.Target, x)
+			_ = i
+		}
+		tree, err := TrainTree(m, 4, 3)
+		if err != nil {
+			return nil, err
+		}
+		fitted := tree.Predict(m.Rows)
+		resid := make([]float64, len(clean))
+		for i := range clean {
+			resid[i] = clean[i] - fitted[i]
+		}
+		_, std := meanStd(resid)
+		if std == 0 {
+			return report, nil
+		}
+		for i, r := range resid {
+			if z := math.Abs(r) / std; z > threshold {
+				report.Indexes = append(report.Indexes, pos[i])
+				report.Scores = append(report.Scores, z)
+			}
+		}
+	default:
+		return nil, fmt.Errorf("ml: unknown outlier method %v", method)
+	}
+	return report, nil
+}
+
+func meanStd(xs []float64) (mean, std float64) {
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	for _, x := range xs {
+		std += (x - mean) * (x - mean)
+	}
+	std = math.Sqrt(std / float64(len(xs)))
+	return mean, std
+}

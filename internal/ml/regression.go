@@ -1,0 +1,194 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+)
+
+// LinearModel is an ordinary-least-squares (optionally ridge-regularized)
+// linear regression.
+type LinearModel struct {
+	Features []string
+	Weights  []float64
+	Bias     float64
+	Lambda   float64
+}
+
+// TrainLinear fits y = w·x + b by solving the normal equations. lambda > 0
+// adds ridge regularization, which also rescues collinear features.
+func TrainLinear(m *Matrix, lambda float64) (*LinearModel, error) {
+	if len(m.Target) != len(m.Rows) {
+		return nil, fmt.Errorf("ml: linear regression requires a target column")
+	}
+	n := len(m.Rows)
+	d := len(m.Names) + 1 // +1 for bias
+	if n < d {
+		return nil, fmt.Errorf("ml: %d rows is too few to fit %d parameters", n, d)
+	}
+	// Build X'X and X'y with the bias folded in as a trailing 1s column.
+	xtx := make([][]float64, d)
+	for i := range xtx {
+		xtx[i] = make([]float64, d)
+	}
+	xty := make([]float64, d)
+	for r := 0; r < n; r++ {
+		row := m.Rows[r]
+		for i := 0; i < d; i++ {
+			xi := 1.0
+			if i < d-1 {
+				xi = row[i]
+			}
+			for j := 0; j < d; j++ {
+				xj := 1.0
+				if j < d-1 {
+					xj = row[j]
+				}
+				xtx[i][j] += xi * xj
+			}
+			xty[i] += xi * m.Target[r]
+		}
+	}
+	for i := 0; i < d-1; i++ { // do not regularize the bias
+		xtx[i][i] += lambda
+	}
+	sol, ok := solveLinearSystem(xtx, xty)
+	if !ok {
+		return nil, fmt.Errorf("ml: singular system; features may be collinear (try ridge lambda > 0)")
+	}
+	return &LinearModel{
+		Features: m.Names,
+		Weights:  sol[:d-1],
+		Bias:     sol[d-1],
+		Lambda:   lambda,
+	}, nil
+}
+
+// Predict implements Model.
+func (lm *LinearModel) Predict(features [][]float64) []float64 {
+	out := make([]float64, len(features))
+	for i, row := range features {
+		y := lm.Bias
+		for j, w := range lm.Weights {
+			if j < len(row) {
+				y += w * row[j]
+			}
+		}
+		out[i] = y
+	}
+	return out
+}
+
+// Kind implements Model.
+func (lm *LinearModel) Kind() string {
+	if lm.Lambda > 0 {
+		return "ridge-regression"
+	}
+	return "linear-regression"
+}
+
+// Explain implements Model.
+func (lm *LinearModel) Explain() string {
+	return "Fitted a linear model: prediction = " + describeWeights(lm.Features, lm.Weights, lm.Bias)
+}
+
+// LogisticModel is a binary logistic-regression classifier trained with
+// gradient descent. Predict returns probabilities of the positive class.
+type LogisticModel struct {
+	Features []string
+	Weights  []float64
+	Bias     float64
+	Epochs   int
+}
+
+// TrainLogistic fits a binary classifier. Targets must be 0/1 (label-encoded
+// two-level columns qualify).
+func TrainLogistic(m *Matrix, learningRate float64, epochs int) (*LogisticModel, error) {
+	if len(m.Target) != len(m.Rows) {
+		return nil, fmt.Errorf("ml: logistic regression requires a target column")
+	}
+	for _, y := range m.Target {
+		if y != 0 && y != 1 {
+			return nil, fmt.Errorf("ml: logistic regression requires a binary 0/1 target, saw %v", y)
+		}
+	}
+	if learningRate <= 0 {
+		learningRate = 0.1
+	}
+	if epochs <= 0 {
+		epochs = 200
+	}
+	d := len(m.Names)
+	w := make([]float64, d)
+	b := 0.0
+	n := float64(len(m.Rows))
+	// Standardize features for stable descent, folding the scaling back
+	// into the published weights afterwards.
+	mean := make([]float64, d)
+	std := make([]float64, d)
+	for j := 0; j < d; j++ {
+		for _, row := range m.Rows {
+			mean[j] += row[j]
+		}
+		mean[j] /= n
+		for _, row := range m.Rows {
+			std[j] += (row[j] - mean[j]) * (row[j] - mean[j])
+		}
+		std[j] = math.Sqrt(std[j] / n)
+		if std[j] == 0 {
+			std[j] = 1
+		}
+	}
+	for epoch := 0; epoch < epochs; epoch++ {
+		gw := make([]float64, d)
+		gb := 0.0
+		for r, row := range m.Rows {
+			z := b
+			for j := 0; j < d; j++ {
+				z += w[j] * (row[j] - mean[j]) / std[j]
+			}
+			p := sigmoid(z)
+			err := p - m.Target[r]
+			for j := 0; j < d; j++ {
+				gw[j] += err * (row[j] - mean[j]) / std[j]
+			}
+			gb += err
+		}
+		for j := 0; j < d; j++ {
+			w[j] -= learningRate * gw[j] / n
+		}
+		b -= learningRate * gb / n
+	}
+	// Fold standardization into the weights: w'·(x-μ)/σ + b = (w'/σ)·x + (b - Σ w'μ/σ).
+	finalW := make([]float64, d)
+	finalB := b
+	for j := 0; j < d; j++ {
+		finalW[j] = w[j] / std[j]
+		finalB -= w[j] * mean[j] / std[j]
+	}
+	return &LogisticModel{Features: m.Names, Weights: finalW, Bias: finalB, Epochs: epochs}, nil
+}
+
+func sigmoid(z float64) float64 { return 1 / (1 + math.Exp(-z)) }
+
+// Predict implements Model, returning P(class = 1) per row.
+func (lm *LogisticModel) Predict(features [][]float64) []float64 {
+	out := make([]float64, len(features))
+	for i, row := range features {
+		z := lm.Bias
+		for j, w := range lm.Weights {
+			if j < len(row) {
+				z += w * row[j]
+			}
+		}
+		out[i] = sigmoid(z)
+	}
+	return out
+}
+
+// Kind implements Model.
+func (lm *LogisticModel) Kind() string { return "logistic-regression" }
+
+// Explain implements Model.
+func (lm *LogisticModel) Explain() string {
+	return "Fitted a logistic classifier: log-odds = " + describeWeights(lm.Features, lm.Weights, lm.Bias)
+}

@@ -1,0 +1,191 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// TreeModel is a CART-style decision tree. It handles both regression
+// (variance splitting) and classification over label-encoded targets
+// (treated as regression to the label index, then rounded by callers).
+type TreeModel struct {
+	Features []string
+	Root     *TreeNode
+	MaxDepth int
+	MinLeaf  int
+}
+
+// TreeNode is one node of the tree.
+type TreeNode struct {
+	// Leaf fields.
+	IsLeaf bool
+	Value  float64
+	Count  int
+	// Split fields.
+	Feature   int
+	Threshold float64
+	Left      *TreeNode
+	Right     *TreeNode
+}
+
+// TrainTree fits a regression tree with the given depth and leaf-size
+// limits (defaults: depth 5, min leaf 2).
+func TrainTree(m *Matrix, maxDepth, minLeaf int) (*TreeModel, error) {
+	if len(m.Target) != len(m.Rows) {
+		return nil, fmt.Errorf("ml: decision tree requires a target column")
+	}
+	if maxDepth <= 0 {
+		maxDepth = 5
+	}
+	if minLeaf <= 0 {
+		minLeaf = 2
+	}
+	idx := make([]int, len(m.Rows))
+	for i := range idx {
+		idx[i] = i
+	}
+	root := buildNode(m, idx, maxDepth, minLeaf)
+	return &TreeModel{Features: m.Names, Root: root, MaxDepth: maxDepth, MinLeaf: minLeaf}, nil
+}
+
+func buildNode(m *Matrix, idx []int, depth, minLeaf int) *TreeNode {
+	mean := 0.0
+	for _, i := range idx {
+		mean += m.Target[i]
+	}
+	mean /= float64(len(idx))
+	node := &TreeNode{IsLeaf: true, Value: mean, Count: len(idx)}
+	if depth == 0 || len(idx) < 2*minLeaf {
+		return node
+	}
+	variance := 0.0
+	for _, i := range idx {
+		variance += (m.Target[i] - mean) * (m.Target[i] - mean)
+	}
+	if variance < 1e-12 {
+		return node
+	}
+	bestFeature, bestThreshold, bestScore := -1, 0.0, math.Inf(1)
+	for f := range m.Names {
+		feature, threshold, score, ok := bestSplit(m, idx, f, minLeaf)
+		if ok && score < bestScore {
+			bestFeature, bestThreshold, bestScore = feature, threshold, score
+		}
+	}
+	if bestFeature < 0 || bestScore >= variance {
+		return node
+	}
+	var left, right []int
+	for _, i := range idx {
+		if m.Rows[i][bestFeature] <= bestThreshold {
+			left = append(left, i)
+		} else {
+			right = append(right, i)
+		}
+	}
+	if len(left) < minLeaf || len(right) < minLeaf {
+		return node
+	}
+	node.IsLeaf = false
+	node.Feature = bestFeature
+	node.Threshold = bestThreshold
+	node.Left = buildNode(m, left, depth-1, minLeaf)
+	node.Right = buildNode(m, right, depth-1, minLeaf)
+	return node
+}
+
+// bestSplit finds the threshold on feature f minimizing the summed child
+// variance, scanning split points between sorted distinct values.
+func bestSplit(m *Matrix, idx []int, f, minLeaf int) (feature int, threshold, score float64, ok bool) {
+	order := append([]int{}, idx...)
+	sort.Slice(order, func(a, b int) bool { return m.Rows[order[a]][f] < m.Rows[order[b]][f] })
+	n := len(order)
+	// Prefix sums of y and y² enable O(1) variance at each split point.
+	prefY := make([]float64, n+1)
+	prefY2 := make([]float64, n+1)
+	for i, ri := range order {
+		y := m.Target[ri]
+		prefY[i+1] = prefY[i] + y
+		prefY2[i+1] = prefY2[i] + y*y
+	}
+	best := math.Inf(1)
+	bestThresh := 0.0
+	found := false
+	for i := minLeaf; i <= n-minLeaf; i++ {
+		lo, hi := m.Rows[order[i-1]][f], m.Rows[order[i]][f]
+		if lo == hi {
+			continue
+		}
+		ssLeft := prefY2[i] - prefY[i]*prefY[i]/float64(i)
+		nr := float64(n - i)
+		sumR := prefY[n] - prefY[i]
+		ssRight := (prefY2[n] - prefY2[i]) - sumR*sumR/nr
+		if total := ssLeft + ssRight; total < best {
+			best = total
+			bestThresh = (lo + hi) / 2
+			found = true
+		}
+	}
+	return f, bestThresh, best, found
+}
+
+// Predict implements Model.
+func (tm *TreeModel) Predict(features [][]float64) []float64 {
+	out := make([]float64, len(features))
+	for i, row := range features {
+		node := tm.Root
+		for !node.IsLeaf {
+			f := node.Feature
+			var x float64
+			if f < len(row) {
+				x = row[f]
+			}
+			if x <= node.Threshold {
+				node = node.Left
+			} else {
+				node = node.Right
+			}
+		}
+		out[i] = node.Value
+	}
+	return out
+}
+
+// Kind implements Model.
+func (tm *TreeModel) Kind() string { return "decision-tree" }
+
+// Explain implements Model.
+func (tm *TreeModel) Explain() string {
+	var b strings.Builder
+	b.WriteString("Fitted a decision tree:\n")
+	tm.describe(tm.Root, 0, &b)
+	return strings.TrimRight(b.String(), "\n")
+}
+
+func (tm *TreeModel) describe(node *TreeNode, depth int, b *strings.Builder) {
+	indent := strings.Repeat("  ", depth)
+	if node.IsLeaf {
+		fmt.Fprintf(b, "%spredict %.4g (%d rows)\n", indent, node.Value, node.Count)
+		return
+	}
+	fmt.Fprintf(b, "%sif %s <= %.4g:\n", indent, tm.Features[node.Feature], node.Threshold)
+	tm.describe(node.Left, depth+1, b)
+	fmt.Fprintf(b, "%selse:\n", indent)
+	tm.describe(node.Right, depth+1, b)
+}
+
+// Depth returns the tree's realized depth.
+func (tm *TreeModel) Depth() int { return nodeDepth(tm.Root) }
+
+func nodeDepth(n *TreeNode) int {
+	if n == nil || n.IsLeaf {
+		return 0
+	}
+	l, r := nodeDepth(n.Left), nodeDepth(n.Right)
+	if l > r {
+		return l + 1
+	}
+	return r + 1
+}

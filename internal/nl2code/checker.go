@@ -1,0 +1,287 @@
+package nl2code
+
+import (
+	"fmt"
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/pyapi"
+	"datachat/internal/skills"
+)
+
+// CheckReport records what the program checker did (§4.5).
+type CheckReport struct {
+	// Repairs lists reference fixes (misspelled columns snapped to the
+	// nearest schema column).
+	Repairs []string
+	// Removed counts redundant statements stripped (dead assignments).
+	Removed int
+	// Warnings are non-fatal observations surfaced to the user.
+	Warnings []string
+}
+
+// Checker validates and post-processes generated programs: syntax and type
+// checks, reference validation with nearest-name repair, composition
+// validation (every consumed dataset is defined), and dead-code removal.
+type Checker struct {
+	// Registry resolves API methods.
+	Registry *skills.Registry
+	// translator lowers parsed programs.
+	translator *pyapi.Translator
+}
+
+// NewChecker builds a checker.
+func NewChecker(reg *skills.Registry) *Checker {
+	return &Checker{Registry: reg, translator: pyapi.NewTranslator(reg)}
+}
+
+// Check parses and validates a generated Python program against the
+// available tables, returning the cleaned invocations.
+func (c *Checker) Check(code string, tables map[string]*dataset.Table) ([]skills.Invocation, *CheckReport, error) {
+	report := &CheckReport{}
+	prog, err := pyapi.Parse(code)
+	if err != nil {
+		return nil, report, fmt.Errorf("nl2code: syntax check failed: %w", err)
+	}
+	invs, err := c.translator.Invocations(prog)
+	if err != nil {
+		return nil, report, fmt.Errorf("nl2code: unknown API call: %w", err)
+	}
+
+	// Dead-code removal: drop statements whose output nothing consumes
+	// (and that aren't the final answer).
+	invs = removeDead(invs, report)
+
+	// Track the evolving column universe per dataset name.
+	universe := map[string][]string{}
+	for name, t := range tables {
+		universe[name] = t.ColumnNames()
+	}
+	for i := range invs {
+		inv := &invs[i]
+		cols, err := c.inputColumns(inv, universe)
+		if err != nil {
+			return nil, report, err
+		}
+		if err := c.checkInvocation(inv, cols, report); err != nil {
+			return nil, report, err
+		}
+		out := inv.Output
+		if out == "" {
+			out = fmt.Sprintf("checked%d", i)
+			inv.Output = out
+		}
+		universe[out] = outputColumns(inv, cols)
+	}
+	return invs, report, nil
+}
+
+// inputColumns resolves the column universe an invocation operates over.
+func (c *Checker) inputColumns(inv *skills.Invocation, universe map[string][]string) ([]string, error) {
+	var cols []string
+	seen := map[string]bool{}
+	for _, in := range inv.Inputs {
+		u, ok := universe[in]
+		if !ok {
+			return nil, fmt.Errorf("nl2code: statement consumes undefined dataset %q", in)
+		}
+		for _, col := range u {
+			if !seen[strings.ToLower(col)] {
+				seen[strings.ToLower(col)] = true
+				cols = append(cols, col)
+			}
+		}
+	}
+	return cols, nil
+}
+
+// checkInvocation validates one statement, repairing near-miss column
+// references in place.
+func (c *Checker) checkInvocation(inv *skills.Invocation, cols []string, report *CheckReport) error {
+	def, err := c.Registry.Lookup(inv.Skill)
+	if err != nil {
+		return err
+	}
+	for _, p := range def.Params {
+		if p.Required {
+			if _, ok := inv.Args[p.Name]; !ok {
+				return fmt.Errorf("nl2code: %s is missing required parameter %q", inv.Skill, p.Name)
+			}
+		}
+	}
+	switch inv.Skill {
+	case "Compute":
+		aggs, err := inv.Args.AggSpecs("aggregates")
+		if err != nil {
+			return fmt.Errorf("nl2code: type check: %w", err)
+		}
+		changed := false
+		for i := range aggs {
+			if aggs[i].Column == "*" || aggs[i].Column == "" {
+				continue
+			}
+			fixed, ok := repairColumn(aggs[i].Column, cols, report)
+			if !ok {
+				return fmt.Errorf("nl2code: %s references unknown column %q", inv.Skill, aggs[i].Column)
+			}
+			if fixed != aggs[i].Column {
+				aggs[i].Column = fixed
+				changed = true
+			}
+		}
+		keys := inv.Args.StringListOr("for_each")
+		for i, key := range keys {
+			fixed, ok := repairColumn(key, cols, report)
+			if !ok {
+				return fmt.Errorf("nl2code: grouping column %q does not exist", key)
+			}
+			if fixed != key {
+				keys[i] = fixed
+				changed = true
+			}
+		}
+		if changed {
+			rendered := make([]string, len(aggs))
+			for i, a := range aggs {
+				rendered[i] = fmt.Sprintf("%s of %s as %s", a.Func, a.Column, a.OutName())
+			}
+			inv.Args["aggregates"] = rendered
+			if len(keys) > 0 {
+				inv.Args["for_each"] = keys
+			}
+		}
+	case "LimitRows":
+		n, err := inv.Args.Int("count")
+		if err != nil || n < 0 {
+			return fmt.Errorf("nl2code: LimitRows needs a non-negative count")
+		}
+	case "KeepRows", "DropRows":
+		cond := inv.Args.StringOr("condition", "")
+		if _, err := parseConditionExpr(cond); err != nil {
+			return fmt.Errorf("nl2code: condition does not parse: %w", err)
+		}
+	case "SortRows", "KeepColumns":
+		keys := inv.Args.StringListOr("columns")
+		for i, key := range keys {
+			fixed, ok := repairColumn(key, cols, report)
+			if !ok {
+				return fmt.Errorf("nl2code: %s references unknown column %q", inv.Skill, key)
+			}
+			keys[i] = fixed
+		}
+		inv.Args["columns"] = keys
+	}
+	return nil
+}
+
+// outputColumns models the schema after an invocation.
+func outputColumns(inv *skills.Invocation, in []string) []string {
+	switch inv.Skill {
+	case "Compute":
+		var out []string
+		out = append(out, inv.Args.StringListOr("for_each")...)
+		if aggs, err := inv.Args.AggSpecs("aggregates"); err == nil {
+			for _, a := range aggs {
+				out = append(out, a.OutName())
+			}
+		}
+		return out
+	case "KeepColumns":
+		return inv.Args.StringListOr("columns")
+	case "NewColumn":
+		return append(append([]string{}, in...), inv.Args.StringOr("name", "new"))
+	default:
+		return in
+	}
+}
+
+// repairColumn returns the column unchanged when it exists, otherwise the
+// unique schema column within edit distance 2 (recording the repair), or
+// ok=false when no repair is safe.
+func repairColumn(name string, cols []string, report *CheckReport) (string, bool) {
+	for _, c := range cols {
+		if strings.EqualFold(c, name) {
+			return c, true
+		}
+	}
+	best, bestDist, ties := "", 3, 0
+	for _, c := range cols {
+		d := editDistance(strings.ToLower(name), strings.ToLower(c))
+		if d < bestDist {
+			best, bestDist, ties = c, d, 1
+		} else if d == bestDist {
+			ties++
+		}
+	}
+	if best != "" && ties == 1 {
+		report.Repairs = append(report.Repairs, fmt.Sprintf("%s → %s", name, best))
+		return best, true
+	}
+	return "", false
+}
+
+func editDistance(a, b string) int {
+	if len(a) == 0 {
+		return len(b)
+	}
+	if len(b) == 0 {
+		return len(a)
+	}
+	prev := make([]int, len(b)+1)
+	cur := make([]int, len(b)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(a); i++ {
+		cur[0] = i
+		for j := 1; j <= len(b); j++ {
+			cost := 1
+			if a[i-1] == b[j-1] {
+				cost = 0
+			}
+			cur[j] = min3(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(b)]
+}
+
+func min3(a, b, c int) int {
+	if b < a {
+		a = b
+	}
+	if c < a {
+		a = c
+	}
+	return a
+}
+
+// removeDead drops statements whose outputs nothing consumes, keeping the
+// final statement (the answer). Mirrors §4.5's removal of redundant lines.
+func removeDead(invs []skills.Invocation, report *CheckReport) []skills.Invocation {
+	if len(invs) <= 1 {
+		return invs
+	}
+	for {
+		consumed := map[string]bool{}
+		for _, inv := range invs {
+			for _, in := range inv.Inputs {
+				consumed[in] = true
+			}
+		}
+		removed := false
+		for i := 0; i < len(invs)-1; i++ {
+			out := invs[i].Output
+			if out == "" || consumed[out] {
+				continue
+			}
+			invs = append(invs[:i], invs[i+1:]...)
+			report.Removed++
+			removed = true
+			break
+		}
+		if !removed {
+			return invs
+		}
+	}
+}

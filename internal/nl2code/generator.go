@@ -1,0 +1,586 @@
+package nl2code
+
+import (
+	"fmt"
+	"math/rand"
+	"strconv"
+	"strings"
+
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+)
+
+// Generator is the simulated LLM (§4.1). It sees only the prompt — the
+// schema section, the semantic hints, and the retrieved examples — and
+// composes a DataChat Python API program from them. Its failure modes are
+// the ones the paper attributes to real LLMs:
+//
+//   - references that misalign with the schema resolve through prompt
+//     hints or degrade to guesses (misalignment sensitivity),
+//   - operations not demonstrated by any prompt example are dropped
+//     (few-shot dependence), and
+//   - a deterministic per-operation slip rate that grows with plan depth
+//     corrupts long compositions (complexity sensitivity).
+type Generator struct {
+	// Registry renders the generated program.
+	Registry *skills.Registry
+	// SlipBase is the per-operation slip probability.
+	SlipBase float64
+	// PlanPenalty adds slip probability per operation beyond the second.
+	PlanPenalty float64
+	// ProgramFailRate is the chance the whole request is misread,
+	// independent of plan depth (short ambiguous questions fail too).
+	ProgramFailRate float64
+	// UnknownDomainPenalty adds to ProgramFailRate when no prompt example
+	// touches the question's base table — the model has never seen the
+	// domain (the T_custom condition).
+	UnknownDomainPenalty float64
+	// LowSimilarityPenalty is extra per-op slip when no retrieved example
+	// resembles the question (cross-domain transfer).
+	LowSimilarityPenalty float64
+	// HintPenalty adds misread probability per reference grounded through
+	// a prompt hint instead of a direct schema match — paraphrase-heavy
+	// questions stay riskier even when the semantic layer covers them.
+	HintPenalty float64
+	// TypoRate is the chance of emitting a repairable column typo; the
+	// program checker's reason to exist.
+	TypoRate float64
+}
+
+// NewGenerator returns a generator with calibrated defaults.
+func NewGenerator(reg *skills.Registry) *Generator {
+	return &Generator{
+		Registry:             reg,
+		SlipBase:             0.035,
+		PlanPenalty:          0.004,
+		ProgramFailRate:      0.10,
+		UnknownDomainPenalty: 0.22,
+		LowSimilarityPenalty: 0.05,
+		HintPenalty:          0.08,
+		TypoRate:             0.06,
+	}
+}
+
+// Generation is the generator's output.
+type Generation struct {
+	// Code is the produced Python API program.
+	Code string
+	// Program is the same program as invocations (pre-rendering).
+	Program []skills.Invocation
+	// Notes traces the generator's decisions (Figure 6 debugging).
+	Notes []string
+}
+
+// intent is what the generator believes the question asks for.
+type intent struct {
+	wantCount bool
+	// distinctOf is the surface phrase whose distinct values are counted.
+	distinctOf string
+	aggFn      string // sum/avg/max/min/median ("" with wantCount)
+	measure    string // surface phrase of the measure
+	group      string // surface phrase of the grouping column
+	topK       int    // >0 for top-k questions
+	filterCol  string // surface phrase of the filter column
+	filterVal  string // surface value text
+	filterPred string // resolved predicate from a semantic filter phrase
+	join       bool
+	joinTable  string
+}
+
+// Generate produces a program for the prompt.
+func (g *Generator) Generate(p *Prompt) (*Generation, error) {
+	if len(p.Schema) == 0 {
+		return nil, fmt.Errorf("nl2code: prompt has no schema section")
+	}
+	gen := &Generation{}
+	note := func(format string, args ...any) {
+		gen.Notes = append(gen.Notes, fmt.Sprintf(format, args...))
+	}
+	it := parseIntent(p, note)
+
+	// Ground surface phrases in the prompt's schema + hints.
+	res := newResolver(p)
+	fact := res.pickFactTable(p.Question, it)
+	note("base table: %s", fact.Name)
+
+	rng := rand.New(rand.NewSource(int64(hashString(p.Question))))
+
+	var program []skills.Invocation
+	current := fact.Name
+
+	// Join step.
+	if it.join {
+		other := res.pickJoinTable(fact, it)
+		if other == nil {
+			note("join intended but no second table found; dropping join")
+		} else if !g.exampleCoverage(p, "JoinDatasets") {
+			note("no prompt example demonstrates joins; dropping join")
+		} else {
+			key, ok := res.commonColumn(fact, other)
+			if !ok {
+				note("no shared key between %s and %s; dropping join", fact.Name, other.Name)
+			} else {
+				program = append(program, skills.Invocation{
+					Skill:  "JoinDatasets",
+					Inputs: []string{fact.Name, other.Name},
+					Output: "joined",
+					Args: skills.Args{"on": fmt.Sprintf("%s.%s = %s.%s",
+						fact.Name, key, other.Name, key)},
+				})
+				current = "joined"
+				res.merge(fact, other)
+			}
+		}
+	}
+
+	// Filter step.
+	if it.filterPred != "" || it.filterCol != "" {
+		cond := it.filterPred
+		if cond == "" {
+			col, ok := res.resolveColumn(it.filterCol, preferCategory)
+			if !ok {
+				col = res.guessColumn(preferCategory, rng)
+				note("filter column %q unresolved; guessing %s", it.filterCol, col)
+			}
+			value, okVal := res.resolveValue(col, it.filterVal)
+			if !okVal {
+				note("filter value %q not found under %s; using it verbatim", it.filterVal, col)
+				value = it.filterVal
+			}
+			cond = fmt.Sprintf("%s = '%s'", col, value)
+		} else {
+			note("filter resolved via semantic hint: %s", cond)
+		}
+		program = append(program, skills.Invocation{
+			Skill:  "KeepRows",
+			Inputs: []string{current},
+			Output: fmt.Sprintf("step%d", len(program)+1),
+			Args:   skills.Args{"condition": cond},
+		})
+		current = program[len(program)-1].Output
+	}
+
+	// Aggregation step.
+	switch {
+	case it.distinctOf != "":
+		col, ok := res.resolveColumn(it.distinctOf, preferCategory)
+		if !ok {
+			col = res.guessColumn(preferCategory, rng)
+			note("distinct column %q unresolved; guessing %s", it.distinctOf, col)
+		}
+		program = append(program, skills.Invocation{
+			Skill:  "Compute",
+			Inputs: []string{current},
+			Output: fmt.Sprintf("step%d", len(program)+1),
+			Args:   skills.Args{"aggregates": []string{fmt.Sprintf("count_distinct of %s as n", col)}},
+		})
+		current = program[len(program)-1].Output
+	case it.wantCount:
+		inv := skills.Invocation{
+			Skill:  "Compute",
+			Inputs: []string{current},
+			Output: fmt.Sprintf("step%d", len(program)+1),
+			Args:   skills.Args{"aggregates": []string{"count of records as n"}},
+		}
+		if it.group != "" {
+			groupCol := g.resolveGroup(res, it, note, rng)
+			inv.Args["for_each"] = []string{groupCol}
+		}
+		program = append(program, inv)
+		current = inv.Output
+	case it.aggFn != "":
+		measure, ok := res.resolveColumn(it.measure, preferMeasure)
+		if !ok {
+			measure = res.guessColumn(preferMeasure, rng)
+			note("measure %q unresolved; guessing %s", it.measure, measure)
+		}
+		inv := skills.Invocation{
+			Skill:  "Compute",
+			Inputs: []string{current},
+			Output: fmt.Sprintf("step%d", len(program)+1),
+			Args:   skills.Args{"aggregates": []string{fmt.Sprintf("%s of %s as result", it.aggFn, measure)}},
+		}
+		if it.group != "" {
+			inv.Args["for_each"] = []string{g.resolveGroup(res, it, note, rng)}
+		}
+		program = append(program, inv)
+		current = inv.Output
+	}
+
+	// Top-k tail.
+	if it.topK > 0 {
+		if !g.exampleCoverage(p, "SortRows") {
+			note("no prompt example demonstrates sorting; dropping top-k tail")
+		} else {
+			program = append(program,
+				skills.Invocation{Skill: "SortRows", Inputs: []string{current},
+					Output: fmt.Sprintf("step%d", len(program)+1),
+					Args:   skills.Args{"columns": []string{"result"}, "descending": true}},
+			)
+			current = program[len(program)-1].Output
+			program = append(program,
+				skills.Invocation{Skill: "LimitRows", Inputs: []string{current},
+					Output: fmt.Sprintf("step%d", len(program)+1),
+					Args:   skills.Args{"count": it.topK}},
+			)
+			current = program[len(program)-1].Output
+		}
+	}
+
+	if len(program) == 0 {
+		return nil, fmt.Errorf("nl2code: could not form a plan for %q", p.Question)
+	}
+
+	// Program-level misread: some requests are misunderstood outright,
+	// regardless of depth; unfamiliar domains (no prompt example touching
+	// the base table) fail far more often.
+	pFail := g.ProgramFailRate
+	if !g.domainCovered(p, fact.Name) {
+		pFail += g.UnknownDomainPenalty
+		note("no prompt example covers table %s; elevated misread rate", fact.Name)
+	}
+	hintGroundings := res.hintHits
+	if it.filterPred != "" {
+		hintGroundings++ // the filter itself came from a hint
+	}
+	if hintGroundings > 0 {
+		pFail += g.HintPenalty * float64(hintGroundings)
+		note("%d references grounded via prompt hints; elevated misread rate", hintGroundings)
+	}
+	if rng.Float64() < pFail {
+		g.corrupt(&program[rng.Intn(len(program))], res, rng, note)
+	}
+	// Complexity slips: each op may be corrupted; deeper plans slip more.
+	slip := g.SlipBase + g.PlanPenalty*float64(max(0, len(program)-2))
+	if maxSimilarity(p.Examples) < 0.25 {
+		slip += g.LowSimilarityPenalty
+		note("retrieved examples are dissimilar; elevated slip rate")
+	}
+	for i := range program {
+		if rng.Float64() < slip {
+			g.corrupt(&program[i], res, rng, note)
+		}
+	}
+	// Occasional repairable typo (checker fodder).
+	if rng.Float64() < g.TypoRate {
+		g.injectTypo(program, rng, note)
+	}
+
+	code, err := renderProgram(g.Registry, program)
+	if err != nil {
+		return nil, err
+	}
+	gen.Program = program
+	gen.Code = code
+	return gen, nil
+}
+
+func (g *Generator) resolveGroup(res *resolver, it intent, note func(string, ...any), rng *rand.Rand) string {
+	groupCol, ok := res.resolveColumn(it.group, preferCategory)
+	if !ok {
+		groupCol = res.guessColumn(preferCategory, rng)
+		note("group column %q unresolved; guessing %s", it.group, groupCol)
+	}
+	return groupCol
+}
+
+// exampleCoverage reports whether any prompt example demonstrates a skill —
+// the few-shot dependence of §4.1: the model adapts to the closed API only
+// through in-context examples.
+func (g *Generator) exampleCoverage(p *Prompt, skill string) bool {
+	for _, s := range p.Examples {
+		for _, inv := range s.Example.Program {
+			if inv.Skill == skill {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// domainCovered reports whether any prompt example operates on the given
+// table — the proxy for "the model has seen this domain before".
+func (g *Generator) domainCovered(p *Prompt, table string) bool {
+	for _, s := range p.Examples {
+		for _, inv := range s.Example.Program {
+			for _, in := range inv.Inputs {
+				if strings.EqualFold(in, table) {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
+func maxSimilarity(examples []Scored) float64 {
+	best := 0.0
+	for _, s := range examples {
+		if s.Similarity > best {
+			best = s.Similarity
+		}
+	}
+	return best
+}
+
+// corrupt applies one plausible-but-wrong mutation to an operation.
+func (g *Generator) corrupt(inv *skills.Invocation, res *resolver, rng *rand.Rand, note func(string, ...any)) {
+	switch inv.Skill {
+	case "KeepRows":
+		// Wrong literal: swap the filter value for a sibling value.
+		cond := inv.Args.StringOr("condition", "")
+		if alt, ok := res.siblingValue(cond, rng); ok {
+			inv.Args["condition"] = alt
+			note("slip: filter literal replaced (%s)", alt)
+			return
+		}
+		note("slip: filter dropped")
+		inv.Args["condition"] = "1 = 1"
+	case "Compute":
+		if aggs, err := inv.Args.AggSpecs("aggregates"); err == nil && len(aggs) > 0 {
+			swapped := map[string]string{"sum": "avg", "avg": "sum", "max": "min", "min": "max", "median": "avg", "count": "count"}
+			fn := swapped[strings.ToLower(aggs[0].Func)]
+			if fn == "" {
+				fn = "avg"
+			}
+			if fn != strings.ToLower(aggs[0].Func) {
+				inv.Args["aggregates"] = []string{fmt.Sprintf("%s of %s as %s", fn, aggs[0].Column, aggs[0].OutName())}
+				note("slip: aggregate function swapped to %s", fn)
+				return
+			}
+			// COUNT corrupts by grouping wrong.
+			if cats := res.categories(); len(cats) > 0 {
+				inv.Args["for_each"] = []string{cats[rng.Intn(len(cats))]}
+				note("slip: grouping column replaced")
+			}
+		}
+	case "SortRows":
+		inv.Args["descending"] = false
+		note("slip: sort direction flipped")
+	case "LimitRows":
+		n := inv.Args.IntOr("count", 1)
+		inv.Args["count"] = n + 1
+		note("slip: limit off by one")
+	case "JoinDatasets":
+		// Degenerate join condition — a classic LLM join mistake that
+		// turns the equi-join into a cross product.
+		inv.Args["on"] = "1 = 1"
+		note("slip: join condition degenerated")
+	}
+}
+
+// injectTypo misspells one referenced column — syntactically valid code
+// that fails execution unless the program checker repairs it.
+func (g *Generator) injectTypo(program []skills.Invocation, rng *rand.Rand, note func(string, ...any)) {
+	for _, inv := range program {
+		if inv.Skill != "Compute" {
+			continue
+		}
+		aggs, err := inv.Args.AggSpecs("aggregates")
+		if err != nil || len(aggs) == 0 || aggs[0].Column == "*" {
+			continue
+		}
+		typo := aggs[0].Column + "s"
+		if rng.Intn(2) == 0 {
+			typo = aggs[0].Column + "_col"
+		}
+		inv.Args["aggregates"] = []string{fmt.Sprintf("%s of %s as %s", aggs[0].Func, typo, aggs[0].OutName())}
+		note("typo: column misspelled as %s", typo)
+		return
+	}
+}
+
+func renderProgram(reg *skills.Registry, program []skills.Invocation) (string, error) {
+	lines := make([]string, len(program))
+	for i, inv := range program {
+		code, err := reg.RenderPython(inv)
+		if err != nil {
+			return "", err
+		}
+		lines[i] = code
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// ---- intent parsing ----
+
+var aggIntentWords = map[string]string{
+	"average": "avg", "mean": "avg", "total": "sum", "sum": "sum",
+	"maximum": "max", "minimum": "min", "median": "median",
+	"highest": "max", "largest": "max", "lowest": "min",
+}
+
+// parseIntent extracts the generator's reading of the question. It works
+// on word sequences, not embeddings — deliberately shallow, because the
+// interesting behaviour is how grounding succeeds or fails downstream.
+func parseIntent(p *Prompt, note func(string, ...any)) intent {
+	q := strings.ToLower(p.Question)
+	words := strings.FieldsFunc(q, func(r rune) bool {
+		return !(r >= 'a' && r <= 'z') && !(r >= '0' && r <= '9') && r != '_' && r != '-'
+	})
+	var it intent
+
+	it.wantCount = strings.Contains(q, "how many") || strings.HasPrefix(q, "count") ||
+		strings.Contains(q, "number of")
+	// Distinct-count: "how many distinct X", "how many different X",
+	// "count the distinct X".
+	for _, marker := range []string{"distinct ", "different "} {
+		if idx := strings.Index(q, marker); idx >= 0 && it.wantCount {
+			it.distinctOf = cutPhrase(q[idx+len(marker):])
+			break
+		}
+	}
+
+	// Aggregate: "average X", "total X", "highest total X" (the adjective
+	// before the measure is the aggregate; "highest" marks top-k when a
+	// group is requested).
+	for i, w := range words {
+		if fn, ok := aggIntentWords[w]; ok && w != "highest" && w != "largest" && w != "lowest" {
+			it.aggFn = fn
+			it.measure = phraseAfter(words, i+1)
+			break
+		}
+	}
+	// Top-k: "which 3 <group> have the highest <agg> <measure>".
+	if i := indexOf(words, "highest"); i >= 0 || strings.Contains(q, "top ") {
+		if i < 0 {
+			i = indexOf(words, "top")
+		}
+		for j := 0; j < len(words); j++ {
+			if n, err := strconv.Atoi(words[j]); err == nil && n > 0 && n <= 50 {
+				it.topK = n
+				// The group phrase follows the number.
+				it.group = phraseAfter(words, j+1)
+				break
+			}
+		}
+		if it.aggFn == "" {
+			// "highest price" without another agg word: max.
+			it.aggFn = "max"
+			it.measure = phraseAfter(words, i+1)
+		}
+	}
+	// Grouping: "for each X", "per X", "grouped by X", "broken down by X".
+	for _, marker := range []string{"for each ", "per ", "grouped by ", "broken down by "} {
+		if idx := strings.Index(q, marker); idx >= 0 {
+			tail := q[idx+len(marker):]
+			it.group = cutPhrase(tail)
+			break
+		}
+	}
+	// Join: the word "joined" or a second table name in the question.
+	if strings.Contains(q, "joined") {
+		it.join = true
+	}
+	for _, t := range p.Schema[1:] {
+		_ = t
+	}
+	for _, t := range p.Schema {
+		if strings.Contains(q, strings.ToLower(t.Name)) {
+			// Mentioning a non-base table implies a join; pickFactTable
+			// decides which is the base.
+			it.joinTable = t.Name
+		}
+	}
+
+	// Filter: semantic filter phrases first (the SL's whole point), then
+	// syntactic patterns.
+	for _, h := range p.Hints {
+		if h.Kind == semantic.Filter && strings.Contains(q, strings.ToLower(h.Phrase)) {
+			it.filterPred = h.Expansion
+			break
+		}
+	}
+	if it.filterPred == "" {
+		for _, pattern := range []string{"where ", "restricted to ", "among ", "with "} {
+			idx := strings.Index(q, pattern)
+			if idx < 0 {
+				continue
+			}
+			clause := cutPhrase(q[idx+len(pattern):])
+			col, val := splitFilterClause(clause)
+			if col != "" && val != "" {
+				it.filterCol, it.filterVal = col, val
+				break
+			}
+		}
+		// "have X equal to V" / "X is V".
+		if it.filterCol == "" {
+			for _, pattern := range []string{" have ", " has "} {
+				idx := strings.Index(q, pattern)
+				if idx < 0 {
+					continue
+				}
+				clause := cutPhrase(q[idx+len(pattern):])
+				col, val := splitFilterClause(clause)
+				if col != "" && val != "" {
+					it.filterCol, it.filterVal = col, val
+				}
+			}
+		}
+	}
+	note("intent: count=%v agg=%s measure=%q group=%q topk=%d filter=(%q=%q) pred=%q join=%v",
+		it.wantCount, it.aggFn, it.measure, it.group, it.topK, it.filterCol, it.filterVal, it.filterPred, it.join)
+	return it
+}
+
+// phraseAfter joins up to three words starting at i, stopping at clause
+// boundaries.
+func phraseAfter(words []string, i int) string {
+	stop := map[string]bool{
+		"for": true, "per": true, "grouped": true, "where": true, "of": true,
+		"with": true, "have": true, "has": true, "broken": true, "restricted": true,
+		"among": true, "in": true, "the": true, "by": true, "were": true, "is": true,
+	}
+	var out []string
+	for ; i < len(words) && len(out) < 3; i++ {
+		if stop[words[i]] {
+			if len(out) > 0 {
+				break
+			}
+			continue
+		}
+		out = append(out, words[i])
+	}
+	return strings.Join(out, " ")
+}
+
+func cutPhrase(s string) string {
+	for _, cut := range []string{"?", ".", ",", " of the "} {
+		if i := strings.Index(s, cut); i >= 0 {
+			s = s[:i]
+		}
+	}
+	return strings.TrimSpace(s)
+}
+
+// splitFilterClause splits "status is successful" / "status equal to x" /
+// "region east" into column phrase and value.
+func splitFilterClause(clause string) (col, val string) {
+	for _, sep := range []string{" equal to ", " is ", " = "} {
+		if i := strings.Index(clause, sep); i >= 0 {
+			return strings.TrimSpace(clause[:i]), strings.TrimSpace(clause[i+len(sep):])
+		}
+	}
+	words := strings.Fields(clause)
+	if len(words) >= 2 {
+		return strings.Join(words[:len(words)-1], " "), words[len(words)-1]
+	}
+	return "", ""
+}
+
+func indexOf(words []string, w string) int {
+	for i, x := range words {
+		if x == w {
+			return i
+		}
+	}
+	return -1
+}

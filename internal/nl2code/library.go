@@ -1,0 +1,187 @@
+package nl2code
+
+import (
+	"math"
+	"sort"
+	"strings"
+
+	"datachat/internal/expr"
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+	"datachat/internal/sqlengine"
+)
+
+// parseConditionExpr parses a condition string into an expression.
+func parseConditionExpr(cond string) (expr.Expr, error) {
+	return sqlengine.ParseExpr(cond)
+}
+
+// LibraryExample is one question/solution pair in the example library
+// (§4.3): the solutions span analytics functions and domains so few-shot
+// prompts can cover the user's intent.
+type LibraryExample struct {
+	// Question is the NL question.
+	Question string
+	// Program is the solution as skill invocations.
+	Program []skills.Invocation
+	// Domain names the example's source domain.
+	Domain string
+
+	// derived fields
+	tokens    map[string]float64
+	functions string
+}
+
+// Functions returns the example's analytics-function signature: the sorted
+// set of skills its program uses.
+func (e *LibraryExample) Functions() string {
+	if e.functions == "" {
+		set := map[string]bool{}
+		for _, inv := range e.Program {
+			set[inv.Skill] = true
+		}
+		names := make([]string, 0, len(set))
+		for name := range set {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		e.functions = strings.Join(names, "+")
+	}
+	return e.functions
+}
+
+func (e *LibraryExample) tokenVector() map[string]float64 {
+	if e.tokens == nil {
+		e.tokens = vectorize(e.Question)
+	}
+	return e.tokens
+}
+
+func vectorize(text string) map[string]float64 {
+	v := map[string]float64{}
+	for _, tok := range semantic.Tokens(text) {
+		v[tok]++
+	}
+	return v
+}
+
+func cosine(a, b map[string]float64) float64 {
+	dot, na, nb := 0.0, 0.0, 0.0
+	for k, av := range a {
+		na += av * av
+		if bv, ok := b[k]; ok {
+			dot += av * bv
+		}
+	}
+	for _, bv := range b {
+		nb += bv * bv
+	}
+	if na == 0 || nb == 0 {
+		return 0
+	}
+	return dot / math.Sqrt(na*nb)
+}
+
+// Library is the example repository with similarity retrieval.
+type Library struct {
+	examples []*LibraryExample
+}
+
+// NewLibrary builds a library.
+func NewLibrary(examples []*LibraryExample) *Library {
+	return &Library{examples: examples}
+}
+
+// Len returns the number of stored examples.
+func (l *Library) Len() int { return len(l.examples) }
+
+// RetrievalMode selects how examples are picked for prompts.
+type RetrievalMode int
+
+// Retrieval modes; the paper's method is SimilarDiverse (§4.3: rank by
+// similarity, then select examples featuring a unique set of analytics
+// functions). Random is the ablation baseline.
+const (
+	SimilarDiverse RetrievalMode = iota
+	SimilarOnly
+	Random
+)
+
+// Scored pairs an example with its similarity to the query.
+type Scored struct {
+	Example    *LibraryExample
+	Similarity float64
+}
+
+// Retrieve returns up to k examples for the question. SimilarDiverse ranks
+// by cosine similarity and greedily keeps examples whose function signature
+// is new, so the prompt demonstrates a variety of compositions.
+func (l *Library) Retrieve(question string, k int, mode RetrievalMode) []Scored {
+	if k <= 0 || len(l.examples) == 0 {
+		return nil
+	}
+	qv := vectorize(question)
+	scored := make([]Scored, len(l.examples))
+	for i, ex := range l.examples {
+		scored[i] = Scored{Example: ex, Similarity: cosine(qv, ex.tokenVector())}
+	}
+	if mode == Random {
+		// Deterministic pseudo-random: rank by a hash of question+example.
+		sort.SliceStable(scored, func(a, b int) bool {
+			return hashString(question+scored[a].Example.Question) <
+				hashString(question+scored[b].Example.Question)
+		})
+		if len(scored) > k {
+			scored = scored[:k]
+		}
+		return scored
+	}
+	sort.SliceStable(scored, func(a, b int) bool { return scored[a].Similarity > scored[b].Similarity })
+	if mode == SimilarOnly {
+		if len(scored) > k {
+			scored = scored[:k]
+		}
+		return scored
+	}
+	// SimilarDiverse: first pass keeps unique function signatures.
+	var out []Scored
+	seenFuncs := map[string]bool{}
+	for _, s := range scored {
+		if len(out) >= k {
+			break
+		}
+		sig := s.Example.Functions()
+		if seenFuncs[sig] {
+			continue
+		}
+		seenFuncs[sig] = true
+		out = append(out, s)
+	}
+	// Fill remaining slots by raw similarity.
+	if len(out) < k {
+		chosen := map[*LibraryExample]bool{}
+		for _, s := range out {
+			chosen[s.Example] = true
+		}
+		for _, s := range scored {
+			if len(out) >= k {
+				break
+			}
+			if !chosen[s.Example] {
+				out = append(out, s)
+			}
+		}
+	}
+	return out
+}
+
+// hashString is a small FNV-1a hash used for deterministic pseudo-random
+// decisions.
+func hashString(s string) uint64 {
+	var h uint64 = 14695981039346656037
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}

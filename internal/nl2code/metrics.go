@@ -1,0 +1,238 @@
+// Package nl2code implements DataChat's NL-intent-to-code system (§4): the
+// simulated-LLM code generator, semantic-layer integration, example
+// retrieval, prompt composer, program checker, the difficulty metrics M
+// (misalignment) and C (degree of composition) of §4.7, and the
+// execution-accuracy evaluator behind Table 2 and Figure 7.
+//
+// The LLM substitution: the paper prompts a GPT-family model; offline we
+// use a deterministic retrieval-and-compose generator whose competence is
+// bounded by exactly the limitations §4 names — it only knows what the
+// prompt contains (schema, semantic snippets, retrieved examples), its
+// reference resolution fails when question vocabulary misaligns with the
+// schema, and its per-operation slip rate grows with plan depth. Accuracy
+// is then *measured* by executing generated programs against ground truth,
+// not scripted.
+package nl2code
+
+import (
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+)
+
+// Thresholds from §4.7 / Figure 7: M and C classify into low/high at these
+// cut points.
+const (
+	MThreshold = 0.4
+	CThreshold = 30.0
+)
+
+// analyticVocabulary lists task-language words that never align with schema
+// identifiers (aggregation words, comparatives, glue). They are excluded
+// from the misalignment numerator: a question saying "average" is not
+// misaligned with a schema lacking an "average" column.
+var analyticVocabulary = map[string]bool{
+	"count": true, "number": true, "average": true, "total": true, "sum": true,
+	"maximum": true, "minimum": true, "median": true, "highest": true,
+	"lowest": true, "top": true, "most": true, "least": true, "equal": true,
+	"grouped": true, "broken": true, "down": true, "per": true, "where": true,
+	"restricted": true, "among": true, "across": true, "joined": true,
+	"compute": true, "fall": true, "under": true, "were": true, "values": true,
+	"value": true,
+}
+
+// SchemaVocabulary collects the match targets for misalignment scoring: the
+// tokens of table names, column names, and the distinct values of
+// low-cardinality string columns (value linking, as real NL2SQL systems do).
+func SchemaVocabulary(tables map[string]*dataset.Table) map[string]bool {
+	vocab := map[string]bool{}
+	addTokens := func(text string) {
+		for _, tok := range semantic.Tokens(text) {
+			vocab[tok] = true
+		}
+	}
+	for name, t := range tables {
+		addTokens(name)
+		for _, c := range t.Columns() {
+			addTokens(c.Name())
+			if c.Type() == dataset.TypeString {
+				distinct := map[string]bool{}
+				for i := 0; i < c.Len() && len(distinct) <= 24; i++ {
+					if !c.IsNull(i) {
+						distinct[c.Value(i).S] = true
+					}
+				}
+				if len(distinct) <= 24 {
+					for v := range distinct {
+						addTokens(v)
+					}
+				}
+			}
+		}
+	}
+	return vocab
+}
+
+// contentTokens returns the question tokens that participate in
+// misalignment scoring: content words that are neither analytic vocabulary
+// nor bare numbers.
+func contentTokens(question string) []string {
+	var out []string
+	for _, tok := range semantic.Tokens(question) {
+		if analyticVocabulary[tok] || isNumber(tok) {
+			continue
+		}
+		out = append(out, tok)
+	}
+	return out
+}
+
+func isNumber(tok string) bool {
+	for _, r := range tok {
+		if r < '0' || r > '9' {
+			return false
+		}
+	}
+	return len(tok) > 0
+}
+
+// Misalignment computes M for a question against a schema: the weighted sum
+// of a query-mismatch score s1 (question content tokens with no schema
+// match) and a schema-irrelevance score s2 (columns the solution needs
+// whose names the question never says). needed lists the column names the
+// ground-truth program references.
+func Misalignment(question string, vocab map[string]bool, needed []string) float64 {
+	tokens := contentTokens(question)
+	s1 := 0.0
+	if len(tokens) > 0 {
+		misses := 0
+		for _, tok := range tokens {
+			if !vocab[tok] {
+				misses++
+			}
+		}
+		s1 = float64(misses) / float64(len(tokens))
+	}
+	s2 := 0.0
+	if len(needed) > 0 {
+		questionSet := map[string]bool{}
+		for _, tok := range semantic.Tokens(question) {
+			questionSet[tok] = true
+		}
+		misses := 0
+		for _, col := range needed {
+			found := false
+			for _, tok := range semantic.Tokens(col) {
+				if questionSet[tok] {
+					found = true
+				}
+			}
+			if !found {
+				misses++
+			}
+		}
+		s2 = float64(misses) / float64(len(needed))
+	}
+	return 0.5*s1 + 0.5*s2
+}
+
+// NeededColumns extracts the column names a program references — the
+// schema identifiers the question must link to.
+func NeededColumns(program []skills.Invocation) []string {
+	seen := map[string]bool{}
+	var out []string
+	add := func(name string) {
+		name = strings.TrimSpace(name)
+		if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+			name = name[dot+1:]
+		}
+		if name == "" || name == "*" || seen[name] {
+			return
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	for _, inv := range program {
+		if cond := inv.Args.StringOr("condition", ""); cond != "" {
+			if e, err := parseConditionExpr(cond); err == nil {
+				for _, c := range e.Columns(nil) {
+					add(c)
+				}
+			}
+		}
+		if aggs, err := inv.Args.AggSpecs("aggregates"); err == nil {
+			for _, a := range aggs {
+				add(a.Column)
+			}
+		}
+		for _, key := range inv.Args.StringListOr("for_each") {
+			add(key)
+		}
+		for _, key := range inv.Args.StringListOr("columns") {
+			// SortRows keys named after computed aliases are not schema
+			// columns; they are filtered by the caller if needed.
+			add(key)
+		}
+		if on := inv.Args.StringOr("on", ""); on != "" {
+			if e, err := parseConditionExpr(on); err == nil {
+				for _, c := range e.Columns(nil) {
+					add(c)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// opWeights scores each skill's compositional weight; joins are the
+// heaviest, per §4.7's note that a JOIN "carries more weight than an
+// aggregation function on a single column".
+var opWeights = map[string]float64{
+	"KeepRows":     6,
+	"DropRows":     6,
+	"KeepColumns":  3,
+	"NewColumn":    5,
+	"SortRows":     5,
+	"LimitRows":    4,
+	"DistinctRows": 4,
+	"JoinDatasets": 18,
+	"Concatenate":  10,
+	"Pivot":        14,
+	"Bin":          5,
+}
+
+// nestingFactor is the extra weight each later pipeline position adds,
+// modeling §4.7's nesting-level weighting (a step consuming a derived
+// dataset is like a deeper sub-query).
+const nestingFactor = 0.3
+
+// Composition computes C for a program: per-operation weights scaled by
+// pipeline depth. Compute steps weigh by their aggregate and grouping
+// fan-out.
+func Composition(program []skills.Invocation) float64 {
+	total := 0.0
+	for depth, inv := range program {
+		w, ok := opWeights[inv.Skill]
+		if !ok {
+			switch inv.Skill {
+			case "Compute":
+				w = 10
+				if aggs, err := inv.Args.AggSpecs("aggregates"); err == nil {
+					w += 3 * float64(len(aggs))
+				}
+				w += 4 * float64(len(inv.Args.StringListOr("for_each")))
+			default:
+				w = 3
+			}
+		}
+		total += w * (1 + nestingFactor*float64(depth))
+	}
+	return total
+}
+
+// ZoneOf classifies (M, C) against the §4.7 thresholds.
+func ZoneOf(m, c float64) (highM, highC bool) {
+	return m > MThreshold, c > CThreshold
+}

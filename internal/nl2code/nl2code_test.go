@@ -1,0 +1,504 @@
+package nl2code
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+	"datachat/internal/spider"
+)
+
+var (
+	reg     = skills.NewRegistry()
+	domains = spider.Domains(1)
+)
+
+func domainByName(t *testing.T, name string) *spider.Domain {
+	t.Helper()
+	for _, d := range domains {
+		if d.Name == name {
+			return d
+		}
+	}
+	t.Fatalf("no domain %s", name)
+	return nil
+}
+
+func libraryFor(t *testing.T) *Library {
+	t.Helper()
+	var examples []*LibraryExample
+	for _, ex := range spider.GenerateLibrary(domains, 99, 8) {
+		examples = append(examples, &LibraryExample{
+			Question: ex.Question, Program: ex.Gold, Domain: ex.Domain,
+		})
+	}
+	return NewLibrary(examples)
+}
+
+func TestMisalignmentSeparatesZones(t *testing.T) {
+	sales := domainByName(t, "sales")
+	vocab := SchemaVocabulary(sales.Tables)
+	low := Misalignment("How many orders have status equal to Successful?", vocab, []string{"status"})
+	high := Misalignment("How many orders fall under purchase outcome Successful?", vocab, []string{"status"})
+	if low >= MThreshold {
+		t.Errorf("low-M question scored %v", low)
+	}
+	if high <= MThreshold {
+		t.Errorf("high-M question scored %v", high)
+	}
+	if high <= low {
+		t.Errorf("high (%v) should exceed low (%v)", high, low)
+	}
+}
+
+func TestCompositionSeparatesZones(t *testing.T) {
+	simple := []skills.Invocation{
+		{Skill: "Compute", Inputs: []string{"orders"},
+			Args: skills.Args{"aggregates": []string{"avg of price as r"}, "for_each": []string{"region"}}},
+	}
+	deep := []skills.Invocation{
+		{Skill: "JoinDatasets", Inputs: []string{"orders", "customers"}, Args: skills.Args{"on": "a = b"}},
+		{Skill: "KeepRows", Inputs: []string{"j"}, Args: skills.Args{"condition": "x = 1"}},
+		{Skill: "Compute", Inputs: []string{"f"},
+			Args: skills.Args{"aggregates": []string{"sum of price as r"}, "for_each": []string{"segment"}}},
+		{Skill: "SortRows", Inputs: []string{"g"}, Args: skills.Args{"columns": []string{"r"}}},
+		{Skill: "LimitRows", Inputs: []string{"s"}, Args: skills.Args{"count": 3}},
+	}
+	cSimple := Composition(simple)
+	cDeep := Composition(deep)
+	if cSimple >= CThreshold {
+		t.Errorf("simple program C = %v", cSimple)
+	}
+	if cDeep <= CThreshold {
+		t.Errorf("deep program C = %v", cDeep)
+	}
+}
+
+// TestMetricsAgreeWithGeneratorIntent characterizes the full dev split and
+// checks the measured (M, C) zones match the generator's intended zones for
+// the overwhelming majority — Figure 7's premise.
+func TestMetricsAgreeWithGeneratorIntent(t *testing.T) {
+	byName := map[string]*spider.Domain{}
+	for _, d := range domains {
+		byName[d.Name] = d
+	}
+	dev := spider.GenerateDev(domains, 42)
+	agree, total := 0, 0
+	vocabCache := map[string]map[string]bool{}
+	for _, ex := range dev {
+		d := byName[ex.Domain]
+		vocab, ok := vocabCache[d.Name]
+		if !ok {
+			vocab = SchemaVocabulary(d.Tables)
+			vocabCache[d.Name] = vocab
+		}
+		m := Misalignment(ex.Question, vocab, NeededColumns(ex.Gold))
+		c := Composition(ex.Gold)
+		highM, highC := ZoneOf(m, c)
+		var measured spider.Zone
+		switch {
+		case highM && highC:
+			measured = spider.HighHigh
+		case highM:
+			measured = spider.HighLow
+		case highC:
+			measured = spider.LowHigh
+		default:
+			measured = spider.LowLow
+		}
+		total++
+		if measured == ex.Zone {
+			agree++
+		}
+	}
+	rate := float64(agree) / float64(total)
+	if rate < 0.85 {
+		t.Errorf("zone agreement = %.3f (%d/%d), want >= 0.85", rate, agree, total)
+	}
+}
+
+func TestNeededColumns(t *testing.T) {
+	program := []skills.Invocation{
+		{Skill: "KeepRows", Args: skills.Args{"condition": "status = 'ok' AND price > 3"}},
+		{Skill: "Compute", Args: skills.Args{
+			"aggregates": []string{"sum of price as total"}, "for_each": []string{"region"}}},
+	}
+	cols := NeededColumns(program)
+	want := map[string]bool{"status": true, "price": true, "region": true}
+	if len(cols) != 3 {
+		t.Fatalf("needed = %v", cols)
+	}
+	for _, c := range cols {
+		if !want[c] {
+			t.Errorf("unexpected needed column %s", c)
+		}
+	}
+}
+
+func TestLibraryRetrieval(t *testing.T) {
+	lib := libraryFor(t)
+	if lib.Len() != 32 {
+		t.Fatalf("library size = %d", lib.Len())
+	}
+	got := lib.Retrieve("What is the average salary for each dept?", 4, SimilarDiverse)
+	if len(got) != 4 {
+		t.Fatalf("retrieved = %d", len(got))
+	}
+	if got[0].Similarity <= 0 {
+		t.Error("best match should have positive similarity")
+	}
+	// Diversity: the four picks shouldn't all share one function signature.
+	sigs := map[string]bool{}
+	for _, s := range got {
+		sigs[s.Example.Functions()] = true
+	}
+	if len(sigs) < 2 {
+		t.Errorf("retrieval not diverse: %d signatures", len(sigs))
+	}
+	// Random mode is deterministic per question.
+	r1 := lib.Retrieve("some question", 3, Random)
+	r2 := lib.Retrieve("some question", 3, Random)
+	for i := range r1 {
+		if r1[i].Example != r2[i].Example {
+			t.Error("random retrieval should be deterministic per question")
+		}
+	}
+	if lib.Retrieve("q", 0, SimilarOnly) != nil {
+		t.Error("k=0 should return nothing")
+	}
+}
+
+func TestComposerBudgetTradeoff(t *testing.T) {
+	sales := domainByName(t, "sales")
+	lib := libraryFor(t)
+	c := NewComposer(reg)
+	simple := c.Compose("How many orders have status equal to Successful?", sales.Tables, sales.Layer, lib, 10)
+	complexP := c.Compose("Across the joined customers, which 3 segment have the highest total amount charged, restricted to successful purchases?",
+		sales.Tables, sales.Layer, lib, 60)
+	if len(simple.Examples) == 0 {
+		t.Error("simple prompt should carry examples")
+	}
+	if len(complexP.Examples) > 2 {
+		t.Errorf("complex prompt kept %d examples; §4.4 trades them for semantic context", len(complexP.Examples))
+	}
+	if len(complexP.Hints) == 0 {
+		t.Error("complex prompt should carry semantic hints")
+	}
+	text := complexP.Text(reg)
+	for _, section := range []string{"## DataChat Python API", "## Schema", "## Request"} {
+		if !strings.Contains(text, section) {
+			t.Errorf("prompt text missing %s", section)
+		}
+	}
+	// Ablation: semantic disabled.
+	c.DisableSemantic = true
+	noSem := c.Compose("successful purchases", sales.Tables, sales.Layer, lib, 10)
+	if len(noSem.Hints) != 0 {
+		t.Error("DisableSemantic should drop hints")
+	}
+}
+
+func TestGeneratorOnEasyQuestion(t *testing.T) {
+	sales := domainByName(t, "sales")
+	lib := libraryFor(t)
+	sys := NewSystem(reg, lib)
+	sys.Generator.SlipBase = 0 // isolate resolution from noise
+	sys.Generator.PlanPenalty = 0
+	sys.Generator.TypoRate = 0
+	resp, err := sys.Generate(Request{
+		Question: "What is the average price for each region?",
+		Tables:   sales.Tables,
+		Layer:    sales.Layer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Program) != 1 || resp.Program[0].Skill != "Compute" {
+		t.Fatalf("program = %+v", resp.Program)
+	}
+	aggs, _ := resp.Program[0].Args.AggSpecs("aggregates")
+	if aggs[0].Func != "avg" || aggs[0].Column != "price" {
+		t.Errorf("agg = %+v", aggs[0])
+	}
+	keys := resp.Program[0].Args.StringListOr("for_each")
+	if len(keys) != 1 || keys[0] != "region" {
+		t.Errorf("group = %v", keys)
+	}
+	if len(resp.GEL) == 0 || !strings.Contains(resp.GEL[0], "Compute the avg of price") {
+		t.Errorf("GEL = %v", resp.GEL)
+	}
+}
+
+func TestGeneratorUsesSemanticHintForPhrase(t *testing.T) {
+	sales := domainByName(t, "sales")
+	lib := libraryFor(t)
+	sys := NewSystem(reg, lib)
+	sys.Generator.SlipBase = 0
+	sys.Generator.PlanPenalty = 0
+	sys.Generator.TypoRate = 0
+	resp, err := sys.Generate(Request{
+		Question: "How many successful purchases were there?",
+		Tables:   sales.Tables,
+		Layer:    sales.Layer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Program) < 2 || resp.Program[0].Skill != "KeepRows" {
+		t.Fatalf("program = %+v", resp.Program)
+	}
+	cond := resp.Program[0].Args.StringOr("condition", "")
+	if !strings.Contains(cond, "status = 'Successful'") {
+		t.Errorf("condition = %s (semantic hint not applied)", cond)
+	}
+}
+
+func TestGeneratorDeterministic(t *testing.T) {
+	sales := domainByName(t, "sales")
+	lib := libraryFor(t)
+	sys := NewSystem(reg, lib)
+	req := Request{Question: "Which 3 region have the highest total price where status is Refunded?",
+		Tables: sales.Tables, Layer: sales.Layer}
+	a, err := sys.Generate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.Generate(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Python != b.Python {
+		t.Errorf("generation not deterministic:\n%s\nvs\n%s", a.Python, b.Python)
+	}
+}
+
+func TestCheckerRepairsTypo(t *testing.T) {
+	sales := domainByName(t, "sales")
+	checker := NewChecker(reg)
+	code := `step1 = orders.compute(aggregates = [Sum("prices", as_name="total")], for_each = ["region"])`
+	program, report, err := checker.Check(code, sales.Tables)
+	if err != nil {
+		t.Fatalf("checker should repair the typo: %v", err)
+	}
+	if len(report.Repairs) != 1 || !strings.Contains(report.Repairs[0], "prices → price") {
+		t.Errorf("repairs = %v", report.Repairs)
+	}
+	aggs, _ := program[0].Args.AggSpecs("aggregates")
+	if aggs[0].Column != "price" {
+		t.Errorf("column = %s", aggs[0].Column)
+	}
+}
+
+func TestCheckerRemovesDeadCode(t *testing.T) {
+	sales := domainByName(t, "sales")
+	checker := NewChecker(reg)
+	code := `unused = orders.keep_rows(condition = "price > 10")
+answer = orders.compute(aggregates = [Count("order_id", as_name="n")])`
+	program, report, err := checker.Check(code, sales.Tables)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if report.Removed != 1 || len(program) != 1 {
+		t.Errorf("removed = %d, program = %d statements", report.Removed, len(program))
+	}
+}
+
+func TestCheckerRejects(t *testing.T) {
+	sales := domainByName(t, "sales")
+	checker := NewChecker(reg)
+	cases := []string{
+		`orders.compute(aggregates = [Sum("zzzzzz")])`,      // unrepairable column
+		`orders.keep_rows(condition = "price >")`,           // bad condition
+		`mystery.compute(aggregates = [Count("order_id")])`, // undefined dataset
+		`orders.limit_rows(count = -5)`,                     // type check
+		`x = orders.frobnicate(y = 1)`,                      // unknown method
+		`this is not python at all`,                         // syntax
+		`orders.compute(for_each = ["region"])`,             // missing required param
+	}
+	for _, code := range cases {
+		if _, _, err := checker.Check(code, sales.Tables); err == nil {
+			t.Errorf("Check(%q) should fail", code)
+		}
+	}
+}
+
+func TestExecutionAccuracyMatchesAndRejects(t *testing.T) {
+	sales := domainByName(t, "sales")
+	gold := []skills.Invocation{
+		{Skill: "Compute", Inputs: []string{"orders"}, Output: "a",
+			Args: skills.Args{"aggregates": []string{"count of records as n"}, "for_each": []string{"region"}}},
+	}
+	same := []skills.Invocation{
+		{Skill: "Compute", Inputs: []string{"orders"}, Output: "b",
+			Args: skills.Args{"aggregates": []string{"count of records as total"}, "for_each": []string{"region"}}},
+	}
+	different := []skills.Invocation{
+		{Skill: "Compute", Inputs: []string{"orders"}, Output: "c",
+			Args: skills.Args{"aggregates": []string{"count of records as n"}, "for_each": []string{"status"}}},
+	}
+	broken := []skills.Invocation{
+		{Skill: "KeepRows", Inputs: []string{"orders"}, Output: "d",
+			Args: skills.Args{"condition": "nope > 1"}},
+	}
+	if ea, err := ExecutionAccuracy(reg, sales.Tables, gold, same); err != nil || ea != 1 {
+		t.Errorf("alias-differing equivalent program: ea=%d err=%v", ea, err)
+	}
+	if ea, _ := ExecutionAccuracy(reg, sales.Tables, gold, different); ea != 0 {
+		t.Error("different grouping should score 0")
+	}
+	if ea, _ := ExecutionAccuracy(reg, sales.Tables, gold, broken); ea != 0 {
+		t.Error("crashing program should score 0")
+	}
+	if _, err := ExecutionAccuracy(reg, sales.Tables, broken, gold); err == nil {
+		t.Error("broken ground truth should be reported")
+	}
+}
+
+// TestEndToEndAccuracyShape runs the full pipeline over a balanced sample
+// and checks the Table 2 shape: easy zones beat (high, high), and spider
+// domains beat custom domains.
+func TestEndToEndAccuracyShape(t *testing.T) {
+	lib := libraryFor(t)
+	sys := NewSystem(reg, lib)
+	byName := map[string]*spider.Domain{}
+	for _, d := range domains {
+		byName[d.Name] = d
+	}
+	evalSet := func(examples []*spider.Example, perZone int) map[spider.Zone][2]int {
+		out := map[spider.Zone][2]int{}
+		taken := map[spider.Zone]int{}
+		for _, ex := range examples {
+			if taken[ex.Zone] >= perZone {
+				continue
+			}
+			taken[ex.Zone]++
+			d := byName[ex.Domain]
+			resp, err := sys.Generate(Request{Question: ex.Question, Tables: d.Tables, Layer: d.Layer})
+			ea := 0
+			if err == nil {
+				var evalErr error
+				ea, evalErr = ExecutionAccuracy(reg, d.Tables, ex.Gold, resp.Program)
+				if evalErr != nil {
+					t.Fatalf("%s: %v", ex.ID, evalErr)
+				}
+			}
+			cur := out[ex.Zone]
+			cur[0] += ea
+			cur[1]++
+			out[ex.Zone] = cur
+		}
+		return out
+	}
+	dev := evalSet(spider.GenerateDev(domains, 42), 15)
+	custom := evalSet(spider.GenerateCustom(domains, 43), 10)
+
+	rate := func(m map[spider.Zone][2]int, z spider.Zone) float64 {
+		c := m[z]
+		if c[1] == 0 {
+			return 0
+		}
+		return float64(c[0]) / float64(c[1])
+	}
+	devLL, devHH := rate(dev, spider.LowLow), rate(dev, spider.HighHigh)
+	customHH := rate(custom, spider.HighHigh)
+	if devLL < 0.6 {
+		t.Errorf("dev (low,low) accuracy = %.2f, too low", devLL)
+	}
+	if devHH >= devLL {
+		t.Errorf("dev (high,high) %.2f should trail (low,low) %.2f", devHH, devLL)
+	}
+	if customHH >= devHH {
+		t.Errorf("custom (high,high) %.2f should trail dev (high,high) %.2f", customHH, devHH)
+	}
+	if customHH > 0.5 {
+		t.Errorf("custom (high,high) = %.2f; the paper reports a collapse (0.25)", customHH)
+	}
+}
+
+func TestSystemErrors(t *testing.T) {
+	sales := domainByName(t, "sales")
+	sys := NewSystem(reg, libraryFor(t))
+	if _, err := sys.Generate(Request{Question: "", Tables: sales.Tables}); err == nil {
+		t.Error("empty question should fail")
+	}
+	if _, err := sys.Generate(Request{Question: "count things", Tables: nil}); err == nil {
+		t.Error("no tables should fail")
+	}
+}
+
+func TestSchemaVocabularyIncludesValues(t *testing.T) {
+	tbl := dataset.MustNewTable("t",
+		dataset.StringColumn("status", []string{"Successful", "Failed"}, nil),
+		dataset.FloatColumn("price", []float64{1, 2}, nil),
+	)
+	vocab := SchemaVocabulary(map[string]*dataset.Table{"t": tbl})
+	for _, want := range []string{"status", "price", "successful", "failed", "t"} {
+		if !vocab[want] {
+			t.Errorf("vocab missing %q", want)
+		}
+	}
+}
+
+// TestMultiTurnDecomposition exercises the §4.7 closing remark: a complex
+// question decomposes into easier sequential questions, with each turn's
+// artifact persisted and available to the next turn.
+func TestMultiTurnDecomposition(t *testing.T) {
+	sales := domainByName(t, "sales")
+	lib := libraryFor(t)
+	sys := NewSystem(reg, lib)
+	sys.Generator.SlipBase = 0
+	sys.Generator.PlanPenalty = 0
+	sys.Generator.ProgramFailRate = 0
+	sys.Generator.TypoRate = 0
+
+	// Turn 1: narrow to successful purchases.
+	turn1, err := sys.Generate(Request{
+		Question: "Keep the orders where status is Successful",
+		Tables:   sales.Tables,
+		Layer:    sales.Layer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	derived, err := Execute(reg, sales.Tables, turn1.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if derived.NumRows() == 0 {
+		t.Fatal("turn 1 produced no rows")
+	}
+	// The artifact persists into the next turn's table universe.
+	tables := map[string]*dataset.Table{"successful_orders": derived.WithName("successful_orders")}
+
+	// Turn 2: aggregate over the turn-1 artifact.
+	turn2, err := sys.Generate(Request{
+		Question: "What is the average price for each region?",
+		Tables:   tables,
+		Layer:    sales.Layer,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	result, err := Execute(reg, tables, turn2.Program)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if result.NumRows() == 0 || result.NumCols() != 2 {
+		t.Errorf("turn 2 result shape = %d×%d", result.NumRows(), result.NumCols())
+	}
+	// The two-turn result equals the single-shot gold program.
+	gold := []skills.Invocation{
+		{Skill: "KeepRows", Inputs: []string{"orders"}, Output: "f",
+			Args: skills.Args{"condition": "status = 'Successful'"}},
+		{Skill: "Compute", Inputs: []string{"f"}, Output: "a",
+			Args: skills.Args{"aggregates": []string{"avg of price as result"}, "for_each": []string{"region"}}},
+	}
+	goldResult, err := Execute(reg, sales.Tables, gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ResultsMatch(goldResult, result) {
+		t.Errorf("multi-turn result differs from single-shot:\n%s\nvs\n%s", goldResult, result)
+	}
+}

@@ -1,0 +1,233 @@
+package nl2code
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+)
+
+// SemanticHint is one semantic-layer entry surfaced into a prompt. The
+// generator can only use hints that made it into the prompt — the paper's
+// token-budget trade-off (§4.4) is therefore real: hints squeezed out by
+// examples are knowledge the model does not have.
+type SemanticHint struct {
+	Phrase    string
+	Kind      semantic.Kind
+	Expansion string
+}
+
+// Prompt is the composed LLM input (§4.4's four sections): API
+// documentation, few-shot examples, schema + semantic context, and the
+// user's intent.
+type Prompt struct {
+	// APIDoc lists the DataChat Python API signatures included.
+	APIDoc []string
+	// Examples are the retrieved few-shot pairs.
+	Examples []Scored
+	// Schema describes the candidate datasets.
+	Schema []SchemaTable
+	// Hints are the semantic-layer entries that fit the budget.
+	Hints []SemanticHint
+	// Question is the user intent, always last.
+	Question string
+	// TokensUsed estimates the prompt size in whitespace tokens.
+	TokensUsed int
+	// Budget is the token limit the composer worked within.
+	Budget int
+}
+
+// SchemaTable describes one dataset in the prompt.
+type SchemaTable struct {
+	Name    string
+	Columns []string
+	// Values samples category values so the model can link literals.
+	Values map[string][]string
+}
+
+// Composer builds prompts under a token budget (§4.4). The budget models
+// the LLM context window; exceeding sections are trimmed, examples first
+// when the request looks complex (the paper's stated trade-off).
+type Composer struct {
+	// Budget is the total token allowance (≈ whitespace words).
+	Budget int
+	// MaxExamples caps the few-shot section.
+	MaxExamples int
+	// Mode selects example retrieval behaviour.
+	Mode RetrievalMode
+	// DisableSemantic drops the semantic section (ablation).
+	DisableSemantic bool
+	// Registry supplies API documentation.
+	Registry *skills.Registry
+}
+
+// NewComposer returns a composer with paper-like defaults.
+func NewComposer(reg *skills.Registry) *Composer {
+	return &Composer{Budget: 900, MaxExamples: 4, Mode: SimilarDiverse, Registry: reg}
+}
+
+// apiDoc renders the API section once: the core analytics method
+// signatures the generator may call.
+func (c *Composer) apiDoc() []string {
+	wanted := []string{
+		"KeepRows", "KeepColumns", "NewColumn", "SortRows", "LimitRows",
+		"Compute", "JoinDatasets", "DistinctRows",
+	}
+	var docs []string
+	for _, name := range wanted {
+		def, err := c.Registry.Lookup(name)
+		if err != nil {
+			continue
+		}
+		params := make([]string, len(def.Params))
+		for i, p := range def.Params {
+			params[i] = p.Name
+		}
+		docs = append(docs, fmt.Sprintf("%s(%s) — %s", def.PyName, strings.Join(params, ", "), def.Summary))
+	}
+	return docs
+}
+
+// Compose builds the prompt for a question over the given tables. The
+// complexityEstimate (a pre-generation guess at C, e.g. from intent
+// detection) steers the budget split: complex requests trade examples for
+// semantic context, per §4.4.
+func (c *Composer) Compose(question string, tables map[string]*dataset.Table,
+	layer *semantic.Layer, lib *Library, complexityEstimate float64) *Prompt {
+
+	p := &Prompt{Question: question, Budget: c.Budget}
+	p.APIDoc = c.apiDoc()
+
+	// Schema section: always included (the model is lost without it).
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := tables[name]
+		st := SchemaTable{Name: name, Columns: t.ColumnNames(), Values: map[string][]string{}}
+		for _, col := range t.Columns() {
+			if col.Type() != dataset.TypeString {
+				continue
+			}
+			distinct := map[string]bool{}
+			for i := 0; i < col.Len() && len(distinct) <= 12; i++ {
+				if !col.IsNull(i) {
+					distinct[col.Value(i).S] = true
+				}
+			}
+			if len(distinct) <= 12 {
+				vals := make([]string, 0, len(distinct))
+				for v := range distinct {
+					vals = append(vals, v)
+				}
+				sort.Strings(vals)
+				st.Values[col.Name()] = vals
+			}
+		}
+		p.Schema = append(p.Schema, st)
+	}
+
+	// Split the remaining budget between examples and semantic hints.
+	used := tokenCost(p.APIDoc) + schemaCost(p.Schema) + len(strings.Fields(question))
+	remaining := c.Budget - used
+	if remaining < 0 {
+		remaining = 0
+	}
+	exampleShare := 0.7
+	maxExamples := c.MaxExamples
+	if complexityEstimate > CThreshold {
+		// Complex request: prefer semantic context over examples (§4.4).
+		exampleShare = 0.5
+		if maxExamples > 2 {
+			maxExamples = 2
+		}
+	}
+	exampleBudget := int(float64(remaining) * exampleShare)
+	semanticBudget := remaining - exampleBudget
+
+	if lib != nil {
+		for _, s := range lib.Retrieve(question, maxExamples, c.Mode) {
+			cost := len(strings.Fields(s.Example.Question)) + 12*len(s.Example.Program)
+			if cost > exampleBudget {
+				break
+			}
+			exampleBudget -= cost
+			p.Examples = append(p.Examples, s)
+		}
+	}
+	if layer != nil && !c.DisableSemantic {
+		for _, s := range layer.Retrieve(question, 0) {
+			cost := len(strings.Fields(s.Concept.Name)) + len(strings.Fields(s.Concept.Expansion)) + 2
+			if cost > semanticBudget {
+				break
+			}
+			semanticBudget -= cost
+			p.Hints = append(p.Hints, SemanticHint{
+				Phrase:    s.Concept.Name,
+				Kind:      s.Concept.Kind,
+				Expansion: s.Concept.Expansion,
+			})
+		}
+	}
+	p.TokensUsed = c.Budget - (exampleBudget + semanticBudget) + 0
+	return p
+}
+
+func tokenCost(lines []string) int {
+	total := 0
+	for _, l := range lines {
+		total += len(strings.Fields(l))
+	}
+	return total
+}
+
+func schemaCost(tables []SchemaTable) int {
+	total := 0
+	for _, t := range tables {
+		total += 1 + len(t.Columns)
+		for _, vals := range t.Values {
+			total += len(vals)
+		}
+	}
+	return total
+}
+
+// Text renders the prompt as the flat text a real LLM would receive; used
+// for logging, debugging, and the Figure 6 pipeline trace.
+func (p *Prompt) Text(reg *skills.Registry) string {
+	var b strings.Builder
+	b.WriteString("## DataChat Python API\n")
+	for _, doc := range p.APIDoc {
+		b.WriteString(doc)
+		b.WriteByte('\n')
+	}
+	if len(p.Examples) > 0 {
+		b.WriteString("\n## Examples\n")
+		for _, s := range p.Examples {
+			fmt.Fprintf(&b, "Q: %s\n", s.Example.Question)
+			for _, inv := range s.Example.Program {
+				if code, err := reg.RenderPython(inv); err == nil {
+					b.WriteString(code)
+					b.WriteByte('\n')
+				}
+			}
+		}
+	}
+	b.WriteString("\n## Schema\n")
+	for _, t := range p.Schema {
+		fmt.Fprintf(&b, "%s(%s)\n", t.Name, strings.Join(t.Columns, ", "))
+	}
+	if len(p.Hints) > 0 {
+		b.WriteString("\n## Domain concepts\n")
+		for _, h := range p.Hints {
+			fmt.Fprintf(&b, "%s (%s): %s\n", h.Phrase, h.Kind, h.Expansion)
+		}
+	}
+	fmt.Fprintf(&b, "\n## Request\n%s\n", p.Question)
+	return b.String()
+}

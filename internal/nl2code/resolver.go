@@ -1,0 +1,326 @@
+package nl2code
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+
+	"datachat/internal/semantic"
+)
+
+// columnPreference biases resolution toward grouping or measuring columns.
+type columnPreference int
+
+const (
+	preferAny columnPreference = iota
+	preferCategory
+	preferMeasure
+)
+
+// resolver grounds surface phrases in the prompt's schema and hints. Like
+// the generator, it knows nothing beyond the prompt.
+type resolver struct {
+	prompt *Prompt
+	// tables indexes schema tables by lowercase name.
+	tables map[string]*SchemaTable
+	// active is the working column universe (fact table, or fact+join).
+	active []string
+	// values maps active category columns to their sampled values.
+	values map[string][]string
+	// synonyms maps hint phrases to column expansions.
+	synonyms map[string]string
+	// hintHits counts references grounded through prompt hints rather than
+	// direct schema matches — indirect grounding is less reliable.
+	hintHits int
+}
+
+func newResolver(p *Prompt) *resolver {
+	r := &resolver{
+		prompt:   p,
+		tables:   map[string]*SchemaTable{},
+		values:   map[string][]string{},
+		synonyms: map[string]string{},
+	}
+	for i := range p.Schema {
+		t := &p.Schema[i]
+		r.tables[strings.ToLower(t.Name)] = t
+	}
+	for _, h := range p.Hints {
+		if h.Kind == semantic.Synonym || h.Kind == semantic.Dimension {
+			r.synonyms[strings.ToLower(h.Phrase)] = h.Expansion
+		}
+	}
+	return r
+}
+
+// pickFactTable chooses the base table: the one whose columns and values
+// overlap the question most; ties go to the wider table.
+func (r *resolver) pickFactTable(question string, it intent) *SchemaTable {
+	qTokens := map[string]bool{}
+	for _, tok := range semantic.Tokens(question) {
+		qTokens[tok] = true
+	}
+	var best *SchemaTable
+	bestScore := -1
+	for i := range r.prompt.Schema {
+		t := &r.prompt.Schema[i]
+		score := 0
+		for _, col := range t.Columns {
+			for _, tok := range semantic.Tokens(col) {
+				if qTokens[tok] {
+					score += 2
+				}
+			}
+		}
+		for _, vals := range t.Values {
+			for _, v := range vals {
+				for _, tok := range semantic.Tokens(v) {
+					if qTokens[tok] {
+						score++
+					}
+				}
+			}
+		}
+		for _, tok := range semantic.Tokens(t.Name) {
+			if qTokens[tok] {
+				score += 2
+			}
+		}
+		// A joinTable mention is usually the dimension, not the base.
+		if it.joinTable != "" && t.Name == it.joinTable && len(r.prompt.Schema) > 1 {
+			score--
+		}
+		if score > bestScore || (score == bestScore && best != nil && len(t.Columns) > len(best.Columns)) {
+			best, bestScore = t, score
+		}
+	}
+	r.setActive(best)
+	return best
+}
+
+func (r *resolver) setActive(t *SchemaTable) {
+	r.active = append([]string{}, t.Columns...)
+	r.values = map[string][]string{}
+	for col, vals := range t.Values {
+		r.values[col] = vals
+	}
+}
+
+// pickJoinTable selects the second relation for a join.
+func (r *resolver) pickJoinTable(fact *SchemaTable, it intent) *SchemaTable {
+	if it.joinTable != "" && !strings.EqualFold(it.joinTable, fact.Name) {
+		if t, ok := r.tables[strings.ToLower(it.joinTable)]; ok {
+			return t
+		}
+	}
+	for i := range r.prompt.Schema {
+		t := &r.prompt.Schema[i]
+		if !strings.EqualFold(t.Name, fact.Name) {
+			return t
+		}
+	}
+	return nil
+}
+
+// commonColumn finds a shared key column between two tables.
+func (r *resolver) commonColumn(a, b *SchemaTable) (string, bool) {
+	bCols := map[string]bool{}
+	for _, c := range b.Columns {
+		bCols[strings.ToLower(c)] = true
+	}
+	// Prefer *_id columns (foreign keys), as a schema-aware model would.
+	for _, c := range a.Columns {
+		if bCols[strings.ToLower(c)] && strings.HasSuffix(strings.ToLower(c), "id") {
+			return c, true
+		}
+	}
+	for _, c := range a.Columns {
+		if bCols[strings.ToLower(c)] {
+			return c, true
+		}
+	}
+	return "", false
+}
+
+// merge widens the active universe after a join.
+func (r *resolver) merge(a, b *SchemaTable) {
+	seen := map[string]bool{}
+	for _, c := range r.active {
+		seen[strings.ToLower(c)] = true
+	}
+	for _, c := range b.Columns {
+		if !seen[strings.ToLower(c)] {
+			r.active = append(r.active, c)
+		}
+	}
+	for col, vals := range b.Values {
+		if _, dup := r.values[col]; !dup {
+			r.values[col] = vals
+		}
+	}
+}
+
+// resolveColumn grounds a surface phrase: direct token overlap with a
+// column name first, then a synonym hint from the prompt. Returns false
+// when nothing matches — the misalignment failure mode.
+func (r *resolver) resolveColumn(phrase string, pref columnPreference) (string, bool) {
+	phrase = strings.TrimSpace(phrase)
+	if phrase == "" {
+		return "", false
+	}
+	phraseTokens := semantic.Tokens(phrase)
+	bestScore := 0
+	best := ""
+	for _, col := range r.candidates(pref) {
+		colTokens := semantic.Tokens(col)
+		score := 0
+		for _, pt := range phraseTokens {
+			for _, ct := range colTokens {
+				if pt == ct {
+					score += 2
+				} else if strings.HasPrefix(pt, ct) || strings.HasPrefix(ct, pt) {
+					score++
+				}
+			}
+		}
+		if score > bestScore {
+			bestScore, best = score, col
+		}
+	}
+	if best != "" {
+		return best, true
+	}
+	// Synonym hints: exact phrase, then token-wise.
+	if col, ok := r.synonyms[strings.ToLower(phrase)]; ok && r.hasActive(col) {
+		r.hintHits++
+		return col, true
+	}
+	for hintPhrase, col := range r.synonyms {
+		if !r.hasActive(col) {
+			continue
+		}
+		hintTokens := semantic.Tokens(hintPhrase)
+		hits := 0
+		for _, pt := range phraseTokens {
+			for _, ht := range hintTokens {
+				if pt == ht {
+					hits++
+				}
+			}
+		}
+		if hits > 0 && hits >= len(hintTokens)/2 {
+			r.hintHits++
+			return col, true
+		}
+	}
+	return "", false
+}
+
+func (r *resolver) hasActive(col string) bool {
+	for _, c := range r.active {
+		if strings.EqualFold(c, col) {
+			return true
+		}
+	}
+	return false
+}
+
+// candidates lists active columns matching the preference: categories are
+// the sampled-value columns, measures the numeric-looking rest (ids
+// excluded from both).
+func (r *resolver) candidates(pref columnPreference) []string {
+	var out []string
+	for _, col := range r.active {
+		lower := strings.ToLower(col)
+		isID := strings.HasSuffix(lower, "_id") || lower == "id"
+		_, isCat := r.values[col]
+		switch pref {
+		case preferCategory:
+			if isCat || (!isID && !isCat && looksCategorical(lower)) {
+				out = append(out, col)
+			}
+		case preferMeasure:
+			if !isCat && !isID {
+				out = append(out, col)
+			}
+		default:
+			if !isID {
+				out = append(out, col)
+			}
+		}
+	}
+	if len(out) == 0 {
+		out = append(out, r.active...)
+	}
+	return out
+}
+
+func looksCategorical(lower string) bool {
+	switch lower {
+	case "month", "year", "period", "quarter", "floor", "tier", "level":
+		return true
+	default:
+		return false
+	}
+}
+
+// guessColumn is the fallback when resolution fails: a deterministic
+// pseudo-random pick among plausible columns — occasionally lucky, usually
+// wrong, exactly like a hallucinating model.
+func (r *resolver) guessColumn(pref columnPreference, rng *rand.Rand) string {
+	cands := r.candidates(pref)
+	sort.Strings(cands)
+	return cands[rng.Intn(len(cands))]
+}
+
+// resolveValue finds the canonical casing of a value under a column.
+func (r *resolver) resolveValue(col, value string) (string, bool) {
+	value = strings.TrimSpace(strings.Trim(value, `'"?.`))
+	for _, v := range r.values[col] {
+		if strings.EqualFold(v, value) {
+			return v, true
+		}
+	}
+	// Look across all category columns (the model may have mis-grounded
+	// the column but the literal still pins the value).
+	for _, vals := range r.values {
+		for _, v := range vals {
+			if strings.EqualFold(v, value) {
+				return v, true
+			}
+		}
+	}
+	return value, false
+}
+
+// categories returns active category column names.
+func (r *resolver) categories() []string {
+	var out []string
+	for col := range r.values {
+		out = append(out, col)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// siblingValue rewrites an equality condition to use a different value of
+// the same column (the corruption used for filter slips).
+func (r *resolver) siblingValue(cond string, rng *rand.Rand) (string, bool) {
+	eq := strings.Index(cond, "=")
+	if eq < 0 {
+		return "", false
+	}
+	col := strings.TrimSpace(cond[:eq])
+	vals := r.values[col]
+	if len(vals) < 2 {
+		return "", false
+	}
+	cur := strings.Trim(strings.TrimSpace(cond[eq+1:]), "'")
+	for attempts := 0; attempts < 4; attempts++ {
+		alt := vals[rng.Intn(len(vals))]
+		if !strings.EqualFold(alt, cur) {
+			return col + " = '" + alt + "'", true
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,197 @@
+package nl2code
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+)
+
+// System wires the Figure 6 pipeline: semantic layer → example retrieval →
+// prompt composer → code generator → program checker. The human-iteration
+// loop (§4.6) is the caller's: the returned GEL/Python views are editable
+// and re-runnable through the usual recipe machinery.
+type System struct {
+	Registry  *skills.Registry
+	Composer  *Composer
+	Generator *Generator
+	Checker   *Checker
+	Library   *Library
+	// DisableChecker skips program checking (ablation).
+	DisableChecker bool
+}
+
+// NewSystem builds a system with default components.
+func NewSystem(reg *skills.Registry, lib *Library) *System {
+	return &System{
+		Registry:  reg,
+		Composer:  NewComposer(reg),
+		Generator: NewGenerator(reg),
+		Checker:   NewChecker(reg),
+		Library:   lib,
+	}
+}
+
+// Request is one NL2Code invocation.
+type Request struct {
+	// Question is the user's analytics intent in English.
+	Question string
+	// Tables are the candidate datasets.
+	Tables map[string]*dataset.Table
+	// Layer is the applicable semantic layer (may be nil).
+	Layer *semantic.Layer
+}
+
+// Response carries every pipeline stage's output for transparency (§4's
+// design consideration: never assume generated code is correct; show it).
+type Response struct {
+	// Prompt is the composed LLM input.
+	Prompt *Prompt
+	// Generation is the raw generator output.
+	Generation *Generation
+	// Program is the checked, cleaned program.
+	Program []skills.Invocation
+	// Check reports validations and repairs.
+	Check *CheckReport
+	// Python is the final program rendered as Python API code.
+	Python string
+	// GEL is the final program rendered as GEL sentences.
+	GEL []string
+}
+
+// Generate runs the pipeline for one request.
+func (s *System) Generate(req Request) (*Response, error) {
+	if strings.TrimSpace(req.Question) == "" {
+		return nil, fmt.Errorf("nl2code: empty question")
+	}
+	if len(req.Tables) == 0 {
+		return nil, fmt.Errorf("nl2code: no candidate datasets")
+	}
+	// Pre-generation complexity estimate steers the §4.4 budget split: a
+	// crude op count from intent keywords.
+	estimate := estimateComplexity(req.Question)
+	prompt := s.Composer.Compose(req.Question, req.Tables, req.Layer, s.Library, estimate)
+	gen, err := s.Generator.Generate(prompt)
+	if err != nil {
+		return nil, err
+	}
+	resp := &Response{Prompt: prompt, Generation: gen}
+	if s.DisableChecker {
+		resp.Program = gen.Program
+		resp.Check = &CheckReport{}
+	} else {
+		program, report, err := s.Checker.Check(gen.Code, req.Tables)
+		resp.Check = report
+		if err != nil {
+			// The checker rejected the program; surface the raw code so
+			// the user can iterate (§4.6), but report the failure.
+			resp.Program = nil
+			resp.Python = gen.Code
+			return resp, fmt.Errorf("nl2code: program check failed: %w", err)
+		}
+		resp.Program = program
+	}
+	python, err := renderProgram(s.Registry, resp.Program)
+	if err != nil {
+		return nil, err
+	}
+	resp.Python = python
+	for _, inv := range resp.Program {
+		line, err := s.Registry.RenderGEL(inv)
+		if err != nil {
+			line = inv.Skill
+		}
+		resp.GEL = append(resp.GEL, line)
+	}
+	return resp, nil
+}
+
+// estimateComplexity guesses C before generation from surface markers.
+func estimateComplexity(question string) float64 {
+	q := strings.ToLower(question)
+	est := 15.0
+	for _, marker := range []string{"joined", "highest", "top ", "where ", "restricted", "for each", "per "} {
+		if strings.Contains(q, marker) {
+			est += 8
+		}
+	}
+	return est
+}
+
+// Execute runs a program against tables and returns the result table.
+func Execute(reg *skills.Registry, tables map[string]*dataset.Table, program []skills.Invocation) (*dataset.Table, error) {
+	if len(program) == 0 {
+		return nil, fmt.Errorf("nl2code: empty program")
+	}
+	ctx := skills.NewContext()
+	for name, t := range tables {
+		ctx.Datasets[name] = t
+	}
+	g := dag.NewGraph()
+	var last dag.NodeID
+	for _, inv := range program {
+		last = g.Add(inv)
+	}
+	res, err := dag.NewExecutor(reg, ctx).Run(g, last)
+	if err != nil {
+		return nil, err
+	}
+	if res.Table == nil {
+		return nil, fmt.Errorf("nl2code: program produced no table")
+	}
+	return res.Table, nil
+}
+
+// ResultsMatch compares two result tables the way execution accuracy does:
+// same shape and the same multiset of rows, ignoring row order and column
+// names (aliases legitimately differ between programs).
+func ResultsMatch(a, b *dataset.Table) bool {
+	if a == nil || b == nil {
+		return false
+	}
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	return strings.Join(canonicalRows(a), "\n") == strings.Join(canonicalRows(b), "\n")
+}
+
+func canonicalRows(t *dataset.Table) []string {
+	rows := make([]string, t.NumRows())
+	for r := 0; r < t.NumRows(); r++ {
+		cells := make([]string, t.NumCols())
+		for i, v := range t.Row(r) {
+			if f, ok := v.AsFloat(); ok && !v.IsNull() {
+				cells[i] = fmt.Sprintf("%.6g", f)
+			} else {
+				cells[i] = v.String()
+			}
+		}
+		rows[r] = strings.Join(cells, "\x00")
+	}
+	sort.Strings(rows)
+	return rows
+}
+
+// ExecutionAccuracy executes the generated program and the ground truth,
+// returning 1 when results match and 0 otherwise (the §4.7 metric). A
+// generated program that fails to execute scores 0.
+func ExecutionAccuracy(reg *skills.Registry, tables map[string]*dataset.Table,
+	gold, generated []skills.Invocation) (int, error) {
+
+	goldResult, err := Execute(reg, tables, gold)
+	if err != nil {
+		return 0, fmt.Errorf("nl2code: ground truth failed to execute: %w", err)
+	}
+	genResult, err := Execute(reg, tables, generated)
+	if err != nil {
+		return 0, nil // generated program is simply wrong
+	}
+	if ResultsMatch(goldResult, genResult) {
+		return 1, nil
+	}
+	return 0, nil
+}

@@ -1,0 +1,220 @@
+// Package phrase implements §4.8's phrase-based translation: the
+// deterministic, semantic-layer-driven path for structured requests. The
+// Visualize syntax is
+//
+//	Visualize <KPI> [by <grouping phrase>] [where <filter phrase>]
+//
+// where the KPI, groupings, and filters are either column names or phrases
+// defined in the semantic layer. Unlike the LLM path, a phrase either
+// matches deterministically or the translation fails loudly — which is why
+// the paper calls this route more accurate for structured questions.
+package phrase
+
+import (
+	"fmt"
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+)
+
+// Translator resolves Visualize phrases against a table schema and a
+// semantic layer.
+type Translator struct {
+	// Layer supplies phrase definitions (may be nil: schema-only matching).
+	Layer *semantic.Layer
+}
+
+// Translation is the deterministic parse result.
+type Translation struct {
+	// Invocation is the Visualize skill request.
+	Invocation skills.Invocation
+	// Resolved traces each phrase → column/predicate binding.
+	Resolved []string
+}
+
+// Translate parses a Visualize sentence against the target table.
+func (tr *Translator) Translate(input string, table *dataset.Table) (*Translation, error) {
+	text := strings.TrimSpace(input)
+	lower := strings.ToLower(text)
+	if !strings.HasPrefix(lower, "visualize ") {
+		return nil, fmt.Errorf("phrase: expected a sentence starting with \"Visualize\"")
+	}
+	body := text[len("Visualize "):]
+
+	// Split off the filter phrase, then the grouping phrase.
+	filterPart := ""
+	if i := indexWordFold(body, "where"); i >= 0 {
+		filterPart = strings.TrimSpace(body[i+len("where"):])
+		body = strings.TrimSpace(body[:i])
+	}
+	groupPart := ""
+	if i := indexWordFold(body, "by"); i >= 0 {
+		groupPart = strings.TrimSpace(body[i+len("by"):])
+		body = strings.TrimSpace(body[:i])
+	}
+	kpiPhrase := strings.TrimSpace(body)
+	if kpiPhrase == "" {
+		return nil, fmt.Errorf("phrase: Visualize needs a KPI")
+	}
+
+	t := &Translation{Invocation: skills.Invocation{Skill: "Visualize", Args: skills.Args{}}}
+	kpi, how, err := tr.resolveColumn(kpiPhrase, table)
+	if err != nil {
+		return nil, fmt.Errorf("phrase: KPI %q: %w", kpiPhrase, err)
+	}
+	t.Invocation.Args["kpi"] = kpi
+	t.Resolved = append(t.Resolved, fmt.Sprintf("KPI %q → %s (%s)", kpiPhrase, kpi, how))
+
+	if groupPart != "" {
+		var groups []string
+		for _, phrase := range splitList(groupPart) {
+			col, how, err := tr.resolveColumn(phrase, table)
+			if err != nil {
+				return nil, fmt.Errorf("phrase: grouping %q: %w", phrase, err)
+			}
+			groups = append(groups, col)
+			t.Resolved = append(t.Resolved, fmt.Sprintf("grouping %q → %s (%s)", phrase, col, how))
+		}
+		t.Invocation.Args["by"] = groups
+	}
+	if filterPart != "" {
+		pred, err := tr.resolveFilter(filterPart, table, t)
+		if err != nil {
+			return nil, err
+		}
+		t.Invocation.Args["filter"] = pred
+	}
+	return t, nil
+}
+
+// resolveColumn maps a phrase to a column: exact schema match first, then
+// semantic dimension/synonym concepts.
+func (tr *Translator) resolveColumn(phraseText string, table *dataset.Table) (col, how string, err error) {
+	phraseText = strings.TrimSpace(strings.Trim(phraseText, `'"`))
+	if table.HasColumn(phraseText) {
+		c, _ := table.Column(phraseText)
+		return c.Name(), "schema", nil
+	}
+	if tr.Layer != nil {
+		if concept, ok := tr.Layer.Lookup(phraseText); ok &&
+			(concept.Kind == semantic.Synonym || concept.Kind == semantic.Dimension || concept.Kind == semantic.Metric) {
+			if table.HasColumn(concept.Expansion) {
+				c, _ := table.Column(concept.Expansion)
+				return c.Name(), "semantic layer", nil
+			}
+			return "", "", fmt.Errorf("defined as %q, which is not a column of %s", concept.Expansion, table.Name())
+		}
+	}
+	return "", "", fmt.Errorf("not a column of %s and not defined in the semantic layer", table.Name())
+}
+
+// resolveFilter maps filter phrases (combined with and/or) to a predicate.
+// Each conjunct is either a semantic Filter concept or a raw predicate
+// mentioning real columns.
+func (tr *Translator) resolveFilter(filterPart string, table *dataset.Table, t *Translation) (string, error) {
+	type piece struct {
+		text string
+		op   string // connective before this piece ("", "AND", "OR")
+	}
+	var pieces []piece
+	words := strings.Fields(filterPart)
+	cur := []string{}
+	currentOp := ""
+	flush := func(nextOp string) {
+		if len(cur) > 0 {
+			pieces = append(pieces, piece{text: strings.Join(cur, " "), op: currentOp})
+			cur = nil
+		}
+		currentOp = nextOp
+	}
+	for _, w := range words {
+		switch strings.ToLower(w) {
+		case "and":
+			flush("AND")
+		case "or":
+			flush("OR")
+		default:
+			cur = append(cur, w)
+		}
+	}
+	flush("")
+	if len(pieces) == 0 {
+		return "", fmt.Errorf("phrase: empty filter")
+	}
+	var b strings.Builder
+	for i, p := range pieces {
+		pred, how, err := tr.resolveOnePredicate(p.text, table)
+		if err != nil {
+			return "", fmt.Errorf("phrase: filter %q: %w", p.text, err)
+		}
+		t.Resolved = append(t.Resolved, fmt.Sprintf("filter %q → %s (%s)", p.text, pred, how))
+		if i > 0 {
+			b.WriteString(" " + p.op + " ")
+		}
+		b.WriteString("(" + pred + ")")
+	}
+	return b.String(), nil
+}
+
+func (tr *Translator) resolveOnePredicate(text string, table *dataset.Table) (pred, how string, err error) {
+	if tr.Layer != nil {
+		if concept, ok := tr.Layer.Lookup(text); ok && concept.Kind == semantic.Filter {
+			return concept.Expansion, "semantic layer", nil
+		}
+	}
+	// Raw predicate: "col = value", "col > 3", "col is value".
+	fields := strings.Fields(text)
+	if len(fields) >= 3 && table.HasColumn(fields[0]) {
+		col, _ := table.Column(fields[0])
+		op := fields[1]
+		value := strings.Join(fields[2:], " ")
+		switch op {
+		case "=", "!=", "<>", ">", ">=", "<", "<=":
+		case "is":
+			op = "="
+		default:
+			return "", "", fmt.Errorf("unsupported operator %q", op)
+		}
+		if dataset.ParseValue(value).Type == dataset.TypeString {
+			value = "'" + strings.Trim(value, `'"`) + "'"
+		}
+		return fmt.Sprintf("%s %s %s", col.Name(), op, value), "predicate", nil
+	}
+	return "", "", fmt.Errorf("not a defined phrase and not a recognizable predicate")
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		for _, sub := range strings.Split(part, " and ") {
+			sub = strings.TrimSpace(sub)
+			if sub != "" {
+				out = append(out, sub)
+			}
+		}
+	}
+	return out
+}
+
+// indexWordFold finds the standalone word (case-insensitive) in s,
+// returning its byte offset or -1.
+func indexWordFold(s, word string) int {
+	lower := strings.ToLower(s)
+	word = strings.ToLower(word)
+	for start := 0; ; {
+		i := strings.Index(lower[start:], word)
+		if i < 0 {
+			return -1
+		}
+		i += start
+		beforeOK := i == 0 || lower[i-1] == ' '
+		after := i + len(word)
+		afterOK := after == len(lower) || lower[after] == ' '
+		if beforeOK && afterOK {
+			return i
+		}
+		start = i + len(word)
+	}
+}

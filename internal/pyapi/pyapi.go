@@ -1,0 +1,405 @@
+// Package pyapi implements the DataChat Python API dialect (§4.1, Figure
+// 3b): the wrapper language the NL2Code generator targets because "the LLM
+// is most proficient in Python". It parses programs like
+//
+//	adults = people.keep_rows(condition = "age >= 18")
+//	adults.compute(aggregates = [Count("case_id")], for_each = ["dept"])
+//
+// into skill invocations, and (together with skills.RenderPython) gives the
+// polyglot translation between GEL, Python, and SQL views of a recipe.
+package pyapi
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+
+	"datachat/internal/skills"
+)
+
+// Statement is one parsed line: an optional assignment target plus a method
+// call on a receiver.
+type Statement struct {
+	// Assign is the variable the result is bound to ("" when none).
+	Assign string
+	// Receiver is the dataset (or "dc" for platform-level calls).
+	Receiver string
+	// Method is the snake_case API method.
+	Method string
+	// Kwargs holds the keyword arguments.
+	Kwargs map[string]any
+	// Line is the 1-based source line.
+	Line int
+	// Source is the original text.
+	Source string
+}
+
+// Program is a parsed Python API program.
+type Program struct {
+	Statements []*Statement
+}
+
+// Parse parses a Python API program: one statement per line, '#' comments
+// and blank lines ignored.
+func Parse(src string) (*Program, error) {
+	prog := &Program{}
+	for i, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		stmt, err := parseStatement(line)
+		if err != nil {
+			return nil, fmt.Errorf("pyapi: line %d: %w", i+1, err)
+		}
+		stmt.Line = i + 1
+		stmt.Source = line
+		prog.Statements = append(prog.Statements, stmt)
+	}
+	if len(prog.Statements) == 0 {
+		return nil, fmt.Errorf("pyapi: empty program")
+	}
+	return prog, nil
+}
+
+type scanner struct {
+	src string
+	pos int
+}
+
+func (s *scanner) skipSpace() {
+	for s.pos < len(s.src) && (s.src[s.pos] == ' ' || s.src[s.pos] == '\t') {
+		s.pos++
+	}
+}
+
+func (s *scanner) peek() byte {
+	if s.pos >= len(s.src) {
+		return 0
+	}
+	return s.src[s.pos]
+}
+
+func (s *scanner) ident() (string, error) {
+	s.skipSpace()
+	start := s.pos
+	for s.pos < len(s.src) {
+		r := rune(s.src[s.pos])
+		if unicode.IsLetter(r) || unicode.IsDigit(r) || r == '_' {
+			s.pos++
+			continue
+		}
+		break
+	}
+	if s.pos == start {
+		return "", fmt.Errorf("expected identifier at column %d", s.pos+1)
+	}
+	return s.src[start:s.pos], nil
+}
+
+func (s *scanner) expect(c byte) error {
+	s.skipSpace()
+	if s.peek() != c {
+		return fmt.Errorf("expected %q at column %d", string(c), s.pos+1)
+	}
+	s.pos++
+	return nil
+}
+
+func (s *scanner) accept(c byte) bool {
+	s.skipSpace()
+	if s.peek() == c {
+		s.pos++
+		return true
+	}
+	return false
+}
+
+func parseStatement(line string) (*Statement, error) {
+	s := &scanner{src: line}
+	first, err := s.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt := &Statement{Kwargs: map[string]any{}}
+	s.skipSpace()
+	if s.peek() == '=' && s.pos+1 < len(s.src) && s.src[s.pos+1] != '=' {
+		s.pos++
+		stmt.Assign = first
+		if first, err = s.ident(); err != nil {
+			return nil, err
+		}
+	}
+	stmt.Receiver = first
+	if err := s.expect('.'); err != nil {
+		return nil, err
+	}
+	if stmt.Method, err = s.ident(); err != nil {
+		return nil, err
+	}
+	if err := s.expect('('); err != nil {
+		return nil, err
+	}
+	if !s.accept(')') {
+		for {
+			name, err := s.ident()
+			if err != nil {
+				return nil, err
+			}
+			if err := s.expect('='); err != nil {
+				return nil, err
+			}
+			value, err := s.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Kwargs[name] = value
+			if s.accept(')') {
+				break
+			}
+			if err := s.expect(','); err != nil {
+				return nil, err
+			}
+		}
+	}
+	s.skipSpace()
+	if s.pos != len(s.src) {
+		return nil, fmt.Errorf("unexpected trailing text %q", s.src[s.pos:])
+	}
+	return stmt, nil
+}
+
+// aggCtors maps Python aggregate constructor names to AggSpec functions.
+var aggCtors = map[string]string{
+	"Count": "count", "Sum": "sum", "Average": "avg", "Avg": "avg",
+	"Min": "min", "Max": "max", "Median": "median", "Stddev": "stddev",
+	"CountDistinct": "count_distinct",
+}
+
+// parseValue parses a kwarg value: string, number, bool, identifier, list,
+// or aggregate constructor call.
+func (s *scanner) parseValue() (any, error) {
+	s.skipSpace()
+	switch c := s.peek(); {
+	case c == '"' || c == '\'':
+		return s.parseString()
+	case c == '[':
+		s.pos++
+		var items []any
+		if s.accept(']') {
+			return items, nil
+		}
+		for {
+			item, err := s.parseValue()
+			if err != nil {
+				return nil, err
+			}
+			items = append(items, item)
+			if s.accept(']') {
+				return items, nil
+			}
+			if err := s.expect(','); err != nil {
+				return nil, err
+			}
+		}
+	case c >= '0' && c <= '9', c == '-', c == '.':
+		return s.parseNumber()
+	default:
+		name, err := s.ident()
+		if err != nil {
+			return nil, err
+		}
+		switch name {
+		case "True":
+			return true, nil
+		case "False":
+			return false, nil
+		case "None":
+			return nil, nil
+		}
+		if s.accept('(') {
+			return s.parseCtor(name)
+		}
+		// A bare identifier: a dataset/variable reference.
+		return name, nil
+	}
+}
+
+func (s *scanner) parseString() (string, error) {
+	quote := s.src[s.pos]
+	s.pos++
+	var b strings.Builder
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c == '\\' && s.pos+1 < len(s.src) {
+			s.pos++
+			b.WriteByte(s.src[s.pos])
+			s.pos++
+			continue
+		}
+		if c == quote {
+			s.pos++
+			return b.String(), nil
+		}
+		b.WriteByte(c)
+		s.pos++
+	}
+	return "", fmt.Errorf("unterminated string")
+}
+
+func (s *scanner) parseNumber() (any, error) {
+	start := s.pos
+	if s.peek() == '-' {
+		s.pos++
+	}
+	isFloat := false
+	for s.pos < len(s.src) {
+		c := s.src[s.pos]
+		if c >= '0' && c <= '9' {
+			s.pos++
+			continue
+		}
+		if c == '.' && !isFloat {
+			isFloat = true
+			s.pos++
+			continue
+		}
+		break
+	}
+	text := s.src[start:s.pos]
+	if isFloat {
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad number %q", text)
+		}
+		return f, nil
+	}
+	n, err := strconv.Atoi(text)
+	if err != nil {
+		return nil, fmt.Errorf("bad number %q", text)
+	}
+	return n, nil
+}
+
+// parseCtor parses an aggregate constructor call like Count("case_id") or
+// Sum("amount", as_name="total"); the name and '(' are consumed.
+func (s *scanner) parseCtor(name string) (any, error) {
+	fn, ok := aggCtors[name]
+	if !ok {
+		return nil, fmt.Errorf("unknown constructor %q", name)
+	}
+	spec := map[string]any{"func": fn}
+	if s.accept(')') {
+		return nil, fmt.Errorf("%s needs a column argument", name)
+	}
+	// First positional argument: the column.
+	col, err := s.parseValue()
+	if err != nil {
+		return nil, err
+	}
+	colStr, ok := col.(string)
+	if !ok {
+		return nil, fmt.Errorf("%s column must be a string", name)
+	}
+	spec["column"] = colStr
+	for !s.accept(')') {
+		if err := s.expect(','); err != nil {
+			return nil, err
+		}
+		kw, err := s.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := s.expect('='); err != nil {
+			return nil, err
+		}
+		v, err := s.parseValue()
+		if err != nil {
+			return nil, err
+		}
+		if kw == "as_name" {
+			spec["as"] = v
+		} else {
+			spec[kw] = v
+		}
+	}
+	return spec, nil
+}
+
+// Translator converts parsed programs to skill invocations.
+type Translator struct {
+	// Registry resolves py method names to skills.
+	Registry *skills.Registry
+	byPy     map[string]string
+}
+
+// NewTranslator builds the method-name index.
+func NewTranslator(reg *skills.Registry) *Translator {
+	t := &Translator{Registry: reg, byPy: map[string]string{}}
+	for _, name := range reg.Names() {
+		def, _ := reg.Lookup(name)
+		t.byPy[def.PyName] = def.Name
+	}
+	return t
+}
+
+// Invocations lowers a program to skill invocations. Receivers and
+// assignment targets become dataset names; with_datasets kwargs become
+// additional inputs.
+func (t *Translator) Invocations(prog *Program) ([]skills.Invocation, error) {
+	var out []skills.Invocation
+	for _, stmt := range prog.Statements {
+		skillName, ok := t.byPy[stmt.Method]
+		if !ok {
+			return nil, fmt.Errorf("pyapi: line %d: unknown API method %q", stmt.Line, stmt.Method)
+		}
+		inv := skills.Invocation{Skill: skillName, Args: skills.Args{}, Output: stmt.Assign}
+		if stmt.Receiver != "dc" {
+			inv.Inputs = []string{stmt.Receiver}
+		}
+		for k, v := range stmt.Kwargs {
+			if k == "with_datasets" {
+				list, err := toStringList(v)
+				if err != nil {
+					return nil, fmt.Errorf("pyapi: line %d: with_datasets: %w", stmt.Line, err)
+				}
+				inv.Inputs = append(inv.Inputs, list...)
+				continue
+			}
+			inv.Args[k] = v
+		}
+		out = append(out, inv)
+	}
+	return out, nil
+}
+
+func toStringList(v any) ([]string, error) {
+	items, ok := v.([]any)
+	if !ok {
+		return nil, fmt.Errorf("expected a list, got %T", v)
+	}
+	out := make([]string, len(items))
+	for i, item := range items {
+		s, ok := item.(string)
+		if !ok {
+			return nil, fmt.Errorf("element %d is %T, not a name", i, item)
+		}
+		out[i] = s
+	}
+	return out, nil
+}
+
+// Render converts invocations back to Python API text, one statement per
+// line (the inverse of Parse+Invocations, via skills.RenderPython).
+func (t *Translator) Render(invs []skills.Invocation) (string, error) {
+	lines := make([]string, len(invs))
+	for i, inv := range invs {
+		line, err := t.Registry.RenderPython(inv)
+		if err != nil {
+			return "", err
+		}
+		lines[i] = line
+	}
+	return strings.Join(lines, "\n"), nil
+}

@@ -1,0 +1,226 @@
+package pyapi
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+var reg = skills.NewRegistry()
+
+func TestParseComputeCall(t *testing.T) {
+	// The paper's Figure 3b example.
+	src := `california_car_collisions.compute(aggregates = [Count("case_id")], for_each = ["party_sobriety"])`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stmt := prog.Statements[0]
+	if stmt.Receiver != "california_car_collisions" || stmt.Method != "compute" {
+		t.Errorf("stmt = %+v", stmt)
+	}
+	invs, err := NewTranslator(reg).Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invs[0].Skill != "Compute" {
+		t.Errorf("skill = %s", invs[0].Skill)
+	}
+	aggs, err := invs[0].Args.AggSpecs("aggregates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].Func != "count" || aggs[0].Column != "case_id" {
+		t.Errorf("agg = %+v", aggs[0])
+	}
+	keys, _ := invs[0].Args.StringList("for_each")
+	if len(keys) != 1 || keys[0] != "party_sobriety" {
+		t.Errorf("for_each = %v", keys)
+	}
+}
+
+func TestParseMultiStatementProgram(t *testing.T) {
+	src := `
+# load and filter
+adults = people.keep_rows(condition = "age >= 18")
+top = adults.sort_rows(columns = ["age"], descending = True)
+top.limit_rows(count = 5)
+`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prog.Statements) != 3 {
+		t.Fatalf("statements = %d", len(prog.Statements))
+	}
+	invs, err := NewTranslator(reg).Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if invs[0].Output != "adults" || invs[1].Inputs[0] != "adults" {
+		t.Errorf("dataflow wrong: %+v", invs[:2])
+	}
+	if !invs[1].Args.Bool("descending") {
+		t.Error("bool kwarg lost")
+	}
+	if n, _ := invs[2].Args.Int("count"); n != 5 {
+		t.Error("int kwarg lost")
+	}
+}
+
+func TestParseValueKinds(t *testing.T) {
+	src := `d.new_column(name = 'x', formula = "a + 1.5")
+d.sample_rows(fraction = 0.25)
+d.limit_rows(count = -3)
+d.keep_columns(columns = [])
+dc.list_datasets()`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Statements[0].Kwargs["name"] != "x" {
+		t.Error("single-quoted string")
+	}
+	if prog.Statements[1].Kwargs["fraction"] != 0.25 {
+		t.Error("float kwarg")
+	}
+	if prog.Statements[2].Kwargs["count"] != -3 {
+		t.Error("negative int kwarg")
+	}
+	invs, err := NewTranslator(reg).Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs[4].Inputs) != 0 {
+		t.Error("dc receiver should have no inputs")
+	}
+}
+
+func TestParseAggregateCtors(t *testing.T) {
+	src := `d.compute(aggregates = [Average('Age'), Median('Salary'), Sum("x", as_name="total")], for_each = ['JobLevel'])`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := NewTranslator(reg).Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aggs, err := invs[0].Args.AggSpecs("aggregates")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if aggs[0].Func != "avg" || aggs[1].Func != "median" || aggs[2].As != "total" {
+		t.Errorf("aggs = %+v", aggs)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"just some words",
+		"d.method(",
+		"d.method(x = )",
+		"d.method(x = 'unterminated)",
+		"d.method(x = Frobnicate('y'))",
+		"d.method(x = 1) trailing",
+		"d.(x = 1)",
+		"d.compute(aggregates = [Count()])",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) should fail", src)
+		}
+	}
+	// Unknown method caught at translation.
+	prog, err := Parse("d.frobnicate(x = 1)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewTranslator(reg).Invocations(prog); err == nil {
+		t.Error("unknown method should fail translation")
+	}
+}
+
+func TestWithDatasets(t *testing.T) {
+	src := `merged = a.concatenate(with_datasets = [b], dedupe = True)`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := NewTranslator(reg).Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(invs[0].Inputs) != 2 || invs[0].Inputs[1] != "b" {
+		t.Errorf("inputs = %v", invs[0].Inputs)
+	}
+}
+
+func TestRoundTripRenderParse(t *testing.T) {
+	invs := []skills.Invocation{
+		{Skill: "KeepRows", Inputs: []string{"people"}, Output: "adults",
+			Args: skills.Args{"condition": "age >= 18"}},
+		{Skill: "Compute", Inputs: []string{"adults"},
+			Args: skills.Args{"aggregates": []string{"count of id as n"}, "for_each": []string{"dept"}}},
+	}
+	tr := NewTranslator(reg)
+	code, err := tr.Render(invs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := Parse(code)
+	if err != nil {
+		t.Fatalf("reparse of rendered code %q: %v", code, err)
+	}
+	back, err := tr.Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back[0].Skill != "KeepRows" || back[0].Output != "adults" {
+		t.Errorf("round trip inv 0 = %+v", back[0])
+	}
+	if back[1].Skill != "Compute" {
+		t.Errorf("round trip inv 1 = %+v", back[1])
+	}
+	aggs, err := back[1].Args.AggSpecs("aggregates")
+	if err != nil || aggs[0].As != "n" {
+		t.Errorf("aggs after round trip = %+v, %v", aggs, err)
+	}
+}
+
+func TestProgramExecutesThroughDAG(t *testing.T) {
+	ctx := skills.NewContext()
+	ctx.Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("age", []int64{10, 20, 30, 40}, nil),
+		dataset.StringColumn("dept", []string{"a", "a", "b", "b"}, nil),
+	)
+	src := `adults = people.keep_rows(condition = "age >= 20")
+summary = adults.compute(aggregates = [Count("age", as_name="n")], for_each = ["dept"])`
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	invs, err := NewTranslator(reg).Invocations(prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := dag.NewGraph()
+	var last dag.NodeID
+	for _, inv := range invs {
+		last = g.Add(inv)
+	}
+	res, err := dag.NewExecutor(reg, ctx).Run(g, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table.NumRows() != 2 {
+		t.Errorf("groups = %d", res.Table.NumRows())
+	}
+	if !strings.Contains(strings.Join(res.Table.ColumnNames(), ","), "n") {
+		t.Errorf("columns = %v", res.Table.ColumnNames())
+	}
+}

@@ -1,0 +1,253 @@
+package recipe
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+var reg = skills.NewRegistry()
+
+func buildGraph() *dag.Graph {
+	g := dag.NewGraph()
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"people"},
+		Args: skills.Args{"condition": "age > 20"}, Output: "adults"})
+	g.Add(skills.Invocation{Skill: "Compute", Inputs: []string{"adults"},
+		Args:   skills.Args{"aggregates": []string{"count of id as n"}, "for_each": []string{"dept"}},
+		Output: "summary"})
+	return g
+}
+
+func newCtx() *skills.Context {
+	ctx := skills.NewContext()
+	ctx.Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("id", []int64{1, 2, 3, 4}, nil),
+		dataset.IntColumn("age", []int64{15, 25, 35, 45}, nil),
+		dataset.StringColumn("dept", []string{"a", "a", "b", "b"}, nil),
+	)
+	return ctx
+}
+
+func TestFromGraphAndBack(t *testing.T) {
+	g := buildGraph()
+	rec, err := FromGraph("summary", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rec.Steps) != 2 || rec.Steps[0].Output != "adults" {
+		t.Fatalf("steps = %+v", rec.Steps)
+	}
+	rebuilt := rec.Graph()
+	if rebuilt.Len() != 2 {
+		t.Fatalf("rebuilt size = %d", rebuilt.Len())
+	}
+	node, _ := rebuilt.Node(1)
+	if node.Parents[0] != 0 {
+		t.Errorf("rebuilt wiring = %v", node.Parents)
+	}
+}
+
+func TestJSONRoundTripAndReplay(t *testing.T) {
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := rec.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Decode(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != "summary" || len(back.Steps) != 2 {
+		t.Fatalf("decoded = %+v", back)
+	}
+	// Replaying the decoded recipe produces the same table as the original.
+	ex1 := dag.NewExecutor(reg, newCtx())
+	r1, err := rec.Replay(ex1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex2 := dag.NewExecutor(reg, newCtx())
+	r2, err := back.Replay(ex2, false)
+	if err != nil {
+		t.Fatalf("replaying decoded recipe: %v", err)
+	}
+	if !r1.Table.Equal(r2.Table.WithName(r1.Table.Name())) {
+		t.Error("decoded replay differs from original")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode([]byte("not json")); err == nil {
+		t.Error("bad json should error")
+	}
+	if _, err := Decode([]byte(`{"name":"x","steps":[]}`)); err == nil {
+		t.Error("empty steps should error")
+	}
+}
+
+func TestGELView(t *testing.T) {
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines, err := rec.GEL(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lines) != 2 {
+		t.Fatalf("lines = %v", lines)
+	}
+	if lines[0] != "Keep the rows where age > 20" {
+		t.Errorf("line 0 = %s", lines[0])
+	}
+	if !strings.Contains(lines[1], "Compute the count of id") {
+		t.Errorf("line 1 = %s", lines[1])
+	}
+}
+
+func TestPythonView(t *testing.T) {
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, err := rec.Python(reg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(code, `adults = people.keep_rows(condition = "age > 20")`) {
+		t.Errorf("python view:\n%s", code)
+	}
+	if !strings.Contains(code, "adults.compute(") {
+		t.Errorf("python view:\n%s", code)
+	}
+}
+
+func TestSQLView(t *testing.T) {
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := dag.NewExecutor(reg, newCtx())
+	sql, err := rec.SQL(ex)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sql, "GROUP BY dept") || !strings.Contains(sql, "WHERE (age > 20)") {
+		t.Errorf("sql view = %s", sql)
+	}
+}
+
+func TestReplayWithRefreshSeesNewData(t *testing.T) {
+	ctx := newCtx()
+	ex := dag.NewExecutor(reg, ctx)
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := rec.Replay(ex, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Underlying data changes.
+	ctx.Datasets["people"] = dataset.MustNewTable("people",
+		dataset.IntColumn("id", []int64{1, 2}, nil),
+		dataset.IntColumn("age", []int64{30, 40}, nil),
+		dataset.StringColumn("dept", []string{"z", "z"}, nil),
+	)
+	// Without invalidation the cache returns the stale result.
+	stale, err := rec.Replay(ex, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !first.Table.Equal(stale.Table) {
+		t.Error("cached replay should be stale by design")
+	}
+	fresh, err := rec.Replay(ex, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Table.Equal(fresh.Table) {
+		t.Error("refresh should see new data")
+	}
+	c, _ := fresh.Table.Column("n")
+	if c.Value(0).I != 2 {
+		t.Errorf("fresh count = %v", c.Value(0))
+	}
+}
+
+func TestLiveReplayObservesEveryStep(t *testing.T) {
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := dag.NewExecutor(reg, newCtx())
+	var seen []int
+	final, err := rec.LiveReplay(ex, func(s ReplayStep) {
+		seen = append(seen, s.Index)
+		if s.Result == nil {
+			t.Errorf("step %d has no result", s.Index)
+		}
+		if s.Elapsed < 0 {
+			t.Errorf("step %d negative elapsed", s.Index)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 2 || seen[0] != 0 || seen[1] != 1 {
+		t.Errorf("observed steps = %v", seen)
+	}
+	direct, err := rec.Replay(dag.NewExecutor(reg, newCtx()), false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !final.Table.Equal(direct.Table.WithName(final.Table.Name())) {
+		t.Error("live replay result differs from plain replay")
+	}
+	// A nil observer is allowed.
+	if _, err := rec.LiveReplay(dag.NewExecutor(reg, newCtx()), nil); err != nil {
+		t.Fatal(err)
+	}
+	// Failing recipes surface the failing step.
+	bad := &Recipe{Name: "bad", Steps: []Step{
+		{Skill: "KeepRows", Inputs: []string{"people"}, Output: "x",
+			Args: skills.Args{"condition": "nope > 1"}},
+	}}
+	if _, err := bad.LiveReplay(dag.NewExecutor(reg, newCtx()), nil); err == nil {
+		t.Error("failing live replay should error")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	rec, err := FromGraph("summary", buildGraph())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rec.Validate(reg); err != nil {
+		t.Fatalf("valid recipe rejected: %v", err)
+	}
+	bad := []*Recipe{
+		{Name: "empty"},
+		{Name: "unknown", Steps: []Step{{Skill: "Frobnicate"}}},
+		{Name: "missing-param", Steps: []Step{{Skill: "KeepRows", Inputs: []string{"x"}}}},
+		{Name: "dup-output", Steps: []Step{
+			{Skill: "CountRows", Inputs: []string{"x"}, Output: "a"},
+			{Skill: "CountRows", Inputs: []string{"x"}, Output: "a"},
+		}},
+		{Name: "forward-ref", Steps: []Step{
+			{Skill: "CountRows", Inputs: []string{"later"}, Output: "a"},
+			{Skill: "CountRows", Inputs: []string{"x"}, Output: "later"},
+		}},
+	}
+	for _, r := range bad {
+		if err := r.Validate(reg); err == nil {
+			t.Errorf("recipe %q should fail validation", r.Name)
+		}
+	}
+}

@@ -1,0 +1,229 @@
+// Package semantic implements the semantic layer of §4.2: a programmatic
+// representation of domain concepts (metrics, dimensions, filters, synonyms,
+// hierarchies) plus a weighted retrieval mechanism that surfaces the
+// concepts relevant to a natural-language query. Retrieved concepts enrich
+// NL2Code prompts ("successful purchases" → PurchaseStatus = 'Successful')
+// and drive the phrase-based Visualize translation of §4.8.
+package semantic
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Kind classifies a concept.
+type Kind string
+
+// Concept kinds.
+const (
+	// Metric is a computed measure ("revenue is the sum of price*(1-discount)").
+	Metric Kind = "metric"
+	// Dimension is a grouping attribute or column annotation.
+	Dimension Kind = "dimension"
+	// Filter maps a phrase to a predicate ("successful purchases").
+	Filter Kind = "filter"
+	// Synonym maps a word to a column or value name.
+	Synonym Kind = "synonym"
+	// Hierarchy orders dimensions for drill-down ("country > state > city").
+	Hierarchy Kind = "hierarchy"
+)
+
+// Concept is one semantic-layer entry.
+type Concept struct {
+	// Name is the phrase users say.
+	Name string
+	// Kind classifies the concept.
+	Kind Kind
+	// Expansion is what the concept means to the engine: an expression,
+	// predicate, column name, or ordered column list (hierarchies).
+	Expansion string
+	// Table scopes the concept to a dataset ("" = global).
+	Table string
+	// Keywords are extra trigger words beyond the name's own tokens.
+	Keywords []string
+	// Doc is a one-line human description included in prompts.
+	Doc string
+}
+
+// Scored is a retrieval result.
+type Scored struct {
+	Concept *Concept
+	Score   float64
+}
+
+// Layer is a set of concepts with weighted retrieval.
+type Layer struct {
+	concepts []*Concept
+	byName   map[string]*Concept
+}
+
+// NewLayer returns an empty semantic layer.
+func NewLayer() *Layer {
+	return &Layer{byName: map[string]*Concept{}}
+}
+
+// Define adds or replaces a concept (the Define skill's backend).
+func (l *Layer) Define(c Concept) error {
+	if c.Name == "" {
+		return fmt.Errorf("semantic: concept name must not be empty")
+	}
+	if c.Expansion == "" {
+		return fmt.Errorf("semantic: concept %q needs an expansion", c.Name)
+	}
+	if c.Kind == "" {
+		c.Kind = Filter
+	}
+	key := strings.ToLower(c.Name)
+	if existing, ok := l.byName[key]; ok {
+		*existing = c
+		return nil
+	}
+	copied := c
+	l.concepts = append(l.concepts, &copied)
+	l.byName[key] = &copied
+	return nil
+}
+
+// Lookup returns a concept by exact name.
+func (l *Layer) Lookup(name string) (*Concept, bool) {
+	c, ok := l.byName[strings.ToLower(name)]
+	return c, ok
+}
+
+// Len returns the number of concepts.
+func (l *Layer) Len() int { return len(l.concepts) }
+
+// Concepts returns all concepts (callers must not mutate).
+func (l *Layer) Concepts() []*Concept { return l.concepts }
+
+// stopwords excluded from token matching.
+var stopwords = map[string]bool{
+	"the": true, "a": true, "an": true, "of": true, "in": true, "on": true,
+	"for": true, "to": true, "and": true, "or": true, "by": true, "with": true,
+	"is": true, "are": true, "was": true, "were": true, "what": true,
+	"which": true, "how": true, "many": true, "much": true, "show": true,
+	"me": true, "all": true, "each": true, "per": true, "list": true,
+	"find": true, "give": true, "that": true, "have": true, "has": true,
+	"do": true, "does": true, "their": true, "there": true,
+}
+
+// Tokens extracts lowercase content tokens from text, splitting camelCase
+// and snake_case identifiers and dropping stopwords.
+func Tokens(text string) []string {
+	var tokens []string
+	var cur strings.Builder
+	flush := func() {
+		tok := strings.ToLower(cur.String())
+		cur.Reset()
+		if tok != "" && !stopwords[tok] {
+			tokens = append(tokens, tok)
+		}
+	}
+	prevLower := false
+	for _, r := range text {
+		switch {
+		case r >= 'a' && r <= 'z', r >= '0' && r <= '9':
+			cur.WriteRune(r)
+			prevLower = r >= 'a' && r <= 'z'
+		case r >= 'A' && r <= 'Z':
+			if prevLower {
+				flush()
+			}
+			cur.WriteRune(r + ('a' - 'A'))
+			prevLower = false
+		default:
+			flush()
+			prevLower = false
+		}
+	}
+	flush()
+	return tokens
+}
+
+// Retrieve returns the top concepts relevant to a query, scored by phrase
+// containment (strongest), token overlap, and keyword hits. Ties break by
+// definition order so prompts are stable.
+func (l *Layer) Retrieve(query string, limit int) []Scored {
+	queryLower := strings.ToLower(query)
+	queryTokens := Tokens(query)
+	querySet := map[string]bool{}
+	for _, t := range queryTokens {
+		querySet[t] = true
+	}
+	var out []Scored
+	for _, c := range l.concepts {
+		score := 0.0
+		if strings.Contains(queryLower, strings.ToLower(c.Name)) {
+			score += 3 // whole-phrase hit
+		}
+		for _, t := range Tokens(c.Name) {
+			if querySet[t] {
+				score++
+			}
+		}
+		for _, kw := range c.Keywords {
+			if querySet[strings.ToLower(kw)] {
+				score += 1.5
+			}
+		}
+		if score > 0 {
+			out = append(out, Scored{Concept: c, Score: score})
+		}
+	}
+	sort.SliceStable(out, func(a, b int) bool { return out[a].Score > out[b].Score })
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// PromptSnippets renders the top concepts for a query as concise prompt
+// lines, respecting a token budget (≈ whitespace words). The §4.2
+// requirement: SL outputs must be as concise as possible.
+func (l *Layer) PromptSnippets(query string, tokenBudget int) []string {
+	var lines []string
+	used := 0
+	for _, s := range l.Retrieve(query, 0) {
+		line := s.Concept.render()
+		cost := len(strings.Fields(line))
+		if used+cost > tokenBudget {
+			break
+		}
+		lines = append(lines, line)
+		used += cost
+	}
+	return lines
+}
+
+func (c *Concept) render() string {
+	scope := ""
+	if c.Table != "" {
+		scope = " [" + c.Table + "]"
+	}
+	doc := ""
+	if c.Doc != "" {
+		doc = " — " + c.Doc
+	}
+	return fmt.Sprintf("%s%s (%s): %s%s", c.Name, scope, c.Kind, c.Expansion, doc)
+}
+
+// ResolveToken maps a single word to a column or value via synonym and
+// filter concepts, returning the expansion and true on a hit.
+func (l *Layer) ResolveToken(token string) (string, bool) {
+	token = strings.ToLower(token)
+	for _, c := range l.concepts {
+		if c.Kind != Synonym && c.Kind != Dimension {
+			continue
+		}
+		if strings.EqualFold(c.Name, token) {
+			return c.Expansion, true
+		}
+		for _, kw := range c.Keywords {
+			if strings.EqualFold(kw, token) {
+				return c.Expansion, true
+			}
+		}
+	}
+	return "", false
+}

@@ -1,0 +1,127 @@
+package semantic
+
+import (
+	"strings"
+	"testing"
+)
+
+func salesLayer(t *testing.T) *Layer {
+	t.Helper()
+	l := NewLayer()
+	defs := []Concept{
+		{Name: "successful purchases", Kind: Filter,
+			Expansion: "PurchaseStatus = 'Successful'", Table: "sales",
+			Keywords: []string{"succeeded"}, Doc: "orders that completed"},
+		{Name: "revenue", Kind: Metric,
+			Expansion: "SUM(price * (1 - discount))", Table: "sales",
+			Doc: "net revenue"},
+		{Name: "pay", Kind: Synonym, Expansion: "salary"},
+		{Name: "region rollup", Kind: Hierarchy, Expansion: "country > state > city"},
+	}
+	for _, c := range defs {
+		if err := l.Define(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return l
+}
+
+func TestDefineAndLookup(t *testing.T) {
+	l := salesLayer(t)
+	if l.Len() != 4 {
+		t.Errorf("len = %d", l.Len())
+	}
+	c, ok := l.Lookup("Revenue")
+	if !ok || c.Kind != Metric {
+		t.Errorf("lookup = %+v, %v", c, ok)
+	}
+	// Redefining replaces in place.
+	if err := l.Define(Concept{Name: "revenue", Kind: Metric, Expansion: "SUM(price)"}); err != nil {
+		t.Fatal(err)
+	}
+	if l.Len() != 4 {
+		t.Errorf("redefine should not grow: %d", l.Len())
+	}
+	c, _ = l.Lookup("revenue")
+	if c.Expansion != "SUM(price)" {
+		t.Errorf("expansion = %s", c.Expansion)
+	}
+	if err := l.Define(Concept{Name: "", Expansion: "x"}); err == nil {
+		t.Error("empty name should fail")
+	}
+	if err := l.Define(Concept{Name: "x"}); err == nil {
+		t.Error("empty expansion should fail")
+	}
+}
+
+func TestTokens(t *testing.T) {
+	got := Tokens("How many purchases were Successful in the month of April?")
+	want := []string{"purchases", "successful", "month", "april"}
+	if len(got) != len(want) {
+		t.Fatalf("tokens = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("tokens = %v, want %v", got, want)
+		}
+	}
+	// Identifier splitting.
+	got = Tokens("PurchaseStatus party_age")
+	if len(got) != 4 || got[0] != "purchase" || got[3] != "age" {
+		t.Errorf("identifier tokens = %v", got)
+	}
+}
+
+func TestRetrieveRanksPhraseHitsFirst(t *testing.T) {
+	l := salesLayer(t)
+	got := l.Retrieve("How many successful purchases were there in April", 2)
+	if len(got) == 0 || got[0].Concept.Name != "successful purchases" {
+		t.Fatalf("retrieve = %+v", got)
+	}
+	// The paper's motivating example: the SL bridges the phrase to the
+	// predicate the LLM cannot infer from the schema alone.
+	if !strings.Contains(got[0].Concept.Expansion, "PurchaseStatus = 'Successful'") {
+		t.Errorf("expansion = %s", got[0].Concept.Expansion)
+	}
+	if none := l.Retrieve("completely unrelated text", 5); len(none) != 0 {
+		t.Errorf("unrelated query retrieved %v", none)
+	}
+	// Keywords trigger too.
+	got = l.Retrieve("which orders succeeded", 5)
+	if len(got) == 0 || got[0].Concept.Name != "successful purchases" {
+		t.Errorf("keyword retrieval = %+v", got)
+	}
+}
+
+func TestRetrieveLimit(t *testing.T) {
+	l := salesLayer(t)
+	got := l.Retrieve("revenue from successful purchases by pay", 1)
+	if len(got) != 1 {
+		t.Errorf("limit ignored: %d", len(got))
+	}
+}
+
+func TestPromptSnippetsRespectBudget(t *testing.T) {
+	l := salesLayer(t)
+	all := l.PromptSnippets("revenue from successful purchases", 1000)
+	if len(all) < 2 {
+		t.Fatalf("snippets = %v", all)
+	}
+	small := l.PromptSnippets("revenue from successful purchases", 8)
+	if len(small) >= len(all) {
+		t.Errorf("budget not enforced: %d vs %d", len(small), len(all))
+	}
+	if len(l.PromptSnippets("revenue", 0)) != 0 {
+		t.Error("zero budget should yield nothing")
+	}
+}
+
+func TestResolveToken(t *testing.T) {
+	l := salesLayer(t)
+	if got, ok := l.ResolveToken("pay"); !ok || got != "salary" {
+		t.Errorf("resolve pay = %s, %v", got, ok)
+	}
+	if _, ok := l.ResolveToken("unknown"); ok {
+		t.Error("unknown token should not resolve")
+	}
+}

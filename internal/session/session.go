@@ -1,0 +1,408 @@
+// Package session implements §2.4's collaboration model: sessions own a
+// skill DAG and a context, hold a session-level lock that fails concurrent
+// requests (the second request loses, with a message), track members with
+// access levels, and save artifacts by slicing the session DAG down to the
+// steps that produced them. It also provides the Home Screen folder tree
+// and Insights Boards.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datachat/internal/artifact"
+	"datachat/internal/dag"
+	"datachat/internal/recipe"
+	"datachat/internal/skills"
+)
+
+// ErrBusy is returned when a request arrives while another is executing —
+// the paper's explicit design choice over merging concurrent edits.
+var ErrBusy = errors.New("session: another execution is already running; retry when it finishes")
+
+// Session is one user workspace: a context, a DAG, and collaborators.
+type Session struct {
+	// Name identifies the session.
+	Name string
+	// Owner is the creating user.
+	Owner string
+
+	reg      *skills.Registry
+	executor *dag.Executor
+	graph    *dag.Graph
+
+	mu      sync.Mutex
+	running bool
+	members map[string]artifact.Access
+	history []HistoryEntry
+}
+
+// HistoryEntry records one executed request, so every member sees the same
+// synchronized view of the work (§2.4: actions are tracked in the platform,
+// not the client).
+type HistoryEntry struct {
+	User  string
+	Node  dag.NodeID
+	GEL   string
+	When  time.Time
+	Error string
+}
+
+// New creates a session owned by owner.
+func New(name, owner string, reg *skills.Registry, ctx *skills.Context) *Session {
+	return &Session{
+		Name:     name,
+		Owner:    owner,
+		reg:      reg,
+		executor: dag.NewExecutor(reg, ctx),
+		graph:    dag.NewGraph(),
+		members:  map[string]artifact.Access{owner: artifact.OwnerAccess},
+	}
+}
+
+// Executor exposes the session's executor (benchmarks and the console use
+// its stats and cache controls).
+func (s *Session) Executor() *dag.Executor { return s.executor }
+
+// Graph exposes the session DAG.
+func (s *Session) Graph() *dag.Graph { return s.graph }
+
+// Context returns the session's execution context.
+func (s *Session) Context() *skills.Context { return s.executor.Ctx }
+
+// Share grants a user access to the session.
+func (s *Session) Share(byUser, withUser string, access artifact.Access) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.members[byUser] < artifact.OwnerAccess {
+		return fmt.Errorf("session: %s cannot share %q", byUser, s.Name)
+	}
+	if access != artifact.ViewAccess && access != artifact.EditAccess {
+		return fmt.Errorf("session: can only grant view or edit")
+	}
+	s.members[withUser] = access
+	return nil
+}
+
+// Revoke removes a member.
+func (s *Session) Revoke(byUser, fromUser string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.members[byUser] < artifact.OwnerAccess {
+		return fmt.Errorf("session: %s cannot revoke members", byUser)
+	}
+	if s.members[fromUser] >= artifact.OwnerAccess {
+		return fmt.Errorf("session: cannot revoke the owner")
+	}
+	delete(s.members, fromUser)
+	return nil
+}
+
+// AccessOf returns a user's access level.
+func (s *Session) AccessOf(user string) artifact.Access {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.members[user]
+}
+
+// Members lists session members, sorted.
+func (s *Session) Members() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]string, 0, len(s.members))
+	for m := range s.members {
+		out = append(out, m)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Request executes one skill invocation for user. It enforces membership
+// (edit access) and the session-level lock: if another request is running,
+// it fails immediately with ErrBusy rather than queueing, because a request
+// composed against a stale view may no longer make sense (§2.4).
+func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, dag.NodeID, error) {
+	s.mu.Lock()
+	if s.members[user] < artifact.EditAccess {
+		s.mu.Unlock()
+		return nil, -1, fmt.Errorf("session: %s cannot run requests in %q", user, s.Name)
+	}
+	if s.running {
+		s.mu.Unlock()
+		return nil, -1, ErrBusy
+	}
+	s.running = true
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.running = false
+		s.mu.Unlock()
+	}()
+
+	id := s.graph.Add(inv)
+	res, err := s.executor.Run(s.graph, id)
+	gelLine, gerr := s.reg.RenderGEL(inv)
+	if gerr != nil {
+		gelLine = inv.Skill
+	}
+	entry := HistoryEntry{User: user, Node: id, GEL: gelLine, When: time.Now()}
+	if err != nil {
+		entry.Error = err.Error()
+	}
+	s.mu.Lock()
+	s.history = append(s.history, entry)
+	s.mu.Unlock()
+	if err != nil {
+		return nil, id, err
+	}
+	return res, id, nil
+}
+
+// History returns the synchronized request log.
+func (s *Session) History() []HistoryEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]HistoryEntry{}, s.history...)
+}
+
+// SaveArtifact slices the session DAG to the steps node depends on and
+// persists the result as an artifact carrying that recipe (§2.3).
+func (s *Session) SaveArtifact(store *artifact.Store, user, name string, node dag.NodeID, typ artifact.Type) (*artifact.Artifact, error) {
+	if s.AccessOf(user) < artifact.EditAccess {
+		return nil, fmt.Errorf("session: %s cannot save artifacts from %q", user, s.Name)
+	}
+	sliced, _, err := dag.Slice(s.graph, node)
+	if err != nil {
+		return nil, err
+	}
+	rec, err := recipe.FromGraph(name, sliced)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.executor.Run(s.graph, node)
+	if err != nil {
+		return nil, err
+	}
+	a := &artifact.Artifact{
+		Name:   name,
+		Type:   typ,
+		Owner:  user,
+		Recipe: rec,
+		Table:  res.Table,
+	}
+	if len(res.Charts) > 0 {
+		a.Chart = res.Charts[0]
+		if typ == "" {
+			a.Type = artifact.TypeChart
+		}
+	}
+	if res.Model != nil {
+		a.ModelName = res.Model.Kind()
+		a.Explanation = res.Model.Explain()
+		if typ == "" {
+			a.Type = artifact.TypeModel
+		}
+	}
+	if a.Type == "" {
+		a.Type = artifact.TypeTable
+	}
+	if res.Message != "" {
+		a.Explanation = res.Message
+	}
+	if err := store.Save(a); err != nil {
+		return nil, err
+	}
+	return a, nil
+}
+
+// Folder is a Home Screen container: it holds artifact names and child
+// folders, and is itself manageable like an artifact (§2.4).
+type Folder struct {
+	Name     string
+	Items    []string
+	Children map[string]*Folder
+}
+
+// HomeScreen is the file-manager-like organizer of §2.4.
+type HomeScreen struct {
+	mu   sync.Mutex
+	root *Folder
+}
+
+// NewHomeScreen returns an empty home screen.
+func NewHomeScreen() *HomeScreen {
+	return &HomeScreen{root: &Folder{Name: "/", Children: map[string]*Folder{}}}
+}
+
+// MkDir creates a folder at the /-separated path.
+func (h *HomeScreen) MkDir(path string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := h.ensure(path)
+	return err
+}
+
+func (h *HomeScreen) ensure(path string) (*Folder, error) {
+	cur := h.root
+	for _, part := range splitPath(path) {
+		child, ok := cur.Children[part]
+		if !ok {
+			child = &Folder{Name: part, Children: map[string]*Folder{}}
+			cur.Children[part] = child
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+func (h *HomeScreen) lookup(path string) (*Folder, error) {
+	cur := h.root
+	for _, part := range splitPath(path) {
+		child, ok := cur.Children[part]
+		if !ok {
+			return nil, fmt.Errorf("session: no folder %q", path)
+		}
+		cur = child
+	}
+	return cur, nil
+}
+
+func splitPath(path string) []string {
+	var parts []string
+	for _, p := range strings.Split(path, "/") {
+		if p != "" {
+			parts = append(parts, p)
+		}
+	}
+	return parts
+}
+
+// Place puts an artifact name into a folder (creating the folder).
+func (h *HomeScreen) Place(path, artifactName string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	folder, err := h.ensure(path)
+	if err != nil {
+		return err
+	}
+	for _, existing := range folder.Items {
+		if existing == artifactName {
+			return nil
+		}
+	}
+	folder.Items = append(folder.Items, artifactName)
+	return nil
+}
+
+// ListFolder returns a folder's items and child folder names, sorted.
+func (h *HomeScreen) ListFolder(path string) (items, children []string, err error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	folder, err := h.lookup(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	items = append([]string{}, folder.Items...)
+	sort.Strings(items)
+	for name := range folder.Children {
+		children = append(children, name)
+	}
+	sort.Strings(children)
+	return items, children, nil
+}
+
+// Remove takes an artifact out of a folder.
+func (h *HomeScreen) Remove(path, artifactName string) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	folder, err := h.lookup(path)
+	if err != nil {
+		return err
+	}
+	for i, existing := range folder.Items {
+		if existing == artifactName {
+			folder.Items = append(folder.Items[:i], folder.Items[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("session: %q is not in folder %q", artifactName, path)
+}
+
+// BoardItem is one artifact placed on an Insights Board, with free-form
+// layout (§2.4: IBs allow arbitrary positioning, unlike dashboards).
+type BoardItem struct {
+	Artifact string
+	X, Y     int
+	W, H     int
+	Caption  string
+}
+
+// TextBox is a free-floating annotation on a board.
+type TextBox struct {
+	Text string
+	X, Y int
+}
+
+// InsightsBoard is a presentation surface of unrelated artifacts — modeled
+// as a poster, not an operational dashboard.
+type InsightsBoard struct {
+	Name string
+
+	mu    sync.Mutex
+	items []BoardItem
+	texts []TextBox
+}
+
+// NewInsightsBoard creates an empty board.
+func NewInsightsBoard(name string) *InsightsBoard {
+	return &InsightsBoard{Name: name}
+}
+
+// Pin places an artifact on the board.
+func (b *InsightsBoard) Pin(item BoardItem) error {
+	if item.Artifact == "" {
+		return fmt.Errorf("session: board item needs an artifact name")
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.items = append(b.items, item)
+	return nil
+}
+
+// AddText places a text box on the board.
+func (b *InsightsBoard) AddText(t TextBox) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.texts = append(b.texts, t)
+}
+
+// Items returns pinned items in placement order.
+func (b *InsightsBoard) Items() []BoardItem {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]BoardItem{}, b.items...)
+}
+
+// Texts returns the board's text boxes.
+func (b *InsightsBoard) Texts() []TextBox {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return append([]TextBox{}, b.texts...)
+}
+
+// Unpin removes the first placement of an artifact from the board.
+func (b *InsightsBoard) Unpin(artifactName string) error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	for i, item := range b.items {
+		if item.Artifact == artifactName {
+			b.items = append(b.items[:i], b.items[i+1:]...)
+			return nil
+		}
+	}
+	return fmt.Errorf("session: %q is not on board %q", artifactName, b.Name)
+}

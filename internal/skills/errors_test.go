@@ -1,0 +1,79 @@
+package skills
+
+import (
+	"testing"
+
+	"datachat/internal/dataset"
+)
+
+// TestSkillErrorPaths sweeps the common failure modes of every skill group:
+// missing inputs, absent datasets, bad parameter types, and out-of-range
+// values. Each case must fail with an error, never panic.
+func TestSkillErrorPaths(t *testing.T) {
+	ctx := newTestContext(t)
+	cases := []struct {
+		name string
+		inv  Invocation
+	}{
+		{"no input dataset", Invocation{Skill: "KeepRows", Args: Args{"condition": "age > 1"}}},
+		{"missing dataset", Invocation{Skill: "KeepRows", Inputs: []string{"ghost"},
+			Args: Args{"condition": "age > 1"}}},
+		{"select missing column", Invocation{Skill: "KeepColumns", Inputs: []string{"people"},
+			Args: Args{"columns": []string{"ghost"}}}},
+		{"negative limit", Invocation{Skill: "LimitRows", Inputs: []string{"people"},
+			Args: Args{"count": -1}}},
+		{"bad sample fraction", Invocation{Skill: "SampleRows", Inputs: []string{"people"},
+			Args: Args{"fraction": 2.0}}},
+		{"bad bin size", Invocation{Skill: "Bin", Inputs: []string{"people"},
+			Args: Args{"column": "age", "size": 0}}},
+		{"concat one input", Invocation{Skill: "Concatenate", Inputs: []string{"people"}}},
+		{"join bad kind", Invocation{Skill: "JoinDatasets", Inputs: []string{"people", "orders"},
+			Args: Args{"on": "people.id = orders.person_id", "kind": "outer-full"}}},
+		{"join bad condition", Invocation{Skill: "JoinDatasets", Inputs: []string{"people", "orders"},
+			Args: Args{"on": "this is not a condition at all >"}}},
+		{"pivot two measures", Invocation{Skill: "Pivot", Inputs: []string{"people"},
+			Args: Args{"rows": "dept", "columns": "name", "measure": []string{"sum of age", "min of age"}}}},
+		{"describe missing column", Invocation{Skill: "DescribeColumn", Inputs: []string{"people"},
+			Args: Args{"column": "ghost"}}},
+		{"correlate constant", Invocation{Skill: "Correlate", Inputs: []string{"people"},
+			Args: Args{"column1": "age", "column2": "age_const"}}},
+		{"correlate strings", Invocation{Skill: "Correlate", Inputs: []string{"people"},
+			Args: Args{"column1": "name", "column2": "dept"}}},
+		{"train unknown model", Invocation{Skill: "TrainModel", Inputs: []string{"people"},
+			Args: Args{"target": "age", "model": "transformer"}}},
+		{"predict missing model", Invocation{Skill: "PredictWithModel", Inputs: []string{"people"},
+			Args: Args{"model": "ghost", "features": []string{"age"}}}},
+		{"cluster k too large", Invocation{Skill: "ClusterRows", Inputs: []string{"people"},
+			Args: Args{"columns": []string{"age"}, "k": 100}}},
+		{"outliers bad method", Invocation{Skill: "DetectOutliers", Inputs: []string{"people"},
+			Args: Args{"column": "age", "method": "vibes"}}},
+		{"outliers string column", Invocation{Skill: "DetectOutliers", Inputs: []string{"people"},
+			Args: Args{"column": "name"}}},
+		{"evaluate missing model", Invocation{Skill: "EvaluateModel", Inputs: []string{"people"},
+			Args: Args{"model": "ghost", "target": "age", "features": []string{"id"}}}},
+		{"plot missing x", Invocation{Skill: "PlotChart", Inputs: []string{"people"},
+			Args: Args{"chart": "bar"}}},
+		{"visualize missing kpi column", Invocation{Skill: "Visualize", Inputs: []string{"people"},
+			Args: Args{"kpi": "ghost"}}},
+		{"visualize bad filter", Invocation{Skill: "Visualize", Inputs: []string{"people"},
+			Args: Args{"kpi": "dept", "filter": "age >"}}},
+		{"snapshot without store", Invocation{Skill: "UseSnapshot", Args: Args{"name": "x"}}},
+		{"export without file", Invocation{Skill: "ExportCSV", Inputs: []string{"people"}, Args: Args{}}},
+		{"use missing dataset", Invocation{Skill: "UseDataset", Args: Args{"dataset": "ghost"}}},
+		{"load missing table", Invocation{Skill: "LoadTable",
+			Args: Args{"database": "nope", "table": "t"}}},
+	}
+	// A constant column for the correlate case.
+	konst := make([]int64, ctx.Datasets["people"].NumRows())
+	withConst, err := ctx.Datasets["people"].WithColumn(dataset.IntColumn("age_const", konst, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx.Datasets["people"] = withConst
+
+	for _, c := range cases {
+		if _, err := reg.Execute(ctx, c.inv); err == nil {
+			t.Errorf("%s: expected an error", c.name)
+		}
+	}
+}

@@ -1,0 +1,536 @@
+package skills
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datachat/internal/dataset"
+)
+
+func ingestionSkills() []*Definition {
+	return []*Definition{
+		{
+			Name:     "LoadData",
+			Category: DataIngestion,
+			Summary:  "Load a CSV file or URL into the session",
+			Params: []ParamSpec{
+				{"source", "string", true, "file name or URL to load"},
+				{"name", "string", false, "dataset name (defaults to the file stem)"},
+			},
+			GEL: "Load data from the URL {source}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				source, err := inv.Args.String("source")
+				if err != nil {
+					return nil, err
+				}
+				content, ok := ctx.Files[source]
+				if !ok {
+					return nil, fmt.Errorf("skills: no file or URL %q is registered with the session", source)
+				}
+				name := inv.Args.StringOr("name", datasetNameFromSource(source))
+				t, err := dataset.ReadCSVString(name, content)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: t, Message: fmt.Sprintf("Loaded %d rows × %d columns as %s", t.NumRows(), t.NumCols(), name)}, nil
+			},
+		},
+		{
+			Name:     "LoadTable",
+			Category: DataIngestion,
+			Summary:  "Load a table from a connected cloud database (full scan)",
+			Params: []ParamSpec{
+				{"database", "string", true, "connected database name"},
+				{"table", "string", true, "table to load"},
+			},
+			GEL: "Load the table {table} from the database {database}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				dbName, err := inv.Args.String("database")
+				if err != nil {
+					return nil, err
+				}
+				tableName, err := inv.Args.String("table")
+				if err != nil {
+					return nil, err
+				}
+				db, ok := ctx.Cloud[dbName]
+				if !ok {
+					return nil, fmt.Errorf("skills: no connected database %q", dbName)
+				}
+				t, err := db.Scan(tableName)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: t}, nil
+			},
+		},
+		{
+			Name:     "UseDataset",
+			Category: DataIngestion,
+			Summary:  "Select an existing session dataset as the working data",
+			Params: []ParamSpec{
+				{"dataset", "string", true, "dataset name"},
+				{"version", "number", false, "dataset version (informational)"},
+			},
+			GEL: "Use the dataset {dataset}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				name, err := inv.Args.String("dataset")
+				if err != nil {
+					return nil, err
+				}
+				t, err := ctx.Dataset(name)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: t}, nil
+			},
+		},
+	}
+}
+
+func datasetNameFromSource(source string) string {
+	name := source
+	if i := strings.LastIndexByte(name, '/'); i >= 0 {
+		name = name[i+1:]
+	}
+	if i := strings.IndexByte(name, '?'); i >= 0 {
+		name = name[:i]
+	}
+	if i := strings.LastIndexByte(name, '.'); i > 0 {
+		name = name[:i]
+	}
+	if name == "" {
+		return "data"
+	}
+	return name
+}
+
+func costControlSkills() []*Definition {
+	return []*Definition{
+		{
+			Name:     "SampleTable",
+			Category: CostControl,
+			Summary:  "Load a block-level sample of a cloud table at a fraction of the scan cost",
+			Params: []ParamSpec{
+				{"database", "string", true, "connected database name"},
+				{"table", "string", true, "table to sample"},
+				{"rate", "number", true, "sample rate in (0, 1], e.g. 0.1 for 10%"},
+			},
+			GEL: "Sample {rate} of the table {table} from the database {database}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				dbName, err := inv.Args.String("database")
+				if err != nil {
+					return nil, err
+				}
+				tableName, err := inv.Args.String("table")
+				if err != nil {
+					return nil, err
+				}
+				rate, err := inv.Args.Float("rate")
+				if err != nil {
+					return nil, err
+				}
+				db, ok := ctx.Cloud[dbName]
+				if !ok {
+					return nil, fmt.Errorf("skills: no connected database %q", dbName)
+				}
+				t, err := db.SampleBlocks(tableName, rate, ctx.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: t, Message: fmt.Sprintf("Sampled %d rows at rate %v", t.NumRows(), rate)}, nil
+			},
+		},
+		{
+			Name:     "CreateSnapshot",
+			Category: CostControl,
+			Summary:  "Cache a cloud table (or a sample) in the fixed-cost local store",
+			Params: []ParamSpec{
+				{"name", "string", true, "snapshot name"},
+				{"database", "string", true, "source database"},
+				{"table", "string", true, "source table"},
+				{"rate", "number", false, "sample rate (defaults to a full copy)"},
+			},
+			GEL: "Create a snapshot {name} of the table {table} from the database {database}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				if ctx.Snapshots == nil {
+					return nil, fmt.Errorf("skills: no snapshot store is configured")
+				}
+				name, err := inv.Args.String("name")
+				if err != nil {
+					return nil, err
+				}
+				dbName, err := inv.Args.String("database")
+				if err != nil {
+					return nil, err
+				}
+				tableName, err := inv.Args.String("table")
+				if err != nil {
+					return nil, err
+				}
+				db, ok := ctx.Cloud[dbName]
+				if !ok {
+					return nil, fmt.Errorf("skills: no connected database %q", dbName)
+				}
+				rate := inv.Args.FloatOr("rate", 1)
+				snap, err := ctx.Snapshots.Create(name, db, tableName, rate, ctx.Seed)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: snap.Data, Message: fmt.Sprintf("Snapshot %s holds %d rows", name, snap.Data.NumRows())}, nil
+			},
+		},
+		{
+			Name:     "UseSnapshot",
+			Category: CostControl,
+			Summary:  "Load a snapshot from the local store (free of cloud cost)",
+			Params: []ParamSpec{
+				{"name", "string", true, "snapshot name"},
+			},
+			GEL: "Use the snapshot {name}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				if ctx.Snapshots == nil {
+					return nil, fmt.Errorf("skills: no snapshot store is configured")
+				}
+				name, err := inv.Args.String("name")
+				if err != nil {
+					return nil, err
+				}
+				t, err := ctx.Snapshots.Get(name)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: t}, nil
+			},
+		},
+		{
+			Name:     "RefreshSnapshot",
+			Category: CostControl,
+			Summary:  "Re-pull a snapshot from its source cloud database",
+			Params: []ParamSpec{
+				{"name", "string", true, "snapshot name"},
+				{"database", "string", true, "source database"},
+			},
+			GEL: "Refresh the snapshot {name}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				if ctx.Snapshots == nil {
+					return nil, fmt.Errorf("skills: no snapshot store is configured")
+				}
+				name, err := inv.Args.String("name")
+				if err != nil {
+					return nil, err
+				}
+				dbName, err := inv.Args.String("database")
+				if err != nil {
+					return nil, err
+				}
+				db, ok := ctx.Cloud[dbName]
+				if !ok {
+					return nil, fmt.Errorf("skills: no connected database %q", dbName)
+				}
+				snap, err := ctx.Snapshots.Refresh(name, db)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: snap.Data, Message: fmt.Sprintf("Snapshot %s refreshed at %s", name, snap.RefreshedAt.Format("2006-01-02 15:04:05"))}, nil
+			},
+		},
+	}
+}
+
+func explorationSkills() []*Definition {
+	return []*Definition{
+		{
+			Name:     "DescribeColumn",
+			Category: DataExploration,
+			Summary:  "Summarize one column: type, nulls, distincts, and statistics",
+			Params: []ParamSpec{
+				{"column", "column", true, "column to describe"},
+			},
+			GEL: "Describe the column {column}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				t, err := singleInput(ctx, inv)
+				if err != nil {
+					return nil, err
+				}
+				colName, err := inv.Args.String("column")
+				if err != nil {
+					return nil, err
+				}
+				c, err := t.Column(colName)
+				if err != nil {
+					return nil, err
+				}
+				return describeColumns(t.Name(), []*dataset.Column{c})
+			},
+		},
+		{
+			Name:     "DescribeDataset",
+			Category: DataExploration,
+			Summary:  "Summarize every column of the dataset",
+			Params:   nil,
+			GEL:      "Describe the dataset",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				t, err := singleInput(ctx, inv)
+				if err != nil {
+					return nil, err
+				}
+				return describeColumns(t.Name(), t.Columns())
+			},
+		},
+		{
+			Name:     "ShowDataset",
+			Category: DataExploration,
+			Summary:  "Preview the first rows of the dataset",
+			Params: []ParamSpec{
+				{"rows", "number", false, "rows to show (default 10)"},
+			},
+			GEL: "Show the dataset",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				t, err := singleInput(ctx, inv)
+				if err != nil {
+					return nil, err
+				}
+				n := inv.Args.IntOr("rows", 10)
+				return &Result{Table: t.Head(n), Message: fmt.Sprintf("%s has %d rows × %d columns", t.Name(), t.NumRows(), t.NumCols())}, nil
+			},
+		},
+		{
+			Name:     "CountRows",
+			Category: DataExploration,
+			Summary:  "Count the rows in the dataset",
+			Params:   nil,
+			GEL:      "Count the rows",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				t, err := singleInput(ctx, inv)
+				if err != nil {
+					return nil, err
+				}
+				out := dataset.MustNewTable("count",
+					dataset.IntColumn("rows", []int64{int64(t.NumRows())}, nil))
+				return &Result{Table: out}, nil
+			},
+		},
+		{
+			Name:     "ListDatasets",
+			Category: DataExploration,
+			Summary:  "List the session's datasets with shapes and columns",
+			Params:   nil,
+			GEL:      "List the datasets",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				names := make([]string, 0, len(ctx.Datasets))
+				for name := range ctx.Datasets {
+					names = append(names, name)
+				}
+				sort.Strings(names)
+				nameCol := dataset.NewColumn("DatasetName", dataset.TypeString)
+				rowsCol := dataset.NewColumn("NumRows", dataset.TypeInt)
+				colsCol := dataset.NewColumn("NumColumns", dataset.TypeInt)
+				columnsCol := dataset.NewColumn("Columns", dataset.TypeString)
+				for _, name := range names {
+					t := ctx.Datasets[name]
+					nameCol.Append(dataset.Str(name))
+					rowsCol.Append(dataset.Int(int64(t.NumRows())))
+					colsCol.Append(dataset.Int(int64(t.NumCols())))
+					columnsCol.Append(dataset.Str(strings.Join(t.ColumnNames(), ", ")))
+				}
+				out, err := dataset.NewTable("datasets", nameCol, rowsCol, colsCol, columnsCol)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: out}, nil
+			},
+		},
+		{
+			Name:     "Correlate",
+			Category: DataExploration,
+			Summary:  "Compute the Pearson correlation between two numeric columns",
+			Params: []ParamSpec{
+				{"column1", "column", true, "first numeric column"},
+				{"column2", "column", true, "second numeric column"},
+			},
+			GEL: "Correlate {column1} with {column2}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				t, err := singleInput(ctx, inv)
+				if err != nil {
+					return nil, err
+				}
+				c1Name, err := inv.Args.String("column1")
+				if err != nil {
+					return nil, err
+				}
+				c2Name, err := inv.Args.String("column2")
+				if err != nil {
+					return nil, err
+				}
+				r, n, err := pearson(t, c1Name, c2Name)
+				if err != nil {
+					return nil, err
+				}
+				out := dataset.MustNewTable("correlation",
+					dataset.StringColumn("columns", []string{c1Name + " ~ " + c2Name}, nil),
+					dataset.FloatColumn("pearson_r", []float64{r}, nil),
+					dataset.IntColumn("rows_used", []int64{int64(n)}, nil))
+				return &Result{Table: out, Message: fmt.Sprintf("Pearson r = %.4f over %d rows", r, n)}, nil
+			},
+		},
+		{
+			Name:     "TopValues",
+			Category: DataExploration,
+			Summary:  "List the most frequent values of a column",
+			Params: []ParamSpec{
+				{"column", "column", true, "column to count"},
+				{"count", "number", false, "values to show (default 10)"},
+			},
+			GEL: "Show the top values of {column}",
+			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
+				t, err := singleInput(ctx, inv)
+				if err != nil {
+					return nil, err
+				}
+				colName, err := inv.Args.String("column")
+				if err != nil {
+					return nil, err
+				}
+				c, err := t.Column(colName)
+				if err != nil {
+					return nil, err
+				}
+				counts := map[string]int64{}
+				var order []string
+				for i := 0; i < c.Len(); i++ {
+					key := c.Value(i).String()
+					if _, seen := counts[key]; !seen {
+						order = append(order, key)
+					}
+					counts[key]++
+				}
+				sort.SliceStable(order, func(a, b int) bool { return counts[order[a]] > counts[order[b]] })
+				limit := inv.Args.IntOr("count", 10)
+				if limit > len(order) {
+					limit = len(order)
+				}
+				valCol := dataset.NewColumn(colName, dataset.TypeString)
+				countCol := dataset.NewColumn("count", dataset.TypeInt)
+				for _, key := range order[:limit] {
+					valCol.Append(dataset.Str(key))
+					countCol.Append(dataset.Int(counts[key]))
+				}
+				out, err := dataset.NewTable("top_values", valCol, countCol)
+				if err != nil {
+					return nil, err
+				}
+				return &Result{Table: out}, nil
+			},
+		},
+	}
+}
+
+// describeColumns builds the DescribeColumn/DescribeDataset summary table.
+func describeColumns(name string, cols []*dataset.Column) (*Result, error) {
+	colName := dataset.NewColumn("column", dataset.TypeString)
+	typeCol := dataset.NewColumn("type", dataset.TypeString)
+	countCol := dataset.NewColumn("count", dataset.TypeInt)
+	nullCol := dataset.NewColumn("nulls", dataset.TypeInt)
+	distinctCol := dataset.NewColumn("distinct", dataset.TypeInt)
+	minCol := dataset.NewColumn("min", dataset.TypeString)
+	maxCol := dataset.NewColumn("max", dataset.TypeString)
+	meanCol := dataset.NewColumn("mean", dataset.TypeFloat)
+	stddevCol := dataset.NewColumn("stddev", dataset.TypeFloat)
+	for _, c := range cols {
+		colName.Append(dataset.Str(c.Name()))
+		typeCol.Append(dataset.Str(c.Type().String()))
+		countCol.Append(dataset.Int(int64(c.Len())))
+		nullCol.Append(dataset.Int(int64(c.NullCount())))
+		distinct := map[string]bool{}
+		var minV, maxV dataset.Value
+		var sum, sumSq float64
+		numeric := 0
+		for i := 0; i < c.Len(); i++ {
+			v := c.Value(i)
+			if v.IsNull() {
+				continue
+			}
+			distinct[v.String()] = true
+			if minV.IsNull() || dataset.Compare(v, minV) < 0 {
+				minV = v
+			}
+			if maxV.IsNull() || dataset.Compare(v, maxV) > 0 {
+				maxV = v
+			}
+			if f, ok := v.AsFloat(); ok && c.Type().Numeric() {
+				sum += f
+				sumSq += f * f
+				numeric++
+			}
+		}
+		distinctCol.Append(dataset.Int(int64(len(distinct))))
+		if minV.IsNull() {
+			minCol.Append(dataset.Null)
+			maxCol.Append(dataset.Null)
+		} else {
+			minCol.Append(dataset.Str(minV.String()))
+			maxCol.Append(dataset.Str(maxV.String()))
+		}
+		if numeric > 0 {
+			mean := sum / float64(numeric)
+			variance := sumSq/float64(numeric) - mean*mean
+			if variance < 0 {
+				variance = 0
+			}
+			meanCol.Append(dataset.Float(mean))
+			stddevCol.Append(dataset.Float(math.Sqrt(variance)))
+		} else {
+			meanCol.Append(dataset.Null)
+			stddevCol.Append(dataset.Null)
+		}
+	}
+	out, err := dataset.NewTable(name+"_summary",
+		colName, typeCol, countCol, nullCol, distinctCol, minCol, maxCol, meanCol, stddevCol)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Table: out}, nil
+}
+
+func pearson(t *dataset.Table, name1, name2 string) (r float64, n int, err error) {
+	c1, err := t.Column(name1)
+	if err != nil {
+		return 0, 0, err
+	}
+	c2, err := t.Column(name2)
+	if err != nil {
+		return 0, 0, err
+	}
+	v1, ok1 := c1.Floats()
+	v2, ok2 := c2.Floats()
+	var xs, ys []float64
+	for i := range v1 {
+		if ok1[i] && ok2[i] {
+			xs = append(xs, v1[i])
+			ys = append(ys, v2[i])
+		}
+	}
+	if len(xs) < 2 {
+		return 0, 0, fmt.Errorf("skills: not enough numeric pairs to correlate %s and %s", name1, name2)
+	}
+	var sumX, sumY float64
+	for i := range xs {
+		sumX += xs[i]
+		sumY += ys[i]
+	}
+	meanX, meanY := sumX/float64(len(xs)), sumY/float64(len(ys))
+	var cov, varX, varY float64
+	for i := range xs {
+		dx, dy := xs[i]-meanX, ys[i]-meanY
+		cov += dx * dy
+		varX += dx * dx
+		varY += dy * dy
+	}
+	if varX == 0 || varY == 0 {
+		return 0, len(xs), fmt.Errorf("skills: %s or %s is constant; correlation undefined", name1, name2)
+	}
+	return cov / math.Sqrt(varX*varY), len(xs), nil
+}

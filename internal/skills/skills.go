@@ -1,0 +1,502 @@
+// Package skills implements DataChat's skill layer (§2.1): the curated set
+// of ~50 high-level data-science operations that users invoke through UI
+// forms, the Python API, or GEL sentences. All three entry paths converge on
+// an Invocation — a discrete, parameterized request — and every skill knows
+// how to render itself as GEL, as a Python API call, and (for relational
+// skills) as a SQL clause, and how to execute directly on tables.
+//
+// Relational skills carry two implementations, mirroring the paper's §2.2:
+// a direct table transform (the "Python" execution path) and a SQL merge
+// rule used by the DAG compiler to consolidate chains of skills into one
+// flattened query (Figure 4).
+package skills
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/ml"
+	"datachat/internal/snapshot"
+	"datachat/internal/viz"
+)
+
+// Category groups skills as in the paper's Table 1.
+type Category string
+
+// The skill categories from Table 1, plus the cost-control skills of §3 and
+// the collaboration skills of §2.4.
+const (
+	DataIngestion     Category = "Data Ingestion"
+	DataExploration   Category = "Data Exploration"
+	DataVisualization Category = "Data Visualization"
+	DataWrangling     Category = "Data Wrangling"
+	MachineLearning   Category = "Machine Learning"
+	SQLTasks          Category = "SQL Tasks"
+	Collaboration     Category = "Collaboration"
+	CostControl       Category = "Cost Control"
+)
+
+// Categories lists all categories in display order.
+func Categories() []Category {
+	return []Category{
+		DataIngestion, DataExploration, DataVisualization, DataWrangling,
+		MachineLearning, SQLTasks, Collaboration, CostControl,
+	}
+}
+
+// Args carries an invocation's parameters. Values are JSON-compatible:
+// string, float64, int, bool, []string, or []map[string]string.
+type Args map[string]any
+
+// String returns a required string parameter.
+func (a Args) String(key string) (string, error) {
+	v, ok := a[key]
+	if !ok {
+		return "", fmt.Errorf("skills: missing parameter %q", key)
+	}
+	s, ok := v.(string)
+	if !ok {
+		return "", fmt.Errorf("skills: parameter %q must be a string, got %T", key, v)
+	}
+	return s, nil
+}
+
+// StringOr returns an optional string parameter with a default.
+func (a Args) StringOr(key, def string) string {
+	if s, err := a.String(key); err == nil {
+		return s
+	}
+	return def
+}
+
+// StringList returns a string-list parameter; a bare string becomes a
+// one-element list. JSON decoding may surface []any, which is handled.
+func (a Args) StringList(key string) ([]string, error) {
+	v, ok := a[key]
+	if !ok {
+		return nil, fmt.Errorf("skills: missing parameter %q", key)
+	}
+	switch vv := v.(type) {
+	case string:
+		return []string{vv}, nil
+	case []string:
+		return vv, nil
+	case []any:
+		out := make([]string, len(vv))
+		for i, item := range vv {
+			s, ok := item.(string)
+			if !ok {
+				return nil, fmt.Errorf("skills: parameter %q element %d is %T, not string", key, i, item)
+			}
+			out[i] = s
+		}
+		return out, nil
+	default:
+		return nil, fmt.Errorf("skills: parameter %q must be a string list, got %T", key, v)
+	}
+}
+
+// StringListOr returns an optional string list.
+func (a Args) StringListOr(key string) []string {
+	out, err := a.StringList(key)
+	if err != nil {
+		return nil
+	}
+	return out
+}
+
+// Int returns a required integer parameter (JSON numbers arrive as float64).
+func (a Args) Int(key string) (int, error) {
+	v, ok := a[key]
+	if !ok {
+		return 0, fmt.Errorf("skills: missing parameter %q", key)
+	}
+	switch n := v.(type) {
+	case int:
+		return n, nil
+	case int64:
+		return int(n), nil
+	case float64:
+		return int(n), nil
+	default:
+		return 0, fmt.Errorf("skills: parameter %q must be a number, got %T", key, v)
+	}
+}
+
+// IntOr returns an optional integer parameter with a default.
+func (a Args) IntOr(key string, def int) int {
+	if n, err := a.Int(key); err == nil {
+		return n
+	}
+	return def
+}
+
+// Float returns a required float parameter.
+func (a Args) Float(key string) (float64, error) {
+	v, ok := a[key]
+	if !ok {
+		return 0, fmt.Errorf("skills: missing parameter %q", key)
+	}
+	switch n := v.(type) {
+	case float64:
+		return n, nil
+	case int:
+		return float64(n), nil
+	case int64:
+		return float64(n), nil
+	default:
+		return 0, fmt.Errorf("skills: parameter %q must be a number, got %T", key, v)
+	}
+}
+
+// FloatOr returns an optional float parameter with a default.
+func (a Args) FloatOr(key string, def float64) float64 {
+	if f, err := a.Float(key); err == nil {
+		return f
+	}
+	return def
+}
+
+// Bool returns an optional boolean parameter (default false).
+func (a Args) Bool(key string) bool {
+	v, ok := a[key]
+	if !ok {
+		return false
+	}
+	b, ok := v.(bool)
+	return ok && b
+}
+
+// Invocation is a discrete parameterized skill request: the common form that
+// UI gestures, Python API calls, and GEL sentences all reduce to (Figure 3).
+type Invocation struct {
+	// Skill is the canonical skill name, e.g. "KeepRows".
+	Skill string
+	// Inputs names the session datasets the skill consumes, in order.
+	Inputs []string
+	// Output names the dataset/artifact the skill produces ("" for default).
+	Output string
+	// Args are the skill parameters.
+	Args Args
+}
+
+// ParamSpec documents one skill parameter.
+type ParamSpec struct {
+	Name     string
+	Type     string // "string", "number", "columns", "expression", "aggregates", ...
+	Required bool
+	Doc      string
+}
+
+// Result is what a skill execution produces: at most one table, plus
+// optional charts, a model, and a human-readable message.
+type Result struct {
+	Table   *dataset.Table
+	Charts  []*viz.Chart
+	Model   ml.Model
+	Message string
+}
+
+// Context is the execution environment a skill runs in: the session's named
+// datasets, connected cloud databases, the snapshot store, trained models,
+// in-memory files, and a deterministic seed.
+type Context struct {
+	// Datasets maps dataset names to tables (the session's working set).
+	Datasets map[string]*dataset.Table
+	// Cloud maps database names to connected cloud databases.
+	Cloud map[string]*cloud.Database
+	// Snapshots is the session's snapshot store (may be nil).
+	Snapshots *snapshot.Store
+	// Models holds trained models by name.
+	Models map[string]ml.Model
+	// Files maps file names/URLs to CSV content for LoadData. Deterministic
+	// stand-in for network and filesystem access.
+	Files map[string]string
+	// Definitions holds semantic-layer phrase definitions added via Define.
+	Definitions map[string]string
+	// Seed drives every randomized skill (sampling, train/test splits).
+	Seed int64
+}
+
+// NewContext returns an empty, usable context.
+func NewContext() *Context {
+	return &Context{
+		Datasets:    map[string]*dataset.Table{},
+		Cloud:       map[string]*cloud.Database{},
+		Models:      map[string]ml.Model{},
+		Files:       map[string]string{},
+		Definitions: map[string]string{},
+		Seed:        1,
+	}
+}
+
+// Dataset returns a named session dataset.
+func (c *Context) Dataset(name string) (*dataset.Table, error) {
+	if t, ok := c.Datasets[name]; ok {
+		return t, nil
+	}
+	for k, t := range c.Datasets {
+		if strings.EqualFold(k, name) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("skills: no dataset named %q in the session", name)
+}
+
+// Table implements sqlengine.Catalog over the session datasets.
+func (c *Context) Table(name string) (*dataset.Table, error) { return c.Dataset(name) }
+
+// ApplyFunc executes a skill directly (the non-SQL execution path).
+type ApplyFunc func(ctx *Context, inv Invocation) (*Result, error)
+
+// Definition describes one skill: metadata, parameters, renderings, and its
+// implementations.
+type Definition struct {
+	// Name is the canonical CamelCase skill name.
+	Name string
+	// Category is the Table 1 grouping.
+	Category Category
+	// Summary is a one-line description.
+	Summary string
+	// Params documents the parameters.
+	Params []ParamSpec
+	// GEL is the sentence template with {param} placeholders, e.g.
+	// "Keep the rows where {condition}".
+	GEL string
+	// PyName is the method name in the DataChat Python API (snake_case).
+	PyName string
+	// Relational marks skills the DAG compiler can merge into SQL.
+	Relational bool
+	// Apply is the direct execution path.
+	Apply ApplyFunc
+	// MergeSQL merges the skill into a query under construction; nil for
+	// non-relational skills. Returning ErrCannotMerge makes the compiler
+	// wrap the current query as a subquery and retry.
+	MergeSQL func(b *QueryBuilder, inv Invocation) error
+}
+
+// Registry is the set of installed skills.
+type Registry struct {
+	byName map[string]*Definition
+	order  []string
+}
+
+// NewRegistry returns a registry with every built-in skill installed.
+func NewRegistry() *Registry {
+	r := &Registry{byName: map[string]*Definition{}}
+	for _, group := range [][]*Definition{
+		ingestionSkills(), explorationSkills(), wranglingSkills(),
+		visualizationSkills(), mlSkills(), sqlSkills(), collaborationSkills(),
+		costControlSkills(),
+	} {
+		for _, def := range group {
+			r.mustRegister(def)
+		}
+	}
+	return r
+}
+
+func (r *Registry) mustRegister(def *Definition) {
+	if _, dup := r.byName[strings.ToLower(def.Name)]; dup {
+		panic(fmt.Sprintf("skills: duplicate skill %q", def.Name))
+	}
+	if def.PyName == "" {
+		def.PyName = toSnake(def.Name)
+	}
+	r.byName[strings.ToLower(def.Name)] = def
+	r.order = append(r.order, def.Name)
+}
+
+// Lookup returns a skill definition by name (case-insensitive).
+func (r *Registry) Lookup(name string) (*Definition, error) {
+	def, ok := r.byName[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("skills: unknown skill %q", name)
+	}
+	return def, nil
+}
+
+// Names returns every skill name in registration order.
+func (r *Registry) Names() []string { return append([]string{}, r.order...) }
+
+// ByCategory returns skills grouped by category, each group name-sorted.
+func (r *Registry) ByCategory() map[Category][]*Definition {
+	out := map[Category][]*Definition{}
+	for _, name := range r.order {
+		def := r.byName[strings.ToLower(name)]
+		out[def.Category] = append(out[def.Category], def)
+	}
+	for _, defs := range out {
+		sort.Slice(defs, func(i, j int) bool { return defs[i].Name < defs[j].Name })
+	}
+	return out
+}
+
+// Execute validates and runs an invocation through the direct path.
+func (r *Registry) Execute(ctx *Context, inv Invocation) (*Result, error) {
+	def, err := r.Lookup(inv.Skill)
+	if err != nil {
+		return nil, err
+	}
+	if err := def.validate(inv); err != nil {
+		return nil, err
+	}
+	return def.Apply(ctx, inv)
+}
+
+func (d *Definition) validate(inv Invocation) error {
+	for _, p := range d.Params {
+		if !p.Required {
+			continue
+		}
+		if _, ok := inv.Args[p.Name]; !ok {
+			return fmt.Errorf("skills: %s requires parameter %q (%s)", d.Name, p.Name, p.Doc)
+		}
+	}
+	return nil
+}
+
+func toSnake(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		if r >= 'A' && r <= 'Z' {
+			if i > 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r - 'A' + 'a')
+		} else {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
+
+// singleInput resolves the invocation's (sole) input dataset.
+func singleInput(ctx *Context, inv Invocation) (*dataset.Table, error) {
+	if len(inv.Inputs) == 0 {
+		return nil, fmt.Errorf("skills: %s needs an input dataset", inv.Skill)
+	}
+	return ctx.Dataset(inv.Inputs[0])
+}
+
+// AggSpec is one aggregate request in a Compute/Pivot skill.
+type AggSpec struct {
+	Func   string // count, sum, avg, min, max, median, stddev, count_distinct
+	Column string // "*" for count of records
+	As     string // output column name ("" derives one)
+}
+
+// OutName returns the output column name for the aggregate.
+func (a AggSpec) OutName() string {
+	if a.As != "" {
+		return a.As
+	}
+	if a.Column == "*" || a.Column == "" {
+		return a.Func + "_records"
+	}
+	return a.Func + "_" + a.Column
+}
+
+// validAggFuncs lists the aggregate functions Compute accepts.
+var validAggFuncs = map[string]string{
+	"count": "COUNT", "sum": "SUM", "avg": "AVG", "average": "AVG",
+	"min": "MIN", "max": "MAX", "median": "MEDIAN", "stddev": "STDDEV",
+	"count_distinct": "COUNT_DISTINCT",
+}
+
+// AggSpecs parses the "aggregates" parameter: a list of maps with keys
+// func/column/as (JSON) or strings "func of column [as name]" (GEL).
+func (a Args) AggSpecs(key string) ([]AggSpec, error) {
+	v, ok := a[key]
+	if !ok {
+		return nil, fmt.Errorf("skills: missing parameter %q", key)
+	}
+	var items []any
+	switch vv := v.(type) {
+	case []any:
+		items = vv
+	case []map[string]string:
+		for _, m := range vv {
+			items = append(items, m)
+		}
+	case []AggSpec:
+		return vv, nil
+	case string:
+		items = []any{vv}
+	case []string:
+		for _, s := range vv {
+			items = append(items, s)
+		}
+	default:
+		return nil, fmt.Errorf("skills: parameter %q must be an aggregate list, got %T", key, v)
+	}
+	out := make([]AggSpec, 0, len(items))
+	for _, item := range items {
+		spec, err := parseAggItem(item)
+		if err != nil {
+			return nil, err
+		}
+		if _, valid := validAggFuncs[spec.Func]; !valid {
+			return nil, fmt.Errorf("skills: unknown aggregate function %q", spec.Func)
+		}
+		out = append(out, spec)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("skills: parameter %q must not be empty", key)
+	}
+	return out, nil
+}
+
+func parseAggItem(item any) (AggSpec, error) {
+	switch it := item.(type) {
+	case AggSpec:
+		return it, nil
+	case map[string]string:
+		return AggSpec{Func: strings.ToLower(it["func"]), Column: it["column"], As: it["as"]}, nil
+	case map[string]any:
+		spec := AggSpec{}
+		if s, ok := it["func"].(string); ok {
+			spec.Func = strings.ToLower(s)
+		}
+		if s, ok := it["column"].(string); ok {
+			spec.Column = s
+		}
+		if s, ok := it["as"].(string); ok {
+			spec.As = s
+		}
+		return spec, nil
+	case string:
+		return parseAggString(it)
+	default:
+		return AggSpec{}, fmt.Errorf("skills: cannot parse aggregate %v (%T)", item, item)
+	}
+}
+
+// parseAggString parses "count of case_id as NumberOfCases", "count of
+// records", "sum of amount".
+func parseAggString(s string) (AggSpec, error) {
+	fields := strings.Fields(s)
+	if len(fields) == 0 {
+		return AggSpec{}, fmt.Errorf("skills: empty aggregate")
+	}
+	spec := AggSpec{Func: strings.ToLower(fields[0])}
+	rest := fields[1:]
+	if len(rest) > 0 && strings.EqualFold(rest[0], "of") {
+		rest = rest[1:]
+	}
+	if len(rest) == 0 {
+		return AggSpec{}, fmt.Errorf("skills: aggregate %q is missing a column", s)
+	}
+	spec.Column = rest[0]
+	if strings.EqualFold(spec.Column, "records") {
+		spec.Column = "*"
+	}
+	rest = rest[1:]
+	if len(rest) >= 2 && strings.EqualFold(rest[0], "as") {
+		spec.As = rest[1]
+	}
+	return spec, nil
+}

@@ -1,0 +1,154 @@
+package skills
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/dataset"
+	"datachat/internal/expr"
+	"datachat/internal/sqlengine"
+)
+
+func builderCatalog() sqlengine.MapCatalog {
+	return sqlengine.MapCatalog{"t": dataset.MustNewTable("t",
+		dataset.IntColumn("a", []int64{1, 2, 3, 4}, nil),
+		dataset.IntColumn("b", []int64{10, 20, 30, 40}, nil),
+		dataset.StringColumn("g", []string{"x", "x", "y", "y"}, nil),
+	)}
+}
+
+func execBuilder(t *testing.T, b *QueryBuilder) *dataset.Table {
+	t.Helper()
+	out, err := sqlengine.ExecStmt(builderCatalog(), b.Stmt())
+	if err != nil {
+		t.Fatalf("exec %s: %v", b.SQL(), err)
+	}
+	return out
+}
+
+func TestProjectNarrowsExplicitProjection(t *testing.T) {
+	b := NewQueryBuilder("t")
+	b.Project([]string{"a", "b", "g"})
+	b.Project([]string{"b"})
+	if got := b.Blocks(); got != 1 {
+		t.Errorf("narrowing should stay one block, got %d: %s", got, b.SQL())
+	}
+	out := execBuilder(t, b)
+	if out.NumCols() != 1 || !out.HasColumn("b") {
+		t.Errorf("columns = %v", out.ColumnNames())
+	}
+}
+
+func TestProjectKeepsComputedAlias(t *testing.T) {
+	b := NewQueryBuilder("t")
+	b.AddColumn("double_a", mustParse(t, "a * 2"))
+	b.Project([]string{"double_a"})
+	if got := b.Blocks(); got != 1 {
+		t.Errorf("alias narrowing should stay one block, got %d: %s", got, b.SQL())
+	}
+	out := execBuilder(t, b)
+	c, err := out.Column("double_a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Value(0).I != 2 {
+		t.Errorf("double_a[0] = %v", c.Value(0))
+	}
+}
+
+func TestProjectUnknownColumnNests(t *testing.T) {
+	b := NewQueryBuilder("t")
+	b.Project([]string{"a"})
+	b.Project([]string{"b"}) // not in the narrowed projection: must nest
+	if got := b.Blocks(); got < 2 {
+		t.Errorf("projecting a dropped column should nest: %d blocks (%s)", got, b.SQL())
+	}
+	// Executing it fails (b was projected away) — matching direct-path
+	// semantics where selecting a dropped column errors.
+	if _, err := sqlengine.ExecStmt(builderCatalog(), b.Stmt()); err == nil {
+		t.Error("selecting a dropped column should fail")
+	}
+}
+
+func TestProjectAfterGroupByNests(t *testing.T) {
+	b := NewQueryBuilder("t")
+	if err := b.GroupBy([]AggSpec{{Func: "sum", Column: "a", As: "total"}}, []string{"g"}); err != nil {
+		t.Fatal(err)
+	}
+	b.Project([]string{"total"})
+	if got := b.Blocks(); got != 2 {
+		t.Errorf("project after group should nest: %d blocks (%s)", got, b.SQL())
+	}
+	out := execBuilder(t, b)
+	if out.NumCols() != 1 {
+		t.Errorf("columns = %v", out.ColumnNames())
+	}
+}
+
+func TestAddColumnAfterDistinctNests(t *testing.T) {
+	b := NewQueryBuilder("t")
+	b.Distinct()
+	b.AddColumn("c", mustParse(t, "a + 1"))
+	if got := b.Blocks(); got != 2 {
+		t.Errorf("add column after distinct should nest: %d (%s)", got, b.SQL())
+	}
+}
+
+func TestGroupByAfterGroupByNests(t *testing.T) {
+	b := NewQueryBuilder("t")
+	if err := b.GroupBy([]AggSpec{{Func: "count", Column: "*"}}, []string{"g"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.GroupBy([]AggSpec{{Func: "count", Column: "*"}}, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.Blocks(); got != 2 {
+		t.Errorf("double group should nest: %d (%s)", got, b.SQL())
+	}
+	out := execBuilder(t, b)
+	c, _ := out.Column("count_records")
+	if c.Value(0).I != 2 { // two groups
+		t.Errorf("count of groups = %v", c.Value(0))
+	}
+}
+
+func TestGroupByBadAggregates(t *testing.T) {
+	b := NewQueryBuilder("t")
+	if err := b.GroupBy([]AggSpec{{Func: "frobnicate", Column: "a"}}, nil); err == nil {
+		t.Error("unknown aggregate should error")
+	}
+	if err := b.GroupBy([]AggSpec{{Func: "sum", Column: "*"}}, nil); err == nil {
+		t.Error("SUM(*) should error")
+	}
+}
+
+func TestSQLRendering(t *testing.T) {
+	b := NewQueryBuilder("t")
+	b.Where(mustParse(t, "a > 1"))
+	b.Limit(2)
+	sql := b.SQL()
+	if !strings.Contains(sql, "WHERE (a > 1)") || !strings.Contains(sql, "LIMIT 2") {
+		t.Errorf("SQL = %s", sql)
+	}
+	if strings.Count(sql, "SELECT") != 1 {
+		t.Errorf("should be one block: %s", sql)
+	}
+}
+
+func TestDistinctAfterLimitNests(t *testing.T) {
+	b := NewQueryBuilder("t")
+	b.Limit(3)
+	b.Distinct()
+	if got := b.Blocks(); got != 2 {
+		t.Errorf("distinct after limit should nest: %d (%s)", got, b.SQL())
+	}
+}
+
+func mustParse(t *testing.T, src string) expr.Expr {
+	t.Helper()
+	e, err := sqlengine.ParseExpr(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}

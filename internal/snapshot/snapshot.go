@@ -1,0 +1,186 @@
+// Package snapshot implements the paper's §3 "snapshots": cached copies of
+// cloud tables (or samples of them) held in a fixed-cost local instance.
+// Iterating a recipe against a snapshot costs nothing per scan, and each
+// snapshot remembers how it was produced so it can be refreshed against the
+// source cloud database.
+package snapshot
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+)
+
+// Snapshot is one cached table plus the provenance needed to refresh it.
+type Snapshot struct {
+	// Name is the snapshot's name in the local store.
+	Name string
+	// Source identifies the cloud database and table it came from.
+	SourceDB    string
+	SourceTable string
+	// SampleRate is the block-sample rate used (1 means a full copy).
+	SampleRate float64
+	// Seed is the sampling seed, kept so a refresh re-samples consistently.
+	Seed int64
+	// RefreshedAt is the virtual time of the last refresh.
+	RefreshedAt time.Time
+	// Data is the cached table.
+	Data *dataset.Table
+}
+
+// Store is the fixed-cost local database instance that holds snapshots.
+// Reads from the store are free; the only cloud cost is paid at snapshot
+// creation and refresh time.
+type Store struct {
+	// MonthlyCost is the fixed cost of running the local instance,
+	// reported by cost summaries but never scaled by scans.
+	MonthlyCost float64
+
+	mu    sync.RWMutex
+	snaps map[string]*Snapshot
+	reads int
+	clock func() time.Time
+}
+
+// NewStore creates an empty snapshot store.
+func NewStore(monthlyCost float64) *Store {
+	return &Store{
+		MonthlyCost: monthlyCost,
+		snaps:       make(map[string]*Snapshot),
+		clock:       time.Now,
+	}
+}
+
+// SetClock overrides the time source (tests and deterministic replays).
+func (s *Store) SetClock(clock func() time.Time) { s.clock = clock }
+
+// Create pulls a table (or a block sample of it, when rate < 1) from the
+// cloud database into the store under the given snapshot name. The pull is
+// charged on the database's meter; subsequent Get calls are free.
+func (s *Store) Create(name string, db *cloud.Database, table string, rate float64, seed int64) (*Snapshot, error) {
+	if name == "" {
+		return nil, fmt.Errorf("snapshot: name must not be empty")
+	}
+	var data *dataset.Table
+	var err error
+	if rate >= 1 {
+		rate = 1
+		data, err = db.Scan(table)
+	} else {
+		data, err = db.SampleBlocks(table, rate, seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: creating %q: %w", name, err)
+	}
+	snap := &Snapshot{
+		Name:        name,
+		SourceDB:    db.Name(),
+		SourceTable: table,
+		SampleRate:  rate,
+		Seed:        seed,
+		RefreshedAt: s.clock(),
+		Data:        data.WithName(name),
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, exists := s.snaps[strings.ToLower(name)]; exists {
+		return nil, fmt.Errorf("snapshot: %q already exists", name)
+	}
+	s.snaps[strings.ToLower(name)] = snap
+	return snap, nil
+}
+
+// Get returns a snapshot's cached table. Reads are free.
+func (s *Store) Get(name string) (*dataset.Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap, ok := s.snaps[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: unknown snapshot %q", name)
+	}
+	s.reads++
+	return snap.Data, nil
+}
+
+// Info returns snapshot metadata without touching the data.
+func (s *Store) Info(name string) (*Snapshot, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	snap, ok := s.snaps[strings.ToLower(name)]
+	if !ok {
+		return nil, fmt.Errorf("snapshot: unknown snapshot %q", name)
+	}
+	copied := *snap
+	return &copied, nil
+}
+
+// Refresh re-pulls a snapshot from its source database, charging the cloud
+// meter again — the "refresh" interaction from §2.3/§3.
+func (s *Store) Refresh(name string, db *cloud.Database) (*Snapshot, error) {
+	s.mu.Lock()
+	snap, ok := s.snaps[strings.ToLower(name)]
+	s.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("snapshot: unknown snapshot %q", name)
+	}
+	if db.Name() != snap.SourceDB {
+		return nil, fmt.Errorf("snapshot: %q came from database %q, not %q", name, snap.SourceDB, db.Name())
+	}
+	var data *dataset.Table
+	var err error
+	if snap.SampleRate >= 1 {
+		data, err = db.Scan(snap.SourceTable)
+	} else {
+		data, err = db.SampleBlocks(snap.SourceTable, snap.SampleRate, snap.Seed)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: refreshing %q: %w", name, err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	snap.Data = data.WithName(snap.Name)
+	snap.RefreshedAt = s.clock()
+	copied := *snap
+	return &copied, nil
+}
+
+// Drop removes a snapshot.
+func (s *Store) Drop(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	key := strings.ToLower(name)
+	if _, ok := s.snaps[key]; !ok {
+		return fmt.Errorf("snapshot: unknown snapshot %q", name)
+	}
+	delete(s.snaps, key)
+	return nil
+}
+
+// Names lists snapshots in sorted order.
+func (s *Store) Names() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.snaps))
+	for _, snap := range s.snaps {
+		names = append(names, snap.Name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Reads returns how many free local reads the store has served; benches use
+// it to contrast iteration against the cloud meter.
+func (s *Store) Reads() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.reads
+}
+
+// Table implements sqlengine.Catalog over the snapshot store so recipes can
+// execute SQL against snapshots with zero marginal cost.
+func (s *Store) Table(name string) (*dataset.Table, error) { return s.Get(name) }

@@ -1,0 +1,155 @@
+package snapshot
+
+import (
+	"testing"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/sqlengine"
+)
+
+func newCloudDB(t *testing.T, rows int) *cloud.Database {
+	t.Helper()
+	ids := make([]int64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	db := cloud.NewDatabase("warehouse", cloud.DefaultPricing, 100)
+	if err := db.CreateTable(dataset.MustNewTable("sensor",
+		dataset.IntColumn("id", ids, nil))); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateGetAndFreeReads(t *testing.T) {
+	db := newCloudDB(t, 1000)
+	store := NewStore(50)
+	snap, err := store.Create("sensor_snap", db, "sensor", 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Data.NumRows() != 1000 {
+		t.Errorf("snapshot rows = %d", snap.Data.NumRows())
+	}
+	createCost := db.Meter().BytesScanned()
+	if createCost == 0 {
+		t.Fatal("creation should be charged")
+	}
+	// Ten iterations against the snapshot: cloud meter must not move.
+	for i := 0; i < 10; i++ {
+		if _, err := store.Get("sensor_snap"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if db.Meter().BytesScanned() != createCost {
+		t.Error("snapshot reads must not charge the cloud meter")
+	}
+	if store.Reads() != 10 {
+		t.Errorf("reads = %d", store.Reads())
+	}
+}
+
+func TestCreateFromSample(t *testing.T) {
+	db := newCloudDB(t, 10_000)
+	store := NewStore(50)
+	snap, err := store.Create("s10", db, "sensor", 0.1, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.SampleRate != 0.1 {
+		t.Errorf("rate = %v", snap.SampleRate)
+	}
+	if snap.Data.NumRows() >= 10_000 || snap.Data.NumRows() == 0 {
+		t.Errorf("sampled snapshot rows = %d", snap.Data.NumRows())
+	}
+}
+
+func TestRefresh(t *testing.T) {
+	db := newCloudDB(t, 500)
+	store := NewStore(50)
+	now := time.Date(2023, 6, 1, 0, 0, 0, 0, time.UTC)
+	store.SetClock(func() time.Time { return now })
+	if _, err := store.Create("snap", db, "sensor", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Meter().BytesScanned()
+	now = now.Add(24 * time.Hour)
+	snap, err := store.Refresh("snap", db)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !snap.RefreshedAt.Equal(now) {
+		t.Errorf("RefreshedAt = %v", snap.RefreshedAt)
+	}
+	if db.Meter().BytesScanned() <= before {
+		t.Error("refresh should charge the cloud meter")
+	}
+	other := cloud.NewDatabase("other", cloud.DefaultPricing, 0)
+	if _, err := store.Refresh("snap", other); err == nil {
+		t.Error("refresh against wrong database should fail")
+	}
+}
+
+func TestErrorsAndLifecycle(t *testing.T) {
+	db := newCloudDB(t, 10)
+	store := NewStore(50)
+	if _, err := store.Create("", db, "sensor", 1, 0); err == nil {
+		t.Error("empty name should fail")
+	}
+	if _, err := store.Create("x", db, "missing", 1, 0); err == nil {
+		t.Error("missing source table should fail")
+	}
+	if _, err := store.Create("x", db, "sensor", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Create("x", db, "sensor", 1, 0); err == nil {
+		t.Error("duplicate snapshot should fail")
+	}
+	if _, err := store.Get("nope"); err == nil {
+		t.Error("missing snapshot get should fail")
+	}
+	if _, err := store.Info("nope"); err == nil {
+		t.Error("missing snapshot info should fail")
+	}
+	if _, err := store.Refresh("nope", db); err == nil {
+		t.Error("missing snapshot refresh should fail")
+	}
+	info, err := store.Info("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.SourceTable != "sensor" || info.SourceDB != "warehouse" {
+		t.Errorf("info = %+v", info)
+	}
+	if names := store.Names(); len(names) != 1 || names[0] != "x" {
+		t.Errorf("names = %v", names)
+	}
+	if err := store.Drop("x"); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Drop("x"); err == nil {
+		t.Error("double drop should fail")
+	}
+}
+
+func TestSQLOverSnapshotStore(t *testing.T) {
+	db := newCloudDB(t, 100)
+	store := NewStore(50)
+	if _, err := store.Create("sensor", db, "sensor", 1, 0); err != nil {
+		t.Fatal(err)
+	}
+	cloudCost := db.Meter().BytesScanned()
+	out, err := sqlengine.Exec(store, "SELECT COUNT(*) AS n FROM sensor WHERE id >= 50")
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, _ := out.Column("n")
+	if c.Value(0).I != 50 {
+		t.Errorf("count = %v", c.Value(0))
+	}
+	if db.Meter().BytesScanned() != cloudCost {
+		t.Error("SQL over snapshots must not charge the cloud meter")
+	}
+}

@@ -1,0 +1,462 @@
+// Package spider generates the synthetic evaluation corpora for §4.7. Real
+// Spider is unavailable offline, so this package builds multi-domain
+// databases plus NL-question / ground-truth-program pairs whose difficulty
+// is controlled along the paper's two axes: misalignment M (how far the
+// question's vocabulary sits from the schema) and degree of composition C
+// (how many weighted operations the solution needs). The generated dev
+// split follows Figure 7's long-tailed zone distribution, and a separate
+// custom suite (domains absent from the example library, with heavier
+// vocabulary drift) plays the role of T_custom.
+package spider
+
+import (
+	"fmt"
+	"math/rand"
+
+	"datachat/internal/dataset"
+	"datachat/internal/semantic"
+)
+
+// ColumnRole describes how the generator may use a column.
+type ColumnRole struct {
+	// Name is the column name.
+	Name string
+	// Paraphrase is the out-of-schema wording high-M questions use.
+	Paraphrase string
+	// Values enumerates category values (category columns only).
+	Values []string
+	// ValueParaphrase maps a value to its high-M wording.
+	ValueParaphrase map[string]string
+	// Measure marks numeric aggregation targets.
+	Measure bool
+	// Category marks grouping/filter columns.
+	Category bool
+}
+
+// JoinSpec is a foreign-key relationship usable by join templates.
+type JoinSpec struct {
+	LeftTable, LeftKey   string
+	RightTable, RightKey string
+	// RightCategory is a category column on the right table to group or
+	// filter by after the join.
+	RightCategory string
+	// RightCatValues are its values.
+	RightCatValues []string
+}
+
+// Domain is one synthetic database with its semantic annotations.
+type Domain struct {
+	// Name identifies the domain ("sales", "hr", …).
+	Name string
+	// Tables is the database.
+	Tables map[string]*dataset.Table
+	// Fact is the main (largest) table templates operate on.
+	Fact string
+	// RowNoun is how questions refer to fact rows ("orders", "employees").
+	RowNoun string
+	// Columns annotates the fact table's usable columns.
+	Columns []ColumnRole
+	// Join is the domain's join relationship.
+	Join JoinSpec
+	// Layer is the domain's semantic layer (synonyms + filter phrases).
+	Layer *semantic.Layer
+	// Custom marks T_custom domains (excluded from the example library).
+	Custom bool
+}
+
+// Column returns the role annotation for a column name.
+func (d *Domain) Column(name string) (ColumnRole, bool) {
+	for _, c := range d.Columns {
+		if c.Name == name {
+			return c, true
+		}
+	}
+	return ColumnRole{}, false
+}
+
+// measures returns the measure columns.
+func (d *Domain) measures() []ColumnRole {
+	var out []ColumnRole
+	for _, c := range d.Columns {
+		if c.Measure {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// categories returns the category columns.
+func (d *Domain) categories() []ColumnRole {
+	var out []ColumnRole
+	for _, c := range d.Columns {
+		if c.Category {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// buildLayer constructs the domain's semantic layer from its annotations.
+// Custom domains get only partial synonym coverage — the paper attributes
+// T_custom's lower accuracy to the model lacking domain knowledge, and the
+// sparse layer reproduces that gap.
+func (d *Domain) buildLayer() {
+	d.Layer = semantic.NewLayer()
+	covered := 0
+	for _, c := range d.Columns {
+		if c.Paraphrase == "" {
+			continue
+		}
+		// Custom domains register only every other synonym.
+		if d.Custom && covered%2 == 1 {
+			covered++
+			continue
+		}
+		covered++
+		_ = d.Layer.Define(semantic.Concept{
+			Name:      c.Paraphrase,
+			Kind:      semantic.Synonym,
+			Expansion: c.Name,
+			Table:     d.Fact,
+			Keywords:  semantic.Tokens(c.Paraphrase),
+			Doc:       fmt.Sprintf("users say %q for the column %s", c.Paraphrase, c.Name),
+		})
+		for value, phrase := range c.ValueParaphrase {
+			if d.Custom {
+				continue // value phrases entirely missing for custom domains
+			}
+			_ = d.Layer.Define(semantic.Concept{
+				Name:      phrase,
+				Kind:      semantic.Filter,
+				Expansion: fmt.Sprintf("%s = '%s'", c.Name, value),
+				Table:     d.Fact,
+				Keywords:  semantic.Tokens(phrase),
+				Doc:       fmt.Sprintf("%q means rows where %s is %s", phrase, c.Name, value),
+			})
+		}
+	}
+}
+
+// catColumn builds a category column cycling through values with a seeded
+// skew so group sizes differ.
+func catColumn(name string, values []string, n int, rng *rand.Rand) *dataset.Column {
+	out := make([]string, n)
+	for i := range out {
+		// Zipf-ish skew: earlier values more common.
+		pick := rng.Intn(len(values)*(len(values)+1)/2 + 1)
+		idx := 0
+		acc := len(values)
+		for pick > acc && idx < len(values)-1 {
+			idx++
+			acc += len(values) - idx
+		}
+		out[i] = values[idx]
+	}
+	return dataset.StringColumn(name, out, nil)
+}
+
+func numColumn(name string, lo, hi float64, n int, rng *rand.Rand) *dataset.Column {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = lo + rng.Float64()*(hi-lo)
+	}
+	return dataset.FloatColumn(name, out, nil)
+}
+
+func intColumn(name string, lo, hi int64, n int, rng *rand.Rand) *dataset.Column {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = lo + rng.Int63n(hi-lo+1)
+	}
+	return dataset.IntColumn(name, out, nil)
+}
+
+func idColumn(name string, n int) *dataset.Column {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(i + 1)
+	}
+	return dataset.IntColumn(name, out, nil)
+}
+
+func fkColumn(name string, max int64, n int, rng *rand.Rand) *dataset.Column {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = 1 + rng.Int63n(max)
+	}
+	return dataset.IntColumn(name, out, nil)
+}
+
+// Domains builds every synthetic domain, seeded deterministically.
+func Domains(seed int64) []*Domain {
+	rng := rand.New(rand.NewSource(seed))
+	out := []*Domain{
+		salesDomain(rng), hrDomain(rng), flightsDomain(rng),
+		academicDomain(rng), hospitalDomain(rng),
+		logisticsDomain(rng), energyDomain(rng),
+	}
+	for _, d := range out {
+		d.buildLayer()
+	}
+	return out
+}
+
+func salesDomain(rng *rand.Rand) *Domain {
+	const nOrders, nCustomers = 240, 40
+	statuses := []string{"Successful", "Unsuccessful", "Refunded"}
+	regions := []string{"east", "west", "north", "south"}
+	segments := []string{"enterprise", "consumer", "startup"}
+	orders := dataset.MustNewTable("orders",
+		idColumn("order_id", nOrders),
+		fkColumn("customer_id", nCustomers, nOrders, rng),
+		numColumn("price", 5, 500, nOrders, rng),
+		numColumn("discount", 0, 0.4, nOrders, rng),
+		catColumn("status", statuses, nOrders, rng),
+		catColumn("region", regions, nOrders, rng),
+		intColumn("month", 1, 12, nOrders, rng),
+	)
+	customers := dataset.MustNewTable("customers",
+		idColumn("customer_id", nCustomers),
+		catColumn("segment", segments, nCustomers, rng),
+		intColumn("tenure_years", 0, 15, nCustomers, rng),
+	)
+	return &Domain{
+		Name:    "sales",
+		Tables:  map[string]*dataset.Table{"orders": orders, "customers": customers},
+		Fact:    "orders",
+		RowNoun: "orders",
+		Columns: []ColumnRole{
+			{Name: "price", Paraphrase: "amount charged", Measure: true},
+			{Name: "discount", Paraphrase: "markdown", Measure: true},
+			{Name: "status", Paraphrase: "purchase outcome", Category: true, Values: statuses,
+				ValueParaphrase: map[string]string{"Successful": "successful purchases"}},
+			{Name: "region", Paraphrase: "sales territory", Category: true, Values: regions},
+			{Name: "month", Paraphrase: "calendar period", Category: true,
+				Values: []string{"1", "2", "3", "4", "5", "6"}},
+		},
+		Join: JoinSpec{
+			LeftTable: "orders", LeftKey: "customer_id",
+			RightTable: "customers", RightKey: "customer_id",
+			RightCategory: "segment", RightCatValues: segments,
+		},
+	}
+}
+
+func hrDomain(rng *rand.Rand) *Domain {
+	const nEmp, nDept = 180, 8
+	depts := []string{"eng", "sales", "hr", "finance", "legal", "ops", "design", "it"}
+	levels := []string{"junior", "senior", "staff", "principal"}
+	employees := dataset.MustNewTable("employees",
+		idColumn("emp_id", nEmp),
+		catColumn("dept", depts, nEmp, rng),
+		numColumn("salary", 40000, 220000, nEmp, rng),
+		intColumn("age", 21, 64, nEmp, rng),
+		catColumn("level", levels, nEmp, rng),
+		fkColumn("dept_id", nDept, nEmp, rng),
+	)
+	departments := dataset.MustNewTable("departments",
+		idColumn("dept_id", nDept),
+		catColumn("location", []string{"hq", "remote", "satellite"}, nDept, rng),
+		numColumn("budget", 1e5, 9e6, nDept, rng),
+	)
+	return &Domain{
+		Name:    "hr",
+		Tables:  map[string]*dataset.Table{"employees": employees, "departments": departments},
+		Fact:    "employees",
+		RowNoun: "employees",
+		Columns: []ColumnRole{
+			{Name: "salary", Paraphrase: "pay", Measure: true},
+			{Name: "age", Paraphrase: "years lived", Measure: true},
+			{Name: "dept", Paraphrase: "team", Category: true, Values: depts},
+			{Name: "level", Paraphrase: "seniority band", Category: true, Values: levels,
+				ValueParaphrase: map[string]string{"principal": "most senior staff"}},
+		},
+		Join: JoinSpec{
+			LeftTable: "employees", LeftKey: "dept_id",
+			RightTable: "departments", RightKey: "dept_id",
+			RightCategory: "location", RightCatValues: []string{"hq", "remote", "satellite"},
+		},
+	}
+}
+
+func flightsDomain(rng *rand.Rand) *Domain {
+	const nFlights, nAirlines = 260, 12
+	airports := []string{"sfo", "jfk", "ord", "sea", "aus", "bos"}
+	flights := dataset.MustNewTable("flights",
+		idColumn("flight_id", nFlights),
+		fkColumn("airline_id", nAirlines, nFlights, rng),
+		catColumn("origin", airports, nFlights, rng),
+		catColumn("dest", airports, nFlights, rng),
+		numColumn("delay", -10, 180, nFlights, rng),
+		numColumn("distance", 90, 2900, nFlights, rng),
+	)
+	airlines := dataset.MustNewTable("airlines",
+		idColumn("airline_id", nAirlines),
+		catColumn("alliance", []string{"star", "oneworld", "skyteam", "none"}, nAirlines, rng),
+		intColumn("fleet_size", 12, 900, nAirlines, rng),
+	)
+	return &Domain{
+		Name:    "flights",
+		Tables:  map[string]*dataset.Table{"flights": flights, "airlines": airlines},
+		Fact:    "flights",
+		RowNoun: "flights",
+		Columns: []ColumnRole{
+			{Name: "delay", Paraphrase: "minutes behind schedule", Measure: true},
+			{Name: "distance", Paraphrase: "trip length", Measure: true},
+			{Name: "origin", Paraphrase: "departure field", Category: true, Values: airports},
+			{Name: "dest", Paraphrase: "arrival field", Category: true, Values: airports},
+		},
+		Join: JoinSpec{
+			LeftTable: "flights", LeftKey: "airline_id",
+			RightTable: "airlines", RightKey: "airline_id",
+			RightCategory: "alliance", RightCatValues: []string{"star", "oneworld", "skyteam", "none"},
+		},
+	}
+}
+
+func academicDomain(rng *rand.Rand) *Domain {
+	const nPapers, nVenues = 220, 10
+	areas := []string{"db", "ml", "systems", "theory", "hci"}
+	papers := dataset.MustNewTable("papers",
+		idColumn("paper_id", nPapers),
+		fkColumn("venue_id", nVenues, nPapers, rng),
+		intColumn("year", 2010, 2023, nPapers, rng),
+		intColumn("citations", 0, 900, nPapers, rng),
+		catColumn("area", areas, nPapers, rng),
+	)
+	venues := dataset.MustNewTable("venues",
+		idColumn("venue_id", nVenues),
+		catColumn("tier", []string{"a", "b", "c"}, nVenues, rng),
+		intColumn("since", 1970, 2015, nVenues, rng),
+	)
+	return &Domain{
+		Name:    "academic",
+		Tables:  map[string]*dataset.Table{"papers": papers, "venues": venues},
+		Fact:    "papers",
+		RowNoun: "papers",
+		Columns: []ColumnRole{
+			{Name: "citations", Paraphrase: "times referenced", Measure: true},
+			{Name: "year", Paraphrase: "publication date", Measure: true},
+			{Name: "area", Paraphrase: "research field", Category: true, Values: areas},
+		},
+		Join: JoinSpec{
+			LeftTable: "papers", LeftKey: "venue_id",
+			RightTable: "venues", RightKey: "venue_id",
+			RightCategory: "tier", RightCatValues: []string{"a", "b", "c"},
+		},
+	}
+}
+
+func hospitalDomain(rng *rand.Rand) *Domain {
+	const nPatients, nWards = 200, 6
+	wards := []string{"icu", "cardio", "ortho", "peds", "onco", "general"}
+	outcomes := []string{"discharged", "transferred", "readmitted"}
+	patients := dataset.MustNewTable("patients",
+		idColumn("patient_id", nPatients),
+		fkColumn("ward_id", nWards, nPatients, rng),
+		catColumn("ward", wards, nPatients, rng),
+		intColumn("age", 1, 95, nPatients, rng),
+		intColumn("stay_days", 1, 40, nPatients, rng),
+		catColumn("outcome", outcomes, nPatients, rng),
+	)
+	wardTable := dataset.MustNewTable("wards",
+		idColumn("ward_id", nWards),
+		catColumn("floor", []string{"1", "2", "3"}, nWards, rng),
+		intColumn("capacity", 8, 60, nWards, rng),
+	)
+	return &Domain{
+		Name:    "hospital",
+		Tables:  map[string]*dataset.Table{"patients": patients, "wards": wardTable},
+		Fact:    "patients",
+		RowNoun: "patients",
+		Columns: []ColumnRole{
+			{Name: "stay_days", Paraphrase: "length of admission", Measure: true},
+			{Name: "age", Paraphrase: "patient years", Measure: true},
+			{Name: "ward", Paraphrase: "unit", Category: true, Values: wards},
+			{Name: "outcome", Paraphrase: "disposition", Category: true, Values: outcomes,
+				ValueParaphrase: map[string]string{"readmitted": "bounce-back cases"}},
+		},
+		Join: JoinSpec{
+			LeftTable: "patients", LeftKey: "ward_id",
+			RightTable: "wards", RightKey: "ward_id",
+			RightCategory: "floor", RightCatValues: []string{"1", "2", "3"},
+		},
+	}
+}
+
+// logisticsDomain is a T_custom domain: absent from the example library,
+// with heavier vocabulary drift and sparse semantic coverage.
+func logisticsDomain(rng *rand.Rand) *Domain {
+	const nShipments, nCarriers = 210, 9
+	lanes := []string{"transpac", "transatl", "domestic", "intra-eu"}
+	statuses := []string{"delivered", "in-transit", "damaged", "lost"}
+	shipments := dataset.MustNewTable("shipments",
+		idColumn("shipment_id", nShipments),
+		fkColumn("carrier_id", nCarriers, nShipments, rng),
+		numColumn("weight", 0.5, 900, nShipments, rng),
+		numColumn("cost", 4, 3200, nShipments, rng),
+		catColumn("lane", lanes, nShipments, rng),
+		catColumn("status", statuses, nShipments, rng),
+	)
+	carriers := dataset.MustNewTable("carriers",
+		idColumn("carrier_id", nCarriers),
+		catColumn("mode", []string{"air", "sea", "rail", "road"}, nCarriers, rng),
+		numColumn("rating", 1, 5, nCarriers, rng),
+	)
+	return &Domain{
+		Name:    "logistics",
+		Tables:  map[string]*dataset.Table{"shipments": shipments, "carriers": carriers},
+		Fact:    "shipments",
+		RowNoun: "shipments",
+		Custom:  true,
+		Columns: []ColumnRole{
+			{Name: "cost", Paraphrase: "freight spend", Measure: true},
+			{Name: "weight", Paraphrase: "tonnage", Measure: true},
+			{Name: "lane", Paraphrase: "trade corridor", Category: true, Values: lanes},
+			{Name: "status", Paraphrase: "consignment state", Category: true, Values: statuses,
+				ValueParaphrase: map[string]string{"damaged": "freight claims"}},
+		},
+		Join: JoinSpec{
+			LeftTable: "shipments", LeftKey: "carrier_id",
+			RightTable: "carriers", RightKey: "carrier_id",
+			RightCategory: "mode", RightCatValues: []string{"air", "sea", "rail", "road"},
+		},
+	}
+}
+
+// energyDomain is the second T_custom domain.
+func energyDomain(rng *rand.Rand) *Domain {
+	const nReadings, nSites = 230, 11
+	tariffs := []string{"peak", "offpeak", "shoulder"}
+	periods := []string{"q1", "q2", "q3", "q4"}
+	readings := dataset.MustNewTable("readings",
+		idColumn("reading_id", nReadings),
+		fkColumn("site_id", nSites, nReadings, rng),
+		numColumn("kwh", 10, 50000, nReadings, rng),
+		catColumn("tariff", tariffs, nReadings, rng),
+		catColumn("period", periods, nReadings, rng),
+	)
+	sites := dataset.MustNewTable("sites",
+		idColumn("site_id", nSites),
+		catColumn("zone", []string{"urban", "rural", "industrial"}, nSites, rng),
+		numColumn("capacity", 100, 90000, nSites, rng),
+	)
+	return &Domain{
+		Name:    "energy",
+		Tables:  map[string]*dataset.Table{"readings": readings, "sites": sites},
+		Fact:    "readings",
+		RowNoun: "readings",
+		Custom:  true,
+		Columns: []ColumnRole{
+			{Name: "kwh", Paraphrase: "drawn load", Measure: true},
+			{Name: "tariff", Paraphrase: "rate class", Category: true, Values: tariffs,
+				ValueParaphrase: map[string]string{"peak": "high-demand windows"}},
+			{Name: "period", Paraphrase: "billing window", Category: true, Values: periods},
+		},
+		Join: JoinSpec{
+			LeftTable: "readings", LeftKey: "site_id",
+			RightTable: "sites", RightKey: "site_id",
+			RightCategory: "zone", RightCatValues: []string{"urban", "rural", "industrial"},
+		},
+	}
+}

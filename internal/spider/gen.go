@@ -1,0 +1,366 @@
+package spider
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"datachat/internal/skills"
+)
+
+// Zone is a Figure 7 difficulty zone: (misalignment, composition).
+type Zone int
+
+// The four zones, in the paper's order.
+const (
+	LowLow Zone = iota
+	LowHigh
+	HighLow
+	HighHigh
+)
+
+// String names the zone as in Table 2.
+func (z Zone) String() string {
+	switch z {
+	case LowLow:
+		return "(low, low)"
+	case LowHigh:
+		return "(low, high)"
+	case HighLow:
+		return "(high, low)"
+	case HighHigh:
+		return "(high, high)"
+	default:
+		return fmt.Sprintf("zone(%d)", int(z))
+	}
+}
+
+// Zones lists all zones in display order.
+func Zones() []Zone { return []Zone{LowLow, LowHigh, HighLow, HighHigh} }
+
+// Example is one NL-question / ground-truth pair.
+type Example struct {
+	// ID is unique within its corpus.
+	ID string
+	// Domain names the database the question targets.
+	Domain string
+	// Question is the natural-language request.
+	Question string
+	// Gold is the ground-truth program as skill invocations.
+	Gold []skills.Invocation
+	// Zone is the generator's intended difficulty zone.
+	Zone Zone
+}
+
+// GoldPython renders the ground truth as DataChat Python API code.
+func (e *Example) GoldPython(reg *skills.Registry) (string, error) {
+	lines := make([]string, len(e.Gold))
+	for i, inv := range e.Gold {
+		code, err := reg.RenderPython(inv)
+		if err != nil {
+			return "", err
+		}
+		lines[i] = code
+	}
+	return strings.Join(lines, "\n"), nil
+}
+
+// Figure7Counts are the dev-split zone sizes from the paper's Figure 7.
+var Figure7Counts = map[Zone]int{LowLow: 638, LowHigh: 246, HighLow: 127, HighHigh: 29}
+
+// Table2CustomCounts are the T_custom zone sizes from Table 2.
+var Table2CustomCounts = map[Zone]int{LowLow: 20, LowHigh: 22, HighLow: 26, HighHigh: 22}
+
+// GenerateDev builds the Spider-like dev split over the non-custom domains
+// with Figure 7's long-tailed zone distribution.
+func GenerateDev(domains []*Domain, seed int64) []*Example {
+	return generate(domains, seed, false, Figure7Counts, "dev")
+}
+
+// GenerateCustom builds the T_custom evaluation set over the custom
+// domains with Table 2's zone sizes.
+func GenerateCustom(domains []*Domain, seed int64) []*Example {
+	return generate(domains, seed, true, Table2CustomCounts, "custom")
+}
+
+// GenerateLibrary builds training examples for the NL2Code example library:
+// perZone examples per zone drawn from the NON-custom domains only, using a
+// different seed stream than the dev split so questions differ.
+func GenerateLibrary(domains []*Domain, seed int64, perZone int) []*Example {
+	counts := map[Zone]int{LowLow: perZone, LowHigh: perZone, HighLow: perZone, HighHigh: perZone}
+	return generate(domains, seed, false, counts, "lib")
+}
+
+func generate(domains []*Domain, seed int64, custom bool, counts map[Zone]int, prefix string) []*Example {
+	var pool []*Domain
+	for _, d := range domains {
+		if d.Custom == custom {
+			pool = append(pool, d)
+		}
+	}
+	if len(pool) == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var out []*Example
+	for _, zone := range Zones() {
+		for i := 0; i < counts[zone]; i++ {
+			d := pool[rng.Intn(len(pool))]
+			ex := synthesize(d, zone, rng)
+			ex.ID = fmt.Sprintf("%s-%s-%04d", prefix, zoneSlug(zone), len(out))
+			out = append(out, ex)
+		}
+	}
+	return out
+}
+
+func zoneSlug(z Zone) string {
+	switch z {
+	case LowLow:
+		return "ll"
+	case LowHigh:
+		return "lh"
+	case HighLow:
+		return "hl"
+	default:
+		return "hh"
+	}
+}
+
+// aggWords maps aggregate functions to their NL wording.
+var aggWords = map[string]string{
+	"sum": "total", "avg": "average", "max": "maximum", "min": "minimum", "median": "median",
+}
+
+func pickAgg(rng *rand.Rand) (fn, word string) {
+	fns := []string{"sum", "avg", "max", "min", "median"}
+	fn = fns[rng.Intn(len(fns))]
+	return fn, aggWords[fn]
+}
+
+// synthesize builds one example in the requested zone. High-M questions use
+// out-of-schema paraphrases; high-C questions require multi-step programs
+// (top-k chains and joins).
+func synthesize(d *Domain, zone Zone, rng *rand.Rand) *Example {
+	highM := zone == HighLow || zone == HighHigh
+	highC := zone == LowHigh || zone == HighHigh
+	if !highC {
+		switch rng.Intn(3) {
+		case 0:
+			return countFilter(d, highM, rng)
+		case 1:
+			return distinctCount(d, highM, rng)
+		default:
+			return groupAgg(d, highM, rng)
+		}
+	}
+	switch rng.Intn(3) {
+	case 0:
+		return topK(d, highM, rng)
+	case 1:
+		return joinAgg(d, highM, rng)
+	default:
+		return joinTopK(d, highM, rng)
+	}
+}
+
+// wording returns the column's surface form at the given misalignment.
+func wording(c ColumnRole, highM bool) string {
+	if highM && c.Paraphrase != "" {
+		return c.Paraphrase
+	}
+	return c.Name
+}
+
+// valueWording returns a value's surface form; high-M prefers the value
+// paraphrase when one exists.
+func valueWording(c ColumnRole, value string, highM bool) (phrase string, isPhrase bool) {
+	if highM {
+		if p, ok := c.ValueParaphrase[value]; ok {
+			return p, true
+		}
+	}
+	return value, false
+}
+
+func pickCat(d *Domain, rng *rand.Rand) ColumnRole {
+	cats := d.categories()
+	return cats[rng.Intn(len(cats))]
+}
+
+func pickMeasure(d *Domain, rng *rand.Rand) ColumnRole {
+	ms := d.measures()
+	return ms[rng.Intn(len(ms))]
+}
+
+// countFilter: low-C — filter on a category value, count rows.
+func countFilter(d *Domain, highM bool, rng *rand.Rand) *Example {
+	cat := pickCat(d, rng)
+	value := cat.Values[rng.Intn(len(cat.Values))]
+	valueText, isPhrase := valueWording(cat, value, highM)
+	var question string
+	if isPhrase {
+		// "How many successful purchases were there?"
+		question = fmt.Sprintf("How many %s were there?", valueText)
+	} else {
+		templates := []string{
+			"How many %s have %s equal to %s?",
+			"Count the %s where %s is %s.",
+			"What is the number of %s with %s %s?",
+		}
+		question = fmt.Sprintf(templates[rng.Intn(len(templates))], d.RowNoun, wording(cat, highM), valueText)
+	}
+	gold := []skills.Invocation{
+		{Skill: "KeepRows", Inputs: []string{d.Fact}, Output: "filtered",
+			Args: skills.Args{"condition": fmt.Sprintf("%s = '%s'", cat.Name, value)}},
+		{Skill: "Compute", Inputs: []string{"filtered"}, Output: "answer",
+			Args: skills.Args{"aggregates": []string{"count of records as n"}}},
+	}
+	return &Example{Domain: d.Name, Question: question, Gold: gold, Zone: zoneOf(highM, false)}
+}
+
+// distinctCount: low-C — how many distinct values a category has.
+func distinctCount(d *Domain, highM bool, rng *rand.Rand) *Example {
+	cat := pickCat(d, rng)
+	templates := []string{
+		"How many distinct %s are there?",
+		"How many different %s appear?",
+		"Count the distinct %s.",
+	}
+	question := fmt.Sprintf(templates[rng.Intn(len(templates))], wording(cat, highM))
+	gold := []skills.Invocation{
+		{Skill: "Compute", Inputs: []string{d.Fact}, Output: "answer",
+			Args: skills.Args{
+				"aggregates": []string{fmt.Sprintf("count_distinct of %s as n", cat.Name)},
+			}},
+	}
+	return &Example{Domain: d.Name, Question: question, Gold: gold, Zone: zoneOf(highM, false)}
+}
+
+// groupAgg: low-C — one aggregate per group.
+func groupAgg(d *Domain, highM bool, rng *rand.Rand) *Example {
+	cat := pickCat(d, rng)
+	measure := pickMeasure(d, rng)
+	fn, word := pickAgg(rng)
+	templates := []string{
+		"What is the %s %s for each %s?",
+		"Show the %s %s per %s.",
+		"Compute the %s %s grouped by %s.",
+	}
+	question := fmt.Sprintf(templates[rng.Intn(len(templates))],
+		word, wording(measure, highM), wording(cat, highM))
+	gold := []skills.Invocation{
+		{Skill: "Compute", Inputs: []string{d.Fact}, Output: "answer",
+			Args: skills.Args{
+				"aggregates": []string{fmt.Sprintf("%s of %s as result", fn, measure.Name)},
+				"for_each":   []string{cat.Name},
+			}},
+	}
+	return &Example{Domain: d.Name, Question: question, Gold: gold, Zone: zoneOf(highM, false)}
+}
+
+// topK: high-C — filter, group, order, limit.
+func topK(d *Domain, highM bool, rng *rand.Rand) *Example {
+	cats := d.categories()
+	if len(cats) < 2 {
+		// Not enough categories for a filter+group pair; a join keeps the
+		// example in the high-composition zone.
+		return joinAgg(d, highM, rng)
+	}
+	groupCat := cats[rng.Intn(len(cats))]
+	filterCat := cats[rng.Intn(len(cats))]
+	for filterCat.Name == groupCat.Name {
+		filterCat = cats[rng.Intn(len(cats))]
+	}
+	value := filterCat.Values[rng.Intn(len(filterCat.Values))]
+	measure := pickMeasure(d, rng)
+	fn, word := pickAgg(rng)
+	k := 2 + rng.Intn(4)
+	valueText, isPhrase := valueWording(filterCat, value, highM)
+	filterClause := fmt.Sprintf("where %s is %s", wording(filterCat, highM), valueText)
+	if isPhrase {
+		filterClause = "among " + valueText
+	}
+	question := fmt.Sprintf("Which %d %s have the highest %s %s %s?",
+		k, wording(groupCat, highM), word, wording(measure, highM), filterClause)
+	gold := []skills.Invocation{
+		{Skill: "KeepRows", Inputs: []string{d.Fact}, Output: "filtered",
+			Args: skills.Args{"condition": fmt.Sprintf("%s = '%s'", filterCat.Name, value)}},
+		{Skill: "Compute", Inputs: []string{"filtered"}, Output: "grouped",
+			Args: skills.Args{
+				"aggregates": []string{fmt.Sprintf("%s of %s as result", fn, measure.Name)},
+				"for_each":   []string{groupCat.Name},
+			}},
+		{Skill: "SortRows", Inputs: []string{"grouped"}, Output: "sorted",
+			Args: skills.Args{"columns": []string{"result"}, "descending": true}},
+		{Skill: "LimitRows", Inputs: []string{"sorted"}, Output: "answer",
+			Args: skills.Args{"count": k}},
+	}
+	return &Example{Domain: d.Name, Question: question, Gold: gold, Zone: zoneOf(highM, true)}
+}
+
+// joinAgg: high-C — join the fact table to its dimension, aggregate per
+// dimension category.
+func joinAgg(d *Domain, highM bool, rng *rand.Rand) *Example {
+	measure := pickMeasure(d, rng)
+	fn, word := pickAgg(rng)
+	j := d.Join
+	question := fmt.Sprintf("What is the %s %s for each %s of the joined %s?",
+		word, wording(measure, highM), j.RightCategory, j.RightTable)
+	gold := []skills.Invocation{
+		{Skill: "JoinDatasets", Inputs: []string{j.LeftTable, j.RightTable}, Output: "joined",
+			Args: skills.Args{"on": fmt.Sprintf("%s.%s = %s.%s", j.LeftTable, j.LeftKey, j.RightTable, j.RightKey)}},
+		{Skill: "Compute", Inputs: []string{"joined"}, Output: "answer",
+			Args: skills.Args{
+				"aggregates": []string{fmt.Sprintf("%s of %s as result", fn, measure.Name)},
+				"for_each":   []string{j.RightCategory},
+			}},
+	}
+	return &Example{Domain: d.Name, Question: question, Gold: gold, Zone: zoneOf(highM, true)}
+}
+
+// joinTopK: the deepest composition — join, filter, group, order, limit.
+func joinTopK(d *Domain, highM bool, rng *rand.Rand) *Example {
+	cat := pickCat(d, rng)
+	value := cat.Values[rng.Intn(len(cat.Values))]
+	measure := pickMeasure(d, rng)
+	fn, word := pickAgg(rng)
+	k := 2 + rng.Intn(3)
+	j := d.Join
+	valueText, isPhrase := valueWording(cat, value, highM)
+	filterClause := fmt.Sprintf("restricted to %s %s", wording(cat, highM), valueText)
+	if isPhrase {
+		filterClause = "restricted to " + valueText
+	}
+	question := fmt.Sprintf("Across the joined %s, which %d %s have the highest %s %s, %s?",
+		j.RightTable, k, j.RightCategory, word, wording(measure, highM), filterClause)
+	gold := []skills.Invocation{
+		{Skill: "JoinDatasets", Inputs: []string{j.LeftTable, j.RightTable}, Output: "joined",
+			Args: skills.Args{"on": fmt.Sprintf("%s.%s = %s.%s", j.LeftTable, j.LeftKey, j.RightTable, j.RightKey)}},
+		{Skill: "KeepRows", Inputs: []string{"joined"}, Output: "filtered",
+			Args: skills.Args{"condition": fmt.Sprintf("%s = '%s'", cat.Name, value)}},
+		{Skill: "Compute", Inputs: []string{"filtered"}, Output: "grouped",
+			Args: skills.Args{
+				"aggregates": []string{fmt.Sprintf("%s of %s as result", fn, measure.Name)},
+				"for_each":   []string{j.RightCategory},
+			}},
+		{Skill: "SortRows", Inputs: []string{"grouped"}, Output: "sorted",
+			Args: skills.Args{"columns": []string{"result"}, "descending": true}},
+		{Skill: "LimitRows", Inputs: []string{"sorted"}, Output: "answer",
+			Args: skills.Args{"count": k}},
+	}
+	return &Example{Domain: d.Name, Question: question, Gold: gold, Zone: zoneOf(highM, true)}
+}
+
+func zoneOf(highM, highC bool) Zone {
+	switch {
+	case highM && highC:
+		return HighHigh
+	case highM:
+		return HighLow
+	case highC:
+		return LowHigh
+	default:
+		return LowLow
+	}
+}

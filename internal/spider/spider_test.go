@@ -1,0 +1,254 @@
+package spider
+
+import (
+	"strings"
+	"testing"
+
+	"datachat/internal/dag"
+	"datachat/internal/skills"
+)
+
+var reg = skills.NewRegistry()
+
+func TestDomainsBuild(t *testing.T) {
+	domains := Domains(1)
+	if len(domains) != 7 {
+		t.Fatalf("domains = %d", len(domains))
+	}
+	customCount := 0
+	for _, d := range domains {
+		if d.Custom {
+			customCount++
+		}
+		if len(d.Tables) < 2 {
+			t.Errorf("%s has %d tables", d.Name, len(d.Tables))
+		}
+		fact, ok := d.Tables[d.Fact]
+		if !ok {
+			t.Fatalf("%s fact table %q missing", d.Name, d.Fact)
+		}
+		if fact.NumRows() < 100 {
+			t.Errorf("%s fact has %d rows", d.Name, fact.NumRows())
+		}
+		if len(d.measures()) == 0 || len(d.categories()) == 0 {
+			t.Errorf("%s lacks measures or categories", d.Name)
+		}
+		if d.Layer == nil || d.Layer.Len() == 0 {
+			t.Errorf("%s has no semantic layer", d.Name)
+		}
+		// Every annotated column exists in the fact table.
+		for _, c := range d.Columns {
+			if !fact.HasColumn(c.Name) {
+				t.Errorf("%s annotates missing column %s", d.Name, c.Name)
+			}
+		}
+		// Join columns exist.
+		j := d.Join
+		if !d.Tables[j.LeftTable].HasColumn(j.LeftKey) || !d.Tables[j.RightTable].HasColumn(j.RightKey) {
+			t.Errorf("%s join keys missing", d.Name)
+		}
+		if !d.Tables[j.RightTable].HasColumn(j.RightCategory) {
+			t.Errorf("%s join category missing", d.Name)
+		}
+	}
+	if customCount != 2 {
+		t.Errorf("custom domains = %d", customCount)
+	}
+}
+
+func TestDomainsDeterministic(t *testing.T) {
+	a := Domains(7)
+	b := Domains(7)
+	for i := range a {
+		if !a[i].Tables[a[i].Fact].Equal(b[i].Tables[b[i].Fact]) {
+			t.Errorf("domain %s not deterministic", a[i].Name)
+		}
+	}
+	c := Domains(8)
+	same := 0
+	for i := range a {
+		if a[i].Tables[a[i].Fact].Equal(c[i].Tables[c[i].Fact]) {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds should change data")
+	}
+}
+
+func TestCustomLayersAreSparser(t *testing.T) {
+	domains := Domains(1)
+	var custom, regular int
+	var customValues, regularValues int
+	for _, d := range domains {
+		for _, c := range d.Layer.Concepts() {
+			if d.Custom {
+				custom++
+				if c.Kind == "filter" {
+					customValues++
+				}
+			} else {
+				regular++
+				if c.Kind == "filter" {
+					regularValues++
+				}
+			}
+		}
+	}
+	if customValues != 0 {
+		t.Errorf("custom domains should lack value phrases, have %d", customValues)
+	}
+	if regularValues == 0 {
+		t.Error("regular domains should have value phrases")
+	}
+}
+
+func TestGenerateDevDistribution(t *testing.T) {
+	domains := Domains(1)
+	dev := GenerateDev(domains, 42)
+	counts := map[Zone]int{}
+	for _, ex := range dev {
+		counts[ex.Zone]++
+		if ex.Question == "" || len(ex.Gold) == 0 {
+			t.Fatalf("degenerate example %s", ex.ID)
+		}
+	}
+	// Figure 7's exact counts.
+	if counts[LowLow] != 638 || counts[LowHigh] != 246 || counts[HighLow] != 127 || counts[HighHigh] != 29 {
+		t.Errorf("zone counts = %v", counts)
+	}
+	if len(dev) != 1040 {
+		t.Errorf("dev size = %d", len(dev))
+	}
+	// Dev examples come from non-custom domains only.
+	byName := map[string]*Domain{}
+	for _, d := range domains {
+		byName[d.Name] = d
+	}
+	for _, ex := range dev {
+		if byName[ex.Domain].Custom {
+			t.Fatalf("dev example from custom domain %s", ex.Domain)
+		}
+	}
+}
+
+func TestGenerateCustomDistribution(t *testing.T) {
+	domains := Domains(1)
+	custom := GenerateCustom(domains, 43)
+	counts := map[Zone]int{}
+	byName := map[string]*Domain{}
+	for _, d := range domains {
+		byName[d.Name] = d
+	}
+	for _, ex := range custom {
+		counts[ex.Zone]++
+		if !byName[ex.Domain].Custom {
+			t.Fatalf("custom example from regular domain %s", ex.Domain)
+		}
+	}
+	if counts[LowLow] != 20 || counts[LowHigh] != 22 || counts[HighLow] != 26 || counts[HighHigh] != 22 {
+		t.Errorf("custom counts = %v", counts)
+	}
+}
+
+func TestHighMQuestionsAvoidSchemaNames(t *testing.T) {
+	domains := Domains(1)
+	dev := GenerateDev(domains, 42)
+	byName := map[string]*Domain{}
+	for _, d := range domains {
+		byName[d.Name] = d
+	}
+	lowHits, lowTotal := 0, 0
+	highHits, highTotal := 0, 0
+	for _, ex := range dev {
+		d := byName[ex.Domain]
+		q := strings.ToLower(ex.Question)
+		mentionsSchema := false
+		for _, c := range d.Columns {
+			if strings.Contains(q, strings.ToLower(c.Name)) {
+				mentionsSchema = true
+			}
+		}
+		switch ex.Zone {
+		case LowLow, LowHigh:
+			lowTotal++
+			if mentionsSchema {
+				lowHits++
+			}
+		default:
+			highTotal++
+			if mentionsSchema {
+				highHits++
+			}
+		}
+	}
+	lowRate := float64(lowHits) / float64(lowTotal)
+	highRate := float64(highHits) / float64(highTotal)
+	if lowRate < 0.8 {
+		t.Errorf("low-M questions mention schema only %.2f of the time", lowRate)
+	}
+	if highRate > lowRate-0.2 {
+		t.Errorf("high-M questions mention schema too often: %.2f vs %.2f", highRate, lowRate)
+	}
+}
+
+func TestGoldProgramsExecute(t *testing.T) {
+	domains := Domains(1)
+	byName := map[string]*Domain{}
+	for _, d := range domains {
+		byName[d.Name] = d
+	}
+	dev := GenerateDev(domains, 42)
+	// Execute a sample from each zone (full set is covered by the bench).
+	perZone := map[Zone]int{}
+	for _, ex := range dev {
+		if perZone[ex.Zone] >= 5 {
+			continue
+		}
+		perZone[ex.Zone]++
+		d := byName[ex.Domain]
+		ctx := skills.NewContext()
+		for name, table := range d.Tables {
+			ctx.Datasets[name] = table
+		}
+		g := dag.NewGraph()
+		var last dag.NodeID
+		for _, inv := range ex.Gold {
+			last = g.Add(inv)
+		}
+		res, err := dag.NewExecutor(reg, ctx).Run(g, last)
+		if err != nil {
+			t.Fatalf("%s gold failed: %v\nQ: %s", ex.ID, err, ex.Question)
+		}
+		if res.Table == nil || res.Table.NumRows() == 0 {
+			t.Errorf("%s gold produced no rows (Q: %s)", ex.ID, ex.Question)
+		}
+	}
+}
+
+func TestGoldPythonRenders(t *testing.T) {
+	domains := Domains(1)
+	dev := GenerateLibrary(domains, 99, 3)
+	for _, ex := range dev {
+		code, err := ex.GoldPython(reg)
+		if err != nil {
+			t.Fatalf("%s render: %v", ex.ID, err)
+		}
+		if !strings.Contains(code, "(") {
+			t.Errorf("%s code looks wrong: %s", ex.ID, code)
+		}
+	}
+}
+
+func TestLibraryExcludesCustomDomains(t *testing.T) {
+	domains := Domains(1)
+	lib := GenerateLibrary(domains, 5, 10)
+	if len(lib) != 40 {
+		t.Errorf("library size = %d", len(lib))
+	}
+	for _, ex := range lib {
+		if ex.Domain == "logistics" || ex.Domain == "energy" {
+			t.Fatalf("library contains custom-domain example %s", ex.ID)
+		}
+	}
+}

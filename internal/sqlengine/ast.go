@@ -1,0 +1,276 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/expr"
+)
+
+// SelectStmt is the root AST node for a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 means no limit
+	Offset   int
+}
+
+// SelectItem is one projected expression; Star selects all columns.
+type SelectItem struct {
+	Star  bool
+	Expr  expr.Expr
+	Alias string
+}
+
+// OrderItem is one ORDER BY key.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// TableRef is a FROM-clause relation: a base table, a subquery, or a join.
+type TableRef interface {
+	refString() string
+}
+
+// BaseTable names a catalog table, optionally aliased.
+type BaseTable struct {
+	Name  string
+	Alias string
+}
+
+func (b *BaseTable) refString() string {
+	if b.Alias != "" && b.Alias != b.Name {
+		return b.Name + " AS " + b.Alias
+	}
+	return b.Name
+}
+
+// Subquery is a derived table.
+type Subquery struct {
+	Stmt  *SelectStmt
+	Alias string
+}
+
+func (s *Subquery) refString() string {
+	out := "(" + s.Stmt.String() + ")"
+	if s.Alias != "" {
+		out += " AS " + s.Alias
+	}
+	return out
+}
+
+// JoinKind distinguishes join types.
+type JoinKind int
+
+// Supported join kinds.
+const (
+	InnerJoin JoinKind = iota
+	LeftJoin
+	CrossJoin
+)
+
+// Join combines two relations with an optional ON condition.
+type Join struct {
+	Kind        JoinKind
+	Left, Right TableRef
+	On          expr.Expr
+}
+
+func (j *Join) refString() string {
+	kw := "JOIN"
+	switch j.Kind {
+	case LeftJoin:
+		kw = "LEFT JOIN"
+	case CrossJoin:
+		kw = "CROSS JOIN"
+	}
+	out := j.Left.refString() + " " + kw + " " + j.Right.refString()
+	if j.On != nil {
+		out += " ON " + j.On.String()
+	}
+	return out
+}
+
+// String renders the statement back to SQL. Parse(stmt.String()) yields an
+// equivalent statement; the DAG compiler relies on this for recipe SQL views.
+func (s *SelectStmt) String() string {
+	var b strings.Builder
+	b.WriteString("SELECT ")
+	if s.Distinct {
+		b.WriteString("DISTINCT ")
+	}
+	items := make([]string, len(s.Items))
+	for i, item := range s.Items {
+		switch {
+		case item.Star:
+			items[i] = "*"
+		case item.Alias != "":
+			items[i] = item.Expr.String() + " AS " + quoteIdentIfNeeded(item.Alias)
+		default:
+			items[i] = item.Expr.String()
+		}
+	}
+	b.WriteString(strings.Join(items, ", "))
+	if s.From != nil {
+		b.WriteString(" FROM ")
+		b.WriteString(s.From.refString())
+	}
+	if s.Where != nil {
+		b.WriteString(" WHERE ")
+		b.WriteString(s.Where.String())
+	}
+	if len(s.GroupBy) > 0 {
+		keys := make([]string, len(s.GroupBy))
+		for i, g := range s.GroupBy {
+			keys[i] = g.String()
+		}
+		b.WriteString(" GROUP BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	if s.Having != nil {
+		b.WriteString(" HAVING ")
+		b.WriteString(s.Having.String())
+	}
+	if len(s.OrderBy) > 0 {
+		keys := make([]string, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			keys[i] = o.Expr.String()
+			if o.Desc {
+				keys[i] += " DESC"
+			}
+		}
+		b.WriteString(" ORDER BY ")
+		b.WriteString(strings.Join(keys, ", "))
+	}
+	if s.Limit >= 0 {
+		fmt.Fprintf(&b, " LIMIT %d", s.Limit)
+	}
+	if s.Offset > 0 {
+		fmt.Fprintf(&b, " OFFSET %d", s.Offset)
+	}
+	return b.String()
+}
+
+func quoteIdentIfNeeded(name string) string {
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_':
+		case r >= '0' && r <= '9' && i > 0:
+		default:
+			return `"` + name + `"`
+		}
+	}
+	return name
+}
+
+// AggCall is an aggregate function reference inside a select item, HAVING,
+// or ORDER BY expression. It implements expr.Expr: during group evaluation
+// the executor binds each aggregate's computed value under its Key in the
+// environment, so Eval is a lookup.
+type AggCall struct {
+	Name     string // COUNT, SUM, AVG, MIN, MAX, MEDIAN, STDDEV
+	Arg      expr.Expr
+	Star     bool // COUNT(*)
+	Distinct bool
+}
+
+// Key is the environment binding name for this aggregate's value.
+func (a *AggCall) Key() string { return "\x00agg:" + a.String() }
+
+// Eval implements expr.Expr by looking up the precomputed group value.
+func (a *AggCall) Eval(env expr.Env) (dataset.Value, error) {
+	if env == nil {
+		return dataset.Null, fmt.Errorf("sql: aggregate %s evaluated outside a group context", a)
+	}
+	return env.Lookup(a.Key())
+}
+
+// String implements expr.Expr.
+func (a *AggCall) String() string {
+	if a.Star {
+		return a.Name + "(*)"
+	}
+	if a.Distinct {
+		return a.Name + "(DISTINCT " + a.Arg.String() + ")"
+	}
+	return a.Name + "(" + a.Arg.String() + ")"
+}
+
+// Columns implements expr.Expr.
+func (a *AggCall) Columns(dst []string) []string {
+	if a.Arg != nil {
+		return a.Arg.Columns(dst)
+	}
+	return dst
+}
+
+// aggregateNames is the set of supported aggregate functions.
+var aggregateNames = map[string]bool{
+	"COUNT": true, "SUM": true, "AVG": true, "MIN": true, "MAX": true,
+	"MEDIAN": true, "STDDEV": true,
+}
+
+// collectAggs appends all AggCall nodes reachable from e.
+func collectAggs(e expr.Expr, dst []*AggCall) []*AggCall {
+	switch n := e.(type) {
+	case nil:
+		return dst
+	case *AggCall:
+		return append(dst, n)
+	case *expr.Binary:
+		return collectAggs(n.Right, collectAggs(n.Left, dst))
+	case *expr.Unary:
+		return collectAggs(n.Operand, dst)
+	case *expr.FuncCall:
+		for _, a := range n.Args {
+			dst = collectAggs(a, dst)
+		}
+		return dst
+	case *expr.IsNull:
+		return collectAggs(n.Operand, dst)
+	case *expr.In:
+		dst = collectAggs(n.Operand, dst)
+		for _, item := range n.List {
+			dst = collectAggs(item, dst)
+		}
+		return dst
+	case *expr.Between:
+		return collectAggs(n.Hi, collectAggs(n.Lo, collectAggs(n.Operand, dst)))
+	case *expr.Case:
+		for _, w := range n.Whens {
+			dst = collectAggs(w.Result, collectAggs(w.Cond, dst))
+		}
+		return collectAggs(n.Else, dst)
+	default:
+		return dst
+	}
+}
+
+// CountSelectBlocks returns the number of SELECT blocks in the statement,
+// counting the top level and every FROM-clause subquery. The paper's §2.2
+// argues flattened single-block queries execute faster than deeply nested
+// equivalents; the DAG compiler's consolidation is measured with this.
+func CountSelectBlocks(s *SelectStmt) int {
+	if s == nil {
+		return 0
+	}
+	return 1 + countRefBlocks(s.From)
+}
+
+func countRefBlocks(ref TableRef) int {
+	switch r := ref.(type) {
+	case *Subquery:
+		return CountSelectBlocks(r.Stmt)
+	case *Join:
+		return countRefBlocks(r.Left) + countRefBlocks(r.Right)
+	default:
+		return 0
+	}
+}

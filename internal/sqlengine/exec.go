@@ -1,0 +1,877 @@
+package sqlengine
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/expr"
+)
+
+// Catalog resolves base table names during execution.
+type Catalog interface {
+	// Table returns the named table.
+	Table(name string) (*dataset.Table, error)
+}
+
+// MapCatalog is an in-memory Catalog.
+type MapCatalog map[string]*dataset.Table
+
+// Table implements Catalog.
+func (m MapCatalog) Table(name string) (*dataset.Table, error) {
+	if t, ok := m[name]; ok {
+		return t, nil
+	}
+	for k, t := range m {
+		if strings.EqualFold(k, name) {
+			return t, nil
+		}
+	}
+	return nil, fmt.Errorf("sql: unknown table %q", name)
+}
+
+// Exec parses and executes a SQL query against the catalog.
+func Exec(catalog Catalog, query string) (*dataset.Table, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStmt(catalog, stmt)
+}
+
+// ExecStmt executes a parsed statement against the catalog.
+func ExecStmt(catalog Catalog, stmt *SelectStmt) (*dataset.Table, error) {
+	e := &executor{catalog: catalog}
+	return e.execSelect(stmt)
+}
+
+// rel is the executor's working relation: columns with source qualifiers,
+// allowing duplicate bare names across join sides.
+type rel struct {
+	cols  []*dataset.Column
+	quals []string // alias of the relation each column came from
+}
+
+func (r *rel) numRows() int {
+	if len(r.cols) == 0 {
+		return 0
+	}
+	return r.cols[0].Len()
+}
+
+// lookup resolves a possibly-qualified column name to its index.
+func (r *rel) lookup(name string) (int, error) {
+	if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+		qual, col := name[:dot], name[dot+1:]
+		for i, c := range r.cols {
+			if strings.EqualFold(r.quals[i], qual) && strings.EqualFold(c.Name(), col) {
+				return i, nil
+			}
+		}
+		return -1, fmt.Errorf("sql: unknown column %q", name)
+	}
+	found := -1
+	for i, c := range r.cols {
+		if strings.EqualFold(c.Name(), name) {
+			if found >= 0 {
+				return -1, fmt.Errorf("sql: ambiguous column %q", name)
+			}
+			found = i
+		}
+	}
+	if found < 0 {
+		return -1, fmt.Errorf("sql: unknown column %q", name)
+	}
+	return found, nil
+}
+
+// rowEnv evaluates expressions against one row of a rel.
+type rowEnv struct {
+	r   *rel
+	row int
+}
+
+// Lookup implements expr.Env.
+func (e rowEnv) Lookup(name string) (dataset.Value, error) {
+	i, err := e.r.lookup(name)
+	if err != nil {
+		return dataset.Null, err
+	}
+	return e.r.cols[i].Value(e.row), nil
+}
+
+// chainEnv consults envs in order, returning the first successful lookup.
+type chainEnv []expr.Env
+
+// Lookup implements expr.Env.
+func (c chainEnv) Lookup(name string) (dataset.Value, error) {
+	var lastErr error
+	for _, env := range c {
+		v, err := env.Lookup(name)
+		if err == nil {
+			return v, nil
+		}
+		lastErr = err
+	}
+	if lastErr == nil {
+		lastErr = fmt.Errorf("sql: unknown column %q", name)
+	}
+	return dataset.Null, lastErr
+}
+
+type executor struct {
+	catalog Catalog
+}
+
+func (e *executor) execSelect(stmt *SelectStmt) (*dataset.Table, error) {
+	var source *rel
+	if stmt.From != nil {
+		r, err := e.execRef(stmt.From)
+		if err != nil {
+			return nil, err
+		}
+		source = r
+	} else {
+		source = &rel{} // SELECT without FROM evaluates items once
+	}
+
+	aggs := e.collectAllAggs(stmt)
+	grouped := len(stmt.GroupBy) > 0 || len(aggs) > 0
+
+	// LIMIT push-down: without grouping, ordering, or DISTINCT, only the
+	// first offset+limit surviving rows matter — stop the scan there. This
+	// is what makes the consolidated flat query of §2.2 cheap.
+	rowBudget := -1
+	if !grouped && len(stmt.OrderBy) == 0 && !stmt.Distinct && stmt.Limit >= 0 {
+		rowBudget = stmt.Offset + stmt.Limit
+	}
+
+	// WHERE
+	if stmt.Where != nil && stmt.From != nil {
+		keep := make([]int, 0, source.numRows())
+		for i := 0; i < source.numRows(); i++ {
+			ok, err := expr.EvalBool(stmt.Where, rowEnv{source, i})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, i)
+				if rowBudget >= 0 && len(keep) >= rowBudget {
+					break
+				}
+			}
+		}
+		source = takeRel(source, keep)
+	} else if rowBudget >= 0 && stmt.From != nil && source.numRows() > rowBudget {
+		keep := make([]int, rowBudget)
+		for i := range keep {
+			keep[i] = i
+		}
+		source = takeRel(source, keep)
+	}
+
+	var out *dataset.Table
+	var err error
+	if grouped {
+		out, err = e.execGrouped(stmt, source, aggs)
+	} else {
+		out, err = e.execProjection(stmt, source)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if stmt.Distinct {
+		out, err = out.Distinct()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Offset > 0 || stmt.Limit >= 0 {
+		from := stmt.Offset
+		to := out.NumRows()
+		if stmt.Limit >= 0 && from+stmt.Limit < to {
+			to = from + stmt.Limit
+		}
+		out = out.Slice(from, to)
+	}
+	return out, nil
+}
+
+func (e *executor) collectAllAggs(stmt *SelectStmt) []*AggCall {
+	var aggs []*AggCall
+	for _, item := range stmt.Items {
+		if !item.Star {
+			aggs = collectAggs(item.Expr, aggs)
+		}
+	}
+	aggs = collectAggs(stmt.Having, aggs)
+	for _, o := range stmt.OrderBy {
+		aggs = collectAggs(o.Expr, aggs)
+	}
+	// Dedupe by key so each aggregate computes once per group.
+	seen := make(map[string]bool, len(aggs))
+	uniq := aggs[:0]
+	for _, a := range aggs {
+		if !seen[a.Key()] {
+			seen[a.Key()] = true
+			uniq = append(uniq, a)
+		}
+	}
+	return uniq
+}
+
+// execRef evaluates a FROM-clause relation.
+func (e *executor) execRef(ref TableRef) (*rel, error) {
+	switch r := ref.(type) {
+	case *BaseTable:
+		t, err := e.catalog.Table(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		return tableToRel(t, r.Alias), nil
+	case *Subquery:
+		t, err := e.execSelect(r.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		alias := r.Alias
+		if alias == "" {
+			alias = "subquery"
+		}
+		return tableToRel(t, alias), nil
+	case *Join:
+		return e.execJoin(r)
+	default:
+		return nil, fmt.Errorf("sql: unsupported table reference %T", ref)
+	}
+}
+
+func tableToRel(t *dataset.Table, alias string) *rel {
+	cols := t.Columns()
+	r := &rel{cols: make([]*dataset.Column, len(cols)), quals: make([]string, len(cols))}
+	for i, c := range cols {
+		r.cols[i] = c
+		r.quals[i] = alias
+	}
+	return r
+}
+
+func takeRel(r *rel, idx []int) *rel {
+	out := &rel{cols: make([]*dataset.Column, len(r.cols)), quals: r.quals}
+	for i, c := range r.cols {
+		out.cols[i] = c.Take(idx)
+	}
+	return out
+}
+
+// execJoin evaluates a join, using a hash join on equi-conditions between
+// the two sides when possible and a nested loop otherwise.
+func (e *executor) execJoin(j *Join) (*rel, error) {
+	left, err := e.execRef(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := e.execRef(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	combined := &rel{
+		cols:  append(append([]*dataset.Column{}, left.cols...), right.cols...),
+		quals: append(append([]string{}, left.quals...), right.quals...),
+	}
+
+	var leftIdx, rightIdx []int
+	var matchedLeft []bool
+	if j.Kind == LeftJoin {
+		matchedLeft = make([]bool, left.numRows())
+	}
+
+	leftKeys, rightKeys := equiJoinKeys(j.On, left, right)
+	if len(leftKeys) > 0 {
+		// Hash join: build on the right side.
+		build := make(map[string][]int, right.numRows())
+		for i := 0; i < right.numRows(); i++ {
+			build[joinKey(right, rightKeys, i)] = append(build[joinKey(right, rightKeys, i)], i)
+		}
+		for li := 0; li < left.numRows(); li++ {
+			for _, ri := range build[joinKey(left, leftKeys, li)] {
+				ok, err := e.joinResidual(j.On, combined, left, li, right, ri)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					leftIdx = append(leftIdx, li)
+					rightIdx = append(rightIdx, ri)
+					if matchedLeft != nil {
+						matchedLeft[li] = true
+					}
+				}
+			}
+		}
+	} else {
+		for li := 0; li < left.numRows(); li++ {
+			for ri := 0; ri < right.numRows(); ri++ {
+				ok := true
+				if j.On != nil {
+					ok, err = e.joinResidual(j.On, combined, left, li, right, ri)
+					if err != nil {
+						return nil, err
+					}
+				}
+				if ok {
+					leftIdx = append(leftIdx, li)
+					rightIdx = append(rightIdx, ri)
+					if matchedLeft != nil {
+						matchedLeft[li] = true
+					}
+				}
+			}
+		}
+	}
+
+	out := &rel{cols: make([]*dataset.Column, len(combined.cols)), quals: combined.quals}
+	nullRight := 0
+	if matchedLeft != nil {
+		for li, m := range matchedLeft {
+			if !m {
+				leftIdx = append(leftIdx, li)
+				rightIdx = append(rightIdx, -1)
+				nullRight++
+			}
+		}
+	}
+	_ = nullRight
+	for ci := range combined.cols {
+		var src *dataset.Column
+		var idx []int
+		if ci < len(left.cols) {
+			src, idx = left.cols[ci], leftIdx
+		} else {
+			src, idx = right.cols[ci-len(left.cols)], rightIdx
+		}
+		col := dataset.NewColumn(src.Name(), src.Type())
+		for _, i := range idx {
+			if i < 0 {
+				col.Append(dataset.Null)
+			} else {
+				col.Append(src.Value(i))
+			}
+		}
+		out.cols[ci] = col
+	}
+	return out, nil
+}
+
+// joinEnv resolves names against a (left row, right row) pair.
+type joinEnv struct {
+	left     *rel
+	leftRow  int
+	right    *rel
+	rightRow int
+	combined *rel
+}
+
+// Lookup implements expr.Env.
+func (e joinEnv) Lookup(name string) (dataset.Value, error) {
+	i, err := e.combined.lookup(name)
+	if err != nil {
+		return dataset.Null, err
+	}
+	if i < len(e.left.cols) {
+		return e.left.cols[i].Value(e.leftRow), nil
+	}
+	return e.right.cols[i-len(e.left.cols)].Value(e.rightRow), nil
+}
+
+func (e *executor) joinResidual(on expr.Expr, combined, left *rel, li int, right *rel, ri int) (bool, error) {
+	if on == nil {
+		return true, nil
+	}
+	return expr.EvalBool(on, joinEnv{left: left, leftRow: li, right: right, rightRow: ri, combined: combined})
+}
+
+// equiJoinKeys extracts column-index pairs from a conjunction of equality
+// predicates where one side resolves in left and the other in right.
+func equiJoinKeys(on expr.Expr, left, right *rel) (leftKeys, rightKeys []int) {
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		b, ok := e.(*expr.Binary)
+		if !ok {
+			return
+		}
+		switch b.Op {
+		case expr.OpAnd:
+			walk(b.Left)
+			walk(b.Right)
+		case expr.OpEq:
+			lc, lok := b.Left.(*expr.Col)
+			rc, rok := b.Right.(*expr.Col)
+			if !lok || !rok {
+				return
+			}
+			if li, err := left.lookup(lc.Name); err == nil {
+				if ri, err := right.lookup(rc.Name); err == nil {
+					leftKeys = append(leftKeys, li)
+					rightKeys = append(rightKeys, ri)
+					return
+				}
+			}
+			if li, err := left.lookup(rc.Name); err == nil {
+				if ri, err := right.lookup(lc.Name); err == nil {
+					leftKeys = append(leftKeys, li)
+					rightKeys = append(rightKeys, ri)
+				}
+			}
+		}
+	}
+	walk(on)
+	return leftKeys, rightKeys
+}
+
+func joinKey(r *rel, keys []int, row int) string {
+	var b strings.Builder
+	for _, k := range keys {
+		v := r.cols[k].Value(row)
+		if f, ok := v.AsFloat(); ok {
+			// Normalize numerics so 2 joins with 2.0.
+			fmt.Fprintf(&b, "n:%g\x00", f)
+			continue
+		}
+		b.WriteString(v.Type.String())
+		b.WriteByte(':')
+		b.WriteString(v.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// execProjection evaluates non-grouped select items row by row, with a
+// columnar fast path when every output is a plain column reference.
+func (e *executor) execProjection(stmt *SelectStmt, source *rel) (*dataset.Table, error) {
+	if stmt.From != nil {
+		if out, ok, err := e.columnarProjection(stmt, source); err != nil || ok {
+			return out, err
+		}
+	}
+	names, exprs := e.expandItems(stmt.Items, source)
+	n := source.numRows()
+	if stmt.From == nil {
+		n = 1
+	}
+	builders := make([]*valueColumnBuilder, len(exprs))
+	for i, name := range names {
+		builders[i] = newValueColumnBuilder(name)
+	}
+	envAt := func(i int) expr.Env {
+		if stmt.From == nil {
+			return expr.MapEnv{}
+		}
+		return rowEnv{source, i}
+	}
+	type sortable struct {
+		keys []dataset.Value
+	}
+	var sortRows []sortable
+	for i := 0; i < n; i++ {
+		env := envAt(i)
+		outRow := make(expr.MapEnv, len(exprs))
+		for ci, ex := range exprs {
+			v, err := ex.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			builders[ci].append(v)
+			outRow[names[ci]] = v
+		}
+		if len(stmt.OrderBy) > 0 {
+			keys := make([]dataset.Value, len(stmt.OrderBy))
+			orderEnv := chainEnv{outRow, env}
+			for ki, o := range stmt.OrderBy {
+				v, err := o.Expr.Eval(orderEnv)
+				if err != nil {
+					return nil, err
+				}
+				keys[ki] = v
+			}
+			sortRows = append(sortRows, sortable{keys: keys})
+		}
+	}
+	out, err := buildTable("result", builders)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.OrderBy) > 0 {
+		idx := sortIndexes(len(sortRows), stmt.OrderBy, func(i, k int) dataset.Value { return sortRows[i].keys[k] })
+		out = out.Take(idx)
+	}
+	return out, nil
+}
+
+func (e *executor) expandItems(items []SelectItem, source *rel) (names []string, exprs []expr.Expr) {
+	for _, item := range items {
+		if item.Star {
+			counts := map[string]int{}
+			for _, c := range source.cols {
+				counts[strings.ToLower(c.Name())]++
+			}
+			for i, c := range source.cols {
+				name := c.Name()
+				if counts[strings.ToLower(name)] > 1 {
+					name = source.quals[i] + "." + name
+				}
+				names = append(names, name)
+				exprs = append(exprs, expr.Column(source.quals[i]+"."+c.Name()))
+			}
+			continue
+		}
+		name := item.Alias
+		if name == "" {
+			if c, ok := item.Expr.(*expr.Col); ok {
+				name = c.Name
+				if dot := strings.LastIndexByte(name, '.'); dot >= 0 {
+					name = name[dot+1:]
+				}
+			} else {
+				name = item.Expr.String()
+			}
+		}
+		names = append(names, name)
+		exprs = append(exprs, item.Expr)
+	}
+	return names, exprs
+}
+
+// execGrouped evaluates aggregation queries.
+func (e *executor) execGrouped(stmt *SelectStmt, source *rel, aggs []*AggCall) (*dataset.Table, error) {
+	// Bucket rows by group key.
+	type group struct {
+		firstRow int
+		rows     []int
+	}
+	var order []string
+	groups := map[string]*group{}
+	if len(stmt.GroupBy) == 0 {
+		g := &group{firstRow: 0}
+		for i := 0; i < source.numRows(); i++ {
+			g.rows = append(g.rows, i)
+		}
+		groups[""] = g
+		order = append(order, "")
+	} else {
+		for i := 0; i < source.numRows(); i++ {
+			env := rowEnv{source, i}
+			var kb strings.Builder
+			for _, ge := range stmt.GroupBy {
+				v, err := ge.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				kb.WriteString(v.Type.String())
+				kb.WriteByte(':')
+				kb.WriteString(v.String())
+				kb.WriteByte('\x00')
+			}
+			key := kb.String()
+			g, ok := groups[key]
+			if !ok {
+				g = &group{firstRow: i}
+				groups[key] = g
+				order = append(order, key)
+			}
+			g.rows = append(g.rows, i)
+		}
+	}
+
+	names, exprs := e.expandItems(stmt.Items, source)
+	builders := make([]*valueColumnBuilder, len(exprs))
+	for i, name := range names {
+		builders[i] = newValueColumnBuilder(name)
+	}
+	var sortKeys [][]dataset.Value
+	for _, key := range order {
+		g := groups[key]
+		aggVals := make(expr.MapEnv, len(aggs))
+		for _, a := range aggs {
+			v, err := computeAgg(a, source, g.rows)
+			if err != nil {
+				return nil, err
+			}
+			aggVals[a.Key()] = v
+		}
+		env := chainEnv{aggVals, rowEnv{source, g.firstRow}}
+		if stmt.Having != nil {
+			ok, err := expr.EvalBool(stmt.Having, env)
+			if err != nil {
+				return nil, err
+			}
+			if !ok {
+				continue
+			}
+		}
+		outRow := make(expr.MapEnv, len(exprs))
+		for ci, ex := range exprs {
+			v, err := ex.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			builders[ci].append(v)
+			outRow[names[ci]] = v
+		}
+		if len(stmt.OrderBy) > 0 {
+			keys := make([]dataset.Value, len(stmt.OrderBy))
+			orderEnv := chainEnv{outRow, env}
+			for ki, o := range stmt.OrderBy {
+				v, err := o.Expr.Eval(orderEnv)
+				if err != nil {
+					return nil, err
+				}
+				keys[ki] = v
+			}
+			sortKeys = append(sortKeys, keys)
+		}
+	}
+	out, err := buildTable("result", builders)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmt.OrderBy) > 0 {
+		idx := sortIndexes(len(sortKeys), stmt.OrderBy, func(i, k int) dataset.Value { return sortKeys[i][k] })
+		out = out.Take(idx)
+	}
+	return out, nil
+}
+
+func sortIndexes(n int, orderBy []OrderItem, key func(row, k int) dataset.Value) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		for k, o := range orderBy {
+			cmp := dataset.Compare(key(idx[a], k), key(idx[b], k))
+			if cmp == 0 {
+				continue
+			}
+			if o.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	})
+	return idx
+}
+
+// computeAgg evaluates one aggregate over the rows of a group.
+func computeAgg(a *AggCall, source *rel, rows []int) (dataset.Value, error) {
+	if a.Star {
+		return dataset.Int(int64(len(rows))), nil
+	}
+	var vals []dataset.Value
+	seen := map[string]bool{}
+	for _, i := range rows {
+		v, err := a.Arg.Eval(rowEnv{source, i})
+		if err != nil {
+			return dataset.Null, err
+		}
+		if v.IsNull() {
+			continue
+		}
+		if a.Distinct {
+			key := v.Type.String() + ":" + v.String()
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+		}
+		vals = append(vals, v)
+	}
+	switch a.Name {
+	case "COUNT":
+		return dataset.Int(int64(len(vals))), nil
+	case "MIN", "MAX":
+		if len(vals) == 0 {
+			return dataset.Null, nil
+		}
+		best := vals[0]
+		for _, v := range vals[1:] {
+			cmp := dataset.Compare(v, best)
+			if (a.Name == "MIN" && cmp < 0) || (a.Name == "MAX" && cmp > 0) {
+				best = v
+			}
+		}
+		return best, nil
+	case "SUM", "AVG", "MEDIAN", "STDDEV":
+		if len(vals) == 0 {
+			return dataset.Null, nil
+		}
+		nums := make([]float64, 0, len(vals))
+		allInt := true
+		for _, v := range vals {
+			f, ok := v.AsFloat()
+			if !ok {
+				return dataset.Null, fmt.Errorf("sql: %s over non-numeric value %v", a.Name, v)
+			}
+			if v.Type != dataset.TypeInt {
+				allInt = false
+			}
+			nums = append(nums, f)
+		}
+		switch a.Name {
+		case "SUM":
+			total := 0.0
+			for _, f := range nums {
+				total += f
+			}
+			if allInt {
+				return dataset.Int(int64(total)), nil
+			}
+			return dataset.Float(total), nil
+		case "AVG":
+			total := 0.0
+			for _, f := range nums {
+				total += f
+			}
+			return dataset.Float(total / float64(len(nums))), nil
+		case "MEDIAN":
+			sort.Float64s(nums)
+			mid := len(nums) / 2
+			if len(nums)%2 == 1 {
+				return dataset.Float(nums[mid]), nil
+			}
+			return dataset.Float((nums[mid-1] + nums[mid]) / 2), nil
+		default: // STDDEV (population)
+			mean := 0.0
+			for _, f := range nums {
+				mean += f
+			}
+			mean /= float64(len(nums))
+			ss := 0.0
+			for _, f := range nums {
+				ss += (f - mean) * (f - mean)
+			}
+			return dataset.Float(math.Sqrt(ss / float64(len(nums)))), nil
+		}
+	default:
+		return dataset.Null, fmt.Errorf("sql: unknown aggregate %q", a.Name)
+	}
+}
+
+// valueColumnBuilder accumulates values and infers the narrowest common type.
+type valueColumnBuilder struct {
+	name string
+	vals []dataset.Value
+	typ  dataset.Type
+}
+
+func newValueColumnBuilder(name string) *valueColumnBuilder {
+	return &valueColumnBuilder{name: name, typ: dataset.TypeNull}
+}
+
+func (b *valueColumnBuilder) append(v dataset.Value) {
+	b.vals = append(b.vals, v)
+	if !v.IsNull() {
+		b.typ = dataset.CommonType(b.typ, v.Type)
+	}
+}
+
+func (b *valueColumnBuilder) build() *dataset.Column {
+	typ := b.typ
+	if typ == dataset.TypeNull {
+		typ = dataset.TypeString
+	}
+	c := dataset.NewColumn(b.name, typ)
+	for _, v := range b.vals {
+		c.Append(v)
+	}
+	return c
+}
+
+func buildTable(name string, builders []*valueColumnBuilder) (*dataset.Table, error) {
+	cols := make([]*dataset.Column, len(builders))
+	used := map[string]int{}
+	for i, b := range builders {
+		col := b.build()
+		// Disambiguate duplicate output names (e.g. SELECT a, a).
+		base := col.Name()
+		if n := used[strings.ToLower(base)]; n > 0 {
+			col = col.Rename(fmt.Sprintf("%s_%d", base, n))
+		}
+		used[strings.ToLower(base)]++
+		cols[i] = col
+	}
+	return dataset.NewTable(name, cols...)
+}
+
+// columnarProjection handles SELECT lists made purely of columns (and *)
+// without re-evaluating expressions per row: output columns alias the
+// already-materialized source columns, and plain-column ORDER BY sorts by
+// direct column comparison. Returns ok=false when the statement needs the
+// general row-at-a-time path.
+func (e *executor) columnarProjection(stmt *SelectStmt, source *rel) (*dataset.Table, bool, error) {
+	names, exprs := e.expandItems(stmt.Items, source)
+	colIdx := make([]int, len(exprs))
+	for i, ex := range exprs {
+		c, ok := ex.(*expr.Col)
+		if !ok {
+			return nil, false, nil
+		}
+		idx, err := source.lookup(c.Name)
+		if err != nil {
+			return nil, false, nil // ambiguity or unknown: general path reports it
+		}
+		colIdx[i] = idx
+	}
+	var orderIdx []int
+	var orderDesc []bool
+	for _, o := range stmt.OrderBy {
+		c, ok := o.Expr.(*expr.Col)
+		if !ok {
+			return nil, false, nil
+		}
+		idx, err := source.lookup(c.Name)
+		if err != nil {
+			return nil, false, nil // may reference an output alias: general path
+		}
+		orderIdx = append(orderIdx, idx)
+		orderDesc = append(orderDesc, o.Desc)
+	}
+	if len(orderIdx) > 0 {
+		rows := make([]int, source.numRows())
+		for i := range rows {
+			rows[i] = i
+		}
+		sort.SliceStable(rows, func(a, b int) bool {
+			for k, ci := range orderIdx {
+				cmp := dataset.Compare(source.cols[ci].Value(rows[a]), source.cols[ci].Value(rows[b]))
+				if cmp == 0 {
+					continue
+				}
+				if orderDesc[k] {
+					return cmp > 0
+				}
+				return cmp < 0
+			}
+			return false
+		})
+		source = takeRel(source, rows)
+	}
+	cols := make([]*dataset.Column, len(colIdx))
+	used := map[string]int{}
+	for i, idx := range colIdx {
+		name := names[i]
+		if n := used[strings.ToLower(name)]; n > 0 {
+			name = fmt.Sprintf("%s_%d", name, n)
+		}
+		used[strings.ToLower(names[i])]++
+		cols[i] = source.cols[idx].Rename(name)
+	}
+	out, err := dataset.NewTable("result", cols...)
+	if err != nil {
+		return nil, false, err
+	}
+	return out, true, nil
+}

@@ -1,0 +1,194 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Render draws the chart as terminal text. The console uses it to show
+// chart artifacts inline; tests use it to pin chart shapes.
+func Render(c *Chart) string {
+	switch c.Spec.Type {
+	case Bar, Histogram:
+		return renderBars(c)
+	case Donut:
+		return renderDonut(c)
+	case Line, Scatter:
+		return renderXY(c)
+	case Violin:
+		return renderViolin(c)
+	case Bubble, Heatmap:
+		return renderGrid(c)
+	default:
+		return fmt.Sprintf("(unrenderable chart type %v)", c.Spec.Type)
+	}
+}
+
+const barWidth = 40
+
+func renderBars(c *Chart) string {
+	var b strings.Builder
+	writeTitle(&b, c)
+	for _, s := range c.Series {
+		maxVal := 0.0
+		for _, y := range s.Y {
+			if y > maxVal {
+				maxVal = y
+			}
+		}
+		labelWidth := 0
+		for _, l := range s.Labels {
+			if len(l) > labelWidth {
+				labelWidth = len(l)
+			}
+		}
+		for i, label := range s.Labels {
+			bar := 0
+			if maxVal > 0 {
+				bar = int(math.Round(s.Y[i] / maxVal * barWidth))
+			}
+			fmt.Fprintf(&b, "%-*s | %s %.4g\n", labelWidth, label, strings.Repeat("#", bar), s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+func renderDonut(c *Chart) string {
+	var b strings.Builder
+	writeTitle(&b, c)
+	for _, s := range c.Series {
+		total := 0.0
+		for _, y := range s.Y {
+			total += y
+		}
+		for i, label := range s.Labels {
+			pct := 0.0
+			if total > 0 {
+				pct = s.Y[i] / total * 100
+			}
+			fmt.Fprintf(&b, "  %s: %.1f%% (%.4g)\n", label, pct, s.Y[i])
+		}
+	}
+	return b.String()
+}
+
+const (
+	plotWidth  = 60
+	plotHeight = 16
+)
+
+var seriesMarks = []byte{'*', '+', 'o', 'x', '@', '%'}
+
+func renderXY(c *Chart) string {
+	var b strings.Builder
+	writeTitle(&b, c)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range c.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if math.IsInf(minX, 1) {
+		return b.String() + "(no data)\n"
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	grid := make([][]byte, plotHeight)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", plotWidth))
+	}
+	for si, s := range c.Series {
+		mark := seriesMarks[si%len(seriesMarks)]
+		for i := range s.X {
+			col := int((s.X[i] - minX) / (maxX - minX) * float64(plotWidth-1))
+			row := plotHeight - 1 - int((s.Y[i]-minY)/(maxY-minY)*float64(plotHeight-1))
+			grid[row][col] = mark
+		}
+	}
+	fmt.Fprintf(&b, "%.4g ┐\n", maxY)
+	for _, row := range grid {
+		fmt.Fprintf(&b, "     │%s\n", string(row))
+	}
+	fmt.Fprintf(&b, "%.4g ┴%s\n", minY, strings.Repeat("─", plotWidth))
+	fmt.Fprintf(&b, "      %-.4g%s%.4g\n", minX, strings.Repeat(" ", plotWidth-12), maxX)
+	if len(c.Series) > 1 {
+		b.WriteString("legend:")
+		for si, s := range c.Series {
+			fmt.Fprintf(&b, " %c=%s", seriesMarks[si%len(seriesMarks)], s.Name)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func renderViolin(c *Chart) string {
+	var b strings.Builder
+	writeTitle(&b, c)
+	for _, s := range c.Series {
+		if len(s.Y) != 5 {
+			continue
+		}
+		fmt.Fprintf(&b, "  %s: min %.4g ├── q1 %.4g ▓ med %.4g ▓ q3 %.4g ──┤ max %.4g\n",
+			s.Name, s.Y[0], s.Y[1], s.Y[2], s.Y[3], s.Y[4])
+	}
+	return b.String()
+}
+
+func renderGrid(c *Chart) string {
+	var b strings.Builder
+	writeTitle(&b, c)
+	if len(c.Series) == 0 {
+		return b.String() + "(no data)\n"
+	}
+	maxSize := 0.0
+	for _, s := range c.Series {
+		for _, sz := range s.Size {
+			if sz > maxSize {
+				maxSize = sz
+			}
+		}
+	}
+	marks := []string{"·", "o", "O", "@"}
+	colLabels := c.Series[0].Labels
+	nameWidth := 0
+	for _, s := range c.Series {
+		if len(s.Name) > nameWidth {
+			nameWidth = len(s.Name)
+		}
+	}
+	fmt.Fprintf(&b, "%-*s", nameWidth+1, "")
+	for _, l := range colLabels {
+		fmt.Fprintf(&b, " %-10.10s", l)
+	}
+	b.WriteByte('\n')
+	for _, s := range c.Series {
+		fmt.Fprintf(&b, "%-*s", nameWidth+1, s.Name)
+		for i := range s.Labels {
+			mark := " "
+			if i < len(s.Size) && s.Size[i] > 0 && maxSize > 0 {
+				level := int(s.Size[i] / maxSize * float64(len(marks)-1))
+				mark = marks[level]
+			}
+			fmt.Fprintf(&b, " %-10s", mark)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+func writeTitle(b *strings.Builder, c *Chart) {
+	title := c.Spec.Title
+	if title == "" {
+		title = c.Describe()
+	}
+	fmt.Fprintf(b, "%s\n%s\n", title, strings.Repeat("=", len(title)))
+}

@@ -1,0 +1,546 @@
+// Package viz implements DataChat's charting substrate: chart specs, data
+// binding from tables, the auto-chart selection behind the Visualize skill
+// (Figure 1 shows it producing six charts for one request), and a terminal
+// renderer so artifacts are viewable from the console.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"datachat/internal/dataset"
+)
+
+// ChartType enumerates supported chart families.
+type ChartType int
+
+// The chart families DataChat's Visualize skill emits.
+const (
+	Bar ChartType = iota
+	Line
+	Scatter
+	Histogram
+	Donut
+	Violin
+	Bubble
+	Heatmap
+)
+
+// String names the chart type as shown in chart lists ("donut chart …").
+func (c ChartType) String() string {
+	switch c {
+	case Bar:
+		return "bar"
+	case Line:
+		return "line"
+	case Scatter:
+		return "scatter"
+	case Histogram:
+		return "histogram"
+	case Donut:
+		return "donut"
+	case Violin:
+		return "violin"
+	case Bubble:
+		return "bubble"
+	case Heatmap:
+		return "heatmap"
+	default:
+		return fmt.Sprintf("chart(%d)", int(c))
+	}
+}
+
+// Spec declares a chart over table columns.
+type Spec struct {
+	Type  ChartType
+	Title string
+	// X is the x-axis column (category, numeric, or time).
+	X string
+	// Y is the y-axis / measure column (empty means count of records).
+	Y string
+	// GroupBy splits the data into one series per distinct value.
+	GroupBy string
+	// SizeBy scales bubble sizes (bubble charts).
+	SizeBy string
+	// ColorBy colors marks by a category (bubble charts).
+	ColorBy string
+	// Bins is the histogram bin count (0 selects automatically).
+	Bins int
+}
+
+// Series is one named data series of a built chart.
+type Series struct {
+	Name string
+	// Labels are categorical x labels (bar, donut, violin, bubble rows).
+	Labels []string
+	// X and Y are numeric coordinates (line, scatter, histogram edges).
+	X []float64
+	// Y holds the measure per label or per point.
+	Y []float64
+	// Size holds bubble sizes when the spec asked for them.
+	Size []float64
+}
+
+// Chart is a built chart: the spec plus the bound data.
+type Chart struct {
+	Spec   Spec
+	Series []Series
+	// RowsUsed counts the table rows that contributed (nulls excluded).
+	RowsUsed int
+}
+
+// Build binds a spec to a table, computing the series data.
+func Build(t *dataset.Table, spec Spec) (*Chart, error) {
+	switch spec.Type {
+	case Bar, Donut:
+		return buildCategorical(t, spec)
+	case Histogram:
+		return buildHistogram(t, spec)
+	case Line, Scatter:
+		return buildXY(t, spec)
+	case Violin:
+		return buildViolin(t, spec)
+	case Bubble, Heatmap:
+		return buildGrid(t, spec)
+	default:
+		return nil, fmt.Errorf("viz: unsupported chart type %v", spec.Type)
+	}
+}
+
+// buildCategorical aggregates a measure (or record count) per category of X.
+func buildCategorical(t *dataset.Table, spec Spec) (*Chart, error) {
+	xCol, err := t.Column(spec.X)
+	if err != nil {
+		return nil, err
+	}
+	var yCol *dataset.Column
+	if spec.Y != "" {
+		if yCol, err = t.Column(spec.Y); err != nil {
+			return nil, err
+		}
+	}
+	sums := map[string]float64{}
+	var order []string
+	used := 0
+	for i := 0; i < xCol.Len(); i++ {
+		label := xCol.Value(i).String()
+		if _, seen := sums[label]; !seen {
+			order = append(order, label)
+		}
+		if yCol == nil {
+			sums[label]++
+			used++
+			continue
+		}
+		if f, ok := yCol.Value(i).AsFloat(); ok {
+			sums[label] += f
+			used++
+		} else if _, seen := sums[label]; !seen {
+			sums[label] = 0
+		}
+	}
+	sort.Strings(order)
+	s := Series{Name: spec.X}
+	for _, label := range order {
+		s.Labels = append(s.Labels, label)
+		s.Y = append(s.Y, sums[label])
+	}
+	return &Chart{Spec: spec, Series: []Series{s}, RowsUsed: used}, nil
+}
+
+func buildHistogram(t *dataset.Table, spec Spec) (*Chart, error) {
+	xCol, err := t.Column(spec.X)
+	if err != nil {
+		return nil, err
+	}
+	vals, valid := xCol.Floats()
+	var xs []float64
+	for i, v := range vals {
+		if valid[i] {
+			xs = append(xs, v)
+		}
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("viz: histogram over %q has no numeric values", spec.X)
+	}
+	bins := spec.Bins
+	if bins <= 0 {
+		bins = int(math.Ceil(math.Sqrt(float64(len(xs)))))
+		if bins > 20 {
+			bins = 20
+		}
+		if bins < 1 {
+			bins = 1
+		}
+	}
+	lo, hi := xs[0], xs[0]
+	for _, x := range xs {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	width := (hi - lo) / float64(bins)
+	if width == 0 {
+		width = 1
+	}
+	counts := make([]float64, bins)
+	edges := make([]float64, bins)
+	for b := range edges {
+		edges[b] = lo + width*float64(b)
+	}
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	s := Series{Name: spec.X, X: edges, Y: counts}
+	for b := range edges {
+		s.Labels = append(s.Labels, fmt.Sprintf("[%.4g, %.4g)", edges[b], edges[b]+width))
+	}
+	return &Chart{Spec: spec, Series: []Series{s}, RowsUsed: len(xs)}, nil
+}
+
+func buildXY(t *dataset.Table, spec Spec) (*Chart, error) {
+	xCol, err := t.Column(spec.X)
+	if err != nil {
+		return nil, err
+	}
+	yCol, err := t.Column(spec.Y)
+	if err != nil {
+		return nil, err
+	}
+	var groupCol *dataset.Column
+	if spec.GroupBy != "" {
+		if groupCol, err = t.Column(spec.GroupBy); err != nil {
+			return nil, err
+		}
+	}
+	bySeries := map[string]*Series{}
+	var order []string
+	used := 0
+	for i := 0; i < xCol.Len(); i++ {
+		x, okX := numericOrTime(xCol.Value(i))
+		y, okY := yCol.Value(i).AsFloat()
+		if !okX || !okY {
+			continue
+		}
+		name := spec.Y
+		if groupCol != nil {
+			name = groupCol.Value(i).String()
+		}
+		s, seen := bySeries[name]
+		if !seen {
+			s = &Series{Name: name}
+			bySeries[name] = s
+			order = append(order, name)
+		}
+		s.X = append(s.X, x)
+		s.Y = append(s.Y, y)
+		s.Labels = append(s.Labels, xCol.Value(i).String())
+		used++
+	}
+	sort.Strings(order)
+	chart := &Chart{Spec: spec, RowsUsed: used}
+	for _, name := range order {
+		s := bySeries[name]
+		if spec.Type == Line {
+			sortSeriesByX(s)
+		}
+		chart.Series = append(chart.Series, *s)
+	}
+	if len(chart.Series) == 0 {
+		return nil, fmt.Errorf("viz: no plottable rows for %s vs %s", spec.X, spec.Y)
+	}
+	return chart, nil
+}
+
+func sortSeriesByX(s *Series) {
+	idx := make([]int, len(s.X))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return s.X[idx[a]] < s.X[idx[b]] })
+	x := make([]float64, len(idx))
+	y := make([]float64, len(idx))
+	labels := make([]string, len(idx))
+	for i, j := range idx {
+		x[i], y[i], labels[i] = s.X[j], s.Y[j], s.Labels[j]
+	}
+	s.X, s.Y, s.Labels = x, y, labels
+}
+
+func numericOrTime(v dataset.Value) (float64, bool) {
+	if v.Type == dataset.TypeTime {
+		return float64(v.T.Unix()), true
+	}
+	return v.AsFloat()
+}
+
+// buildViolin summarizes the distribution of numeric X per category of
+// GroupBy (or overall): min, q1, median, q3, max per series.
+func buildViolin(t *dataset.Table, spec Spec) (*Chart, error) {
+	xCol, err := t.Column(spec.X)
+	if err != nil {
+		return nil, err
+	}
+	var groupCol *dataset.Column
+	if spec.GroupBy != "" {
+		if groupCol, err = t.Column(spec.GroupBy); err != nil {
+			return nil, err
+		}
+	}
+	groups := map[string][]float64{}
+	var order []string
+	used := 0
+	for i := 0; i < xCol.Len(); i++ {
+		v, ok := xCol.Value(i).AsFloat()
+		if !ok {
+			continue
+		}
+		name := spec.X
+		if groupCol != nil {
+			name = groupCol.Value(i).String()
+		}
+		if _, seen := groups[name]; !seen {
+			order = append(order, name)
+		}
+		groups[name] = append(groups[name], v)
+		used++
+	}
+	if used == 0 {
+		return nil, fmt.Errorf("viz: violin over %q has no numeric values", spec.X)
+	}
+	sort.Strings(order)
+	chart := &Chart{Spec: spec, RowsUsed: used}
+	for _, name := range order {
+		xs := groups[name]
+		sort.Float64s(xs)
+		s := Series{
+			Name:   name,
+			Labels: []string{"min", "q1", "median", "q3", "max"},
+			Y: []float64{
+				xs[0],
+				quantileSorted(xs, 0.25),
+				quantileSorted(xs, 0.5),
+				quantileSorted(xs, 0.75),
+				xs[len(xs)-1],
+			},
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart, nil
+}
+
+// buildGrid bins rows by (X category, Y category) for bubble and heatmap
+// charts: one series per X category, Y holds the measure per Y category,
+// Size the record count (bubble size in Figure 1).
+func buildGrid(t *dataset.Table, spec Spec) (*Chart, error) {
+	xCol, err := t.Column(spec.X)
+	if err != nil {
+		return nil, err
+	}
+	yCol, err := t.Column(spec.Y)
+	if err != nil {
+		return nil, err
+	}
+	var sizeCol *dataset.Column
+	if spec.SizeBy != "" {
+		if sizeCol, err = t.Column(spec.SizeBy); err != nil {
+			return nil, err
+		}
+	}
+	type cell struct {
+		count float64
+		size  float64
+	}
+	cells := map[[2]string]*cell{}
+	xSet, ySet := map[string]bool{}, map[string]bool{}
+	used := 0
+	for i := 0; i < xCol.Len(); i++ {
+		xv := xCol.Value(i).String()
+		yv := yCol.Value(i).String()
+		key := [2]string{xv, yv}
+		c, ok := cells[key]
+		if !ok {
+			c = &cell{}
+			cells[key] = c
+		}
+		c.count++
+		if sizeCol != nil {
+			if f, ok := sizeCol.Value(i).AsFloat(); ok {
+				c.size += f
+			}
+		} else {
+			c.size++
+		}
+		xSet[xv] = true
+		ySet[yv] = true
+		used++
+	}
+	xs := sortedKeys(xSet)
+	ys := sortedKeys(ySet)
+	chart := &Chart{Spec: spec, RowsUsed: used}
+	for _, xv := range xs {
+		s := Series{Name: xv}
+		for _, yv := range ys {
+			s.Labels = append(s.Labels, yv)
+			if c, ok := cells[[2]string{xv, yv}]; ok {
+				s.Y = append(s.Y, c.count)
+				s.Size = append(s.Size, c.size)
+			} else {
+				s.Y = append(s.Y, 0)
+				s.Size = append(s.Size, 0)
+			}
+		}
+		chart.Series = append(chart.Series, s)
+	}
+	return chart, nil
+}
+
+func sortedKeys(set map[string]bool) []string {
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+func quantileSorted(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	pos := q * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Describe returns the one-line summary the chat pane shows for a chart
+// ("donut chart using the column at_fault", "violin chart with the x-axis
+// party_age", …).
+func (c *Chart) Describe() string {
+	spec := c.Spec
+	switch spec.Type {
+	case Donut, Bar:
+		return fmt.Sprintf("%s chart using the column %s", spec.Type, spec.X)
+	case Histogram:
+		return fmt.Sprintf("histogram with the x-axis %s", spec.X)
+	case Violin:
+		if spec.GroupBy != "" {
+			return fmt.Sprintf("violin chart with the x-axis %s, grouped by %s", spec.X, spec.GroupBy)
+		}
+		return fmt.Sprintf("violin chart with the x-axis %s", spec.X)
+	case Bubble:
+		extra := ""
+		if spec.SizeBy != "" {
+			extra += ", sized using: " + spec.SizeBy
+		}
+		if spec.ColorBy != "" {
+			extra += ", colored using: " + spec.ColorBy
+		}
+		return fmt.Sprintf("bubble chart of %s vs. %s%s", spec.X, spec.Y, extra)
+	case Heatmap:
+		return fmt.Sprintf("heatmap of %s vs. %s", spec.X, spec.Y)
+	case Line:
+		if spec.GroupBy != "" {
+			return fmt.Sprintf("line chart with the x-axis %s, the y-axis %s, for each %s", spec.X, spec.Y, spec.GroupBy)
+		}
+		return fmt.Sprintf("line chart with the x-axis %s, the y-axis %s", spec.X, spec.Y)
+	default:
+		return fmt.Sprintf("%s chart of %s vs. %s", spec.Type, spec.X, spec.Y)
+	}
+}
+
+// columnKind classifies a column for auto-chart selection.
+type columnKind int
+
+const (
+	kindCategorical columnKind = iota
+	kindNumeric
+	kindTemporal
+)
+
+func classify(c *dataset.Column) columnKind {
+	switch c.Type() {
+	case dataset.TypeInt, dataset.TypeFloat:
+		// Low-cardinality ints behave like categories.
+		if c.Type() == dataset.TypeInt {
+			distinct := map[int64]bool{}
+			for i := 0; i < c.Len() && len(distinct) <= 12; i++ {
+				if !c.IsNull(i) {
+					distinct[c.Value(i).I] = true
+				}
+			}
+			if len(distinct) <= 12 {
+				return kindCategorical
+			}
+		}
+		return kindNumeric
+	case dataset.TypeTime:
+		return kindTemporal
+	default:
+		return kindCategorical
+	}
+}
+
+// AutoCharts implements the Visualize skill's chart fan-out: given a KPI
+// column and grouping columns it returns the chart specs DataChat would
+// offer — the behaviour in Figure 1 where "Visualize at_fault by party_age,
+// party_sex, cellphone_in_use" yields six charts.
+func AutoCharts(t *dataset.Table, kpi string, by []string) ([]Spec, error) {
+	kpiCol, err := t.Column(kpi)
+	if err != nil {
+		return nil, err
+	}
+	var specs []Spec
+	// 1. The KPI alone: donut for categories, histogram for numbers.
+	switch classify(kpiCol) {
+	case kindNumeric:
+		specs = append(specs, Spec{Type: Histogram, X: kpi, Title: "Distribution of " + kpi})
+	default:
+		specs = append(specs, Spec{Type: Donut, X: kpi, Title: "Share of " + kpi})
+	}
+	// 2. KPI against each grouping column.
+	for _, g := range by {
+		gCol, err := t.Column(g)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case classify(gCol) == kindNumeric && classify(kpiCol) == kindCategorical:
+			specs = append(specs, Spec{Type: Violin, X: g, GroupBy: kpi,
+				Title: fmt.Sprintf("%s by %s", g, kpi)})
+		case classify(gCol) == kindTemporal:
+			specs = append(specs, Spec{Type: Line, X: g, Y: kpi,
+				Title: fmt.Sprintf("%s over %s", kpi, g)})
+		case classify(kpiCol) == kindNumeric:
+			specs = append(specs, Spec{Type: Bar, X: g, Y: kpi,
+				Title: fmt.Sprintf("%s by %s", kpi, g)})
+		default:
+			specs = append(specs, Spec{Type: Donut, X: g, GroupBy: kpi,
+				Title: fmt.Sprintf("%s split by %s", kpi, g)})
+		}
+	}
+	// 3. Pairwise grouping columns as bubble grids, colored by the KPI.
+	// The fan-out is capped at six charts, matching the Figure 1 behaviour
+	// ("Here are 6 charts to visualize the data").
+	const maxCharts = 6
+	for i := 0; i < len(by) && len(specs) < maxCharts; i++ {
+		for j := i + 1; j < len(by) && len(specs) < maxCharts; j++ {
+			specs = append(specs, Spec{Type: Bubble, X: by[i], Y: by[j], ColorBy: kpi,
+				Title: fmt.Sprintf("%s vs. %s, colored using: %s", by[i], by[j], kpi)})
+		}
+	}
+	if len(specs) > maxCharts {
+		specs = specs[:maxCharts]
+	}
+	return specs, nil
+}
