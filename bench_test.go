@@ -7,6 +7,7 @@ package datachat_test
 
 import (
 	"fmt"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -436,6 +437,99 @@ func BenchmarkAblationDAGCache(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkParallelBranchExecution runs a branchy DAG (a shared filter
+// fanning out into independent filter→derive→sort branches that reconverge
+// in a concatenation) serially and on the parallel scheduler. The cache is
+// invalidated each iteration so every run recomputes; the duplicate branch
+// still dedups in-run through the cache, whose counters are reported.
+func BenchmarkParallelBranchExecution(b *testing.B) {
+	reg := skills.NewRegistry()
+	const branches = 6
+	buildBranchy := func(g *dag.Graph) dag.NodeID {
+		g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"base"},
+			Args: skills.Args{"condition": "c0 >= 0"}, Output: "shared"})
+		tails := make([]string, 0, branches+1)
+		for i := 0; i < branches; i++ {
+			fOut := fmt.Sprintf("b%df", i)
+			g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"shared"},
+				Args: skills.Args{"condition": fmt.Sprintf("c0 > %d", (i*37)%200)}, Output: fOut})
+			cOut := fmt.Sprintf("b%dc", i)
+			g.Add(skills.Invocation{Skill: "NewColumn", Inputs: []string{fOut},
+				Args: skills.Args{"name": fmt.Sprintf("w%d", i), "formula": fmt.Sprintf("c1 * %d", i+2)}, Output: cOut})
+			tail := fmt.Sprintf("b%dt", i)
+			g.Add(skills.Invocation{Skill: "SortRows", Inputs: []string{cOut},
+				Args: skills.Args{"columns": "id"}, Output: tail})
+			tails = append(tails, tail)
+		}
+		// A branch identical to branch 0 up to output names: in-run cache
+		// dedup (structural signatures ignore output names) serves it.
+		g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"shared"},
+			Args: skills.Args{"condition": "c0 > 0"}, Output: "dupf"})
+		g.Add(skills.Invocation{Skill: "NewColumn", Inputs: []string{"dupf"},
+			Args: skills.Args{"name": "w0", "formula": "c1 * 2"}, Output: "dupc"})
+		g.Add(skills.Invocation{Skill: "SortRows", Inputs: []string{"dupc"},
+			Args: skills.Args{"columns": "id"}, Output: "dupt"})
+		tails = append(tails, "dupt")
+		return g.Add(skills.Invocation{Skill: "Concatenate", Inputs: tails, Output: "all"})
+	}
+	for _, mode := range []struct {
+		name        string
+		parallelism int
+	}{{"serial", 1}, {"parallel", 0}} {
+		b.Run(mode.name, func(b *testing.B) {
+			ctx := skills.NewContext()
+			ctx.Datasets["base"] = wideTable(40000, 4)
+			ex := dag.NewExecutor(reg, ctx)
+			ex.Options.Parallelism = mode.parallelism
+			g := dag.NewGraph()
+			last := buildBranchy(g)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ex.InvalidateCache()
+				if _, err := ex.Run(g, last); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			cs := ex.CacheStats()
+			b.ReportMetric(float64(cs.Hits)/float64(b.N), "cache-hits/op")
+			b.ReportMetric(float64(cs.Misses)/float64(b.N), "cache-misses/op")
+			b.ReportMetric(float64(cs.Evictions)/float64(b.N), "cache-evictions/op")
+			// Speedup is bounded by the machine: on GOMAXPROCS=1 the two
+			// modes time alike; report the proc count so runs are comparable.
+			b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "procs")
+		})
+	}
+}
+
+// BenchmarkCacheContention hammers one shared sub-DAG cache from all procs
+// with a keyspace larger than its capacity, mixing singleflight leaders,
+// followers, hits, and evictions — the shape a busy multi-session platform
+// puts on the cache.
+func BenchmarkCacheContention(b *testing.B) {
+	c := dag.NewCache(64)
+	shared := dataset.MustNewTable("r", dataset.IntColumn("x", []int64{1, 2, 3}, nil))
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			key := fmt.Sprintf("k%d", i%96)
+			if _, _, err := c.Do(key, func() (*skills.Result, error) {
+				return &skills.Result{Table: shared}, nil
+			}); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	cs := c.Stats()
+	total := cs.Hits + cs.Misses
+	if total > 0 {
+		b.ReportMetric(float64(cs.Hits)/float64(total), "hit-ratio")
+	}
+	b.ReportMetric(float64(cs.Evictions), "evictions")
 }
 
 // BenchmarkAblationSemanticLayer reports accuracy on high-misalignment

@@ -5,6 +5,7 @@
 //	dcbench -exp figure7     # Figure 7: dev-split characterization
 //	dcbench -exp sampling    # §3: block sampling + snapshot iteration cost
 //	dcbench -exp consolidation  # Figure 4 / §2.2: query consolidation
+//	dcbench -exp parallel    # §2.2: parallel DAG scheduling + cache dedup
 //	dcbench -exp slicing     # Figure 5: recipe slicing
 //	dcbench -exp ablations   # semantic layer / retrieval / checker ablations
 //	dcbench -exp all         # everything (default)
@@ -19,7 +20,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, slicing, ablations, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
@@ -68,6 +69,15 @@ func main() {
 	})
 	run("consolidation", func() error {
 		r, err := experiments.Consolidation(50_000, 8, 5)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		return nil
+	})
+	run("parallel", func() error {
+		r, err := experiments.Parallel(50_000, 6, 5)
 		if err != nil {
 			return err
 		}

@@ -14,6 +14,7 @@ import (
 
 	"datachat/internal/artifact"
 	"datachat/internal/cloud"
+	"datachat/internal/dag"
 	"datachat/internal/gel"
 	"datachat/internal/nl2code"
 	"datachat/internal/phrase"
@@ -45,6 +46,12 @@ type Platform struct {
 	clouds   map[string]*cloud.Database
 	files    map[string]string
 	nl2      *nl2code.System
+	// cache is the deployment-wide sub-DAG result cache. Every session's
+	// executor shares it, so concurrent sessions reuse — and deduplicate —
+	// each other's work (§2.2): cache keys combine the structural DAG
+	// signature with content fingerprints of the external inputs, so two
+	// sessions holding different data under the same name never collide.
+	cache *dag.Cache
 }
 
 // New creates an empty platform.
@@ -61,8 +68,17 @@ func New() *Platform {
 		boards:    map[string]*session.InsightsBoard{},
 		clouds:    map[string]*cloud.Database{},
 		files:     map[string]string{},
+		cache:     dag.NewCache(dag.DefaultCacheCapacity),
 	}
 }
+
+// CacheStats reports the shared sub-DAG cache's hit/miss/eviction counters
+// across all sessions.
+func (p *Platform) CacheStats() dag.CacheStats { return p.cache.Stats() }
+
+// InvalidateCache drops every cached sub-DAG result platform-wide, e.g.
+// after source data known to the deployment changes out of band.
+func (p *Platform) InvalidateCache() { p.cache.Invalidate() }
 
 // ConnectDatabase attaches a cloud database to the platform.
 func (p *Platform) ConnectDatabase(db *cloud.Database) error {
@@ -113,6 +129,7 @@ func (p *Platform) CreateSession(name, owner string) (*session.Session, error) {
 	}
 	ctx.Snapshots = p.Snapshots
 	s := session.New(name, owner, p.Registry, ctx)
+	s.Executor().SetCache(p.cache)
 	p.sessions[key] = s
 	return s, nil
 }

@@ -2,12 +2,14 @@ package dag
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"datachat/internal/skills"
-	"datachat/internal/sqlengine"
 )
 
-// Stats counts what an execution did, for transparency and benchmarks.
+// Stats counts what an execution did, for transparency and benchmarks. It is
+// a point-in-time snapshot taken by Executor.Stats; the live counters are
+// atomic so parallel branches update them without locking.
 type Stats struct {
 	// TasksRun is the number of execution tasks dispatched.
 	TasksRun int
@@ -19,13 +21,52 @@ type Stats struct {
 	// QueryBlocks sums the SELECT-block counts of executed SQL tasks — the
 	// §2.2 flatness measure.
 	QueryBlocks int
-	// CacheHits counts nodes served from the sub-DAG cache.
+	// CacheHits counts tasks served from the sub-DAG cache (including
+	// computations shared with a concurrent identical request).
 	CacheHits int
+	// CacheMisses counts cacheable tasks that had to execute.
+	CacheMisses int
 }
 
-// Executor compiles and runs DAGs against a skill context. It owns the
-// sub-DAG result cache, which persists across Run calls so shared prefixes
-// of successive requests are reused (§2.2).
+// counters is the executor's live, atomically updated form of Stats.
+type counters struct {
+	tasksRun, sqlTasks, directTasks atomic.Int64
+	nodesConsolidated, queryBlocks  atomic.Int64
+	cacheHits, cacheMisses          atomic.Int64
+}
+
+func (c *counters) snapshot() Stats {
+	return Stats{
+		TasksRun:          int(c.tasksRun.Load()),
+		SQLTasks:          int(c.sqlTasks.Load()),
+		DirectTasks:       int(c.directTasks.Load()),
+		NodesConsolidated: int(c.nodesConsolidated.Load()),
+		QueryBlocks:       int(c.queryBlocks.Load()),
+		CacheHits:         int(c.cacheHits.Load()),
+		CacheMisses:       int(c.cacheMisses.Load()),
+	}
+}
+
+func (c *counters) reset() {
+	c.tasksRun.Store(0)
+	c.sqlTasks.Store(0)
+	c.directTasks.Store(0)
+	c.nodesConsolidated.Store(0)
+	c.queryBlocks.Store(0)
+	c.cacheHits.Store(0)
+	c.cacheMisses.Store(0)
+}
+
+// Executor compiles and runs DAGs against a skill context. It owns (or
+// shares) the sub-DAG result cache, which persists across Run calls so
+// shared prefixes of successive requests are reused (§2.2).
+//
+// Concurrency: one Run schedules independent DAG branches onto a bounded
+// worker pool (see ExecOptions). The cache may additionally be shared across
+// the executors of many sessions (SetCache), in which case identical
+// concurrent computations are deduplicated. The configuration fields
+// (Registry, Ctx, Consolidate, UseCache, Options) must not be mutated while
+// a Run is in progress.
 type Executor struct {
 	// Registry resolves skill definitions.
 	Registry *skills.Registry
@@ -36,109 +77,80 @@ type Executor struct {
 	Consolidate bool
 	// UseCache enables the sub-DAG result cache.
 	UseCache bool
+	// Options tunes scheduling (worker-pool size).
+	Options ExecOptions
 
-	cache map[string]*skills.Result
-	stats Stats
+	cache    *Cache
+	counters counters
 }
 
-// NewExecutor returns an executor with consolidation and caching enabled.
+// NewExecutor returns an executor with consolidation and caching enabled,
+// backed by a private bounded cache, executing with GOMAXPROCS workers.
 func NewExecutor(reg *skills.Registry, ctx *skills.Context) *Executor {
 	return &Executor{
 		Registry:    reg,
 		Ctx:         ctx,
 		Consolidate: true,
 		UseCache:    true,
-		cache:       map[string]*skills.Result{},
+		cache:       NewCache(DefaultCacheCapacity),
 	}
 }
 
+// SetCache replaces the executor's sub-DAG cache, typically with one shared
+// across every session of a platform so sessions reuse (and deduplicate)
+// each other's work. Call before the first Run.
+func (e *Executor) SetCache(c *Cache) {
+	if c != nil {
+		e.cache = c
+	}
+}
+
+// Cache returns the executor's sub-DAG cache.
+func (e *Executor) Cache() *Cache { return e.cache }
+
 // Stats returns cumulative execution statistics.
-func (e *Executor) Stats() Stats { return e.stats }
+func (e *Executor) Stats() Stats { return e.counters.snapshot() }
 
 // ResetStats zeroes the statistics counters.
-func (e *Executor) ResetStats() { e.stats = Stats{} }
+func (e *Executor) ResetStats() { e.counters.reset() }
 
-// InvalidateCache clears the sub-DAG cache (used after data refreshes).
-func (e *Executor) InvalidateCache() {
-	e.cache = map[string]*skills.Result{}
-}
+// CacheStats returns the cache's own counters (shared figures when the cache
+// is shared across sessions).
+func (e *Executor) CacheStats() CacheStats { return e.cache.Stats() }
+
+// InvalidateCache drops every cached sub-DAG result (used after data
+// refreshes). In-flight computations from before the call cannot repopulate
+// the cache with stale results.
+func (e *Executor) InvalidateCache() { e.cache.Invalidate() }
 
 // Run executes the DAG up to target and returns its result. Intermediate
 // results are materialized into the context under their output names so
 // later requests (and sibling branches) can reference them.
+//
+// Execution is a two-phase parallel topological schedule: a serial planning
+// pass compiles the needed ancestors into tasks — consolidation chains stay
+// atomic units — computes cache keys, and prunes sub-DAGs whose results are
+// already cached; then a bounded worker pool executes independent tasks
+// concurrently and joins at the target.
+//
+// Cache policy for consolidated chains: a chain task caches only its tail
+// signature (interior results never exist — the chain runs as one flattened
+// query), but chains stop extending at an already-cached prefix, so a prefix
+// computed by an earlier, shorter request is reused as the base instead of
+// being refolded and recomputed. TestChainPrefixCachePolicy pins this down.
 func (e *Executor) Run(g *Graph, target NodeID) (*skills.Result, error) {
-	needed, err := g.Ancestors(target)
+	p, err := e.plan(g, target)
 	if err != nil {
 		return nil, err
 	}
-	consumers := g.consumers(needed)
-	results := map[NodeID]*skills.Result{}
-	var compute func(id NodeID) (*skills.Result, error)
-
-	// materialize publishes a node result into the session datasets.
-	materialize := func(id NodeID, res *skills.Result) {
-		node := g.nodes[id]
-		results[id] = res
-		if res.Table != nil {
-			e.Ctx.Datasets[node.OutputName()] = res.Table.WithName(node.OutputName())
-		}
+	if err := e.runPlan(g, p, e.Options.Parallelism); err != nil {
+		return nil, err
 	}
-
-	compute = func(id NodeID) (*skills.Result, error) {
-		if res, done := results[id]; done {
-			return res, nil
-		}
-		sig, err := g.Signature(id)
-		if err != nil {
-			return nil, err
-		}
-		if e.UseCache {
-			if res, hit := e.cache[sig]; hit {
-				e.stats.CacheHits++
-				materialize(id, res)
-				return res, nil
-			}
-		}
-		node := g.nodes[id]
-
-		// Try consolidating a relational chain ending at this node.
-		if e.Consolidate {
-			if res, ok, err := e.tryConsolidated(g, id, consumers, compute, materialize); err != nil {
-				return nil, err
-			} else if ok {
-				if e.UseCache {
-					e.cache[sig] = res
-				}
-				return res, nil
-			}
-		}
-
-		// Direct execution: compute parents first.
-		for i, p := range node.Parents {
-			if p < 0 {
-				if _, err := e.Ctx.Dataset(node.Inv.Inputs[i]); err != nil {
-					return nil, fmt.Errorf("dag: node %d: %w", id, err)
-				}
-				continue
-			}
-			if _, err := compute(p); err != nil {
-				return nil, err
-			}
-		}
-		inv := e.rewiredInvocation(g, node)
-		res, err := e.Registry.Execute(e.Ctx, inv)
-		if err != nil {
-			return nil, fmt.Errorf("dag: node %d (%s): %w", id, node.Inv.Skill, err)
-		}
-		e.stats.TasksRun++
-		e.stats.DirectTasks++
-		materialize(id, res)
-		if e.UseCache {
-			e.cache[sig] = res
-		}
-		return res, nil
+	t := p.byNode[target]
+	if t == nil || t.result == nil {
+		return nil, fmt.Errorf("dag: internal: no result for target node %d", target)
 	}
-	return compute(target)
+	return t.result, nil
 }
 
 // rewiredInvocation replaces parent-input names with the parents' output
@@ -156,84 +168,6 @@ func (e *Executor) rewiredInvocation(g *Graph, node *Node) skills.Invocation {
 		inv.Inputs = inputs
 	}
 	return inv
-}
-
-// tryConsolidated attempts to execute the maximal single-input relational
-// chain ending at id as one SQL task. It reports ok=false when id is not
-// relational or the chain is trivial to the point that direct execution is
-// equivalent (a single non-mergeable node still consolidates fine — one
-// node, one block).
-func (e *Executor) tryConsolidated(
-	g *Graph,
-	id NodeID,
-	consumers map[NodeID][]NodeID,
-	compute func(NodeID) (*skills.Result, error),
-	materialize func(NodeID, *skills.Result),
-) (*skills.Result, bool, error) {
-	// Collect the chain bottom-up: id, its relational parent, and so on,
-	// as long as each link is single-input relational and feeds only the
-	// next chain node.
-	var chain []NodeID
-	cur := id
-	for {
-		node := g.nodes[cur]
-		def, err := e.Registry.Lookup(node.Inv.Skill)
-		if err != nil {
-			return nil, false, err
-		}
-		if def.MergeSQL == nil || len(node.Parents) != 1 {
-			break
-		}
-		chain = append(chain, cur)
-		parent := node.Parents[0]
-		if parent < 0 {
-			break
-		}
-		if len(consumers[parent]) != 1 {
-			break // shared sub-DAG: materialize the parent for everyone
-		}
-		cur = parent
-	}
-	if len(chain) == 0 {
-		return nil, false, nil
-	}
-	// Reverse into execution order.
-	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-		chain[i], chain[j] = chain[j], chain[i]
-	}
-	head := g.nodes[chain[0]]
-	baseName := head.Inv.Inputs[0]
-	if head.Parents[0] >= 0 {
-		if _, err := compute(head.Parents[0]); err != nil {
-			return nil, false, err
-		}
-		baseName = g.nodes[head.Parents[0]].OutputName()
-	} else if _, err := e.Ctx.Dataset(baseName); err != nil {
-		return nil, false, fmt.Errorf("dag: node %d: %w", head.ID, err)
-	}
-
-	builder := skills.NewQueryBuilder(baseName)
-	for _, nid := range chain {
-		node := g.nodes[nid]
-		def, err := e.Registry.Lookup(node.Inv.Skill)
-		if err != nil {
-			return nil, false, err
-		}
-		if err := def.MergeSQL(builder, node.Inv); err != nil {
-			return nil, false, fmt.Errorf("dag: consolidating node %d (%s): %w", nid, node.Inv.Skill, err)
-		}
-	}
-	table, err := sqlengine.ExecStmt(e.Ctx, builder.Stmt())
-	if err != nil {
-		return nil, false, fmt.Errorf("dag: consolidated task %q: %w", builder.SQL(), err)
-	}
-	res := &skills.Result{Table: table, Message: "via " + builder.SQL()}
-	e.stats.TasksRun++
-	e.stats.SQLTasks++
-	e.stats.NodesConsolidated += len(chain)
-	e.stats.QueryBlocks += builder.Blocks()
-	materialize(id, res)
-	return res, true, nil
 }
 
 // CompileSQL returns the consolidated SQL for the relational chain ending
@@ -270,7 +204,10 @@ func (e *Executor) CompileSQL(g *Graph, target NodeID) (string, error) {
 	builder := skills.NewQueryBuilder(baseName)
 	for _, nid := range chain {
 		node := g.nodes[nid]
-		def, _ := e.Registry.Lookup(node.Inv.Skill)
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return "", err
+		}
 		if err := def.MergeSQL(builder, node.Inv); err != nil {
 			return "", err
 		}

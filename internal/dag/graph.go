@@ -39,11 +39,19 @@ func (n *Node) OutputName() string {
 }
 
 // Graph is a DAG of skill requests. Building it performs no computation.
+// A Graph is not safe for concurrent use; the executor computes every
+// signature during its serial planning phase, before workers start.
 type Graph struct {
 	nodes    map[NodeID]*Node
 	order    []NodeID
 	next     NodeID
 	byOutput map[string]NodeID
+
+	// sigMemo and extMemo cache per-node signatures and external-input sets.
+	// Without memoization Signature recomputes parent hashes recursively,
+	// which is exponential on diamond-shaped DAGs. Both reset on Add.
+	sigMemo map[NodeID]string
+	extMemo map[NodeID][]string
 }
 
 // NewGraph returns an empty graph.
@@ -68,6 +76,11 @@ func (g *Graph) Add(inv skills.Invocation) NodeID {
 	g.nodes[id] = node
 	g.order = append(g.order, id)
 	g.byOutput[node.OutputName()] = id
+	// A new node can change which inputs resolve to parents for later
+	// additions but never rewires existing nodes; dropping the memos wholesale
+	// is still cheap because they rebuild in one topological pass.
+	g.sigMemo = nil
+	g.extMemo = nil
 	return id
 }
 
@@ -146,8 +159,13 @@ func (g *Graph) consumers(needed []NodeID) map[NodeID][]NodeID {
 
 // Signature returns a content hash identifying the computation a node
 // performs, including its whole ancestry — the cache key for shared
-// sub-DAG reuse (§2.2).
+// sub-DAG reuse (§2.2). Signatures are memoized per graph, so a DAG with
+// shared sub-structure (diamonds) hashes each node once instead of once
+// per path.
 func (g *Graph) Signature(id NodeID) (string, error) {
+	if sig, ok := g.sigMemo[id]; ok {
+		return sig, nil
+	}
 	node, err := g.Node(id)
 	if err != nil {
 		return "", err
@@ -182,11 +200,59 @@ func (g *Graph) Signature(id NodeID) (string, error) {
 		}
 		fmt.Fprintf(h, "parent:%s\n", sig)
 	}
-	return hex.EncodeToString(h.Sum(nil)), nil
+	sig := hex.EncodeToString(h.Sum(nil))
+	if g.sigMemo == nil {
+		g.sigMemo = map[NodeID]string{}
+	}
+	g.sigMemo[id] = sig
+	return sig, nil
+}
+
+// ExternalInputs returns the sorted, de-duplicated names of the external
+// session datasets the sub-DAG rooted at id reads. The executor folds their
+// content fingerprints into cache keys, so a reloaded dataset under the same
+// name cannot serve stale cached results. Memoized like Signature.
+func (g *Graph) ExternalInputs(id NodeID) ([]string, error) {
+	if exts, ok := g.extMemo[id]; ok {
+		return exts, nil
+	}
+	node, err := g.Node(id)
+	if err != nil {
+		return nil, err
+	}
+	set := map[string]bool{}
+	for i, in := range node.Inv.Inputs {
+		parent := NodeID(-1)
+		if i < len(node.Parents) {
+			parent = node.Parents[i]
+		}
+		if parent < 0 {
+			set[in] = true
+			continue
+		}
+		parentExts, err := g.ExternalInputs(parent)
+		if err != nil {
+			return nil, err
+		}
+		for _, name := range parentExts {
+			set[name] = true
+		}
+	}
+	exts := make([]string, 0, len(set))
+	for name := range set {
+		exts = append(exts, name)
+	}
+	sort.Strings(exts)
+	if g.extMemo == nil {
+		g.extMemo = map[NodeID][]string{}
+	}
+	g.extMemo[id] = exts
+	return exts, nil
 }
 
 // Clone returns a deep-enough copy of the graph (nodes are copied; Args
-// maps are shared, as invocations are immutable by convention).
+// maps are shared, as invocations are immutable by convention). Memoized
+// signatures are not carried over; the clone rebuilds its own.
 func (g *Graph) Clone() *Graph {
 	out := NewGraph()
 	out.next = g.next

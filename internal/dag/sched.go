@@ -1,0 +1,435 @@
+package dag
+
+import (
+	"fmt"
+	"runtime"
+	"strings"
+	"sync"
+
+	"datachat/internal/skills"
+	"datachat/internal/sqlengine"
+)
+
+// ExecOptions tunes how Run schedules work.
+type ExecOptions struct {
+	// Parallelism bounds the worker pool that executes independent DAG
+	// branches. Values <= 0 mean runtime.GOMAXPROCS(0); 1 reproduces strict
+	// serial execution (identical results and stats, by the §2.2 equivalence
+	// property).
+	Parallelism int
+}
+
+// task is one schedulable unit of a Run: either a consolidated relational
+// chain executed as a single SQL statement (Figure 4), or one direct skill
+// application, or the republication of a plan-time cache hit.
+type task struct {
+	idx   int
+	nodes []NodeID // topological order; the last entry produces the output
+	tail  NodeID
+	sql   bool
+
+	key         string // sub-DAG cache key; "" when not cacheable
+	cacheable   bool
+	invalidates bool
+	pinned      *skills.Result // plan-time cache hit: republish only
+
+	deps       []int
+	dependents []int
+
+	waiting int
+	result  *skills.Result
+}
+
+// plan is the compiled form of one Run: tasks wired by dependency edges.
+// Planning runs serially — all signatures, fingerprints, and cache probes
+// happen before any worker starts, so Graph and key computation need no
+// locking.
+type plan struct {
+	tasks  []*task
+	byNode map[NodeID]*task
+}
+
+// plan compiles the sub-DAG ending at target into tasks. Consolidation
+// chains become single SQL tasks; everything else executes directly. Nodes
+// whose cache key is already stored become republish-only tasks and their
+// ancestors are pruned from the plan entirely, matching the recursive
+// executor's short-circuit on a cache hit.
+func (e *Executor) plan(g *Graph, target NodeID) (*plan, error) {
+	needed, err := g.Ancestors(target)
+	if err != nil {
+		return nil, err
+	}
+	consumers := g.consumers(needed)
+
+	// Taint pass: volatile skills depend on state the DAG signature cannot
+	// see (cloud tables, snapshots, trained models) or mutate session state
+	// when applied, so neither they nor their descendants may be served from
+	// the cache — stale for the former, skipped side effects for the latter.
+	tainted := map[NodeID]bool{}
+	for _, id := range needed {
+		node := g.nodes[id]
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return nil, fmt.Errorf("dag: node %d: %w", id, err)
+		}
+		taint := def.Volatile
+		for _, p := range node.Parents {
+			if p >= 0 && tainted[p] {
+				taint = true
+			}
+		}
+		tainted[id] = taint
+	}
+
+	// keyOf composes the cache key: the structural signature plus a content
+	// fingerprint of every external input, so a reloaded or refreshed
+	// dataset under the same name can never serve a stale cached result.
+	type keyInfo struct {
+		key string
+		ok  bool
+	}
+	keys := map[NodeID]keyInfo{}
+	keyOf := func(id NodeID) (string, bool, error) {
+		if !e.UseCache || tainted[id] {
+			return "", false, nil
+		}
+		if ki, ok := keys[id]; ok {
+			return ki.key, ki.ok, nil
+		}
+		sig, err := g.Signature(id)
+		if err != nil {
+			return "", false, err
+		}
+		exts, err := g.ExternalInputs(id)
+		if err != nil {
+			return "", false, err
+		}
+		var b strings.Builder
+		b.WriteString(sig)
+		ok := true
+		for _, name := range exts {
+			fp, err := e.Ctx.Fingerprint(name)
+			if err != nil {
+				// Missing input: execution will report the real error; the
+				// task simply cannot be cached.
+				ok = false
+				break
+			}
+			fmt.Fprintf(&b, "|%s=%016x", name, fp)
+		}
+		ki := keyInfo{ok: ok}
+		if ok {
+			ki.key = b.String()
+		}
+		keys[id] = ki
+		return ki.key, ki.ok, nil
+	}
+
+	p := &plan{byNode: map[NodeID]*task{}}
+	var build func(id NodeID) (*task, error)
+	build = func(id NodeID) (*task, error) {
+		if t, ok := p.byNode[id]; ok {
+			return t, nil
+		}
+		t := &task{idx: len(p.tasks), tail: id}
+		p.tasks = append(p.tasks, t)
+		key, cacheable, err := keyOf(id)
+		if err != nil {
+			return nil, err
+		}
+		t.key, t.cacheable = key, cacheable
+		if t.cacheable {
+			if res, ok := e.cache.Get(key); ok {
+				// Plan-time hit: the whole sub-DAG below is pruned and the
+				// task only republishes the cached result.
+				t.pinned = res
+				t.nodes = []NodeID{id}
+				p.byNode[id] = t
+				e.counters.cacheHits.Add(1)
+				return t, nil
+			}
+		}
+		if e.Consolidate {
+			chain, err := e.chainEnding(g, id, consumers, keyOf)
+			if err != nil {
+				return nil, err
+			}
+			if len(chain) > 0 {
+				t.sql = true
+				t.nodes = chain
+			}
+		}
+		if len(t.nodes) == 0 {
+			t.nodes = []NodeID{id}
+		}
+		for _, n := range t.nodes {
+			p.byNode[n] = t
+		}
+		depSeen := map[int]bool{}
+		for _, n := range t.nodes {
+			node := g.nodes[n]
+			def, err := e.Registry.Lookup(node.Inv.Skill)
+			if err != nil {
+				return nil, fmt.Errorf("dag: node %d: %w", n, err)
+			}
+			if def.Invalidates {
+				t.invalidates = true
+			}
+			for _, par := range node.Parents {
+				if par < 0 || p.byNode[par] == t {
+					continue
+				}
+				dep, err := build(par)
+				if err != nil {
+					return nil, err
+				}
+				if !depSeen[dep.idx] {
+					depSeen[dep.idx] = true
+					t.deps = append(t.deps, dep.idx)
+					dep.dependents = append(dep.dependents, t.idx)
+				}
+			}
+		}
+		return t, nil
+	}
+	if _, err := build(target); err != nil {
+		return nil, err
+	}
+	return p, nil
+}
+
+// chainEnding collects the maximal single-input relational chain ending at
+// id, in execution order (empty when id itself is not consolidatable). The
+// walk replicates the §2.2 consolidation conditions — mergeable skill,
+// single input, sole consumer — and additionally stops at a parent whose
+// result is already cached, so the chain executes on top of the cached
+// prefix instead of recomputing it (see the cache policy note on Run).
+func (e *Executor) chainEnding(g *Graph, id NodeID, consumers map[NodeID][]NodeID, keyOf func(NodeID) (string, bool, error)) ([]NodeID, error) {
+	var chain []NodeID
+	cur := id
+	for {
+		node := g.nodes[cur]
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return nil, fmt.Errorf("dag: node %d: %w", cur, err)
+		}
+		if def.MergeSQL == nil || len(node.Parents) != 1 {
+			break
+		}
+		chain = append(chain, cur)
+		parent := node.Parents[0]
+		if parent < 0 {
+			break
+		}
+		if len(consumers[parent]) != 1 {
+			break // shared sub-DAG: materialize the parent for everyone
+		}
+		if key, cacheable, err := keyOf(parent); err != nil {
+			return nil, err
+		} else if cacheable && e.cache.Peek(key) {
+			break // cached prefix: reuse it as the base instead of refolding
+		}
+		cur = parent
+	}
+	// Reverse into execution order.
+	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
+		chain[i], chain[j] = chain[j], chain[i]
+	}
+	return chain, nil
+}
+
+// runPlan executes a compiled plan on a bounded worker pool. Workers pull
+// ready tasks (all dependencies satisfied), execute them, publish their
+// outputs, and release dependents. The first error stops scheduling; tasks
+// already in flight finish before runPlan returns.
+func (e *Executor) runPlan(g *Graph, p *plan, workers int) error {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(p.tasks) {
+		workers = len(p.tasks)
+	}
+
+	var (
+		mu       sync.Mutex
+		cond     = sync.NewCond(&mu)
+		ready    []*task
+		done     int
+		active   int
+		firstErr error
+	)
+	for _, t := range p.tasks {
+		t.waiting = len(t.deps)
+		if t.waiting == 0 {
+			ready = append(ready, t)
+		}
+	}
+
+	worker := func() {
+		mu.Lock()
+		for {
+			if firstErr != nil || done == len(p.tasks) {
+				mu.Unlock()
+				return
+			}
+			if len(ready) == 0 {
+				if active == 0 {
+					// Cannot happen for a well-formed plan (it is a DAG);
+					// guard so a planner bug stalls loudly, not silently.
+					firstErr = fmt.Errorf("dag: internal: scheduler stalled with %d/%d tasks done", done, len(p.tasks))
+					cond.Broadcast()
+					mu.Unlock()
+					return
+				}
+				cond.Wait()
+				continue
+			}
+			t := ready[len(ready)-1]
+			ready = ready[:len(ready)-1]
+			active++
+			mu.Unlock()
+
+			res, err := e.executeTask(g, t)
+
+			mu.Lock()
+			active--
+			done++
+			if err != nil {
+				if firstErr == nil {
+					firstErr = err
+				}
+			} else {
+				t.result = res
+				for _, di := range t.dependents {
+					dep := p.tasks[di]
+					dep.waiting--
+					if dep.waiting == 0 {
+						ready = append(ready, dep)
+					}
+				}
+			}
+			cond.Broadcast()
+		}
+	}
+
+	if workers <= 1 {
+		worker()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers)
+		for i := 0; i < workers; i++ {
+			go func() {
+				defer wg.Done()
+				worker()
+			}()
+		}
+		wg.Wait()
+	}
+	return firstErr
+}
+
+// executeTask runs one task: republish a pinned plan-time cache hit, or
+// execute — through the cache for cacheable tasks, sharing identical
+// in-flight computations across sessions — and publish the tail output into
+// the session context.
+func (e *Executor) executeTask(g *Graph, t *task) (*skills.Result, error) {
+	var res *skills.Result
+	switch {
+	case t.pinned != nil:
+		res = t.pinned
+	case t.cacheable:
+		r, hit, err := e.cache.Do(t.key, func() (*skills.Result, error) {
+			return e.execTaskBody(g, t)
+		})
+		if err != nil {
+			return nil, err
+		}
+		if hit {
+			e.counters.cacheHits.Add(1)
+		} else {
+			e.counters.cacheMisses.Add(1)
+		}
+		res = r
+	default:
+		r, err := e.execTaskBody(g, t)
+		if err != nil {
+			return nil, err
+		}
+		res = r
+	}
+	e.materialize(g, t.tail, res)
+	if t.invalidates {
+		// Snapshot creation/refresh changes source data out from under every
+		// cached signature; bump the generation so nothing stale survives.
+		e.cache.Invalidate()
+	}
+	return res, nil
+}
+
+func (e *Executor) execTaskBody(g *Graph, t *task) (*skills.Result, error) {
+	if t.sql {
+		return e.execChain(g, t.nodes)
+	}
+	return e.execDirect(g, t.nodes[0])
+}
+
+// materialize publishes a node result into the session datasets under its
+// output name, so sibling branches and later requests can reference it.
+func (e *Executor) materialize(g *Graph, id NodeID, res *skills.Result) {
+	if res == nil || res.Table == nil {
+		return
+	}
+	name := g.nodes[id].OutputName()
+	e.Ctx.PutDataset(name, res.Table.WithName(name))
+}
+
+// execDirect applies one skill node directly.
+func (e *Executor) execDirect(g *Graph, id NodeID) (*skills.Result, error) {
+	node := g.nodes[id]
+	for i, p := range node.Parents {
+		if p < 0 {
+			if _, err := e.Ctx.Dataset(node.Inv.Inputs[i]); err != nil {
+				return nil, fmt.Errorf("dag: node %d: %w", id, err)
+			}
+		}
+	}
+	inv := e.rewiredInvocation(g, node)
+	res, err := e.Registry.Execute(e.Ctx, inv)
+	if err != nil {
+		return nil, fmt.Errorf("dag: node %d (%s): %w", id, node.Inv.Skill, err)
+	}
+	e.counters.tasksRun.Add(1)
+	e.counters.directTasks.Add(1)
+	return res, nil
+}
+
+// execChain runs a consolidated relational chain as one flattened SQL task.
+func (e *Executor) execChain(g *Graph, chain []NodeID) (*skills.Result, error) {
+	head := g.nodes[chain[0]]
+	baseName := head.Inv.Inputs[0]
+	if head.Parents[0] >= 0 {
+		baseName = g.nodes[head.Parents[0]].OutputName()
+	} else if _, err := e.Ctx.Dataset(baseName); err != nil {
+		return nil, fmt.Errorf("dag: node %d: %w", head.ID, err)
+	}
+	builder := skills.NewQueryBuilder(baseName)
+	for _, nid := range chain {
+		node := g.nodes[nid]
+		def, err := e.Registry.Lookup(node.Inv.Skill)
+		if err != nil {
+			return nil, fmt.Errorf("dag: node %d: %w", nid, err)
+		}
+		if err := def.MergeSQL(builder, node.Inv); err != nil {
+			return nil, fmt.Errorf("dag: consolidating node %d (%s): %w", nid, node.Inv.Skill, err)
+		}
+	}
+	table, err := sqlengine.ExecStmt(e.Ctx, builder.Stmt())
+	if err != nil {
+		return nil, fmt.Errorf("dag: consolidated task %q: %w", builder.SQL(), err)
+	}
+	e.counters.tasksRun.Add(1)
+	e.counters.sqlTasks.Add(1)
+	e.counters.nodesConsolidated.Add(int64(len(chain)))
+	e.counters.queryBlocks.Add(int64(builder.Blocks()))
+	return &skills.Result{Table: table, Message: "via " + builder.SQL()}, nil
+}

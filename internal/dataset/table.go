@@ -2,6 +2,7 @@ package dataset
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 )
@@ -315,6 +316,64 @@ func rowKey(row []Value) string {
 		b.WriteByte('\x00')
 	}
 	return b.String()
+}
+
+// Fingerprint returns a content hash of the table: schema (column names and
+// types, in order) plus every cell value and its null bit. The table name is
+// excluded, so renamed shallow copies fingerprint identically. The DAG
+// executor folds fingerprints of external inputs into sub-DAG cache keys, so
+// a reloaded or refreshed dataset under the same name never serves stale
+// cached results. O(cells); callers that look tables up repeatedly should
+// memoize (skills.Context does, keyed by table identity).
+func (t *Table) Fingerprint() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	mix := func(u uint64) {
+		for shift := 0; shift < 64; shift += 8 {
+			h ^= (u >> shift) & 0xff
+			h *= prime64
+		}
+	}
+	mixStr := func(s string) {
+		for i := 0; i < len(s); i++ {
+			h ^= uint64(s[i])
+			h *= prime64
+		}
+		h ^= 0xff // terminator so "ab","c" != "a","bc"
+		h *= prime64
+	}
+	mix(uint64(t.NumRows()))
+	for _, c := range t.cols {
+		mixStr(c.Name())
+		mix(uint64(c.typ))
+		for r := 0; r < c.n; r++ {
+			if c.IsNull(r) {
+				mix(1)
+				continue
+			}
+			mix(0)
+			switch c.typ {
+			case TypeInt:
+				mix(uint64(c.ints[r]))
+			case TypeFloat:
+				mix(math.Float64bits(c.fls[r]))
+			case TypeString:
+				mixStr(c.strs[r])
+			case TypeBool:
+				if c.bools[r] {
+					mix(1)
+				} else {
+					mix(0)
+				}
+			case TypeTime:
+				mix(uint64(c.times[r]))
+			}
+		}
+	}
+	return h
 }
 
 // Equal reports whether two tables have identical schemas and cell values.

@@ -160,13 +160,15 @@ func TestReplayWithRefreshSeesNewData(t *testing.T) {
 		dataset.IntColumn("age", []int64{30, 40}, nil),
 		dataset.StringColumn("dept", []string{"z", "z"}, nil),
 	)
-	// Without invalidation the cache returns the stale result.
-	stale, err := rec.Replay(ex, false)
+	// Cache keys include dataset content fingerprints, so even a replay
+	// without explicit invalidation sees the new data — the old behaviour
+	// (serving the stale cached result for the same dataset name) was a bug.
+	second, err := rec.Replay(ex, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !first.Table.Equal(stale.Table) {
-		t.Error("cached replay should be stale by design")
+	if first.Table.Equal(second.Table) {
+		t.Error("replay after a data change should not serve the stale cached result")
 	}
 	fresh, err := rec.Replay(ex, true)
 	if err != nil {

@@ -4,6 +4,11 @@
 // access levels, and save artifacts by slicing the session DAG down to the
 // steps that produced them. It also provides the Home Screen folder tree
 // and Insights Boards.
+//
+// The §2.4 lock serializes requests *within* one session; distinct sessions
+// on a shared platform execute truly in parallel — each request's DAG
+// branches run on the executor's worker pool, and the platform-wide sub-DAG
+// cache deduplicates identical computations across sessions.
 package session
 
 import (

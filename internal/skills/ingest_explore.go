@@ -19,13 +19,14 @@ func ingestionSkills() []*Definition {
 				{"source", "string", true, "file name or URL to load"},
 				{"name", "string", false, "dataset name (defaults to the file stem)"},
 			},
-			GEL: "Load data from the URL {source}",
+			GEL:      "Load data from the URL {source}",
+			Volatile: true, // re-registered files must be re-read
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				source, err := inv.Args.String("source")
 				if err != nil {
 					return nil, err
 				}
-				content, ok := ctx.Files[source]
+				content, ok := ctx.File(source)
 				if !ok {
 					return nil, fmt.Errorf("skills: no file or URL %q is registered with the session", source)
 				}
@@ -45,7 +46,8 @@ func ingestionSkills() []*Definition {
 				{"database", "string", true, "connected database name"},
 				{"table", "string", true, "table to load"},
 			},
-			GEL: "Load the table {table} from the database {database}",
+			GEL:      "Load the table {table} from the database {database}",
+			Volatile: true, // cloud tables change outside the DAG
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				dbName, err := inv.Args.String("database")
 				if err != nil {
@@ -74,7 +76,8 @@ func ingestionSkills() []*Definition {
 				{"dataset", "string", true, "dataset name"},
 				{"version", "number", false, "dataset version (informational)"},
 			},
-			GEL: "Use the dataset {dataset}",
+			GEL:      "Use the dataset {dataset}",
+			Volatile: true, // resolves whatever the session currently holds
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				name, err := inv.Args.String("dataset")
 				if err != nil {
@@ -118,7 +121,8 @@ func costControlSkills() []*Definition {
 				{"table", "string", true, "table to sample"},
 				{"rate", "number", true, "sample rate in (0, 1], e.g. 0.1 for 10%"},
 			},
-			GEL: "Sample {rate} of the table {table} from the database {database}",
+			GEL:      "Sample {rate} of the table {table} from the database {database}",
+			Volatile: true, // cloud tables change outside the DAG
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				dbName, err := inv.Args.String("database")
 				if err != nil {
@@ -153,7 +157,9 @@ func costControlSkills() []*Definition {
 				{"table", "string", true, "source table"},
 				{"rate", "number", false, "sample rate (defaults to a full copy)"},
 			},
-			GEL: "Create a snapshot {name} of the table {table} from the database {database}",
+			GEL:         "Create a snapshot {name} of the table {table} from the database {database}",
+			Volatile:    true,
+			Invalidates: true, // writes the shared snapshot store
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				if ctx.Snapshots == nil {
 					return nil, fmt.Errorf("skills: no snapshot store is configured")
@@ -189,7 +195,8 @@ func costControlSkills() []*Definition {
 			Params: []ParamSpec{
 				{"name", "string", true, "snapshot name"},
 			},
-			GEL: "Use the snapshot {name}",
+			GEL:      "Use the snapshot {name}",
+			Volatile: true, // snapshot contents change on refresh
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				if ctx.Snapshots == nil {
 					return nil, fmt.Errorf("skills: no snapshot store is configured")
@@ -213,7 +220,9 @@ func costControlSkills() []*Definition {
 				{"name", "string", true, "snapshot name"},
 				{"database", "string", true, "source database"},
 			},
-			GEL: "Refresh the snapshot {name}",
+			GEL:         "Refresh the snapshot {name}",
+			Volatile:    true,
+			Invalidates: true, // re-pulls shared source data
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				if ctx.Snapshots == nil {
 					return nil, fmt.Errorf("skills: no snapshot store is configured")
@@ -319,18 +328,18 @@ func explorationSkills() []*Definition {
 			Summary:  "List the session's datasets with shapes and columns",
 			Params:   nil,
 			GEL:      "List the datasets",
+			Volatile: true, // reflects live session state
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
-				names := make([]string, 0, len(ctx.Datasets))
-				for name := range ctx.Datasets {
-					names = append(names, name)
-				}
-				sort.Strings(names)
+				names := ctx.DatasetNames()
 				nameCol := dataset.NewColumn("DatasetName", dataset.TypeString)
 				rowsCol := dataset.NewColumn("NumRows", dataset.TypeInt)
 				colsCol := dataset.NewColumn("NumColumns", dataset.TypeInt)
 				columnsCol := dataset.NewColumn("Columns", dataset.TypeString)
 				for _, name := range names {
-					t := ctx.Datasets[name]
+					t, err := ctx.Dataset(name)
+					if err != nil {
+						continue
+					}
 					nameCol.Append(dataset.Str(name))
 					rowsCol.Append(dataset.Int(int64(t.NumRows())))
 					colsCol.Append(dataset.Int(int64(t.NumCols())))

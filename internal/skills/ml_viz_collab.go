@@ -151,7 +151,8 @@ func mlSkills() []*Definition {
 				{"name", "string", false, "name to store the model under"},
 				{"test_fraction", "number", false, "held-out fraction for evaluation (default 0.25)"},
 			},
-			GEL: "Train a model to predict {target}",
+			GEL:      "Train a model to predict {target}",
+			Volatile: true, // registers the model in session state
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				t, err := singleInput(ctx, inv)
 				if err != nil {
@@ -197,7 +198,7 @@ func mlSkills() []*Definition {
 					return nil, err
 				}
 				modelName := inv.Args.StringOr("name", "Predict_"+target)
-				ctx.Models[modelName] = model
+				ctx.PutModel(modelName, model)
 				metrics := evalMetrics(model, test)
 				msg := fmt.Sprintf("Trained %s model %q on %d rows (%d held out). %s",
 					model.Kind(), modelName, len(train.Rows), len(test.Rows), model.Explain())
@@ -213,7 +214,8 @@ func mlSkills() []*Definition {
 				{"features", "columns", true, "feature columns, in training order"},
 				{"name", "string", false, "prediction column name (default prediction)"},
 			},
-			GEL: "Predict with the model {model}",
+			GEL:      "Predict with the model {model}",
+			Volatile: true, // depends on the session's trained-model state
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				t, err := singleInput(ctx, inv)
 				if err != nil {
@@ -223,7 +225,7 @@ func mlSkills() []*Definition {
 				if err != nil {
 					return nil, err
 				}
-				model, ok := ctx.Models[modelName]
+				model, ok := ctx.Model(modelName)
 				if !ok {
 					return nil, fmt.Errorf("skills: no trained model named %q", modelName)
 				}
@@ -396,7 +398,8 @@ func mlSkills() []*Definition {
 				{"target", "column", true, "ground-truth column"},
 				{"features", "columns", true, "feature columns, in training order"},
 			},
-			GEL: "Evaluate the model {model} against {target}",
+			GEL:      "Evaluate the model {model} against {target}",
+			Volatile: true, // depends on the session's trained-model state
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				t, err := singleInput(ctx, inv)
 				if err != nil {
@@ -406,7 +409,7 @@ func mlSkills() []*Definition {
 				if err != nil {
 					return nil, err
 				}
-				model, ok := ctx.Models[modelName]
+				model, ok := ctx.Model(modelName)
 				if !ok {
 					return nil, fmt.Errorf("skills: no trained model named %q", modelName)
 				}
@@ -432,13 +435,14 @@ func mlSkills() []*Definition {
 			Params: []ParamSpec{
 				{"model", "string", true, "trained model name"},
 			},
-			GEL: "Explain the model {model}",
+			GEL:      "Explain the model {model}",
+			Volatile: true, // depends on the session's trained-model state
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				modelName, err := inv.Args.String("model")
 				if err != nil {
 					return nil, err
 				}
-				model, ok := ctx.Models[modelName]
+				model, ok := ctx.Model(modelName)
 				if !ok {
 					return nil, fmt.Errorf("skills: no trained model named %q", modelName)
 				}
@@ -603,7 +607,8 @@ func sqlSkills() []*Definition {
 			Params: []ParamSpec{
 				{"query", "string", true, "a SELECT statement; session datasets are tables"},
 			},
-			GEL: "Run the SQL query {query}",
+			GEL:      "Run the SQL query {query}",
+			Volatile: true, // the query references datasets the signature cannot see
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				query, err := inv.Args.String("query")
 				if err != nil {
@@ -629,7 +634,8 @@ func collaborationSkills() []*Definition {
 				{"name", "string", true, "artifact name"},
 				{"type", "string", false, "artifact type hint: table, chart, model"},
 			},
-			GEL: "Save this as {name}",
+			GEL:      "Save this as {name}",
+			Volatile: true, // the session layer persists the artifact as a side effect
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				// The session layer intercepts this skill to persist the
 				// artifact and its sliced recipe; the direct path simply
@@ -654,7 +660,8 @@ func collaborationSkills() []*Definition {
 				{"with", "string", false, "user to share with (omit for a secret link)"},
 				{"access", "string", false, "view (default) or edit"},
 			},
-			GEL: "Share the artifact {name} with {with}",
+			GEL:      "Share the artifact {name} with {with}",
+			Volatile: true, // side-effecting collaboration request
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				name, err := inv.Args.String("name")
 				if err != nil {
@@ -671,7 +678,8 @@ func collaborationSkills() []*Definition {
 				{"artifact", "string", true, "artifact name"},
 				{"board", "string", true, "insights board name"},
 			},
-			GEL: "Publish {artifact} to the insights board {board}",
+			GEL:      "Publish {artifact} to the insights board {board}",
+			Volatile: true, // side-effecting collaboration request
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				artifact, err := inv.Args.String("artifact")
 				if err != nil {
@@ -691,7 +699,8 @@ func collaborationSkills() []*Definition {
 			Params: []ParamSpec{
 				{"text", "string", true, "comment text"},
 			},
-			GEL: "Comment: {text}",
+			GEL:      "Comment: {text}",
+			Volatile: true, // comments attach to the live recipe step
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				text, err := inv.Args.String("text")
 				if err != nil {
@@ -707,7 +716,8 @@ func collaborationSkills() []*Definition {
 			Params: []ParamSpec{
 				{"file", "string", true, "output file name (stored in the session workspace)"},
 			},
-			GEL: "Export the data to {file}",
+			GEL:      "Export the data to {file}",
+			Volatile: true, // writes into the session workspace
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				t, err := singleInput(ctx, inv)
 				if err != nil {
@@ -721,7 +731,7 @@ func collaborationSkills() []*Definition {
 				if err := dataset.WriteCSV(t, &buf); err != nil {
 					return nil, err
 				}
-				ctx.Files[file] = buf.String()
+				ctx.PutFile(file, buf.String())
 				return &Result{Table: t, Message: fmt.Sprintf("Exported %d rows to %s", t.NumRows(), file)}, nil
 			},
 		},
@@ -733,7 +743,8 @@ func collaborationSkills() []*Definition {
 				{"phrase", "string", true, "phrase to define, e.g. 'successful purchases'"},
 				{"meaning", "string", true, "expression or description it expands to"},
 			},
-			GEL: "Define {phrase} as {meaning}",
+			GEL:      "Define {phrase} as {meaning}",
+			Volatile: true, // mutates the session's semantic layer
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				phrase, err := inv.Args.String("phrase")
 				if err != nil {
@@ -743,7 +754,7 @@ func collaborationSkills() []*Definition {
 				if err != nil {
 					return nil, err
 				}
-				ctx.Definitions[strings.ToLower(phrase)] = meaning
+				ctx.DefinePhrase(phrase, meaning)
 				return &Result{Message: fmt.Sprintf("Defined %q as %q", phrase, meaning)}, nil
 			},
 		},
@@ -755,7 +766,8 @@ func collaborationSkills() []*Definition {
 				{"with", "string", true, "user to invite"},
 				{"access", "string", false, "view (default) or edit"},
 			},
-			GEL: "Share this session with {with}",
+			GEL:      "Share this session with {with}",
+			Volatile: true, // side-effecting collaboration request
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				with, err := inv.Args.String("with")
 				if err != nil {

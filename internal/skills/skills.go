@@ -15,6 +15,7 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+	"sync"
 
 	"datachat/internal/cloud"
 	"datachat/internal/dataset"
@@ -203,6 +204,13 @@ type Result struct {
 // Context is the execution environment a skill runs in: the session's named
 // datasets, connected cloud databases, the snapshot store, trained models,
 // in-memory files, and a deterministic seed.
+//
+// Concurrency: the maps may be populated directly during single-threaded
+// setup (tests, examples, session seeding). Once a DAG execution is running,
+// all access goes through the locked accessors (Dataset, PutDataset, Model,
+// PutModel, File, PutFile, DefinePhrase, DatasetNames) so independent DAG
+// branches — and distinct sessions sharing tables — can execute in parallel
+// without data races.
 type Context struct {
 	// Datasets maps dataset names to tables (the session's working set).
 	Datasets map[string]*dataset.Table
@@ -219,6 +227,16 @@ type Context struct {
 	Definitions map[string]string
 	// Seed drives every randomized skill (sampling, train/test splits).
 	Seed int64
+
+	mu sync.RWMutex
+	// fps memoizes dataset content fingerprints by table identity, so the
+	// executor can fold them into cache keys without rehashing per run.
+	fps map[string]fpEntry
+}
+
+type fpEntry struct {
+	table *dataset.Table
+	fp    uint64
 }
 
 // NewContext returns an empty, usable context.
@@ -235,6 +253,12 @@ func NewContext() *Context {
 
 // Dataset returns a named session dataset.
 func (c *Context) Dataset(name string) (*dataset.Table, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.datasetLocked(name)
+}
+
+func (c *Context) datasetLocked(name string) (*dataset.Table, error) {
 	if t, ok := c.Datasets[name]; ok {
 		return t, nil
 	}
@@ -244,6 +268,95 @@ func (c *Context) Dataset(name string) (*dataset.Table, error) {
 		}
 	}
 	return nil, fmt.Errorf("skills: no dataset named %q in the session", name)
+}
+
+// PutDataset publishes (or replaces) a named dataset. It is safe to call
+// concurrently with readers; the DAG executor uses it to materialize node
+// outputs. Replacing a dataset drops its memoized fingerprint, so cache keys
+// derived from the name see the new content.
+func (c *Context) PutDataset(name string, t *dataset.Table) {
+	c.mu.Lock()
+	c.Datasets[name] = t
+	delete(c.fps, name)
+	c.mu.Unlock()
+}
+
+// DatasetNames returns the session's dataset names, sorted.
+func (c *Context) DatasetNames() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	names := make([]string, 0, len(c.Datasets))
+	for name := range c.Datasets {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Fingerprint returns the content fingerprint of a named dataset, memoized
+// by table identity (tables are immutable by convention, so a pointer match
+// means unchanged content).
+func (c *Context) Fingerprint(name string) (uint64, error) {
+	c.mu.RLock()
+	t, err := c.datasetLocked(name)
+	if err == nil {
+		if e, ok := c.fps[name]; ok && e.table == t {
+			c.mu.RUnlock()
+			return e.fp, nil
+		}
+	}
+	c.mu.RUnlock()
+	if err != nil {
+		return 0, err
+	}
+	fp := t.Fingerprint() // outside the lock: O(cells) on an immutable table
+	c.mu.Lock()
+	if c.fps == nil {
+		c.fps = map[string]fpEntry{}
+	}
+	if len(c.fps) > 1024 { // bound the memo; entries are tiny but tables churn
+		c.fps = map[string]fpEntry{}
+	}
+	c.fps[name] = fpEntry{table: t, fp: fp}
+	c.mu.Unlock()
+	return fp, nil
+}
+
+// Model returns a trained model by name.
+func (c *Context) Model(name string) (ml.Model, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	m, ok := c.Models[name]
+	return m, ok
+}
+
+// PutModel stores a trained model under a name.
+func (c *Context) PutModel(name string, m ml.Model) {
+	c.mu.Lock()
+	c.Models[name] = m
+	c.mu.Unlock()
+}
+
+// File returns an in-memory file's content.
+func (c *Context) File(name string) (string, bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s, ok := c.Files[name]
+	return s, ok
+}
+
+// PutFile stores an in-memory file.
+func (c *Context) PutFile(name, content string) {
+	c.mu.Lock()
+	c.Files[name] = content
+	c.mu.Unlock()
+}
+
+// DefinePhrase records a semantic-layer phrase definition.
+func (c *Context) DefinePhrase(phrase, meaning string) {
+	c.mu.Lock()
+	c.Definitions[strings.ToLower(phrase)] = meaning
+	c.mu.Unlock()
 }
 
 // Table implements sqlengine.Catalog over the session datasets.
@@ -270,6 +383,15 @@ type Definition struct {
 	PyName string
 	// Relational marks skills the DAG compiler can merge into SQL.
 	Relational bool
+	// Volatile marks skills whose results depend on state outside the DAG
+	// signature (cloud tables, the snapshot store, trained models, session
+	// files) or that mutate session state when applied. The executor never
+	// serves volatile nodes — or their descendants — from the sub-DAG cache.
+	Volatile bool
+	// Invalidates marks skills whose execution changes shared source data
+	// (snapshot create/refresh); running one bumps the sub-DAG cache
+	// generation so stale results cannot be served afterwards.
+	Invalidates bool
 	// Apply is the direct execution path.
 	Apply ApplyFunc
 	// MergeSQL merges the skill into a query under construction; nil for
