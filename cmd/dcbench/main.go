@@ -8,6 +8,7 @@
 //	dcbench -exp parallel    # §2.2: parallel DAG scheduling + cache dedup
 //	dcbench -exp slicing     # Figure 5: recipe slicing
 //	dcbench -exp ablations   # semantic layer / retrieval / checker ablations
+//	dcbench -exp vectorized  # columnar engine vs row reference (filter/join/group-by)
 //	dcbench -exp all         # everything (default)
 package main
 
@@ -20,10 +21,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
+	benchJSON := flag.String("bench-json", "", "write the vectorized grid as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -117,6 +119,23 @@ func main() {
 		}
 		fmt.Print(budget.Report())
 		fmt.Println()
+		return nil
+	})
+	run("vectorized", func() error {
+		sizes := []int{10_000, 100_000, 1_000_000}
+		r, err := experiments.Vectorized(sizes, 3)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		if *benchJSON != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+		}
 		return nil
 	})
 }

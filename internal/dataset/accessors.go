@@ -1,0 +1,68 @@
+package dataset
+
+// Typed slice accessors expose a column's backing storage without boxing
+// each cell into a Value. They are the substrate the vectorized SQL
+// executor's kernels run on, and they are available to any skill that wants
+// to scan a column in bulk (mirroring the long-standing Floats view).
+//
+// Each accessor returns the raw value slice, the null bitmap, and an ok
+// flag that is false when the column's logical type does not match. A nil
+// null bitmap means the column has no nulls. Both slices are the column's
+// own storage: callers must treat them as read-only, the same
+// immutable-by-convention contract Table documents.
+
+// Ints returns the backing int64 slice of an int column.
+func (c *Column) Ints() (vals []int64, nulls []bool, ok bool) {
+	if c.typ != TypeInt {
+		return nil, nil, false
+	}
+	return c.ints, c.nulls, true
+}
+
+// FloatVals returns the backing float64 slice of a float column. Unlike
+// Floats, which materializes a converted copy of any numeric column, this
+// is a zero-copy view and only succeeds for TypeFloat columns.
+func (c *Column) FloatVals() (vals []float64, nulls []bool, ok bool) {
+	if c.typ != TypeFloat {
+		return nil, nil, false
+	}
+	return c.fls, c.nulls, true
+}
+
+// Strs returns the backing string slice of a string column.
+func (c *Column) Strs() (vals []string, nulls []bool, ok bool) {
+	if c.typ != TypeString {
+		return nil, nil, false
+	}
+	return c.strs, c.nulls, true
+}
+
+// Bools returns the backing bool slice of a bool column.
+func (c *Column) Bools() (vals []bool, nulls []bool, ok bool) {
+	if c.typ != TypeBool {
+		return nil, nil, false
+	}
+	return c.bools, c.nulls, true
+}
+
+// Times returns the backing slice of a time column as unix nanoseconds,
+// the representation time columns store internally.
+func (c *Column) Times() (nanos []int64, nulls []bool, ok bool) {
+	if c.typ != TypeTime {
+		return nil, nil, false
+	}
+	return c.times, c.nulls, true
+}
+
+// Nulls returns the column's null bitmap (nil when the column has no
+// nulls). Read-only, like the typed accessors.
+func (c *Column) Nulls() []bool { return c.nulls }
+
+// TimeNanosColumn builds a time column directly from unix-nanosecond
+// values, the inverse of Times. It lets vectorized producers hand storage
+// to a column without a []time.Time round trip.
+func TimeNanosColumn(name string, nanos []int64, nulls []bool) *Column {
+	c := &Column{name: name, typ: TypeTime, times: nanos, n: len(nanos)}
+	c.setNulls(nulls)
+	return c
+}

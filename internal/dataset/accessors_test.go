@@ -1,0 +1,144 @@
+package dataset
+
+import (
+	"testing"
+	"time"
+)
+
+// The typed accessors back the vectorized executor, so their null-handling
+// contract gets its own edge-case suite: all-null, no-null, and mixed
+// columns for every type, plus type-mismatch rejections.
+
+func TestTypedAccessorsMixedNulls(t *testing.T) {
+	nulls := []bool{false, true, false}
+
+	ic := IntColumn("i", []int64{1, 0, 3}, nulls)
+	if vals, nb, ok := ic.Ints(); !ok || len(vals) != 3 || vals[2] != 3 || !nb[1] || nb[0] {
+		t.Errorf("Ints() = %v, %v, %v", vals, nb, ok)
+	}
+	fc := FloatColumn("f", []float64{1.5, 0, 2.5}, nulls)
+	if vals, nb, ok := fc.FloatVals(); !ok || vals[0] != 1.5 || !nb[1] {
+		t.Errorf("FloatVals() = %v, %v, %v", vals, nb, ok)
+	}
+	sc := StringColumn("s", []string{"a", "", "c"}, nulls)
+	if vals, nb, ok := sc.Strs(); !ok || vals[2] != "c" || !nb[1] {
+		t.Errorf("Strs() = %v, %v, %v", vals, nb, ok)
+	}
+	bc := BoolColumn("b", []bool{true, false, true}, nulls)
+	if vals, nb, ok := bc.Bools(); !ok || !vals[0] || !nb[1] {
+		t.Errorf("Bools() = %v, %v, %v", vals, nb, ok)
+	}
+	base := time.Date(2024, 1, 2, 3, 4, 5, 6, time.UTC)
+	tc := TimeColumn("ts", []time.Time{base, {}, base.Add(time.Hour)}, nulls)
+	if vals, nb, ok := tc.Times(); !ok || vals[0] != base.UnixNano() || !nb[1] {
+		t.Errorf("Times() = %v, %v, %v", vals, nb, ok)
+	}
+}
+
+func TestTypedAccessorsNoNulls(t *testing.T) {
+	c := IntColumn("i", []int64{4, 5}, nil)
+	vals, nulls, ok := c.Ints()
+	if !ok || nulls != nil || len(vals) != 2 {
+		t.Fatalf("Ints() = %v, %v, %v; want nil bitmap", vals, nulls, ok)
+	}
+	if c.Nulls() != nil {
+		t.Errorf("Nulls() = %v, want nil for a fully-valid column", c.Nulls())
+	}
+}
+
+func TestTypedAccessorsAllNull(t *testing.T) {
+	n := 4
+	nulls := []bool{true, true, true, true}
+	cols := []*Column{
+		IntColumn("i", make([]int64, n), nulls),
+		FloatColumn("f", make([]float64, n), nulls),
+		StringColumn("s", make([]string, n), nulls),
+		BoolColumn("b", make([]bool, n), nulls),
+		TimeNanosColumn("ts", make([]int64, n), nulls),
+	}
+	for _, c := range cols {
+		nb := c.Nulls()
+		if nb == nil {
+			t.Fatalf("%s: all-null column lost its bitmap", c.Name())
+		}
+		for i := 0; i < n; i++ {
+			if !c.IsNull(i) {
+				t.Errorf("%s[%d]: want null", c.Name(), i)
+			}
+			if !c.Value(i).IsNull() {
+				t.Errorf("%s[%d]: boxed value should be null", c.Name(), i)
+			}
+		}
+	}
+}
+
+func TestTypedAccessorsTypeMismatch(t *testing.T) {
+	c := IntColumn("i", []int64{1}, nil)
+	if _, _, ok := c.FloatVals(); ok {
+		t.Error("FloatVals on int column should fail")
+	}
+	if _, _, ok := c.Strs(); ok {
+		t.Error("Strs on int column should fail")
+	}
+	if _, _, ok := c.Bools(); ok {
+		t.Error("Bools on int column should fail")
+	}
+	if _, _, ok := c.Times(); ok {
+		t.Error("Times on int column should fail")
+	}
+	s := StringColumn("s", []string{"x"}, nil)
+	if _, _, ok := s.Ints(); ok {
+		t.Error("Ints on string column should fail")
+	}
+}
+
+func TestTimeNanosColumnRoundTrip(t *testing.T) {
+	base := time.Date(2023, 7, 9, 10, 11, 12, 0, time.UTC)
+	src := TimeColumn("ts", []time.Time{base, base.Add(time.Minute)}, []bool{false, true})
+	nanos, nulls, ok := src.Times()
+	if !ok {
+		t.Fatal("Times() failed")
+	}
+	rebuilt := TimeNanosColumn("ts", nanos, nulls)
+	if rebuilt.Len() != src.Len() || rebuilt.Type() != TypeTime {
+		t.Fatalf("rebuilt column shape: %d/%v", rebuilt.Len(), rebuilt.Type())
+	}
+	for i := 0; i < src.Len(); i++ {
+		if !Equal(src.Value(i), rebuilt.Value(i)) {
+			t.Errorf("row %d: %v != %v", i, src.Value(i), rebuilt.Value(i))
+		}
+	}
+}
+
+// TestTakeNullEdges pins Take's typed gather on null-heavy inputs and the
+// negative-index null extension that the left-outer join relies on.
+func TestTakeNullEdges(t *testing.T) {
+	c := IntColumn("i", []int64{10, 20, 30}, []bool{false, true, false})
+	got := c.Take([]int{2, -1, 1, 0, -1})
+	wantNull := []bool{false, true, true, false, true}
+	wantVal := []int64{30, 0, 0, 10, 0}
+	if got.Len() != 5 {
+		t.Fatalf("len = %d", got.Len())
+	}
+	for i := 0; i < got.Len(); i++ {
+		if got.IsNull(i) != wantNull[i] {
+			t.Errorf("null[%d] = %v, want %v", i, got.IsNull(i), wantNull[i])
+		}
+		if !wantNull[i] && got.Value(i).I != wantVal[i] {
+			t.Errorf("val[%d] = %v, want %d", i, got.Value(i), wantVal[i])
+		}
+	}
+
+	allNull := StringColumn("s", make([]string, 3), []bool{true, true, true})
+	taken := allNull.Take([]int{0, 1, 2, -1})
+	for i := 0; i < taken.Len(); i++ {
+		if !taken.IsNull(i) {
+			t.Errorf("all-null take row %d: want null", i)
+		}
+	}
+
+	noNull := FloatColumn("f", []float64{1, 2}, nil)
+	if out := noNull.Take([]int{1, 0}); out.Nulls() != nil {
+		t.Errorf("no-null take grew a bitmap: %v", out.Nulls())
+	}
+}

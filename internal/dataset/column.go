@@ -185,44 +185,64 @@ func (c *Column) Rename(name string) *Column {
 }
 
 // Take returns a new column containing the rows at the given indexes, in
-// order. Indexes may repeat.
+// order. Indexes may repeat; a negative index produces a null (the
+// null-extension rows of a left join use this). The gather runs one typed
+// loop per column type rather than a per-element type switch.
 func (c *Column) Take(idx []int) *Column {
-	out := NewColumn(c.name, c.typ)
+	out := &Column{name: c.name, typ: c.typ, n: len(idx)}
 	switch c.typ {
 	case TypeInt:
-		out.ints = make([]int64, 0, len(idx))
+		out.ints, out.nulls = takeSlice(c.ints, c.nulls, idx)
 	case TypeFloat:
-		out.fls = make([]float64, 0, len(idx))
+		out.fls, out.nulls = takeSlice(c.fls, c.nulls, idx)
 	case TypeString:
-		out.strs = make([]string, 0, len(idx))
+		out.strs, out.nulls = takeSlice(c.strs, c.nulls, idx)
 	case TypeBool:
-		out.bools = make([]bool, 0, len(idx))
+		out.bools, out.nulls = takeSlice(c.bools, c.nulls, idx)
 	case TypeTime:
-		out.times = make([]int64, 0, len(idx))
-	}
-	for _, i := range idx {
-		if c.IsNull(i) {
-			out.appendNullSlot()
-			continue
-		}
-		switch c.typ {
-		case TypeInt:
-			out.ints = append(out.ints, c.ints[i])
-		case TypeFloat:
-			out.fls = append(out.fls, c.fls[i])
-		case TypeString:
-			out.strs = append(out.strs, c.strs[i])
-		case TypeBool:
-			out.bools = append(out.bools, c.bools[i])
-		case TypeTime:
-			out.times = append(out.times, c.times[i])
-		}
-		if out.nulls != nil {
-			out.nulls = append(out.nulls, false)
-		}
-		out.n++
+		out.times, out.nulls = takeSlice(c.times, c.nulls, idx)
 	}
 	return out
+}
+
+// takeSlice gathers src rows at idx. The returned null mask is nil when no
+// gathered row is null, preserving the no-mask representation.
+func takeSlice[T any](src []T, srcNulls []bool, idx []int) ([]T, []bool) {
+	vals := make([]T, len(idx))
+	if srcNulls == nil {
+		anyNeg := false
+		for o, i := range idx {
+			if i < 0 {
+				anyNeg = true
+				continue
+			}
+			vals[o] = src[i]
+		}
+		if !anyNeg {
+			return vals, nil
+		}
+		nulls := make([]bool, len(idx))
+		for o, i := range idx {
+			if i < 0 {
+				nulls[o] = true
+			}
+		}
+		return vals, nulls
+	}
+	nulls := make([]bool, len(idx))
+	anyNull := false
+	for o, i := range idx {
+		if i < 0 || srcNulls[i] {
+			nulls[o] = true
+			anyNull = true
+			continue
+		}
+		vals[o] = src[i]
+	}
+	if !anyNull {
+		nulls = nil
+	}
+	return vals, nulls
 }
 
 // Floats returns the column materialized as float64s with a validity mask

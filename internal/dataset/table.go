@@ -3,7 +3,6 @@ package dataset
 import (
 	"fmt"
 	"math"
-	"sort"
 	"strings"
 )
 
@@ -201,6 +200,9 @@ func (t *Table) Head(n int) *Table { return t.Slice(0, n) }
 // order of key i. Missing desc entries default to ascending. The sort is
 // stable so earlier orderings survive ties.
 func (t *Table) SortBy(keys []string, desc []bool) (*Table, error) {
+	if len(keys) == 0 {
+		return t, nil
+	}
 	keyCols := make([]*Column, len(keys))
 	for i, k := range keys {
 		c, err := t.Column(k)
@@ -209,24 +211,7 @@ func (t *Table) SortBy(keys []string, desc []bool) (*Table, error) {
 		}
 		keyCols[i] = c
 	}
-	idx := make([]int, t.NumRows())
-	for i := range idx {
-		idx[i] = i
-	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		for i, c := range keyCols {
-			cmp := Compare(c.Value(idx[a]), c.Value(idx[b]))
-			if cmp == 0 {
-				continue
-			}
-			if i < len(desc) && desc[i] {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
-	})
-	return t.Take(idx), nil
+	return t.Take(SortIndex(keyCols, desc)), nil
 }
 
 // Concat appends other's rows to t. Columns are matched by name; columns

@@ -1,0 +1,186 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"strings"
+	"time"
+
+	"datachat/internal/dataset"
+	"datachat/internal/sqlengine"
+)
+
+// The vectorized experiment quantifies the columnar execution engine
+// against the row-at-a-time reference on the consolidated-SQL hot path:
+// filter, equi join, and group-by shapes at several row counts, reporting
+// throughput (rows/sec) and allocations per query. Both paths run the same
+// parsed statement against the same catalog, and results are
+// cross-checked, so every timing row doubles as a correctness probe.
+
+// VectorizedCase is one (shape, rows) cell of the grid.
+type VectorizedCase struct {
+	Shape        string  `json:"shape"`
+	Rows         int     `json:"rows"`
+	VecDurationS float64 `json:"vectorized_seconds"`
+	RefDurationS float64 `json:"reference_seconds"`
+	VecRowsPerS  float64 `json:"vectorized_rows_per_sec"`
+	RefRowsPerS  float64 `json:"reference_rows_per_sec"`
+	VecAllocs    uint64  `json:"vectorized_allocs_per_op"`
+	RefAllocs    uint64  `json:"reference_allocs_per_op"`
+	Speedup      float64 `json:"speedup"`
+	AllocRatio   float64 `json:"alloc_ratio"`
+	SameResult   bool    `json:"same_result"`
+}
+
+// VectorizedResult is the full grid plus engine counters.
+type VectorizedResult struct {
+	Cases    []VectorizedCase `json:"cases"`
+	Counters map[string]int64 `json:"vec_counters"`
+}
+
+// vectorizedTables mirrors the engine benchmark fixtures: a fact table of n
+// rows and a dims table with one row per distinct join key.
+func vectorizedTables(n int) map[string]*dataset.Table {
+	rng := rand.New(rand.NewSource(1))
+	vocab := []string{"alpha", "beta", "gamma", "delta", "epsilon", "zeta", "eta", "theta"}
+	nkeys := n / 100
+	if nkeys < 8 {
+		nkeys = 8
+	}
+	ids := make([]int64, n)
+	ks := make([]int64, n)
+	vs := make([]float64, n)
+	ss := make([]string, n)
+	nulls := make([]bool, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		ks[i] = int64(rng.Intn(nkeys))
+		vs[i] = float64(rng.Intn(1000)) / 10
+		ss[i] = vocab[rng.Intn(len(vocab))]
+		nulls[i] = rng.Intn(100) < 5
+	}
+	big := dataset.MustNewTable("big",
+		dataset.IntColumn("id", ids, nil),
+		dataset.IntColumn("k", ks, nil),
+		dataset.FloatColumn("v", vs, nulls),
+		dataset.StringColumn("s", ss, nil),
+	)
+	dk := make([]int64, nkeys)
+	dw := make([]float64, nkeys)
+	for i := range dk {
+		dk[i] = int64(i)
+		dw[i] = float64(i) / 7
+	}
+	dims := dataset.MustNewTable("dims",
+		dataset.IntColumn("dk", dk, nil),
+		dataset.FloatColumn("dw", dw, nil),
+	)
+	return map[string]*dataset.Table{"big": big, "dims": dims}
+}
+
+// measureAllocs runs fn once and returns its duration and heap allocation
+// count. A GC fence before the run keeps concurrent sweep noise out of the
+// Mallocs delta.
+func measureAllocs(fn func() error) (time.Duration, uint64, error) {
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	err := fn()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return elapsed, after.Mallocs - before.Mallocs, err
+}
+
+// Vectorized runs the filter/join/group-by grid at the given row counts.
+func Vectorized(rowCounts []int, trials int) (*VectorizedResult, error) {
+	shapes := []struct {
+		name  string
+		query string
+	}{
+		{"filter", "SELECT id, v FROM big WHERE v > 25.0 AND v < 75.0 AND s != 'zeta' AND k % 3 = 1"},
+		{"join", "SELECT big.id, dims.dw FROM big JOIN dims ON big.k = dims.dk WHERE big.v > 50.0"},
+		{"groupby", "SELECT s, COUNT(*) AS c, SUM(v) AS sv, AVG(v) AS av, MIN(v) AS mn, MAX(v) AS mx FROM big GROUP BY s ORDER BY s"},
+	}
+	result := &VectorizedResult{}
+	for _, n := range rowCounts {
+		catalog := sqlengine.NewMapCatalog(vectorizedTables(n))
+		for _, shape := range shapes {
+			stmt, err := sqlengine.Parse(shape.query)
+			if err != nil {
+				return nil, fmt.Errorf("parse %s: %w", shape.name, err)
+			}
+			var vecOut, refOut *dataset.Table
+			vecDur := medianDuration(trials, func() error {
+				out, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{})
+				vecOut = out
+				return err
+			})
+			refDur := medianDuration(trials, func() error {
+				out, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{DisableVectorized: true})
+				refOut = out
+				return err
+			})
+			if vecOut == nil || refOut == nil {
+				return nil, fmt.Errorf("%s at %d rows: execution failed", shape.name, n)
+			}
+			_, vecAllocs, err := measureAllocs(func() error {
+				_, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			_, refAllocs, err := measureAllocs(func() error {
+				_, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{DisableVectorized: true})
+				return err
+			})
+			if err != nil {
+				return nil, err
+			}
+			c := VectorizedCase{
+				Shape:        shape.name,
+				Rows:         n,
+				VecDurationS: vecDur.Seconds(),
+				RefDurationS: refDur.Seconds(),
+				VecAllocs:    vecAllocs,
+				RefAllocs:    refAllocs,
+				SameResult:   vecOut.Equal(refOut),
+			}
+			if vecDur > 0 {
+				c.VecRowsPerS = float64(n) / vecDur.Seconds()
+				c.Speedup = refDur.Seconds() / vecDur.Seconds()
+			}
+			if refDur > 0 {
+				c.RefRowsPerS = float64(n) / refDur.Seconds()
+			}
+			if vecAllocs > 0 {
+				c.AllocRatio = float64(refAllocs) / float64(vecAllocs)
+			}
+			result.Cases = append(result.Cases, c)
+		}
+	}
+	result.Counters = sqlengine.VecCounters()
+	return result, nil
+}
+
+// Report renders the grid as the EXPERIMENTS.md table.
+func (r *VectorizedResult) Report() string {
+	var b strings.Builder
+	b.WriteString("Vectorized columnar engine vs row-at-a-time reference\n")
+	b.WriteString("  shape    rows     vec rows/s   ref rows/s   speedup  vec allocs  ref allocs  alloc-ratio  same\n")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "  %-8s %-8d %-12.0f %-12.0f %-8.1f %-11d %-11d %-12.1f %v\n",
+			c.Shape, c.Rows, c.VecRowsPerS, c.RefRowsPerS, c.Speedup,
+			c.VecAllocs, c.RefAllocs, c.AllocRatio, c.SameResult)
+	}
+	fmt.Fprintf(&b, "  engine counters: %v\n", r.Counters)
+	return b.String()
+}
+
+// JSON renders the result for BENCH_vectorized.json.
+func (r *VectorizedResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

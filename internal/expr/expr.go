@@ -288,11 +288,184 @@ func evalArith(op BinOp, left, right dataset.Value) (dataset.Value, error) {
 // evalLike implements SQL LIKE with % and _ wildcards, case-insensitively
 // (matching the forgiving behaviour of the DataChat UI).
 func evalLike(left, right dataset.Value) (dataset.Value, error) {
-	s := strings.ToLower(left.String())
-	pattern := strings.ToLower(right.String())
-	return dataset.Bool(likeMatch(s, pattern)), nil
+	p := compileLikePattern(right.String())
+	return dataset.Bool(p.match(left.String())), nil
 }
 
+// likeKind classifies a LIKE pattern by the cheapest matcher that decides it.
+type likeKind int
+
+const (
+	likeExact    likeKind = iota // no '%'; '_' wildcards allowed (fixed length)
+	likePrefix                   // lit%
+	likeSuffix                   // %lit
+	likeContains                 // %lit%
+	likeSegments                 // only '%' wildcards, several literal segments
+	likeGeneral                  // '%' and '_' mixed: dynamic-programming match
+)
+
+// likePattern is a LIKE pattern compiled once: the pattern is lowered a
+// single time and classified so the common shapes (exact, prefix%, %suffix,
+// %contains%, and multi-segment %-only patterns) match without allocating.
+// Only likeGeneral still runs the DP table.
+type likePattern struct {
+	kind       likeKind
+	lit        string   // lowered literal for exact/prefix/suffix/contains
+	segs       []string // lowered middle segments for likeSegments
+	anchorHead bool     // likeSegments: pattern does not start with '%'
+	anchorTail bool     // likeSegments: pattern does not end with '%'
+	lowered    string   // lowered whole pattern for likeGeneral
+}
+
+// compileLikePattern lowers and classifies pattern.
+func compileLikePattern(pattern string) *likePattern {
+	lowered := strings.ToLower(pattern)
+	hasPct := strings.IndexByte(lowered, '%') >= 0
+	hasUnd := strings.IndexByte(lowered, '_') >= 0
+	switch {
+	case !hasPct:
+		return &likePattern{kind: likeExact, lit: lowered}
+	case hasUnd:
+		return &likePattern{kind: likeGeneral, lowered: lowered}
+	}
+	segs := strings.Split(lowered, "%")
+	head, tail := segs[0] != "", segs[len(segs)-1] != ""
+	var mid []string
+	for _, s := range segs {
+		if s != "" {
+			mid = append(mid, s)
+		}
+	}
+	switch {
+	case len(mid) == 0: // all wildcards: matches everything
+		return &likePattern{kind: likeContains, lit: ""}
+	case len(mid) == 1 && head && !tail:
+		return &likePattern{kind: likePrefix, lit: mid[0]}
+	case len(mid) == 1 && !head && tail:
+		return &likePattern{kind: likeSuffix, lit: mid[0]}
+	case len(mid) == 1:
+		return &likePattern{kind: likeContains, lit: mid[0]}
+	default:
+		return &likePattern{kind: likeSegments, segs: mid, anchorHead: head, anchorTail: tail}
+	}
+}
+
+// match reports whether s matches the pattern, case-insensitively. ASCII
+// inputs fold byte-wise with no allocation; non-ASCII inputs lower once so
+// results agree with the byte-DP over two ToLower'd strings.
+func (p *likePattern) match(s string) bool {
+	if p.kind == likeGeneral {
+		return likeMatch(strings.ToLower(s), p.lowered)
+	}
+	if !isASCII(s) {
+		s = strings.ToLower(s)
+	}
+	switch p.kind {
+	case likeExact:
+		return foldEqualWild(s, p.lit)
+	case likePrefix:
+		return foldHasPrefix(s, p.lit)
+	case likeSuffix:
+		return foldHasSuffix(s, p.lit)
+	case likeContains:
+		return foldIndex(s, p.lit) >= 0
+	default: // likeSegments
+		if p.anchorHead {
+			if !foldHasPrefix(s, p.segs[0]) {
+				return false
+			}
+			s = s[len(p.segs[0]):]
+		}
+		segs := p.segs
+		if p.anchorHead {
+			segs = segs[1:]
+		}
+		if p.anchorTail {
+			last := segs[len(segs)-1]
+			if !foldHasSuffix(s, last) {
+				return false
+			}
+			s = s[:len(s)-len(last)]
+			segs = segs[:len(segs)-1]
+		}
+		for _, seg := range segs {
+			i := foldIndex(s, seg)
+			if i < 0 {
+				return false
+			}
+			s = s[i+len(seg):]
+		}
+		return true
+	}
+}
+
+func isASCII(s string) bool {
+	for i := 0; i < len(s); i++ {
+		if s[i] >= 0x80 {
+			return false
+		}
+	}
+	return true
+}
+
+// foldByte lowers an ASCII byte; non-ASCII bytes (and already-lowered
+// input) pass through unchanged, so folding a ToLower'd string is identity.
+func foldByte(b byte) byte {
+	if 'A' <= b && b <= 'Z' {
+		return b + 32
+	}
+	return b
+}
+
+// foldEqualWild compares s against an already-lowered fixed-length pattern
+// where '_' matches any single byte.
+func foldEqualWild(s, pat string) bool {
+	if len(s) != len(pat) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if pat[i] != '_' && foldByte(s[i]) != pat[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func foldEqual(s, pat string) bool {
+	if len(s) != len(pat) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if foldByte(s[i]) != pat[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func foldHasPrefix(s, pat string) bool {
+	return len(s) >= len(pat) && foldEqual(s[:len(pat)], pat)
+}
+
+func foldHasSuffix(s, pat string) bool {
+	return len(s) >= len(pat) && foldEqual(s[len(s)-len(pat):], pat)
+}
+
+func foldIndex(s, pat string) int {
+	if pat == "" {
+		return 0
+	}
+	for i := 0; i+len(pat) <= len(s); i++ {
+		if foldEqual(s[i:i+len(pat)], pat) {
+			return i
+		}
+	}
+	return -1
+}
+
+// likeMatch is the general matcher for patterns mixing '%' and '_': a
+// byte-wise dynamic program over the two lowered strings. It is the
+// reference the fast paths above must agree with (see the property test).
 func likeMatch(s, pattern string) bool {
 	// Dynamic-programming match over bytes; patterns are short.
 	m, n := len(s), len(pattern)

@@ -1,0 +1,107 @@
+package expr
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"datachat/internal/dataset"
+)
+
+// randLikePattern draws from an alphabet rich in wildcards and case
+// variance so every fast-path classification and the DP fallback get hit.
+func randLikePattern(rng *rand.Rand) string {
+	alphabet := []rune{'a', 'b', 'c', 'A', 'B', '%', '%', '_', 'é'}
+	n := rng.Intn(8)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+func randLikeInput(rng *rand.Rand) string {
+	alphabet := []rune{'a', 'b', 'c', 'A', 'B', 'C', 'é', 'É', 'x'}
+	n := rng.Intn(10)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteRune(alphabet[rng.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// TestLikeFastPathsMatchDP pins every compiled fast path to the reference
+// dynamic-programming matcher on randomized patterns and inputs.
+func TestLikeFastPathsMatchDP(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20000; trial++ {
+		pat := randLikePattern(rng)
+		s := randLikeInput(rng)
+		p := compileLikePattern(pat)
+		got := p.match(s)
+		want := likeMatch(strings.ToLower(s), strings.ToLower(pat))
+		if got != want {
+			t.Fatalf("pattern %q input %q (kind %d): fast=%v dp=%v", pat, s, p.kind, got, want)
+		}
+	}
+}
+
+// TestLikeKindClassification pins representative patterns to the expected
+// fast path, so a regression cannot silently reroute everything to the DP.
+func TestLikeKindClassification(t *testing.T) {
+	cases := []struct {
+		pattern string
+		kind    likeKind
+	}{
+		{"abc", likeExact},
+		{"", likeExact},
+		{"a_c", likeExact}, // '_' handled by the wildcard-aware exact comparison
+		{"abc%", likePrefix},
+		{"%abc", likeSuffix},
+		{"%abc%", likeContains},
+		{"%", likeContains},
+		{"%%", likeContains},
+		{"a%c", likeSegments},
+		{"a%b%c", likeSegments},
+		{"a%b_c", likeGeneral}, // '_' in a multi-segment pattern needs the DP
+		{"a_%c", likeGeneral},
+	}
+	for _, tc := range cases {
+		p := compileLikePattern(tc.pattern)
+		if p.kind != tc.kind {
+			t.Errorf("pattern %q: kind = %d, want %d", tc.pattern, p.kind, tc.kind)
+		}
+	}
+}
+
+// TestLikeEvalEndToEnd exercises LIKE through Eval, covering the
+// ASCII-fold fast comparisons and the lowered-input path for non-ASCII.
+func TestLikeEvalEndToEnd(t *testing.T) {
+	cases := []struct {
+		s, pattern string
+		want       bool
+	}{
+		{"Widget", "wid%", true},
+		{"Widget", "%GET", true},
+		{"Widget", "%dge%", true},
+		{"Widget", "widget", true},
+		{"Widget", "w_dget", true},
+		{"Widget", "w%t", true},
+		{"Widget", "x%", false},
+		{"ÉCLAIR", "é%", true},
+		{"anything", "%", true},
+		{"", "%", true},
+		{"", "", true},
+		{"", "_", false},
+	}
+	for _, tc := range cases {
+		e := Bin(OpLike, Lit(dataset.Str(tc.s)), Lit(dataset.Str(tc.pattern)))
+		got, err := EvalBool(e, MapEnv{})
+		if err != nil {
+			t.Fatalf("%q LIKE %q: %v", tc.s, tc.pattern, err)
+		}
+		if got != tc.want {
+			t.Errorf("%q LIKE %q = %v, want %v", tc.s, tc.pattern, got, tc.want)
+		}
+	}
+}

@@ -10,11 +10,11 @@ import (
 )
 
 func builderCatalog() sqlengine.MapCatalog {
-	return sqlengine.MapCatalog{"t": dataset.MustNewTable("t",
+	return sqlengine.NewMapCatalog(map[string]*dataset.Table{"t": dataset.MustNewTable("t",
 		dataset.IntColumn("a", []int64{1, 2, 3, 4}, nil),
 		dataset.IntColumn("b", []int64{10, 20, 30, 40}, nil),
 		dataset.StringColumn("g", []string{"x", "x", "y", "y"}, nil),
-	)}
+	)})
 }
 
 func execBuilder(t *testing.T, b *QueryBuilder) *dataset.Table {

@@ -830,7 +830,7 @@ func datePartExpr(args Args) (string, expr.Expr, error) {
 // sqlOverTables executes a query against an ad-hoc catalog; the helper the
 // direct path uses for joins and pivots.
 func sqlOverTables(tables map[string]*dataset.Table, query string) (*Result, error) {
-	out, err := sqlengine.Exec(sqlengine.MapCatalog(tables), query)
+	out, err := sqlengine.Exec(sqlengine.NewMapCatalog(tables), query)
 	if err != nil {
 		return nil, err
 	}

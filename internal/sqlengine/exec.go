@@ -16,20 +16,55 @@ type Catalog interface {
 	Table(name string) (*dataset.Table, error)
 }
 
-// MapCatalog is an in-memory Catalog.
-type MapCatalog map[string]*dataset.Table
+// MapCatalog is an in-memory Catalog. Lookups hit an exact-name index and
+// then a case-folded one, both built once at construction, so resolving a
+// table name never scans the table set.
+type MapCatalog struct {
+	exact  map[string]*dataset.Table
+	folded map[string]*dataset.Table
+}
+
+// NewMapCatalog indexes tables by exact and case-folded name. When two
+// names collide case-insensitively, the lexicographically smallest name
+// wins the folded slot (the previous linear scan's winner depended on map
+// iteration order).
+func NewMapCatalog(tables map[string]*dataset.Table) MapCatalog {
+	m := MapCatalog{
+		exact:  make(map[string]*dataset.Table, len(tables)),
+		folded: make(map[string]*dataset.Table, len(tables)),
+	}
+	names := make([]string, 0, len(tables))
+	for name := range tables {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		m.exact[name] = tables[name]
+		folded := strings.ToLower(name)
+		if _, taken := m.folded[folded]; !taken {
+			m.folded[folded] = tables[name]
+		}
+	}
+	return m
+}
 
 // Table implements Catalog.
 func (m MapCatalog) Table(name string) (*dataset.Table, error) {
-	if t, ok := m[name]; ok {
+	if t, ok := m.exact[name]; ok {
 		return t, nil
 	}
-	for k, t := range m {
-		if strings.EqualFold(k, name) {
-			return t, nil
-		}
+	if t, ok := m.folded[strings.ToLower(name)]; ok {
+		return t, nil
 	}
 	return nil, fmt.Errorf("sql: unknown table %q", name)
+}
+
+// Options tunes statement execution.
+type Options struct {
+	// DisableVectorized forces the row-at-a-time reference path everywhere.
+	// The vectorized engine is on by default; the differential tests run a
+	// query both ways and require identical results.
+	DisableVectorized bool
 }
 
 // Exec parses and executes a SQL query against the catalog.
@@ -43,7 +78,12 @@ func Exec(catalog Catalog, query string) (*dataset.Table, error) {
 
 // ExecStmt executes a parsed statement against the catalog.
 func ExecStmt(catalog Catalog, stmt *SelectStmt) (*dataset.Table, error) {
-	e := &executor{catalog: catalog}
+	return ExecStmtOptions(catalog, stmt, Options{})
+}
+
+// ExecStmtOptions executes a parsed statement with explicit options.
+func ExecStmtOptions(catalog Catalog, stmt *SelectStmt, opts Options) (*dataset.Table, error) {
+	e := &executor{catalog: catalog, vec: !opts.DisableVectorized}
 	return e.execSelect(stmt)
 }
 
@@ -123,6 +163,7 @@ func (c chainEnv) Lookup(name string) (dataset.Value, error) {
 
 type executor struct {
 	catalog Catalog
+	vec     bool // use vectorized kernels where they apply
 }
 
 func (e *executor) execSelect(stmt *SelectStmt) (*dataset.Table, error) {
@@ -150,16 +191,22 @@ func (e *executor) execSelect(stmt *SelectStmt) (*dataset.Table, error) {
 
 	// WHERE
 	if stmt.Where != nil && stmt.From != nil {
-		keep := make([]int, 0, source.numRows())
-		for i := 0; i < source.numRows(); i++ {
-			ok, err := expr.EvalBool(stmt.Where, rowEnv{source, i})
-			if err != nil {
-				return nil, err
-			}
-			if ok {
-				keep = append(keep, i)
-				if rowBudget >= 0 && len(keep) >= rowBudget {
-					break
+		keep, vectorized, err := e.vecFilter(stmt.Where, source, rowBudget)
+		if err != nil {
+			return nil, err
+		}
+		if !vectorized {
+			keep = make([]int, 0, source.numRows())
+			for i := 0; i < source.numRows(); i++ {
+				ok, err := expr.EvalBool(stmt.Where, rowEnv{source, i})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					keep = append(keep, i)
+					if rowBudget >= 0 && len(keep) >= rowBudget {
+						break
+					}
 				}
 			}
 		}
@@ -290,7 +337,13 @@ func (e *executor) execJoin(j *Join) (*rel, error) {
 	}
 
 	leftKeys, rightKeys := equiJoinKeys(j.On, left, right)
-	if len(leftKeys) > 0 {
+	switch {
+	case e.vec && len(leftKeys) > 0:
+		leftIdx, rightIdx, err = e.vecJoinPairs(j.On, combined, left, right, leftKeys, rightKeys, matchedLeft)
+		if err != nil {
+			return nil, err
+		}
+	case len(leftKeys) > 0:
 		// Hash join: build on the right side.
 		build := make(map[string][]int, right.numRows())
 		for i := 0; i < right.numRows(); i++ {
@@ -311,7 +364,7 @@ func (e *executor) execJoin(j *Join) (*rel, error) {
 				}
 			}
 		}
-	} else {
+	default:
 		for li := 0; li < left.numRows(); li++ {
 			for ri := 0; ri < right.numRows(); ri++ {
 				ok := true
@@ -332,18 +385,15 @@ func (e *executor) execJoin(j *Join) (*rel, error) {
 		}
 	}
 
-	out := &rel{cols: make([]*dataset.Column, len(combined.cols)), quals: combined.quals}
-	nullRight := 0
 	if matchedLeft != nil {
 		for li, m := range matchedLeft {
 			if !m {
 				leftIdx = append(leftIdx, li)
 				rightIdx = append(rightIdx, -1)
-				nullRight++
 			}
 		}
 	}
-	_ = nullRight
+	out := &rel{cols: make([]*dataset.Column, len(combined.cols)), quals: combined.quals}
 	for ci := range combined.cols {
 		var src *dataset.Column
 		var idx []int
@@ -351,6 +401,11 @@ func (e *executor) execJoin(j *Join) (*rel, error) {
 			src, idx = left.cols[ci], leftIdx
 		} else {
 			src, idx = right.cols[ci-len(left.cols)], rightIdx
+		}
+		if e.vec {
+			// Typed gather; a negative index becomes the null-extension row.
+			out.cols[ci] = src.Take(idx)
+			continue
 		}
 		col := dataset.NewColumn(src.Name(), src.Type())
 		for _, i := range idx {
@@ -455,6 +510,9 @@ func (e *executor) execProjection(stmt *SelectStmt, source *rel) (*dataset.Table
 		if out, ok, err := e.columnarProjection(stmt, source); err != nil || ok {
 			return out, err
 		}
+		if out, ok, err := e.vecProjection(stmt, source); err != nil || ok {
+			return out, err
+		}
 	}
 	names, exprs := e.expandItems(stmt.Items, source)
 	n := source.numRows()
@@ -544,21 +602,38 @@ func (e *executor) expandItems(items []SelectItem, source *rel) (names []string,
 	return names, exprs
 }
 
+// groupData is one group ready for the output phase: the source row whose
+// values stand in for the group's non-aggregate columns, plus each computed
+// aggregate keyed by AggCall.Key. Both the reference (boxed per-group) and
+// vectorized (streaming) grouping paths produce this and share
+// finishGrouped for HAVING, projection, and ORDER BY.
+type groupData struct {
+	firstRow int
+	aggVals  expr.MapEnv
+}
+
 // execGrouped evaluates aggregation queries.
 func (e *executor) execGrouped(stmt *SelectStmt, source *rel, aggs []*AggCall) (*dataset.Table, error) {
-	// Bucket rows by group key.
+	if groups, ok, err := e.vecGrouped(stmt, source, aggs); err != nil {
+		return nil, err
+	} else if ok {
+		return e.finishGrouped(stmt, source, groups)
+	}
+
+	// Reference path: bucket rows by rendered group key, then aggregate
+	// each group's row set with boxed values.
 	type group struct {
 		firstRow int
 		rows     []int
 	}
 	var order []string
-	groups := map[string]*group{}
+	buckets := map[string]*group{}
 	if len(stmt.GroupBy) == 0 {
 		g := &group{firstRow: 0}
 		for i := 0; i < source.numRows(); i++ {
 			g.rows = append(g.rows, i)
 		}
-		groups[""] = g
+		buckets[""] = g
 		order = append(order, "")
 	} else {
 		for i := 0; i < source.numRows(); i++ {
@@ -575,24 +650,19 @@ func (e *executor) execGrouped(stmt *SelectStmt, source *rel, aggs []*AggCall) (
 				kb.WriteByte('\x00')
 			}
 			key := kb.String()
-			g, ok := groups[key]
+			g, ok := buckets[key]
 			if !ok {
 				g = &group{firstRow: i}
-				groups[key] = g
+				buckets[key] = g
 				order = append(order, key)
 			}
 			g.rows = append(g.rows, i)
 		}
 	}
 
-	names, exprs := e.expandItems(stmt.Items, source)
-	builders := make([]*valueColumnBuilder, len(exprs))
-	for i, name := range names {
-		builders[i] = newValueColumnBuilder(name)
-	}
-	var sortKeys [][]dataset.Value
+	groups := make([]groupData, 0, len(order))
 	for _, key := range order {
-		g := groups[key]
+		g := buckets[key]
 		aggVals := make(expr.MapEnv, len(aggs))
 		for _, a := range aggs {
 			v, err := computeAgg(a, source, g.rows)
@@ -601,7 +671,22 @@ func (e *executor) execGrouped(stmt *SelectStmt, source *rel, aggs []*AggCall) (
 			}
 			aggVals[a.Key()] = v
 		}
-		env := chainEnv{aggVals, rowEnv{source, g.firstRow}}
+		groups = append(groups, groupData{firstRow: g.firstRow, aggVals: aggVals})
+	}
+	return e.finishGrouped(stmt, source, groups)
+}
+
+// finishGrouped runs the per-group output phase: HAVING, select items, and
+// ORDER BY, with group rows delivered in first-seen order.
+func (e *executor) finishGrouped(stmt *SelectStmt, source *rel, groups []groupData) (*dataset.Table, error) {
+	names, exprs := e.expandItems(stmt.Items, source)
+	builders := make([]*valueColumnBuilder, len(exprs))
+	for i, name := range names {
+		builders[i] = newValueColumnBuilder(name)
+	}
+	var sortKeys [][]dataset.Value
+	for _, g := range groups {
+		env := chainEnv{g.aggVals, rowEnv{source, g.firstRow}}
 		if stmt.Having != nil {
 			ok, err := expr.EvalBool(stmt.Having, env)
 			if err != nil {
@@ -792,18 +877,27 @@ func (b *valueColumnBuilder) build() *dataset.Column {
 
 func buildTable(name string, builders []*valueColumnBuilder) (*dataset.Table, error) {
 	cols := make([]*dataset.Column, len(builders))
-	used := map[string]int{}
 	for i, b := range builders {
-		col := b.build()
-		// Disambiguate duplicate output names (e.g. SELECT a, a).
+		cols[i] = b.build()
+	}
+	return assembleTable(name, cols)
+}
+
+// assembleTable builds a table from output columns, disambiguating
+// duplicate output names (e.g. SELECT a, a → a, a_1) the way every
+// projection path must.
+func assembleTable(name string, cols []*dataset.Column) (*dataset.Table, error) {
+	out := make([]*dataset.Column, len(cols))
+	used := map[string]int{}
+	for i, col := range cols {
 		base := col.Name()
 		if n := used[strings.ToLower(base)]; n > 0 {
 			col = col.Rename(fmt.Sprintf("%s_%d", base, n))
 		}
 		used[strings.ToLower(base)]++
-		cols[i] = col
+		out[i] = col
 	}
-	return dataset.NewTable(name, cols...)
+	return dataset.NewTable(name, out...)
 }
 
 // columnarProjection handles SELECT lists made purely of columns (and *)
@@ -860,16 +954,10 @@ func (e *executor) columnarProjection(stmt *SelectStmt, source *rel) (*dataset.T
 		source = takeRel(source, rows)
 	}
 	cols := make([]*dataset.Column, len(colIdx))
-	used := map[string]int{}
 	for i, idx := range colIdx {
-		name := names[i]
-		if n := used[strings.ToLower(name)]; n > 0 {
-			name = fmt.Sprintf("%s_%d", name, n)
-		}
-		used[strings.ToLower(names[i])]++
-		cols[i] = source.cols[idx].Rename(name)
+		cols[i] = source.cols[idx].Rename(names[i])
 	}
-	out, err := dataset.NewTable("result", cols...)
+	out, err := assembleTable("result", cols)
 	if err != nil {
 		return nil, false, err
 	}

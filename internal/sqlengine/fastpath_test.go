@@ -69,10 +69,10 @@ func TestLimitPushdownEquivalence(t *testing.T) {
 		ids[i] = int64(i)
 		vals[i] = int64((i * 37) % 100)
 	}
-	catalog := MapCatalog{"t": dataset.MustNewTable("t",
+	catalog := NewMapCatalog(map[string]*dataset.Table{"t": dataset.MustNewTable("t",
 		dataset.IntColumn("id", ids, nil),
 		dataset.IntColumn("v", vals, nil),
-	)}
+	)})
 	f := func(rawLimit, rawThresh uint8) bool {
 		limit := int(rawLimit % 30)
 		thresh := int(rawThresh % 100)

@@ -9,7 +9,9 @@ import (
 	"datachat/internal/dataset"
 )
 
-func testCatalog() MapCatalog {
+func testCatalog() MapCatalog { return NewMapCatalog(testTables()) }
+
+func testTables() map[string]*dataset.Table {
 	people := dataset.MustNewTable("people",
 		dataset.IntColumn("id", []int64{1, 2, 3, 4, 5}, nil),
 		dataset.StringColumn("name", []string{"ann", "bob", "carl", "dee", "eve"}, nil),
@@ -22,7 +24,7 @@ func testCatalog() MapCatalog {
 		dataset.IntColumn("person_id", []int64{1, 1, 3, 9}, nil),
 		dataset.FloatColumn("amount", []float64{5.5, 2.5, 10, 1}, nil),
 	)
-	return MapCatalog{"people": people, "orders": orders}
+	return map[string]*dataset.Table{"people": people, "orders": orders}
 }
 
 func mustExec(t *testing.T, query string) *dataset.Table {
@@ -334,11 +336,12 @@ func TestExecErrors(t *testing.T) {
 }
 
 func TestAmbiguousColumn(t *testing.T) {
-	catalog := testCatalog()
-	catalog["dup"] = dataset.MustNewTable("dup",
+	tables := testTables()
+	tables["dup"] = dataset.MustNewTable("dup",
 		dataset.IntColumn("id", []int64{1}, nil),
 		dataset.StringColumn("name", []string{"x"}, nil),
 	)
+	catalog := NewMapCatalog(tables)
 	if _, err := Exec(catalog, "SELECT id FROM people p JOIN dup d ON p.id = d.id"); err == nil {
 		t.Error("bare ambiguous column should error")
 	}
