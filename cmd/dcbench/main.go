@@ -9,6 +9,7 @@
 //	dcbench -exp slicing     # Figure 5: recipe slicing
 //	dcbench -exp ablations   # semantic layer / retrieval / checker ablations
 //	dcbench -exp vectorized  # columnar engine vs row reference (filter/join/group-by)
+//	dcbench -exp faults      # fault-rate grid: retried corpus throughput + exactness
 //	dcbench -exp all         # everything (default)
 package main
 
@@ -21,11 +22,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
 	benchJSON := flag.String("bench-json", "", "write the vectorized grid as JSON to this path")
+	faultsJSON := flag.String("faults-json", "", "write the fault-rate grid as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -135,6 +137,22 @@ func main() {
 				return err
 			}
 			return os.WriteFile(*benchJSON, append(data, '\n'), 0o644)
+		}
+		return nil
+	})
+	run("faults", func() error {
+		r, err := experiments.Faults(80, []float64{0, 0.1, 0.2, 0.3}, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		if *faultsJSON != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*faultsJSON, append(data, '\n'), 0o644)
 		}
 		return nil
 	})

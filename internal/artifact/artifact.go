@@ -72,6 +72,11 @@ type Artifact struct {
 	Chart       *viz.Chart
 	ModelName   string
 	Explanation string
+	// Degraded marks an artifact whose payload came from a fallback source
+	// (stale snapshot, block sample) after the primary failed; DegradedNote
+	// records which one, preserving §2.3 transparency through failures.
+	Degraded     bool
+	DegradedNote string
 }
 
 // Store holds artifacts with per-user permissions and secret links.

@@ -19,6 +19,28 @@ import (
 // DefaultBlockRows is the number of rows per storage block.
 const DefaultBlockRows = 8192
 
+// DB is the read interface of a cloud database: the surface skills and
+// sessions consume. Database implements it directly; fault-injection
+// wrappers implement it around a Database.
+type DB interface {
+	// Name returns the database name.
+	Name() string
+	// Pricing returns the pricing plan.
+	Pricing() Pricing
+	// Meter returns the database's consumption meter.
+	Meter() *Meter
+	// Stats returns metadata for a stored table (free, never injected).
+	Stats(name string) (TableStats, error)
+	// Scan reads the full table, charging for every block.
+	Scan(name string) (*dataset.Table, error)
+	// SampleBlocks reads approximately rate (0, 1] of the table's blocks.
+	SampleBlocks(name string, rate float64, seed int64) (*dataset.Table, error)
+	// Table implements sqlengine.Catalog with Scan semantics.
+	Table(name string) (*dataset.Table, error)
+}
+
+var _ DB = (*Database)(nil)
+
 // Pricing models a consumption-based pricing plan.
 type Pricing struct {
 	// DollarsPerGB is the charge per gigabyte scanned.
@@ -44,7 +66,43 @@ func (m *Meter) charge(bytes int64, p Pricing) {
 	defer m.mu.Unlock()
 	m.bytesScanned += bytes
 	m.queries++
-	m.latency += time.Duration(float64(bytes) / (1 << 20) * float64(p.LatencyPerMB))
+	m.latency = satAdd(m.latency, scanLatency(bytes, p.LatencyPerMB))
+}
+
+// scanLatency converts bytes scanned to simulated latency in integer math:
+// whole megabytes times the per-MB rate plus the pro-rated remainder. The
+// float path it replaces lost precision past 2^53 bytes and could overflow
+// the Duration range silently on multi-TB scans; here the whole-MB product
+// saturates at the Duration maximum instead of wrapping negative.
+func scanLatency(bytes int64, perMB time.Duration) time.Duration {
+	if bytes <= 0 || perMB <= 0 {
+		return 0
+	}
+	const maxDuration = time.Duration(1<<63 - 1)
+	whole := bytes >> 20
+	frac := bytes & (1<<20 - 1)
+	if whole > 0 && perMB > maxDuration/time.Duration(whole) {
+		return maxDuration
+	}
+	d := time.Duration(whole) * perMB
+	var fracLat time.Duration
+	if frac > 0 {
+		if perMB <= maxDuration/time.Duration(frac) {
+			fracLat = time.Duration(frac) * perMB / (1 << 20)
+		} else {
+			fracLat = perMB / (1 << 20) * time.Duration(frac)
+		}
+	}
+	return satAdd(d, fracLat)
+}
+
+// satAdd adds two non-negative durations, saturating instead of wrapping.
+func satAdd(a, b time.Duration) time.Duration {
+	const maxDuration = time.Duration(1<<63 - 1)
+	if a > maxDuration-b {
+		return maxDuration
+	}
+	return a + b
 }
 
 // BytesScanned returns the total bytes scanned so far.

@@ -1,0 +1,99 @@
+package cloud
+
+import (
+	"testing"
+	"time"
+
+	"datachat/internal/dataset"
+)
+
+const maxDuration = time.Duration(1<<63 - 1)
+
+// TestScanLatencyExactIntegerValues pins the integer latency formula on
+// exact megabyte multiples and pro-rated remainders.
+func TestScanLatencyExactIntegerValues(t *testing.T) {
+	perMB := 2 * time.Millisecond
+	cases := []struct {
+		bytes int64
+		want  time.Duration
+	}{
+		{0, 0},
+		{-5, 0},
+		{1 << 20, 2 * time.Millisecond},
+		{5 << 20, 10 * time.Millisecond},
+		{512 << 10, time.Millisecond},            // half a MB
+		{5<<20 + 512<<10, 11 * time.Millisecond}, // mixed
+		{1, time.Nanosecond},                     // pro-rated: 2ms/MB ≈ 1.9ns/byte, rounded down
+		{(1 << 53) + 3<<20, time.Duration(1<<33+3) * perMB},    // exact past float64's 2^53
+		{4 << 40, time.Duration(4<<20) * 2 * time.Millisecond}, // 4 TB ≈ 2h20m
+	}
+	for _, c := range cases {
+		if got := scanLatency(c.bytes, perMB); got != c.want {
+			t.Errorf("scanLatency(%d) = %v, want %v", c.bytes, got, c.want)
+		}
+	}
+	if got := scanLatency(1<<20, 0); got != 0 {
+		t.Errorf("zero rate should cost no latency, got %v", got)
+	}
+}
+
+// TestMeterLatencyMultiTBSaturates is the regression test for the float
+// latency path: a scan large enough to overflow time.Duration must saturate
+// at the maximum, never wrap negative, and stay there under further charges.
+func TestMeterLatencyMultiTBSaturates(t *testing.T) {
+	var m Meter
+	huge := Pricing{DollarsPerGB: 0.005, LatencyPerMB: time.Hour}
+	m.charge(1<<62, huge) // 2^42 MB × 1h ≫ max Duration
+	if got := m.SimulatedLatency(); got != maxDuration {
+		t.Fatalf("latency = %v, want saturation at max", got)
+	}
+	m.charge(8<<40, huge)
+	if got := m.SimulatedLatency(); got < 0 || got != maxDuration {
+		t.Fatalf("latency wrapped after further charges: %v", got)
+	}
+	if m.BytesScanned() <= 0 || m.Queries() != 2 {
+		t.Errorf("bytes/queries accounting broken: %d, %d", m.BytesScanned(), m.Queries())
+	}
+}
+
+// TestMeterLatencyAccumulates: realistic multi-TB totals accumulate exactly,
+// with no float rounding.
+func TestMeterLatencyAccumulates(t *testing.T) {
+	var m Meter
+	p := Pricing{DollarsPerGB: 0.005, LatencyPerMB: 2 * time.Millisecond}
+	for i := 0; i < 3; i++ {
+		m.charge(2<<40, p) // 2 TB each
+	}
+	want := 3 * time.Duration(2<<20) * 2 * time.Millisecond
+	if got := m.SimulatedLatency(); got != want {
+		t.Errorf("latency = %v, want %v", got, want)
+	}
+	m.Reset()
+	if m.SimulatedLatency() != 0 || m.BytesScanned() != 0 || m.Queries() != 0 {
+		t.Error("reset did not zero the meter")
+	}
+}
+
+// TestSampleBlocksEmptyTable: sampling an empty table succeeds with an empty
+// result (its single empty block) instead of erroring or charging.
+func TestSampleBlocksEmptyTable(t *testing.T) {
+	db := NewDatabase("test", DefaultPricing, 0)
+	if err := db.CreateTable(dataset.MustNewTable("empty", dataset.IntColumn("x", nil, nil))); err != nil {
+		t.Fatal(err)
+	}
+	got, err := db.SampleBlocks("empty", 0.5, 1)
+	if err != nil {
+		t.Fatalf("sampling an empty table: %v", err)
+	}
+	if got.NumRows() != 0 {
+		t.Errorf("rows = %d, want 0", got.NumRows())
+	}
+	if got.NumCols() != 1 {
+		t.Errorf("cols = %d, want schema preserved", got.NumCols())
+	}
+	for _, rate := range []float64{0, -0.5, 1.0001} {
+		if _, err := db.SampleBlocks("empty", rate, 1); err == nil {
+			t.Errorf("rate %v on an empty table should still be rejected", rate)
+		}
+	}
+}

@@ -43,7 +43,7 @@ type Platform struct {
 	mu       sync.Mutex
 	sessions map[string]*session.Session
 	boards   map[string]*session.InsightsBoard
-	clouds   map[string]*cloud.Database
+	clouds   map[string]cloud.DB
 	files    map[string]string
 	nl2      *nl2code.System
 	// cache is the deployment-wide sub-DAG result cache. Every session's
@@ -66,7 +66,7 @@ func New() *Platform {
 		Parser:    gel.MustNewParser(reg),
 		sessions:  map[string]*session.Session{},
 		boards:    map[string]*session.InsightsBoard{},
-		clouds:    map[string]*cloud.Database{},
+		clouds:    map[string]cloud.DB{},
 		files:     map[string]string{},
 		cache:     dag.NewCache(dag.DefaultCacheCapacity),
 	}
@@ -80,8 +80,10 @@ func (p *Platform) CacheStats() dag.CacheStats { return p.cache.Stats() }
 // after source data known to the deployment changes out of band.
 func (p *Platform) InvalidateCache() { p.cache.Invalidate() }
 
-// ConnectDatabase attaches a cloud database to the platform.
-func (p *Platform) ConnectDatabase(db *cloud.Database) error {
+// ConnectDatabase attaches a cloud database to the platform. Accepting the
+// read interface lets deployments (and chaos tests) connect fault-injected
+// wrappers in place of a bare Database.
+func (p *Platform) ConnectDatabase(db cloud.DB) error {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	key := strings.ToLower(db.Name())
@@ -93,7 +95,7 @@ func (p *Platform) ConnectDatabase(db *cloud.Database) error {
 }
 
 // Database returns a connected database.
-func (p *Platform) Database(name string) (*cloud.Database, error) {
+func (p *Platform) Database(name string) (cloud.DB, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	db, ok := p.clouds[strings.ToLower(name)]

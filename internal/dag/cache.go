@@ -99,7 +99,9 @@ func (c *Cache) Peek(key string) bool {
 // runs fn while the rest block and receive the leader's result, counted as
 // hits — so hit/miss totals do not depend on scheduling. A leader's error is
 // returned to every waiter and nothing is stored. Results computed across an
-// Invalidate call are discarded rather than stored.
+// Invalidate call are discarded rather than stored, and so are degraded
+// results: the key fingerprints the exact computation, and a fallback answer
+// must not be served later as if it were the exact one.
 func (c *Cache) Do(key string, fn func() (*skills.Result, error)) (res *skills.Result, hit bool, err error) {
 	c.mu.Lock()
 	if el, ok := c.entries[key]; ok {
@@ -130,7 +132,7 @@ func (c *Cache) Do(key string, fn func() (*skills.Result, error)) (res *skills.R
 
 	c.mu.Lock()
 	delete(c.flights, key)
-	if f.err == nil && gen == c.gen {
+	if f.err == nil && gen == c.gen && (f.res == nil || !f.res.Degraded) {
 		c.storeLocked(key, f.res)
 	}
 	c.mu.Unlock()

@@ -1,6 +1,7 @@
 package dag
 
 import (
+	"context"
 	"fmt"
 	"sync/atomic"
 
@@ -26,13 +27,20 @@ type Stats struct {
 	CacheHits int
 	// CacheMisses counts cacheable tasks that had to execute.
 	CacheMisses int
+	// Retries counts task re-attempts after transient failures.
+	Retries int
+	// PermanentFailures counts tasks that failed with a permanent fault.
+	PermanentFailures int
+	// Degraded counts tasks whose result came from a fallback source.
+	Degraded int
 }
 
 // counters is the executor's live, atomically updated form of Stats.
 type counters struct {
-	tasksRun, sqlTasks, directTasks atomic.Int64
-	nodesConsolidated, queryBlocks  atomic.Int64
-	cacheHits, cacheMisses          atomic.Int64
+	tasksRun, sqlTasks, directTasks      atomic.Int64
+	nodesConsolidated, queryBlocks       atomic.Int64
+	cacheHits, cacheMisses               atomic.Int64
+	retries, permanentFailures, degraded atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -44,6 +52,9 @@ func (c *counters) snapshot() Stats {
 		QueryBlocks:       int(c.queryBlocks.Load()),
 		CacheHits:         int(c.cacheHits.Load()),
 		CacheMisses:       int(c.cacheMisses.Load()),
+		Retries:           int(c.retries.Load()),
+		PermanentFailures: int(c.permanentFailures.Load()),
+		Degraded:          int(c.degraded.Load()),
 	}
 }
 
@@ -55,6 +66,9 @@ func (c *counters) reset() {
 	c.queryBlocks.Store(0)
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
+	c.retries.Store(0)
+	c.permanentFailures.Store(0)
+	c.degraded.Store(0)
 }
 
 // Executor compiles and runs DAGs against a skill context. It owns (or
@@ -139,11 +153,18 @@ func (e *Executor) InvalidateCache() { e.cache.Invalidate() }
 // computed by an earlier, shorter request is reused as the base instead of
 // being refolded and recomputed. TestChainPrefixCachePolicy pins this down.
 func (e *Executor) Run(g *Graph, target NodeID) (*skills.Result, error) {
+	return e.RunContext(context.Background(), g, target)
+}
+
+// RunContext is Run with an explicit context: cancelling it aborts pending
+// retry backoffs and stops new tasks from being scheduled (attempts already
+// executing finish — skill bodies are not interruptible).
+func (e *Executor) RunContext(ctx context.Context, g *Graph, target NodeID) (*skills.Result, error) {
 	p, err := e.plan(g, target)
 	if err != nil {
 		return nil, err
 	}
-	if err := e.runPlan(g, p, e.Options.Parallelism); err != nil {
+	if err := e.runPlan(ctx, g, p, e.Options.Parallelism); err != nil {
 		return nil, err
 	}
 	t := p.byNode[target]

@@ -1,11 +1,15 @@
 package dag
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"strings"
 	"sync"
+	"time"
 
+	"datachat/internal/faults"
 	"datachat/internal/skills"
 	"datachat/internal/sqlengine"
 )
@@ -17,6 +21,26 @@ type ExecOptions struct {
 	// serial execution (identical results and stats, by the §2.2 equivalence
 	// property).
 	Parallelism int
+	// Retry re-attempts tasks that fail with transient errors, with capped
+	// exponential backoff + jitter. The zero policy disables retrying: any
+	// task error aborts the run, as before.
+	Retry faults.RetryPolicy
+	// Deadline bounds one Run's total (virtual) duration: a retry backoff
+	// that would cross Now+Deadline is not taken and the task fails with
+	// its last error. 0 means no deadline.
+	Deadline time.Duration
+	// Clock drives backoff sleeps and the deadline; nil means the wall
+	// clock. Tests install a faults.VirtualClock so retry schedules
+	// spanning minutes execute instantly.
+	Clock faults.Clock
+}
+
+// clock returns the configured time source.
+func (o ExecOptions) clock() faults.Clock {
+	if o.Clock != nil {
+		return o.Clock
+	}
+	return faults.Real()
 }
 
 // task is one schedulable unit of a Run: either a consolidated relational
@@ -238,16 +262,32 @@ func (e *Executor) chainEnding(g *Graph, id NodeID, consumers map[NodeID][]NodeI
 	return chain, nil
 }
 
+// isCancellation reports whether err is (or wraps) context cancellation —
+// the collateral error of a sibling task cancelled mid-retry, less
+// informative than whatever caused the cancel.
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
 // runPlan executes a compiled plan on a bounded worker pool. Workers pull
 // ready tasks (all dependencies satisfied), execute them, publish their
-// outputs, and release dependents. The first error stops scheduling; tasks
-// already in flight finish before runPlan returns.
-func (e *Executor) runPlan(g *Graph, p *plan, workers int) error {
+// outputs, and release dependents. The first error stops scheduling and
+// cancels the run context, which aborts the retry backoffs of in-flight
+// siblings; attempts already executing finish before runPlan returns. The
+// recorded first error prefers a task's real failure over the cancellation
+// errors it causes downstream.
+func (e *Executor) runPlan(ctx context.Context, g *Graph, p *plan, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if workers > len(p.tasks) {
 		workers = len(p.tasks)
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	var deadline time.Time
+	if e.Options.Deadline > 0 {
+		deadline = e.Options.clock().Now().Add(e.Options.Deadline)
 	}
 
 	var (
@@ -289,15 +329,16 @@ func (e *Executor) runPlan(g *Graph, p *plan, workers int) error {
 			active++
 			mu.Unlock()
 
-			res, err := e.executeTask(g, t)
+			res, err := e.executeTask(ctx, g, t, deadline)
 
 			mu.Lock()
 			active--
 			done++
 			if err != nil {
-				if firstErr == nil {
+				if firstErr == nil || (isCancellation(firstErr) && !isCancellation(err)) {
 					firstErr = err
 				}
+				cancel()
 			} else {
 				t.result = res
 				for _, di := range t.dependents {
@@ -331,15 +372,17 @@ func (e *Executor) runPlan(g *Graph, p *plan, workers int) error {
 // executeTask runs one task: republish a pinned plan-time cache hit, or
 // execute — through the cache for cacheable tasks, sharing identical
 // in-flight computations across sessions — and publish the tail output into
-// the session context.
-func (e *Executor) executeTask(g *Graph, t *task) (*skills.Result, error) {
+// the session context. The retry loop runs inside the cache's singleflight,
+// so concurrent callers of the same key wait out the leader's retries
+// instead of racing their own.
+func (e *Executor) executeTask(ctx context.Context, g *Graph, t *task, deadline time.Time) (*skills.Result, error) {
 	var res *skills.Result
 	switch {
 	case t.pinned != nil:
 		res = t.pinned
 	case t.cacheable:
 		r, hit, err := e.cache.Do(t.key, func() (*skills.Result, error) {
-			return e.execTaskBody(g, t)
+			return e.execTaskRetry(ctx, g, t, deadline)
 		})
 		if err != nil {
 			return nil, err
@@ -351,7 +394,7 @@ func (e *Executor) executeTask(g *Graph, t *task) (*skills.Result, error) {
 		}
 		res = r
 	default:
-		r, err := e.execTaskBody(g, t)
+		r, err := e.execTaskRetry(ctx, g, t, deadline)
 		if err != nil {
 			return nil, err
 		}
@@ -362,6 +405,31 @@ func (e *Executor) executeTask(g *Graph, t *task) (*skills.Result, error) {
 		// Snapshot creation/refresh changes source data out from under every
 		// cached signature; bump the generation so nothing stale survives.
 		e.cache.Invalidate()
+	}
+	return res, nil
+}
+
+// execTaskRetry executes a task body under the run's retry policy: transient
+// errors re-attempt with capped backoff + jitter (per-task jitter streams are
+// decorrelated by task index), permanent errors and plain execution errors
+// fail immediately, and a backoff that would cross the run deadline is not
+// taken.
+func (e *Executor) execTaskRetry(ctx context.Context, g *Graph, t *task, deadline time.Time) (*skills.Result, error) {
+	pol := e.Options.Retry
+	pol.Seed += int64(t.idx)
+	res, stats, err := faults.Do(ctx, e.Options.clock(), pol, deadline, nil,
+		func() (*skills.Result, error) { return e.execTaskBody(g, t) })
+	if stats.Attempts > 1 {
+		e.counters.retries.Add(int64(stats.Attempts - 1))
+	}
+	if err != nil {
+		if faults.IsPermanent(err) {
+			e.counters.permanentFailures.Add(1)
+		}
+		return nil, err
+	}
+	if res != nil && res.Degraded {
+		e.counters.degraded.Add(1)
 	}
 	return res, nil
 }

@@ -204,3 +204,34 @@ func TestAblatePromptBudget(t *testing.T) {
 		t.Errorf("budget shows no effect: %.2f vs %.2f", r.DefaultAccuracy, r.AblatedAccuracy)
 	}
 }
+
+func TestFaultsGrid(t *testing.T) {
+	r, err := Faults(25, []float64{0, 0.3}, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != 2 {
+		t.Fatalf("cases = %d, want 2", len(r.Cases))
+	}
+	base, faulty := r.Cases[0], r.Cases[1]
+	if base.TransientFaults != 0 || base.Recovered != 0 {
+		t.Errorf("rate-0 baseline saw faults: %+v", base)
+	}
+	if faulty.TransientFaults == 0 || faulty.Recovered == 0 {
+		t.Errorf("30%% rate exercised nothing: %+v", faulty)
+	}
+	for _, c := range r.Cases {
+		if c.Divergent != 0 {
+			t.Errorf("rate %v: %d divergent answers", c.Rate, c.Divergent)
+		}
+		if c.Exact != base.Exact || c.Errored != base.Errored {
+			t.Errorf("rate %v changed outcomes: %+v vs baseline %+v", c.Rate, c, base)
+		}
+	}
+	if !strings.Contains(r.Report(), "exact") {
+		t.Error("report malformed")
+	}
+	if data, err := r.JSON(); err != nil || len(data) == 0 {
+		t.Errorf("JSON: %v", err)
+	}
+}

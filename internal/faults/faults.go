@@ -1,0 +1,105 @@
+// Package faults is the deterministic failure model of the reproduction:
+// a seedable injector that wraps the cloud database and the snapshot store
+// to surface typed transient/permanent errors (throttled scans, block-read
+// I/O errors, latency spikes, snapshot misses) on a configurable schedule,
+// plus the retry machinery — capped exponential backoff with jitter, virtual
+// clocks, and deadlines — that the DAG scheduler and the session lock use to
+// recover from them.
+//
+// The paper's engine runs skill DAGs against a consumption-priced cloud
+// database (§3) and assumes concurrent requests can simply fail (§2.4); a
+// production deployment of that design needs per-task retry and degradation
+// semantics, and this package makes those paths provable: every fault
+// sequence is a pure function of the schedule's seed, and all waiting is
+// virtual-time, so chaos tests run fast and deterministically under -race.
+package faults
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Kind names one injected failure mode.
+type Kind string
+
+// The injectable failure modes.
+const (
+	// Throttled is a scan rejected by the warehouse's rate limiter.
+	Throttled Kind = "throttled"
+	// BlockIO is an I/O error reading one storage block.
+	BlockIO Kind = "block-io"
+	// LatencySpike is an operation that blew its latency budget; the
+	// injector also advances the virtual clock by the configured spike.
+	LatencySpike Kind = "latency-spike"
+	// SnapshotMiss is a snapshot-store read that transiently missed.
+	SnapshotMiss Kind = "snapshot-miss"
+	// Unavailable is a service outage that retrying cannot fix.
+	Unavailable Kind = "unavailable"
+)
+
+// Class separates errors retrying can fix from errors it cannot.
+type Class int
+
+// The error classes.
+const (
+	// Transient errors succeed on retry once the condition clears.
+	Transient Class = iota
+	// Permanent errors fail every retry; callers should degrade or abort.
+	Permanent
+)
+
+// String names the class.
+func (c Class) String() string {
+	if c == Permanent {
+		return "permanent"
+	}
+	return "transient"
+}
+
+// Error is one typed injected failure. It records where in the fault
+// sequence it was drawn (Seq), which lets tests assert that the same seed
+// and schedule always produce the identical sequence.
+type Error struct {
+	// Op is the wrapped operation ("scan", "sample", "snapshot-get", ...).
+	Op string
+	// Target is the table or snapshot the operation addressed.
+	Target string
+	// Kind is the failure mode.
+	Kind Kind
+	// Class is transient or permanent.
+	Class Class
+	// Seq is the 1-based position in the injector's fault sequence.
+	Seq int
+}
+
+// Error renders the fault.
+func (e *Error) Error() string {
+	return fmt.Sprintf("faults: %s %s on %s %q (fault #%d)", e.Class, e.Kind, e.Op, e.Target, e.Seq)
+}
+
+// Temporary reports whether the error is transient, following the
+// convention of net.Error-style interfaces.
+func (e *Error) Temporary() bool { return e.Class == Transient }
+
+// IsTransient reports whether err is (or wraps) a transient injected fault.
+// Every other error — permanent faults, plain execution errors, context
+// cancellation — is treated as non-retryable by the schedulers.
+func IsTransient(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Class == Transient
+}
+
+// IsPermanent reports whether err is (or wraps) a permanent injected fault.
+func IsPermanent(err error) bool {
+	var fe *Error
+	return errors.As(err, &fe) && fe.Class == Permanent
+}
+
+// KindOf returns the fault kind carried by err ("" when err carries none).
+func KindOf(err error) Kind {
+	var fe *Error
+	if errors.As(err, &fe) {
+		return fe.Kind
+	}
+	return ""
+}

@@ -1,0 +1,271 @@
+package faults
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/snapshot"
+)
+
+// DefaultSpike is the virtual latency added by a LatencySpike fault when
+// the schedule leaves Spike zero.
+const DefaultSpike = 250 * time.Millisecond
+
+// Schedule configures when the injector fails an operation. All randomness
+// is drawn from a private generator seeded with Seed, so the fault sequence
+// is a pure function of the schedule: same seed + schedule ⇒ identical
+// sequence of (kind, class) draws, op by op.
+type Schedule struct {
+	// Seed drives the fault stream.
+	Seed int64
+	// TransientRate is the per-operation probability of a transient fault.
+	TransientRate float64
+	// PermanentRate is the per-operation probability of a permanent fault.
+	PermanentRate float64
+	// MaxTransient caps the total transient faults injected (0 = unlimited);
+	// schedules use it to guarantee recovery within a retry budget.
+	MaxTransient int
+	// FailFirst deterministically fails the first N matching operations
+	// with transient faults, before the rate-based draws take over.
+	FailFirst int
+	// FailOps pins specific operations (1-based op index) to a fault kind,
+	// overriding every other rule.
+	FailOps map[int]Kind
+	// Ops restricts injection to these operation names (nil = all ops).
+	// Operations outside the set pass through and consume no randomness.
+	Ops map[string]bool
+	// Kinds overrides the per-wrapper default transient kinds to draw from.
+	Kinds []Kind
+	// Spike is the virtual latency a LatencySpike adds (DefaultSpike if 0).
+	Spike time.Duration
+}
+
+// Fault is one injected failure, recorded in the injector's log.
+type Fault struct {
+	// Seq is the 1-based position in the fault sequence.
+	Seq int
+	// Op and Target identify the failed operation.
+	Op, Target string
+	// Kind and Class describe the failure.
+	Kind  Kind
+	Class Class
+}
+
+// Injector decides, operation by operation, whether to fail. It is safe
+// for concurrent use; the op counter and the random stream advance under
+// one lock, so the fault sequence itself stays deterministic (which caller
+// observes which fault depends on goroutine interleaving, as in production).
+type Injector struct {
+	mu         sync.Mutex
+	sched      Schedule
+	rng        *rand.Rand
+	clock      Clock
+	ops        int
+	seq        int
+	transients int
+	permanents int
+	log        []Fault
+}
+
+// NewInjector builds an injector for the schedule. The clock receives
+// LatencySpike advances when it is a *VirtualClock; nil uses real time (on
+// which spikes only mark the error, they never block).
+func NewInjector(sched Schedule, clock Clock) *Injector {
+	if sched.Spike <= 0 {
+		sched.Spike = DefaultSpike
+	}
+	if clock == nil {
+		clock = Real()
+	}
+	return &Injector{
+		sched: sched,
+		rng:   rand.New(rand.NewSource(sched.Seed)),
+		clock: clock,
+	}
+}
+
+func classOf(k Kind) Class {
+	if k == Unavailable {
+		return Permanent
+	}
+	return Transient
+}
+
+// check runs the schedule for one operation. kinds are the wrapper's
+// default transient kinds, overridden by Schedule.Kinds when set.
+func (in *Injector) check(op, target string, kinds []Kind) error {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	if in.sched.Ops != nil && !in.sched.Ops[op] {
+		return nil
+	}
+	if len(in.sched.Kinds) > 0 {
+		kinds = in.sched.Kinds
+	}
+	if len(kinds) == 0 {
+		kinds = []Kind{Throttled, BlockIO, LatencySpike}
+	}
+	in.ops++
+	var kind Kind
+	inject := false
+	if k, pinned := in.sched.FailOps[in.ops]; pinned {
+		inject, kind = true, k
+	} else if in.ops <= in.sched.FailFirst {
+		inject, kind = true, kinds[(in.ops-1)%len(kinds)]
+	} else if in.sched.TransientRate > 0 || in.sched.PermanentRate > 0 {
+		u := in.rng.Float64()
+		switch {
+		case u < in.sched.PermanentRate:
+			inject, kind = true, Unavailable
+		case u < in.sched.PermanentRate+in.sched.TransientRate:
+			inject, kind = true, kinds[in.rng.Intn(len(kinds))]
+		}
+	}
+	if !inject {
+		return nil
+	}
+	class := classOf(kind)
+	if class == Transient && in.sched.MaxTransient > 0 && in.transients >= in.sched.MaxTransient {
+		return nil
+	}
+	in.seq++
+	if class == Transient {
+		in.transients++
+	} else {
+		in.permanents++
+	}
+	in.log = append(in.log, Fault{Seq: in.seq, Op: op, Target: target, Kind: kind, Class: class})
+	if kind == LatencySpike {
+		if vc, ok := in.clock.(*VirtualClock); ok {
+			vc.Advance(in.sched.Spike)
+		}
+	}
+	return &Error{Op: op, Target: target, Kind: kind, Class: class, Seq: in.seq}
+}
+
+// Ops returns how many matching operations the injector has seen.
+func (in *Injector) Ops() int {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.ops
+}
+
+// Counts returns the injected transient and permanent fault totals.
+func (in *Injector) Counts() (transient, permanent int) {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.transients, in.permanents
+}
+
+// Faults returns a copy of the injected-fault log, in sequence order.
+func (in *Injector) Faults() []Fault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return append([]Fault{}, in.log...)
+}
+
+// FaultyDB wraps a cloud database, injecting faults on the metered read
+// paths (Scan, SampleBlocks, Table). Metadata reads stay reliable, as in
+// real warehouses.
+type FaultyDB struct {
+	inner cloud.DB
+	inj   *Injector
+}
+
+var _ cloud.DB = (*FaultyDB)(nil)
+
+// WrapDB wraps db with fault injection.
+func WrapDB(db cloud.DB, inj *Injector) *FaultyDB {
+	return &FaultyDB{inner: db, inj: inj}
+}
+
+var dbKinds = []Kind{Throttled, BlockIO, LatencySpike}
+
+// Name returns the wrapped database's name.
+func (d *FaultyDB) Name() string { return d.inner.Name() }
+
+// Pricing returns the wrapped database's pricing plan.
+func (d *FaultyDB) Pricing() cloud.Pricing { return d.inner.Pricing() }
+
+// Meter returns the wrapped database's consumption meter.
+func (d *FaultyDB) Meter() *cloud.Meter { return d.inner.Meter() }
+
+// Stats returns table metadata (never injected: metadata reads are free
+// and reliable).
+func (d *FaultyDB) Stats(name string) (cloud.TableStats, error) { return d.inner.Stats(name) }
+
+// Scan reads the full table through the injector.
+func (d *FaultyDB) Scan(name string) (*dataset.Table, error) {
+	if err := d.inj.check("scan", name, dbKinds); err != nil {
+		return nil, err
+	}
+	return d.inner.Scan(name)
+}
+
+// SampleBlocks reads a block sample through the injector.
+func (d *FaultyDB) SampleBlocks(name string, rate float64, seed int64) (*dataset.Table, error) {
+	if err := d.inj.check("sample", name, dbKinds); err != nil {
+		return nil, err
+	}
+	return d.inner.SampleBlocks(name, rate, seed)
+}
+
+// Table implements sqlengine.Catalog with scan semantics (and scan faults).
+func (d *FaultyDB) Table(name string) (*dataset.Table, error) {
+	if err := d.inj.check("scan", name, dbKinds); err != nil {
+		return nil, err
+	}
+	return d.inner.Table(name)
+}
+
+// FaultyStore wraps a snapshot store, injecting faults on the read paths
+// (Get, Table). Writes (Create, Refresh) pull from the cloud database,
+// which carries its own injector when wrapped.
+type FaultyStore struct {
+	inner snapshot.API
+	inj   *Injector
+}
+
+var _ snapshot.API = (*FaultyStore)(nil)
+
+// WrapStore wraps a snapshot store with fault injection.
+func WrapStore(s snapshot.API, inj *Injector) *FaultyStore {
+	return &FaultyStore{inner: s, inj: inj}
+}
+
+var storeKinds = []Kind{SnapshotMiss}
+
+// Create pulls a snapshot through the wrapped store.
+func (s *FaultyStore) Create(name string, db cloud.DB, table string, rate float64, seed int64) (*snapshot.Snapshot, error) {
+	return s.inner.Create(name, db, table, rate, seed)
+}
+
+// Get reads a snapshot through the injector.
+func (s *FaultyStore) Get(name string) (*dataset.Table, error) {
+	if err := s.inj.check("snapshot-get", name, storeKinds); err != nil {
+		return nil, err
+	}
+	return s.inner.Get(name)
+}
+
+// Info returns snapshot metadata (reliable, like cloud Stats).
+func (s *FaultyStore) Info(name string) (*snapshot.Snapshot, error) { return s.inner.Info(name) }
+
+// Refresh re-pulls a snapshot through the wrapped store.
+func (s *FaultyStore) Refresh(name string, db cloud.DB) (*snapshot.Snapshot, error) {
+	return s.inner.Refresh(name, db)
+}
+
+// Names lists snapshots.
+func (s *FaultyStore) Names() []string { return s.inner.Names() }
+
+// Table implements sqlengine.Catalog with Get semantics (and Get faults).
+func (s *FaultyStore) Table(name string) (*dataset.Table, error) {
+	if err := s.inj.check("snapshot-get", name, storeKinds); err != nil {
+		return nil, err
+	}
+	return s.inner.Table(name)
+}

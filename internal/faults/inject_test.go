@@ -1,0 +1,219 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/snapshot"
+)
+
+func testTable(name string, rows int) *dataset.Table {
+	vals := make([]int64, rows)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	return dataset.MustNewTable(name, dataset.IntColumn("x", vals, nil))
+}
+
+func testDB(t *testing.T, rows int) *cloud.Database {
+	t.Helper()
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 16)
+	if err := db.CreateTable(testTable("events", rows)); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestInjectorDeterministic: same seed + schedule ⇒ identical fault
+// sequence, different seed ⇒ different sequence.
+func TestInjectorDeterministic(t *testing.T) {
+	run := func(seed int64) []Fault {
+		inj := NewInjector(Schedule{Seed: seed, TransientRate: 0.4, PermanentRate: 0.05}, nil)
+		db := WrapDB(testDB(t, 100), inj)
+		for i := 0; i < 200; i++ {
+			db.Scan("events")                 //nolint:errcheck
+			db.SampleBlocks("events", 0.5, 1) //nolint:errcheck
+		}
+		return inj.Faults()
+	}
+	a, b := run(7), run(7)
+	if len(a) == 0 {
+		t.Fatal("no faults injected at 40% transient rate over 400 ops")
+	}
+	if fmt.Sprint(a) != fmt.Sprint(b) {
+		t.Fatalf("same seed produced different fault sequences:\n%v\n%v", a, b)
+	}
+	c := run(8)
+	if fmt.Sprint(a) == fmt.Sprint(c) {
+		t.Fatal("different seeds produced identical fault sequences")
+	}
+	for i, f := range a {
+		if f.Seq != i+1 {
+			t.Fatalf("fault %d has Seq %d", i, f.Seq)
+		}
+		if (f.Class == Permanent) != (f.Kind == Unavailable) {
+			t.Fatalf("fault %v: class/kind mismatch", f)
+		}
+	}
+}
+
+// TestInjectorDeterministicUnderConcurrency: the fault sequence (as a set of
+// (seq, kind) draws) does not depend on goroutine interleaving.
+func TestInjectorDeterministicUnderConcurrency(t *testing.T) {
+	run := func(workers int) []Fault {
+		inj := NewInjector(Schedule{Seed: 3, TransientRate: 0.3}, nil)
+		db := WrapDB(testDB(t, 64), inj)
+		var wg sync.WaitGroup
+		per := 120 / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for i := 0; i < per; i++ {
+					db.Scan("events") //nolint:errcheck
+				}
+			}()
+		}
+		wg.Wait()
+		return inj.Faults()
+	}
+	serial, parallel := run(1), run(4)
+	if fmt.Sprint(serial) != fmt.Sprint(parallel) {
+		t.Fatalf("fault sequence depends on interleaving:\nserial:   %v\nparallel: %v", serial, parallel)
+	}
+}
+
+// TestInjectorSchedulePins: FailOps pins specific operations, FailFirst
+// fails a deterministic prefix, Ops filters by operation name, and
+// MaxTransient caps the total.
+func TestInjectorSchedulePins(t *testing.T) {
+	inj := NewInjector(Schedule{FailOps: map[int]Kind{2: Unavailable}, FailFirst: 1}, nil)
+	db := WrapDB(testDB(t, 32), inj)
+	if _, err := db.Scan("events"); !IsTransient(err) {
+		t.Fatalf("op 1 should fail transiently (FailFirst), got %v", err)
+	}
+	if _, err := db.Scan("events"); !IsPermanent(err) {
+		t.Fatalf("op 2 should fail permanently (FailOps), got %v", err)
+	}
+	if _, err := db.Scan("events"); err != nil {
+		t.Fatalf("op 3 should pass, got %v", err)
+	}
+
+	inj = NewInjector(Schedule{FailFirst: 100, MaxTransient: 2}, nil)
+	db = WrapDB(testDB(t, 32), inj)
+	failures := 0
+	for i := 0; i < 10; i++ {
+		if _, err := db.Scan("events"); err != nil {
+			failures++
+		}
+	}
+	if failures != 2 {
+		t.Fatalf("MaxTransient=2 allowed %d failures", failures)
+	}
+
+	inj = NewInjector(Schedule{FailFirst: 100, Ops: map[string]bool{"sample": true}}, nil)
+	db = WrapDB(testDB(t, 32), inj)
+	if _, err := db.Scan("events"); err != nil {
+		t.Fatalf("scan is outside the Ops filter, got %v", err)
+	}
+	if _, err := db.SampleBlocks("events", 0.5, 1); err == nil {
+		t.Fatal("sample is inside the Ops filter and should fail")
+	}
+}
+
+// TestInjectorLatencySpike: a latency-spike fault advances the virtual
+// clock by the configured spike without any wall-clock sleeping.
+func TestInjectorLatencySpike(t *testing.T) {
+	start := time.Unix(0, 0)
+	clock := NewVirtualClock(start)
+	inj := NewInjector(Schedule{
+		FailOps: map[int]Kind{1: LatencySpike},
+		Spike:   3 * time.Second,
+	}, clock)
+	db := WrapDB(testDB(t, 32), inj)
+	_, err := db.Scan("events")
+	if KindOf(err) != LatencySpike || !IsTransient(err) {
+		t.Fatalf("want transient latency spike, got %v", err)
+	}
+	if got := clock.Now().Sub(start); got != 3*time.Second {
+		t.Fatalf("virtual clock advanced %v, want 3s", got)
+	}
+}
+
+// TestFaultyDBPassthrough: metadata and meter pass through unfaulted, and a
+// clean schedule injects nothing.
+func TestFaultyDBPassthrough(t *testing.T) {
+	inner := testDB(t, 50)
+	db := WrapDB(inner, NewInjector(Schedule{}, nil))
+	if db.Name() != "wh" || db.Pricing() != cloud.DefaultPricing || db.Meter() != inner.Meter() {
+		t.Fatal("metadata passthrough broken")
+	}
+	st, err := db.Stats("events")
+	if err != nil || st.Rows != 50 {
+		t.Fatalf("stats: %+v, %v", st, err)
+	}
+	tb, err := db.Scan("events")
+	if err != nil || tb.NumRows() != 50 {
+		t.Fatalf("scan: %v, %v", tb, err)
+	}
+	if tb2, err := db.Table("events"); err != nil || tb2.NumRows() != 50 {
+		t.Fatalf("table: %v", err)
+	}
+	if _, err := db.SampleBlocks("events", 0.5, 1); err != nil {
+		t.Fatalf("sample: %v", err)
+	}
+}
+
+// TestFaultyStore: snapshot reads fail with snapshot-miss faults on
+// schedule; creation and metadata pass through.
+func TestFaultyStore(t *testing.T) {
+	db := testDB(t, 40)
+	store := WrapStore(snapshot.NewStore(10), NewInjector(Schedule{FailOps: map[int]Kind{1: SnapshotMiss}}, nil))
+	if _, err := store.Create("snap", db, "events", 1, 1); err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	if _, err := store.Info("snap"); err != nil {
+		t.Fatalf("info should not be injected: %v", err)
+	}
+	_, err := store.Get("snap")
+	if KindOf(err) != SnapshotMiss || !IsTransient(err) {
+		t.Fatalf("want snapshot-miss fault, got %v", err)
+	}
+	tb, err := store.Get("snap")
+	if err != nil || tb.NumRows() != 40 {
+		t.Fatalf("second get: %v, %v", tb, err)
+	}
+	if names := store.Names(); len(names) != 1 || names[0] != "snap" {
+		t.Fatalf("names: %v", names)
+	}
+	if _, err := store.Refresh("snap", db); err != nil {
+		t.Fatalf("refresh: %v", err)
+	}
+	if _, err := store.Table("snap"); err != nil {
+		t.Fatalf("table after fault budget: %v", err)
+	}
+}
+
+// TestErrorRendering pins the error format and classifier helpers.
+func TestErrorRendering(t *testing.T) {
+	e := &Error{Op: "scan", Target: "events", Kind: Throttled, Class: Transient, Seq: 3}
+	want := `faults: transient throttled on scan "events" (fault #3)`
+	if e.Error() != want {
+		t.Fatalf("Error() = %q, want %q", e.Error(), want)
+	}
+	if !e.Temporary() {
+		t.Fatal("transient error should be Temporary")
+	}
+	wrapped := fmt.Errorf("task 4: %w", e)
+	if !IsTransient(wrapped) || IsPermanent(wrapped) || KindOf(wrapped) != Throttled {
+		t.Fatal("classifiers failed through wrapping")
+	}
+	if IsTransient(errors.New("plain")) || KindOf(errors.New("plain")) != "" {
+		t.Fatal("plain errors misclassified")
+	}
+}

@@ -1,0 +1,155 @@
+package session
+
+import (
+	"context"
+	"errors"
+	"testing"
+	"time"
+
+	"datachat/internal/artifact"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+	"datachat/internal/skills"
+)
+
+// These tests pin the §2.4 contention policy: by default a request that
+// finds the session busy fails fast with ErrBusy (never queues), and
+// SetBusyRetry opts in to a bounded, deterministic backoff on the lock —
+// all waiting on a virtual clock.
+
+// TestBusyFailFastIsTheDefault: with the zero policy, a held lock fails the
+// request immediately — one attempt, no waiting, no retry accounting.
+func TestBusyFailFastIsTheDefault(t *testing.T) {
+	s := newSession(t)
+	s.mu.Lock()
+	s.running = true // another request is mid-execution
+	s.mu.Unlock()
+	_, _, err := s.Request("ann", skills.Invocation{Skill: "CountRows", Inputs: []string{"base"}})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want ErrBusy", err)
+	}
+	if got := s.BusyRetries(); got != 0 {
+		t.Errorf("fail-fast request recorded %d retries", got)
+	}
+	if len(s.History()) != 0 {
+		t.Error("a rejected request must not enter the history")
+	}
+}
+
+// TestBusyRetryExhaustsDeterministically: with retry enabled and the lock
+// never released, the request re-attempts exactly the policy's budget on the
+// virtual clock and surfaces ErrBusy.
+func TestBusyRetryExhaustsDeterministically(t *testing.T) {
+	s := newSession(t)
+	s.mu.Lock()
+	s.running = true
+	s.mu.Unlock()
+	clock := faults.NewVirtualClock(time.Unix(0, 0))
+	pol := faults.RetryPolicy{MaxAttempts: 5, BaseDelay: 10 * time.Millisecond,
+		MaxDelay: 100 * time.Millisecond, Multiplier: 2, JitterFrac: 0.2, Seed: 11}
+	s.SetBusyRetry(pol, clock)
+	_, _, err := s.Request("ann", skills.Invocation{Skill: "CountRows", Inputs: []string{"base"}})
+	if !errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want wrapped ErrBusy", err)
+	}
+	if got := s.BusyRetries(); got != 4 {
+		t.Errorf("BusyRetries = %d, want 4", got)
+	}
+	var want time.Duration
+	for _, d := range pol.Delays(4) {
+		want += d
+	}
+	if clock.Slept() != want {
+		t.Errorf("virtual backoff = %v, want the policy schedule %v", clock.Slept(), want)
+	}
+}
+
+// releasingClock frees the session lock after a fixed number of backoff
+// sleeps, making the contended-then-released sequence fully deterministic.
+type releasingClock struct {
+	*faults.VirtualClock
+	s      *Session
+	after  int
+	sleeps int
+}
+
+func (c *releasingClock) Sleep(ctx context.Context, d time.Duration) error {
+	c.sleeps++
+	if c.sleeps == c.after {
+		c.s.mu.Lock()
+		c.s.running = false
+		c.s.mu.Unlock()
+	}
+	return c.VirtualClock.Sleep(ctx, d)
+}
+
+// TestBusyRetrySucceedsAfterRelease: a request that finds the lock held
+// keeps retrying and wins once the holder finishes.
+func TestBusyRetrySucceedsAfterRelease(t *testing.T) {
+	s := newSession(t)
+	s.mu.Lock()
+	s.running = true
+	s.mu.Unlock()
+	clock := &releasingClock{VirtualClock: faults.NewVirtualClock(time.Unix(0, 0)), s: s, after: 3}
+	s.SetBusyRetry(faults.RetryPolicy{MaxAttempts: 100, BaseDelay: time.Millisecond}, clock)
+	res, _, err := s.Request("ann", skills.Invocation{Skill: "CountRows", Inputs: []string{"base"}})
+	if err != nil {
+		t.Fatalf("request after release: %v", err)
+	}
+	if res.Table == nil {
+		t.Fatal("no result")
+	}
+	if got := s.BusyRetries(); got != 3 {
+		t.Errorf("BusyRetries = %d, want 3", got)
+	}
+	if len(s.History()) != 1 {
+		t.Errorf("history length = %d, want 1", len(s.History()))
+	}
+}
+
+// TestBusyRetryDoesNotRetryPermissionErrors: only ErrBusy is retryable; a
+// membership rejection fails on the first attempt even with retry enabled.
+func TestBusyRetryDoesNotRetryPermissionErrors(t *testing.T) {
+	s := newSession(t)
+	clock := faults.NewVirtualClock(time.Unix(0, 0))
+	s.SetBusyRetry(faults.RetryPolicy{MaxAttempts: 50, BaseDelay: time.Millisecond}, clock)
+	_, _, err := s.Request("stranger", skills.Invocation{Skill: "CountRows", Inputs: []string{"base"}})
+	if err == nil || errors.Is(err, ErrBusy) {
+		t.Fatalf("err = %v, want a permission error", err)
+	}
+	if clock.Slept() != 0 || s.BusyRetries() != 0 {
+		t.Errorf("permission error was retried: slept %v, retries %d", clock.Slept(), s.BusyRetries())
+	}
+}
+
+// TestSaveArtifactCarriesDegradedAnnotation: an artifact saved from a
+// degraded result keeps the §2.3 annotation.
+func TestSaveArtifactCarriesDegradedAnnotation(t *testing.T) {
+	reg2 := skills.NewRegistry()
+	sample := dataset.MustNewTable("s", dataset.IntColumn("x", []int64{1, 2}, nil))
+	err := reg2.Register(&skills.Definition{
+		Name: "DegradedSrc", Summary: "fallback sample",
+		Apply: func(ctx *skills.Context, inv skills.Invocation) (*skills.Result, error) {
+			return &skills.Result{Table: sample, Degraded: true,
+				DegradedNote: "10% block sample"}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := skills.NewContext()
+	ctx.Datasets["base"] = dataset.MustNewTable("base", dataset.IntColumn("id", []int64{1}, nil))
+	s := New("deg", "ann", reg2, ctx)
+	_, id, err := s.Request("ann", skills.Invocation{Skill: "DegradedSrc", Inputs: []string{"base"}, Output: "d"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := artifact.NewStore()
+	a, err := s.SaveArtifact(store, "ann", "deg-art", id, artifact.TypeTable)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded || a.DegradedNote != "10% block sample" {
+		t.Errorf("artifact lost the degraded annotation: %+v", a)
+	}
+}

@@ -12,6 +12,7 @@
 package session
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sort"
@@ -21,6 +22,7 @@ import (
 
 	"datachat/internal/artifact"
 	"datachat/internal/dag"
+	"datachat/internal/faults"
 	"datachat/internal/recipe"
 	"datachat/internal/skills"
 )
@@ -44,6 +46,13 @@ type Session struct {
 	running bool
 	members map[string]artifact.Access
 	history []HistoryEntry
+
+	// busyRetry optionally retries lock acquisition on ErrBusy with
+	// backoff. The zero policy keeps the paper's fail-fast semantics:
+	// the second concurrent request loses immediately.
+	busyRetry   faults.RetryPolicy
+	busyClock   faults.Clock
+	busyRetries int
 }
 
 // HistoryEntry records one executed request, so every member sees the same
@@ -126,22 +135,61 @@ func (s *Session) Members() []string {
 	return out
 }
 
+// SetBusyRetry opts the session into bounded retry-with-backoff on
+// lock contention: a request that finds another one running retries up to
+// the policy's attempt budget instead of failing immediately. The zero
+// policy (the default) preserves the paper's §2.4 fail-fast semantics.
+// clock may be nil (wall clock); tests pass a virtual clock.
+func (s *Session) SetBusyRetry(p faults.RetryPolicy, clock faults.Clock) {
+	s.mu.Lock()
+	s.busyRetry = p
+	s.busyClock = clock
+	s.mu.Unlock()
+}
+
+// BusyRetries reports how many times requests re-attempted the session lock
+// after finding it held.
+func (s *Session) BusyRetries() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.busyRetries
+}
+
+// acquire takes the session lock for user, or fails with ErrBusy (retryable)
+// or a permission error (not).
+func (s *Session) acquire(user string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.members[user] < artifact.EditAccess {
+		return fmt.Errorf("session: %s cannot run requests in %q", user, s.Name)
+	}
+	if s.running {
+		return ErrBusy
+	}
+	s.running = true
+	return nil
+}
+
 // Request executes one skill invocation for user. It enforces membership
 // (edit access) and the session-level lock: if another request is running,
 // it fails immediately with ErrBusy rather than queueing, because a request
-// composed against a stale view may no longer make sense (§2.4).
+// composed against a stale view may no longer make sense (§2.4) — unless
+// SetBusyRetry opted the session into a bounded backoff on contention.
 func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, dag.NodeID, error) {
 	s.mu.Lock()
-	if s.members[user] < artifact.EditAccess {
-		s.mu.Unlock()
-		return nil, -1, fmt.Errorf("session: %s cannot run requests in %q", user, s.Name)
-	}
-	if s.running {
-		s.mu.Unlock()
-		return nil, -1, ErrBusy
-	}
-	s.running = true
+	pol, clock := s.busyRetry, s.busyClock
 	s.mu.Unlock()
+	_, stats, err := faults.Do(context.Background(), clock, pol, time.Time{},
+		func(err error) bool { return errors.Is(err, ErrBusy) },
+		func() (struct{}, error) { return struct{}{}, s.acquire(user) })
+	if stats.Attempts > 1 {
+		s.mu.Lock()
+		s.busyRetries += stats.Attempts - 1
+		s.mu.Unlock()
+	}
+	if err != nil {
+		return nil, -1, err
+	}
 	defer func() {
 		s.mu.Lock()
 		s.running = false
@@ -193,11 +241,13 @@ func (s *Session) SaveArtifact(store *artifact.Store, user, name string, node da
 		return nil, err
 	}
 	a := &artifact.Artifact{
-		Name:   name,
-		Type:   typ,
-		Owner:  user,
-		Recipe: rec,
-		Table:  res.Table,
+		Name:         name,
+		Type:         typ,
+		Owner:        user,
+		Recipe:       rec,
+		Table:        res.Table,
+		Degraded:     res.Degraded,
+		DegradedNote: res.DegradedNote,
 	}
 	if len(res.Charts) > 0 {
 		a.Chart = res.Charts[0]

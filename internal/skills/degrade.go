@@ -1,0 +1,102 @@
+package skills
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+)
+
+// DegradePolicy configures graceful degradation for cloud-reading skills:
+// when a scan fails permanently (retrying cannot fix it), the skill may
+// answer from a fresh-enough snapshot of the same table, or failing that
+// from a block sample, instead of aborting the whole DAG. Every degraded
+// answer is annotated on the Result — the paper's §2.3 transparency rule
+// applied to failure handling: the platform may change how it got the
+// answer, never silently what the answer means.
+type DegradePolicy struct {
+	// Enabled turns degradation on. Off (the zero value), permanent
+	// failures propagate.
+	Enabled bool
+	// MaxSnapshotAge is how stale a snapshot may be and still substitute
+	// for a live scan (0 = any age).
+	MaxSnapshotAge time.Duration
+	// SampleRate is the block-sample rate of the last-resort fallback;
+	// 0 disables the sample fallback.
+	SampleRate float64
+	// Now supplies the current time for snapshot-age checks (virtual in
+	// tests); nil means time.Now.
+	Now func() time.Time
+}
+
+func (p DegradePolicy) now() time.Time {
+	if p.Now != nil {
+		return p.Now()
+	}
+	return time.Now()
+}
+
+// degradedScan is the fallback ladder for a permanently failed cloud scan:
+// freshest matching snapshot first, then a block sample of the table itself
+// (samples touch fewer blocks, so they can dodge localized block faults).
+// It returns nil when no fallback applies; the caller then surfaces origErr.
+func degradedScan(ctx *Context, db cloud.DB, table string, origErr error) *Result {
+	pol := ctx.Degrade
+	if !pol.Enabled || !faults.IsPermanent(origErr) {
+		return nil
+	}
+	if t, note := degradedFromSnapshot(ctx, db, table, pol); t != nil {
+		return &Result{
+			Table:        t,
+			Degraded:     true,
+			DegradedNote: note,
+			Message:      fmt.Sprintf("degraded: %s (scan failed: %v)", note, origErr),
+		}
+	}
+	if pol.SampleRate > 0 && pol.SampleRate <= 1 {
+		if t, err := db.SampleBlocks(table, pol.SampleRate, ctx.Seed); err == nil {
+			note := fmt.Sprintf("%.0f%% block sample of %s", pol.SampleRate*100, table)
+			return &Result{
+				Table:        t.WithName(table),
+				Degraded:     true,
+				DegradedNote: note,
+				Message:      fmt.Sprintf("degraded: %s (scan failed: %v)", note, origErr),
+			}
+		}
+	}
+	return nil
+}
+
+// degradedFromSnapshot picks the freshest snapshot of db/table within the
+// policy's age bound.
+func degradedFromSnapshot(ctx *Context, db cloud.DB, table string, pol DegradePolicy) (*dataset.Table, string) {
+	if ctx.Snapshots == nil {
+		return nil, ""
+	}
+	var best *time.Time
+	var bestName string
+	for _, name := range ctx.Snapshots.Names() {
+		info, err := ctx.Snapshots.Info(name)
+		if err != nil || info.SourceDB != db.Name() || !strings.EqualFold(info.SourceTable, table) {
+			continue
+		}
+		if pol.MaxSnapshotAge > 0 && pol.now().Sub(info.RefreshedAt) > pol.MaxSnapshotAge {
+			continue
+		}
+		if best == nil || info.RefreshedAt.After(*best) {
+			t := info.RefreshedAt
+			best, bestName = &t, name
+		}
+	}
+	if bestName == "" {
+		return nil, ""
+	}
+	t, err := ctx.Snapshots.Get(bestName)
+	if err != nil {
+		return nil, ""
+	}
+	return t.WithName(table), fmt.Sprintf("snapshot %q (refreshed %s)", bestName, best.Format("2006-01-02 15:04:05"))
+}

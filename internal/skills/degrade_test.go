@@ -1,0 +1,149 @@
+package skills
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+	"datachat/internal/snapshot"
+)
+
+// The degradation ladder (§2.3 transparency applied to failures): a
+// permanently failed cloud scan may answer from a fresh-enough snapshot,
+// then from a block sample — always annotated — and transient failures are
+// left for the retry layer, never degraded.
+
+func degradeDB(t *testing.T) *cloud.Database {
+	t.Helper()
+	n := 64
+	ids := make([]int64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 16)
+	if err := db.CreateTable(dataset.MustNewTable("events", dataset.IntColumn("id", ids, nil))); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// loadTable executes the LoadTable skill against ctx.
+func loadTable(t *testing.T, ctx *Context) (*Result, error) {
+	t.Helper()
+	return NewRegistry().Execute(ctx, Invocation{Skill: "LoadTable",
+		Args: Args{"database": "wh", "table": "events"}, Output: "ev"})
+}
+
+// permScanCtx returns a context whose "wh" database fails its first scan
+// permanently (everything after passes).
+func permScanCtx(t *testing.T, db *cloud.Database) *Context {
+	t.Helper()
+	ctx := NewContext()
+	inj := faults.NewInjector(faults.Schedule{
+		FailOps: map[int]faults.Kind{1: faults.Unavailable},
+		Ops:     map[string]bool{"scan": true},
+	}, nil)
+	ctx.Cloud["wh"] = faults.WrapDB(db, inj)
+	return ctx
+}
+
+func TestLoadTableDegradesToSnapshot(t *testing.T) {
+	db := degradeDB(t)
+	now := time.Unix(10_000, 0)
+	store := snapshot.NewStore(0)
+	store.SetClock(func() time.Time { return now.Add(-30 * time.Minute) })
+	if _, err := store.Create("ev-snap", db, "events", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot of another table must never substitute.
+	if err := db.CreateTable(dataset.MustNewTable("other", dataset.IntColumn("id", []int64{1}, nil))); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.Create("other-snap", db, "other", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := permScanCtx(t, db)
+	ctx.Snapshots = store
+	ctx.Degrade = DegradePolicy{Enabled: true, MaxSnapshotAge: time.Hour, SampleRate: 0.5,
+		Now: func() time.Time { return now }}
+	res, err := loadTable(t, ctx)
+	if err != nil {
+		t.Fatalf("degradation did not absorb the permanent fault: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not marked degraded")
+	}
+	full, _ := db.Table("events")
+	if !res.Table.Equal(full.WithName("events")) {
+		t.Error("snapshot fallback did not return the snapshotted table")
+	}
+	for _, s := range []string{res.DegradedNote, res.Message} {
+		if !strings.Contains(s, "ev-snap") {
+			t.Errorf("annotation does not name the snapshot: %q", s)
+		}
+	}
+}
+
+func TestLoadTableStaleSnapshotFallsToSample(t *testing.T) {
+	db := degradeDB(t)
+	now := time.Unix(10_000, 0)
+	store := snapshot.NewStore(0)
+	store.SetClock(func() time.Time { return now.Add(-2 * time.Hour) }) // too stale
+	if _, err := store.Create("ev-snap", db, "events", 1, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	ctx := permScanCtx(t, db)
+	ctx.Snapshots = store
+	ctx.Degrade = DegradePolicy{Enabled: true, MaxSnapshotAge: time.Hour, SampleRate: 0.5,
+		Now: func() time.Time { return now }}
+	res, err := loadTable(t, ctx)
+	if err != nil {
+		t.Fatalf("sample fallback did not absorb the fault: %v", err)
+	}
+	if !res.Degraded || !strings.Contains(res.DegradedNote, "block sample") {
+		t.Fatalf("want a block-sample fallback, got %+v", res)
+	}
+	if res.Table.NumRows() == 0 || res.Table.NumRows() >= 64 {
+		t.Errorf("sample has %d rows, want a proper subset of 64", res.Table.NumRows())
+	}
+}
+
+func TestLoadTableTransientFaultIsNotDegraded(t *testing.T) {
+	db := degradeDB(t)
+	ctx := NewContext()
+	inj := faults.NewInjector(faults.Schedule{
+		FailOps: map[int]faults.Kind{1: faults.Throttled},
+		Ops:     map[string]bool{"scan": true},
+	}, nil)
+	ctx.Cloud["wh"] = faults.WrapDB(db, inj)
+	ctx.Degrade = DegradePolicy{Enabled: true, SampleRate: 0.5}
+	_, err := loadTable(t, ctx)
+	if !faults.IsTransient(err) {
+		t.Fatalf("transient fault should propagate to the retry layer, got %v", err)
+	}
+}
+
+func TestLoadTableDegradeDisabledPropagates(t *testing.T) {
+	db := degradeDB(t)
+	ctx := permScanCtx(t, db) // zero Degrade policy
+	_, err := loadTable(t, ctx)
+	if !faults.IsPermanent(err) {
+		t.Fatalf("with degradation off the permanent fault must propagate, got %v", err)
+	}
+}
+
+func TestLoadTableNoFallbackAvailable(t *testing.T) {
+	db := degradeDB(t)
+	ctx := permScanCtx(t, db)
+	// Degradation on, but no snapshot store and sampling disabled.
+	ctx.Degrade = DegradePolicy{Enabled: true}
+	_, err := loadTable(t, ctx)
+	if !faults.IsPermanent(err) {
+		t.Fatalf("no fallback applies, the fault must propagate, got %v", err)
+	}
+}

@@ -63,6 +63,9 @@ func ingestionSkills() []*Definition {
 				}
 				t, err := db.Scan(tableName)
 				if err != nil {
+					if res := degradedScan(ctx, db, tableName, err); res != nil {
+						return res, nil
+					}
 					return nil, err
 				}
 				return &Result{Table: t}, nil

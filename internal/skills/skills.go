@@ -199,6 +199,13 @@ type Result struct {
 	Charts  []*viz.Chart
 	Model   ml.Model
 	Message string
+	// Degraded marks a result produced by a fallback path (stale snapshot,
+	// block sample) after the primary source failed permanently. Degraded
+	// results are surfaced transparently (§2.3) and are never stored in the
+	// sub-DAG cache under the exact-result fingerprint.
+	Degraded bool
+	// DegradedNote says which fallback produced the result and why.
+	DegradedNote string
 }
 
 // Context is the execution environment a skill runs in: the session's named
@@ -214,10 +221,15 @@ type Result struct {
 type Context struct {
 	// Datasets maps dataset names to tables (the session's working set).
 	Datasets map[string]*dataset.Table
-	// Cloud maps database names to connected cloud databases.
-	Cloud map[string]*cloud.Database
+	// Cloud maps database names to connected cloud databases (possibly
+	// wrapped by fault injectors; skills only see the read interface).
+	Cloud map[string]cloud.DB
 	// Snapshots is the session's snapshot store (may be nil).
-	Snapshots *snapshot.Store
+	Snapshots snapshot.API
+	// Degrade configures the fallback path cloud-reading skills take when
+	// the primary source fails permanently. The zero value disables
+	// degradation: permanent failures abort the request.
+	Degrade DegradePolicy
 	// Models holds trained models by name.
 	Models map[string]ml.Model
 	// Files maps file names/URLs to CSV content for LoadData. Deterministic
@@ -243,7 +255,7 @@ type fpEntry struct {
 func NewContext() *Context {
 	return &Context{
 		Datasets:    map[string]*dataset.Table{},
-		Cloud:       map[string]*cloud.Database{},
+		Cloud:       map[string]cloud.DB{},
 		Models:      map[string]ml.Model{},
 		Files:       map[string]string{},
 		Definitions: map[string]string{},
@@ -422,14 +434,23 @@ func NewRegistry() *Registry {
 }
 
 func (r *Registry) mustRegister(def *Definition) {
+	if err := r.Register(def); err != nil {
+		panic(err.Error())
+	}
+}
+
+// Register installs a skill definition. Tests and extensions use it to add
+// custom skills next to the built-ins; duplicate names are rejected.
+func (r *Registry) Register(def *Definition) error {
 	if _, dup := r.byName[strings.ToLower(def.Name)]; dup {
-		panic(fmt.Sprintf("skills: duplicate skill %q", def.Name))
+		return fmt.Errorf("skills: duplicate skill %q", def.Name)
 	}
 	if def.PyName == "" {
 		def.PyName = toSnake(def.Name)
 	}
 	r.byName[strings.ToLower(def.Name)] = def
 	r.order = append(r.order, def.Name)
+	return nil
 }
 
 // Lookup returns a skill definition by name (case-insensitive).

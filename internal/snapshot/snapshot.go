@@ -33,6 +33,26 @@ type Snapshot struct {
 	Data *dataset.Table
 }
 
+// API is the surface of the snapshot store that skills and sessions
+// consume. Store implements it directly; fault-injection wrappers
+// implement it around a Store.
+type API interface {
+	// Create pulls a table (or a sample) from db into the store.
+	Create(name string, db cloud.DB, table string, rate float64, seed int64) (*Snapshot, error)
+	// Get returns a snapshot's cached table.
+	Get(name string) (*dataset.Table, error)
+	// Info returns snapshot metadata without touching the data.
+	Info(name string) (*Snapshot, error)
+	// Refresh re-pulls a snapshot from its source database.
+	Refresh(name string, db cloud.DB) (*Snapshot, error)
+	// Names lists snapshots in sorted order.
+	Names() []string
+	// Table implements sqlengine.Catalog over the store.
+	Table(name string) (*dataset.Table, error)
+}
+
+var _ API = (*Store)(nil)
+
 // Store is the fixed-cost local database instance that holds snapshots.
 // Reads from the store are free; the only cloud cost is paid at snapshot
 // creation and refresh time.
@@ -62,7 +82,7 @@ func (s *Store) SetClock(clock func() time.Time) { s.clock = clock }
 // Create pulls a table (or a block sample of it, when rate < 1) from the
 // cloud database into the store under the given snapshot name. The pull is
 // charged on the database's meter; subsequent Get calls are free.
-func (s *Store) Create(name string, db *cloud.Database, table string, rate float64, seed int64) (*Snapshot, error) {
+func (s *Store) Create(name string, db cloud.DB, table string, rate float64, seed int64) (*Snapshot, error) {
 	if name == "" {
 		return nil, fmt.Errorf("snapshot: name must not be empty")
 	}
@@ -121,7 +141,7 @@ func (s *Store) Info(name string) (*Snapshot, error) {
 
 // Refresh re-pulls a snapshot from its source database, charging the cloud
 // meter again — the "refresh" interaction from §2.3/§3.
-func (s *Store) Refresh(name string, db *cloud.Database) (*Snapshot, error) {
+func (s *Store) Refresh(name string, db cloud.DB) (*Snapshot, error) {
 	s.mu.Lock()
 	snap, ok := s.snaps[strings.ToLower(name)]
 	s.mu.Unlock()
