@@ -273,6 +273,9 @@ func benchChain(b *testing.B, consolidate bool) {
 		ctx.Datasets["base"] = wideTable(30000, steps+2)
 		ex := dag.NewExecutor(reg, ctx)
 		ex.Consolidate = consolidate
+		// Disable fusion too: the chain is adjacent same-skill projections,
+		// and the naive baseline must execute them one step at a time.
+		ex.Fuse = consolidate
 		ex.UseCache = false
 		g := dag.NewGraph()
 		prev := "base"

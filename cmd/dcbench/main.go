@@ -10,6 +10,7 @@
 //	dcbench -exp ablations   # semantic layer / retrieval / checker ablations
 //	dcbench -exp vectorized  # columnar engine vs row reference (filter/join/group-by)
 //	dcbench -exp faults      # fault-rate grid: retried corpus throughput + exactness
+//	dcbench -exp plan        # logical-plan pass pipeline: planned vs naive execution
 //	dcbench -exp all         # everything (default)
 package main
 
@@ -22,12 +23,13 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
 	benchJSON := flag.String("bench-json", "", "write the vectorized grid as JSON to this path")
 	faultsJSON := flag.String("faults-json", "", "write the fault-rate grid as JSON to this path")
+	planJSON := flag.String("plan-json", "", "write the plan comparison as JSON to this path")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -153,6 +155,22 @@ func main() {
 				return err
 			}
 			return os.WriteFile(*faultsJSON, append(data, '\n'), 0o644)
+		}
+		return nil
+	})
+	run("plan", func() error {
+		r, err := experiments.Plan(100_000, 6)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		if *planJSON != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*planJSON, append(data, '\n'), 0o644)
 		}
 		return nil
 	})

@@ -27,6 +27,7 @@ import (
 	"datachat/internal/ml"
 	"datachat/internal/nl2code"
 	"datachat/internal/phrase"
+	"datachat/internal/plan"
 	"datachat/internal/recipe"
 	"datachat/internal/semantic"
 	"datachat/internal/session"
@@ -90,7 +91,16 @@ type (
 	Session = session.Session
 	// InsightsBoard is the poster-style presentation surface (§2.4).
 	InsightsBoard = session.InsightsBoard
+	// Explain is the EXPLAIN report for a compiled logical plan: the pass
+	// pipeline's decisions (fusion, consolidation, pushdown, cache state)
+	// without executing anything (DESIGN.md §9).
+	Explain = plan.Explain
+	// ExplainNode is one plan node in an EXPLAIN report.
+	ExplainNode = plan.ExplainNode
 )
+
+// DecodeExplain parses an EXPLAIN report from its JSON encoding.
+func DecodeExplain(data []byte) (*Explain, error) { return plan.DecodeExplain(data) }
 
 // NewGraph returns an empty skill DAG.
 func NewGraph() *Graph { return dag.NewGraph() }

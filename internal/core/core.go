@@ -18,6 +18,8 @@ import (
 	"datachat/internal/gel"
 	"datachat/internal/nl2code"
 	"datachat/internal/phrase"
+	"datachat/internal/plan"
+	"datachat/internal/pyapi"
 	"datachat/internal/semantic"
 	"datachat/internal/session"
 	"datachat/internal/skills"
@@ -170,6 +172,59 @@ func (p *Platform) Board(name string) *session.InsightsBoard {
 		p.boards[key] = b
 	}
 	return b
+}
+
+// Run executes a program of skill invocations in a session on behalf of a
+// user — the platform's single plan-then-execute entry point. Every front
+// end (GEL, the Python API, phrase translation, recipe replay) reduces its
+// input to invocations and funnels through here, so identical pipelines
+// lower into identical logical plans and share sub-DAG cache entries no
+// matter which surface built them.
+func (p *Platform) Run(sessionName, user string, invs ...skills.Invocation) (*skills.Result, error) {
+	s, err := p.Session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	res, _, err := s.RequestProgram(user, invs...)
+	return res, err
+}
+
+// RunPython parses a DataChat Python API script and executes it via Run.
+func (p *Platform) RunPython(sessionName, user, src string) (*skills.Result, error) {
+	prog, err := pyapi.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	invs, err := pyapi.NewTranslator(p.Registry).Invocations(prog)
+	if err != nil {
+		return nil, err
+	}
+	return p.Run(sessionName, user, invs...)
+}
+
+// RunPhrase translates a §4.8 phrase-based request against a dataset and
+// executes the resulting invocation via Run.
+func (p *Platform) RunPhrase(sessionName, user, input, datasetName string) (*skills.Result, error) {
+	t, err := p.TranslatePhrase(sessionName, input, datasetName)
+	if err != nil {
+		return nil, err
+	}
+	inv := t.Invocation
+	if len(inv.Inputs) == 0 {
+		inv.Inputs = []string{datasetName}
+	}
+	return p.Run(sessionName, user, inv)
+}
+
+// Explain returns the EXPLAIN report — optimized plan, SQL fragments, pass
+// trace — for the session step producing the named dataset, without
+// executing anything. Pass "" for the session's latest step.
+func (p *Platform) Explain(sessionName, output string) (*plan.Explain, error) {
+	s, err := p.Session(sessionName)
+	if err != nil {
+		return nil, err
+	}
+	return s.Explain(output)
 }
 
 // RequestGEL parses a GEL sentence and executes it in a session on behalf

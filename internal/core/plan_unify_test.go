@@ -1,0 +1,156 @@
+package core
+
+import (
+	"testing"
+
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/gel"
+	"datachat/internal/recipe"
+	"datachat/internal/session"
+	"datachat/internal/skills"
+)
+
+func skillInv(skill string, inputs []string, output string, args map[string]any) skills.Invocation {
+	return skills.Invocation{Skill: skill, Inputs: inputs, Output: output, Args: skills.Args(args)}
+}
+
+// sliceSessionGraph captures the session's latest step as a sliced recipe,
+// the way SaveArtifact does.
+func sliceSessionGraph(s *session.Session) (*recipe.Recipe, dag.SliceReport, error) {
+	sliced, rep, err := dag.Slice(s.Graph(), s.Graph().Last())
+	if err != nil {
+		return nil, rep, err
+	}
+	rec, err := recipe.FromGraph("top", sliced)
+	return rec, rep, err
+}
+
+// planTable builds the shared input both front ends operate on. Sessions get
+// the same *dataset.Table instance, so the external content fingerprints in
+// the cache keys match exactly.
+func planTable() *dataset.Table {
+	n := 40
+	ids := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		vals[i] = float64(i % 11)
+	}
+	return dataset.MustNewTable("base",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("v", vals, nil),
+	)
+}
+
+// The same pipeline built through the GEL runner in one session and through
+// the Python API in another must lower to identical canonical fingerprints
+// and therefore share sub-DAG cache entries across the platform (§2.2: the
+// front ends are views over one skill layer, not separate engines).
+func TestCrossFrontEndCacheUnification(t *testing.T) {
+	p := New()
+	table := planTable()
+	sa, err := p.CreateSession("viaGel", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Context().PutDataset("base", table)
+	sb, err := p.CreateSession("viaPython", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Context().PutDataset("base", table)
+
+	// Front end 1: the GEL recipe runner.
+	runner := gel.NewRunner(p.Parser, sa.Executor(), []string{
+		"Use the dataset base",
+		"Keep the rows where v > 5",
+		"Keep the columns id, v",
+		"Limit the data to 7 rows",
+	})
+	steps, err := runner.RunAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gelRes := steps[len(steps)-1].Result
+	gelExplain, err := runner.Explain()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Front end 2: the same pipeline as a Python API script.
+	pyRes, err := p.RunPython("viaPython", "ann", `
+f = base.keep_rows(condition = "v > 5")
+g = f.keep_columns(columns = ["id", "v"])
+g.limit_rows(count = 7)
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pyRes.Table.Equal(gelRes.Table) {
+		t.Fatalf("front ends disagree:\nGEL:\n%s\npyapi:\n%s", gelRes.Table, pyRes.Table)
+	}
+
+	// The pyapi run must have been served from the GEL run's cache entries.
+	if hits := sb.Executor().Stats().CacheHits; hits == 0 {
+		t.Error("python run had no cache hits; front ends are not sharing plan keys")
+	}
+
+	// And the canonical fingerprints of the final step must be identical.
+	pyExplain, err := p.Explain("viaPython", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gelFP := gelExplain.Nodes[len(gelExplain.Nodes)-1].Fingerprint
+	pyFP := pyExplain.Nodes[len(pyExplain.Nodes)-1].Fingerprint
+	if gelFP == "" || gelFP != pyFP {
+		t.Errorf("target fingerprints differ: GEL %q vs pyapi %q", gelFP, pyFP)
+	}
+}
+
+// A recipe replay of a sliced pipeline must hit the cache entries the live
+// session populated: slicing pre-merges adjacent filters, and because fusion
+// runs before fingerprinting, the merged step and the live two-step chain
+// share one canonical fingerprint.
+func TestRecipeReplaySharesCacheWithLiveRun(t *testing.T) {
+	p := New()
+	table := planTable()
+	s, err := p.CreateSession("live", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Context().PutDataset("base", table)
+
+	res, err := p.Run("live", "ann",
+		skillInv("KeepRows", []string{"base"}, "f1", map[string]any{"condition": "v > 2"}),
+		skillInv("KeepRows", []string{"f1"}, "f2", map[string]any{"condition": "v < 9"}),
+		skillInv("LimitRows", []string{"f2"}, "top", map[string]any{"count": 10}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Save and replay the sliced recipe in a second session holding the same
+	// data: dag.Slice merges the adjacent filters, so the replayed graph has
+	// fewer steps than the live one — but the same canonical plan.
+	sliced, _, err := sliceSessionGraph(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := p.CreateSession("replay", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2.Context().PutDataset("base", table)
+	g2 := sliced.Graph()
+	res2, err := s2.Executor().Run(g2, g2.Last())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.Table.Equal(res.Table) {
+		t.Fatal("replay result differs from the live run")
+	}
+	if hits := s2.Executor().Stats().CacheHits; hits == 0 {
+		t.Error("sliced replay recomputed everything; pre-merged steps are not sharing fingerprints with live chains")
+	}
+}

@@ -22,6 +22,9 @@ type Stats struct {
 	// QueryBlocks sums the SELECT-block counts of executed SQL tasks — the
 	// §2.2 flatness measure.
 	QueryBlocks int
+	// RowsMaterialized sums the row counts of every result published into
+	// the session context — the volume pushdown is meant to shrink.
+	RowsMaterialized int
 	// CacheHits counts tasks served from the sub-DAG cache (including
 	// computations shared with a concurrent identical request).
 	CacheHits int
@@ -39,6 +42,7 @@ type Stats struct {
 type counters struct {
 	tasksRun, sqlTasks, directTasks      atomic.Int64
 	nodesConsolidated, queryBlocks       atomic.Int64
+	rowsMaterialized                     atomic.Int64
 	cacheHits, cacheMisses               atomic.Int64
 	retries, permanentFailures, degraded atomic.Int64
 }
@@ -50,6 +54,7 @@ func (c *counters) snapshot() Stats {
 		DirectTasks:       int(c.directTasks.Load()),
 		NodesConsolidated: int(c.nodesConsolidated.Load()),
 		QueryBlocks:       int(c.queryBlocks.Load()),
+		RowsMaterialized:  int(c.rowsMaterialized.Load()),
 		CacheHits:         int(c.cacheHits.Load()),
 		CacheMisses:       int(c.cacheMisses.Load()),
 		Retries:           int(c.retries.Load()),
@@ -64,6 +69,7 @@ func (c *counters) reset() {
 	c.directTasks.Store(0)
 	c.nodesConsolidated.Store(0)
 	c.queryBlocks.Store(0)
+	c.rowsMaterialized.Store(0)
 	c.cacheHits.Store(0)
 	c.cacheMisses.Store(0)
 	c.retries.Store(0)
@@ -71,16 +77,21 @@ func (c *counters) reset() {
 	c.degraded.Store(0)
 }
 
-// Executor compiles and runs DAGs against a skill context. It owns (or
-// shares) the sub-DAG result cache, which persists across Run calls so
-// shared prefixes of successive requests are reused (§2.2).
+// Executor compiles and runs DAGs against a skill context. Compilation
+// lowers the sub-DAG into the internal/plan IR and runs the optimizing pass
+// pipeline (slice, fuse, fingerprint, cache probe, consolidate, pushdown);
+// the executor then schedules one task per surviving node or fragment. It
+// owns (or shares) the sub-DAG result cache, which persists across Run calls
+// so shared prefixes of successive requests are reused (§2.2) — keyed by
+// canonical plan fingerprints, so identical pipelines built via different
+// front ends share entries.
 //
 // Concurrency: one Run schedules independent DAG branches onto a bounded
 // worker pool (see ExecOptions). The cache may additionally be shared across
 // the executors of many sessions (SetCache), in which case identical
 // concurrent computations are deduplicated. The configuration fields
-// (Registry, Ctx, Consolidate, UseCache, Options) must not be mutated while
-// a Run is in progress.
+// (Registry, Ctx, Consolidate, Fuse, Pushdown, UseCache, Options) must not
+// be mutated while a Run is in progress.
 type Executor struct {
 	// Registry resolves skill definitions.
 	Registry *skills.Registry
@@ -89,6 +100,12 @@ type Executor struct {
 	// Consolidate enables merging relational chains into single SQL tasks
 	// (on by default via NewExecutor; turn off for the naive baseline).
 	Consolidate bool
+	// Fuse enables adjacent-operator fusion on every execution (consecutive
+	// KeepRows/LimitRows/KeepColumns collapse into one step).
+	Fuse bool
+	// Pushdown enables copying a scan's sole consumer's projection or filter
+	// into the scan itself.
+	Pushdown bool
 	// UseCache enables the sub-DAG result cache.
 	UseCache bool
 	// Options tunes scheduling (worker-pool size).
@@ -98,13 +115,16 @@ type Executor struct {
 	counters counters
 }
 
-// NewExecutor returns an executor with consolidation and caching enabled,
-// backed by a private bounded cache, executing with GOMAXPROCS workers.
+// NewExecutor returns an executor with every optimizing pass and caching
+// enabled, backed by a private bounded cache, executing with GOMAXPROCS
+// workers.
 func NewExecutor(reg *skills.Registry, ctx *skills.Context) *Executor {
 	return &Executor{
 		Registry:    reg,
 		Ctx:         ctx,
 		Consolidate: true,
+		Fuse:        true,
+		Pushdown:    true,
 		UseCache:    true,
 		cache:       NewCache(DefaultCacheCapacity),
 	}
@@ -164,7 +184,7 @@ func (e *Executor) RunContext(ctx context.Context, g *Graph, target NodeID) (*sk
 	if err != nil {
 		return nil, err
 	}
-	if err := e.runPlan(ctx, g, p, e.Options.Parallelism); err != nil {
+	if err := e.runPlan(ctx, p, e.Options.Parallelism); err != nil {
 		return nil, err
 	}
 	t := p.byNode[target]
@@ -172,23 +192,6 @@ func (e *Executor) RunContext(ctx context.Context, g *Graph, target NodeID) (*sk
 		return nil, fmt.Errorf("dag: internal: no result for target node %d", target)
 	}
 	return t.result, nil
-}
-
-// rewiredInvocation replaces parent-input names with the parents' output
-// names (they are the same by construction, but Output defaults resolve
-// here).
-func (e *Executor) rewiredInvocation(g *Graph, node *Node) skills.Invocation {
-	inv := node.Inv
-	if len(node.Parents) > 0 {
-		inputs := append([]string{}, inv.Inputs...)
-		for i, p := range node.Parents {
-			if p >= 0 {
-				inputs[i] = g.nodes[p].OutputName()
-			}
-		}
-		inv.Inputs = inputs
-	}
-	return inv
 }
 
 // CompileSQL returns the consolidated SQL for the relational chain ending

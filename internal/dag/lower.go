@@ -1,0 +1,96 @@
+package dag
+
+import (
+	"datachat/internal/plan"
+	"datachat/internal/skills"
+)
+
+// lowerGraph lowers the whole graph into the logical-plan IR targeting
+// target. Parent edges become plan inputs with the producers' output names
+// resolved; the slice pass then prunes whatever the target does not need.
+func lowerGraph(g *Graph, target NodeID) (*plan.Plan, error) {
+	if _, err := g.Node(target); err != nil {
+		return nil, err
+	}
+	lp := plan.New(int(target))
+	for _, id := range g.order {
+		n := g.nodes[id]
+		pn := &plan.Node{
+			ID:     int(id),
+			Skill:  n.Inv.Skill,
+			Args:   n.Inv.Args,
+			Output: n.Inv.Output,
+		}
+		for i, p := range n.Parents {
+			if p < 0 {
+				pn.Inputs = append(pn.Inputs, plan.Input{Node: plan.External, Name: n.Inv.Inputs[i]})
+			} else {
+				pn.Inputs = append(pn.Inputs, plan.Input{Node: int(p), Name: g.nodes[p].OutputName()})
+			}
+		}
+		lp.Add(pn)
+	}
+	return lp, nil
+}
+
+// logicalPlan lowers g and runs the executor's configured pass pipeline:
+// slice, fuse (Fuse), fingerprint, cache probe (UseCache), consolidate
+// (Consolidate), pushdown (Pushdown). With readOnly set the cache probe uses
+// a side-effect-free peek, so Explain never perturbs stats or LRU recency.
+func (e *Executor) logicalPlan(g *Graph, target NodeID, readOnly bool) (*plan.Plan, error) {
+	lp, err := lowerGraph(g, target)
+	if err != nil {
+		return nil, err
+	}
+	env := &plan.Env{
+		Lookup: e.Registry.Lookup,
+		ExtFingerprint: func(name string) (uint64, bool) {
+			fp, err := e.Ctx.Fingerprint(name)
+			if err != nil {
+				return 0, false
+			}
+			return fp, true
+		},
+	}
+	if e.UseCache {
+		if readOnly {
+			env.CacheGet = func(key string) (*skills.Result, bool) {
+				return nil, e.cache.Peek(key)
+			}
+		} else {
+			env.CacheGet = func(key string) (*skills.Result, bool) {
+				res, ok := e.cache.Get(key)
+				if ok {
+					e.counters.cacheHits.Add(1)
+				}
+				return res, ok
+			}
+		}
+	}
+	passes := []plan.Pass{plan.SlicePass()}
+	if e.Fuse {
+		passes = append(passes, plan.FusePass())
+	}
+	passes = append(passes, plan.FingerprintPass(), plan.CacheProbePass())
+	if e.Consolidate {
+		passes = append(passes, plan.ConsolidatePass())
+	}
+	if e.Pushdown {
+		passes = append(passes, plan.PushdownPass())
+	}
+	if err := plan.RunPasses(lp, env, passes...); err != nil {
+		return nil, err
+	}
+	return lp, nil
+}
+
+// Explain compiles — but does not execute — the sub-DAG ending at target
+// through the full pass pipeline and returns the plan report: surviving
+// nodes, consolidated SQL fragments, and which passes fired.
+func (e *Executor) Explain(g *Graph, target NodeID) (*plan.Explain, error) {
+	lp, err := e.logicalPlan(g, target, true)
+	if err != nil {
+		return nil, err
+	}
+	return plan.NewExplain(lp), nil
+}

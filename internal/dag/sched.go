@@ -5,11 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
-	"strings"
 	"sync"
 	"time"
 
 	"datachat/internal/faults"
+	"datachat/internal/plan"
 	"datachat/internal/skills"
 	"datachat/internal/sqlengine"
 )
@@ -33,6 +33,9 @@ type ExecOptions struct {
 	// clock. Tests install a faults.VirtualClock so retry schedules
 	// spanning minutes execute instantly.
 	Clock faults.Clock
+	// SQL tunes consolidated-fragment execution (e.g. DisableVectorized
+	// forces the row reference path). The zero value uses engine defaults.
+	SQL sqlengine.Options
 }
 
 // clock returns the configured time source.
@@ -43,14 +46,13 @@ func (o ExecOptions) clock() faults.Clock {
 	return faults.Real()
 }
 
-// task is one schedulable unit of a Run: either a consolidated relational
-// chain executed as a single SQL statement (Figure 4), or one direct skill
+// task is one schedulable unit of a Run: a consolidated relational fragment
+// executed as a single SQL statement (Figure 4), one direct skill
 // application, or the republication of a plan-time cache hit.
 type task struct {
-	idx   int
-	nodes []NodeID // topological order; the last entry produces the output
-	tail  NodeID
-	sql   bool
+	idx  int
+	node *plan.Node     // the node whose output the task materializes
+	frag *plan.Fragment // non-nil for consolidated SQL tasks
 
 	key         string // sub-DAG cache key; "" when not cacheable
 	cacheable   bool
@@ -64,148 +66,74 @@ type task struct {
 	result  *skills.Result
 }
 
-// plan is the compiled form of one Run: tasks wired by dependency edges.
-// Planning runs serially — all signatures, fingerprints, and cache probes
-// happen before any worker starts, so Graph and key computation need no
-// locking.
-type plan struct {
-	tasks  []*task
-	byNode map[NodeID]*task
+// execPlan is the compiled form of one Run: the optimized logical plan plus
+// tasks wired by dependency edges. Planning runs serially — lowering, every
+// pass, and all cache probes happen before any worker starts, so key
+// computation needs no locking.
+type execPlan struct {
+	logical *plan.Plan
+	tasks   []*task
+	byNode  map[NodeID]*task
 }
 
-// plan compiles the sub-DAG ending at target into tasks. Consolidation
-// chains become single SQL tasks; everything else executes directly. Nodes
-// whose cache key is already stored become republish-only tasks and their
-// ancestors are pruned from the plan entirely, matching the recursive
-// executor's short-circuit on a cache hit.
-func (e *Executor) plan(g *Graph, target NodeID) (*plan, error) {
-	needed, err := g.Ancestors(target)
+// plan lowers the sub-DAG ending at target, runs the pass pipeline (see
+// logicalPlan), and emits tasks: one per SQL fragment, one per remaining
+// node. Nodes the cache probe pinned become republish-only tasks with their
+// ancestors pruned from the plan entirely.
+func (e *Executor) plan(g *Graph, target NodeID) (*execPlan, error) {
+	lp, err := e.logicalPlan(g, target, false)
 	if err != nil {
 		return nil, err
 	}
-	consumers := g.consumers(needed)
-
-	// Taint pass: volatile skills depend on state the DAG signature cannot
-	// see (cloud tables, snapshots, trained models) or mutate session state
-	// when applied, so neither they nor their descendants may be served from
-	// the cache — stale for the former, skipped side effects for the latter.
-	tainted := map[NodeID]bool{}
-	for _, id := range needed {
-		node := g.nodes[id]
-		def, err := e.Registry.Lookup(node.Inv.Skill)
-		if err != nil {
-			return nil, fmt.Errorf("dag: node %d: %w", id, err)
-		}
-		taint := def.Volatile
-		for _, p := range node.Parents {
-			if p >= 0 && tainted[p] {
-				taint = true
-			}
-		}
-		tainted[id] = taint
-	}
-
-	// keyOf composes the cache key: the structural signature plus a content
-	// fingerprint of every external input, so a reloaded or refreshed
-	// dataset under the same name can never serve a stale cached result.
-	type keyInfo struct {
-		key string
-		ok  bool
-	}
-	keys := map[NodeID]keyInfo{}
-	keyOf := func(id NodeID) (string, bool, error) {
-		if !e.UseCache || tainted[id] {
-			return "", false, nil
-		}
-		if ki, ok := keys[id]; ok {
-			return ki.key, ki.ok, nil
-		}
-		sig, err := g.Signature(id)
-		if err != nil {
-			return "", false, err
-		}
-		exts, err := g.ExternalInputs(id)
-		if err != nil {
-			return "", false, err
-		}
-		var b strings.Builder
-		b.WriteString(sig)
-		ok := true
-		for _, name := range exts {
-			fp, err := e.Ctx.Fingerprint(name)
-			if err != nil {
-				// Missing input: execution will report the real error; the
-				// task simply cannot be cached.
-				ok = false
-				break
-			}
-			fmt.Fprintf(&b, "|%s=%016x", name, fp)
-		}
-		ki := keyInfo{ok: ok}
-		if ok {
-			ki.key = b.String()
-		}
-		keys[id] = ki
-		return ki.key, ki.ok, nil
-	}
-
-	p := &plan{byNode: map[NodeID]*task{}}
-	var build func(id NodeID) (*task, error)
-	build = func(id NodeID) (*task, error) {
-		if t, ok := p.byNode[id]; ok {
-			return t, nil
-		}
-		t := &task{idx: len(p.tasks), tail: id}
+	p := &execPlan{logical: lp, byNode: map[NodeID]*task{}}
+	owner := map[int]*task{}
+	newTask := func(tail *plan.Node) *task {
+		t := &task{idx: len(p.tasks), node: tail}
 		p.tasks = append(p.tasks, t)
-		key, cacheable, err := keyOf(id)
-		if err != nil {
-			return nil, err
+		return t
+	}
+	for i := range lp.Fragments {
+		frag := &lp.Fragments[i]
+		t := newTask(lp.Node(frag.Nodes[len(frag.Nodes)-1]))
+		t.frag = frag
+		for _, id := range frag.Nodes {
+			owner[id] = t
 		}
-		t.key, t.cacheable = key, cacheable
-		if t.cacheable {
-			if res, ok := e.cache.Get(key); ok {
-				// Plan-time hit: the whole sub-DAG below is pruned and the
-				// task only republishes the cached result.
-				t.pinned = res
-				t.nodes = []NodeID{id}
-				p.byNode[id] = t
-				e.counters.cacheHits.Add(1)
-				return t, nil
+	}
+	for _, n := range lp.Nodes {
+		if owner[n.ID] != nil {
+			continue
+		}
+		t := newTask(n)
+		t.pinned = n.Pinned
+		owner[n.ID] = t
+	}
+	for _, t := range p.tasks {
+		t.key = t.node.Key
+		t.cacheable = e.UseCache && t.key != ""
+		members := []*plan.Node{t.node}
+		if t.frag != nil {
+			members = members[:0]
+			for _, id := range t.frag.Nodes {
+				members = append(members, lp.Node(id))
 			}
-		}
-		if e.Consolidate {
-			chain, err := e.chainEnding(g, id, consumers, keyOf)
-			if err != nil {
-				return nil, err
-			}
-			if len(chain) > 0 {
-				t.sql = true
-				t.nodes = chain
-			}
-		}
-		if len(t.nodes) == 0 {
-			t.nodes = []NodeID{id}
-		}
-		for _, n := range t.nodes {
-			p.byNode[n] = t
 		}
 		depSeen := map[int]bool{}
-		for _, n := range t.nodes {
-			node := g.nodes[n]
-			def, err := e.Registry.Lookup(node.Inv.Skill)
-			if err != nil {
-				return nil, fmt.Errorf("dag: node %d: %w", n, err)
-			}
-			if def.Invalidates {
+		for _, m := range members {
+			if m.Invalidates {
 				t.invalidates = true
 			}
-			for _, par := range node.Parents {
-				if par < 0 || p.byNode[par] == t {
+			p.byNode[NodeID(m.ID)] = t
+			for _, aid := range m.Absorbed {
+				p.byNode[NodeID(aid)] = t
+			}
+			for _, in := range m.Inputs {
+				if in.Node == plan.External {
 					continue
 				}
-				dep, err := build(par)
-				if err != nil {
-					return nil, err
+				dep := owner[in.Node]
+				if dep == nil || dep == t {
+					continue
 				}
 				if !depSeen[dep.idx] {
 					depSeen[dep.idx] = true
@@ -214,52 +142,8 @@ func (e *Executor) plan(g *Graph, target NodeID) (*plan, error) {
 				}
 			}
 		}
-		return t, nil
-	}
-	if _, err := build(target); err != nil {
-		return nil, err
 	}
 	return p, nil
-}
-
-// chainEnding collects the maximal single-input relational chain ending at
-// id, in execution order (empty when id itself is not consolidatable). The
-// walk replicates the §2.2 consolidation conditions — mergeable skill,
-// single input, sole consumer — and additionally stops at a parent whose
-// result is already cached, so the chain executes on top of the cached
-// prefix instead of recomputing it (see the cache policy note on Run).
-func (e *Executor) chainEnding(g *Graph, id NodeID, consumers map[NodeID][]NodeID, keyOf func(NodeID) (string, bool, error)) ([]NodeID, error) {
-	var chain []NodeID
-	cur := id
-	for {
-		node := g.nodes[cur]
-		def, err := e.Registry.Lookup(node.Inv.Skill)
-		if err != nil {
-			return nil, fmt.Errorf("dag: node %d: %w", cur, err)
-		}
-		if def.MergeSQL == nil || len(node.Parents) != 1 {
-			break
-		}
-		chain = append(chain, cur)
-		parent := node.Parents[0]
-		if parent < 0 {
-			break
-		}
-		if len(consumers[parent]) != 1 {
-			break // shared sub-DAG: materialize the parent for everyone
-		}
-		if key, cacheable, err := keyOf(parent); err != nil {
-			return nil, err
-		} else if cacheable && e.cache.Peek(key) {
-			break // cached prefix: reuse it as the base instead of refolding
-		}
-		cur = parent
-	}
-	// Reverse into execution order.
-	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
-		chain[i], chain[j] = chain[j], chain[i]
-	}
-	return chain, nil
 }
 
 // isCancellation reports whether err is (or wraps) context cancellation —
@@ -276,7 +160,7 @@ func isCancellation(err error) bool {
 // siblings; attempts already executing finish before runPlan returns. The
 // recorded first error prefers a task's real failure over the cancellation
 // errors it causes downstream.
-func (e *Executor) runPlan(ctx context.Context, g *Graph, p *plan, workers int) error {
+func (e *Executor) runPlan(ctx context.Context, p *execPlan, workers int) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -329,7 +213,7 @@ func (e *Executor) runPlan(ctx context.Context, g *Graph, p *plan, workers int) 
 			active++
 			mu.Unlock()
 
-			res, err := e.executeTask(ctx, g, t, deadline)
+			res, err := e.executeTask(ctx, t, deadline)
 
 			mu.Lock()
 			active--
@@ -371,18 +255,18 @@ func (e *Executor) runPlan(ctx context.Context, g *Graph, p *plan, workers int) 
 
 // executeTask runs one task: republish a pinned plan-time cache hit, or
 // execute — through the cache for cacheable tasks, sharing identical
-// in-flight computations across sessions — and publish the tail output into
+// in-flight computations across sessions — and publish the output into
 // the session context. The retry loop runs inside the cache's singleflight,
 // so concurrent callers of the same key wait out the leader's retries
 // instead of racing their own.
-func (e *Executor) executeTask(ctx context.Context, g *Graph, t *task, deadline time.Time) (*skills.Result, error) {
+func (e *Executor) executeTask(ctx context.Context, t *task, deadline time.Time) (*skills.Result, error) {
 	var res *skills.Result
 	switch {
 	case t.pinned != nil:
 		res = t.pinned
 	case t.cacheable:
 		r, hit, err := e.cache.Do(t.key, func() (*skills.Result, error) {
-			return e.execTaskRetry(ctx, g, t, deadline)
+			return e.execTaskRetry(ctx, t, deadline)
 		})
 		if err != nil {
 			return nil, err
@@ -394,16 +278,16 @@ func (e *Executor) executeTask(ctx context.Context, g *Graph, t *task, deadline 
 		}
 		res = r
 	default:
-		r, err := e.execTaskRetry(ctx, g, t, deadline)
+		r, err := e.execTaskRetry(ctx, t, deadline)
 		if err != nil {
 			return nil, err
 		}
 		res = r
 	}
-	e.materialize(g, t.tail, res)
+	e.materialize(t.node, res)
 	if t.invalidates {
 		// Snapshot creation/refresh changes source data out from under every
-		// cached signature; bump the generation so nothing stale survives.
+		// cached key; bump the generation so nothing stale survives.
 		e.cache.Invalidate()
 	}
 	return res, nil
@@ -414,11 +298,11 @@ func (e *Executor) executeTask(ctx context.Context, g *Graph, t *task, deadline 
 // decorrelated by task index), permanent errors and plain execution errors
 // fail immediately, and a backoff that would cross the run deadline is not
 // taken.
-func (e *Executor) execTaskRetry(ctx context.Context, g *Graph, t *task, deadline time.Time) (*skills.Result, error) {
+func (e *Executor) execTaskRetry(ctx context.Context, t *task, deadline time.Time) (*skills.Result, error) {
 	pol := e.Options.Retry
 	pol.Seed += int64(t.idx)
 	res, stats, err := faults.Do(ctx, e.Options.clock(), pol, deadline, nil,
-		func() (*skills.Result, error) { return e.execTaskBody(g, t) })
+		func() (*skills.Result, error) { return e.execTaskBody(t) })
 	if stats.Attempts > 1 {
 		e.counters.retries.Add(int64(stats.Attempts - 1))
 	}
@@ -434,70 +318,58 @@ func (e *Executor) execTaskRetry(ctx context.Context, g *Graph, t *task, deadlin
 	return res, nil
 }
 
-func (e *Executor) execTaskBody(g *Graph, t *task) (*skills.Result, error) {
-	if t.sql {
-		return e.execChain(g, t.nodes)
+func (e *Executor) execTaskBody(t *task) (*skills.Result, error) {
+	if t.frag != nil {
+		return e.execChain(t.frag)
 	}
-	return e.execDirect(g, t.nodes[0])
+	return e.execDirect(t.node)
 }
 
 // materialize publishes a node result into the session datasets under its
 // output name, so sibling branches and later requests can reference it.
-func (e *Executor) materialize(g *Graph, id NodeID, res *skills.Result) {
+func (e *Executor) materialize(n *plan.Node, res *skills.Result) {
 	if res == nil || res.Table == nil {
 		return
 	}
-	name := g.nodes[id].OutputName()
+	name := n.OutputName()
 	e.Ctx.PutDataset(name, res.Table.WithName(name))
+	e.counters.rowsMaterialized.Add(int64(res.Table.NumRows()))
 }
 
 // execDirect applies one skill node directly.
-func (e *Executor) execDirect(g *Graph, id NodeID) (*skills.Result, error) {
-	node := g.nodes[id]
-	for i, p := range node.Parents {
-		if p < 0 {
-			if _, err := e.Ctx.Dataset(node.Inv.Inputs[i]); err != nil {
-				return nil, fmt.Errorf("dag: node %d: %w", id, err)
+func (e *Executor) execDirect(n *plan.Node) (*skills.Result, error) {
+	for _, in := range n.Inputs {
+		if in.Node == plan.External {
+			if _, err := e.Ctx.Dataset(in.Name); err != nil {
+				return nil, fmt.Errorf("dag: node %d: %w", n.ID, err)
 			}
 		}
 	}
-	inv := e.rewiredInvocation(g, node)
-	res, err := e.Registry.Execute(e.Ctx, inv)
+	res, err := e.Registry.Execute(e.Ctx, n.Invocation())
 	if err != nil {
-		return nil, fmt.Errorf("dag: node %d (%s): %w", id, node.Inv.Skill, err)
+		return nil, fmt.Errorf("dag: node %d (%s): %w", n.ID, n.Skill, err)
 	}
 	e.counters.tasksRun.Add(1)
 	e.counters.directTasks.Add(1)
 	return res, nil
 }
 
-// execChain runs a consolidated relational chain as one flattened SQL task.
-func (e *Executor) execChain(g *Graph, chain []NodeID) (*skills.Result, error) {
-	head := g.nodes[chain[0]]
-	baseName := head.Inv.Inputs[0]
-	if head.Parents[0] >= 0 {
-		baseName = g.nodes[head.Parents[0]].OutputName()
-	} else if _, err := e.Ctx.Dataset(baseName); err != nil {
-		return nil, fmt.Errorf("dag: node %d: %w", head.ID, err)
-	}
-	builder := skills.NewQueryBuilder(baseName)
-	for _, nid := range chain {
-		node := g.nodes[nid]
-		def, err := e.Registry.Lookup(node.Inv.Skill)
-		if err != nil {
-			return nil, fmt.Errorf("dag: node %d: %w", nid, err)
-		}
-		if err := def.MergeSQL(builder, node.Inv); err != nil {
-			return nil, fmt.Errorf("dag: consolidating node %d (%s): %w", nid, node.Inv.Skill, err)
+// execChain runs a consolidated relational fragment as one flattened SQL
+// task. The fragment's query was compiled by the consolidation pass; here it
+// only gets executed and counted.
+func (e *Executor) execChain(frag *plan.Fragment) (*skills.Result, error) {
+	if frag.Base.Node == plan.External {
+		if _, err := e.Ctx.Dataset(frag.Base.Name); err != nil {
+			return nil, fmt.Errorf("dag: node %d: %w", frag.Nodes[0], err)
 		}
 	}
-	table, err := sqlengine.ExecStmt(e.Ctx, builder.Stmt())
+	table, err := sqlengine.ExecStmtOptions(e.Ctx, frag.Builder.Stmt(), e.Options.SQL)
 	if err != nil {
-		return nil, fmt.Errorf("dag: consolidated task %q: %w", builder.SQL(), err)
+		return nil, fmt.Errorf("dag: consolidated task %q: %w", frag.SQL, err)
 	}
 	e.counters.tasksRun.Add(1)
 	e.counters.sqlTasks.Add(1)
-	e.counters.nodesConsolidated.Add(int64(len(chain)))
-	e.counters.queryBlocks.Add(int64(builder.Blocks()))
-	return &skills.Result{Table: table, Message: "via " + builder.SQL()}, nil
+	e.counters.nodesConsolidated.Add(int64(frag.DagNodes))
+	e.counters.queryBlocks.Add(int64(frag.Blocks))
+	return &skills.Result{Table: table, Message: "via " + frag.SQL}, nil
 }

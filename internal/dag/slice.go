@@ -1,6 +1,7 @@
 package dag
 
 import (
+	"datachat/internal/plan"
 	"datachat/internal/skills"
 )
 
@@ -13,138 +14,54 @@ type SliceReport struct {
 	Pruned, Merged int
 }
 
-// Slice reduces a graph to the recipe of one target node (§2.3, Figure 5):
-// every node the target does not depend on is pruned, and adjacent steps
-// that a single skill call can represent are merged — consecutive KeepRows
-// become one AND-ed filter, consecutive LimitRows keep the minimum, and a
-// KeepColumns directly after another KeepColumns wins outright.
+// Slice reduces a graph to the recipe of one target node (§2.3, Figure 5) by
+// running the plan pipeline's slicing and fusion passes: every node the
+// target does not depend on is pruned, and adjacent steps that a single
+// skill call can represent are merged — consecutive KeepRows become one
+// AND-ed filter, consecutive LimitRows keep the minimum, and a KeepColumns
+// whose projection is a subset of its predecessor's wins outright (see
+// plan.FuseArgs, the single home of those rules).
 func Slice(g *Graph, target NodeID) (*Graph, SliceReport, error) {
 	report := SliceReport{NodesBefore: g.Len()}
-	needed, err := g.Ancestors(target)
+	lp, err := lowerGraph(g, target)
 	if err != nil {
 		return nil, report, err
 	}
-	report.Pruned = g.Len() - len(needed)
-
-	// Copy the needed nodes in topological order.
-	type pending struct {
-		inv     skills.Invocation
-		parents []NodeID // old IDs
-		oldID   NodeID
+	if err := plan.RunPasses(lp, nil, plan.SlicePass(), plan.FusePass()); err != nil {
+		return nil, report, err
 	}
-	var steps []pending
-	for _, id := range needed {
-		n := g.nodes[id]
-		steps = append(steps, pending{inv: n.Inv, parents: append([]NodeID{}, n.Parents...), oldID: id})
+	for _, t := range lp.Trace {
+		report.Pruned += t.Pruned
+		report.Merged += t.Merged
 	}
 
-	// Merge adjacent mergeable pairs: child directly after its only parent
-	// in the linear ancestry. Iterate until a fixed point.
-	consumerCount := map[NodeID]int{}
-	for _, s := range steps {
-		for _, p := range s.parents {
-			if p >= 0 {
-				consumerCount[p]++
-			}
-		}
-	}
-	for changed := true; changed; {
-		changed = false
-		for i := 1; i < len(steps); i++ {
-			child := steps[i]
-			if len(child.parents) != 1 || child.parents[0] < 0 {
-				continue
-			}
-			// Find the parent step.
-			pi := -1
-			for j := range steps {
-				if steps[j].oldID == child.parents[0] {
-					pi = j
-					break
-				}
-			}
-			if pi < 0 || consumerCount[steps[pi].oldID] != 1 {
-				continue
-			}
-			merged, ok := mergeInvocations(steps[pi].inv, child.inv)
-			if !ok {
-				continue
-			}
-			// The merged node replaces the child, inheriting the parent's
-			// parents; drop the parent.
-			merged.Output = child.inv.Output
-			merged.Inputs = steps[pi].inv.Inputs
-			steps[i] = pending{inv: merged, parents: steps[pi].parents, oldID: child.oldID}
-			steps = append(steps[:pi], steps[pi+1:]...)
-			report.Merged++
-			changed = true
-			break
-		}
-	}
-
-	// Rebuild a fresh graph, remapping parent IDs to new IDs.
+	// Rebuild a fresh graph from the surviving plan nodes, remapping parent
+	// IDs to new IDs. Inputs that referenced pruned/merged nodes by their
+	// old generated names keep working because parent wiring is restored
+	// explicitly below.
 	out := NewGraph()
-	idMap := map[NodeID]NodeID{}
-	for _, s := range steps {
-		inv := s.inv
-		// Inputs that referenced pruned/merged nodes by generated names keep
-		// working because output names are preserved via idMap rebuild below.
+	idMap := map[int]NodeID{}
+	for _, n := range lp.Nodes {
+		inv := skills.Invocation{Skill: n.Skill, Output: n.Output, Args: n.Args}
+		for _, in := range n.Inputs {
+			inv.Inputs = append(inv.Inputs, in.Name)
+		}
 		newID := out.Add(inv)
-		idMap[s.oldID] = newID
+		idMap[n.ID] = newID
 		// Fix parent wiring explicitly (Add matched by output name; enforce
-		// the recorded parents instead).
+		// the recorded inputs instead).
 		node := out.nodes[newID]
 		node.Parents = node.Parents[:0]
-		for _, p := range s.parents {
-			if p < 0 {
+		for _, in := range n.Inputs {
+			if in.Node == plan.External {
 				node.Parents = append(node.Parents, -1)
 			} else {
-				node.Parents = append(node.Parents, idMap[p])
+				node.Parents = append(node.Parents, idMap[in.Node])
 			}
 		}
 	}
 	report.NodesAfter = out.Len()
 	return out, report, nil
-}
-
-// mergeInvocations folds child into parent when one skill call can express
-// both, returning the combined invocation.
-func mergeInvocations(parent, child skills.Invocation) (skills.Invocation, bool) {
-	if parent.Skill != child.Skill {
-		return skills.Invocation{}, false
-	}
-	switch parent.Skill {
-	case "KeepRows":
-		p, err1 := parent.Args.String("condition")
-		c, err2 := child.Args.String("condition")
-		if err1 != nil || err2 != nil {
-			return skills.Invocation{}, false
-		}
-		return skills.Invocation{
-			Skill: "KeepRows",
-			Args:  skills.Args{"condition": "(" + p + ") AND (" + c + ")"},
-		}, true
-	case "LimitRows":
-		p, err1 := parent.Args.Int("count")
-		c, err2 := child.Args.Int("count")
-		if err1 != nil || err2 != nil {
-			return skills.Invocation{}, false
-		}
-		if c < p {
-			p = c
-		}
-		return skills.Invocation{Skill: "LimitRows", Args: skills.Args{"count": p}}, true
-	case "KeepColumns":
-		// The later projection must be a subset of the earlier one to have
-		// executed at all, so it wins.
-		cols, err := child.Args.StringList("columns")
-		if err != nil {
-			return skills.Invocation{}, false
-		}
-		return skills.Invocation{Skill: "KeepColumns", Args: skills.Args{"columns": cols}}, true
-	default:
-		return skills.Invocation{}, false
-	}
 }
 
 // IsLinear reports whether the graph is a simple chain: every node has at

@@ -415,6 +415,7 @@ func Consolidation(rows, chainSteps, trials int) (*ConsolidationResult, error) {
 		result.Figure4Blocks = ex.Stats().QueryBlocks
 		naive := dag.NewExecutor(reg, makeCtx())
 		naive.Consolidate = false
+		naive.Fuse = false
 		g2, last2 := figGraph()
 		if _, err := naive.Run(g2, last2); err != nil {
 			return nil, err
@@ -457,6 +458,9 @@ func Consolidation(rows, chainSteps, trials int) (*ConsolidationResult, error) {
 		ex := dag.NewExecutor(reg, ctxB)
 		ex.UseCache = false
 		ex.Consolidate = false
+		// The chain is adjacent same-skill projections; the naive baseline
+		// must execute them one step at a time, not as one fused step.
+		ex.Fuse = false
 		g, last := chain()
 		res, err := ex.Run(g, last)
 		if err == nil {

@@ -1,0 +1,228 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+// The plan experiment measures the logical-plan pass pipeline end to end: a
+// workload of filter/projection chains and cloud scans runs once through a
+// naive executor (every pass off, one task per step) and once through the
+// planned executor (slice, fuse, consolidate, pushdown, cache). It reports
+// the §2.2 flatness measures — tasks, SELECT blocks, nodes folded — plus the
+// rows materialized into the session (the volume pushdown shrinks) and the
+// cache hit rate when a second "front end" replays the same pipelines
+// against the shared cache.
+
+// PlanResult holds the planned-vs-naive comparison.
+type PlanResult struct {
+	Rows      int `json:"rows"`
+	Pipelines int `json:"pipelines"`
+
+	NaiveTasks   int `json:"naive_tasks"`
+	PlannedTasks int `json:"planned_tasks"`
+
+	NaiveBlocks   int `json:"naive_blocks"`
+	PlannedBlocks int `json:"planned_blocks"`
+
+	NaiveRowsMaterialized   int `json:"naive_rows_materialized"`
+	PlannedRowsMaterialized int `json:"planned_rows_materialized"`
+
+	NodesConsolidated int `json:"nodes_consolidated"`
+	Pushdowns         int `json:"pushdowns"`
+
+	// ReplayHitRate is the shared-cache hit rate when the same pipelines are
+	// rebuilt by a second session (as a different front end would) and run
+	// against the first run's cache.
+	ReplayHitRate float64 `json:"replay_hit_rate"`
+
+	NaiveSeconds   float64 `json:"naive_seconds"`
+	PlannedSeconds float64 `json:"planned_seconds"`
+}
+
+// planWorkload builds the pipeline set over a fresh context.
+type planWorkload struct {
+	graphs  []*dag.Graph
+	targets []dag.NodeID
+}
+
+func planGraphs(pipelines int) planWorkload {
+	var w planWorkload
+	add := func(g *dag.Graph, last dag.NodeID) {
+		w.graphs = append(w.graphs, g)
+		w.targets = append(w.targets, last)
+	}
+	for i := 0; i < pipelines; i++ {
+		// A relational chain with fusable neighbors: two adjacent filters and
+		// two adjacent projections collapse, then the whole chain consolidates
+		// into one SELECT.
+		g := dag.NewGraph()
+		g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"events"},
+			Args: skills.Args{"condition": fmt.Sprintf("c0 > %d", 10+i)}, Output: "f1"})
+		g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"f1"},
+			Args: skills.Args{"condition": "c1 < 900"}, Output: "f2"})
+		g.Add(skills.Invocation{Skill: "KeepColumns", Inputs: []string{"f2"},
+			Args: skills.Args{"columns": []string{"id", "c0", "c1"}}, Output: "p1"})
+		g.Add(skills.Invocation{Skill: "KeepColumns", Inputs: []string{"p1"},
+			Args: skills.Args{"columns": []string{"id", "c0"}}, Output: "p2"})
+		last := g.Add(skills.Invocation{Skill: "LimitRows", Inputs: []string{"p2"},
+			Args: skills.Args{"count": 100}})
+		add(g, last)
+
+		// A cloud scan whose sole consumer projects two of the columns: the
+		// pushdown pass folds the projection into the scan, so the wide table
+		// never materializes.
+		g2 := dag.NewGraph()
+		g2.Add(skills.Invocation{Skill: "LoadTable", Inputs: nil,
+			Args: skills.Args{"database": "wh", "table": "orders"}, Output: "orders"})
+		g2.Add(skills.Invocation{Skill: "KeepColumns", Inputs: []string{"orders"},
+			Args: skills.Args{"columns": []string{"id", "c0"}}, Output: "slim"})
+		last2 := g2.Add(skills.Invocation{Skill: "LimitRows", Inputs: []string{"slim"},
+			Args: skills.Args{"count": 100 + i}})
+		add(g2, last2)
+	}
+	return w
+}
+
+func planCtx(rows int) (*skills.Context, error) {
+	ctx := skills.NewContext()
+	cols := []*dataset.Column{}
+	ids := make([]int64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+	}
+	cols = append(cols, dataset.IntColumn("id", ids, nil))
+	for c := 0; c < 6; c++ {
+		vals := make([]float64, rows)
+		for i := range vals {
+			vals[i] = float64((i * (c + 3)) % 997)
+		}
+		cols = append(cols, dataset.FloatColumn(fmt.Sprintf("c%d", c), vals, nil))
+	}
+	events := dataset.MustNewTable("events", cols...)
+	ctx.Datasets["events"] = events
+
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 64)
+	orders := dataset.MustNewTable("orders", cols...)
+	if err := db.CreateTable(orders); err != nil {
+		return nil, err
+	}
+	ctx.Cloud["wh"] = db
+	return ctx, nil
+}
+
+// Plan runs the workload under both executors and a shared-cache replay.
+func Plan(rows, pipelines int) (*PlanResult, error) {
+	reg := skills.NewRegistry()
+	result := &PlanResult{Rows: rows, Pipelines: 2 * pipelines}
+
+	runAll := func(ex *dag.Executor) (time.Duration, error) {
+		w := planGraphs(pipelines)
+		start := time.Now()
+		for i, g := range w.graphs {
+			if _, err := ex.Run(g, w.targets[i]); err != nil {
+				return 0, err
+			}
+		}
+		return time.Since(start), nil
+	}
+
+	// Naive: one direct task per step, nothing fused, full-width scans.
+	naiveCtx, err := planCtx(rows)
+	if err != nil {
+		return nil, err
+	}
+	naive := dag.NewExecutor(reg, naiveCtx)
+	naive.Consolidate, naive.Fuse, naive.Pushdown, naive.UseCache = false, false, false, false
+	naiveDur, err := runAll(naive)
+	if err != nil {
+		return nil, err
+	}
+	ns := naive.Stats()
+	result.NaiveTasks = ns.TasksRun
+	// One block per direct task stands in for the naive block count.
+	result.NaiveBlocks = ns.TasksRun
+	result.NaiveRowsMaterialized = ns.RowsMaterialized
+	result.NaiveSeconds = naiveDur.Seconds()
+
+	// Planned: the full pass pipeline with a fresh shared cache.
+	plannedCtx, err := planCtx(rows)
+	if err != nil {
+		return nil, err
+	}
+	shared := dag.NewCache(dag.DefaultCacheCapacity)
+	planned := dag.NewExecutor(reg, plannedCtx)
+	planned.SetCache(shared)
+	plannedDur, err := runAll(planned)
+	if err != nil {
+		return nil, err
+	}
+	ps := planned.Stats()
+	result.PlannedTasks = ps.TasksRun
+	result.PlannedBlocks = ps.QueryBlocks
+	result.PlannedRowsMaterialized = ps.RowsMaterialized
+	result.NodesConsolidated = ps.NodesConsolidated
+	result.PlannedSeconds = plannedDur.Seconds()
+
+	// Count pushdowns from the compiled plans (the scan pipelines).
+	w := planGraphs(pipelines)
+	for i, g := range w.graphs {
+		e, err := planned.Explain(g, w.targets[i])
+		if err != nil {
+			return nil, err
+		}
+		for _, tr := range e.Passes {
+			if tr.Pass == "pushdown" {
+				result.Pushdowns += tr.Pushdowns
+			}
+		}
+	}
+
+	// Replay: a second session (same data, shared cache) rebuilds the same
+	// pipelines, as another front end would, and runs them.
+	replayCtx, err := planCtx(rows)
+	if err != nil {
+		return nil, err
+	}
+	replayCtx.Datasets["events"] = plannedCtx.Datasets["events"]
+	replay := dag.NewExecutor(reg, replayCtx)
+	replay.SetCache(shared)
+	before := shared.Stats()
+	if _, err := runAll(replay); err != nil {
+		return nil, err
+	}
+	after := shared.Stats()
+	lookups := (after.Hits - before.Hits) + (after.Misses - before.Misses)
+	if lookups > 0 {
+		result.ReplayHitRate = float64(after.Hits-before.Hits) / float64(lookups)
+	}
+	return result, nil
+}
+
+// Report renders the comparison as the EXPERIMENTS.md table.
+func (r *PlanResult) Report() string {
+	var b strings.Builder
+	b.WriteString("Logical-plan pass pipeline: planned vs naive execution\n")
+	fmt.Fprintf(&b, "  workload: %d pipelines over %d rows\n", r.Pipelines, r.Rows)
+	b.WriteString("  metric                naive      planned\n")
+	fmt.Fprintf(&b, "  tasks run             %-10d %d\n", r.NaiveTasks, r.PlannedTasks)
+	fmt.Fprintf(&b, "  SELECT blocks         %-10d %d\n", r.NaiveBlocks, r.PlannedBlocks)
+	fmt.Fprintf(&b, "  rows materialized     %-10d %d\n", r.NaiveRowsMaterialized, r.PlannedRowsMaterialized)
+	fmt.Fprintf(&b, "  wall seconds          %-10.3f %.3f\n", r.NaiveSeconds, r.PlannedSeconds)
+	fmt.Fprintf(&b, "  nodes consolidated    %d\n", r.NodesConsolidated)
+	fmt.Fprintf(&b, "  scan pushdowns        %d\n", r.Pushdowns)
+	fmt.Fprintf(&b, "  replay cache hit rate %.0f%%\n", r.ReplayHitRate*100)
+	return b.String()
+}
+
+// JSON renders the result for BENCH_plan.json.
+func (r *PlanResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"datachat/internal/dag"
+	"datachat/internal/plan"
 	"datachat/internal/skills"
 )
 
@@ -172,6 +173,17 @@ func (r *Runner) RunAll() ([]*Step, error) {
 
 // Graph exposes the DAG built so far (for slicing and saving artifacts).
 func (r *Runner) Graph() *dag.Graph { return r.graph }
+
+// Explain compiles — without executing — the plan for the most recently
+// executed line and returns the EXPLAIN report: the debugger's "what would
+// this recipe actually run" view.
+func (r *Runner) Explain() (*plan.Explain, error) {
+	last := r.graph.Last()
+	if last < 0 {
+		return nil, fmt.Errorf("gel: no executed lines to explain")
+	}
+	return r.Executor.Explain(r.graph, last)
+}
 
 // wire resolves the invocation's dataset inputs: sentences that name
 // datasets resolve to their latest versions; sentences that do not operate

@@ -6,12 +6,14 @@
 package recipe
 
 import (
+	"crypto/sha256"
 	"encoding/json"
 	"fmt"
 	"strings"
 	"time"
 
 	"datachat/internal/dag"
+	"datachat/internal/faults"
 	"datachat/internal/skills"
 )
 
@@ -38,10 +40,19 @@ type Recipe struct {
 	Steps []Step `json:"steps"`
 }
 
-// FromGraph serializes a DAG into a recipe. Output names are made explicit
-// so the graph rebuilds with identical wiring.
+// FromGraph serializes a DAG into a recipe stamped with the wall clock.
 func FromGraph(name string, g *dag.Graph) (*Recipe, error) {
-	r := &Recipe{Name: name, CreatedAt: time.Now().UTC()}
+	return FromGraphAt(name, g, nil)
+}
+
+// FromGraphAt is FromGraph with an injected clock, so tests and replay
+// tooling can produce byte-identical recipes. A nil clock uses real time.
+// Output names are made explicit so the graph rebuilds with identical wiring.
+func FromGraphAt(name string, g *dag.Graph, clock faults.Clock) (*Recipe, error) {
+	if clock == nil {
+		clock = faults.Real()
+	}
+	r := &Recipe{Name: name, CreatedAt: clock.Now().UTC()}
 	for _, id := range g.Order() {
 		node, err := g.Node(id)
 		if err != nil {
@@ -87,6 +98,21 @@ func (r *Recipe) Graph() *dag.Graph {
 func (r *Recipe) MarshalJSON() ([]byte, error) {
 	type alias Recipe
 	return json.Marshal((*alias)(r))
+}
+
+// Fingerprint hashes the recipe's canonical content — name and steps, but
+// not CreatedAt — so two captures of the same pipeline compare equal no
+// matter when they were taken.
+func (r *Recipe) Fingerprint() (string, error) {
+	canon := struct {
+		Name  string `json:"name"`
+		Steps []Step `json:"steps"`
+	}{Name: r.Name, Steps: r.Steps}
+	data, err := json.Marshal(canon)
+	if err != nil {
+		return "", fmt.Errorf("recipe: fingerprinting: %w", err)
+	}
+	return fmt.Sprintf("%x", sha256.Sum256(data)), nil
 }
 
 // Encode serializes the recipe as indented JSON.

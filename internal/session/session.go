@@ -23,6 +23,7 @@ import (
 	"datachat/internal/artifact"
 	"datachat/internal/dag"
 	"datachat/internal/faults"
+	"datachat/internal/plan"
 	"datachat/internal/recipe"
 	"datachat/internal/skills"
 )
@@ -176,6 +177,24 @@ func (s *Session) acquire(user string) error {
 // composed against a stale view may no longer make sense (§2.4) — unless
 // SetBusyRetry opted the session into a bounded backoff on contention.
 func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, dag.NodeID, error) {
+	res, ids, err := s.RequestProgram(user, inv)
+	if len(ids) == 0 {
+		return nil, -1, err
+	}
+	return res, ids[0], err
+}
+
+// RequestProgram executes a multi-step program under one acquisition of the
+// session lock: all steps are appended to the session DAG, the final step is
+// planned and run as one unit (earlier steps execute as its ancestors), and
+// every step is recorded in the history. This is the shared entry point the
+// front ends funnel through — a GEL program, a pyapi script, and a replayed
+// recipe describing the same pipeline lower into identical logical plans and
+// therefore share sub-DAG cache entries.
+func (s *Session) RequestProgram(user string, invs ...skills.Invocation) (*skills.Result, []dag.NodeID, error) {
+	if len(invs) == 0 {
+		return nil, nil, fmt.Errorf("session: empty program")
+	}
 	s.mu.Lock()
 	pol, clock := s.busyRetry, s.busyClock
 	s.mu.Unlock()
@@ -188,7 +207,7 @@ func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, d
 		s.mu.Unlock()
 	}
 	if err != nil {
-		return nil, -1, err
+		return nil, nil, err
 	}
 	defer func() {
 		s.mu.Lock()
@@ -196,23 +215,47 @@ func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, d
 		s.mu.Unlock()
 	}()
 
-	id := s.graph.Add(inv)
-	res, err := s.executor.Run(s.graph, id)
-	gelLine, gerr := s.reg.RenderGEL(inv)
-	if gerr != nil {
-		gelLine = inv.Skill
+	ids := make([]dag.NodeID, len(invs))
+	entries := make([]HistoryEntry, len(invs))
+	for i, inv := range invs {
+		ids[i] = s.graph.Add(inv)
+		gelLine, gerr := s.reg.RenderGEL(inv)
+		if gerr != nil {
+			gelLine = inv.Skill
+		}
+		entries[i] = HistoryEntry{User: user, Node: ids[i], GEL: gelLine, When: time.Now()}
 	}
-	entry := HistoryEntry{User: user, Node: id, GEL: gelLine, When: time.Now()}
+	res, err := s.executor.Run(s.graph, ids[len(ids)-1])
 	if err != nil {
-		entry.Error = err.Error()
+		entries[len(entries)-1].Error = err.Error()
 	}
 	s.mu.Lock()
-	s.history = append(s.history, entry)
+	s.history = append(s.history, entries...)
 	s.mu.Unlock()
 	if err != nil {
-		return nil, id, err
+		return nil, ids, err
 	}
-	return res, id, nil
+	return res, ids, nil
+}
+
+// Explain compiles — without executing — the plan for the node producing the
+// named dataset ("" means the session's latest step) and returns the EXPLAIN
+// report.
+func (s *Session) Explain(output string) (*plan.Explain, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	target := s.graph.Last()
+	if output != "" {
+		id, ok := s.graph.ProducerOf(output)
+		if !ok {
+			return nil, fmt.Errorf("session: no step in %q produces %q", s.Name, output)
+		}
+		target = id
+	}
+	if target < 0 {
+		return nil, fmt.Errorf("session: %q has no steps to explain", s.Name)
+	}
+	return s.executor.Explain(s.graph, target)
 }
 
 // History returns the synchronized request log.

@@ -45,6 +45,8 @@ func ingestionSkills() []*Definition {
 			Params: []ParamSpec{
 				{"database", "string", true, "connected database name"},
 				{"table", "string", true, "table to load"},
+				{"condition", "expression", false, "filter applied to the scanned rows (plan pushdown)"},
+				{"columns", "columns", false, "columns to fetch (plan pushdown)"},
 			},
 			GEL:      "Load the table {table} from the database {database}",
 			Volatile: true, // cloud tables change outside the DAG
@@ -64,8 +66,14 @@ func ingestionSkills() []*Definition {
 				t, err := db.Scan(tableName)
 				if err != nil {
 					if res := degradedScan(ctx, db, tableName, err); res != nil {
+						if res.Table, err = applyScanPushdown(res.Table, inv); err != nil {
+							return nil, err
+						}
 						return res, nil
 					}
+					return nil, err
+				}
+				if t, err = applyScanPushdown(t, inv); err != nil {
 					return nil, err
 				}
 				return &Result{Table: t}, nil
@@ -96,6 +104,30 @@ func ingestionSkills() []*Definition {
 	}
 }
 
+// applyScanPushdown applies the optional "condition" and "columns"
+// parameters the plan pushdown pass injects into scan skills, so sampling
+// and snapshot reads materialize fewer rows and columns (§3). The filter
+// runs on the scanned table first, then the projection narrows it.
+func applyScanPushdown(t *dataset.Table, inv Invocation) (*dataset.Table, error) {
+	if condStr, err := inv.Args.String("condition"); err == nil {
+		cond, err := parseCondition(condStr)
+		if err != nil {
+			return nil, err
+		}
+		if t, err = filterTable(t, cond); err != nil {
+			return nil, err
+		}
+	}
+	if cols, err := inv.Args.StringList("columns"); err == nil {
+		out, err := t.Select(cols...)
+		if err != nil {
+			return nil, err
+		}
+		t = out
+	}
+	return t, nil
+}
+
 func datasetNameFromSource(source string) string {
 	name := source
 	if i := strings.LastIndexByte(name, '/'); i >= 0 {
@@ -123,6 +155,8 @@ func costControlSkills() []*Definition {
 				{"database", "string", true, "connected database name"},
 				{"table", "string", true, "table to sample"},
 				{"rate", "number", true, "sample rate in (0, 1], e.g. 0.1 for 10%"},
+				{"condition", "expression", false, "filter applied to the sampled rows (plan pushdown)"},
+				{"columns", "columns", false, "columns to fetch (plan pushdown)"},
 			},
 			GEL:      "Sample {rate} of the table {table} from the database {database}",
 			Volatile: true, // cloud tables change outside the DAG
@@ -147,7 +181,11 @@ func costControlSkills() []*Definition {
 				if err != nil {
 					return nil, err
 				}
-				return &Result{Table: t, Message: fmt.Sprintf("Sampled %d rows at rate %v", t.NumRows(), rate)}, nil
+				sampled := t.NumRows()
+				if t, err = applyScanPushdown(t, inv); err != nil {
+					return nil, err
+				}
+				return &Result{Table: t, Message: fmt.Sprintf("Sampled %d rows at rate %v", sampled, rate)}, nil
 			},
 		},
 		{
@@ -197,6 +235,8 @@ func costControlSkills() []*Definition {
 			Summary:  "Load a snapshot from the local store (free of cloud cost)",
 			Params: []ParamSpec{
 				{"name", "string", true, "snapshot name"},
+				{"condition", "expression", false, "filter applied to the snapshot rows (plan pushdown)"},
+				{"columns", "columns", false, "columns to read (plan pushdown)"},
 			},
 			GEL:      "Use the snapshot {name}",
 			Volatile: true, // snapshot contents change on refresh
@@ -210,6 +250,9 @@ func costControlSkills() []*Definition {
 				}
 				t, err := ctx.Snapshots.Get(name)
 				if err != nil {
+					return nil, err
+				}
+				if t, err = applyScanPushdown(t, inv); err != nil {
 					return nil, err
 				}
 				return &Result{Table: t}, nil

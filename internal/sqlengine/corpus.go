@@ -83,9 +83,9 @@ func CorpusTables(rng *rand.Rand, n1, n2 int) map[string]*dataset.Table {
 	return map[string]*dataset.Table{"t1": t1, "t2": t2}
 }
 
-// corpusPred generates a random predicate over t1's columns. qual prefixes
+// CorpusPredicate generates a random predicate over t1's columns. qual prefixes
 // column references for join queries.
-func corpusPred(rng *rand.Rand, qual string, depth int) string {
+func CorpusPredicate(rng *rand.Rand, qual string, depth int) string {
 	c := func(name string) string { return qual + name }
 	ops := []string{"=", "!=", "<", "<=", ">", ">="}
 	op := func() string { return ops[rng.Intn(len(ops))] }
@@ -143,11 +143,11 @@ func corpusPred(rng *rand.Rand, qual string, depth int) string {
 	}
 	switch rng.Intn(4) {
 	case 0:
-		return fmt.Sprintf("(%s AND %s)", corpusPred(rng, qual, depth-1), corpusPred(rng, qual, depth-1))
+		return fmt.Sprintf("(%s AND %s)", CorpusPredicate(rng, qual, depth-1), CorpusPredicate(rng, qual, depth-1))
 	case 1:
-		return fmt.Sprintf("(%s OR %s)", corpusPred(rng, qual, depth-1), corpusPred(rng, qual, depth-1))
+		return fmt.Sprintf("(%s OR %s)", CorpusPredicate(rng, qual, depth-1), CorpusPredicate(rng, qual, depth-1))
 	case 2:
-		return fmt.Sprintf("NOT (%s)", corpusPred(rng, qual, depth-1))
+		return fmt.Sprintf("NOT (%s)", CorpusPredicate(rng, qual, depth-1))
 	default:
 		return atom()
 	}
@@ -159,8 +159,8 @@ func CorpusQueries(rng *rand.Rand, count int) []string {
 	orderKeys := []string{"i", "f DESC", "s", "ts DESC", "b", "i DESC, s", "f, ts"}
 	var qs []string
 	for len(qs) < count {
-		p := func() string { return corpusPred(rng, "", rng.Intn(3)) }
-		jp := func() string { return corpusPred(rng, "t1.", rng.Intn(2)) }
+		p := func() string { return CorpusPredicate(rng, "", rng.Intn(3)) }
+		jp := func() string { return CorpusPredicate(rng, "t1.", rng.Intn(2)) }
 		ok := orderKeys[rng.Intn(len(orderKeys))]
 		switch rng.Intn(10) {
 		case 0:

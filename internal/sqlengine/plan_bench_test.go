@@ -1,0 +1,89 @@
+// Plan-pipeline benchmarks live in the external test package so they can
+// drive the dag executor (dag imports sqlengine) over realistic relational
+// chains: planned execution — fuse + consolidate + pushdown — against the
+// naive one-task-per-step baseline, picked up by the tier-1 benchtime smoke.
+package sqlengine_test
+
+import (
+	"fmt"
+	"testing"
+
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+var benchReg = skills.NewRegistry()
+
+func benchPlanCtx(rows int) *skills.Context {
+	ctx := skills.NewContext()
+	ids := make([]int64, rows)
+	vals := make([]float64, rows)
+	cats := make([]string, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+		vals[i] = float64(i % 997)
+		cats[i] = string(rune('a' + i%5))
+	}
+	ctx.Datasets["events"] = dataset.MustNewTable("events",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("v", vals, nil),
+		dataset.StringColumn("cat", cats, nil),
+	)
+	return ctx
+}
+
+func benchPlanGraph() (*dag.Graph, dag.NodeID) {
+	g := dag.NewGraph()
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"events"},
+		Args: skills.Args{"condition": "v > 100"}, Output: "f1"})
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"f1"},
+		Args: skills.Args{"condition": "v < 900"}, Output: "f2"})
+	g.Add(skills.Invocation{Skill: "KeepColumns", Inputs: []string{"f2"},
+		Args: skills.Args{"columns": []string{"id", "v", "cat"}}, Output: "p1"})
+	g.Add(skills.Invocation{Skill: "KeepColumns", Inputs: []string{"p1"},
+		Args: skills.Args{"columns": []string{"id", "v"}}, Output: "p2"})
+	last := g.Add(skills.Invocation{Skill: "LimitRows", Inputs: []string{"p2"},
+		Args: skills.Args{"count": 500}})
+	return g, last
+}
+
+func benchPlanChain(b *testing.B, planned bool) {
+	for _, rows := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("rows=%d", rows), func(b *testing.B) {
+			ctx := benchPlanCtx(rows)
+			ex := dag.NewExecutor(benchReg, ctx)
+			if !planned {
+				ex.Consolidate, ex.Fuse, ex.Pushdown = false, false, false
+			}
+			ex.UseCache = false // measure execution, not the cache
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, last := benchPlanGraph()
+				if _, err := ex.Run(g, last); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkPlannedChain(b *testing.B) { benchPlanChain(b, true) }
+
+func BenchmarkNaiveChain(b *testing.B) { benchPlanChain(b, false) }
+
+// BenchmarkPlanCompile isolates the planning cost itself: lowering plus the
+// full pass pipeline, without executing.
+func BenchmarkPlanCompile(b *testing.B) {
+	ctx := benchPlanCtx(1_000)
+	ex := dag.NewExecutor(benchReg, ctx)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g, last := benchPlanGraph()
+		if _, err := ex.Explain(g, last); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
