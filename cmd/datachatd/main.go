@@ -1,0 +1,140 @@
+// datachatd serves a DataChat platform over HTTP/JSON: sessions, GEL and
+// Python execution, EXPLAIN, artifacts, recipes, secret links, and chunked
+// row streaming, with admission control and graceful drain.
+//
+//	go run ./cmd/datachatd -addr :8080 -demo
+//
+// Then, from another terminal:
+//
+//	curl -s -X POST localhost:8080/v1/sessions -d '{"name":"s1","owner":"ann"}'
+//	curl -s -X POST localhost:8080/v1/sessions/s1/run \
+//	  -d '{"user":"ann","gel":"Load data from the file sales.csv"}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/core"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+	"datachat/internal/server"
+)
+
+const demoCSV = `order_id,region,status,price,discount
+1,east,Successful,120.5,0.1
+2,west,Successful,80.0,0.0
+3,east,Unsuccessful,45.0,0.2
+4,north,Successful,210.0,0.15
+5,west,Refunded,99.0,0.0
+6,east,Successful,60.0,0.05
+7,south,Successful,150.0,0.1
+8,north,Unsuccessful,30.0,0.0
+9,south,Successful,75.5,0.25
+10,east,Successful,88.0,0.0
+`
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
+		maxInFlight = flag.Int("max-inflight", 0, "max concurrent executions (0 = GOMAXPROCS)")
+		maxQueue    = flag.Int("max-queue", -1, "max queued executions (-1 = 2x max-inflight, 0 = refuse when busy)")
+		deadline    = flag.Duration("default-deadline", 0, "deadline applied to requests that do not ask for one (0 = none)")
+		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
+		retries     = flag.Int("retries", 3, "transient-failure retry attempts per execution (1 = fail fast)")
+		retryAfter  = flag.Duration("retry-after", 500*time.Millisecond, "backoff hint on 409/429 responses")
+		drain       = flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGINT/SIGTERM")
+		demo        = flag.Bool("demo", false, "seed sales.csv and a warehouse database with demo data")
+	)
+	flag.Parse()
+
+	p := core.New()
+	if *demo {
+		if err := seedDemo(p); err != nil {
+			log.Fatalf("datachatd: seeding demo data: %v", err)
+		}
+		log.Printf("demo data seeded: file sales.csv, database warehouse (table iot_events)")
+	}
+
+	cfg := server.Config{
+		MaxInFlight:     *maxInFlight,
+		MaxQueue:        *maxQueue,
+		RetryAfter:      *retryAfter,
+		DefaultDeadline: *deadline,
+		MaxDeadline:     *maxDeadline,
+	}
+	if *retries > 1 {
+		cfg.Retry = faults.RetryPolicy{
+			MaxAttempts: *retries,
+			BaseDelay:   50 * time.Millisecond,
+			MaxDelay:    2 * time.Second,
+			Multiplier:  2,
+		}
+	}
+	srv := server.New(p, cfg)
+
+	hs := &http.Server{Addr: *addr, Handler: srv}
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("datachatd listening on %s", *addr)
+		errc <- hs.ListenAndServe()
+	}()
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("datachatd: %v", err)
+	case sig := <-sigc:
+		log.Printf("datachatd: %v received, draining (budget %s)", sig, *drain)
+	}
+
+	// Drain: stop accepting, let in-flight executions finish, then close
+	// the listener.
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("datachatd: %v", err)
+	}
+	if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("datachatd: closing listener: %v", err)
+	}
+	log.Printf("datachatd: stopped")
+}
+
+// seedDemo registers the quickstart CSV and a small cloud warehouse so the
+// daemon is immediately usable.
+func seedDemo(p *core.Platform) error {
+	p.RegisterFile("sales.csv", demoCSV)
+
+	db := cloud.NewDatabase("warehouse", cloud.DefaultPricing, 4)
+	n := 64
+	ids := make([]int64, n)
+	temps := make([]float64, n)
+	sites := make([]string, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i + 1)
+		temps[i] = 15 + float64(i%20)
+		sites[i] = []string{"plant-a", "plant-b", "plant-c"}[i%3]
+	}
+	events, err := dataset.NewTable("iot_events",
+		dataset.IntColumn("event_id", ids, nil),
+		dataset.FloatColumn("temperature", temps, nil),
+		dataset.StringColumn("site", sites, nil),
+	)
+	if err != nil {
+		return err
+	}
+	if err := db.CreateTable(events); err != nil {
+		return err
+	}
+	return p.ConnectDatabase(db)
+}

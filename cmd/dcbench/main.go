@@ -11,6 +11,7 @@
 //	dcbench -exp vectorized  # columnar engine vs row reference (filter/join/group-by)
 //	dcbench -exp faults      # fault-rate grid: retried corpus throughput + exactness
 //	dcbench -exp plan        # logical-plan pass pipeline: planned vs naive execution
+//	dcbench -exp server      # datachatd load grid: concurrent HTTP clients, 409/429 accounting
 //	dcbench -exp all         # everything (default)
 package main
 
@@ -23,13 +24,15 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, server, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
 	benchJSON := flag.String("bench-json", "", "write the vectorized grid as JSON to this path")
 	faultsJSON := flag.String("faults-json", "", "write the fault-rate grid as JSON to this path")
 	planJSON := flag.String("plan-json", "", "write the plan comparison as JSON to this path")
+	serverJSON := flag.String("server-json", "", "write the server load grid as JSON to this path")
+	perClient := flag.Int("per-client", 25, "requests per client for the server experiment")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -171,6 +174,22 @@ func main() {
 				return err
 			}
 			return os.WriteFile(*planJSON, append(data, '\n'), 0o644)
+		}
+		return nil
+	})
+	run("server", func() error {
+		r, err := experiments.ServerLoad([]int{1, 4, 8}, *perClient)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		if *serverJSON != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*serverJSON, append(data, '\n'), 0o644)
 		}
 		return nil
 	})

@@ -1,0 +1,187 @@
+// Collaborate, remotely: the §2.4 scenario over the wire. A datachatd is
+// booted on a loopback listener, and two users drive it through
+// internal/client — sharing a session, racing the session lock (the loser
+// gets a typed 409 instead of a corrupted DAG), saving an artifact, and
+// handing it to an account-less guest via a secret link. The daemon then
+// drains gracefully.
+//
+//	go run ./examples/collaborate-remote
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"datachat/internal/client"
+	"datachat/internal/cloud"
+	"datachat/internal/core"
+	"datachat/internal/dataset"
+	"datachat/internal/server"
+	"datachat/internal/wire"
+)
+
+func main() {
+	ctx := context.Background()
+
+	// --- Boot a daemon on a loopback port, seeded like `datachatd -demo`.
+	p := core.New()
+	db := cloud.NewDatabase("warehouse", cloud.DefaultPricing, 4096)
+	n := 50_000
+	ids := make([]int64, n)
+	readings := make([]float64, n)
+	sites := make([]string, n)
+	for i := range ids {
+		ids[i] = int64(i)
+		readings[i] = float64(i % 997)
+		sites[i] = []string{"north", "south", "east", "west"}[i%4]
+	}
+	if err := db.CreateTable(dataset.MustNewTable("iot_events",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("reading", readings, nil),
+		dataset.StringColumn("site", sites, nil),
+	)); err != nil {
+		log.Fatal(err)
+	}
+	if err := p.ConnectDatabase(db); err != nil {
+		log.Fatal(err)
+	}
+	srv := server.New(p, server.Config{MaxInFlight: 4, MaxQueue: 8})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv}
+	go func() { _ = hs.Serve(ln) }()
+	baseURL := "http://" + ln.Addr().String()
+	fmt.Printf("datachatd listening on %s\n", baseURL)
+
+	// --- Two users, two clients, one wire.
+	ann := client.New(baseURL)
+	bob := client.New(baseURL)
+
+	if _, err := ann.CreateSession(ctx, "iot-quality", "ann"); err != nil {
+		log.Fatal(err)
+	}
+	// §3: assess quality on a cheap block sample, then snapshot so iteration
+	// stops hitting the meter — all as remote GEL.
+	res, err := ann.RunGEL(ctx, "iot-quality", "ann",
+		"Sample 10% of the table iot_events from the database warehouse", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ann sampled %d of %d rows over the wire\n",
+		len(res.Result.Table.Rows), res.Result.Table.TotalRows)
+	if _, err := ann.RunGEL(ctx, "iot-quality", "ann",
+		"Create a snapshot iot_snap of the table iot_events from the database warehouse", ""); err != nil {
+		log.Fatal(err)
+	}
+
+	// Ann invites Bob to co-drive (§2.4), over the wire.
+	if err := ann.ShareSession(ctx, "iot-quality", "ann", "bob", "edit"); err != nil {
+		log.Fatal(err)
+	}
+	info, err := ann.SessionInfo(ctx, "iot-quality")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("session members: %v\n", info.Members)
+
+	// Both fire a request at once. The session lock serializes the shared
+	// DAG; a loser sees a typed 409 busy payload with a Retry-After hint.
+	var wg sync.WaitGroup
+	outcomes := make([]error, 2)
+	users := []string{"ann", "bob"}
+	clients := []*client.Client{ann, bob}
+	for i := range users {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, outcomes[i] = clients[i].Run(ctx, "iot-quality", wire.RunRequest{
+				User: users[i],
+				GEL:  "Use the snapshot iot_snap",
+			})
+		}(i)
+	}
+	wg.Wait()
+	for i, user := range users {
+		switch {
+		case outcomes[i] == nil:
+			fmt.Printf("%s's request ran\n", user)
+		case client.IsBusy(outcomes[i]):
+			fmt.Printf("%s's request was refused busy (retry in %dms)\n",
+				user, client.RetryAfter(outcomes[i]))
+		default:
+			log.Fatalf("%s: %v", user, outcomes[i])
+		}
+	}
+
+	// Bob iterates on the snapshot and builds the quality summary remotely.
+	use, err := bob.RunGEL(ctx, "iot-quality", "bob", "Use the snapshot iot_snap", "")
+	if err != nil {
+		log.Fatal(err)
+	}
+	work := fmt.Sprintf("node%d", use.Nodes[len(use.Nodes)-1])
+	hot, err := bob.RunGEL(ctx, "iot-quality", "bob", "Keep the rows where reading > 500", work)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hotOut := fmt.Sprintf("node%d", hot.Nodes[len(hot.Nodes)-1])
+	summary, err := bob.RunGEL(ctx, "iot-quality", "bob",
+		"Compute the count of records and avg of reading for each site", hotOut)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sumOut := fmt.Sprintf("node%d", summary.Nodes[len(summary.Nodes)-1])
+
+	// Save the artifact; the recipe is auto-sliced to the productive steps.
+	a, err := bob.SaveArtifact(ctx, "iot-quality", wire.SaveArtifactRequest{
+		User: "bob", Name: "hot-readings-by-site", Output: sumOut,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nartifact %q saved remotely with a %d-step recipe\n",
+		a.Name, len(a.Recipe.Steps))
+
+	// Hand it to a guest: mint a secret link over the wire, resolve it with
+	// a client that has no account at all.
+	secret, err := bob.MintLink(ctx, "hot-readings-by-site", "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	guest := client.New(baseURL)
+	shared, err := guest.ResolveLink(ctx, secret)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("secret link %s… resolves for the guest to %q (%d rows)\n",
+		secret[:8], shared.Name, shared.Table.TotalRows)
+
+	// Transparency for the guest's reviewers: every dialect of the recipe.
+	rec, err := bob.Recipe(ctx, "hot-readings-by-site", "bob")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nrecipe behind the shared artifact:")
+	for i, l := range rec.GEL {
+		fmt.Printf("%2d. %s\n", i+1, l)
+	}
+
+	// Shut down like production would: drain in-flight work, then close.
+	dctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(dctx); err != nil {
+		log.Fatal(err)
+	}
+	if err := hs.Shutdown(dctx); err != nil {
+		log.Fatal(err)
+	}
+	stats := srv.Stats()
+	fmt.Printf("\ndaemon drained: %d requests served, %d busy refusals\n",
+		stats.Requests, stats.Busy409)
+}

@@ -1,0 +1,50 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"datachat/internal/wire"
+)
+
+func TestTypedErrorDecoding(t *testing.T) {
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		switch r.URL.Path {
+		case "/v1/sessions": // busy with hint
+			w.Header().Set("Content-Type", "application/json")
+			w.WriteHeader(http.StatusConflict)
+			_, _ = w.Write([]byte(`{"code":"busy","message":"session locked","retry_after_ms":750}`))
+		case "/healthz": // non-JSON body must still yield a usable error
+			w.WriteHeader(http.StatusBadGateway)
+			_, _ = w.Write([]byte("upstream exploded"))
+		}
+	}))
+	defer hs.Close()
+	c := New(hs.URL)
+	ctx := context.Background()
+
+	_, err := c.CreateSession(ctx, "s", "ann")
+	if !IsBusy(err) {
+		t.Fatalf("err = %v, want busy", err)
+	}
+	if RetryAfter(err) != 750 {
+		t.Fatalf("retry_after = %d, want 750", RetryAfter(err))
+	}
+	if e := err.(*wire.Error); e.Status != http.StatusConflict {
+		t.Fatalf("status = %d, want 409", e.Status)
+	}
+
+	err = c.Health(ctx)
+	e, ok := err.(*wire.Error)
+	if !ok || e.Status != http.StatusBadGateway {
+		t.Fatalf("err = %v, want wire.Error with 502", err)
+	}
+	if e.Message == "" {
+		t.Fatal("non-JSON error body produced an empty message")
+	}
+	if IsBusy(err) || IsThrottled(err) || IsDraining(err) || IsDeadline(err) {
+		t.Fatalf("502 misclassified: %v", err)
+	}
+}

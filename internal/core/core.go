@@ -7,6 +7,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -77,6 +78,29 @@ func New() *Platform {
 // CacheStats reports the shared sub-DAG cache's hit/miss/eviction counters
 // across all sessions.
 func (p *Platform) CacheStats() dag.CacheStats { return p.cache.Stats() }
+
+// ExecStats sums execution statistics across every open session's executor —
+// the deployment-wide view /statsz serves.
+func (p *Platform) ExecStats() dag.Stats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var total dag.Stats
+	for _, s := range p.sessions {
+		st := s.Executor().Stats()
+		total.TasksRun += st.TasksRun
+		total.SQLTasks += st.SQLTasks
+		total.DirectTasks += st.DirectTasks
+		total.NodesConsolidated += st.NodesConsolidated
+		total.QueryBlocks += st.QueryBlocks
+		total.RowsMaterialized += st.RowsMaterialized
+		total.CacheHits += st.CacheHits
+		total.CacheMisses += st.CacheMisses
+		total.Retries += st.Retries
+		total.PermanentFailures += st.PermanentFailures
+		total.Degraded += st.Degraded
+	}
+	return total
+}
 
 // InvalidateCache drops every cached sub-DAG result platform-wide, e.g.
 // after source data known to the deployment changes out of band.
@@ -181,12 +205,21 @@ func (p *Platform) Board(name string) *session.InsightsBoard {
 // lower into identical logical plans and share sub-DAG cache entries no
 // matter which surface built them.
 func (p *Platform) Run(sessionName, user string, invs ...skills.Invocation) (*skills.Result, error) {
+	res, _, err := p.RunCtx(context.Background(), sessionName, user, nil, invs...)
+	return res, err
+}
+
+// RunCtx is Run with an explicit context and optional per-request execution
+// tuning (deadline, retry policy, clock), and it additionally returns the DAG
+// node ids the program appended — the network layer needs them to anchor
+// artifact saves. This is the entry point datachatd funnels every remote
+// execution through.
+func (p *Platform) RunCtx(ctx context.Context, sessionName, user string, tune *session.Tuning, invs ...skills.Invocation) (*skills.Result, []dag.NodeID, error) {
 	s, err := p.Session(sessionName)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	res, _, err := s.RequestProgram(user, invs...)
-	return res, err
+	return s.RequestProgramCtx(ctx, user, tune, invs...)
 }
 
 // RunPython parses a DataChat Python API script and executes it via Run.
@@ -231,22 +264,30 @@ func (p *Platform) Explain(sessionName, output string) (*plan.Explain, error) {
 // of a user — the console's one-line entry point. Sentences that do not
 // name datasets act on `current` (pass "" to require explicit names).
 func (p *Platform) RequestGEL(sessionName, user, line, current string) (*skills.Result, error) {
-	s, err := p.Session(sessionName)
+	inv, err := p.ParseGEL(line, current)
 	if err != nil {
 		return nil, err
 	}
+	res, _, err := p.RunCtx(context.Background(), sessionName, user, nil, inv)
+	return res, err
+}
+
+// ParseGEL parses one GEL sentence into an invocation, defaulting the input
+// of dataset-consuming skills to current (pass "" to require explicit names)
+// — the shared front half of RequestGEL, exposed so the network layer can
+// parse, then execute through its own tuned entry point.
+func (p *Platform) ParseGEL(line, current string) (skills.Invocation, error) {
 	inv, err := p.Parser.Parse(line)
 	if err != nil {
-		return nil, err
+		return skills.Invocation{}, err
 	}
 	if len(inv.Inputs) == 0 && needsInput(inv.Skill) {
 		if current == "" {
-			return nil, fmt.Errorf("core: %s needs a dataset; load or use one first", inv.Skill)
+			return skills.Invocation{}, fmt.Errorf("core: %s needs a dataset; load or use one first", inv.Skill)
 		}
 		inv.Inputs = []string{current}
 	}
-	res, _, err := s.Request(user, inv)
-	return res, err
+	return inv, nil
 }
 
 func needsInput(skill string) bool {
@@ -318,7 +359,7 @@ func (p *Platform) RefreshArtifact(sessionName, user, artifactName string) (*art
 	if err != nil {
 		return nil, err
 	}
-	res, err := a.Recipe.Replay(s.Executor(), true)
+	res, err := s.ReplayRecipe(context.Background(), user, a.Recipe, true)
 	if err != nil {
 		return nil, fmt.Errorf("core: refreshing %q: %w", artifactName, err)
 	}

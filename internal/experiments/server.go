@@ -1,0 +1,196 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datachat/internal/client"
+	"datachat/internal/core"
+	"datachat/internal/server"
+)
+
+// The server experiment load-tests datachatd's network layer: N concurrent
+// clients drive real HTTP requests through admission control and the §2.4
+// session lock. Two modes per concurrency level: "isolated" gives every
+// client its own session (measuring service throughput) and "shared" points
+// every client at one session (measuring the lock's refusal behavior — the
+// 409s are the contract working, not failures).
+
+// ServerCase is one (clients, mode) cell of the load grid.
+type ServerCase struct {
+	Clients      int     `json:"clients"`
+	Mode         string  `json:"mode"` // "isolated" or "shared"
+	Requests     int     `json:"requests"`
+	Succeeded    int     `json:"succeeded"`
+	Busy409      int     `json:"busy_409"`
+	Throttled429 int     `json:"throttled_429"`
+	Errors       int     `json:"errors"`
+	WallSeconds  float64 `json:"wall_seconds"`
+	RequestsPerS float64 `json:"requests_per_sec"`
+	P50Ms        float64 `json:"p50_ms"`
+	P95Ms        float64 `json:"p95_ms"`
+}
+
+// ServerResult is the full load grid plus the server's own view of the run.
+type ServerResult struct {
+	Cases []ServerCase `json:"cases"`
+	// ExecTasksRun and CacheHits summarize the executor work behind the
+	// HTTP surface, from the final /statsz.
+	ExecTasksRun int64 `json:"exec_tasks_run"`
+	CacheHits    int64 `json:"cache_hits"`
+}
+
+// serverLoadCSV builds a table big enough that the per-request execution
+// window is measurable — shared-mode lock collisions depend on it.
+func serverLoadCSV(rows int) string {
+	var b strings.Builder
+	b.WriteString("id,grp,v\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&b, "%d,g%d,%d\n", i, i%13, i%1000)
+	}
+	return b.String()
+}
+
+// ServerLoad boots a datachatd over a loopback listener and drives it with
+// each concurrency level, perRequest GEL sentences per client.
+func ServerLoad(clientCounts []int, perClient int) (*ServerResult, error) {
+	srv := server.New(core.New(), server.Config{MaxInFlight: 8, MaxQueue: 32})
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	ctx := context.Background()
+	c := client.New(hs.URL)
+	if err := c.RegisterFile(ctx, "load.csv", serverLoadCSV(20_000)); err != nil {
+		return nil, err
+	}
+
+	result := &ServerResult{}
+	session := 0
+	for _, n := range clientCounts {
+		for _, mode := range []string{"isolated", "shared"} {
+			cell, err := runServerCell(ctx, c, srv, mode, n, perClient, &session)
+			if err != nil {
+				return nil, err
+			}
+			result.Cases = append(result.Cases, *cell)
+		}
+	}
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		return nil, err
+	}
+	result.ExecTasksRun = stats.Exec["tasks_run"]
+	result.CacheHits = stats.Cache["hits"]
+	return result, nil
+}
+
+func runServerCell(ctx context.Context, c *client.Client, srv *server.Server, mode string, clients, perClient int, session *int) (*ServerCase, error) {
+	// Seed the sessions for this cell: one per client (isolated) or one for
+	// everyone (shared), each preloaded with the file so the measured
+	// requests are pure transform traffic.
+	sessions := make([]string, clients)
+	bases := make([]string, clients)
+	newSession := func() (string, string, error) {
+		*session++
+		name := fmt.Sprintf("load-%d", *session)
+		if _, err := c.CreateSession(ctx, name, "bench"); err != nil {
+			return "", "", err
+		}
+		resp, err := c.RunGEL(ctx, name, "bench", "Load data from the file load.csv", "")
+		if err != nil {
+			return "", "", err
+		}
+		return name, fmt.Sprintf("node%d", resp.Nodes[len(resp.Nodes)-1]), nil
+	}
+	if mode == "shared" {
+		name, base, err := newSession()
+		if err != nil {
+			return nil, err
+		}
+		for i := range sessions {
+			sessions[i], bases[i] = name, base
+		}
+	} else {
+		for i := range sessions {
+			name, base, err := newSession()
+			if err != nil {
+				return nil, err
+			}
+			sessions[i], bases[i] = name, base
+		}
+	}
+
+	before := srv.Stats()
+	cell := &ServerCase{Clients: clients, Mode: mode, Requests: clients * perClient}
+	latencies := make([]time.Duration, 0, cell.Requests)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	start := time.Now()
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				t0 := time.Now()
+				_, err := c.RunGEL(ctx, sessions[i], "bench",
+					"Compute the sum of v for each grp", bases[i])
+				d := time.Since(t0)
+				mu.Lock()
+				latencies = append(latencies, d)
+				switch {
+				case err == nil:
+					cell.Succeeded++
+				case client.IsBusy(err):
+					cell.Busy409++
+				case client.IsThrottled(err):
+					cell.Throttled429++
+				default:
+					cell.Errors++
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	cell.WallSeconds = wall.Seconds()
+	if wall > 0 {
+		cell.RequestsPerS = float64(cell.Requests) / wall.Seconds()
+	}
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	cell.P50Ms = float64(latencies[len(latencies)/2]) / float64(time.Millisecond)
+	cell.P95Ms = float64(latencies[len(latencies)*95/100]) / float64(time.Millisecond)
+	after := srv.Stats()
+	if cell.Errors > 0 {
+		return nil, fmt.Errorf("server load: %d unexpected errors (%s, %d clients)", cell.Errors, mode, clients)
+	}
+	// Cross-check the client's view against the server's counters.
+	if got := int(after.Busy409 - before.Busy409); got != cell.Busy409 {
+		return nil, fmt.Errorf("server load: client saw %d busy refusals, server counted %d", cell.Busy409, got)
+	}
+	return cell, nil
+}
+
+// Report renders the grid as the EXPERIMENTS.md table.
+func (r *ServerResult) Report() string {
+	var b strings.Builder
+	b.WriteString("Server load: concurrent HTTP clients vs datachatd (shared-mode 409s are the §2.4 lock working)\n")
+	b.WriteString("  clients  mode      requests  ok    busy409  throttled  req/s   p50(ms)  p95(ms)\n")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "  %-8d %-9s %-9d %-5d %-8d %-10d %-7.0f %-8.2f %.2f\n",
+			c.Clients, c.Mode, c.Requests, c.Succeeded, c.Busy409, c.Throttled429,
+			c.RequestsPerS, c.P50Ms, c.P95Ms)
+	}
+	fmt.Fprintf(&b, "  executor tasks run: %d, sub-DAG cache hits: %d\n", r.ExecTasksRun, r.CacheHits)
+	return b.String()
+}
+
+// JSON renders the result for BENCH_server.json.
+func (r *ServerResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

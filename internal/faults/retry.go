@@ -2,10 +2,18 @@ package faults
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"time"
 )
+
+// ErrDeadline marks retry loops abandoned because the next backoff would
+// cross the caller's deadline. Errors returned by Do on that path wrap both
+// ErrDeadline and the last attempt's failure, so callers (e.g. the network
+// layer mapping failures to status codes) can detect deadline exhaustion
+// with errors.Is instead of string matching.
+var ErrDeadline = errors.New("faults: deadline exceeded")
 
 // Default backoff parameters, applied when a policy enables retries but
 // leaves the corresponding field zero.
@@ -158,7 +166,7 @@ func Do[T any](ctx context.Context, clock Clock, p RetryPolicy, deadline time.Ti
 		}
 		delay := p.delayAt(stats.Attempts, rng)
 		if !deadline.IsZero() && clock.Now().Add(delay).After(deadline) {
-			return zero, stats, fmt.Errorf("faults: retry deadline exceeded after %d attempts: %w", stats.Attempts, err)
+			return zero, stats, fmt.Errorf("faults: retry deadline exceeded after %d attempts: %w: %w", stats.Attempts, ErrDeadline, err)
 		}
 		if serr := clock.Sleep(ctx, delay); serr != nil {
 			return zero, stats, serr

@@ -1,0 +1,134 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"datachat/internal/client"
+	"datachat/internal/core"
+	"datachat/internal/server"
+)
+
+// benchDeployment boots a server with a session holding a loaded table and
+// returns a client plus the base dataset name.
+func benchDeployment(b *testing.B, rows int) (*client.Client, string) {
+	b.Helper()
+	var csv strings.Builder
+	csv.WriteString("id,grp,v\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&csv, "%d,g%d,%d\n", i, i%7, i%100)
+	}
+	srv := server.New(core.New(), server.Config{MaxInFlight: 8, MaxQueue: 64})
+	hs := httptest.NewServer(srv)
+	b.Cleanup(hs.Close)
+	c := client.New(hs.URL)
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "bench.csv", csv.String()); err != nil {
+		b.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "bench", "ann"); err != nil {
+		b.Fatal(err)
+	}
+	resp, err := c.RunGEL(ctx, "bench", "ann", "Load data from the file bench.csv", "")
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c, fmt.Sprintf("node%d", resp.Nodes[len(resp.Nodes)-1])
+}
+
+// BenchmarkServerRunGEL measures one GEL transform round-trip through the
+// full stack: HTTP, admission, the session lock, the DAG executor, and the
+// wire encoding of the result page.
+func BenchmarkServerRunGEL(b *testing.B) {
+	c, base := benchDeployment(b, 1000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := c.RunGEL(ctx, "bench", "ann", "Keep the rows where v > 50", base); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkServerRowStream measures streaming a 10k-row table through the
+// NDJSON chunk protocol and reassembling it client-side.
+func BenchmarkServerRowStream(b *testing.B) {
+	c, base := benchDeployment(b, 10_000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := c.StreamTable(ctx, "bench", base, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() != 10_000 {
+			b.Fatalf("rows = %d", t.NumRows())
+		}
+	}
+}
+
+// BenchmarkServerRowPages measures the same table fetched through offset
+// pagination instead of the stream.
+func BenchmarkServerRowPages(b *testing.B) {
+	c, base := benchDeployment(b, 10_000)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := c.FetchTable(ctx, "bench", base, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() != 10_000 {
+			b.Fatalf("rows = %d", t.NumRows())
+		}
+	}
+}
+
+// BenchmarkServerConcurrentSessions measures aggregate throughput with one
+// session per worker (no lock contention): the admission-control path under
+// parallel load.
+func BenchmarkServerConcurrentSessions(b *testing.B) {
+	var csv strings.Builder
+	csv.WriteString("id,grp,v\n")
+	for i := 0; i < 1000; i++ {
+		fmt.Fprintf(&csv, "%d,g%d,%d\n", i, i%7, i%100)
+	}
+	srv := server.New(core.New(), server.Config{MaxInFlight: 8, MaxQueue: 64})
+	hs := httptest.NewServer(srv)
+	b.Cleanup(hs.Close)
+	c := client.New(hs.URL)
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "bench.csv", csv.String()); err != nil {
+		b.Fatal(err)
+	}
+	// Pre-create a pool of sessions so each parallel worker owns one and the
+	// timed loop is pure request traffic.
+	const pool = 16
+	bases := make([]string, pool)
+	for i := 0; i < pool; i++ {
+		name := fmt.Sprintf("bench-%d", i)
+		if _, err := c.CreateSession(ctx, name, "ann"); err != nil {
+			b.Fatal(err)
+		}
+		resp, err := c.RunGEL(ctx, name, "ann", "Load data from the file bench.csv", "")
+		if err != nil {
+			b.Fatal(err)
+		}
+		bases[i] = fmt.Sprintf("node%d", resp.Nodes[len(resp.Nodes)-1])
+	}
+	var next atomic.Int64
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := int(next.Add(1)-1) % pool
+		name := fmt.Sprintf("bench-%d", i)
+		for pb.Next() {
+			if _, err := c.RunGEL(ctx, name, "ann", "Keep the rows where v > 50", bases[i]); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

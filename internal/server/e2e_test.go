@@ -1,0 +1,574 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"datachat/internal/client"
+	"datachat/internal/core"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+	"datachat/internal/recipe"
+	"datachat/internal/server"
+	"datachat/internal/skills"
+	"datachat/internal/wire"
+)
+
+const salesCSV = `order_id,region,status,price,discount
+1,east,Successful,120.5,0.1
+2,west,Successful,80.0,0.0
+3,east,Unsuccessful,45.0,0.2
+4,north,Successful,210.0,0.15
+5,west,Refunded,99.0,0.0
+6,east,Successful,60.0,0.05
+7,south,Successful,150.0,0.1
+8,north,Unsuccessful,30.0,0.0
+9,south,Successful,75.5,0.25
+10,east,Successful,88.0,0.0
+`
+
+// newTestDeployment serves a fresh platform over a real listener and returns
+// the server (for Shutdown/Stats) plus a client pointed at it.
+func newTestDeployment(t *testing.T, cfg server.Config) (*server.Server, *client.Client) {
+	t.Helper()
+	srv := server.New(core.New(), cfg)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, client.New(hs.URL)
+}
+
+// nodeOutput is the client-side naming convention for unnamed step outputs,
+// mirroring dag.Node.OutputName.
+func nodeOutput(resp *wire.RunResponse) string {
+	return fmt.Sprintf("node%d", resp.Nodes[len(resp.Nodes)-1])
+}
+
+// runPipeline executes the quickstart GEL pipeline over the wire and returns
+// the output dataset name of the final step.
+func runPipeline(t *testing.T, c *client.Client, sess, user string) string {
+	t.Helper()
+	ctx := context.Background()
+	lines := []string{
+		"Load data from the file sales.csv",
+		"Keep the rows where status = 'Successful'",
+		"Create a new column revenue as price * (1 - discount)",
+		"Compute the sum of revenue for each region and call the computed columns TotalRevenue",
+		"Sort the rows by TotalRevenue in descending order",
+	}
+	current := ""
+	for _, line := range lines {
+		resp, err := c.RunGEL(ctx, sess, user, line, current)
+		if err != nil {
+			t.Fatalf("RunGEL(%q): %v", line, err)
+		}
+		current = nodeOutput(resp)
+	}
+	return current
+}
+
+// TestEndToEndGELPipeline drives the full acceptance path remotely: upload a
+// file, open a session, run load → wrangle → visualize, page and stream the
+// result, save it as an artifact, export the recipe in all dialects, mint a
+// secret link, and resolve it account-less.
+func TestEndToEndGELPipeline(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatalf("RegisterFile: %v", err)
+	}
+	if _, err := c.CreateSession(ctx, "quarterly", "ann"); err != nil {
+		t.Fatalf("CreateSession: %v", err)
+	}
+	final := runPipeline(t, c, "quarterly", "ann")
+
+	// Visualize the aggregate through GEL.
+	chartResp, err := c.RunGEL(ctx, "quarterly", "ann",
+		"Plot a bar chart with the x-axis region, the y-axis TotalRevenue", final)
+	if err != nil {
+		t.Fatalf("plot: %v", err)
+	}
+	if len(chartResp.Result.Charts) != 1 {
+		t.Fatalf("charts = %d, want 1", len(chartResp.Result.Charts))
+	}
+
+	// Page the final dataset and check the aggregate itself.
+	table, err := c.FetchTable(ctx, "quarterly", final, 2) // tiny pages to exercise pagination
+	if err != nil {
+		t.Fatalf("FetchTable: %v", err)
+	}
+	if table.NumRows() != 4 {
+		t.Fatalf("rows = %d, want 4 regions", table.NumRows())
+	}
+	regions := table.Columns()[0]
+	if got := regions.Value(0).S; got != "east" {
+		t.Errorf("top region = %q, want east (highest TotalRevenue first)", got)
+	}
+
+	// The stream endpoint must reassemble to the identical table.
+	streamed, err := c.StreamTable(ctx, "quarterly", final, 3)
+	if err != nil {
+		t.Fatalf("StreamTable: %v", err)
+	}
+	if !table.Equal(streamed) {
+		t.Fatal("streamed table differs from paginated table")
+	}
+
+	// EXPLAIN over the wire: the plan report arrives as structured JSON.
+	explain, err := c.Explain(ctx, "quarterly", final)
+	if err != nil {
+		t.Fatalf("Explain: %v", err)
+	}
+	if explain == nil || len(explain.Nodes) == 0 {
+		t.Fatalf("explain = %+v, want nodes", explain)
+	}
+
+	// The Python API rides the same run endpoint.
+	pyResp, err := c.RunPython(ctx, "quarterly", "ann",
+		fmt.Sprintf("top2 = %s.limit_rows(count = 2)", final))
+	if err != nil {
+		t.Fatalf("RunPython: %v", err)
+	}
+	if got := pyResp.Result.Table.TotalRows; got != 2 {
+		t.Fatalf("python limit_rows rows = %d, want 2", got)
+	}
+
+	// A request with no dialect set is a typed 400.
+	_, err = c.Run(ctx, "quarterly", wire.RunRequest{User: "ann"})
+	if e, ok := err.(*wire.Error); !ok || e.Status != 400 || e.Code != wire.CodeBadRequest {
+		t.Fatalf("empty run request = %v, want typed 400", err)
+	}
+
+	// Save, export the recipe, share by secret link.
+	if _, err := c.SaveArtifact(ctx, "quarterly", wire.SaveArtifactRequest{
+		User: "ann", Name: "revenue-by-region", Output: final,
+	}); err != nil {
+		t.Fatalf("SaveArtifact: %v", err)
+	}
+	rec, err := c.Recipe(ctx, "revenue-by-region", "ann")
+	if err != nil {
+		t.Fatalf("Recipe: %v", err)
+	}
+	if rec.Recipe == nil || len(rec.Recipe.Steps) == 0 {
+		t.Fatal("recipe has no steps")
+	}
+	if len(rec.GEL) == 0 || rec.Python == "" || rec.SQL == "" {
+		t.Fatalf("missing renderings: gel=%d python=%t sql=%t",
+			len(rec.GEL), rec.Python != "", rec.SQL != "")
+	}
+	if !strings.Contains(rec.SQL, "SELECT") {
+		t.Fatalf("SQL rendering = %q, want a SELECT", rec.SQL)
+	}
+
+	secret, err := c.MintLink(ctx, "revenue-by-region", "ann")
+	if err != nil {
+		t.Fatalf("MintLink: %v", err)
+	}
+	viaLink, err := c.ResolveLink(ctx, secret)
+	if err != nil {
+		t.Fatalf("ResolveLink: %v", err)
+	}
+	if viaLink.Name != "revenue-by-region" || viaLink.Table == nil {
+		t.Fatalf("link resolved to %+v, want the saved table artifact", viaLink)
+	}
+
+	// Statsz reflects the work.
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatalf("Statsz: %v", err)
+	}
+	if stats.Sessions != 1 || stats.Server.Requests == 0 || stats.Exec["tasks_run"] == 0 {
+		t.Fatalf("statsz = %+v, want 1 session and nonzero work", stats)
+	}
+}
+
+// registerBlockingSkill installs a skill that parks until release is closed,
+// then emits a one-row table. started receives one value per execution start.
+func registerBlockingSkill(t *testing.T, p *core.Platform, started chan<- struct{}, release <-chan struct{}) {
+	t.Helper()
+	err := p.Registry.Register(&skills.Definition{
+		Name:     "Block",
+		Category: skills.DataWrangling,
+		Summary:  "test skill: block until released",
+		GEL:      "Block",
+		Volatile: true,
+		Apply: func(ctx *skills.Context, inv skills.Invocation) (*skills.Result, error) {
+			started <- struct{}{}
+			<-release
+			tab, err := dataset.NewTable(inv.Output, dataset.IntColumn("ok", []int64{1}, nil))
+			if err != nil {
+				return nil, err
+			}
+			return &skills.Result{Table: tab, Message: "unblocked"}, nil
+		},
+	})
+	if err != nil {
+		t.Fatalf("registering Block skill: %v", err)
+	}
+}
+
+// program builds a one-step explicit program for a zero-input skill.
+func program(skill, output string) []recipe.Step {
+	return []recipe.Step{{Skill: skill, Output: output}}
+}
+
+// TestConcurrentClientsSerializeOr409 pins the §2.4 contract on the wire: N
+// clients hammering one session each either execute (serialized by the
+// session lock) or receive a typed 409; nothing else.
+func TestConcurrentClientsSerializeOr409(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, c := newTestDeployment(t, server.Config{MaxInFlight: 16, MaxQueue: 32})
+	registerBlockingSkill(t, srv.Platform(), started, release)
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "shared", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "shared", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.RunGEL(ctx, "shared", "ann",
+				"Keep the rows where status = 'Successful'", base)
+		}(i)
+	}
+	wg.Wait()
+
+	succeeded, busy := 0, 0
+	for i, err := range errs {
+		switch {
+		case err == nil:
+			succeeded++
+		case client.IsBusy(err):
+			busy++
+			if client.RetryAfter(err) <= 0 {
+				t.Errorf("client %d: busy without retry_after hint", i)
+			}
+		default:
+			t.Errorf("client %d: unexpected error %v", i, err)
+		}
+	}
+	if succeeded == 0 {
+		t.Fatal("no client succeeded")
+	}
+	if succeeded+busy != n {
+		t.Fatalf("succeeded %d + busy %d != %d", succeeded, busy, n)
+	}
+
+	// Deterministic half: while a Block execution holds the session lock, a
+	// concurrent request MUST come back as a typed 409 with a backoff hint.
+	holding := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, "shared", wire.RunRequest{User: "ann", Program: program("Block", "hold")})
+		holding <- err
+	}()
+	<-started
+	_, err = c.RunGEL(ctx, "shared", "ann", "Keep the rows where status = 'Successful'", base)
+	if !client.IsBusy(err) {
+		t.Fatalf("run against held lock = %v, want busy", err)
+	}
+	if client.RetryAfter(err) <= 0 {
+		t.Error("busy refusal carries no retry_after hint")
+	}
+	close(release)
+	if err := <-holding; err != nil {
+		t.Fatalf("lock-holding run: %v", err)
+	}
+	if srv.Stats().Busy409 == 0 {
+		t.Fatal("server did not count the 409")
+	}
+}
+
+// TestBusyRetryAbsorbsContention opts server-created sessions into §2.4
+// bounded busy-retry under a virtual clock: every concurrent client succeeds
+// and no 409 ever reaches the wire, without a single real sleep.
+func TestBusyRetryAbsorbsContention(t *testing.T) {
+	vc := faults.NewVirtualClock(time.Unix(0, 0))
+	srv, c := newTestDeployment(t, server.Config{
+		MaxInFlight: 16,
+		MaxQueue:    32,
+		Clock:       vc,
+		BusyRetry: faults.RetryPolicy{
+			MaxAttempts: 500, BaseDelay: time.Millisecond,
+			MaxDelay: 4 * time.Millisecond, Multiplier: 2,
+		},
+	})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "shared", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "shared", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	const n = 8
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.RunGEL(ctx, "shared", "ann",
+				"Keep the rows where status = 'Successful'", base)
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			t.Errorf("client %d: %v", i, err)
+		}
+	}
+	if got := srv.Stats().Busy409; got != 0 {
+		t.Fatalf("busy 409s = %d, want 0 (absorbed by busy-retry)", got)
+	}
+	if vc.Slept() == 0 {
+		t.Log("note: no backoff was needed (lock never contended)")
+	}
+}
+
+// TestAdmissionControl429 pins the throttling contract: with one execution
+// slot and no queue, a second concurrent run is refused with 429 and a
+// Retry-After hint while the first still runs.
+func TestAdmissionControl429(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, c := newTestDeployment(t, server.Config{MaxInFlight: 1, MaxQueue: 0, RetryAfter: 2 * time.Second})
+	registerBlockingSkill(t, srv.Platform(), started, release)
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s2", "ann"); err != nil {
+		t.Fatal(err)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, "s1", wire.RunRequest{
+			User: "ann", Program: program("Block", "b1"),
+		})
+		done <- err
+	}()
+	<-started // the first run holds the only slot
+
+	_, err := c.Run(ctx, "s2", wire.RunRequest{User: "ann", Program: program("Block", "b2")})
+	if !client.IsThrottled(err) {
+		t.Fatalf("second run = %v, want throttled", err)
+	}
+	if ra := client.RetryAfter(err); ra != 2000 {
+		t.Errorf("retry_after = %dms, want 2000", ra)
+	}
+
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("first run: %v", err)
+	}
+	if got := srv.Stats().Throttled429; got != 1 {
+		t.Fatalf("throttled count = %d, want 1", got)
+	}
+}
+
+// TestDeadlineExpiresTo504 drives a transiently failing skill under a
+// virtual clock: retry backoff crosses the request deadline, the executor
+// reports faults.ErrDeadline, and the wire maps it to a typed 504 — all
+// without a real sleep.
+func TestDeadlineExpiresTo504(t *testing.T) {
+	vc := faults.NewVirtualClock(time.Unix(0, 0))
+	srv, c := newTestDeployment(t, server.Config{
+		MaxInFlight: 4,
+		Clock:       vc,
+		Retry: faults.RetryPolicy{
+			MaxAttempts: 10, BaseDelay: 60 * time.Millisecond,
+			MaxDelay: time.Second, Multiplier: 2,
+		},
+	})
+	err := srv.Platform().Registry.Register(&skills.Definition{
+		Name:     "Flaky",
+		Category: skills.DataWrangling,
+		Summary:  "test skill: always fails transiently",
+		GEL:      "Flaky",
+		Volatile: true,
+		Apply: func(ctx *skills.Context, inv skills.Invocation) (*skills.Result, error) {
+			return nil, &faults.Error{Op: "scan", Target: "flaky", Kind: faults.Throttled, Class: faults.Transient}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+
+	_, err = c.Run(ctx, "s1", wire.RunRequest{
+		User: "ann", Program: program("Flaky", "f1"), DeadlineMs: 100,
+	})
+	if !client.IsDeadline(err) {
+		t.Fatalf("run = %v, want deadline error", err)
+	}
+	if got := srv.Stats().Deadline504; got != 1 {
+		t.Fatalf("deadline 504s = %d, want 1", got)
+	}
+	if vc.Slept() == 0 {
+		t.Fatal("no virtual backoff was taken before the deadline fired")
+	}
+}
+
+// TestDrainOnShutdown pins graceful drain: an in-flight execution completes,
+// new work is refused with a typed 503, and Shutdown returns once the last
+// slot frees.
+func TestDrainOnShutdown(t *testing.T) {
+	started := make(chan struct{}, 4)
+	release := make(chan struct{})
+	srv, c := newTestDeployment(t, server.Config{MaxInFlight: 2})
+	registerBlockingSkill(t, srv.Platform(), started, release)
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+
+	inFlight := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, "s1", wire.RunRequest{User: "ann", Program: program("Block", "b1")})
+		inFlight <- err
+	}()
+	<-started
+
+	drained := make(chan error, 1)
+	go func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		drained <- srv.Shutdown(sctx)
+	}()
+	// Wait until the drain flag is visible, then verify refusal.
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+	_, err := c.Run(ctx, "s1", wire.RunRequest{User: "ann", Program: program("Block", "b2")})
+	if !client.IsDraining(err) {
+		t.Fatalf("run during drain = %v, want draining error", err)
+	}
+	if err := c.Health(ctx); !client.IsDraining(err) && err == nil {
+		t.Fatalf("healthz during drain = %v, want non-nil", err)
+	}
+
+	select {
+	case err := <-drained:
+		t.Fatalf("Shutdown returned %v before in-flight work finished", err)
+	default:
+	}
+	close(release)
+	if err := <-inFlight; err != nil {
+		t.Fatalf("in-flight run failed across drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+	if got := srv.Stats().Draining503; got == 0 {
+		t.Fatal("draining refusals were not counted")
+	}
+}
+
+// TestDegradedPropagatesOverWire pins §2.3 transparency end to end: a
+// degraded skill result crosses the wire with its note, the artifact saved
+// from it stays marked, and the executor counter surfaces in /statsz.
+func TestDegradedPropagatesOverWire(t *testing.T) {
+	srv, c := newTestDeployment(t, server.Config{})
+	err := srv.Platform().Registry.Register(&skills.Definition{
+		Name:     "StaleRead",
+		Category: skills.DataWrangling,
+		Summary:  "test skill: serves a degraded result",
+		GEL:      "StaleRead",
+		Volatile: true,
+		Apply: func(ctx *skills.Context, inv skills.Invocation) (*skills.Result, error) {
+			tab, err := dataset.NewTable(inv.Output, dataset.IntColumn("v", []int64{7}, nil))
+			if err != nil {
+				return nil, err
+			}
+			return &skills.Result{
+				Table: tab, Degraded: true,
+				DegradedNote: "served from snapshot aged 2h after primary scan failed",
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Run(ctx, "s1", wire.RunRequest{User: "ann", Program: program("StaleRead", "d1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result.Degraded || !strings.Contains(resp.Result.DegradedNote, "snapshot") {
+		t.Fatalf("result = %+v, want degraded with note", resp.Result)
+	}
+	a, err := c.SaveArtifact(ctx, "s1", wire.SaveArtifactRequest{User: "ann", Name: "stale", Output: "d1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !a.Degraded || a.DegradedNote == "" {
+		t.Fatalf("artifact = %+v, want degradation preserved", a)
+	}
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Exec["degraded"] == 0 {
+		t.Fatal("statsz does not count the degraded execution")
+	}
+}
+
+// TestSessionShareOverWire pins remote permission grants: a non-member is
+// denied with 403 until the owner shares edit access over the wire.
+func TestSessionShareOverWire(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	_, err := c.RunGEL(ctx, "s1", "bob", "Load data from the file sales.csv", "")
+	if e, ok := err.(*wire.Error); !ok || e.Status != 403 {
+		t.Fatalf("outsider run = %v, want 403", err)
+	}
+	if err := c.ShareSession(ctx, "s1", "ann", "bob", "edit"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.RunGEL(ctx, "s1", "bob", "Load data from the file sales.csv", ""); err != nil {
+		t.Fatalf("member run after share: %v", err)
+	}
+	info, err := c.SessionInfo(ctx, "s1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(info.Members) != 2 {
+		t.Fatalf("members = %v, want ann and bob", info.Members)
+	}
+}

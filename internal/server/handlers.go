@@ -1,0 +1,560 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"datachat/internal/artifact"
+	"datachat/internal/dag"
+	"datachat/internal/pyapi"
+	"datachat/internal/session"
+	"datachat/internal/skills"
+	"datachat/internal/sqlengine"
+	"datachat/internal/wire"
+)
+
+// routes wires the HTTP surface. Execution endpoints (run, save, refresh)
+// pass through admission control; metadata reads do not.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /statsz", s.handleStatsz)
+	mux.HandleFunc("POST /v1/files", s.handleRegisterFile)
+	mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
+	mux.HandleFunc("GET /v1/sessions/{name}", s.handleSessionInfo)
+	mux.HandleFunc("POST /v1/sessions/{name}/share", s.handleShareSession)
+	mux.HandleFunc("POST /v1/sessions/{name}/run", s.handleRun)
+	mux.HandleFunc("GET /v1/sessions/{name}/explain", s.handleExplain)
+	mux.HandleFunc("GET /v1/sessions/{name}/datasets/{dataset}", s.handleRows)
+	mux.HandleFunc("GET /v1/sessions/{name}/datasets/{dataset}/stream", s.handleRowStream)
+	mux.HandleFunc("POST /v1/sessions/{name}/artifacts", s.handleSaveArtifact)
+	mux.HandleFunc("GET /v1/artifacts", s.handleListArtifacts)
+	mux.HandleFunc("GET /v1/artifacts/{name}", s.handleGetArtifact)
+	mux.HandleFunc("GET /v1/artifacts/{name}/recipe", s.handleRecipe)
+	mux.HandleFunc("POST /v1/artifacts/{name}/share", s.handleShareArtifact)
+	mux.HandleFunc("POST /v1/artifacts/{name}/links", s.handleMintLink)
+	mux.HandleFunc("POST /v1/artifacts/{name}/refresh", s.handleRefreshArtifact)
+	mux.HandleFunc("GET /v1/links/{secret}", s.handleResolveLink)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// writeErr maps err onto the wire: status code, typed payload, and a
+// Retry-After hint on 409/429 so well-behaved clients back off.
+func (s *Server) writeErr(w http.ResponseWriter, err error) {
+	status, code := errStatus(err)
+	s.countRefusal(status)
+	e := &wire.Error{Code: code, Message: err.Error()}
+	if status == http.StatusConflict || status == http.StatusTooManyRequests {
+		e.RetryAfterMs = s.cfg.RetryAfter.Milliseconds()
+		secs := int64(s.cfg.RetryAfter.Seconds())
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.FormatInt(secs, 10))
+	}
+	writeJSON(w, status, e)
+}
+
+func decodeBody(r *http.Request, v any) error {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		return fmt.Errorf("server: invalid request body: %w", err)
+	}
+	return nil
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
+	exec := s.platform.ExecStats()
+	cache := s.platform.CacheStats()
+	writeJSON(w, http.StatusOK, wire.Statsz{
+		Sessions: len(s.platform.Sessions()),
+		Server:   s.Stats(),
+		Exec: map[string]int64{
+			"tasks_run":          int64(exec.TasksRun),
+			"sql_tasks":          int64(exec.SQLTasks),
+			"direct_tasks":       int64(exec.DirectTasks),
+			"nodes_consolidated": int64(exec.NodesConsolidated),
+			"query_blocks":       int64(exec.QueryBlocks),
+			"rows_materialized":  int64(exec.RowsMaterialized),
+			"cache_hits":         int64(exec.CacheHits),
+			"cache_misses":       int64(exec.CacheMisses),
+			"retries":            int64(exec.Retries),
+			"permanent_failures": int64(exec.PermanentFailures),
+			"degraded":           int64(exec.Degraded),
+		},
+		Cache: map[string]int64{
+			"hits":      cache.Hits,
+			"misses":    cache.Misses,
+			"evictions": cache.Evictions,
+			"entries":   int64(cache.Entries),
+		},
+		Vec: sqlengine.VecCounters(),
+	})
+}
+
+func (s *Server) handleRegisterFile(w http.ResponseWriter, r *http.Request) {
+	var req wire.FileRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if req.Name == "" {
+		s.writeErr(w, fmt.Errorf("server: file name must not be empty"))
+		return
+	}
+	s.platform.RegisterFile(req.Name, req.Content)
+	writeJSON(w, http.StatusOK, map[string]string{"name": req.Name})
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	var req wire.CreateSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	sess, err := s.platform.CreateSession(req.Name, req.Owner)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	// Sessions created over the wire inherit the server's busy-retry
+	// policy, so §2.4 contention is absorbed server-side before any 409.
+	if s.cfg.BusyRetry.Enabled() {
+		sess.SetBusyRetry(s.cfg.BusyRetry, s.cfg.Clock)
+	}
+	writeJSON(w, http.StatusCreated, s.sessionInfo(sess))
+}
+
+func (s *Server) sessionInfo(sess *session.Session) wire.SessionInfo {
+	return wire.SessionInfo{
+		Name:    sess.Name,
+		Owner:   sess.Owner,
+		Members: sess.Members(),
+		Steps:   sess.Graph().Len(),
+		History: len(sess.History()),
+	}
+}
+
+func (s *Server) handleListSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.SessionsResponse{Sessions: s.platform.Sessions()})
+}
+
+func (s *Server) handleSessionInfo(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.platform.Session(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionInfo(sess))
+}
+
+func (s *Server) handleShareSession(w http.ResponseWriter, r *http.Request) {
+	var req wire.ShareSessionRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	sess, err := s.platform.Session(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	access, err := parseAccess(req.Access)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if err := sess.Share(req.By, req.With, access); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.sessionInfo(sess))
+}
+
+func parseAccess(a string) (artifact.Access, error) {
+	switch a {
+	case "view":
+		return artifact.ViewAccess, nil
+	case "edit":
+		return artifact.EditAccess, nil
+	default:
+		return artifact.NoAccess, fmt.Errorf("server: invalid access %q (want view or edit)", a)
+	}
+}
+
+// resolveProgram reduces a run request to skill invocations: one GEL
+// sentence, a Python API script, a phrase request, or an explicit program.
+func (s *Server) resolveProgram(sessionName string, req wire.RunRequest) ([]skills.Invocation, error) {
+	set := 0
+	for _, on := range []bool{req.GEL != "", req.Python != "", req.Phrase != "", len(req.Program) > 0} {
+		if on {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("server: invalid run request: exactly one of gel, python, phrase, program required (got %d)", set)
+	}
+	switch {
+	case req.GEL != "":
+		inv, err := s.platform.ParseGEL(req.GEL, req.Current)
+		if err != nil {
+			return nil, err
+		}
+		return []skills.Invocation{inv}, nil
+	case req.Python != "":
+		prog, err := pyapi.Parse(req.Python)
+		if err != nil {
+			return nil, err
+		}
+		return pyapi.NewTranslator(s.platform.Registry).Invocations(prog)
+	case req.Phrase != "":
+		t, err := s.platform.TranslatePhrase(sessionName, req.Phrase, req.Dataset)
+		if err != nil {
+			return nil, err
+		}
+		inv := t.Invocation
+		if len(inv.Inputs) == 0 {
+			inv.Inputs = []string{req.Dataset}
+		}
+		return []skills.Invocation{inv}, nil
+	default:
+		invs := make([]skills.Invocation, len(req.Program))
+		for i, step := range req.Program {
+			invs[i] = skills.Invocation{
+				Skill:  step.Skill,
+				Inputs: append([]string{}, step.Inputs...),
+				Output: step.Output,
+				Args:   step.Args,
+			}
+		}
+		return invs, nil
+	}
+}
+
+func (s *Server) maxRows(asked int) int {
+	if asked <= 0 {
+		asked = s.cfg.DefaultMaxRows
+	}
+	if asked > s.cfg.MaxPageRows {
+		asked = s.cfg.MaxPageRows
+	}
+	return asked
+}
+
+func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
+	var req wire.RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	tune := s.tuning(req.DeadlineMs)
+	ctx, cancel := s.requestContext(r, tune)
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.release()
+	s.requests.Add(1)
+	invs, err := s.resolveProgram(r.PathValue("name"), req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	res, ids, err := s.platform.RunCtx(ctx, r.PathValue("name"), req.User, tune, invs...)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	nodes := make([]int, len(ids))
+	for i, id := range ids {
+		nodes[i] = int(id)
+	}
+	writeJSON(w, http.StatusOK, wire.RunResponse{
+		Result: wire.EncodeResult(res, s.maxRows(req.MaxRows)),
+		Nodes:  nodes,
+	})
+}
+
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	ex, err := s.platform.Explain(r.PathValue("name"), r.URL.Query().Get("output"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.ExplainResponse{Explain: ex})
+}
+
+// queryInt parses an integer query parameter, def when absent.
+func queryInt(r *http.Request, key string, def int) (int, error) {
+	v := r.URL.Query().Get(key)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil {
+		return 0, fmt.Errorf("server: invalid %s=%q", key, v)
+	}
+	return n, nil
+}
+
+func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.platform.Session(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	t, err := sess.Context().Dataset(r.PathValue("dataset"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	limit, err := queryInt(r, "limit", s.cfg.DefaultMaxRows)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, wire.EncodeTable(t, offset, s.maxRows(limit)))
+}
+
+// handleRowStream streams a dataset as newline-delimited JSON: the first
+// line is the wire.Table header (schema + total count, no rows), each later
+// line one wire.RowChunk, flushed as produced — large tables reach the
+// client incrementally instead of via one giant document.
+func (s *Server) handleRowStream(w http.ResponseWriter, r *http.Request) {
+	sess, err := s.platform.Session(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	t, err := sess.Context().Dataset(r.PathValue("dataset"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	chunk, err := queryInt(r, "chunk", 1000)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if chunk <= 0 || chunk > s.cfg.MaxPageRows {
+		chunk = s.cfg.MaxPageRows
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	header := wire.EncodeTable(t, 0, 0)
+	header.Rows = nil
+	header.NextOffset = -1
+	if err := enc.Encode(header); err != nil {
+		return
+	}
+	n := t.NumRows()
+	for off := 0; off < n; off += chunk {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		if err := enc.Encode(wire.RowChunk{Offset: off, Rows: wire.EncodeRows(t, off, end)}); err != nil {
+			return
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if r.Context().Err() != nil {
+			return
+		}
+	}
+}
+
+func (s *Server) handleSaveArtifact(w http.ResponseWriter, r *http.Request) {
+	var req wire.SaveArtifactRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if err := s.admit(r.Context()); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.release()
+	s.requests.Add(1)
+	sess, err := s.platform.Session(r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	node := sess.Graph().Last()
+	if req.Output != "" {
+		id, ok := sess.Graph().ProducerOf(req.Output)
+		if !ok {
+			s.writeErr(w, fmt.Errorf("server: no step in session %q produces %q", sess.Name, req.Output))
+			return
+		}
+		node = id
+	}
+	if node < 0 {
+		s.writeErr(w, fmt.Errorf("server: session %q has no steps to save", sess.Name))
+		return
+	}
+	a, err := sess.SaveArtifact(s.platform.Artifacts, req.User, req.Name, node, artifact.Type(req.Type))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.artifactInfo(a, s.cfg.DefaultMaxRows))
+}
+
+func (s *Server) artifactInfo(a *artifact.Artifact, maxRows int) wire.ArtifactInfo {
+	info := wire.ArtifactInfo{
+		Name:         a.Name,
+		Type:         string(a.Type),
+		Owner:        a.Owner,
+		CreatedAt:    a.CreatedAt,
+		RefreshedAt:  a.RefreshedAt,
+		Degraded:     a.Degraded,
+		DegradedNote: a.DegradedNote,
+		Recipe:       a.Recipe,
+		Chart:        a.Chart,
+		ModelName:    a.ModelName,
+		Explanation:  a.Explanation,
+	}
+	if a.Table != nil {
+		info.Table = wire.EncodeTable(a.Table, 0, maxRows)
+	}
+	return info
+}
+
+func (s *Server) handleListArtifacts(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, wire.ArtifactsResponse{
+		Artifacts: s.platform.Artifacts.List(r.URL.Query().Get("user")),
+	})
+}
+
+func (s *Server) handleGetArtifact(w http.ResponseWriter, r *http.Request) {
+	a, err := s.platform.Artifacts.Get(r.PathValue("name"), r.URL.Query().Get("user"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	maxRows, err := queryInt(r, "max_rows", s.cfg.DefaultMaxRows)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.artifactInfo(a, s.maxRows(maxRows)))
+}
+
+// handleRecipe serves an artifact's recipe in every dialect. Renderings are
+// best-effort: a recipe with steps outside a dialect (e.g. no relational
+// tail for SQL) simply omits that rendering.
+func (s *Server) handleRecipe(w http.ResponseWriter, r *http.Request) {
+	a, err := s.platform.Artifacts.Get(r.PathValue("name"), r.URL.Query().Get("user"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	resp := wire.RecipeResponse{Recipe: a.Recipe}
+	if gel, err := a.Recipe.GEL(s.platform.Registry); err == nil {
+		resp.GEL = gel
+	}
+	if py, err := a.Recipe.Python(s.platform.Registry); err == nil {
+		resp.Python = py
+	}
+	// SQL rendering needs an executor for consolidation; a scratch one
+	// compiles without touching any session state.
+	scratch := dag.NewExecutor(s.platform.Registry, skills.NewContext())
+	if sql, err := a.Recipe.SQL(scratch); err == nil {
+		resp.SQL = sql
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleShareArtifact(w http.ResponseWriter, r *http.Request) {
+	var req wire.ShareArtifactRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	access, err := parseAccess(req.Access)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if err := s.platform.Artifacts.Share(r.PathValue("name"), req.By, req.With, access); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": r.PathValue("name"), "with": req.With, "access": req.Access})
+}
+
+func (s *Server) handleMintLink(w http.ResponseWriter, r *http.Request) {
+	var req wire.LinkRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	secret, err := s.platform.Artifacts.CreateSecretLink(r.PathValue("name"), req.By)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, wire.LinkResponse{Secret: secret})
+}
+
+func (s *Server) handleResolveLink(w http.ResponseWriter, r *http.Request) {
+	a, err := s.platform.Artifacts.GetBySecret(r.PathValue("secret"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.artifactInfo(a, s.cfg.DefaultMaxRows))
+}
+
+// refreshRequest names the session whose executor replays the recipe.
+type refreshRequest struct {
+	User    string `json:"user"`
+	Session string `json:"session"`
+}
+
+func (s *Server) handleRefreshArtifact(w http.ResponseWriter, r *http.Request) {
+	var req refreshRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if err := s.admit(r.Context()); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.release()
+	s.requests.Add(1)
+	a, err := s.platform.RefreshArtifact(req.Session, req.User, r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.artifactInfo(a, s.cfg.DefaultMaxRows))
+}

@@ -1,0 +1,300 @@
+// Package server is datachatd: the multi-tenant network layer that exposes a
+// core.Platform over HTTP/JSON. It maps the paper's §2.4 semantics onto the
+// wire — the session lock becomes 409 with a typed busy payload — and adds
+// the production plumbing the library anticipates: admission control
+// (bounded in-flight executions plus a queue-depth cap, refusing excess load
+// with 429 + Retry-After), per-request deadlines propagated into the DAG
+// executor's retry machinery, chunked row streaming for large results,
+// graceful drain on shutdown, and a /statsz endpoint surfacing executor,
+// cache, and vectorized-engine counters.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"datachat/internal/core"
+	"datachat/internal/faults"
+	"datachat/internal/session"
+	"datachat/internal/wire"
+)
+
+// Config tunes the service layer. The zero value yields a working server:
+// GOMAXPROCS in-flight executions, twice that queued, fail-fast busy
+// semantics, no deadlines.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests (admission
+	// control); <= 0 means runtime.GOMAXPROCS(0).
+	MaxInFlight int
+	// MaxQueue bounds requests waiting for an execution slot; past it the
+	// server refuses with 429. < 0 means 2*MaxInFlight; 0 queues nothing.
+	MaxQueue int
+	// RetryAfter is the backoff hint sent with 409 and 429 responses.
+	RetryAfter time.Duration
+	// DefaultDeadline bounds requests that do not ask for a deadline
+	// (0 = unbounded); MaxDeadline caps what clients may ask for
+	// (0 = uncapped).
+	DefaultDeadline, MaxDeadline time.Duration
+	// Retry is the transient-failure retry policy applied to every remote
+	// execution (the zero policy fails fast).
+	Retry faults.RetryPolicy
+	// BusyRetry, when enabled, is applied to sessions created through the
+	// server: requests hitting the §2.4 lock retry with bounded backoff
+	// server-side instead of failing straight to 409.
+	BusyRetry faults.RetryPolicy
+	// Clock drives deadlines, retry backoff, and busy-retry backoff; nil
+	// means the wall clock. Tests install a faults.VirtualClock.
+	Clock faults.Clock
+	// DefaultMaxRows caps rows inlined in run/artifact responses when the
+	// request does not say (<= 0 means 100); MaxPageRows caps page and
+	// stream-chunk sizes (<= 0 means 10000).
+	DefaultMaxRows, MaxPageRows int
+}
+
+func (c Config) withDefaults() Config {
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxQueue < 0 {
+		c.MaxQueue = 2 * c.MaxInFlight
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = 500 * time.Millisecond
+	}
+	if c.DefaultMaxRows <= 0 {
+		c.DefaultMaxRows = 100
+	}
+	if c.MaxPageRows <= 0 {
+		c.MaxPageRows = 10000
+	}
+	return c
+}
+
+// Server serves one core.Platform over HTTP.
+type Server struct {
+	platform *core.Platform
+	cfg      Config
+	mux      *http.ServeMux
+
+	// sem is the in-flight execution semaphore; queued counts requests
+	// waiting for a slot (both are the admission-control state).
+	sem      chan struct{}
+	queued   atomic.Int64
+	inflight atomic.Int64
+	draining atomic.Bool
+	wg       sync.WaitGroup
+
+	requests     atomic.Int64
+	busy409      atomic.Int64
+	throttled429 atomic.Int64
+	draining503  atomic.Int64
+	deadline504  atomic.Int64
+}
+
+// New wraps a platform in a server. MaxQueue < 0 in cfg selects the default
+// queue depth; pass 0 to refuse immediately when every slot is busy.
+func New(p *core.Platform, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		platform: p,
+		cfg:      cfg,
+		sem:      make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux = s.routes()
+	return s
+}
+
+// Platform exposes the served platform (examples seed demo data through it).
+func (s *Server) Platform() *core.Platform { return s.platform }
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// clock returns the configured time source.
+func (s *Server) clock() faults.Clock {
+	if s.cfg.Clock != nil {
+		return s.cfg.Clock
+	}
+	return faults.Real()
+}
+
+// Admission-control sentinels, mapped to 429/503 by writeErr.
+var (
+	errThrottled = errors.New("server: too many requests; execution slots and queue are full")
+	errDraining  = errors.New("server: shutting down; not accepting new executions")
+)
+
+// admit acquires an execution slot, queueing up to the configured depth.
+// It refuses immediately with errThrottled when the queue is full and with
+// errDraining during shutdown. On success the caller owns a slot and must
+// call release.
+func (s *Server) admit(ctx context.Context) error {
+	if s.draining.Load() {
+		return errDraining
+	}
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		// Slots are full: queue if there is room, else refuse. The check is
+		// advisory (two racers may both pass), which only stretches the
+		// bound by the number of simultaneous arrivals.
+		if s.queued.Load() >= int64(s.cfg.MaxQueue) {
+			return errThrottled
+		}
+		s.queued.Add(1)
+		select {
+		case s.sem <- struct{}{}:
+			s.queued.Add(-1)
+		case <-ctx.Done():
+			s.queued.Add(-1)
+			return ctx.Err()
+		}
+	}
+	if s.draining.Load() {
+		<-s.sem
+		return errDraining
+	}
+	s.inflight.Add(1)
+	s.wg.Add(1)
+	return nil
+}
+
+// release returns an execution slot.
+func (s *Server) release() {
+	s.inflight.Add(-1)
+	<-s.sem
+	s.wg.Done()
+}
+
+// Shutdown drains the server: new executions are refused with 503 while
+// requests already holding a slot run to completion. It returns when the
+// last in-flight execution finishes or ctx expires.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("server: drain interrupted with %d executions in flight: %w",
+			s.inflight.Load(), ctx.Err())
+	}
+}
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// tuning builds the per-request execution options from the request's
+// deadline ask: the configured retry policy and clock, plus the effective
+// deadline (client ask capped at MaxDeadline, DefaultDeadline when absent).
+func (s *Server) tuning(deadlineMs int64) *session.Tuning {
+	d := time.Duration(deadlineMs) * time.Millisecond
+	if d <= 0 {
+		d = s.cfg.DefaultDeadline
+	}
+	if s.cfg.MaxDeadline > 0 && (d <= 0 || d > s.cfg.MaxDeadline) {
+		d = s.cfg.MaxDeadline
+	}
+	return &session.Tuning{Deadline: d, Retry: s.cfg.Retry, Clock: s.cfg.Clock}
+}
+
+// requestContext derives the execution context for a request: with a real
+// clock and a positive deadline the HTTP context gets a matching timeout, so
+// even non-retrying hangs are abandoned; with a virtual clock the deadline
+// lives purely in the executor's retry machinery (tests advance time, the
+// wall clock must not interfere).
+func (s *Server) requestContext(r *http.Request, tune *session.Tuning) (context.Context, context.CancelFunc) {
+	if tune.Deadline > 0 && s.cfg.Clock == nil {
+		return context.WithTimeout(r.Context(), tune.Deadline)
+	}
+	return context.WithCancel(r.Context())
+}
+
+// errStatus maps an error to (HTTP status, wire code). Typed sentinels are
+// matched first; the long tail of library errors is classified by message
+// shape — the library predates the wire layer and reports not-found and
+// permission failures as plain fmt errors.
+func errStatus(err error) (int, string) {
+	switch {
+	case errors.Is(err, session.ErrBusy):
+		return http.StatusConflict, wire.CodeBusy
+	case errors.Is(err, errThrottled):
+		return http.StatusTooManyRequests, wire.CodeThrottled
+	case errors.Is(err, errDraining):
+		return http.StatusServiceUnavailable, wire.CodeDraining
+	case errors.Is(err, faults.ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+		return http.StatusGatewayTimeout, wire.CodeDeadline
+	}
+	msg := err.Error()
+	for _, marker := range []string{
+		"no session", "no artifact", "no connected database", "no folder",
+		"no dataset", "no snapshot", "invalid or revoked link", "unknown link",
+		"is not in folder", "no step",
+	} {
+		if strings.Contains(msg, marker) {
+			return http.StatusNotFound, wire.CodeNotFound
+		}
+	}
+	// Dialect parse errors are the user's input being wrong, whatever their
+	// wording ("gel: cannot understand …"), so match the prefixes before the
+	// permission markers below.
+	for _, prefix := range []string{"gel:", "pyapi:", "phrase:"} {
+		if strings.HasPrefix(msg, prefix) {
+			return http.StatusBadRequest, wire.CodeBadRequest
+		}
+	}
+	for _, marker := range []string{"cannot", "has no access", "only the owner", "may not"} {
+		if strings.Contains(msg, marker) {
+			return http.StatusForbidden, wire.CodeDenied
+		}
+	}
+	for _, marker := range []string{
+		"gel:", "pyapi:", "phrase:", "must not be empty", "can only grant",
+		"empty program", "needs a dataset", "already exists", "already connected",
+		"expected", "unknown skill", "invalid",
+	} {
+		if strings.Contains(msg, marker) {
+			return http.StatusBadRequest, wire.CodeBadRequest
+		}
+	}
+	return http.StatusInternalServerError, wire.CodeInternal
+}
+
+// Stats snapshots the server's own counters.
+func (s *Server) Stats() wire.ServerStats {
+	return wire.ServerStats{
+		Requests:     s.requests.Load(),
+		Busy409:      s.busy409.Load(),
+		Throttled429: s.throttled429.Load(),
+		Draining503:  s.draining503.Load(),
+		Deadline504:  s.deadline504.Load(),
+		InFlight:     s.inflight.Load(),
+		Queued:       s.queued.Load(),
+		Draining:     s.draining.Load(),
+	}
+}
+
+// countRefusal updates the refusal counters for a mapped error status.
+func (s *Server) countRefusal(status int) {
+	switch status {
+	case http.StatusConflict:
+		s.busy409.Add(1)
+	case http.StatusTooManyRequests:
+		s.throttled429.Add(1)
+	case http.StatusServiceUnavailable:
+		s.draining503.Add(1)
+	case http.StatusGatewayTimeout:
+		s.deadline504.Add(1)
+	}
+}

@@ -1,0 +1,131 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"testing"
+	"time"
+
+	"datachat/internal/core"
+	"datachat/internal/faults"
+	"datachat/internal/session"
+	"datachat/internal/wire"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	cfg := Config{}.withDefaults()
+	if cfg.MaxInFlight <= 0 {
+		t.Fatalf("MaxInFlight = %d, want > 0", cfg.MaxInFlight)
+	}
+	if cfg.MaxQueue != 0 {
+		t.Fatalf("MaxQueue = %d, want 0 (zero value queues nothing)", cfg.MaxQueue)
+	}
+	cfg = Config{MaxQueue: -1}.withDefaults()
+	if cfg.MaxQueue != 2*cfg.MaxInFlight {
+		t.Fatalf("MaxQueue = %d, want 2*MaxInFlight = %d", cfg.MaxQueue, 2*cfg.MaxInFlight)
+	}
+	if cfg.DefaultMaxRows != 100 || cfg.MaxPageRows != 10000 {
+		t.Fatalf("row caps = (%d, %d), want (100, 10000)", cfg.DefaultMaxRows, cfg.MaxPageRows)
+	}
+}
+
+func TestTuningDeadlines(t *testing.T) {
+	s := New(core.New(), Config{DefaultDeadline: 2 * time.Second, MaxDeadline: 5 * time.Second})
+	if got := s.tuning(0).Deadline; got != 2*time.Second {
+		t.Fatalf("default deadline = %v, want 2s", got)
+	}
+	if got := s.tuning(1000).Deadline; got != time.Second {
+		t.Fatalf("asked deadline = %v, want 1s", got)
+	}
+	if got := s.tuning(60_000).Deadline; got != 5*time.Second {
+		t.Fatalf("capped deadline = %v, want 5s", got)
+	}
+	// With a cap but no default, an unbounded ask is still capped.
+	s = New(core.New(), Config{MaxDeadline: 3 * time.Second})
+	if got := s.tuning(0).Deadline; got != 3*time.Second {
+		t.Fatalf("uncapped ask with MaxDeadline = %v, want 3s", got)
+	}
+}
+
+func TestErrStatus(t *testing.T) {
+	cases := []struct {
+		err    error
+		status int
+		code   string
+	}{
+		{session.ErrBusy, http.StatusConflict, wire.CodeBusy},
+		{fmt.Errorf("session: wrapped: %w", session.ErrBusy), http.StatusConflict, wire.CodeBusy},
+		{errThrottled, http.StatusTooManyRequests, wire.CodeThrottled},
+		{errDraining, http.StatusServiceUnavailable, wire.CodeDraining},
+		{faults.ErrDeadline, http.StatusGatewayTimeout, wire.CodeDeadline},
+		{context.DeadlineExceeded, http.StatusGatewayTimeout, wire.CodeDeadline},
+		{errors.New(`core: no session "x"`), http.StatusNotFound, wire.CodeNotFound},
+		{errors.New(`artifact: no artifact "kpis"`), http.StatusNotFound, wire.CodeNotFound},
+		{errors.New(`artifact: invalid or revoked link`), http.StatusNotFound, wire.CodeNotFound},
+		{errors.New(`session: bob cannot run requests`), http.StatusForbidden, wire.CodeDenied},
+		{errors.New(`artifact: ann has no access to "kpis"`), http.StatusForbidden, wire.CodeDenied},
+		{errors.New(`gel: cannot understand "frobnicate"`), http.StatusBadRequest, wire.CodeBadRequest},
+		{errors.New(`pyapi: unexpected token`), http.StatusBadRequest, wire.CodeBadRequest},
+		{errors.New(`server: file name must not be empty`), http.StatusBadRequest, wire.CodeBadRequest},
+		{errors.New("boom"), http.StatusInternalServerError, wire.CodeInternal},
+	}
+	for _, c := range cases {
+		status, code := errStatus(c.err)
+		if status != c.status || code != c.code {
+			t.Errorf("errStatus(%q) = (%d, %s), want (%d, %s)", c.err, status, code, c.status, c.code)
+		}
+	}
+}
+
+func TestAdmitRefusesWhenFull(t *testing.T) {
+	s := New(core.New(), Config{MaxInFlight: 1, MaxQueue: 0})
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	if err := s.admit(context.Background()); !errors.Is(err, errThrottled) {
+		t.Fatalf("second admit = %v, want errThrottled", err)
+	}
+	s.release()
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatalf("admit after release: %v", err)
+	}
+	s.release()
+}
+
+func TestAdmitQueuesUntilCancel(t *testing.T) {
+	s := New(core.New(), Config{MaxInFlight: 1, MaxQueue: 1})
+	if err := s.admit(context.Background()); err != nil {
+		t.Fatalf("first admit: %v", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() { errc <- s.admit(ctx) }()
+	// The queued waiter blocks until its context dies.
+	select {
+	case err := <-errc:
+		t.Fatalf("queued admit returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+	cancel()
+	if err := <-errc; !errors.Is(err, context.Canceled) {
+		t.Fatalf("queued admit = %v, want context.Canceled", err)
+	}
+	s.release()
+}
+
+func TestAdmitRefusesWhileDraining(t *testing.T) {
+	s := New(core.New(), Config{MaxInFlight: 1})
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("Shutdown with nothing in flight: %v", err)
+	}
+	if err := s.admit(context.Background()); !errors.Is(err, errDraining) {
+		t.Fatalf("admit while draining = %v, want errDraining", err)
+	}
+	if !s.Draining() {
+		t.Fatal("Draining() = false after Shutdown")
+	}
+}

@@ -171,6 +171,33 @@ func (s *Session) acquire(user string) error {
 	return nil
 }
 
+// lockForUser acquires the §2.4 session lock for user, applying the
+// session's busy-retry policy (the zero policy fails fast with ErrBusy).
+// Every operation that executes on the session's executor — requests,
+// artifact saves, recipe replays — funnels through here, so executor state
+// is never touched by two operations at once. Callers must pair it with
+// unlock.
+func (s *Session) lockForUser(ctx context.Context, user string) error {
+	s.mu.Lock()
+	pol, clock := s.busyRetry, s.busyClock
+	s.mu.Unlock()
+	_, stats, err := faults.Do(ctx, clock, pol, time.Time{},
+		func(err error) bool { return errors.Is(err, ErrBusy) },
+		func() (struct{}, error) { return struct{}{}, s.acquire(user) })
+	if stats.Attempts > 1 {
+		s.mu.Lock()
+		s.busyRetries += stats.Attempts - 1
+		s.mu.Unlock()
+	}
+	return err
+}
+
+func (s *Session) unlock() {
+	s.mu.Lock()
+	s.running = false
+	s.mu.Unlock()
+}
+
 // Request executes one skill invocation for user. It enforces membership
 // (edit access) and the session-level lock: if another request is running,
 // it fails immediately with ErrBusy rather than queueing, because a request
@@ -184,6 +211,22 @@ func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, d
 	return res, ids[0], err
 }
 
+// Tuning carries per-request execution options. The network layer builds one
+// per HTTP request (deadline header, retry policy, clock) and the session
+// applies it to its executor under the session lock — the §2.4 lock already
+// guarantees one execution at a time, so the options swap cannot race with a
+// concurrent Run on the same executor. Zero-valued fields leave the
+// executor's standing configuration untouched.
+type Tuning struct {
+	// Deadline bounds the request's total (virtual) execution time;
+	// 0 keeps the executor's configured deadline.
+	Deadline time.Duration
+	// Retry overrides the transient-failure retry policy when enabled.
+	Retry faults.RetryPolicy
+	// Clock drives backoff and deadline checks when non-nil.
+	Clock faults.Clock
+}
+
 // RequestProgram executes a multi-step program under one acquisition of the
 // session lock: all steps are appended to the session DAG, the final step is
 // planned and run as one unit (earlier steps execute as its ancestors), and
@@ -192,28 +235,38 @@ func (s *Session) Request(user string, inv skills.Invocation) (*skills.Result, d
 // recipe describing the same pipeline lower into identical logical plans and
 // therefore share sub-DAG cache entries.
 func (s *Session) RequestProgram(user string, invs ...skills.Invocation) (*skills.Result, []dag.NodeID, error) {
+	return s.RequestProgramCtx(context.Background(), user, nil, invs...)
+}
+
+// RequestProgramCtx is RequestProgram with an explicit context and optional
+// per-request tuning. Cancelling ctx aborts busy-retry backoffs on the
+// session lock and the execution's own retry backoffs; tune (may be nil)
+// overrides the executor's deadline, retry policy, and clock for this
+// request only, restored before the lock is released.
+func (s *Session) RequestProgramCtx(ctx context.Context, user string, tune *Tuning, invs ...skills.Invocation) (*skills.Result, []dag.NodeID, error) {
 	if len(invs) == 0 {
 		return nil, nil, fmt.Errorf("session: empty program")
 	}
-	s.mu.Lock()
-	pol, clock := s.busyRetry, s.busyClock
-	s.mu.Unlock()
-	_, stats, err := faults.Do(context.Background(), clock, pol, time.Time{},
-		func(err error) bool { return errors.Is(err, ErrBusy) },
-		func() (struct{}, error) { return struct{}{}, s.acquire(user) })
-	if stats.Attempts > 1 {
-		s.mu.Lock()
-		s.busyRetries += stats.Attempts - 1
-		s.mu.Unlock()
-	}
-	if err != nil {
+	if err := s.lockForUser(ctx, user); err != nil {
 		return nil, nil, err
 	}
-	defer func() {
-		s.mu.Lock()
-		s.running = false
-		s.mu.Unlock()
-	}()
+	defer s.unlock()
+	if tune != nil {
+		// Holding the session's running flag makes this swap safe: no other
+		// execution can be reading these options concurrently. The deferred
+		// restore runs before the flag is released (LIFO defers).
+		saved := s.executor.Options
+		defer func() { s.executor.Options = saved }()
+		if tune.Deadline > 0 {
+			s.executor.Options.Deadline = tune.Deadline
+		}
+		if tune.Retry.Enabled() {
+			s.executor.Options.Retry = tune.Retry
+		}
+		if tune.Clock != nil {
+			s.executor.Options.Clock = tune.Clock
+		}
+	}
 
 	ids := make([]dag.NodeID, len(invs))
 	entries := make([]HistoryEntry, len(invs))
@@ -225,7 +278,7 @@ func (s *Session) RequestProgram(user string, invs ...skills.Invocation) (*skill
 		}
 		entries[i] = HistoryEntry{User: user, Node: ids[i], GEL: gelLine, When: time.Now()}
 	}
-	res, err := s.executor.Run(s.graph, ids[len(ids)-1])
+	res, err := s.executor.RunContext(ctx, s.graph, ids[len(ids)-1])
 	if err != nil {
 		entries[len(entries)-1].Error = err.Error()
 	}
@@ -265,12 +318,30 @@ func (s *Session) History() []HistoryEntry {
 	return append([]HistoryEntry{}, s.history...)
 }
 
+// ReplayRecipe re-executes a recipe on the session's executor under the
+// §2.4 lock (invalidate drops the sub-DAG cache first so changed source
+// data is re-read). Funneling replays through the lock keeps them from
+// racing concurrent requests on the same executor.
+func (s *Session) ReplayRecipe(ctx context.Context, user string, r *recipe.Recipe, invalidate bool) (*skills.Result, error) {
+	if err := s.lockForUser(ctx, user); err != nil {
+		return nil, err
+	}
+	defer s.unlock()
+	return r.Replay(s.executor, invalidate)
+}
+
 // SaveArtifact slices the session DAG to the steps node depends on and
-// persists the result as an artifact carrying that recipe (§2.3).
+// persists the result as an artifact carrying that recipe (§2.3). The
+// producing step re-executes under the §2.4 lock (usually a pure cache
+// republish).
 func (s *Session) SaveArtifact(store *artifact.Store, user, name string, node dag.NodeID, typ artifact.Type) (*artifact.Artifact, error) {
 	if s.AccessOf(user) < artifact.EditAccess {
 		return nil, fmt.Errorf("session: %s cannot save artifacts from %q", user, s.Name)
 	}
+	if err := s.lockForUser(context.Background(), user); err != nil {
+		return nil, err
+	}
+	defer s.unlock()
 	sliced, _, err := dag.Slice(s.graph, node)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,144 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+func sampleTable(t *testing.T) *dataset.Table {
+	t.Helper()
+	return dataset.MustNewTable("mixed",
+		dataset.IntColumn("id", []int64{1, 2, 3, 1 << 60}, []bool{false, false, true, false}),
+		dataset.FloatColumn("score", []float64{1.5, -2.25, 0, 9e15}, []bool{false, false, true, false}),
+		dataset.StringColumn("tag", []string{"a", "", "c", "d"}, []bool{false, true, false, false}),
+		dataset.BoolColumn("ok", []bool{true, false, true, false}, nil),
+		dataset.TimeColumn("at", []time.Time{
+			time.Date(2023, 6, 1, 12, 0, 0, 0, time.UTC),
+			time.Date(2024, 1, 2, 3, 4, 5, 600700800, time.UTC),
+			{},
+			time.Date(2025, 12, 31, 23, 59, 59, 0, time.UTC),
+		}, []bool{false, false, true, false}),
+	)
+}
+
+// TestTableRoundTrip: encode → JSON → DecodeJSON → Decode reproduces the
+// table exactly, including nulls, times, and int64s beyond 2^53.
+func TestTableRoundTrip(t *testing.T) {
+	orig := sampleTable(t)
+	w := EncodeTable(orig, 0, 0)
+	if w.TotalRows != 4 || w.Offset != 0 || w.NextOffset != -1 {
+		t.Fatalf("page header = %d/%d/%d, want 4/0/-1", w.TotalRows, w.Offset, w.NextOffset)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := DecodeJSON(bytes.NewReader(data), &got); err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) {
+		t.Fatalf("round trip changed the table:\norig:\n%v\ngot:\n%v", orig, back)
+	}
+}
+
+// TestTablePagination: offset/limit slice the rows and set NextOffset.
+func TestTablePagination(t *testing.T) {
+	orig := sampleTable(t)
+	w := EncodeTable(orig, 1, 2)
+	if len(w.Rows) != 2 || w.Offset != 1 || w.NextOffset != 3 || w.TotalRows != 4 {
+		t.Fatalf("page = rows:%d offset:%d next:%d total:%d, want 2/1/3/4",
+			len(w.Rows), w.Offset, w.NextOffset, w.TotalRows)
+	}
+	last := EncodeTable(orig, 3, 10)
+	if len(last.Rows) != 1 || last.NextOffset != -1 {
+		t.Fatalf("last page = rows:%d next:%d, want 1/-1", len(last.Rows), last.NextOffset)
+	}
+	empty := EncodeTable(orig, 99, 5)
+	if len(empty.Rows) != 0 || empty.NextOffset != -1 {
+		t.Fatalf("past-the-end page = rows:%d next:%d, want 0/-1", len(empty.Rows), empty.NextOffset)
+	}
+}
+
+// TestTableRoundTripWithoutUseNumber: a plain json.Unmarshal (float64 cells)
+// still decodes small ints correctly — the degraded path streaming consumers
+// may take.
+func TestTableRoundTripWithoutUseNumber(t *testing.T) {
+	orig := dataset.MustNewTable("small",
+		dataset.IntColumn("n", []int64{0, -5, 1 << 40}, nil),
+		dataset.FloatColumn("f", []float64{0.5, 2, -7.25}, nil),
+	)
+	data, err := json.Marshal(EncodeTable(orig, 0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Table
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	back, err := got.Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(orig) {
+		t.Fatalf("plain-decode round trip changed the table:\n%v\n%v", orig, back)
+	}
+}
+
+// TestEncodeResultCarriesDegradation: the §2.3 degradation marker survives
+// the wire form.
+func TestEncodeResultCarriesDegradation(t *testing.T) {
+	res := &skills.Result{
+		Table:        sampleTable(t),
+		Message:      "via fallback",
+		Degraded:     true,
+		DegradedNote: "stale snapshot \"s1\" (age 3h)",
+	}
+	w := EncodeResult(res, 2)
+	if !w.Degraded || w.DegradedNote != res.DegradedNote {
+		t.Fatalf("degradation lost: %+v", w)
+	}
+	if len(w.Table.Rows) != 2 || w.Table.TotalRows != 4 {
+		t.Fatalf("maxRows page = %d rows of %d", len(w.Table.Rows), w.Table.TotalRows)
+	}
+	data, err := json.Marshal(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Result
+	if err := DecodeJSON(bytes.NewReader(data), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Degraded || got.DegradedNote != res.DegradedNote || got.Message != "via fallback" {
+		t.Fatalf("decoded result lost fields: %+v", got)
+	}
+}
+
+// TestErrorPayload: the typed error round-trips and formats usefully.
+func TestErrorPayload(t *testing.T) {
+	e := &Error{Code: CodeBusy, Message: "session: another execution is already running", RetryAfterMs: 250}
+	data, err := json.Marshal(e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got Error
+	if err := json.Unmarshal(data, &got); err != nil {
+		t.Fatal(err)
+	}
+	got.Status = 409
+	if got.Code != CodeBusy || got.RetryAfterMs != 250 {
+		t.Fatalf("error round trip: %+v", got)
+	}
+	if got.Error() == "" {
+		t.Fatal("empty error text")
+	}
+}
