@@ -63,6 +63,44 @@ func TestGraphWiring(t *testing.T) {
 	}
 }
 
+// TestGraphConcurrentAddAndRead: the graph is internally synchronized — the
+// network layer reads Len/Last/ProducerOf (and Explain hashes signatures)
+// while a session execution appends nodes. Meaningful under -race.
+func TestGraphConcurrentAddAndRead(t *testing.T) {
+	g := NewGraph()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 200; i++ {
+			prev := "base"
+			if i > 0 {
+				prev = fmt.Sprintf("d%d", i-1)
+			}
+			g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{prev},
+				Args: skills.Args{"condition": fmt.Sprintf("id > %d", i)},
+				Output: fmt.Sprintf("d%d", i)})
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		_ = g.Len()
+		_, _ = g.ProducerOf("d0")
+		_ = g.Order()
+		if last := g.Last(); last >= 0 {
+			if _, err := g.Signature(last); err != nil {
+				t.Errorf("Signature(%d): %v", last, err)
+			}
+			if _, err := g.ExternalInputs(last); err != nil {
+				t.Errorf("ExternalInputs(%d): %v", last, err)
+			}
+			_ = IsLinear(g)
+		}
+	}
+	<-done
+	if g.Len() != 200 {
+		t.Fatalf("Len = %d, want 200", g.Len())
+	}
+}
+
 func TestRunSimpleChainConsolidates(t *testing.T) {
 	ctx := newCtx(t)
 	ex := NewExecutor(reg, ctx)

@@ -220,14 +220,24 @@ func (e *Executor) CompileSQL(g *Graph, target NodeID) (string, error) {
 	for i, j := 0, len(chain)-1; i < j; i, j = i+1, j-1 {
 		chain[i], chain[j] = chain[j], chain[i]
 	}
-	head := g.nodes[chain[0]]
+	head, err := g.Node(chain[0])
+	if err != nil {
+		return "", err
+	}
 	baseName := head.Inv.Inputs[0]
 	if head.Parents[0] >= 0 {
-		baseName = g.nodes[head.Parents[0]].OutputName()
+		parent, err := g.Node(head.Parents[0])
+		if err != nil {
+			return "", err
+		}
+		baseName = parent.OutputName()
 	}
 	builder := skills.NewQueryBuilder(baseName)
 	for _, nid := range chain {
-		node := g.nodes[nid]
+		node, err := g.Node(nid)
+		if err != nil {
+			return "", err
+		}
 		def, err := e.Registry.Lookup(node.Inv.Skill)
 		if err != nil {
 			return "", err

@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"sort"
+	"sync"
 
 	"datachat/internal/skills"
 )
@@ -39,9 +40,12 @@ func (n *Node) OutputName() string {
 }
 
 // Graph is a DAG of skill requests. Building it performs no computation.
-// A Graph is not safe for concurrent use; the executor computes every
-// signature during its serial planning phase, before workers start.
+// A Graph is internally synchronized: Add and the read accessors may be
+// called concurrently (the network layer reads Len/Last/ProducerOf while a
+// session execution appends nodes). Node pointers returned by accessors stay
+// valid — existing nodes are never rewired after insertion.
 type Graph struct {
+	mu       sync.RWMutex
 	nodes    map[NodeID]*Node
 	order    []NodeID
 	next     NodeID
@@ -63,6 +67,8 @@ func NewGraph() *Graph {
 // matches an earlier node's output becomes a parent edge; other inputs are
 // external session datasets.
 func (g *Graph) Add(inv skills.Invocation) NodeID {
+	g.mu.Lock()
+	defer g.mu.Unlock()
 	id := g.next
 	g.next++
 	node := &Node{ID: id, Inv: inv}
@@ -86,6 +92,8 @@ func (g *Graph) Add(inv skills.Invocation) NodeID {
 
 // Node returns a node by ID.
 func (g *Graph) Node(id NodeID) (*Node, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	n, ok := g.nodes[id]
 	if !ok {
 		return nil, fmt.Errorf("dag: no node %d", id)
@@ -94,13 +102,23 @@ func (g *Graph) Node(id NodeID) (*Node, error) {
 }
 
 // Len returns the number of nodes.
-func (g *Graph) Len() int { return len(g.nodes) }
+func (g *Graph) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.nodes)
+}
 
 // Order returns node IDs in insertion (and hence topological) order.
-func (g *Graph) Order() []NodeID { return append([]NodeID{}, g.order...) }
+func (g *Graph) Order() []NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return append([]NodeID{}, g.order...)
+}
 
 // Last returns the most recently added node ID, or -1 for an empty graph.
 func (g *Graph) Last() NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if len(g.order) == 0 {
 		return -1
 	}
@@ -109,6 +127,8 @@ func (g *Graph) Last() NodeID {
 
 // ProducerOf returns the node producing the named dataset, if any.
 func (g *Graph) ProducerOf(output string) (NodeID, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	id, ok := g.byOutput[output]
 	return id, ok
 }
@@ -116,6 +136,8 @@ func (g *Graph) ProducerOf(output string) (NodeID, bool) {
 // Ancestors returns target plus all its transitive parents, in topological
 // order.
 func (g *Graph) Ancestors(target NodeID) ([]NodeID, error) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	if _, ok := g.nodes[target]; !ok {
 		return nil, fmt.Errorf("dag: no node %d", target)
 	}
@@ -142,6 +164,8 @@ func (g *Graph) Ancestors(target NodeID) ([]NodeID, error) {
 
 // consumers maps each node to the needed nodes that consume its output.
 func (g *Graph) consumers(needed []NodeID) map[NodeID][]NodeID {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	inSet := map[NodeID]bool{}
 	for _, id := range needed {
 		inSet[id] = true
@@ -163,12 +187,20 @@ func (g *Graph) consumers(needed []NodeID) map[NodeID][]NodeID {
 // shared sub-structure (diamonds) hashes each node once instead of once
 // per path.
 func (g *Graph) Signature(id NodeID) (string, error) {
+	// Full lock, not RLock: memoization writes sigMemo, and the recursion
+	// uses an unlocked helper (RWMutex is not reentrant).
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.signature(id)
+}
+
+func (g *Graph) signature(id NodeID) (string, error) {
 	if sig, ok := g.sigMemo[id]; ok {
 		return sig, nil
 	}
-	node, err := g.Node(id)
-	if err != nil {
-		return "", err
+	node, ok := g.nodes[id]
+	if !ok {
+		return "", fmt.Errorf("dag: no node %d", id)
 	}
 	h := sha256.New()
 	fmt.Fprintf(h, "skill:%s\n", node.Inv.Skill)
@@ -194,7 +226,7 @@ func (g *Graph) Signature(id NodeID) (string, error) {
 			fmt.Fprintf(h, "ext:%s\n", in)
 			continue
 		}
-		sig, err := g.Signature(parent)
+		sig, err := g.signature(parent)
 		if err != nil {
 			return "", err
 		}
@@ -213,12 +245,18 @@ func (g *Graph) Signature(id NodeID) (string, error) {
 // content fingerprints into cache keys, so a reloaded dataset under the same
 // name cannot serve stale cached results. Memoized like Signature.
 func (g *Graph) ExternalInputs(id NodeID) ([]string, error) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.externalInputs(id)
+}
+
+func (g *Graph) externalInputs(id NodeID) ([]string, error) {
 	if exts, ok := g.extMemo[id]; ok {
 		return exts, nil
 	}
-	node, err := g.Node(id)
-	if err != nil {
-		return nil, err
+	node, ok := g.nodes[id]
+	if !ok {
+		return nil, fmt.Errorf("dag: no node %d", id)
 	}
 	set := map[string]bool{}
 	for i, in := range node.Inv.Inputs {
@@ -230,7 +268,7 @@ func (g *Graph) ExternalInputs(id NodeID) ([]string, error) {
 			set[in] = true
 			continue
 		}
-		parentExts, err := g.ExternalInputs(parent)
+		parentExts, err := g.externalInputs(parent)
 		if err != nil {
 			return nil, err
 		}
@@ -254,6 +292,8 @@ func (g *Graph) ExternalInputs(id NodeID) ([]string, error) {
 // maps are shared, as invocations are immutable by convention). Memoized
 // signatures are not carried over; the clone rebuilds its own.
 func (g *Graph) Clone() *Graph {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	out := NewGraph()
 	out.next = g.next
 	for _, id := range g.order {

@@ -1,6 +1,8 @@
 package dag
 
 import (
+	"fmt"
+
 	"datachat/internal/plan"
 	"datachat/internal/skills"
 )
@@ -9,8 +11,12 @@ import (
 // target. Parent edges become plan inputs with the producers' output names
 // resolved; the slice pass then prunes whatever the target does not need.
 func lowerGraph(g *Graph, target NodeID) (*plan.Plan, error) {
-	if _, err := g.Node(target); err != nil {
-		return nil, err
+	// One read lock for the whole walk; everything below uses direct field
+	// access (the locked accessors would self-deadlock under RWMutex).
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	if _, ok := g.nodes[target]; !ok {
+		return nil, fmt.Errorf("dag: no node %d", target)
 	}
 	lp := plan.New(int(target))
 	for _, id := range g.order {

@@ -17,7 +17,10 @@ func RenderDOT(g *Graph, reg *skills.Registry) string {
 	b.WriteString("digraph recipe {\n  rankdir=TB;\n  node [shape=ellipse, fontsize=10];\n")
 	externals := map[string]bool{}
 	for _, id := range g.Order() {
-		node := g.nodes[id]
+		node, err := g.Node(id)
+		if err != nil {
+			continue
+		}
 		label := node.Inv.Skill
 		if reg != nil {
 			if sentence, err := reg.RenderGEL(node.Inv); err == nil && len(sentence) <= 60 {
@@ -62,7 +65,11 @@ func dotID(name string) string {
 func RenderASCII(g *Graph, reg *skills.Registry) string {
 	consumers := map[NodeID]int{}
 	for _, id := range g.Order() {
-		for _, p := range g.nodes[id].Parents {
+		n, err := g.Node(id)
+		if err != nil {
+			continue
+		}
+		for _, p := range n.Parents {
 			if p >= 0 {
 				consumers[p]++
 			}
@@ -79,7 +86,10 @@ func RenderASCII(g *Graph, reg *skills.Registry) string {
 	printed := map[NodeID]bool{}
 	var walk func(id NodeID, depth int)
 	walk = func(id NodeID, depth int) {
-		node := g.nodes[id]
+		node, err := g.Node(id)
+		if err != nil {
+			return
+		}
 		indent := strings.Repeat("  ", depth)
 		label := node.Inv.Skill
 		if reg != nil {

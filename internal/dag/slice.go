@@ -68,6 +68,8 @@ func Slice(g *Graph, target NodeID) (*Graph, SliceReport, error) {
 // most one parent and at most one consumer. Sliced recipes for single
 // artifacts typically are (Figure 5's "simple linear" result).
 func IsLinear(g *Graph) bool {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
 	consumerCount := map[NodeID]int{}
 	for _, id := range g.order {
 		n := g.nodes[id]

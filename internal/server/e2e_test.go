@@ -543,6 +543,68 @@ func TestDegradedPropagatesOverWire(t *testing.T) {
 	}
 }
 
+// TestSaveArtifactRacesRun hammers one session with concurrent runs,
+// artifact saves, and info reads. Saves resolve their anchor step inside the
+// session under the §2.4 lock and the DAG is internally synchronized, so
+// under -race none of this may trip the detector; every response must be a
+// success or a typed busy refusal.
+func TestSaveArtifactRacesRun(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{MaxInFlight: 16, MaxQueue: 32})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "racy", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "racy", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	const n = 6
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.RunGEL(ctx, "racy", "ann",
+				"Keep the rows where status = 'Successful'", base)
+			if err != nil && !client.IsBusy(err) {
+				t.Errorf("run %d: %v", i, err)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := c.SaveArtifact(ctx, "racy", wire.SaveArtifactRequest{
+				User: "ann", Name: fmt.Sprintf("racy-%d", i),
+			})
+			if err != nil && !client.IsBusy(err) {
+				t.Errorf("save %d: %v", i, err)
+			}
+		}(i)
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if _, err := c.SessionInfo(ctx, "racy"); err != nil {
+				t.Errorf("info %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// With the session quiet, a save anchored at the latest step must land.
+	a, err := c.SaveArtifact(ctx, "racy", wire.SaveArtifactRequest{User: "ann", Name: "final"})
+	if err != nil {
+		t.Fatalf("final save: %v", err)
+	}
+	if a.Recipe == nil || len(a.Recipe.Steps) == 0 {
+		t.Fatalf("artifact = %+v, want a sliced recipe", a)
+	}
+}
+
 // TestSessionShareOverWire pins remote permission grants: a non-member is
 // denied with 403 until the owner shares edit access over the wire.
 func TestSessionShareOverWire(t *testing.T) {

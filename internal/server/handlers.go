@@ -406,20 +406,10 @@ func (s *Server) handleSaveArtifact(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	node := sess.Graph().Last()
-	if req.Output != "" {
-		id, ok := sess.Graph().ProducerOf(req.Output)
-		if !ok {
-			s.writeErr(w, fmt.Errorf("server: no step in session %q produces %q", sess.Name, req.Output))
-			return
-		}
-		node = id
-	}
-	if node < 0 {
-		s.writeErr(w, fmt.Errorf("server: session %q has no steps to save", sess.Name))
-		return
-	}
-	a, err := sess.SaveArtifact(s.platform.Artifacts, req.User, req.Name, node, artifact.Type(req.Type))
+	// The anchor step (req.Output, "" = latest) is resolved inside the
+	// session under the §2.4 lock — reading the graph here would race a
+	// concurrent /run appending nodes.
+	a, err := sess.SaveArtifactOutput(s.platform.Artifacts, req.User, req.Name, req.Output, artifact.Type(req.Type))
 	if err != nil {
 		s.writeErr(w, err)
 		return

@@ -89,7 +89,11 @@ type Server struct {
 	queued   atomic.Int64
 	inflight atomic.Int64
 	draining atomic.Bool
-	wg       sync.WaitGroup
+	// drainMu makes admit's final draining check atomic with its wg.Add, so
+	// Shutdown's wg.Wait can never observe a zero counter while a request
+	// that passed the check is still being admitted.
+	drainMu sync.Mutex
+	wg      sync.WaitGroup
 
 	requests     atomic.Int64
 	busy409      atomic.Int64
@@ -131,6 +135,11 @@ var (
 	errDraining  = errors.New("server: shutting down; not accepting new executions")
 )
 
+// statusClientClosedRequest is nginx's non-standard 499: the client cancelled
+// the request before a response was written. Nobody is usually left to read
+// the body, but the status keeps logs and stats honest.
+const statusClientClosedRequest = 499
+
 // admit acquires an execution slot, queueing up to the configured depth.
 // It refuses immediately with errThrottled when the queue is full and with
 // errDraining during shutdown. On success the caller owns a slot and must
@@ -157,12 +166,15 @@ func (s *Server) admit(ctx context.Context) error {
 			return ctx.Err()
 		}
 	}
+	s.drainMu.Lock()
 	if s.draining.Load() {
+		s.drainMu.Unlock()
 		<-s.sem
 		return errDraining
 	}
 	s.inflight.Add(1)
 	s.wg.Add(1)
+	s.drainMu.Unlock()
 	return nil
 }
 
@@ -177,7 +189,12 @@ func (s *Server) release() {
 // requests already holding a slot run to completion. It returns when the
 // last in-flight execution finishes or ctx expires.
 func (s *Server) Shutdown(ctx context.Context) error {
+	// Setting the flag under drainMu serializes with admit's check+Add
+	// critical section: every admission either completed its wg.Add before
+	// this store (wg.Wait sees it) or will observe draining and refuse.
+	s.drainMu.Lock()
 	s.draining.Store(true)
+	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
 		s.wg.Wait()
@@ -233,8 +250,13 @@ func errStatus(err error) (int, string) {
 		return http.StatusTooManyRequests, wire.CodeThrottled
 	case errors.Is(err, errDraining):
 		return http.StatusServiceUnavailable, wire.CodeDraining
-	case errors.Is(err, faults.ErrDeadline), errors.Is(err, context.DeadlineExceeded), errors.Is(err, context.Canceled):
+	case errors.Is(err, faults.ErrDeadline), errors.Is(err, context.DeadlineExceeded):
 		return http.StatusGatewayTimeout, wire.CodeDeadline
+	case errors.Is(err, context.Canceled):
+		// The client went away (disconnect mid-request, or cancel while
+		// queued in admission): not a deadline expiry, so it must not feed
+		// the deadline504 stat. 499 is nginx's "client closed request".
+		return statusClientClosedRequest, wire.CodeCanceled
 	}
 	msg := err.Error()
 	for _, marker := range []string{

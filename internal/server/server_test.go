@@ -61,6 +61,10 @@ func TestErrStatus(t *testing.T) {
 		{errDraining, http.StatusServiceUnavailable, wire.CodeDraining},
 		{faults.ErrDeadline, http.StatusGatewayTimeout, wire.CodeDeadline},
 		{context.DeadlineExceeded, http.StatusGatewayTimeout, wire.CodeDeadline},
+		// A client disconnect is not a deadline expiry: distinct status and
+		// code, and countRefusal leaves deadline504 untouched for 499s.
+		{context.Canceled, statusClientClosedRequest, wire.CodeCanceled},
+		{fmt.Errorf("run: %w", context.Canceled), statusClientClosedRequest, wire.CodeCanceled},
 		{errors.New(`core: no session "x"`), http.StatusNotFound, wire.CodeNotFound},
 		{errors.New(`artifact: no artifact "kpis"`), http.StatusNotFound, wire.CodeNotFound},
 		{errors.New(`artifact: invalid or revoked link`), http.StatusNotFound, wire.CodeNotFound},

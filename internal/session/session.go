@@ -342,6 +342,38 @@ func (s *Session) SaveArtifact(store *artifact.Store, user, name string, node da
 		return nil, err
 	}
 	defer s.unlock()
+	return s.saveLocked(store, user, name, node, typ)
+}
+
+// SaveArtifactOutput saves the step producing the named dataset, or the
+// session's latest step when output is "". The anchor node is resolved after
+// the §2.4 lock is acquired, so a concurrent request appending steps cannot
+// move it between resolution and the save — remote callers go through here
+// instead of reading the graph themselves.
+func (s *Session) SaveArtifactOutput(store *artifact.Store, user, name, output string, typ artifact.Type) (*artifact.Artifact, error) {
+	if s.AccessOf(user) < artifact.EditAccess {
+		return nil, fmt.Errorf("session: %s cannot save artifacts from %q", user, s.Name)
+	}
+	if err := s.lockForUser(context.Background(), user); err != nil {
+		return nil, err
+	}
+	defer s.unlock()
+	node := s.graph.Last()
+	if output != "" {
+		id, ok := s.graph.ProducerOf(output)
+		if !ok {
+			return nil, fmt.Errorf("session: no step in %q produces %q", s.Name, output)
+		}
+		node = id
+	}
+	if node < 0 {
+		return nil, fmt.Errorf("session: %q has no steps to save", s.Name)
+	}
+	return s.saveLocked(store, user, name, node, typ)
+}
+
+// saveLocked does the slice-replay-persist work; callers hold the §2.4 lock.
+func (s *Session) saveLocked(store *artifact.Store, user, name string, node dag.NodeID, typ artifact.Type) (*artifact.Artifact, error) {
 	sliced, _, err := dag.Slice(s.graph, node)
 	if err != nil {
 		return nil, err

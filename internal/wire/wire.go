@@ -9,6 +9,7 @@
 //
 //	409 CodeBusy      — the session lock is held (session.ErrBusy)
 //	429 CodeThrottled — admission control refused the request; retry later
+//	499 CodeCanceled  — the client went away before a response was written
 //	503 CodeDraining  — the daemon is shutting down gracefully
 //	504 CodeDeadline  — the per-request deadline expired mid-execution
 package wire
@@ -17,6 +18,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"time"
 
 	"datachat/internal/dataset"
@@ -32,6 +34,7 @@ const (
 	CodeThrottled  = "throttled"
 	CodeDraining   = "draining"
 	CodeDeadline   = "deadline"
+	CodeCanceled   = "canceled"
 	CodeNotFound   = "not_found"
 	CodeDenied     = "denied"
 	CodeBadRequest = "bad_request"
@@ -256,6 +259,11 @@ func cellInt(v any) (int64, error) {
 	case json.Number:
 		return x.Int64()
 	case float64:
+		// Plain-json decodes deliver every number as float64; a fractional
+		// value in an int column is a type error, not something to truncate.
+		if x != math.Trunc(x) {
+			return 0, fmt.Errorf("want int, got non-integral %v", x)
+		}
 		return int64(x), nil
 	case int64:
 		return x, nil

@@ -3,6 +3,7 @@ package wire
 import (
 	"bytes"
 	"encoding/json"
+	"strings"
 	"testing"
 	"time"
 
@@ -91,6 +92,31 @@ func TestTableRoundTripWithoutUseNumber(t *testing.T) {
 	}
 	if !back.Equal(orig) {
 		t.Fatalf("plain-decode round trip changed the table:\n%v\n%v", orig, back)
+	}
+}
+
+// TestDecodeRejectsNonIntegralFloat: on the plain-json path a fractional
+// value landing in an int column is a type error, not a silent truncation.
+func TestDecodeRejectsNonIntegralFloat(t *testing.T) {
+	w := &Table{
+		Name: "bad",
+		Cols: []ColumnMeta{{Name: "n", Type: "int"}},
+		Rows: [][]any{{3.9}},
+	}
+	if _, err := w.Decode(); err == nil || !strings.Contains(err.Error(), "non-integral") {
+		t.Fatalf("Decode(3.9 in int col) = %v, want non-integral error", err)
+	}
+	ok := &Table{
+		Name: "good",
+		Cols: []ColumnMeta{{Name: "n", Type: "int"}},
+		Rows: [][]any{{3.0}},
+	}
+	tab, err := ok.Decode()
+	if err != nil {
+		t.Fatalf("Decode(3.0 in int col): %v", err)
+	}
+	if got := tab.Columns()[0].Value(0).I; got != 3 {
+		t.Fatalf("decoded value = %d, want 3", got)
 	}
 }
 
