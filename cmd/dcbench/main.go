@@ -12,6 +12,7 @@
 //	dcbench -exp faults      # fault-rate grid: retried corpus throughput + exactness
 //	dcbench -exp plan        # logical-plan pass pipeline: planned vs naive execution
 //	dcbench -exp server      # datachatd load grid: concurrent HTTP clients, 409/429 accounting
+//	dcbench -exp stream      # morsel streaming: first-chunk latency + peak memory vs row count
 //	dcbench -exp all         # everything (default)
 package main
 
@@ -24,7 +25,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, server, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, server, stream, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
@@ -33,6 +34,8 @@ func main() {
 	planJSON := flag.String("plan-json", "", "write the plan comparison as JSON to this path")
 	serverJSON := flag.String("server-json", "", "write the server load grid as JSON to this path")
 	perClient := flag.Int("per-client", 25, "requests per client for the server experiment")
+	streamJSON := flag.String("stream-json", "", "write the streaming grid as JSON to this path")
+	streamRows := flag.Int("stream-rows", 20_000, "1x row count for the stream experiment (scales to 10x and 100x)")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -190,6 +193,22 @@ func main() {
 				return err
 			}
 			return os.WriteFile(*serverJSON, append(data, '\n'), 0o644)
+		}
+		return nil
+	})
+	run("stream", func() error {
+		r, err := experiments.Stream(*streamRows)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		if *streamJSON != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*streamJSON, append(data, '\n'), 0o644)
 		}
 		return nil
 	})

@@ -245,6 +245,61 @@ func (c *Client) FetchTable(ctx context.Context, session, datasetName string, pa
 	return full.Decode()
 }
 
+// consumeStream reads an NDJSON row stream from body: the header line first,
+// then fn once per data chunk in order. The terminal sentinel chunk (Last
+// set) is consumed here, never passed to fn: a server-side failure recorded
+// in it comes back as a *wire.Error, and a stream that ends without one is
+// reported as truncated — a dropped connection can no longer masquerade as a
+// short table. On success the returned header's TotalRows reflects the
+// sentinel's final count.
+func consumeStream(body io.Reader, what string, fn func(header *wire.Table, rows wire.RowChunk) error) (*wire.Table, error) {
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
+	var header *wire.Table
+	sawLast := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		if header == nil {
+			var h wire.Table
+			if err := wire.DecodeJSON(bytes.NewReader(line), &h); err != nil {
+				return nil, fmt.Errorf("client: decoding stream header: %w", err)
+			}
+			header = &h
+			continue
+		}
+		var rc wire.RowChunk
+		if err := wire.DecodeJSON(bytes.NewReader(line), &rc); err != nil {
+			return nil, fmt.Errorf("client: decoding stream chunk: %w", err)
+		}
+		if rc.Last {
+			sawLast = true
+			header.TotalRows = rc.TotalRows
+			if rc.Error != nil {
+				return nil, rc.Error
+			}
+			break
+		}
+		if fn != nil {
+			if err := fn(header, rc); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("client: reading stream: %w", err)
+	}
+	if header == nil {
+		return nil, fmt.Errorf("client: empty stream for %s", what)
+	}
+	if !sawLast {
+		return nil, fmt.Errorf("client: stream for %s truncated before the terminal chunk", what)
+	}
+	return header, nil
+}
+
 // StreamRows consumes the chunked row stream of a session dataset: the
 // header arrives first, then fn is called once per chunk in order. fn may
 // be nil to drain the stream (e.g. to measure it).
@@ -263,39 +318,57 @@ func (c *Client) StreamRows(ctx context.Context, session, datasetName string, ch
 	if resp.StatusCode/100 != 2 {
 		return nil, decodeError(resp)
 	}
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
-	var header *wire.Table
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
-		if len(line) == 0 {
-			continue
-		}
-		if header == nil {
-			var h wire.Table
-			if err := wire.DecodeJSON(bytes.NewReader(line), &h); err != nil {
-				return nil, fmt.Errorf("client: decoding stream header: %w", err)
-			}
-			header = &h
-			continue
-		}
-		var rc wire.RowChunk
-		if err := wire.DecodeJSON(bytes.NewReader(line), &rc); err != nil {
-			return nil, fmt.Errorf("client: decoding stream chunk: %w", err)
-		}
-		if fn != nil {
-			if err := fn(header, rc); err != nil {
-				return nil, err
-			}
-		}
+	return consumeStream(resp.Body, session+"/"+datasetName, fn)
+}
+
+// RunStream executes one run request with the result streamed back as it is
+// produced: the target step runs through the server's morsel pipeline and fn
+// is called once per chunk, so first rows arrive while execution is still in
+// flight. The returned header carries the schema; its TotalRows is the final
+// streamed count. Errors raised after streaming began (deadline, engine
+// failure) arrive via the terminal sentinel and come back typed, exactly
+// like pre-stream refusals.
+func (c *Client) RunStream(ctx context.Context, session string, req wire.RunRequest, fn func(header *wire.Table, rows wire.RowChunk) error) (*wire.Table, error) {
+	data, err := json.Marshal(req)
+	if err != nil {
+		return nil, fmt.Errorf("client: encoding request: %w", err)
 	}
-	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("client: reading stream: %w", err)
+	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		c.BaseURL+"/v1/sessions/"+url.PathEscape(session)+"/run/stream", bytes.NewReader(data))
+	if err != nil {
+		return nil, fmt.Errorf("client: building stream request: %w", err)
 	}
-	if header == nil {
-		return nil, fmt.Errorf("client: empty stream for %s/%s", session, datasetName)
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := c.httpClient().Do(hreq)
+	if err != nil {
+		return nil, fmt.Errorf("client: streaming run on %s: %w", session, err)
 	}
-	return header, nil
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return nil, decodeError(resp)
+	}
+	return consumeStream(resp.Body, session+"/run", fn)
+}
+
+// RunStreamTable is RunStream with the chunks reassembled into a typed table.
+func (c *Client) RunStreamTable(ctx context.Context, session string, req wire.RunRequest) (*dataset.Table, error) {
+	var full *wire.Table
+	header, err := c.RunStream(ctx, session, req, func(h *wire.Table, rc wire.RowChunk) error {
+		if full == nil {
+			cp := *h
+			cp.Rows = nil
+			full = &cp
+		}
+		full.Rows = append(full.Rows, rc.Rows...)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if full == nil {
+		full = header
+	}
+	return full.Decode()
 }
 
 // StreamTable reassembles a full dataset from the chunked row stream.

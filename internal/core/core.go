@@ -98,6 +98,8 @@ func (p *Platform) ExecStats() dag.Stats {
 		total.Retries += st.Retries
 		total.PermanentFailures += st.PermanentFailures
 		total.Degraded += st.Degraded
+		total.StreamedChunks += st.StreamedChunks
+		total.StreamedRows += st.StreamedRows
 	}
 	return total
 }

@@ -263,6 +263,45 @@ func TestCacheHitsAcrossRuns(t *testing.T) {
 	}
 }
 
+// TestCacheHitsAcrossFileLoads is the regression test for the serving-path
+// cache never hitting: LoadData is volatile by definition, but its source
+// file content-fingerprints, so repeated identical load→aggregate pipelines
+// must share one sub-DAG cache entry — while re-registering the file with
+// different bytes must miss and recompute.
+func TestCacheHitsAcrossFileLoads(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.PutFile("load.csv", "id,grp,v\n1,a,10\n2,b,20\n3,a,30\n")
+	ex := NewExecutor(reg, ctx)
+	program := func(g *Graph) NodeID {
+		g.Add(skills.Invocation{Skill: "LoadData", Args: skills.Args{"source": "load.csv", "name": "loaded"}, Output: "loaded"})
+		return g.Add(skills.Invocation{Skill: "Compute", Inputs: []string{"loaded"},
+			Args: skills.Args{"aggregates": []string{"sum of v as total"}, "for_each": []string{"grp"}}})
+	}
+	g := NewGraph()
+	if _, err := ex.Run(g, program(g)); err != nil {
+		t.Fatal(err)
+	}
+	before := ex.Stats()
+	g2 := NewGraph()
+	if _, err := ex.Run(g2, program(g2)); err != nil {
+		t.Fatal(err)
+	}
+	after := ex.Stats()
+	if after.CacheHits <= before.CacheHits {
+		t.Errorf("identical file-load pipeline missed the cache: hits %d -> %d", before.CacheHits, after.CacheHits)
+	}
+	// New content under the same file name must not serve the stale result.
+	ctx.PutFile("load.csv", "id,grp,v\n1,a,100\n")
+	g3 := NewGraph()
+	res, err := ex.Run(g3, program(g3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Table == nil || res.Table.NumRows() != 1 {
+		t.Fatalf("stale cached result served after file re-registration: %v", res.Table)
+	}
+}
+
 func TestCacheDisabled(t *testing.T) {
 	ctx := newCtx(t)
 	ex := NewExecutor(reg, ctx)

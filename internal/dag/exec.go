@@ -36,6 +36,10 @@ type Stats struct {
 	PermanentFailures int
 	// Degraded counts tasks whose result came from a fallback source.
 	Degraded int
+	// StreamedChunks and StreamedRows count what target streaming forwarded
+	// to ExecOptions.Stream sinks (live morsel chunks plus re-chunked
+	// cache-hit/direct results).
+	StreamedChunks, StreamedRows int
 }
 
 // counters is the executor's live, atomically updated form of Stats.
@@ -45,6 +49,7 @@ type counters struct {
 	rowsMaterialized                     atomic.Int64
 	cacheHits, cacheMisses               atomic.Int64
 	retries, permanentFailures, degraded atomic.Int64
+	streamedChunks, streamedRows         atomic.Int64
 }
 
 func (c *counters) snapshot() Stats {
@@ -60,6 +65,8 @@ func (c *counters) snapshot() Stats {
 		Retries:           int(c.retries.Load()),
 		PermanentFailures: int(c.permanentFailures.Load()),
 		Degraded:          int(c.degraded.Load()),
+		StreamedChunks:    int(c.streamedChunks.Load()),
+		StreamedRows:      int(c.streamedRows.Load()),
 	}
 }
 
@@ -75,6 +82,8 @@ func (c *counters) reset() {
 	c.retries.Store(0)
 	c.permanentFailures.Store(0)
 	c.degraded.Store(0)
+	c.streamedChunks.Store(0)
+	c.streamedRows.Store(0)
 }
 
 // Executor compiles and runs DAGs against a skill context. Compilation

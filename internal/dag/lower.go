@@ -57,6 +57,13 @@ func (e *Executor) logicalPlan(g *Graph, target NodeID, readOnly bool) (*plan.Pl
 			}
 			return fp, true
 		},
+		SourceFingerprint: func(skill string, args skills.Args) (uint64, bool) {
+			def, err := e.Registry.Lookup(skill)
+			if err != nil || def.SourceFingerprint == nil {
+				return 0, false
+			}
+			return def.SourceFingerprint(e.Ctx, args)
+		},
 	}
 	if e.UseCache {
 		if readOnly {

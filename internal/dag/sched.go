@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"datachat/internal/dataset"
 	"datachat/internal/faults"
 	"datachat/internal/plan"
 	"datachat/internal/skills"
@@ -36,6 +37,17 @@ type ExecOptions struct {
 	// SQL tunes consolidated-fragment execution (e.g. DisableVectorized
 	// forces the row reference path). The zero value uses engine defaults.
 	SQL sqlengine.Options
+	// Stream, when non-nil, receives the target's result chunk-by-chunk. A
+	// consolidated target fragment executes through the morsel pipeline and
+	// forwards chunks as the engine produces them; any other target shape
+	// (direct skill, cache hit, pinned result) re-chunks its materialized
+	// table through the sink, so callers always observe the same protocol. A
+	// sink error aborts the run. Chunks already forwarded are never re-sent,
+	// even if the task retries after a transient failure.
+	Stream func(chunk *dataset.Table) error
+	// StreamChunkRows bounds the rows per forwarded chunk
+	// (<= 0 means sqlengine.DefaultChunkRows).
+	StreamChunkRows int
 }
 
 // clock returns the configured time source.
@@ -61,6 +73,13 @@ type task struct {
 
 	deps       []int
 	dependents []int
+
+	// stream marks the run's target task: when ExecOptions.Stream is set its
+	// result flows through the sink chunk-by-chunk. sunk/sunkAny track what
+	// was already forwarded so a retried attempt never duplicates rows.
+	stream  bool
+	sunk    int
+	sunkAny bool
 
 	waiting int
 	result  *skills.Result
@@ -142,6 +161,9 @@ func (e *Executor) plan(g *Graph, target NodeID) (*execPlan, error) {
 				}
 			}
 		}
+	}
+	if t := p.byNode[target]; t != nil {
+		t.stream = true
 	}
 	return p, nil
 }
@@ -284,6 +306,15 @@ func (e *Executor) executeTask(ctx context.Context, t *task, deadline time.Time)
 		}
 		res = r
 	}
+	// A streamed target whose chunks did not flow live — a plan-time pin, a
+	// cache hit, a direct skill, or a fragment that fell back — still owes
+	// the sink its rows: re-chunk the materialized table so remote clients
+	// observe one protocol regardless of where the result came from.
+	if t.stream && e.Options.Stream != nil && !t.sunkAny && res != nil && res.Table != nil {
+		if err := e.streamTable(t, res.Table); err != nil {
+			return nil, err
+		}
+	}
 	e.materialize(t.node, res)
 	if t.invalidates {
 		// Snapshot creation/refresh changes source data out from under every
@@ -320,9 +351,109 @@ func (e *Executor) execTaskRetry(ctx context.Context, t *task, deadline time.Tim
 
 func (e *Executor) execTaskBody(t *task) (*skills.Result, error) {
 	if t.frag != nil {
+		if t.stream && e.Options.Stream != nil {
+			return e.execChainStream(t)
+		}
 		return e.execChain(t.frag)
 	}
 	return e.execDirect(t.node)
+}
+
+// streamChunkRows returns the configured sink chunk size.
+func (e *Executor) streamChunkRows() int {
+	if e.Options.StreamChunkRows > 0 {
+		return e.Options.StreamChunkRows
+	}
+	return sqlengine.DefaultChunkRows
+}
+
+// emitChunk forwards one chunk to the sink, skipping any prefix a previous
+// attempt of the same task already delivered. seen is the running row count
+// of the current attempt before this chunk.
+func (e *Executor) emitChunk(t *task, chunk *dataset.Table, seen int) error {
+	n := chunk.NumRows()
+	if n == 0 {
+		// Empty chunks only exist to carry the schema; one is enough.
+		if t.sunkAny {
+			return nil
+		}
+		if err := e.Options.Stream(chunk); err != nil {
+			return err
+		}
+		t.sunkAny = true
+		e.counters.streamedChunks.Add(1)
+		return nil
+	}
+	if seen+n <= t.sunk {
+		return nil
+	}
+	if seen < t.sunk {
+		chunk = chunk.Window(t.sunk-seen, n)
+	}
+	if err := e.Options.Stream(chunk); err != nil {
+		return err
+	}
+	t.sunk = seen + n
+	t.sunkAny = true
+	e.counters.streamedChunks.Add(1)
+	e.counters.streamedRows.Add(int64(chunk.NumRows()))
+	return nil
+}
+
+// streamTable re-chunks a materialized table through the sink (the cache-hit
+// and direct-skill arm of target streaming).
+func (e *Executor) streamTable(t *task, tab *dataset.Table) error {
+	n := tab.NumRows()
+	if n == 0 {
+		return e.emitChunk(t, tab, 0)
+	}
+	chunk := e.streamChunkRows()
+	for off := 0; off < n; off += chunk {
+		end := off + chunk
+		if end > n {
+			end = n
+		}
+		if err := e.emitChunk(t, tab.Window(off, end), off); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// execChainStream runs the target consolidated fragment through the morsel
+// pipeline, forwarding each chunk to the sink as the engine produces it while
+// still assembling the full table for materialization and the sub-DAG cache.
+// Fallback shapes are handled inside the engine (the stream re-chunks a
+// materialized execution), so the rows — and their order — always match
+// execChain's.
+func (e *Executor) execChainStream(t *task) (*skills.Result, error) {
+	frag := t.frag
+	if frag.Base.Node == plan.External {
+		if _, err := e.Ctx.Dataset(frag.Base.Name); err != nil {
+			return nil, fmt.Errorf("dag: node %d: %w", frag.Nodes[0], err)
+		}
+	}
+	rs, err := sqlengine.ExecStreamStmt(e.Ctx, frag.Builder.Stmt(), sqlengine.StreamOptions{
+		Options:   e.Options.SQL,
+		ChunkRows: e.streamChunkRows(),
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dag: consolidated task %q: %w", frag.SQL, err)
+	}
+	seen := 0
+	table, err := rs.Drain(func(chunk *dataset.Table) error {
+		at := seen
+		seen += chunk.NumRows()
+		return e.emitChunk(t, chunk, at)
+	})
+	if err != nil {
+		return nil, fmt.Errorf("dag: consolidated task %q: %w", frag.SQL, err)
+	}
+	e.counters.tasksRun.Add(1)
+	e.counters.sqlTasks.Add(1)
+	e.counters.nodesConsolidated.Add(int64(frag.DagNodes))
+	e.counters.queryBlocks.Add(int64(frag.Blocks))
+	return &skills.Result{Table: table, Message: "via " + frag.SQL}, nil
 }
 
 // materialize publishes a node result into the session datasets under its

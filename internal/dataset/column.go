@@ -245,6 +245,39 @@ func takeSlice[T any](src []T, srcNulls []bool, idx []int) ([]T, []bool) {
 	return vals, nulls
 }
 
+// Window returns rows [from, to) as a zero-copy view: the typed storage and
+// null mask are subsliced, not gathered, so a morsel over a large column costs
+// O(1) regardless of chunk size. The view shares storage with the parent,
+// which is safe because columns are immutable by convention once published.
+func (c *Column) Window(from, to int) *Column {
+	if from < 0 {
+		from = 0
+	}
+	if to > c.n {
+		to = c.n
+	}
+	if from > to {
+		from = to
+	}
+	out := &Column{name: c.name, typ: c.typ, n: to - from}
+	switch c.typ {
+	case TypeInt:
+		out.ints = c.ints[from:to]
+	case TypeFloat:
+		out.fls = c.fls[from:to]
+	case TypeString:
+		out.strs = c.strs[from:to]
+	case TypeBool:
+		out.bools = c.bools[from:to]
+	case TypeTime:
+		out.times = c.times[from:to]
+	}
+	if c.nulls != nil {
+		out.nulls = c.nulls[from:to]
+	}
+	return out
+}
+
 // Floats returns the column materialized as float64s with a validity mask
 // (false where the row is null or non-numeric). ML skills consume this view.
 func (c *Column) Floats() (vals []float64, valid []bool) {

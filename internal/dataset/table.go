@@ -196,6 +196,17 @@ func (t *Table) Slice(from, to int) *Table {
 // Head returns the first n rows.
 func (t *Table) Head(n int) *Table { return t.Slice(0, n) }
 
+// Window returns rows [from, to) as a zero-copy view: every column is
+// windowed in place rather than gathered, so carving a morsel out of a large
+// table is O(columns), not O(rows). The view shares storage with the parent.
+func (t *Table) Window(from, to int) *Table {
+	cols := make([]*Column, len(t.cols))
+	for i, c := range t.cols {
+		cols[i] = c.Window(from, to)
+	}
+	return MustNewTable(t.name, cols...)
+}
+
 // SortBy returns a table sorted by the named columns; desc[i] flips the
 // order of key i. Missing desc entries default to ascending. The sort is
 // stable so earlier orderings survive ties.

@@ -235,3 +235,33 @@ func TestFaultsGrid(t *testing.T) {
 		t.Errorf("JSON: %v", err)
 	}
 }
+
+func TestStreamGrid(t *testing.T) {
+	r, err := Stream(2000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cases) != 6 {
+		t.Fatalf("cases = %d, want 6", len(r.Cases))
+	}
+	peaks := map[string]int{}
+	for _, c := range r.Cases {
+		if c.RowsOut == 0 {
+			t.Errorf("%s at %dx produced no rows", c.Query, c.Scale)
+		}
+		if prev, ok := peaks[c.Query]; ok && c.PeakBufferedRows != prev {
+			t.Errorf("%s peak buffered rows varies with scale: %d vs %d — the memory budget claim fails",
+				c.Query, c.PeakBufferedRows, prev)
+		}
+		peaks[c.Query] = c.PeakBufferedRows
+	}
+	if peaks["filter"] != 0 {
+		t.Errorf("filter buffered %d rows, want 0 (pure pipeline)", peaks["filter"])
+	}
+	if !strings.Contains(r.Report(), "first_chunk") {
+		t.Error("report malformed")
+	}
+	if data, err := r.JSON(); err != nil || len(data) == 0 {
+		t.Errorf("JSON: %v", err)
+	}
+}

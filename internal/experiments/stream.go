@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+	"time"
+
+	"datachat/internal/dataset"
+	"datachat/internal/sqlengine"
+)
+
+// The stream experiment measures what morsel-driven execution buys: time to
+// first output chunk should be decoupled from table size (it reflects one
+// morsel of work, not the whole scan), and the engine's peak buffered rows
+// should stay near-constant as input grows for streaming shapes (filters
+// and projections buffer nothing; a group-by buffers only its groups).
+// Buffered execution of the same statement is the baseline.
+
+// StreamCase is one (query shape, scale) cell.
+type StreamCase struct {
+	Query string `json:"query"` // "filter" or "groupby"
+	Scale int    `json:"scale"` // multiplier over the base row count
+	Rows  int    `json:"rows"`
+	// FirstChunkMs is the latency until the first chunk of rows exists —
+	// what a remote client waits before seeing output.
+	FirstChunkMs float64 `json:"first_chunk_ms"`
+	// DrainMs is the wall time to pull the whole stream.
+	DrainMs float64 `json:"drain_ms"`
+	// BufferedMs is the wall time of the buffered (materialize-everything)
+	// execution of the identical statement.
+	BufferedMs float64 `json:"buffered_ms"`
+	// PeakBufferedRows is the engine's maximum rows resident in pipeline
+	// breakers during the drain — the memory-budget figure.
+	PeakBufferedRows int `json:"peak_buffered_rows"`
+	RowsOut          int `json:"rows_out"`
+}
+
+// StreamResult is the full grid for BENCH_stream.json.
+type StreamResult struct {
+	BaseRows  int          `json:"base_rows"`
+	ChunkRows int          `json:"chunk_rows"`
+	Cases     []StreamCase `json:"cases"`
+}
+
+// streamTable builds an n-row fact table without going through CSV, so the
+// 100× scale stays cheap to construct.
+func streamTable(n int) *dataset.Table {
+	ids := make([]int64, n)
+	ks := make([]int64, n)
+	vs := make([]float64, n)
+	for i := 0; i < n; i++ {
+		ids[i] = int64(i)
+		ks[i] = int64(i % 13)
+		vs[i] = float64(i%1000) / 10
+	}
+	return dataset.MustNewTable("facts",
+		dataset.IntColumn("id", ids, nil),
+		dataset.IntColumn("k", ks, nil),
+		dataset.FloatColumn("v", vs, nil),
+	)
+}
+
+// Stream runs the grid: each query shape at 1×, 10×, and 100× of baseRows.
+func Stream(baseRows int) (*StreamResult, error) {
+	if baseRows <= 0 {
+		baseRows = 20_000
+	}
+	queries := []struct{ name, sql string }{
+		{"filter", "SELECT id, v FROM facts WHERE v > 25.0 AND k % 3 = 1"},
+		{"groupby", "SELECT k, SUM(v), COUNT(*) FROM facts GROUP BY k"},
+	}
+	res := &StreamResult{BaseRows: baseRows, ChunkRows: sqlengine.DefaultChunkRows}
+	for _, scale := range []int{1, 10, 100} {
+		n := baseRows * scale
+		catalog := sqlengine.NewMapCatalog(map[string]*dataset.Table{"facts": streamTable(n)})
+		for _, q := range queries {
+			stmt, err := sqlengine.Parse(q.sql)
+			if err != nil {
+				return nil, fmt.Errorf("stream: parsing %s: %w", q.name, err)
+			}
+			start := time.Now()
+			rs, err := sqlengine.ExecStreamStmt(catalog, stmt, sqlengine.StreamOptions{})
+			if err != nil {
+				return nil, fmt.Errorf("stream: %s at %dx: %w", q.name, scale, err)
+			}
+			first, err := rs.Next()
+			if err != nil {
+				return nil, fmt.Errorf("stream: %s at %dx first chunk: %w", q.name, scale, err)
+			}
+			firstMs := float64(time.Since(start).Microseconds()) / 1000
+			rows := 0
+			if first != nil {
+				rows = first.NumRows()
+			}
+			for {
+				chunk, err := rs.Next()
+				if err != nil {
+					return nil, fmt.Errorf("stream: %s at %dx drain: %w", q.name, scale, err)
+				}
+				if chunk == nil {
+					break
+				}
+				rows += chunk.NumRows()
+			}
+			drainMs := float64(time.Since(start).Microseconds()) / 1000
+
+			start = time.Now()
+			buf, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{})
+			if err != nil {
+				return nil, fmt.Errorf("stream: %s at %dx buffered: %w", q.name, scale, err)
+			}
+			bufMs := float64(time.Since(start).Microseconds()) / 1000
+			if buf.NumRows() != rows {
+				return nil, fmt.Errorf("stream: %s at %dx: streamed %d rows, buffered %d",
+					q.name, scale, rows, buf.NumRows())
+			}
+			res.Cases = append(res.Cases, StreamCase{
+				Query: q.name, Scale: scale, Rows: n,
+				FirstChunkMs: firstMs, DrainMs: drainMs, BufferedMs: bufMs,
+				PeakBufferedRows: rs.PeakBufferedRows(), RowsOut: rows,
+			})
+		}
+	}
+	return res, nil
+}
+
+// Report renders the grid as the EXPERIMENTS.md table.
+func (r *StreamResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Morsel streaming: first-chunk latency and engine peak memory vs row count (chunk=%d)\n", r.ChunkRows)
+	b.WriteString("  query    scale  rows      first_chunk(ms)  drain(ms)  buffered(ms)  peak_buffered_rows\n")
+	for _, c := range r.Cases {
+		fmt.Fprintf(&b, "  %-8s %-6s %-9d %-16.3f %-10.2f %-13.2f %d\n",
+			c.Query, fmt.Sprintf("%dx", c.Scale), c.Rows, c.FirstChunkMs, c.DrainMs, c.BufferedMs, c.PeakBufferedRows)
+	}
+	return b.String()
+}
+
+// JSON renders the result for BENCH_stream.json.
+func (r *StreamResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

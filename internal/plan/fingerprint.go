@@ -46,8 +46,25 @@ func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 		n.Invalidates = def.Invalidates
 		n.Volatile = def.Volatile
 
+		// A volatile skill that can content-hash its out-of-DAG source (a
+		// registered file, say) becomes cacheable: the hash below joins the
+		// fingerprint, so changed content yields a fresh key, never a stale
+		// hit. Without the hash the node — and every descendant — stays
+		// uncacheable.
+		var srcFP uint64
+		srcOK := false
+		if n.Volatile && env.SourceFingerprint != nil {
+			if fp, ok := env.SourceFingerprint(n.Skill, n.Args); ok {
+				srcFP, srcOK = fp, true
+				n.Volatile = false
+			}
+		}
+
 		h := sha256.New()
 		fmt.Fprintf(h, "skill:%s\n", strings.ToLower(def.Name))
+		if srcOK {
+			fmt.Fprintf(h, "src:%016x\n", srcFP)
+		}
 		keys := make([]string, 0, len(n.Args))
 		for k := range n.Args {
 			keys = append(keys, k)

@@ -191,6 +191,12 @@ type Env struct {
 	// ok=false means the dataset is missing or unhashable and nodes
 	// depending on it get no cache key.
 	ExtFingerprint func(name string) (uint64, bool)
+	// SourceFingerprint returns a content hash of the out-of-DAG source a
+	// volatile node would read (a skill's Definition.SourceFingerprint).
+	// Success de-volatilizes the node: the hash joins its fingerprint, so
+	// the node — and its descendants — become cacheable without ever
+	// serving stale results for changed source content.
+	SourceFingerprint func(skill string, args skills.Args) (uint64, bool)
 	// CacheGet probes the sub-DAG cache during planning. A hit pins the
 	// node's result and prunes its ancestors.
 	CacheGet func(key string) (*skills.Result, bool)

@@ -11,6 +11,7 @@ import (
 	"datachat/internal/client"
 	"datachat/internal/core"
 	"datachat/internal/server"
+	"datachat/internal/wire"
 )
 
 // benchDeployment boots a server with a session holding a loaded table and
@@ -67,6 +68,25 @@ func BenchmarkServerRowStream(b *testing.B) {
 		}
 		if t.NumRows() != 10_000 {
 			b.Fatalf("rows = %d", t.NumRows())
+		}
+	}
+}
+
+// BenchmarkServerRunStream measures a GEL transform whose result streams
+// back chunk-by-chunk through the morsel pipeline — the full run/stream
+// round-trip including session locking and NDJSON reassembly.
+func BenchmarkServerRunStream(b *testing.B) {
+	c, base := benchDeployment(b, 10_000)
+	ctx := context.Background()
+	req := wire.RunRequest{User: "ann", GEL: "Keep the rows where v > 50", Current: base, MaxRows: 1000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		t, err := c.RunStreamTable(ctx, "bench", req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if t.NumRows() == 0 {
+			b.Fatal("empty streamed result")
 		}
 	}
 }

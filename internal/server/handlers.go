@@ -8,6 +8,7 @@ import (
 
 	"datachat/internal/artifact"
 	"datachat/internal/dag"
+	"datachat/internal/dataset"
 	"datachat/internal/pyapi"
 	"datachat/internal/session"
 	"datachat/internal/skills"
@@ -27,6 +28,7 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/sessions/{name}", s.handleSessionInfo)
 	mux.HandleFunc("POST /v1/sessions/{name}/share", s.handleShareSession)
 	mux.HandleFunc("POST /v1/sessions/{name}/run", s.handleRun)
+	mux.HandleFunc("POST /v1/sessions/{name}/run/stream", s.handleRunStream)
 	mux.HandleFunc("GET /v1/sessions/{name}/explain", s.handleExplain)
 	mux.HandleFunc("GET /v1/sessions/{name}/datasets/{dataset}", s.handleRows)
 	mux.HandleFunc("GET /v1/sessions/{name}/datasets/{dataset}/stream", s.handleRowStream)
@@ -97,6 +99,8 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"retries":            int64(exec.Retries),
 			"permanent_failures": int64(exec.PermanentFailures),
 			"degraded":           int64(exec.Degraded),
+			"streamed_chunks":    int64(exec.StreamedChunks),
+			"streamed_rows":      int64(exec.StreamedRows),
 		},
 		Cache: map[string]int64{
 			"hits":      cache.Hits,
@@ -341,8 +345,30 @@ func (s *Server) handleRows(w http.ResponseWriter, r *http.Request) {
 // handleRowStream streams a dataset as newline-delimited JSON: the first
 // line is the wire.Table header (schema + total count, no rows), each later
 // line one wire.RowChunk, flushed as produced — large tables reach the
-// client incrementally instead of via one giant document.
+// client incrementally instead of via one giant document. A terminal
+// sentinel chunk (Last set) closes every complete stream; its absence tells
+// clients the stream was truncated. Streams hold an execution slot for their
+// whole duration, so admission control and graceful drain govern them
+// exactly like /run.
 func (s *Server) handleRowStream(w http.ResponseWriter, r *http.Request) {
+	chunk, err := queryInt(r, "chunk", 1000)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	if chunk <= 0 {
+		s.writeErr(w, fmt.Errorf("server: invalid chunk=%d (must be positive)", chunk))
+		return
+	}
+	if chunk > s.cfg.MaxPageRows {
+		chunk = s.cfg.MaxPageRows
+	}
+	if err := s.admit(r.Context()); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.release()
+	s.requests.Add(1)
 	sess, err := s.platform.Session(r.PathValue("name"))
 	if err != nil {
 		s.writeErr(w, err)
@@ -352,14 +378,6 @@ func (s *Server) handleRowStream(w http.ResponseWriter, r *http.Request) {
 	if err != nil {
 		s.writeErr(w, err)
 		return
-	}
-	chunk, err := queryInt(r, "chunk", 1000)
-	if err != nil {
-		s.writeErr(w, err)
-		return
-	}
-	if chunk <= 0 || chunk > s.cfg.MaxPageRows {
-		chunk = s.cfg.MaxPageRows
 	}
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -377,15 +395,117 @@ func (s *Server) handleRowStream(w http.ResponseWriter, r *http.Request) {
 		if end > n {
 			end = n
 		}
+		// Check for a gone client before doing the encode work, not after:
+		// a cancelled request must not pay for (or emit) one more chunk.
+		if r.Context().Err() != nil {
+			return
+		}
 		if err := enc.Encode(wire.RowChunk{Offset: off, Rows: wire.EncodeRows(t, off, end)}); err != nil {
 			return
 		}
 		if flusher != nil {
 			flusher.Flush()
 		}
-		if r.Context().Err() != nil {
+	}
+	_ = enc.Encode(wire.RowChunk{Offset: n, Last: true, TotalRows: n})
+	if flusher != nil {
+		flusher.Flush()
+	}
+}
+
+// handleRunStream executes a run request with its result streamed as NDJSON:
+// the target step runs through the morsel pipeline and each chunk is encoded
+// and flushed as the engine produces it, so remote clients see first rows
+// while execution is still under way instead of after full materialization.
+// Failures before the first chunk return a normal typed error response;
+// failures after the stream began are reported in the terminal sentinel
+// chunk (the HTTP status is already committed by then).
+func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
+	var req wire.RunRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	tune := s.tuning(req.DeadlineMs)
+	ctx, cancel := s.requestContext(r, tune)
+	defer cancel()
+	if err := s.admit(ctx); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer s.release()
+	s.requests.Add(1)
+	invs, err := s.resolveProgram(r.PathValue("name"), req)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+
+	chunkRows := req.MaxRows
+	if chunkRows <= 0 {
+		chunkRows = sqlengine.DefaultChunkRows
+	}
+	if chunkRows > s.cfg.MaxPageRows {
+		chunkRows = s.cfg.MaxPageRows
+	}
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	headerSent := false
+	offset := 0
+	tune.StreamChunkRows = chunkRows
+	tune.Stream = func(t *dataset.Table) error {
+		// The sink runs on an executor worker goroutine, but strictly
+		// serially (one target task), so writing w here is race-free.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if !headerSent {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.WriteHeader(http.StatusOK)
+			header := wire.EncodeTable(t, 0, 0)
+			header.Rows = nil
+			header.NextOffset = -1
+			// The full row count is unknown until the stream ends; the
+			// sentinel chunk carries the final figure.
+			header.TotalRows = 0
+			if err := enc.Encode(header); err != nil {
+				return err
+			}
+			headerSent = true
+		}
+		if t.NumRows() > 0 {
+			if err := enc.Encode(wire.RowChunk{Offset: offset, Rows: wire.EncodeRows(t, 0, t.NumRows())}); err != nil {
+				return err
+			}
+			offset += t.NumRows()
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return nil
+	}
+	_, _, err = s.platform.RunCtx(ctx, r.PathValue("name"), req.User, tune, invs...)
+	if err != nil {
+		if !headerSent {
+			s.writeErr(w, err)
 			return
 		}
+		status, code := errStatus(err)
+		s.countRefusal(status)
+		_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset,
+			Error: &wire.Error{Code: code, Message: err.Error()}})
+		return
+	}
+	if !headerSent {
+		// No table flowed (chart/model/message-only result): emit a bare
+		// header so the stream is still well-formed NDJSON.
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		w.WriteHeader(http.StatusOK)
+		_ = enc.Encode(&wire.Table{Name: "result", NextOffset: -1})
+	}
+	_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset})
+	if flusher != nil {
+		flusher.Flush()
 	}
 }
 

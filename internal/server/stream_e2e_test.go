@@ -1,0 +1,368 @@
+package server_test
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"datachat/internal/client"
+	"datachat/internal/server"
+	"datachat/internal/wire"
+)
+
+// wideCSV builds an n-row CSV in the sales shape so streaming tests have
+// enough rows for several chunks.
+func wideCSV(n int) string {
+	var b strings.Builder
+	b.WriteString("order_id,region,status,price,discount\n")
+	regions := []string{"east", "west", "north", "south"}
+	for i := 1; i <= n; i++ {
+		status := "Successful"
+		if i%7 == 0 {
+			status = "Unsuccessful"
+		}
+		fmt.Fprintf(&b, "%d,%s,%s,%d.5,0.1\n", i, regions[i%4], status, 20+i%200)
+	}
+	return b.String()
+}
+
+// TestRowStreamBadChunkParam pins the regression where chunk<=0 was silently
+// clamped to the server maximum instead of refused: a zero or negative chunk
+// is a client bug and must come back as a typed 400 before any execution
+// slot is consumed.
+func TestRowStreamBadChunkParam(t *testing.T) {
+	srv, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	final := runPipeline(t, c, "s", "ann")
+
+	for _, chunk := range []int{0, -5} {
+		_, err := c.StreamRows(ctx, "s", final, chunk, nil)
+		if err == nil {
+			t.Fatalf("chunk=%d: expected error, got nil", chunk)
+		}
+		var we *wire.Error
+		if !errors.As(err, &we) {
+			t.Fatalf("chunk=%d: error %v is not a wire.Error", chunk, err)
+		}
+		if we.Status != http.StatusBadRequest || we.Code != wire.CodeBadRequest {
+			t.Fatalf("chunk=%d: status=%d code=%q, want 400/%q", chunk, we.Status, we.Code, wire.CodeBadRequest)
+		}
+	}
+	if got := srv.Stats().Requests; got != 0 {
+		// Five pipeline runs counted; refused streams must not be. The
+		// pipeline ran 5 requests, so anything beyond that is a leak.
+		if got != 5 {
+			t.Fatalf("requests = %d, want 5 (refused streams must not count)", got)
+		}
+	}
+}
+
+// TestRowStreamUnderAdmission pins the regression where the dataset stream
+// endpoint bypassed admission control entirely: with the single execution
+// slot held by a blocked run, a stream must be refused with a typed 429, and
+// once the slot frees it must succeed and be counted in Requests.
+func TestRowStreamUnderAdmission(t *testing.T) {
+	started := make(chan struct{}, 1)
+	release := make(chan struct{})
+	srv, c := newTestDeployment(t, server.Config{MaxInFlight: 1, MaxQueue: 0})
+	registerBlockingSkill(t, srv.Platform(), started, release)
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+	before := srv.Stats().Requests
+
+	// Park a run on the only slot, in a second session so the stream is not
+	// blocked by the session lock but by admission alone.
+	if _, err := c.CreateSession(ctx, "blocker", "bob"); err != nil {
+		t.Fatal(err)
+	}
+	runDone := make(chan error, 1)
+	go func() {
+		_, err := c.Run(ctx, "blocker", wire.RunRequest{User: "bob", Program: program("Block", "b")})
+		runDone <- err
+	}()
+	<-started
+
+	if _, err := c.StreamRows(ctx, "s", base, 3, nil); !client.IsThrottled(err) {
+		t.Fatalf("stream while saturated: err = %v, want throttled 429", err)
+	}
+
+	close(release)
+	if err := <-runDone; err != nil {
+		t.Fatalf("blocking run: %v", err)
+	}
+	header, err := c.StreamRows(ctx, "s", base, 3, nil)
+	if err != nil {
+		t.Fatalf("stream after release: %v", err)
+	}
+	if header.TotalRows != 10 {
+		t.Fatalf("TotalRows = %d, want 10", header.TotalRows)
+	}
+	// The successful stream (and the blocking run) must be counted.
+	if got := srv.Stats().Requests; got != before+2 {
+		t.Fatalf("requests = %d, want %d (stream must count as a request)", got, before+2)
+	}
+}
+
+// TestRowStreamTerminalSentinel reads the NDJSON stream raw and checks the
+// protocol contract directly: last line is a sentinel chunk with last=true
+// and the final row count, so clients can tell completion from truncation.
+func TestRowStreamTerminalSentinel(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", salesCSV); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		c.BaseURL+fmt.Sprintf("/v1/sessions/s/datasets/%s/stream?chunk=4", base), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lines []string
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		if line := strings.TrimSpace(sc.Text()); line != "" {
+			lines = append(lines, line)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	// header + ceil(10/4)=3 chunks + sentinel.
+	if len(lines) != 5 {
+		t.Fatalf("stream lines = %d, want 5:\n%s", len(lines), strings.Join(lines, "\n"))
+	}
+	last := lines[len(lines)-1]
+	var rc wire.RowChunk
+	if err := wire.DecodeJSON(bytes.NewReader([]byte(last)), &rc); err != nil {
+		t.Fatalf("decoding sentinel: %v", err)
+	}
+	if !rc.Last || rc.TotalRows != 10 || len(rc.Rows) != 0 || rc.Error != nil {
+		t.Fatalf("sentinel = %+v, want last=true total_rows=10 no rows no error", rc)
+	}
+}
+
+// TestRunStreamEndToEnd drives the POST run/stream endpoint: the streamed
+// result must reassemble to exactly the table a buffered run produces, the
+// chunk size must follow MaxRows, and the executor's streamed counters must
+// surface in /statsz.
+func TestRunStreamEndToEnd(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", wideCSV(50)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	// Reference: the same step run buffered, fetched through pagination.
+	refResp, err := c.RunGEL(ctx, "s", "ann", "Keep the rows where status = 'Successful'", base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.FetchTable(ctx, "s", nodeOutput(refResp), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	chunks := 0
+	var rows [][]any
+	var header *wire.Table
+	header, err = c.RunStream(ctx, "s", wire.RunRequest{
+		User: "ann", GEL: "Keep the rows where status = 'Successful'", Current: base, MaxRows: 10,
+	}, func(h *wire.Table, rc wire.RowChunk) error {
+		chunks++
+		if len(rc.Rows) > 10 {
+			return fmt.Errorf("chunk of %d rows exceeds MaxRows=10", len(rc.Rows))
+		}
+		rows = append(rows, rc.Rows...)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunStream: %v", err)
+	}
+	if chunks < 2 {
+		t.Fatalf("chunks = %d, want >= 2 (43 surviving rows at 10/chunk)", chunks)
+	}
+	if header.TotalRows != ref.NumRows() || len(rows) != ref.NumRows() {
+		t.Fatalf("streamed %d rows (sentinel total %d), want %d", len(rows), header.TotalRows, ref.NumRows())
+	}
+	streamed, err := c.RunStreamTable(ctx, "s", wire.RunRequest{
+		User: "ann", GEL: "Keep the rows where status = 'Successful'", Current: base, MaxRows: 10,
+	})
+	if err != nil {
+		t.Fatalf("RunStreamTable: %v", err)
+	}
+	if !ref.Equal(streamed) {
+		t.Fatal("streamed run result differs from buffered run result")
+	}
+
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Exec["streamed_rows"] == 0 || stats.Exec["streamed_chunks"] == 0 {
+		t.Fatalf("statsz streamed counters = %d chunks / %d rows, want non-zero",
+			stats.Exec["streamed_chunks"], stats.Exec["streamed_rows"])
+	}
+
+	// A request that fails before the first chunk must come back as a plain
+	// typed error, not a truncated stream.
+	if _, err := c.RunStream(ctx, "s", wire.RunRequest{User: "ann", GEL: "florble the blorb"}, nil); err == nil {
+		t.Fatal("expected error for unparseable GEL")
+	} else if _, ok := err.(*wire.Error); !ok {
+		t.Fatalf("pre-stream failure not typed: %T %v", err, err)
+	}
+}
+
+// TestRunStreamClientCancelMidStream cancels a streaming run from inside the
+// chunk callback and checks the deployment stays healthy: the slot and the
+// session lock are released, so an immediate follow-up run succeeds. Run
+// under -race this also shakes out writer/executor races on the stream path.
+func TestRunStreamClientCancelMidStream(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", wideCSV(400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	streamCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	chunks := 0
+	_, err = c.RunStream(streamCtx, "s", wire.RunRequest{
+		User: "ann", GEL: "Keep the rows where status = 'Successful'", Current: base, MaxRows: 5,
+	}, func(h *wire.Table, rc wire.RowChunk) error {
+		chunks++
+		if chunks == 1 {
+			cancel()
+		}
+		return streamCtx.Err()
+	})
+	if err == nil {
+		t.Fatal("expected cancellation error")
+	}
+
+	// The deployment must be fully usable immediately afterwards.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		_, err = c.RunGEL(ctx, "s", "ann", "Keep the rows where region = 'east'", base)
+		if err == nil {
+			break
+		}
+		if !client.IsBusy(err) || time.Now().After(deadline) {
+			t.Fatalf("follow-up run after cancel: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRowStreamDrainMidStream starts a stream, initiates shutdown while it
+// is mid-flight, and checks the drain contract: the in-flight stream runs to
+// its sentinel, new streams are refused 503, and Shutdown returns once the
+// stream finishes. Run under -race this exercises drain/stream interleaving.
+func TestRowStreamDrainMidStream(t *testing.T) {
+	srv, c := newTestDeployment(t, server.Config{MaxInFlight: 4})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", wideCSV(100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	firstChunk := make(chan struct{})
+	drained := make(chan error, 1)
+	streamDone := make(chan error, 1)
+	go func() {
+		chunks := 0
+		_, err := c.StreamRows(ctx, "s", base, 10, func(h *wire.Table, rc wire.RowChunk) error {
+			chunks++
+			if chunks == 1 {
+				close(firstChunk)
+				// Hold the stream open until shutdown is observed in
+				// progress, so the sentinel is written during drain.
+				for !srv.Draining() {
+					time.Sleep(time.Millisecond)
+				}
+			}
+			return nil
+		})
+		streamDone <- err
+	}()
+
+	<-firstChunk
+	go func() {
+		sctx, scancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer scancel()
+		drained <- srv.Shutdown(sctx)
+	}()
+	for !srv.Draining() {
+		time.Sleep(time.Millisecond)
+	}
+
+	// New work is refused while the in-flight stream drains.
+	if _, err := c.StreamRows(ctx, "s", base, 10, nil); !client.IsDraining(err) {
+		t.Fatalf("stream during drain: err = %v, want draining 503", err)
+	}
+
+	if err := <-streamDone; err != nil {
+		t.Fatalf("in-flight stream during drain: %v", err)
+	}
+	if err := <-drained; err != nil {
+		t.Fatalf("Shutdown: %v", err)
+	}
+}

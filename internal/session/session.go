@@ -22,6 +22,7 @@ import (
 
 	"datachat/internal/artifact"
 	"datachat/internal/dag"
+	"datachat/internal/dataset"
 	"datachat/internal/faults"
 	"datachat/internal/plan"
 	"datachat/internal/recipe"
@@ -225,6 +226,11 @@ type Tuning struct {
 	Retry faults.RetryPolicy
 	// Clock drives backoff and deadline checks when non-nil.
 	Clock faults.Clock
+	// Stream, when non-nil, receives the request's target result chunk by
+	// chunk as the engine produces it (see dag.ExecOptions.Stream);
+	// StreamChunkRows bounds rows per chunk.
+	Stream          func(chunk *dataset.Table) error
+	StreamChunkRows int
 }
 
 // RequestProgram executes a multi-step program under one acquisition of the
@@ -265,6 +271,10 @@ func (s *Session) RequestProgramCtx(ctx context.Context, user string, tune *Tuni
 		}
 		if tune.Clock != nil {
 			s.executor.Options.Clock = tune.Clock
+		}
+		if tune.Stream != nil {
+			s.executor.Options.Stream = tune.Stream
+			s.executor.Options.StreamChunkRows = tune.StreamChunkRows
 		}
 	}
 

@@ -2,6 +2,8 @@ package skills
 
 import (
 	"fmt"
+	"hash/fnv"
+	"io"
 	"math"
 	"sort"
 	"strings"
@@ -21,6 +23,24 @@ func ingestionSkills() []*Definition {
 			},
 			GEL:      "Load data from the URL {source}",
 			Volatile: true, // re-registered files must be re-read
+			// The file's content hash keys the cache, so LoadData (and its
+			// descendants) cache across requests yet re-registering a file
+			// with new bytes changes every downstream key.
+			SourceFingerprint: func(ctx *Context, args Args) (uint64, bool) {
+				source, err := args.String("source")
+				if err != nil {
+					return 0, false
+				}
+				content, ok := ctx.File(source)
+				if !ok {
+					return 0, false
+				}
+				h := fnv.New64a()
+				io.WriteString(h, source)
+				h.Write([]byte{0})
+				io.WriteString(h, content)
+				return h.Sum64(), true
+			},
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				source, err := inv.Args.String("source")
 				if err != nil {

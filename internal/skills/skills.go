@@ -406,6 +406,14 @@ type Definition struct {
 	Invalidates bool
 	// Apply is the direct execution path.
 	Apply ApplyFunc
+	// SourceFingerprint, when set on a volatile skill, returns a content
+	// hash of the out-of-DAG state an invocation would read (e.g. a
+	// registered session file). When it succeeds the planner treats the
+	// node as cacheable, mixing the hash into its fingerprint: re-registered
+	// content produces a new cache key instead of a stale hit, while
+	// repeated loads of unchanged content share one sub-DAG cache entry.
+	// ok=false leaves the node volatile and uncached.
+	SourceFingerprint func(ctx *Context, args Args) (uint64, bool)
 	// MergeSQL merges the skill into a query under construction; nil for
 	// non-relational skills. Returning ErrCannotMerge makes the compiler
 	// wrap the current query as a subquery and retry.

@@ -1,0 +1,1221 @@
+package sqlengine
+
+import (
+	"fmt"
+	"strings"
+
+	"datachat/internal/dataset"
+	"datachat/internal/expr"
+)
+
+// This file implements morsel-driven streaming execution: statements run as
+// operator pipelines over bounded column-chunk batches ("morsels") instead of
+// whole materialized tables. Streaming operators (scan, filter, projection,
+// OFFSET/LIMIT) hold O(ChunkRows) state; pipeline breakers (ORDER BY sorted
+// runs, group states, join build sides, DISTINCT seen-sets) buffer rows under
+// an explicit budget and fail loudly with a typed BudgetError beyond it.
+// Statements the pipeline cannot stream exactly fall back to whole-statement
+// materialized execution re-chunked on the way out, so ExecStream always
+// produces the same rows, in the same order, as the row-at-a-time reference
+// path — the differential harness pins both.
+
+// DefaultChunkRows is the morsel size when StreamOptions.ChunkRows is unset.
+const DefaultChunkRows = 1024
+
+// StreamOptions tunes streaming execution.
+type StreamOptions struct {
+	Options
+
+	// ChunkRows bounds the rows per emitted chunk (default DefaultChunkRows).
+	ChunkRows int
+
+	// MaxBufferedRows caps the rows pipeline-breaking operators may buffer
+	// (sorted runs, group states, join build sides, DISTINCT sets). Zero
+	// means unlimited. Exceeding the budget aborts the stream with a
+	// *BudgetError rather than spilling silently.
+	MaxBufferedRows int
+
+	// ForceFallbackAfterChunks, when positive, switches to the materialized
+	// fallback after that many chunks have been emitted. It exists so tests
+	// can pin that a mid-stream fallback continues the row sequence exactly.
+	ForceFallbackAfterChunks int
+}
+
+func (o StreamOptions) chunkRows() int {
+	if o.ChunkRows > 0 {
+		return o.ChunkRows
+	}
+	return DefaultChunkRows
+}
+
+// BudgetError reports a pipeline-breaking operator exceeding the configured
+// memory budget. It is loud and typed so callers can distinguish "query needs
+// more memory than allowed" from semantic errors.
+type BudgetError struct {
+	Op       string // operator that overflowed: order-by, group-by, join-build, …
+	Buffered int    // rows buffered across live operators when the budget broke
+	Budget   int    // configured MaxBufferedRows
+}
+
+func (e *BudgetError) Error() string {
+	return fmt.Sprintf("sql: streaming %s exceeded the memory budget: %d buffered rows > %d allowed",
+		e.Op, e.Buffered, e.Budget)
+}
+
+// streamExec carries per-stream execution state: the shared executor (for the
+// helpers both paths use) and the buffered-row accounting across operators.
+type streamExec struct {
+	ex       *executor
+	opts     StreamOptions
+	buffered map[string]int
+	curTotal int
+	peak     int
+}
+
+// buffer records that operator op now holds rows buffered rows, enforcing the
+// budget over the sum across live operators and tracking the high-water mark.
+func (se *streamExec) buffer(op string, rows int) error {
+	se.curTotal += rows - se.buffered[op]
+	se.buffered[op] = rows
+	if se.curTotal > se.peak {
+		se.peak = se.curTotal
+	}
+	if se.opts.MaxBufferedRows > 0 && se.curTotal > se.opts.MaxBufferedRows {
+		return &BudgetError{Op: op, Buffered: se.curTotal, Budget: se.opts.MaxBufferedRows}
+	}
+	return nil
+}
+
+// RowStream yields a statement's result as a sequence of bounded chunks.
+type RowStream struct {
+	catalog Catalog
+	stmt    *SelectStmt
+	opts    StreamOptions
+	se      *streamExec
+
+	pull         func() (*dataset.Table, error)
+	needFallback bool // statement is unstreamable; materialize lazily on first Next
+	fellBack     bool
+	done         bool
+	err          error
+	rows         int
+	chunks       int
+}
+
+// Next returns the next chunk, or (nil, nil) when the stream is exhausted.
+// After an error the stream is dead and Next keeps returning the same error.
+func (rs *RowStream) Next() (*dataset.Table, error) {
+	if rs.done || rs.err != nil {
+		return nil, rs.err
+	}
+	if rs.needFallback {
+		rs.needFallback = false
+		if err := rs.startFallback(0); err != nil {
+			return nil, rs.fail(err)
+		}
+	}
+	if rs.opts.ForceFallbackAfterChunks > 0 && !rs.fellBack && rs.chunks >= rs.opts.ForceFallbackAfterChunks {
+		if err := rs.startFallback(rs.rows); err != nil {
+			return nil, rs.fail(err)
+		}
+	}
+	t, err := rs.pull()
+	if err != nil {
+		return nil, rs.fail(err)
+	}
+	if t == nil {
+		rs.done = true
+		return nil, nil
+	}
+	rs.chunks++
+	rs.rows += t.NumRows()
+	return t, nil
+}
+
+func (rs *RowStream) fail(err error) error {
+	rs.err = err
+	return err
+}
+
+// startFallback materializes the whole statement through the standard path
+// and re-chunks it, skipping rows the streaming pipeline already emitted.
+// Both paths produce rows in identical order, so the spliced sequence is the
+// same table the reference path returns.
+func (rs *RowStream) startFallback(skipRows int) error {
+	out, err := ExecStmtOptions(rs.catalog, rs.stmt, rs.opts.Options)
+	if err != nil {
+		return err
+	}
+	rs.fellBack = true
+	if skipRows > 0 {
+		out = out.Window(skipRows, out.NumRows())
+		if out.NumRows() == 0 {
+			rs.pull = func() (*dataset.Table, error) { return nil, nil }
+			return nil
+		}
+	}
+	rs.pull = rechunkTable(out, rs.opts.chunkRows())
+	return nil
+}
+
+// FellBack reports whether the stream switched to materialized execution.
+func (rs *RowStream) FellBack() bool { return rs.fellBack }
+
+// RowsEmitted returns the number of rows produced so far.
+func (rs *RowStream) RowsEmitted() int { return rs.rows }
+
+// PeakBufferedRows returns the high-water mark of rows buffered by
+// pipeline-breaking operators — the stream's working-set gauge.
+func (rs *RowStream) PeakBufferedRows() int {
+	if rs.se == nil {
+		return 0
+	}
+	return rs.se.peak
+}
+
+// ReadAll drains the stream into one table. Column types are re-inferred
+// across all chunks the way the reference projection does.
+func (rs *RowStream) ReadAll() (*dataset.Table, error) {
+	return rs.Drain(nil)
+}
+
+// Drain consumes the stream into one table, handing each chunk to sink (may
+// be nil) before accumulating it — the hook the DAG executor uses to forward
+// chunks to a network client while still materializing the full result for
+// the session context and the sub-DAG cache.
+func (rs *RowStream) Drain(sink func(*dataset.Table) error) (*dataset.Table, error) {
+	var first *dataset.Table
+	var builders []*valueColumnBuilder
+	nchunks := 0
+	for {
+		t, err := rs.Next()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			break
+		}
+		if sink != nil {
+			if err := sink(t); err != nil {
+				return nil, err
+			}
+		}
+		nchunks++
+		if first == nil {
+			first = t
+			builders = make([]*valueColumnBuilder, t.NumCols())
+			for i, name := range t.ColumnNames() {
+				builders[i] = newValueColumnBuilder(name)
+			}
+		}
+		if t.NumCols() != len(builders) {
+			return nil, fmt.Errorf("sql: stream chunk schema changed mid-stream (%d columns, want %d)", t.NumCols(), len(builders))
+		}
+		for ci, c := range t.Columns() {
+			for r := 0; r < c.Len(); r++ {
+				builders[ci].append(c.Value(r))
+			}
+		}
+	}
+	if first == nil {
+		return nil, fmt.Errorf("sql: stream produced no chunks")
+	}
+	if nchunks == 1 {
+		return first, nil // single chunk: keep its exact column types
+	}
+	return buildTable("result", builders)
+}
+
+// ExecStream parses and streams a SQL query against the catalog.
+func ExecStream(catalog Catalog, query string, opts StreamOptions) (*RowStream, error) {
+	stmt, err := Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return ExecStreamStmt(catalog, stmt, opts)
+}
+
+// ExecStreamStmt streams a parsed statement. Statement shapes the morsel
+// pipeline cannot reproduce exactly (SELECT without FROM, DISTINCT over
+// computed projections, DISTINCT/MEDIAN/STDDEV aggregates) fall back to
+// materialized execution re-chunked on the way out; FellBack reports that.
+func ExecStreamStmt(catalog Catalog, stmt *SelectStmt, opts StreamOptions) (*RowStream, error) {
+	se := &streamExec{
+		ex:       &executor{catalog: catalog, vec: !opts.DisableVectorized},
+		opts:     opts,
+		buffered: map[string]int{},
+	}
+	rs := &RowStream{catalog: catalog, stmt: stmt, opts: opts, se: se}
+	pull, ok, err := se.buildPipeline(stmt)
+	if err != nil {
+		return nil, err
+	}
+	if !ok {
+		rs.needFallback = true
+		rs.fellBack = true
+		return rs, nil
+	}
+	rs.pull = pull
+	return rs, nil
+}
+
+// relChunks produces a FROM-clause relation as a sequence of bounded chunks.
+// Implementations never emit zero-row chunks; schema is available up front.
+type relChunks interface {
+	schema() *rel          // zero-row relation carrying columns and qualifiers
+	next() (*rel, error)   // next chunk; (nil, nil) marks exhaustion
+}
+
+func windowRel(r *rel, from, to int) *rel {
+	out := &rel{cols: make([]*dataset.Column, len(r.cols)), quals: r.quals}
+	for i, c := range r.cols {
+		out.cols[i] = c.Window(from, to)
+	}
+	return out
+}
+
+// scanChunks yields zero-copy windows over a materialized relation.
+type scanChunks struct {
+	src   *rel
+	off   int
+	chunk int
+}
+
+func (s *scanChunks) schema() *rel { return windowRel(s.src, 0, 0) }
+
+func (s *scanChunks) next() (*rel, error) {
+	n := s.src.numRows()
+	if s.off >= n {
+		return nil, nil
+	}
+	end := min(s.off+s.chunk, n)
+	out := windowRel(s.src, s.off, end)
+	s.off = end
+	return out, nil
+}
+
+// rechunkRel splits oversized chunks (join fan-out) into bounded windows.
+type rechunkRel struct {
+	in    relChunks
+	chunk int
+	cur   *rel
+	off   int
+}
+
+func (r *rechunkRel) schema() *rel { return r.in.schema() }
+
+func (r *rechunkRel) next() (*rel, error) {
+	for {
+		if r.cur != nil {
+			n := r.cur.numRows()
+			if r.off < n {
+				end := min(r.off+r.chunk, n)
+				out := windowRel(r.cur, r.off, end)
+				r.off = end
+				return out, nil
+			}
+			r.cur = nil
+		}
+		c, err := r.in.next()
+		if err != nil || c == nil {
+			return nil, err
+		}
+		if c.numRows() <= r.chunk {
+			return c, nil
+		}
+		r.cur, r.off = c, 0
+	}
+}
+
+// filterChunks applies WHERE per chunk, with the vectorized kernel when it
+// compiles and the boxed row loop otherwise, honoring the LIMIT push-down
+// budget across chunks exactly as the materialized scan does.
+type filterChunks struct {
+	se     *streamExec
+	in     relChunks
+	where  expr.Expr
+	budget int // total surviving rows to keep; -1 = unlimited
+	kept   int
+}
+
+func (f *filterChunks) schema() *rel { return f.in.schema() }
+
+func (f *filterChunks) next() (*rel, error) {
+	for {
+		if f.budget >= 0 && f.kept >= f.budget {
+			return nil, nil
+		}
+		c, err := f.in.next()
+		if err != nil || c == nil {
+			return nil, err
+		}
+		rem := -1
+		if f.budget >= 0 {
+			rem = f.budget - f.kept
+		}
+		keep, vectorized, err := f.se.ex.vecFilter(f.where, c, rem)
+		if err != nil {
+			return nil, err
+		}
+		if !vectorized {
+			keep = make([]int, 0, c.numRows())
+			for i := 0; i < c.numRows(); i++ {
+				ok, err := expr.EvalBool(f.where, rowEnv{c, i})
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					keep = append(keep, i)
+					if rem >= 0 && len(keep) >= rem {
+						break
+					}
+				}
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		f.kept += len(keep)
+		return takeRel(c, keep), nil
+	}
+}
+
+// truncChunks caps total rows flowing through (LIMIT push-down with no WHERE).
+type truncChunks struct {
+	in     relChunks
+	budget int
+	passed int
+}
+
+func (t *truncChunks) schema() *rel { return t.in.schema() }
+
+func (t *truncChunks) next() (*rel, error) {
+	if t.passed >= t.budget {
+		return nil, nil
+	}
+	c, err := t.in.next()
+	if err != nil || c == nil {
+		return nil, err
+	}
+	if rem := t.budget - t.passed; c.numRows() > rem {
+		c = windowRel(c, 0, rem)
+	}
+	t.passed += c.numRows()
+	return c, nil
+}
+
+// sourceChunks builds the chunk source for a FROM-clause relation. Base
+// tables scan as zero-copy windows; subqueries materialize through the
+// standard executor and re-chunk (their results equal the reference by the
+// existing differential harness); joins stream their left side.
+func (se *streamExec) sourceChunks(ref TableRef) (relChunks, error) {
+	switch r := ref.(type) {
+	case *BaseTable:
+		t, err := se.ex.catalog.Table(r.Name)
+		if err != nil {
+			return nil, err
+		}
+		return &scanChunks{src: tableToRel(t, r.Alias), chunk: se.opts.chunkRows()}, nil
+	case *Subquery:
+		t, err := se.ex.execSelect(r.Stmt)
+		if err != nil {
+			return nil, err
+		}
+		alias := r.Alias
+		if alias == "" {
+			alias = "subquery"
+		}
+		return &scanChunks{src: tableToRel(t, alias), chunk: se.opts.chunkRows()}, nil
+	case *Join:
+		jc, err := se.newJoinChunks(r)
+		if err != nil {
+			return nil, err
+		}
+		return &rechunkRel{in: jc, chunk: se.opts.chunkRows()}, nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported table reference %T", ref)
+	}
+}
+
+// joinChunks streams a join: the right side is fully built (hash table for
+// equi-conditions, plain materialization otherwise) and charged against the
+// memory budget; left chunks probe it in order. LEFT JOIN buffers unmatched
+// left rows and emits the null-extension block after all matches, matching
+// the materialized path's output order exactly.
+type joinChunks struct {
+	se       *streamExec
+	j        *Join
+	left     relChunks
+	right    *rel
+	combined *rel // schema-level; used for qualified-name resolution only
+	leftKeys, rightKeys []int
+	build    map[string][]int
+	unmatched *rel // buffered unmatched left rows (LEFT JOIN)
+	extended bool
+	done     bool
+}
+
+func (se *streamExec) newJoinChunks(j *Join) (*joinChunks, error) {
+	left, err := se.sourceChunks(j.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := se.ex.execRef(j.Right)
+	if err != nil {
+		return nil, err
+	}
+	if err := se.buffer("join-build", right.numRows()); err != nil {
+		return nil, err
+	}
+	ls := left.schema()
+	jc := &joinChunks{se: se, j: j, left: left, right: right}
+	jc.combined = &rel{
+		cols:  append(append([]*dataset.Column{}, ls.cols...), right.cols...),
+		quals: append(append([]string{}, ls.quals...), right.quals...),
+	}
+	jc.leftKeys, jc.rightKeys = equiJoinKeys(j.On, ls, right)
+	if len(jc.leftKeys) > 0 {
+		jc.build = make(map[string][]int, right.numRows())
+		for ri := 0; ri < right.numRows(); ri++ {
+			k := joinKey(right, jc.rightKeys, ri)
+			jc.build[k] = append(jc.build[k], ri)
+		}
+	}
+	if j.Kind == LeftJoin {
+		cols := make([]*dataset.Column, len(ls.cols))
+		for i, c := range ls.cols {
+			cols[i] = dataset.NewColumn(c.Name(), c.Type())
+		}
+		jc.unmatched = &rel{cols: cols, quals: ls.quals}
+	}
+	return jc, nil
+}
+
+func (jc *joinChunks) schema() *rel { return windowRel(jc.combined, 0, 0) }
+
+func (jc *joinChunks) next() (*rel, error) {
+	for {
+		if jc.done {
+			return nil, nil
+		}
+		if jc.extended {
+			jc.done = true
+			if jc.unmatched == nil || jc.unmatched.numRows() == 0 {
+				return nil, nil
+			}
+			return jc.nullExtension(), nil
+		}
+		c, err := jc.left.next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			jc.extended = true
+			continue
+		}
+		out, err := jc.probe(c)
+		if err != nil {
+			return nil, err
+		}
+		if out == nil || out.numRows() == 0 {
+			continue
+		}
+		return out, nil
+	}
+}
+
+func (jc *joinChunks) probe(c *rel) (*rel, error) {
+	var leftIdx, rightIdx []int
+	matched := make([]bool, c.numRows())
+	residual := func(li, ri int) (bool, error) {
+		if jc.j.On == nil {
+			return true, nil
+		}
+		return expr.EvalBool(jc.j.On, joinEnv{left: c, leftRow: li, right: jc.right, rightRow: ri, combined: jc.combined})
+	}
+	if jc.build != nil {
+		for li := 0; li < c.numRows(); li++ {
+			for _, ri := range jc.build[joinKey(c, jc.leftKeys, li)] {
+				ok, err := residual(li, ri)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					leftIdx = append(leftIdx, li)
+					rightIdx = append(rightIdx, ri)
+					matched[li] = true
+				}
+			}
+		}
+	} else {
+		for li := 0; li < c.numRows(); li++ {
+			for ri := 0; ri < jc.right.numRows(); ri++ {
+				ok, err := residual(li, ri)
+				if err != nil {
+					return nil, err
+				}
+				if ok {
+					leftIdx = append(leftIdx, li)
+					rightIdx = append(rightIdx, ri)
+					matched[li] = true
+				}
+			}
+		}
+	}
+	if jc.unmatched != nil {
+		appended := false
+		for li, m := range matched {
+			if m {
+				continue
+			}
+			for ci, col := range jc.unmatched.cols {
+				col.Append(c.cols[ci].Value(li))
+			}
+			appended = true
+		}
+		if appended {
+			if err := jc.se.buffer("join-unmatched", jc.unmatched.numRows()); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if len(leftIdx) == 0 {
+		return nil, nil
+	}
+	out := &rel{cols: make([]*dataset.Column, len(jc.combined.cols)), quals: jc.combined.quals}
+	nLeft := len(c.cols)
+	for ci := range jc.combined.cols {
+		if ci < nLeft {
+			out.cols[ci] = c.cols[ci].Take(leftIdx)
+		} else {
+			out.cols[ci] = jc.right.cols[ci-nLeft].Take(rightIdx)
+		}
+	}
+	return out, nil
+}
+
+// nullExtension emits the buffered unmatched left rows with null right sides.
+func (jc *joinChunks) nullExtension() *rel {
+	n := jc.unmatched.numRows()
+	nulls := make([]int, n)
+	for i := range nulls {
+		nulls[i] = -1
+	}
+	out := &rel{cols: make([]*dataset.Column, len(jc.combined.cols)), quals: jc.combined.quals}
+	nLeft := len(jc.unmatched.cols)
+	for ci := range jc.combined.cols {
+		if ci < nLeft {
+			out.cols[ci] = jc.unmatched.cols[ci]
+		} else {
+			out.cols[ci] = jc.right.cols[ci-nLeft].Take(nulls)
+		}
+	}
+	return out
+}
+
+// buildPipeline assembles the streaming operator pipeline for a statement.
+// ok=false means the statement must fall back to materialized execution.
+func (se *streamExec) buildPipeline(stmt *SelectStmt) (func() (*dataset.Table, error), bool, error) {
+	if stmt.From == nil {
+		return nil, false, nil // SELECT without FROM evaluates items once, materialized
+	}
+	aggs := se.ex.collectAllAggs(stmt)
+	grouped := len(stmt.GroupBy) > 0 || len(aggs) > 0
+	if grouped {
+		for _, a := range aggs {
+			if a.Distinct {
+				return nil, false, nil
+			}
+			switch a.Name {
+			case "COUNT", "SUM", "AVG", "MIN", "MAX":
+			default: // MEDIAN, STDDEV need the full value set per group
+				return nil, false, nil
+			}
+		}
+	}
+
+	src, err := se.sourceChunks(stmt.From)
+	if err != nil {
+		return nil, false, err
+	}
+	schema := src.schema()
+
+	names, exprs := se.ex.expandItems(stmt.Items, schema)
+	plain := true
+	plainIdx := make([]int, len(exprs))
+	for i, ex := range exprs {
+		c, ok := ex.(*expr.Col)
+		if !ok {
+			plain = false
+			break
+		}
+		idx, err := schema.lookup(c.Name)
+		if err != nil {
+			plain = false
+			break
+		}
+		plainIdx[i] = idx
+	}
+	// Streaming DISTINCT dedups on rendered row keys, which include column
+	// types; only plain-column projections have chunk-stable output types
+	// matching what the materialized path dedups on.
+	if stmt.Distinct && !grouped && !plain {
+		return nil, false, nil
+	}
+
+	rowBudget := -1
+	if !grouped && len(stmt.OrderBy) == 0 && !stmt.Distinct && stmt.Limit >= 0 {
+		rowBudget = stmt.Offset + stmt.Limit
+	}
+	var chunks relChunks = src
+	if stmt.Where != nil {
+		chunks = &filterChunks{se: se, in: chunks, where: stmt.Where, budget: rowBudget}
+	} else if rowBudget >= 0 {
+		chunks = &truncChunks{in: chunks, budget: rowBudget}
+	}
+
+	var pull func() (*dataset.Table, error)
+	switch {
+	case grouped:
+		pull = se.groupedPull(stmt, chunks, aggs, schema)
+	case len(stmt.OrderBy) > 0:
+		pull = se.orderedPull(stmt, chunks, names, exprs, plain, plainIdx, schema)
+	default:
+		pull = se.projectPull(chunks, names, exprs, plain, plainIdx)
+	}
+	if !grouped {
+		if stmt.Distinct {
+			pull = se.distinctPull(pull)
+		}
+		if stmt.Offset > 0 || stmt.Limit >= 0 {
+			pull = offsetLimitPull(pull, stmt.Offset, stmt.Limit)
+		}
+	}
+	empty := func() (*dataset.Table, error) {
+		return se.projectChunk(windowRel(schema, 0, 0), names, exprs, plain, plainIdx)
+	}
+	return ensureOneChunk(pull, empty), true, nil
+}
+
+// projectChunk evaluates the select list over one chunk: zero-copy column
+// aliasing for plain references, compiled kernels where they apply, and the
+// boxed row loop otherwise. Values are identical across all three; only the
+// inferred column types can differ, which result comparison tolerates.
+func (se *streamExec) projectChunk(c *rel, names []string, exprs []expr.Expr, plain bool, plainIdx []int) (*dataset.Table, error) {
+	if plain {
+		cols := make([]*dataset.Column, len(plainIdx))
+		for i, idx := range plainIdx {
+			cols[i] = c.cols[idx].Rename(names[i])
+		}
+		return assembleTable("result", cols)
+	}
+	if se.ex.vec {
+		binder := relBinder{c}
+		cols := make([]*dataset.Column, len(exprs))
+		compiled := true
+		for i, ex := range exprs {
+			k, ok := expr.Compile(ex, binder, c.numRows())
+			if !ok {
+				compiled = false
+				break
+			}
+			v, err := k()
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = v.Column(names[i])
+		}
+		if compiled {
+			return assembleTable("result", cols)
+		}
+	}
+	builders := make([]*valueColumnBuilder, len(exprs))
+	for i, name := range names {
+		builders[i] = newValueColumnBuilder(name)
+	}
+	for i := 0; i < c.numRows(); i++ {
+		env := rowEnv{c, i}
+		for ci, ex := range exprs {
+			v, err := ex.Eval(env)
+			if err != nil {
+				return nil, err
+			}
+			builders[ci].append(v)
+		}
+	}
+	return buildTable("result", builders)
+}
+
+func (se *streamExec) projectPull(chunks relChunks, names []string, exprs []expr.Expr, plain bool, plainIdx []int) func() (*dataset.Table, error) {
+	return func() (*dataset.Table, error) {
+		c, err := chunks.next()
+		if err != nil || c == nil {
+			return nil, err
+		}
+		return se.projectChunk(c, names, exprs, plain, plainIdx)
+	}
+}
+
+// orderedPull implements chunked ORDER BY as a sorted-run merge: each input
+// chunk becomes a run sorted stably by its keys; exhausted input is merged
+// k-way with ties broken by run index, which reproduces a global stable sort.
+// All rows buffer (ORDER BY is a full pipeline breaker) under the budget.
+func (se *streamExec) orderedPull(stmt *SelectStmt, chunks relChunks, names []string, exprs []expr.Expr, plain bool, plainIdx []int, schema *rel) func() (*dataset.Table, error) {
+	type run struct {
+		vals  [][]dataset.Value // projected rows in input order
+		keys  [][]dataset.Value
+		order []int // stable sort of row indexes by keys
+		pos   int
+	}
+	var runs []*run
+	var types []dataset.Type
+	if plain {
+		types = make([]dataset.Type, len(plainIdx))
+		for i, idx := range plainIdx {
+			types[i] = schema.cols[idx].Type()
+		}
+	}
+	consumed := false
+	total := 0
+	consume := func() error {
+		for {
+			c, err := chunks.next()
+			if err != nil {
+				return err
+			}
+			if c == nil {
+				return nil
+			}
+			r := &run{}
+			for i := 0; i < c.numRows(); i++ {
+				env := rowEnv{c, i}
+				outRow := make(expr.MapEnv, len(exprs))
+				vals := make([]dataset.Value, len(exprs))
+				for ci, ex := range exprs {
+					v, err := ex.Eval(env)
+					if err != nil {
+						return err
+					}
+					vals[ci] = v
+					outRow[names[ci]] = v
+				}
+				keys := make([]dataset.Value, len(stmt.OrderBy))
+				orderEnv := chainEnv{outRow, env}
+				for ki, o := range stmt.OrderBy {
+					v, err := o.Expr.Eval(orderEnv)
+					if err != nil {
+						return err
+					}
+					keys[ki] = v
+				}
+				r.vals = append(r.vals, vals)
+				r.keys = append(r.keys, keys)
+			}
+			r.order = sortIndexes(len(r.vals), stmt.OrderBy, func(row, k int) dataset.Value { return r.keys[row][k] })
+			runs = append(runs, r)
+			total += len(r.vals)
+			if err := se.buffer("order-by", total); err != nil {
+				return err
+			}
+		}
+	}
+	less := func(a, b []dataset.Value) bool {
+		for k, o := range stmt.OrderBy {
+			cmp := dataset.Compare(a[k], b[k])
+			if cmp == 0 {
+				continue
+			}
+			if o.Desc {
+				return cmp > 0
+			}
+			return cmp < 0
+		}
+		return false
+	}
+	return func() (*dataset.Table, error) {
+		if !consumed {
+			consumed = true
+			if err := consume(); err != nil {
+				return nil, err
+			}
+		}
+		chunkRows := se.opts.chunkRows()
+		var rows [][]dataset.Value
+		for len(rows) < chunkRows {
+			best := -1
+			for ri, r := range runs {
+				if r.pos >= len(r.order) {
+					continue
+				}
+				if best < 0 {
+					best = ri
+					continue
+				}
+				// Strictly-less replacement keeps the earliest run on ties,
+				// preserving input order the way a global stable sort does.
+				if less(r.keys[r.order[r.pos]], runs[best].keys[runs[best].order[runs[best].pos]]) {
+					best = ri
+				}
+			}
+			if best < 0 {
+				break
+			}
+			r := runs[best]
+			rows = append(rows, r.vals[r.order[r.pos]])
+			r.pos++
+		}
+		if len(rows) == 0 {
+			return nil, nil
+		}
+		return buildValueChunk(names, types, rows)
+	}
+}
+
+// buildValueChunk materializes boxed rows into a chunk table, pinning column
+// types when the projection is plain (chunk-stable types keep DISTINCT and
+// the wire encoding consistent with the materialized path).
+func buildValueChunk(names []string, types []dataset.Type, rows [][]dataset.Value) (*dataset.Table, error) {
+	if types != nil {
+		cols := make([]*dataset.Column, len(names))
+		for i, name := range names {
+			c := dataset.NewColumn(name, types[i])
+			for _, row := range rows {
+				c.Append(row[i])
+			}
+			cols[i] = c
+		}
+		return assembleTable("result", cols)
+	}
+	builders := make([]*valueColumnBuilder, len(names))
+	for i, name := range names {
+		builders[i] = newValueColumnBuilder(name)
+	}
+	for _, row := range rows {
+		for ci := range builders {
+			builders[ci].append(row[ci])
+		}
+	}
+	return buildTable("result", builders)
+}
+
+// groupedPull consumes all input chunks into streaming per-group aggregate
+// states (COUNT/SUM/AVG/MIN/MAX, non-distinct — anything else fell back
+// before the pipeline was built), then reuses the shared finishGrouped phase
+// for HAVING, projection, and ORDER BY, re-chunking its output.
+func (se *streamExec) groupedPull(stmt *SelectStmt, chunks relChunks, aggs []*AggCall, schema *rel) func() (*dataset.Table, error) {
+	var emit func() (*dataset.Table, error)
+	return func() (*dataset.Table, error) {
+		if emit == nil {
+			out, err := se.runGrouped(stmt, chunks, aggs, schema)
+			if err != nil {
+				return nil, err
+			}
+			emit = rechunkTable(out, se.opts.chunkRows())
+		}
+		return emit()
+	}
+}
+
+// gState is one group's streaming aggregate state, one slot per AggCall.
+type gState struct {
+	firstRow int // row index into the buffered first-rows relation
+	counts   []int64
+	sums     []float64
+	allInt   []bool
+	best     []dataset.Value
+	hasBest  []bool
+}
+
+func newGState(firstRow, naggs int) *gState {
+	g := &gState{
+		firstRow: firstRow,
+		counts:   make([]int64, naggs),
+		sums:     make([]float64, naggs),
+		allInt:   make([]bool, naggs),
+		best:     make([]dataset.Value, naggs),
+		hasBest:  make([]bool, naggs),
+	}
+	for i := range g.allInt {
+		g.allInt[i] = true
+	}
+	return g
+}
+
+func (se *streamExec) runGrouped(stmt *SelectStmt, chunks relChunks, aggs []*AggCall, schema *rel) (*dataset.Table, error) {
+	// firstRows buffers one representative row per group so finishGrouped can
+	// resolve non-aggregate column references exactly as the materialized
+	// path does against the group's first source row.
+	firstRows := &rel{cols: make([]*dataset.Column, len(schema.cols)), quals: schema.quals}
+	for i, c := range schema.cols {
+		firstRows.cols[i] = dataset.NewColumn(c.Name(), c.Type())
+	}
+	buckets := map[string]*gState{}
+	var order []*gState
+	singleGroup := len(stmt.GroupBy) == 0
+	for {
+		c, err := chunks.next()
+		if err != nil {
+			return nil, err
+		}
+		if c == nil {
+			break
+		}
+		for i := 0; i < c.numRows(); i++ {
+			env := rowEnv{c, i}
+			key := ""
+			if !singleGroup {
+				var kb strings.Builder
+				for _, ge := range stmt.GroupBy {
+					v, err := ge.Eval(env)
+					if err != nil {
+						return nil, err
+					}
+					kb.WriteString(v.Type.String())
+					kb.WriteByte(':')
+					kb.WriteString(v.String())
+					kb.WriteByte('\x00')
+				}
+				key = kb.String()
+			}
+			g, ok := buckets[key]
+			if !ok {
+				g = newGState(len(order), len(aggs))
+				buckets[key] = g
+				order = append(order, g)
+				for ci, col := range firstRows.cols {
+					col.Append(c.cols[ci].Value(i))
+				}
+				if err := se.buffer("group-by", len(order)); err != nil {
+					return nil, err
+				}
+			}
+			for ai, a := range aggs {
+				if a.Star {
+					g.counts[ai]++
+					continue
+				}
+				v, err := a.Arg.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsNull() {
+					continue
+				}
+				switch a.Name {
+				case "COUNT":
+					g.counts[ai]++
+				case "MIN", "MAX":
+					if !g.hasBest[ai] {
+						g.best[ai], g.hasBest[ai] = v, true
+						continue
+					}
+					cmp := dataset.Compare(v, g.best[ai])
+					if (a.Name == "MIN" && cmp < 0) || (a.Name == "MAX" && cmp > 0) {
+						g.best[ai] = v
+					}
+				default: // SUM, AVG accumulate in ascending row order, like computeAgg
+					f, ok := v.AsFloat()
+					if !ok {
+						return nil, fmt.Errorf("sql: %s over non-numeric value %v", a.Name, v)
+					}
+					if v.Type != dataset.TypeInt {
+						g.allInt[ai] = false
+					}
+					g.sums[ai] += f
+					g.counts[ai]++
+				}
+			}
+		}
+	}
+	if singleGroup && len(order) == 0 {
+		// Aggregates over zero rows still produce one output group.
+		order = append(order, newGState(0, len(aggs)))
+	}
+	groups := make([]groupData, len(order))
+	for gi, g := range order {
+		aggVals := make(expr.MapEnv, len(aggs))
+		for ai, a := range aggs {
+			var v dataset.Value
+			switch {
+			case a.Star || a.Name == "COUNT":
+				v = dataset.Int(g.counts[ai])
+			case a.Name == "MIN" || a.Name == "MAX":
+				v = dataset.Null
+				if g.hasBest[ai] {
+					v = g.best[ai]
+				}
+			case a.Name == "SUM":
+				switch {
+				case g.counts[ai] == 0:
+					v = dataset.Null
+				case g.allInt[ai]:
+					v = dataset.Int(int64(g.sums[ai]))
+				default:
+					v = dataset.Float(g.sums[ai])
+				}
+			default: // AVG
+				v = dataset.Null
+				if g.counts[ai] > 0 {
+					v = dataset.Float(g.sums[ai] / float64(g.counts[ai]))
+				}
+			}
+			aggVals[a.Key()] = v
+		}
+		groups[gi] = groupData{firstRow: g.firstRow, aggVals: aggVals}
+	}
+	out, err := se.ex.finishGrouped(stmt, firstRows, groups)
+	if err != nil {
+		return nil, err
+	}
+	if stmt.Distinct {
+		out, err = out.Distinct()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if stmt.Offset > 0 || stmt.Limit >= 0 {
+		from := stmt.Offset
+		to := out.NumRows()
+		if stmt.Limit >= 0 && from+stmt.Limit < to {
+			to = from + stmt.Limit
+		}
+		out = out.Slice(from, to)
+	}
+	return out, nil
+}
+
+// distinctPull drops rows whose rendered row key has been seen, keeping first
+// occurrences across chunks. The seen-set is charged against the budget.
+func (se *streamExec) distinctPull(in func() (*dataset.Table, error)) func() (*dataset.Table, error) {
+	seen := map[string]bool{}
+	return func() (*dataset.Table, error) {
+		for {
+			t, err := in()
+			if err != nil || t == nil {
+				return nil, err
+			}
+			keep := make([]int, 0, t.NumRows())
+			for r := 0; r < t.NumRows(); r++ {
+				key := streamRowKey(t.Row(r))
+				if !seen[key] {
+					seen[key] = true
+					keep = append(keep, r)
+				}
+			}
+			if err := se.buffer("distinct", len(seen)); err != nil {
+				return nil, err
+			}
+			if len(keep) == t.NumRows() {
+				return t, nil
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			return t.Take(keep), nil
+		}
+	}
+}
+
+// streamRowKey renders a row the way Table.Distinct does, so streaming
+// DISTINCT keeps exactly the rows the materialized path keeps.
+func streamRowKey(row []dataset.Value) string {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(v.Type.String())
+		b.WriteByte(':')
+		b.WriteString(v.String())
+		b.WriteByte('\x00')
+	}
+	return b.String()
+}
+
+// offsetLimitPull skips Offset rows and truncates at Limit, streaming.
+func offsetLimitPull(in func() (*dataset.Table, error), offset, limit int) func() (*dataset.Table, error) {
+	skipped, emitted := 0, 0
+	done := false
+	return func() (*dataset.Table, error) {
+		for {
+			if done {
+				return nil, nil
+			}
+			if limit >= 0 && emitted >= limit {
+				done = true
+				return nil, nil
+			}
+			t, err := in()
+			if err != nil {
+				return nil, err
+			}
+			if t == nil {
+				done = true
+				return nil, nil
+			}
+			if t.NumRows() == 0 {
+				continue
+			}
+			if skipped < offset {
+				skip := min(offset-skipped, t.NumRows())
+				skipped += skip
+				if skip == t.NumRows() {
+					continue
+				}
+				t = t.Window(skip, t.NumRows())
+			}
+			if limit >= 0 {
+				if rem := limit - emitted; t.NumRows() > rem {
+					t = t.Window(0, rem)
+				}
+			}
+			emitted += t.NumRows()
+			return t, nil
+		}
+	}
+}
+
+// ensureOneChunk guarantees the stream emits at least one (possibly empty)
+// chunk so consumers always observe the result schema.
+func ensureOneChunk(in func() (*dataset.Table, error), empty func() (*dataset.Table, error)) func() (*dataset.Table, error) {
+	emitted, done := false, false
+	return func() (*dataset.Table, error) {
+		if done {
+			return nil, nil
+		}
+		t, err := in()
+		if err != nil {
+			return nil, err
+		}
+		if t == nil {
+			done = true
+			if !emitted {
+				return empty()
+			}
+			return nil, nil
+		}
+		emitted = true
+		return t, nil
+	}
+}
+
+// rechunkTable re-emits a materialized table as bounded zero-copy windows;
+// an empty table still yields one empty chunk carrying the schema.
+func rechunkTable(t *dataset.Table, chunk int) func() (*dataset.Table, error) {
+	off, done := 0, false
+	return func() (*dataset.Table, error) {
+		if done {
+			return nil, nil
+		}
+		n := t.NumRows()
+		if n == 0 {
+			done = true
+			return t, nil
+		}
+		if off >= n {
+			done = true
+			return nil, nil
+		}
+		end := min(off+chunk, n)
+		out := t.Window(off, end)
+		off = end
+		return out, nil
+	}
+}

@@ -82,10 +82,20 @@ type Table struct {
 }
 
 // RowChunk is one frame of a streamed table: a slice of rows starting at
-// Offset. The stream's first frame is the Table header with no rows.
+// Offset. The stream's first frame is the Table header with no rows; the
+// final frame is a sentinel with Last set and no rows, so clients can
+// distinguish a clean end-of-stream from a truncated connection.
 type RowChunk struct {
 	Offset int     `json:"offset"`
-	Rows   [][]any `json:"rows"`
+	Rows   [][]any `json:"rows,omitempty"`
+	// Last marks the terminal sentinel frame: the stream is complete and
+	// TotalRows is the stream's final row count. A stream that ends without
+	// a Last frame was cut off mid-flight.
+	Last      bool `json:"last,omitempty"`
+	TotalRows int  `json:"total_rows,omitempty"`
+	// Error reports a failure that happened after streaming began (the HTTP
+	// status was already committed); nil on a clean end.
+	Error *Error `json:"error,omitempty"`
 }
 
 // EncodeTable converts rows [offset, offset+limit) of t to the wire form.
