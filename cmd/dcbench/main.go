@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 
 	"datachat/internal/experiments"
 )
@@ -36,6 +38,7 @@ func main() {
 	perClient := flag.Int("per-client", 25, "requests per client for the server experiment")
 	streamJSON := flag.String("stream-json", "", "write the streaming grid as JSON to this path")
 	streamRows := flag.Int("stream-rows", 20_000, "1x row count for the stream experiment (scales to 10x and 100x)")
+	streamCPUs := flag.String("stream-cpus", "1,2,4,8", "comma-separated morsel worker grid for the stream experiment")
 	flag.Parse()
 
 	run := func(name string, fn func() error) {
@@ -197,7 +200,15 @@ func main() {
 		return nil
 	})
 	run("stream", func() error {
-		r, err := experiments.Stream(*streamRows)
+		var grid []int
+		for _, f := range strings.Split(*streamCPUs, ",") {
+			w, err := strconv.Atoi(strings.TrimSpace(f))
+			if err != nil || w < 1 {
+				return fmt.Errorf("invalid -stream-cpus entry %q", f)
+			}
+			grid = append(grid, w)
+		}
+		r, err := experiments.Stream(*streamRows, grid)
 		if err != nil {
 			return err
 		}

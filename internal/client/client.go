@@ -251,11 +251,14 @@ func (c *Client) FetchTable(ctx context.Context, session, datasetName string, pa
 // in it comes back as a *wire.Error, and a stream that ends without one is
 // reported as truncated — a dropped connection can no longer masquerade as a
 // short table. On success the returned header's TotalRows reflects the
-// sentinel's final count.
-func consumeStream(body io.Reader, what string, fn func(header *wire.Table, rows wire.RowChunk) error) (*wire.Table, error) {
+// sentinel's final count, and any execution stats the server attached to the
+// sentinel (morsel workers, buffered-row peak, spill activity) are returned
+// alongside — even when the sentinel also carries an error.
+func consumeStream(body io.Reader, what string, fn func(header *wire.Table, rows wire.RowChunk) error) (*wire.Table, *wire.StreamStats, error) {
 	sc := bufio.NewScanner(body)
 	sc.Buffer(make([]byte, 0, 64*1024), 64*1024*1024)
 	var header *wire.Table
+	var stats *wire.StreamStats
 	sawLast := false
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
@@ -265,39 +268,40 @@ func consumeStream(body io.Reader, what string, fn func(header *wire.Table, rows
 		if header == nil {
 			var h wire.Table
 			if err := wire.DecodeJSON(bytes.NewReader(line), &h); err != nil {
-				return nil, fmt.Errorf("client: decoding stream header: %w", err)
+				return nil, nil, fmt.Errorf("client: decoding stream header: %w", err)
 			}
 			header = &h
 			continue
 		}
 		var rc wire.RowChunk
 		if err := wire.DecodeJSON(bytes.NewReader(line), &rc); err != nil {
-			return nil, fmt.Errorf("client: decoding stream chunk: %w", err)
+			return nil, nil, fmt.Errorf("client: decoding stream chunk: %w", err)
 		}
 		if rc.Last {
 			sawLast = true
 			header.TotalRows = rc.TotalRows
+			stats = rc.Stats
 			if rc.Error != nil {
-				return nil, rc.Error
+				return nil, stats, rc.Error
 			}
 			break
 		}
 		if fn != nil {
 			if err := fn(header, rc); err != nil {
-				return nil, err
+				return nil, nil, err
 			}
 		}
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("client: reading stream: %w", err)
+		return nil, nil, fmt.Errorf("client: reading stream: %w", err)
 	}
 	if header == nil {
-		return nil, fmt.Errorf("client: empty stream for %s", what)
+		return nil, nil, fmt.Errorf("client: empty stream for %s", what)
 	}
 	if !sawLast {
-		return nil, fmt.Errorf("client: stream for %s truncated before the terminal chunk", what)
+		return nil, nil, fmt.Errorf("client: stream for %s truncated before the terminal chunk", what)
 	}
-	return header, nil
+	return header, stats, nil
 }
 
 // StreamRows consumes the chunked row stream of a session dataset: the
@@ -318,7 +322,8 @@ func (c *Client) StreamRows(ctx context.Context, session, datasetName string, ch
 	if resp.StatusCode/100 != 2 {
 		return nil, decodeError(resp)
 	}
-	return consumeStream(resp.Body, session+"/"+datasetName, fn)
+	header, _, err := consumeStream(resp.Body, session+"/"+datasetName, fn)
+	return header, err
 }
 
 // RunStream executes one run request with the result streamed back as it is
@@ -329,23 +334,34 @@ func (c *Client) StreamRows(ctx context.Context, session, datasetName string, ch
 // failure) arrive via the terminal sentinel and come back typed, exactly
 // like pre-stream refusals.
 func (c *Client) RunStream(ctx context.Context, session string, req wire.RunRequest, fn func(header *wire.Table, rows wire.RowChunk) error) (*wire.Table, error) {
+	header, _, err := c.RunStreamStats(ctx, session, req, fn)
+	return header, err
+}
+
+// RunStreamStats is RunStream returning also the execution stats the server
+// attached to the terminal sentinel: the resolved morsel worker count, the
+// buffered-row peak against the request's memory budget, and how much the
+// engine spilled to disk. Stats may be non-nil even when err is a post-stream
+// failure (they describe the partial execution); nil when the server sent
+// none.
+func (c *Client) RunStreamStats(ctx context.Context, session string, req wire.RunRequest, fn func(header *wire.Table, rows wire.RowChunk) error) (*wire.Table, *wire.StreamStats, error) {
 	data, err := json.Marshal(req)
 	if err != nil {
-		return nil, fmt.Errorf("client: encoding request: %w", err)
+		return nil, nil, fmt.Errorf("client: encoding request: %w", err)
 	}
 	hreq, err := http.NewRequestWithContext(ctx, http.MethodPost,
 		c.BaseURL+"/v1/sessions/"+url.PathEscape(session)+"/run/stream", bytes.NewReader(data))
 	if err != nil {
-		return nil, fmt.Errorf("client: building stream request: %w", err)
+		return nil, nil, fmt.Errorf("client: building stream request: %w", err)
 	}
 	hreq.Header.Set("Content-Type", "application/json")
 	resp, err := c.httpClient().Do(hreq)
 	if err != nil {
-		return nil, fmt.Errorf("client: streaming run on %s: %w", session, err)
+		return nil, nil, fmt.Errorf("client: streaming run on %s: %w", session, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode/100 != 2 {
-		return nil, decodeError(resp)
+		return nil, nil, decodeError(resp)
 	}
 	return consumeStream(resp.Body, session+"/run", fn)
 }

@@ -100,6 +100,16 @@ func (p *Platform) ExecStats() dag.Stats {
 		total.Degraded += st.Degraded
 		total.StreamedChunks += st.StreamedChunks
 		total.StreamedRows += st.StreamedRows
+		total.SpillRuns += st.SpillRuns
+		total.SpilledRows += st.SpilledRows
+		total.SpilledBytes += st.SpilledBytes
+		// High-water marks and gauges aggregate by max, not sum.
+		if st.PeakBufferedRows > total.PeakBufferedRows {
+			total.PeakBufferedRows = st.PeakBufferedRows
+		}
+		if st.StreamWorkers > total.StreamWorkers {
+			total.StreamWorkers = st.StreamWorkers
+		}
 	}
 	return total
 }

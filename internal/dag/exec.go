@@ -40,6 +40,17 @@ type Stats struct {
 	// to ExecOptions.Stream sinks (live morsel chunks plus re-chunked
 	// cache-hit/direct results).
 	StreamedChunks, StreamedRows int
+	// SpillRuns, SpilledRows, and SpilledBytes sum the disk spill activity of
+	// streamed fragments whose pipeline breakers overflowed
+	// StreamMaxBufferedRows.
+	SpillRuns, SpilledRows int
+	SpilledBytes           int64
+	// PeakBufferedRows is the highest per-stream buffered-row peak observed
+	// across streamed fragments (a high-water mark, not a sum).
+	PeakBufferedRows int
+	// StreamWorkers is the resolved morsel worker count of the most recently
+	// streamed fragment (a gauge, not a sum).
+	StreamWorkers int
 }
 
 // counters is the executor's live, atomically updated form of Stats.
@@ -50,6 +61,19 @@ type counters struct {
 	cacheHits, cacheMisses               atomic.Int64
 	retries, permanentFailures, degraded atomic.Int64
 	streamedChunks, streamedRows         atomic.Int64
+	spillRuns, spilledRows, spilledBytes atomic.Int64
+	peakBuffered, streamWorkers          atomic.Int64
+}
+
+// notePeakBuffered raises the buffered-row high-water mark (CAS max, since
+// parallel branches report concurrently).
+func (c *counters) notePeakBuffered(v int64) {
+	for {
+		cur := c.peakBuffered.Load()
+		if v <= cur || c.peakBuffered.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 func (c *counters) snapshot() Stats {
@@ -67,6 +91,11 @@ func (c *counters) snapshot() Stats {
 		Degraded:          int(c.degraded.Load()),
 		StreamedChunks:    int(c.streamedChunks.Load()),
 		StreamedRows:      int(c.streamedRows.Load()),
+		SpillRuns:         int(c.spillRuns.Load()),
+		SpilledRows:       int(c.spilledRows.Load()),
+		SpilledBytes:      c.spilledBytes.Load(),
+		PeakBufferedRows:  int(c.peakBuffered.Load()),
+		StreamWorkers:     int(c.streamWorkers.Load()),
 	}
 }
 
@@ -84,6 +113,11 @@ func (c *counters) reset() {
 	c.degraded.Store(0)
 	c.streamedChunks.Store(0)
 	c.streamedRows.Store(0)
+	c.spillRuns.Store(0)
+	c.spilledRows.Store(0)
+	c.spilledBytes.Store(0)
+	c.peakBuffered.Store(0)
+	c.streamWorkers.Store(0)
 }
 
 // Executor compiles and runs DAGs against a skill context. Compilation

@@ -37,6 +37,18 @@ type ExecOptions struct {
 	// SQL tunes consolidated-fragment execution (e.g. DisableVectorized
 	// forces the row reference path). The zero value uses engine defaults.
 	SQL sqlengine.Options
+	// StreamParallelism sets the morsel pipeline workers inside one streamed
+	// SQL task (intra-operator parallelism, distinct from the inter-task
+	// worker pool above). 0 inherits Parallelism (so a parallel DAG run also
+	// parallelizes within its target fragment, defaulting to GOMAXPROCS);
+	// 1 forces the serial pipeline; values > 1 set the worker count directly.
+	StreamParallelism int
+	// StreamMaxBufferedRows caps the rows streaming pipeline breakers may
+	// buffer (sqlengine.StreamOptions.MaxBufferedRows). 0 means unlimited.
+	StreamMaxBufferedRows int
+	// StreamSpillDir is where budget overflow spills sorted/partitioned runs
+	// ("" = the OS temp dir). Spilling engages only with a budget set.
+	StreamSpillDir string
 	// Stream, when non-nil, receives the target's result chunk-by-chunk. A
 	// consolidated target fragment executes through the morsel pipeline and
 	// forwards chunks as the engine produces them; any other target shape
@@ -333,7 +345,7 @@ func (e *Executor) execTaskRetry(ctx context.Context, t *task, deadline time.Tim
 	pol := e.Options.Retry
 	pol.Seed += int64(t.idx)
 	res, stats, err := faults.Do(ctx, e.Options.clock(), pol, deadline, nil,
-		func() (*skills.Result, error) { return e.execTaskBody(t) })
+		func() (*skills.Result, error) { return e.execTaskBody(ctx, t) })
 	if stats.Attempts > 1 {
 		e.counters.retries.Add(int64(stats.Attempts - 1))
 	}
@@ -349,10 +361,10 @@ func (e *Executor) execTaskRetry(ctx context.Context, t *task, deadline time.Tim
 	return res, nil
 }
 
-func (e *Executor) execTaskBody(t *task) (*skills.Result, error) {
+func (e *Executor) execTaskBody(ctx context.Context, t *task) (*skills.Result, error) {
 	if t.frag != nil {
 		if t.stream && e.Options.Stream != nil {
-			return e.execChainStream(t)
+			return e.execChainStream(ctx, t)
 		}
 		return e.execChain(t.frag)
 	}
@@ -365,6 +377,21 @@ func (e *Executor) streamChunkRows() int {
 		return e.Options.StreamChunkRows
 	}
 	return sqlengine.DefaultChunkRows
+}
+
+// streamParallelism resolves the morsel worker count for a streamed fragment:
+// an explicit StreamParallelism wins; otherwise the fragment inherits the DAG
+// pool setting, so Parallelism 1 keeps the whole run serial and the default
+// parallel run also parallelizes inside its target (-1 = GOMAXPROCS to the
+// engine).
+func (e *Executor) streamParallelism() int {
+	if p := e.Options.StreamParallelism; p != 0 {
+		return p
+	}
+	if e.Options.Parallelism <= 0 {
+		return -1
+	}
+	return e.Options.Parallelism
 }
 
 // emitChunk forwards one chunk to the sink, skipping any prefix a previous
@@ -426,7 +453,7 @@ func (e *Executor) streamTable(t *task, tab *dataset.Table) error {
 // Fallback shapes are handled inside the engine (the stream re-chunks a
 // materialized execution), so the rows — and their order — always match
 // execChain's.
-func (e *Executor) execChainStream(t *task) (*skills.Result, error) {
+func (e *Executor) execChainStream(ctx context.Context, t *task) (*skills.Result, error) {
 	frag := t.frag
 	if frag.Base.Node == plan.External {
 		if _, err := e.Ctx.Dataset(frag.Base.Name); err != nil {
@@ -434,8 +461,12 @@ func (e *Executor) execChainStream(t *task) (*skills.Result, error) {
 		}
 	}
 	rs, err := sqlengine.ExecStreamStmt(e.Ctx, frag.Builder.Stmt(), sqlengine.StreamOptions{
-		Options:   e.Options.SQL,
-		ChunkRows: e.streamChunkRows(),
+		Options:         e.Options.SQL,
+		ChunkRows:       e.streamChunkRows(),
+		Parallelism:     e.streamParallelism(),
+		MaxBufferedRows: e.Options.StreamMaxBufferedRows,
+		SpillDir:        e.Options.StreamSpillDir,
+		Ctx:             ctx,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("dag: consolidated task %q: %w", frag.SQL, err)
@@ -446,6 +477,13 @@ func (e *Executor) execChainStream(t *task) (*skills.Result, error) {
 		seen += chunk.NumRows()
 		return e.emitChunk(t, chunk, at)
 	})
+	e.counters.notePeakBuffered(int64(rs.PeakBufferedRows()))
+	e.counters.streamWorkers.Store(int64(rs.Workers()))
+	if ss := rs.SpillStats(); ss.Runs > 0 {
+		e.counters.spillRuns.Add(int64(ss.Runs))
+		e.counters.spilledRows.Add(int64(ss.SpilledRows))
+		e.counters.spilledBytes.Add(ss.SpilledBytes)
+	}
 	if err != nil {
 		return nil, fmt.Errorf("dag: consolidated task %q: %w", frag.SQL, err)
 	}

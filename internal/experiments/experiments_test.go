@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 
@@ -237,28 +238,46 @@ func TestFaultsGrid(t *testing.T) {
 }
 
 func TestStreamGrid(t *testing.T) {
-	r, err := Stream(2000)
+	r, err := Stream(2000, []int{1, 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(r.Cases) != 6 {
-		t.Fatalf("cases = %d, want 6", len(r.Cases))
+	// 2 queries × 3 scales × 2 worker settings.
+	if len(r.Cases) != 12 {
+		t.Fatalf("cases = %d, want 12", len(r.Cases))
 	}
 	peaks := map[string]int{}
 	for _, c := range r.Cases {
 		if c.RowsOut == 0 {
-			t.Errorf("%s at %dx produced no rows", c.Query, c.Scale)
+			t.Errorf("%s at %dx w=%d produced no rows", c.Query, c.Scale, c.Workers)
 		}
-		if prev, ok := peaks[c.Query]; ok && c.PeakBufferedRows != prev {
+		key := fmt.Sprintf("%s/w%d", c.Query, c.Workers)
+		if prev, ok := peaks[key]; ok && c.PeakBufferedRows != prev {
 			t.Errorf("%s peak buffered rows varies with scale: %d vs %d — the memory budget claim fails",
-				c.Query, c.PeakBufferedRows, prev)
+				key, c.PeakBufferedRows, prev)
 		}
-		peaks[c.Query] = c.PeakBufferedRows
+		peaks[key] = c.PeakBufferedRows
 	}
-	if peaks["filter"] != 0 {
-		t.Errorf("filter buffered %d rows, want 0 (pure pipeline)", peaks["filter"])
+	if peaks["filter/w1"] != 0 || peaks["filter/w2"] != 0 {
+		t.Errorf("filter buffered %d/%d rows, want 0 (pure pipeline)", peaks["filter/w1"], peaks["filter/w2"])
 	}
-	if !strings.Contains(r.Report(), "first_chunk") {
+	// One forced-spill cell per worker setting, each spilling for real after
+	// the strict run proved the budget does not fit.
+	if len(r.Spill) != 2 {
+		t.Fatalf("spill cases = %d, want 2", len(r.Spill))
+	}
+	for _, c := range r.Spill {
+		if c.SpilledRows == 0 || c.SpillRuns == 0 || c.SpilledBytes == 0 {
+			t.Errorf("spill w=%d: stats %+v, want non-zero runs/rows/bytes", c.Workers, c)
+		}
+		if c.SerialBudgetError == "" {
+			t.Errorf("spill w=%d: missing the strict run's BudgetError", c.Workers)
+		}
+		if c.RowsOut != c.Rows {
+			t.Errorf("spill w=%d: %d groups out of %d rows, want one group per row", c.Workers, c.RowsOut, c.Rows)
+		}
+	}
+	if !strings.Contains(r.Report(), "first_chunk") || !strings.Contains(r.Report(), "spilled_rows") {
 		t.Error("report malformed")
 	}
 	if data, err := r.JSON(); err != nil || len(data) == 0 {

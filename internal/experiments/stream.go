@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -12,16 +13,23 @@ import (
 
 // The stream experiment measures what morsel-driven execution buys: time to
 // first output chunk should be decoupled from table size (it reflects one
-// morsel of work, not the whole scan), and the engine's peak buffered rows
+// morsel of work, not the whole scan), the engine's peak buffered rows
 // should stay near-constant as input grows for streaming shapes (filters
-// and projections buffer nothing; a group-by buffers only its groups).
-// Buffered execution of the same statement is the baseline.
+// and projections buffer nothing; a group-by buffers only its groups), and
+// intra-operator parallelism should scale the drain across the worker grid.
+// Buffered execution of the same statement is the baseline, and every
+// streamed cell is checked cell-for-cell against it — a divergence fails the
+// experiment (and dcbench exits nonzero) instead of producing a wrong table
+// quickly.
 
-// StreamCase is one (query shape, scale) cell.
+// StreamCase is one (query shape, scale, workers) cell.
 type StreamCase struct {
 	Query string `json:"query"` // "filter" or "groupby"
 	Scale int    `json:"scale"` // multiplier over the base row count
 	Rows  int    `json:"rows"`
+	// Workers is the morsel pipeline worker setting for the cell; 1 is the
+	// serial baseline pipeline.
+	Workers int `json:"workers"`
 	// FirstChunkMs is the latency until the first chunk of rows exists —
 	// what a remote client waits before seeing output.
 	FirstChunkMs float64 `json:"first_chunk_ms"`
@@ -36,11 +44,32 @@ type StreamCase struct {
 	RowsOut          int `json:"rows_out"`
 }
 
+// SpillCase is one forced-spill cell: the same statement under a memory
+// budget far below its state size, which the strict (spill-disabled) engine
+// refuses with a BudgetError and the spill layer completes from disk.
+type SpillCase struct {
+	Query   string `json:"query"`
+	Rows    int    `json:"rows"`
+	Budget  int    `json:"budget"`
+	Workers int    `json:"workers"`
+	// SerialBudgetError is the error the strict spill-disabled run fails
+	// with — evidence the budget genuinely does not fit in memory.
+	SerialBudgetError string  `json:"serial_budget_error"`
+	DrainMs           float64 `json:"drain_ms"`
+	SpillRuns         int     `json:"spill_runs"`
+	SpilledRows       int     `json:"spilled_rows"`
+	SpilledBytes      int64   `json:"spilled_bytes"`
+	PeakBufferedRows  int     `json:"peak_buffered_rows"`
+	RowsOut           int     `json:"rows_out"`
+}
+
 // StreamResult is the full grid for BENCH_stream.json.
 type StreamResult struct {
-	BaseRows  int          `json:"base_rows"`
-	ChunkRows int          `json:"chunk_rows"`
-	Cases     []StreamCase `json:"cases"`
+	BaseRows   int          `json:"base_rows"`
+	ChunkRows  int          `json:"chunk_rows"`
+	WorkerGrid []int        `json:"worker_grid"`
+	Cases      []StreamCase `json:"cases"`
+	Spill      []SpillCase  `json:"spill"`
 }
 
 // streamTable builds an n-row fact table without going through CSV, so the
@@ -61,16 +90,41 @@ func streamTable(n int) *dataset.Table {
 	)
 }
 
-// Stream runs the grid: each query shape at 1×, 10×, and 100× of baseRows.
-func Stream(baseRows int) (*StreamResult, error) {
+// drainStream pulls a stream to completion, timing the first chunk and the
+// full drain and assembling the chunks back into one table for the
+// divergence check.
+func drainStream(rs *sqlengine.RowStream) (full *dataset.Table, firstMs, drainMs float64, err error) {
+	start := time.Now()
+	seen := 0
+	full, err = rs.Drain(func(*dataset.Table) error {
+		if seen == 0 {
+			firstMs = float64(time.Since(start).Microseconds()) / 1000
+		}
+		seen++
+		return nil
+	})
+	if err != nil {
+		return nil, 0, 0, err
+	}
+	drainMs = float64(time.Since(start).Microseconds()) / 1000
+	return full, firstMs, drainMs, nil
+}
+
+// Stream runs the grid: each query shape at 1×, 10×, and 100× of baseRows,
+// across every worker setting in workerGrid (nil means 1, 2, 4, 8), plus the
+// forced-spill cells.
+func Stream(baseRows int, workerGrid []int) (*StreamResult, error) {
 	if baseRows <= 0 {
 		baseRows = 20_000
+	}
+	if len(workerGrid) == 0 {
+		workerGrid = []int{1, 2, 4, 8}
 	}
 	queries := []struct{ name, sql string }{
 		{"filter", "SELECT id, v FROM facts WHERE v > 25.0 AND k % 3 = 1"},
 		{"groupby", "SELECT k, SUM(v), COUNT(*) FROM facts GROUP BY k"},
 	}
-	res := &StreamResult{BaseRows: baseRows, ChunkRows: sqlengine.DefaultChunkRows}
+	res := &StreamResult{BaseRows: baseRows, ChunkRows: sqlengine.DefaultChunkRows, WorkerGrid: workerGrid}
 	for _, scale := range []int{1, 10, 100} {
 		n := baseRows * scale
 		catalog := sqlengine.NewMapCatalog(map[string]*dataset.Table{"facts": streamTable(n)})
@@ -79,60 +133,119 @@ func Stream(baseRows int) (*StreamResult, error) {
 			if err != nil {
 				return nil, fmt.Errorf("stream: parsing %s: %w", q.name, err)
 			}
-			start := time.Now()
-			rs, err := sqlengine.ExecStreamStmt(catalog, stmt, sqlengine.StreamOptions{})
-			if err != nil {
-				return nil, fmt.Errorf("stream: %s at %dx: %w", q.name, scale, err)
-			}
-			first, err := rs.Next()
-			if err != nil {
-				return nil, fmt.Errorf("stream: %s at %dx first chunk: %w", q.name, scale, err)
-			}
-			firstMs := float64(time.Since(start).Microseconds()) / 1000
-			rows := 0
-			if first != nil {
-				rows = first.NumRows()
-			}
-			for {
-				chunk, err := rs.Next()
-				if err != nil {
-					return nil, fmt.Errorf("stream: %s at %dx drain: %w", q.name, scale, err)
-				}
-				if chunk == nil {
-					break
-				}
-				rows += chunk.NumRows()
-			}
-			drainMs := float64(time.Since(start).Microseconds()) / 1000
-
-			start = time.Now()
+			bufStart := time.Now()
 			buf, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{})
 			if err != nil {
 				return nil, fmt.Errorf("stream: %s at %dx buffered: %w", q.name, scale, err)
 			}
-			bufMs := float64(time.Since(start).Microseconds()) / 1000
-			if buf.NumRows() != rows {
-				return nil, fmt.Errorf("stream: %s at %dx: streamed %d rows, buffered %d",
-					q.name, scale, rows, buf.NumRows())
+			bufMs := float64(time.Since(bufStart).Microseconds()) / 1000
+			for _, workers := range workerGrid {
+				rs, err := sqlengine.ExecStreamStmt(catalog, stmt, sqlengine.StreamOptions{Parallelism: workers})
+				if err != nil {
+					return nil, fmt.Errorf("stream: %s at %dx w=%d: %w", q.name, scale, workers, err)
+				}
+				full, firstMs, drainMs, err := drainStream(rs)
+				if err != nil {
+					return nil, fmt.Errorf("stream: %s at %dx w=%d drain: %w", q.name, scale, workers, err)
+				}
+				if !buf.Equal(full.WithName(buf.Name())) {
+					return nil, fmt.Errorf("stream: %s at %dx w=%d: streamed table diverges from buffered execution (%d vs %d rows)",
+						q.name, scale, workers, full.NumRows(), buf.NumRows())
+				}
+				res.Cases = append(res.Cases, StreamCase{
+					Query: q.name, Scale: scale, Rows: n, Workers: workers,
+					FirstChunkMs: firstMs, DrainMs: drainMs, BufferedMs: bufMs,
+					PeakBufferedRows: rs.PeakBufferedRows(), RowsOut: full.NumRows(),
+				})
 			}
-			res.Cases = append(res.Cases, StreamCase{
-				Query: q.name, Scale: scale, Rows: n,
-				FirstChunkMs: firstMs, DrainMs: drainMs, BufferedMs: bufMs,
-				PeakBufferedRows: rs.PeakBufferedRows(), RowsOut: rows,
-			})
 		}
 	}
+	if err := streamSpillCases(res, baseRows, workerGrid); err != nil {
+		return nil, err
+	}
 	return res, nil
+}
+
+// streamSpillCases runs the forced-spill cells: a high-cardinality group-by
+// whose state is an order of magnitude over the budget, strict first (must
+// fail with a typed BudgetError), then with the spill layer (must complete
+// from disk and match the unbudgeted buffered result).
+func streamSpillCases(res *StreamResult, baseRows int, workerGrid []int) error {
+	n := baseRows
+	budget := n / 10
+	if budget < 64 {
+		budget = 64
+	}
+	catalog := sqlengine.NewMapCatalog(map[string]*dataset.Table{"facts": streamTable(n)})
+	const sql = "SELECT id, SUM(v) AS sv, COUNT(*) AS c FROM facts GROUP BY id ORDER BY id"
+	stmt, err := sqlengine.Parse(sql)
+	if err != nil {
+		return fmt.Errorf("stream: parsing spill query: %w", err)
+	}
+	buf, err := sqlengine.ExecStmtOptions(catalog, stmt, sqlengine.Options{})
+	if err != nil {
+		return fmt.Errorf("stream: spill buffered reference: %w", err)
+	}
+	serialWorkers := workerGrid[0]
+	strict, err := sqlengine.ExecStreamStmt(catalog, stmt, sqlengine.StreamOptions{
+		Parallelism: serialWorkers, MaxBufferedRows: budget, DisableSpill: true,
+	})
+	var strictErr error
+	if err != nil {
+		strictErr = err
+	} else if _, strictErr = strict.Drain(nil); strictErr == nil {
+		return fmt.Errorf("stream: spill case with budget %d and spill disabled completed; budget too large to force spill", budget)
+	}
+	var be *sqlengine.BudgetError
+	if !errors.As(strictErr, &be) {
+		return fmt.Errorf("stream: strict run failed with %v, want a BudgetError", strictErr)
+	}
+	for _, workers := range workerGrid {
+		rs, err := sqlengine.ExecStreamStmt(catalog, stmt, sqlengine.StreamOptions{
+			Parallelism: workers, MaxBufferedRows: budget,
+		})
+		if err != nil {
+			return fmt.Errorf("stream: spill w=%d: %w", workers, err)
+		}
+		full, _, drainMs, err := drainStream(rs)
+		if err != nil {
+			return fmt.Errorf("stream: spill w=%d drain: %w", workers, err)
+		}
+		if !buf.Equal(full.WithName(buf.Name())) {
+			return fmt.Errorf("stream: spill w=%d: spilled table diverges from buffered execution (%d vs %d rows)",
+				workers, full.NumRows(), buf.NumRows())
+		}
+		ss := rs.SpillStats()
+		if ss.SpilledRows == 0 {
+			return fmt.Errorf("stream: spill w=%d: budget %d over %d groups spilled nothing", workers, budget, n)
+		}
+		res.Spill = append(res.Spill, SpillCase{
+			Query: "groupby-wide", Rows: n, Budget: budget, Workers: workers,
+			SerialBudgetError: strictErr.Error(), DrainMs: drainMs,
+			SpillRuns: ss.Runs, SpilledRows: ss.SpilledRows, SpilledBytes: ss.SpilledBytes,
+			PeakBufferedRows: rs.PeakBufferedRows(), RowsOut: full.NumRows(),
+		})
+	}
+	return nil
 }
 
 // Report renders the grid as the EXPERIMENTS.md table.
 func (r *StreamResult) Report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Morsel streaming: first-chunk latency and engine peak memory vs row count (chunk=%d)\n", r.ChunkRows)
-	b.WriteString("  query    scale  rows      first_chunk(ms)  drain(ms)  buffered(ms)  peak_buffered_rows\n")
+	fmt.Fprintf(&b, "Morsel streaming: first-chunk latency, drain scaling, and engine peak memory (chunk=%d)\n", r.ChunkRows)
+	b.WriteString("  query    scale  rows      workers  first_chunk(ms)  drain(ms)  buffered(ms)  peak_buffered_rows\n")
 	for _, c := range r.Cases {
-		fmt.Fprintf(&b, "  %-8s %-6s %-9d %-16.3f %-10.2f %-13.2f %d\n",
-			c.Query, fmt.Sprintf("%dx", c.Scale), c.Rows, c.FirstChunkMs, c.DrainMs, c.BufferedMs, c.PeakBufferedRows)
+		fmt.Fprintf(&b, "  %-8s %-6s %-9d %-8d %-16.3f %-10.2f %-13.2f %d\n",
+			c.Query, fmt.Sprintf("%dx", c.Scale), c.Rows, c.Workers, c.FirstChunkMs, c.DrainMs, c.BufferedMs, c.PeakBufferedRows)
+	}
+	if len(r.Spill) > 0 {
+		b.WriteString("Disk spill beyond the memory budget (strict run fails; spill completes from disk)\n")
+		b.WriteString("  query        rows      budget  workers  drain(ms)  spill_runs  spilled_rows  peak_buffered_rows\n")
+		for _, c := range r.Spill {
+			fmt.Fprintf(&b, "  %-12s %-9d %-7d %-8d %-10.2f %-11d %-13d %d\n",
+				c.Query, c.Rows, c.Budget, c.Workers, c.DrainMs, c.SpillRuns, c.SpilledRows, c.PeakBufferedRows)
+		}
+		fmt.Fprintf(&b, "  strict (spill disabled): %s\n", r.Spill[0].SerialBudgetError)
 	}
 	return b.String()
 }

@@ -101,6 +101,10 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"degraded":           int64(exec.Degraded),
 			"streamed_chunks":    int64(exec.StreamedChunks),
 			"streamed_rows":      int64(exec.StreamedRows),
+			"spill_runs":         int64(exec.SpillRuns),
+			"spilled_rows":       int64(exec.SpilledRows),
+			"spilled_bytes":      exec.SpilledBytes,
+			"peak_buffered_rows": int64(exec.PeakBufferedRows),
 		},
 		Cache: map[string]int64{
 			"hits":      cache.Hits,
@@ -251,6 +255,31 @@ func (s *Server) resolveProgram(sessionName string, req wire.RunRequest) ([]skil
 	}
 }
 
+// applyStreamTuning maps the request's morsel-pipeline knobs onto the
+// per-request tuning: worker asks are capped at MaxStreamWorkers, the memory
+// budget falls back to the server default, and the spill directory is always
+// the server's (never client-chosen).
+func (s *Server) applyStreamTuning(tune *session.Tuning, req wire.RunRequest) error {
+	if req.StreamWorkers < -1 || req.MaxBufferedRows < 0 {
+		return fmt.Errorf("server: invalid stream_workers=%d / max_buffered_rows=%d",
+			req.StreamWorkers, req.MaxBufferedRows)
+	}
+	workers := req.StreamWorkers
+	if workers == 0 {
+		workers = s.cfg.StreamWorkers
+	}
+	if workers > s.cfg.MaxStreamWorkers {
+		workers = s.cfg.MaxStreamWorkers
+	}
+	tune.StreamParallelism = workers
+	tune.StreamMaxBufferedRows = req.MaxBufferedRows
+	if tune.StreamMaxBufferedRows == 0 {
+		tune.StreamMaxBufferedRows = s.cfg.StreamMaxBufferedRows
+	}
+	tune.StreamSpillDir = s.cfg.StreamSpillDir
+	return nil
+}
+
 func (s *Server) maxRows(asked int) int {
 	if asked <= 0 {
 		asked = s.cfg.DefaultMaxRows
@@ -268,6 +297,10 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tune := s.tuning(req.DeadlineMs)
+	if err := s.applyStreamTuning(tune, req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	ctx, cancel := s.requestContext(r, tune)
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
@@ -427,6 +460,10 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	tune := s.tuning(req.DeadlineMs)
+	if err := s.applyStreamTuning(tune, req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
 	ctx, cancel := s.requestContext(r, tune)
 	defer cancel()
 	if err := s.admit(ctx); err != nil {
@@ -453,6 +490,18 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 	headerSent := false
 	offset := 0
 	tune.StreamChunkRows = chunkRows
+	// The stats callback fires inside the session lock before RunCtx returns,
+	// so reading streamStats below is ordered after every write.
+	var streamStats *wire.StreamStats
+	tune.StreamStats = func(st dag.Stats) {
+		streamStats = &wire.StreamStats{
+			Workers:          st.StreamWorkers,
+			PeakBufferedRows: st.PeakBufferedRows,
+			SpillRuns:        st.SpillRuns,
+			SpilledRows:      st.SpilledRows,
+			SpilledBytes:     st.SpilledBytes,
+		}
+	}
 	tune.Stream = func(t *dataset.Table) error {
 		// The sink runs on an executor worker goroutine, but strictly
 		// serially (one target task), so writing w here is race-free.
@@ -493,7 +542,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		status, code := errStatus(err)
 		s.countRefusal(status)
 		_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset,
-			Error: &wire.Error{Code: code, Message: err.Error()}})
+			Error: &wire.Error{Code: code, Message: err.Error()}, Stats: streamStats})
 		return
 	}
 	if !headerSent {
@@ -503,7 +552,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		w.WriteHeader(http.StatusOK)
 		_ = enc.Encode(&wire.Table{Name: "result", NextOffset: -1})
 	}
-	_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset})
+	_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset, Stats: streamStats})
 	if flusher != nil {
 		flusher.Flush()
 	}

@@ -56,6 +56,19 @@ type Config struct {
 	// request does not say (<= 0 means 100); MaxPageRows caps page and
 	// stream-chunk sizes (<= 0 means 10000).
 	DefaultMaxRows, MaxPageRows int
+	// StreamWorkers is the default morsel worker setting for requests that
+	// do not ask (0 keeps the engine default of one worker per core, 1
+	// forces the serial pipeline). Client asks are capped at MaxStreamWorkers
+	// (<= 0 means 64) so a request cannot fan out unboundedly.
+	StreamWorkers    int
+	MaxStreamWorkers int
+	// StreamMaxBufferedRows is the default memory budget for streamed
+	// executions when the request does not ask (0 = unlimited), and
+	// StreamSpillDir is where budget overflow spills runs ("" = the OS temp
+	// dir). Clients choose their budget per request but never the spill
+	// location.
+	StreamMaxBufferedRows int
+	StreamSpillDir        string
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +86,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxPageRows <= 0 {
 		c.MaxPageRows = 10000
+	}
+	if c.MaxStreamWorkers <= 0 {
+		c.MaxStreamWorkers = 64
 	}
 	return c
 }

@@ -256,6 +256,97 @@ func TestRunStreamEndToEnd(t *testing.T) {
 	}
 }
 
+// TestRunStreamSentinelStats drives the morsel-pipeline knobs over the wire:
+// a run with a tiny max_buffered_rows budget must spill to disk instead of
+// failing, stream the exact buffered result, and report the spill activity,
+// worker count, and buffered-row peak in the terminal sentinel and /statsz.
+func TestRunStreamSentinelStats(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if err := c.RegisterFile(ctx, "sales.csv", wideCSV(400)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := c.RunGEL(ctx, "s", "ann", "Load data from the file sales.csv", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := nodeOutput(loaded)
+
+	// 400 groups against a 16-row budget: the partitioned group-by must spill
+	// rather than fail, and the stream must still match the buffered result.
+	// The streamed run goes first — running the identical fragment buffered
+	// beforehand would turn the stream into a sub-DAG cache hit that re-chunks
+	// a materialized table instead of exercising the engine.
+	const agg = "Compute the sum of price for each order_id and call the computed columns TotalPrice"
+	streamed := 0
+	header, stats, err := c.RunStreamStats(ctx, "s", wire.RunRequest{
+		User: "ann", GEL: agg, Current: base,
+		StreamWorkers: 2, MaxBufferedRows: 16,
+	}, func(h *wire.Table, rc wire.RowChunk) error {
+		streamed += len(rc.Rows)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunStreamStats: %v", err)
+	}
+	// Reference: the identical aggregate run buffered (a cache hit is fine —
+	// a spilled execution must produce the exact table a clean one does).
+	refResp, err := c.RunGEL(ctx, "s", "ann", agg, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := c.FetchTable(ctx, "s", nodeOutput(refResp), 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if header.TotalRows != ref.NumRows() || streamed != ref.NumRows() {
+		t.Fatalf("streamed %d rows (sentinel total %d), want %d", streamed, header.TotalRows, ref.NumRows())
+	}
+	if stats == nil {
+		t.Fatal("terminal sentinel carried no stream stats")
+	}
+	if stats.Workers != 2 {
+		t.Fatalf("sentinel workers = %d, want 2", stats.Workers)
+	}
+	if stats.SpillRuns == 0 || stats.SpilledRows == 0 || stats.SpilledBytes == 0 {
+		t.Fatalf("sentinel spill stats = %+v, want non-zero runs/rows/bytes", stats)
+	}
+	// Forced admission may overrun the budget by one state per partition.
+	if stats.PeakBufferedRows <= 0 || stats.PeakBufferedRows > 16+stats.Workers {
+		t.Fatalf("sentinel peak_buffered_rows = %d, want in (0, %d]", stats.PeakBufferedRows, 16+stats.Workers)
+	}
+
+	statsz, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if statsz.Exec["spilled_rows"] == 0 || statsz.Exec["spill_runs"] == 0 || statsz.Exec["peak_buffered_rows"] == 0 {
+		t.Fatalf("statsz spill counters = %v, want non-zero spill_runs/spilled_rows/peak_buffered_rows", statsz.Exec)
+	}
+
+	// An absurd worker ask is capped server-side, not honored verbatim (a
+	// fresh aggregate, so the run streams live instead of hitting the cache);
+	// a negative budget is refused outright.
+	_, stats, err = c.RunStreamStats(ctx, "s", wire.RunRequest{
+		User: "ann", StreamWorkers: 100000, Current: base,
+		GEL: "Compute the sum of discount for each order_id and call the computed columns TotalDiscount",
+	}, nil)
+	if err != nil {
+		t.Fatalf("capped-workers run: %v", err)
+	}
+	if stats == nil || stats.Workers > 64 {
+		t.Fatalf("workers ask 100000 resolved to %+v, want capped at 64", stats)
+	}
+	if _, _, err := c.RunStreamStats(ctx, "s", wire.RunRequest{
+		User: "ann", GEL: agg, Current: base, MaxBufferedRows: -1,
+	}, nil); err == nil {
+		t.Fatal("negative max_buffered_rows accepted, want 400")
+	}
+}
+
 // TestRunStreamClientCancelMidStream cancels a streaming run from inside the
 // chunk callback and checks the deployment stays healthy: the slot and the
 // session lock are released, so an immediate follow-up run succeeds. Run

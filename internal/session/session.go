@@ -231,6 +231,17 @@ type Tuning struct {
 	// StreamChunkRows bounds rows per chunk.
 	Stream          func(chunk *dataset.Table) error
 	StreamChunkRows int
+	// StreamParallelism, StreamMaxBufferedRows, and StreamSpillDir tune the
+	// morsel pipeline inside the request's streamed target fragment (see
+	// dag.ExecOptions). Zero values keep the executor's standing settings.
+	StreamParallelism     int
+	StreamMaxBufferedRows int
+	StreamSpillDir        string
+	// StreamStats, when non-nil, receives this request's execution-stats
+	// delta after the run (streamed chunk/row counts, spill activity). The
+	// PeakBufferedRows field is the executor's buffered-row high-water mark
+	// as of this request, not a per-request delta.
+	StreamStats func(dag.Stats)
 }
 
 // RequestProgram executes a multi-step program under one acquisition of the
@@ -275,6 +286,32 @@ func (s *Session) RequestProgramCtx(ctx context.Context, user string, tune *Tuni
 		if tune.Stream != nil {
 			s.executor.Options.Stream = tune.Stream
 			s.executor.Options.StreamChunkRows = tune.StreamChunkRows
+		}
+		if tune.StreamParallelism != 0 {
+			s.executor.Options.StreamParallelism = tune.StreamParallelism
+		}
+		if tune.StreamMaxBufferedRows > 0 {
+			s.executor.Options.StreamMaxBufferedRows = tune.StreamMaxBufferedRows
+		}
+		if tune.StreamSpillDir != "" {
+			s.executor.Options.StreamSpillDir = tune.StreamSpillDir
+		}
+		if tune.StreamStats != nil {
+			// The session lock serializes executions, so a before/after
+			// snapshot of the shared counters isolates this request's delta.
+			before := s.executor.Stats()
+			defer func() {
+				after := s.executor.Stats()
+				tune.StreamStats(dag.Stats{
+					StreamedChunks:   after.StreamedChunks - before.StreamedChunks,
+					StreamedRows:     after.StreamedRows - before.StreamedRows,
+					SpillRuns:        after.SpillRuns - before.SpillRuns,
+					SpilledRows:      after.SpilledRows - before.SpilledRows,
+					SpilledBytes:     after.SpilledBytes - before.SpilledBytes,
+					PeakBufferedRows: after.PeakBufferedRows,
+					StreamWorkers:    after.StreamWorkers,
+				})
+			}()
 		}
 	}
 

@@ -1,8 +1,12 @@
 package sqlengine
 
 import (
+	"context"
 	"fmt"
+	"os"
+	"runtime"
 	"strings"
+	"sync"
 
 	"datachat/internal/dataset"
 	"datachat/internal/expr"
@@ -13,11 +17,16 @@ import (
 // whole materialized tables. Streaming operators (scan, filter, projection,
 // OFFSET/LIMIT) hold O(ChunkRows) state; pipeline breakers (ORDER BY sorted
 // runs, group states, join build sides, DISTINCT seen-sets) buffer rows under
-// an explicit budget and fail loudly with a typed BudgetError beyond it.
-// Statements the pipeline cannot stream exactly fall back to whole-statement
-// materialized execution re-chunked on the way out, so ExecStream always
-// produces the same rows, in the same order, as the row-at-a-time reference
-// path — the differential harness pins both.
+// an explicit budget. A sort or group-by partition that overflows the budget
+// spills runs to disk and merges them streaming (spill.go); operators that
+// cannot spill fail loudly with a typed BudgetError. With Parallelism > 1 a
+// morsel dispatcher (stream_parallel.go) fans chunks out to worker-pinned
+// pipelines with order-preserving reassembly, so the parallel stream emits
+// exactly the serial chunk sequence. Statements the pipeline cannot stream
+// exactly fall back to whole-statement materialized execution re-chunked on
+// the way out, so ExecStream always produces the same rows, in the same
+// order, as the row-at-a-time reference path — the differential harness pins
+// both.
 
 // DefaultChunkRows is the morsel size when StreamOptions.ChunkRows is unset.
 const DefaultChunkRows = 1024
@@ -31,9 +40,28 @@ type StreamOptions struct {
 
 	// MaxBufferedRows caps the rows pipeline-breaking operators may buffer
 	// (sorted runs, group states, join build sides, DISTINCT sets). Zero
-	// means unlimited. Exceeding the budget aborts the stream with a
-	// *BudgetError rather than spilling silently.
+	// means unlimited. Overflowing operators spill sorted/partitioned runs
+	// to disk when they can (ORDER BY, group-by) and abort the stream with
+	// a *BudgetError when they cannot (join build sides, DISTINCT sets) or
+	// when DisableSpill is set.
 	MaxBufferedRows int
+
+	// Parallelism is the number of pipeline workers morsels are fanned out
+	// to. 0 means serial (the oracle path every differential test pins
+	// against), a negative value means GOMAXPROCS, and values > 1 enable
+	// the parallel dispatcher with order-preserving reassembly.
+	Parallelism int
+
+	// SpillDir is where spill runs are written (default: the OS temp dir).
+	SpillDir string
+
+	// DisableSpill turns the disk spill layer off, restoring the strict
+	// budget behavior: overflow is always a *BudgetError.
+	DisableSpill bool
+
+	// Ctx, when set, cancels parallel workers and releases spill files if
+	// it is done before the stream is drained.
+	Ctx context.Context
 
 	// ForceFallbackAfterChunks, when positive, switches to the materialized
 	// fallback after that many chunks have been emitted. It exists so tests
@@ -46,6 +74,18 @@ func (o StreamOptions) chunkRows() int {
 		return o.ChunkRows
 	}
 	return DefaultChunkRows
+}
+
+// workers resolves Parallelism: 0 → 1 (serial), negative → GOMAXPROCS.
+func (o StreamOptions) workers() int {
+	switch {
+	case o.Parallelism == 0:
+		return 1
+	case o.Parallelism < 0:
+		return runtime.GOMAXPROCS(0)
+	default:
+		return o.Parallelism
+	}
 }
 
 // BudgetError reports a pipeline-breaking operator exceeding the configured
@@ -63,18 +103,35 @@ func (e *BudgetError) Error() string {
 }
 
 // streamExec carries per-stream execution state: the shared executor (for the
-// helpers both paths use) and the buffered-row accounting across operators.
+// helpers both paths use), the buffered-row accounting across operators (one
+// budget shared by every operator and partition, charged under a mutex so
+// concurrent reducers account correctly), spill-file tracking, and the stop
+// functions that tear down parallel workers on close or cancellation.
 type streamExec struct {
-	ex       *executor
-	opts     StreamOptions
+	ex   *executor
+	opts StreamOptions
+
+	mu       sync.Mutex
 	buffered map[string]int
 	curTotal int
 	peak     int
+
+	spillMu    sync.Mutex
+	spillFiles map[string]bool
+	spill      SpillStats
+
+	stopMu  sync.Mutex
+	stopFns []func(error)
+	closed  bool
+	stopErr error
+	doneCh  chan struct{}
 }
 
 // buffer records that operator op now holds rows buffered rows, enforcing the
 // budget over the sum across live operators and tracking the high-water mark.
 func (se *streamExec) buffer(op string, rows int) error {
+	se.mu.Lock()
+	defer se.mu.Unlock()
 	se.curTotal += rows - se.buffered[op]
 	se.buffered[op] = rows
 	if se.curTotal > se.peak {
@@ -84,6 +141,115 @@ func (se *streamExec) buffer(op string, rows int) error {
 		return &BudgetError{Op: op, Buffered: se.curTotal, Budget: se.opts.MaxBufferedRows}
 	}
 	return nil
+}
+
+// tryBuffer is buffer's non-committing probe: it records the charge and
+// returns true when op holding rows fits the budget, and changes nothing
+// (returning false) when it would overflow — the spill trigger.
+func (se *streamExec) tryBuffer(op string, rows int) bool {
+	se.mu.Lock()
+	defer se.mu.Unlock()
+	newTotal := se.curTotal + rows - se.buffered[op]
+	if se.opts.MaxBufferedRows > 0 && newTotal > se.opts.MaxBufferedRows {
+		return false
+	}
+	se.curTotal = newTotal
+	se.buffered[op] = rows
+	if se.curTotal > se.peak {
+		se.peak = se.curTotal
+	}
+	return true
+}
+
+// forceBuffer commits a charge even past the budget: a deliberate, bounded
+// overrun (one group state per partition) that keeps spill passes live when
+// sibling operators transiently hold the entire budget.
+func (se *streamExec) forceBuffer(op string, rows int) {
+	se.mu.Lock()
+	se.curTotal += rows - se.buffered[op]
+	se.buffered[op] = rows
+	if se.curTotal > se.peak {
+		se.peak = se.curTotal
+	}
+	se.mu.Unlock()
+}
+
+func (se *streamExec) workers() int { return se.opts.workers() }
+
+// spillEnabled reports whether budget overflow may go to disk instead of
+// failing. With no budget there is never an overflow to spill.
+func (se *streamExec) spillEnabled() bool {
+	return se.opts.MaxBufferedRows > 0 && !se.opts.DisableSpill
+}
+
+// onStop registers a teardown hook (pipe stop, sorter disposal) run when the
+// stream closes, fails, finishes, or its context is cancelled. If the stream
+// is already closed the hook runs immediately.
+func (se *streamExec) onStop(fn func(error)) {
+	se.stopMu.Lock()
+	if se.closed {
+		cause := se.stopErr
+		se.stopMu.Unlock()
+		fn(cause)
+		return
+	}
+	se.stopFns = append(se.stopFns, fn)
+	se.stopMu.Unlock()
+}
+
+// stopAll tears the stream's workers down and deletes any remaining spill
+// files. Idempotent and safe to call from the context watcher concurrently
+// with the consumer.
+func (se *streamExec) stopAll(cause error) {
+	se.stopMu.Lock()
+	if se.closed {
+		se.stopMu.Unlock()
+		return
+	}
+	se.closed = true
+	se.stopErr = cause
+	fns := se.stopFns
+	se.stopFns = nil
+	close(se.doneCh)
+	se.stopMu.Unlock()
+	for _, fn := range fns {
+		fn(cause)
+	}
+	se.spillMu.Lock()
+	for path := range se.spillFiles {
+		os.Remove(path)
+	}
+	se.spillFiles = map[string]bool{}
+	se.spillMu.Unlock()
+}
+
+func (se *streamExec) trackSpillFile(path string) {
+	se.spillMu.Lock()
+	se.spillFiles[path] = true
+	se.spillMu.Unlock()
+}
+
+func (se *streamExec) removeSpillFile(path string) {
+	se.spillMu.Lock()
+	if se.spillFiles[path] {
+		delete(se.spillFiles, path)
+		os.Remove(path)
+	}
+	se.spillMu.Unlock()
+}
+
+func (se *streamExec) noteSpillRun(rows int, bytes int64) {
+	se.spillMu.Lock()
+	se.spill.Runs++
+	se.spill.SpilledRows += rows
+	se.spill.SpilledBytes += bytes
+	se.spillMu.Unlock()
+}
+
+func (se *streamExec) spillStats() SpillStats {
+	se.spillMu.Lock()
+	defer se.spillMu.Unlock()
+	return se.spill
 }
 
 // RowStream yields a statement's result as a sequence of bounded chunks.
@@ -125,6 +291,7 @@ func (rs *RowStream) Next() (*dataset.Table, error) {
 	}
 	if t == nil {
 		rs.done = true
+		rs.se.stopAll(nil)
 		return nil, nil
 	}
 	rs.chunks++
@@ -134,7 +301,18 @@ func (rs *RowStream) Next() (*dataset.Table, error) {
 
 func (rs *RowStream) fail(err error) error {
 	rs.err = err
+	rs.se.stopAll(nil)
 	return err
+}
+
+// Close releases the stream's resources — parallel workers and spill files —
+// without draining it. Required when abandoning a partially-consumed
+// parallel stream; harmless (and optional) after a full drain or an error.
+func (rs *RowStream) Close() {
+	rs.done = true
+	if rs.se != nil {
+		rs.se.stopAll(nil)
+	}
 }
 
 // startFallback materializes the whole statement through the standard path
@@ -142,6 +320,9 @@ func (rs *RowStream) fail(err error) error {
 // Both paths produce rows in identical order, so the spliced sequence is the
 // same table the reference path returns.
 func (rs *RowStream) startFallback(skipRows int) error {
+	// The streaming pipeline is abandoned: stop its workers and drop its
+	// spill files before materializing.
+	rs.se.stopAll(nil)
 	out, err := ExecStmtOptions(rs.catalog, rs.stmt, rs.opts.Options)
 	if err != nil {
 		return err
@@ -170,8 +351,21 @@ func (rs *RowStream) PeakBufferedRows() int {
 	if rs.se == nil {
 		return 0
 	}
+	rs.se.mu.Lock()
+	defer rs.se.mu.Unlock()
 	return rs.se.peak
 }
+
+// SpillStats returns the stream's disk-spill counters so far.
+func (rs *RowStream) SpillStats() SpillStats {
+	if rs.se == nil {
+		return SpillStats{}
+	}
+	return rs.se.spillStats()
+}
+
+// Workers reports the resolved pipeline worker count.
+func (rs *RowStream) Workers() int { return rs.opts.workers() }
 
 // ReadAll drains the stream into one table. Column types are re-inferred
 // across all chunks the way the reference projection does.
@@ -241,9 +435,20 @@ func ExecStream(catalog Catalog, query string, opts StreamOptions) (*RowStream, 
 // materialized execution re-chunked on the way out; FellBack reports that.
 func ExecStreamStmt(catalog Catalog, stmt *SelectStmt, opts StreamOptions) (*RowStream, error) {
 	se := &streamExec{
-		ex:       &executor{catalog: catalog, vec: !opts.DisableVectorized},
-		opts:     opts,
-		buffered: map[string]int{},
+		ex:         &executor{catalog: catalog, vec: !opts.DisableVectorized},
+		opts:       opts,
+		buffered:   map[string]int{},
+		spillFiles: map[string]bool{},
+		doneCh:     make(chan struct{}),
+	}
+	if opts.Ctx != nil {
+		go func() {
+			select {
+			case <-opts.Ctx.Done():
+				se.stopAll(opts.Ctx.Err())
+			case <-se.doneCh:
+			}
+		}()
 	}
 	rs := &RowStream{catalog: catalog, stmt: stmt, opts: opts, se: se}
 	pull, ok, err := se.buildPipeline(stmt)
@@ -262,8 +467,8 @@ func ExecStreamStmt(catalog Catalog, stmt *SelectStmt, opts StreamOptions) (*Row
 // relChunks produces a FROM-clause relation as a sequence of bounded chunks.
 // Implementations never emit zero-row chunks; schema is available up front.
 type relChunks interface {
-	schema() *rel          // zero-row relation carrying columns and qualifiers
-	next() (*rel, error)   // next chunk; (nil, nil) marks exhaustion
+	schema() *rel        // zero-row relation carrying columns and qualifiers
+	next() (*rel, error) // next chunk; (nil, nil) marks exhaustion
 }
 
 func windowRel(r *rel, from, to int) *rel {
@@ -439,20 +644,33 @@ func (se *streamExec) sourceChunks(ref TableRef) (relChunks, error) {
 
 // joinChunks streams a join: the right side is fully built (hash table for
 // equi-conditions, plain materialization otherwise) and charged against the
-// memory budget; left chunks probe it in order. LEFT JOIN buffers unmatched
-// left rows and emits the null-extension block after all matches, matching
-// the materialized path's output order exactly.
+// memory budget; left chunks probe it through the morsel dispatcher, which
+// preserves chunk order, so parallel probing emits exactly the serial
+// sequence. The build side cannot spill — overflowing it is a BudgetError
+// either way. LEFT JOIN unmatched-row tracking is side-effecting, so the
+// workers only report per-row match flags and the consumer folds them into
+// the unmatched buffer serially, in chunk order, exactly like the serial
+// engine.
 type joinChunks struct {
-	se       *streamExec
-	j        *Join
-	left     relChunks
-	right    *rel
-	combined *rel // schema-level; used for qualified-name resolution only
+	se                  *streamExec
+	j                   *Join
+	left                relChunks
+	right               *rel
+	combined            *rel // schema-level; used for qualified-name resolution only
 	leftKeys, rightKeys []int
-	build    map[string][]int
-	unmatched *rel // buffered unmatched left rows (LEFT JOIN)
-	extended bool
-	done     bool
+	build               map[string][]int
+	pipe                *parallelPipe[*rel, *joinProbe]
+	unmatched           *rel // buffered unmatched left rows (LEFT JOIN)
+	extended            bool
+	done                bool
+}
+
+// joinProbe is one probed left chunk: the matched output rows plus the
+// per-left-row match flags the consumer needs for LEFT JOIN bookkeeping.
+type joinProbe struct {
+	c       *rel // the left chunk that was probed
+	out     *rel // combined matched rows (nil when none)
+	matched []bool
 }
 
 func (se *streamExec) newJoinChunks(j *Join) (*joinChunks, error) {
@@ -475,11 +693,7 @@ func (se *streamExec) newJoinChunks(j *Join) (*joinChunks, error) {
 	}
 	jc.leftKeys, jc.rightKeys = equiJoinKeys(j.On, ls, right)
 	if len(jc.leftKeys) > 0 {
-		jc.build = make(map[string][]int, right.numRows())
-		for ri := 0; ri < right.numRows(); ri++ {
-			k := joinKey(right, jc.rightKeys, ri)
-			jc.build[k] = append(jc.build[k], ri)
-		}
+		jc.buildHashTable()
 	}
 	if j.Kind == LeftJoin {
 		cols := make([]*dataset.Column, len(ls.cols))
@@ -488,7 +702,56 @@ func (se *streamExec) newJoinChunks(j *Join) (*joinChunks, error) {
 		}
 		jc.unmatched = &rel{cols: cols, quals: ls.quals}
 	}
+	jc.pipe = newParallelPipe(se.workers(), 2*se.workers(),
+		func() (*rel, bool, error) {
+			c, err := jc.left.next()
+			return c, c != nil, err
+		},
+		func(c *rel, _ int) (*joinProbe, error) { return jc.probe(c) },
+	)
+	se.onStop(jc.pipe.stop)
 	return jc, nil
+}
+
+// buildHashTable builds the equi-join hash map, range-partitioned across the
+// pipeline workers: each worker maps a contiguous slice of right rows, and
+// the partials merge in range order, so every key's row list stays in
+// ascending right-row order — the order the serial build produces.
+func (jc *joinChunks) buildHashTable() {
+	n := jc.right.numRows()
+	w := jc.se.workers()
+	if w > n {
+		w = 1
+	}
+	buildRange := func(lo, hi int) map[string][]int {
+		m := make(map[string][]int, hi-lo)
+		for ri := lo; ri < hi; ri++ {
+			k := joinKey(jc.right, jc.rightKeys, ri)
+			m[k] = append(m[k], ri)
+		}
+		return m
+	}
+	if w <= 1 {
+		jc.build = buildRange(0, n)
+		return
+	}
+	parts := make([]map[string][]int, w)
+	var wg sync.WaitGroup
+	for p := 0; p < w; p++ {
+		lo, hi := p*n/w, (p+1)*n/w
+		wg.Add(1)
+		go func(p, lo, hi int) {
+			defer wg.Done()
+			parts[p] = buildRange(lo, hi)
+		}(p, lo, hi)
+	}
+	wg.Wait()
+	jc.build = parts[0]
+	for _, part := range parts[1:] {
+		for k, ris := range part {
+			jc.build[k] = append(jc.build[k], ris...)
+		}
+	}
 }
 
 func (jc *joinChunks) schema() *rel { return windowRel(jc.combined, 0, 0) }
@@ -505,26 +768,41 @@ func (jc *joinChunks) next() (*rel, error) {
 			}
 			return jc.nullExtension(), nil
 		}
-		c, err := jc.left.next()
+		p, ok, err := jc.pipe.next()
 		if err != nil {
 			return nil, err
 		}
-		if c == nil {
+		if !ok {
 			jc.extended = true
 			continue
 		}
-		out, err := jc.probe(c)
-		if err != nil {
-			return nil, err
+		if jc.unmatched != nil {
+			appended := false
+			for li, m := range p.matched {
+				if m {
+					continue
+				}
+				for ci, col := range jc.unmatched.cols {
+					col.Append(p.c.cols[ci].Value(li))
+				}
+				appended = true
+			}
+			if appended {
+				if err := jc.se.buffer("join-unmatched", jc.unmatched.numRows()); err != nil {
+					return nil, err
+				}
+			}
 		}
-		if out == nil || out.numRows() == 0 {
+		if p.out == nil || p.out.numRows() == 0 {
 			continue
 		}
-		return out, nil
+		return p.out, nil
 	}
 }
 
-func (jc *joinChunks) probe(c *rel) (*rel, error) {
+// probe matches one left chunk against the build side. It is pure — shared
+// state is read-only — so the dispatcher can run it on any worker.
+func (jc *joinChunks) probe(c *rel) (*joinProbe, error) {
 	var leftIdx, rightIdx []int
 	matched := make([]bool, c.numRows())
 	residual := func(li, ri int) (bool, error) {
@@ -562,25 +840,9 @@ func (jc *joinChunks) probe(c *rel) (*rel, error) {
 			}
 		}
 	}
-	if jc.unmatched != nil {
-		appended := false
-		for li, m := range matched {
-			if m {
-				continue
-			}
-			for ci, col := range jc.unmatched.cols {
-				col.Append(c.cols[ci].Value(li))
-			}
-			appended = true
-		}
-		if appended {
-			if err := jc.se.buffer("join-unmatched", jc.unmatched.numRows()); err != nil {
-				return nil, err
-			}
-		}
-	}
+	p := &joinProbe{c: c, matched: matched}
 	if len(leftIdx) == 0 {
-		return nil, nil
+		return p, nil
 	}
 	out := &rel{cols: make([]*dataset.Column, len(jc.combined.cols)), quals: jc.combined.quals}
 	nLeft := len(c.cols)
@@ -591,7 +853,8 @@ func (jc *joinChunks) probe(c *rel) (*rel, error) {
 			out.cols[ci] = jc.right.cols[ci-nLeft].Take(rightIdx)
 		}
 	}
-	return out, nil
+	p.out = out
+	return p, nil
 }
 
 // nullExtension emits the buffered unmatched left rows with null right sides.
@@ -667,9 +930,19 @@ func (se *streamExec) buildPipeline(stmt *SelectStmt) (func() (*dataset.Table, e
 	if !grouped && len(stmt.OrderBy) == 0 && !stmt.Distinct && stmt.Limit >= 0 {
 		rowBudget = stmt.Offset + stmt.Limit
 	}
+	// Parallel pipelines prefetch chunks ahead of the consumer, so they are
+	// only used when the stream consumes its whole input anyway: a LIMIT
+	// that stops early (rowBudget, or DISTINCT+LIMIT) could otherwise
+	// surface evaluation errors from chunks the serial path never reaches.
+	parallelScan := se.workers() > 1 && rowBudget < 0 && !(stmt.Distinct && stmt.Limit >= 0 && !grouped && len(stmt.OrderBy) == 0)
+	var scanFilter expr.Expr
 	var chunks relChunks = src
 	if stmt.Where != nil {
-		chunks = &filterChunks{se: se, in: chunks, where: stmt.Where, budget: rowBudget}
+		if parallelScan {
+			scanFilter = stmt.Where // each worker filters its own morsels
+		} else {
+			chunks = &filterChunks{se: se, in: chunks, where: stmt.Where, budget: rowBudget}
+		}
 	} else if rowBudget >= 0 {
 		chunks = &truncChunks{in: chunks, budget: rowBudget}
 	}
@@ -677,15 +950,27 @@ func (se *streamExec) buildPipeline(stmt *SelectStmt) (func() (*dataset.Table, e
 	var pull func() (*dataset.Table, error)
 	switch {
 	case grouped:
-		pull = se.groupedPull(stmt, chunks, aggs, schema)
+		if parallelScan || se.spillEnabled() {
+			pull = se.partitionedGroupedPull(stmt, chunks, scanFilter, aggs, schema)
+		} else {
+			pull = se.groupedPull(stmt, chunks, aggs, schema)
+		}
 	case len(stmt.OrderBy) > 0:
-		pull = se.orderedPull(stmt, chunks, names, exprs, plain, plainIdx, schema)
+		pull = se.orderedPull(stmt, chunks, scanFilter, names, exprs, plain, plainIdx, schema)
 	default:
-		pull = se.projectPull(chunks, names, exprs, plain, plainIdx)
+		if parallelScan {
+			pull = se.parallelProjectPull(chunks, scanFilter, names, exprs, plain, plainIdx)
+		} else {
+			pull = se.projectPull(chunks, names, exprs, plain, plainIdx)
+		}
 	}
 	if !grouped {
 		if stmt.Distinct {
-			pull = se.distinctPull(pull)
+			if parallelScan {
+				pull = se.parallelDistinctPull(pull)
+			} else {
+				pull = se.distinctPull(pull)
+			}
 		}
 		if stmt.Offset > 0 || stmt.Limit >= 0 {
 			pull = offsetLimitPull(pull, stmt.Offset, stmt.Limit)
@@ -756,18 +1041,86 @@ func (se *streamExec) projectPull(chunks relChunks, names []string, exprs []expr
 	}
 }
 
-// orderedPull implements chunked ORDER BY as a sorted-run merge: each input
-// chunk becomes a run sorted stably by its keys; exhausted input is merged
-// k-way with ties broken by run index, which reproduces a global stable sort.
-// All rows buffer (ORDER BY is a full pipeline breaker) under the budget.
-func (se *streamExec) orderedPull(stmt *SelectStmt, chunks relChunks, names []string, exprs []expr.Expr, plain bool, plainIdx []int, schema *rel) func() (*dataset.Table, error) {
-	type run struct {
-		vals  [][]dataset.Value // projected rows in input order
-		keys  [][]dataset.Value
-		order []int // stable sort of row indexes by keys
-		pos   int
+// filterRel applies a WHERE predicate to one chunk inside a pipeline worker
+// (no LIMIT budget — parallel scans only run when the whole input is
+// consumed). Returns nil when no row survives.
+func (se *streamExec) filterRel(where expr.Expr, c *rel) (*rel, error) {
+	if where == nil {
+		return c, nil
 	}
-	var runs []*run
+	keep, vectorized, err := se.ex.vecFilter(where, c, -1)
+	if err != nil {
+		return nil, err
+	}
+	if !vectorized {
+		keep = make([]int, 0, c.numRows())
+		for i := 0; i < c.numRows(); i++ {
+			ok, err := expr.EvalBool(where, rowEnv{c, i})
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				keep = append(keep, i)
+			}
+		}
+	}
+	if len(keep) == 0 {
+		return nil, nil
+	}
+	if len(keep) == c.numRows() {
+		return c, nil
+	}
+	return takeRel(c, keep), nil
+}
+
+// parallelProjectPull fans source chunks out to the pipeline workers, each
+// filtering and projecting its own morsels; reassembly preserves chunk
+// order, so the output sequence is exactly the serial one.
+func (se *streamExec) parallelProjectPull(chunks relChunks, where expr.Expr, names []string, exprs []expr.Expr, plain bool, plainIdx []int) func() (*dataset.Table, error) {
+	pipe := newParallelPipe(se.workers(), 2*se.workers(),
+		func() (*rel, bool, error) {
+			c, err := chunks.next()
+			return c, c != nil, err
+		},
+		func(c *rel, _ int) (*dataset.Table, error) {
+			fc, err := se.filterRel(where, c)
+			if err != nil || fc == nil {
+				return nil, err
+			}
+			return se.projectChunk(fc, names, exprs, plain, plainIdx)
+		},
+	)
+	se.onStop(pipe.stop)
+	return func() (*dataset.Table, error) {
+		for {
+			t, ok, err := pipe.next()
+			if err != nil || !ok {
+				return nil, err
+			}
+			if t == nil || t.NumRows() == 0 {
+				continue // fully filtered morsel
+			}
+			return t, nil
+		}
+	}
+}
+
+// orderedRun is one chunk's projected rows and sort keys, built by a
+// pipeline worker.
+type orderedRun struct {
+	vals  [][]dataset.Value // projected rows in input order
+	keys  [][]dataset.Value
+	order []int // stable sort of row indexes by keys, computed in the worker
+}
+
+// orderedPull implements chunked ORDER BY as a sorted-run merge: each input
+// chunk becomes a run sorted stably by its keys (built in parallel when the
+// dispatcher has workers); exhausted input is merged k-way with ties broken
+// by run sequence, which reproduces a global stable sort. Buffered rows are
+// charged against the budget; overflow merges the buffered runs into an
+// on-disk run (a contiguous sequence range, so the final disk+memory merge
+// is still the exact stable sort) unless spilling is disabled.
+func (se *streamExec) orderedPull(stmt *SelectStmt, chunks relChunks, where expr.Expr, names []string, exprs []expr.Expr, plain bool, plainIdx []int, schema *rel) func() (*dataset.Table, error) {
 	var types []dataset.Type
 	if plain {
 		types = make([]dataset.Type, len(plainIdx))
@@ -775,62 +1128,72 @@ func (se *streamExec) orderedPull(stmt *SelectStmt, chunks relChunks, names []st
 			types[i] = schema.cols[idx].Type()
 		}
 	}
-	consumed := false
-	total := 0
-	consume := func() error {
-		for {
+	buildRun := func(c *rel, _ int) (*orderedRun, error) {
+		fc, err := se.filterRel(where, c)
+		if err != nil {
+			return nil, err
+		}
+		if fc == nil {
+			return &orderedRun{}, nil
+		}
+		n := fc.numRows()
+		r := &orderedRun{vals: make([][]dataset.Value, 0, n), keys: make([][]dataset.Value, 0, n)}
+		// One output env reused across the chunk's rows: every row writes
+		// the same name set, so per-row maps would only add allocations.
+		outRow := make(expr.MapEnv, len(exprs))
+		for i := 0; i < n; i++ {
+			env := rowEnv{fc, i}
+			vals := make([]dataset.Value, len(exprs))
+			for ci, ex := range exprs {
+				v, err := ex.Eval(env)
+				if err != nil {
+					return nil, err
+				}
+				vals[ci] = v
+				outRow[names[ci]] = v
+			}
+			keys := make([]dataset.Value, len(stmt.OrderBy))
+			orderEnv := chainEnv{outRow, env}
+			for ki, o := range stmt.OrderBy {
+				v, err := o.Expr.Eval(orderEnv)
+				if err != nil {
+					return nil, err
+				}
+				keys[ki] = v
+			}
+			r.vals = append(r.vals, vals)
+			r.keys = append(r.keys, keys)
+		}
+		r.order = sortIndexes(len(r.vals), stmt.OrderBy, func(row, k int) dataset.Value { return r.keys[row][k] })
+		return r, nil
+	}
+	pipe := newParallelPipe(se.workers(), 2*se.workers(),
+		func() (*rel, bool, error) {
 			c, err := chunks.next()
+			return c, c != nil, err
+		},
+		buildRun,
+	)
+	se.onStop(pipe.stop)
+	sorter := newExtSorter(se, "order-by", stmt.OrderBy)
+	consumed := false
+	var sorted []sortedSource
+	consume := func() error {
+		seq := 0
+		for {
+			r, ok, err := pipe.next()
 			if err != nil {
 				return err
 			}
-			if c == nil {
+			if !ok {
+				sorted = sorter.sources()
 				return nil
 			}
-			r := &run{}
-			for i := 0; i < c.numRows(); i++ {
-				env := rowEnv{c, i}
-				outRow := make(expr.MapEnv, len(exprs))
-				vals := make([]dataset.Value, len(exprs))
-				for ci, ex := range exprs {
-					v, err := ex.Eval(env)
-					if err != nil {
-						return err
-					}
-					vals[ci] = v
-					outRow[names[ci]] = v
-				}
-				keys := make([]dataset.Value, len(stmt.OrderBy))
-				orderEnv := chainEnv{outRow, env}
-				for ki, o := range stmt.OrderBy {
-					v, err := o.Expr.Eval(orderEnv)
-					if err != nil {
-						return err
-					}
-					keys[ki] = v
-				}
-				r.vals = append(r.vals, vals)
-				r.keys = append(r.keys, keys)
-			}
-			r.order = sortIndexes(len(r.vals), stmt.OrderBy, func(row, k int) dataset.Value { return r.keys[row][k] })
-			runs = append(runs, r)
-			total += len(r.vals)
-			if err := se.buffer("order-by", total); err != nil {
+			if err := sorter.addRun(seq, r.vals, r.keys, r.order); err != nil {
 				return err
 			}
+			seq++
 		}
-	}
-	less := func(a, b []dataset.Value) bool {
-		for k, o := range stmt.OrderBy {
-			cmp := dataset.Compare(a[k], b[k])
-			if cmp == 0 {
-				continue
-			}
-			if o.Desc {
-				return cmp > 0
-			}
-			return cmp < 0
-		}
-		return false
 	}
 	return func() (*dataset.Table, error) {
 		if !consumed {
@@ -842,27 +1205,14 @@ func (se *streamExec) orderedPull(stmt *SelectStmt, chunks relChunks, names []st
 		chunkRows := se.opts.chunkRows()
 		var rows [][]dataset.Value
 		for len(rows) < chunkRows {
-			best := -1
-			for ri, r := range runs {
-				if r.pos >= len(r.order) {
-					continue
-				}
-				if best < 0 {
-					best = ri
-					continue
-				}
-				// Strictly-less replacement keeps the earliest run on ties,
-				// preserving input order the way a global stable sort does.
-				if less(r.keys[r.order[r.pos]], runs[best].keys[runs[best].order[runs[best].pos]]) {
-					best = ri
-				}
+			vals, _, ok, err := sorter.mergeStep(sorted)
+			if err != nil {
+				return nil, err
 			}
-			if best < 0 {
+			if !ok {
 				break
 			}
-			r := runs[best]
-			rows = append(rows, r.vals[r.order[r.pos]])
-			r.pos++
+			rows = append(rows, vals)
 		}
 		if len(rows) == 0 {
 			return nil, nil
@@ -990,39 +1340,15 @@ func (se *streamExec) runGrouped(stmt *SelectStmt, chunks relChunks, aggs []*Agg
 				}
 			}
 			for ai, a := range aggs {
-				if a.Star {
-					g.counts[ai]++
-					continue
+				var v dataset.Value
+				if !a.Star {
+					v, err = a.Arg.Eval(env)
+					if err != nil {
+						return nil, err
+					}
 				}
-				v, err := a.Arg.Eval(env)
-				if err != nil {
+				if err := g.accumulate(a, ai, v); err != nil {
 					return nil, err
-				}
-				if v.IsNull() {
-					continue
-				}
-				switch a.Name {
-				case "COUNT":
-					g.counts[ai]++
-				case "MIN", "MAX":
-					if !g.hasBest[ai] {
-						g.best[ai], g.hasBest[ai] = v, true
-						continue
-					}
-					cmp := dataset.Compare(v, g.best[ai])
-					if (a.Name == "MIN" && cmp < 0) || (a.Name == "MAX" && cmp > 0) {
-						g.best[ai] = v
-					}
-				default: // SUM, AVG accumulate in ascending row order, like computeAgg
-					f, ok := v.AsFloat()
-					if !ok {
-						return nil, fmt.Errorf("sql: %s over non-numeric value %v", a.Name, v)
-					}
-					if v.Type != dataset.TypeInt {
-						g.allInt[ai] = false
-					}
-					g.sums[ai] += f
-					g.counts[ai]++
 				}
 			}
 		}
@@ -1112,6 +1438,88 @@ func (se *streamExec) distinctPull(in func() (*dataset.Table, error)) func() (*d
 				continue
 			}
 			return t.Take(keep), nil
+		}
+	}
+}
+
+// distinctBatch is one chunk with its row keys rendered (and sharded) by a
+// pipeline worker.
+type distinctBatch struct {
+	t     *dataset.Table
+	keys  []string
+	shard []uint32
+}
+
+// parallelDistinctPull shards the DISTINCT seen-set by key hash: pipeline
+// workers render row keys per morsel, and per-chunk the shards dedup their
+// own key subspace concurrently into disjoint slots of a keep bitmap. Shard
+// assignment depends only on the key — never the worker count — and chunks
+// are processed in input order, so the kept row set is exactly the serial
+// one. The budget is charged per shard; DISTINCT does not spill, so overflow
+// is a BudgetError like the serial path.
+func (se *streamExec) parallelDistinctPull(in func() (*dataset.Table, error)) func() (*dataset.Table, error) {
+	shards := se.workers()
+	seen := make([]map[string]bool, shards)
+	for i := range seen {
+		seen[i] = map[string]bool{}
+	}
+	pipe := newParallelPipe(se.workers(), 2*se.workers(),
+		func() (*dataset.Table, bool, error) {
+			t, err := in()
+			return t, t != nil, err
+		},
+		func(t *dataset.Table, _ int) (*distinctBatch, error) {
+			n := t.NumRows()
+			b := &distinctBatch{t: t, keys: make([]string, n), shard: make([]uint32, n)}
+			for r := 0; r < n; r++ {
+				b.keys[r] = streamRowKey(t.Row(r))
+				b.shard[r] = hash32str(b.keys[r]) % uint32(shards)
+			}
+			return b, nil
+		},
+	)
+	se.onStop(pipe.stop)
+	return func() (*dataset.Table, error) {
+		for {
+			b, ok, err := pipe.next()
+			if err != nil || !ok {
+				return nil, err
+			}
+			n := b.t.NumRows()
+			keepBits := make([]bool, n)
+			var wg sync.WaitGroup
+			for s := 0; s < shards; s++ {
+				wg.Add(1)
+				go func(s int) {
+					defer wg.Done()
+					m := seen[s]
+					for r := 0; r < n; r++ {
+						if int(b.shard[r]) == s && !m[b.keys[r]] {
+							m[b.keys[r]] = true
+							keepBits[r] = true
+						}
+					}
+				}(s)
+			}
+			wg.Wait()
+			for s := 0; s < shards; s++ {
+				if err := se.buffer(fmt.Sprintf("distinct#%d", s), len(seen[s])); err != nil {
+					return nil, err
+				}
+			}
+			keep := make([]int, 0, n)
+			for r, k := range keepBits {
+				if k {
+					keep = append(keep, r)
+				}
+			}
+			if len(keep) == n {
+				return b.t, nil
+			}
+			if len(keep) == 0 {
+				continue
+			}
+			return b.t.Take(keep), nil
 		}
 	}
 }

@@ -142,7 +142,9 @@ func TestStreamFirstChunkIsIncremental(t *testing.T) {
 }
 
 // TestStreamBudgetError checks pipeline breakers fail loudly with the typed
-// overflow error instead of buffering past the budget.
+// overflow error instead of buffering past the budget. ORDER BY needs spill
+// disabled (it spills to disk by default now); join build sides cannot spill
+// and must fail either way.
 func TestStreamBudgetError(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	catalog := NewMapCatalog(CorpusTables(rng, 500, 10))
@@ -150,7 +152,7 @@ func TestStreamBudgetError(t *testing.T) {
 		"SELECT i FROM t1 ORDER BY i",
 		"SELECT t1.i, t2.v FROM t1 JOIN t2 ON t1.i = t2.k",
 	} {
-		rs, err := ExecStream(catalog, q, StreamOptions{MaxBufferedRows: 5})
+		rs, err := ExecStream(catalog, q, StreamOptions{MaxBufferedRows: 5, DisableSpill: true})
 		if err == nil {
 			_, err = rs.ReadAll()
 		}

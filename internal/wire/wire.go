@@ -96,6 +96,20 @@ type RowChunk struct {
 	// Error reports a failure that happened after streaming began (the HTTP
 	// status was already committed); nil on a clean end.
 	Error *Error `json:"error,omitempty"`
+	// Stats rides the terminal sentinel: how the morsel pipeline executed the
+	// request (worker count, buffered-row peak, disk spill activity).
+	Stats *StreamStats `json:"stats,omitempty"`
+}
+
+// StreamStats summarizes one streamed execution for the terminal sentinel:
+// the morsel worker count, the buffered-row high-water mark against the
+// memory budget, and how much the pipeline breakers spilled to disk.
+type StreamStats struct {
+	Workers          int   `json:"workers,omitempty"`
+	PeakBufferedRows int   `json:"peak_buffered_rows,omitempty"`
+	SpillRuns        int   `json:"spill_runs,omitempty"`
+	SpilledRows      int   `json:"spilled_rows,omitempty"`
+	SpilledBytes     int64 `json:"spilled_bytes,omitempty"`
 }
 
 // EncodeTable converts rows [offset, offset+limit) of t to the wire form.
@@ -388,6 +402,14 @@ type RunRequest struct {
 	// MaxRows caps the rows inlined in the response table (0 = server
 	// default); fetch the rest via the dataset pages or the row stream.
 	MaxRows int `json:"max_rows,omitempty"`
+	// StreamWorkers sets the morsel pipeline workers for this request's
+	// target fragment: 0 keeps the server default, 1 forces the serial
+	// pipeline, -1 asks for one worker per core.
+	StreamWorkers int `json:"stream_workers,omitempty"`
+	// MaxBufferedRows caps the rows the engine's pipeline breakers (group-by,
+	// sort, join, distinct) may hold in memory; overflow spills sorted runs
+	// to disk. 0 keeps the server default.
+	MaxBufferedRows int `json:"max_buffered_rows,omitempty"`
 }
 
 // RunResponse is the outcome of one executed request.
