@@ -1,0 +1,90 @@
+// Command dcconform drives the conformance corpus from the shell: lint the
+// case files, regenerate the gen_ corpus, or run every case through all
+// five execution routes.
+//
+//	dcconform -lint ./testdata/conformance     # structural checks only
+//	dcconform -gen ./testdata/conformance      # rewrite gen_*.case goldens
+//	dcconform ./testdata/conformance           # full five-route run
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"datachat/internal/conformance"
+)
+
+func main() {
+	lint := flag.Bool("lint", false, "lint the case files without executing them")
+	gen := flag.Bool("gen", false, "regenerate the gen_*.case corpus goldens")
+	flag.Parse()
+	dir := flag.Arg(0)
+	if dir == "" {
+		dir = "testdata/conformance"
+	}
+	switch {
+	case *gen:
+		cases, err := conformance.Generate()
+		if err != nil {
+			fail(err)
+		}
+		if err := conformance.WriteCorpus(dir, cases); err != nil {
+			fail(err)
+		}
+		fmt.Printf("wrote %d generated cases to %s\n", len(cases), dir)
+	case *lint:
+		cases, errs := conformance.LintDir(dir)
+		for _, err := range errs {
+			fmt.Fprintln(os.Stderr, "lint:", err)
+		}
+		if len(errs) > 0 {
+			os.Exit(1)
+		}
+		fmt.Printf("%d cases lint clean\n", len(cases))
+	default:
+		cases, err := conformance.LoadDir(dir)
+		if err != nil {
+			fail(err)
+		}
+		failures := 0
+		for _, c := range cases {
+			if err := runCase(c); err != nil {
+				failures++
+				fmt.Fprintln(os.Stderr, "FAIL:", err)
+			}
+		}
+		if failures > 0 {
+			fail(fmt.Errorf("%d of %d cases failed", failures, len(cases)))
+		}
+		fmt.Printf("%d cases passed on all %d routes\n", len(cases), len(conformance.Routes))
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintln(os.Stderr, "dcconform:", err)
+	os.Exit(1)
+}
+
+func runCase(c *conformance.Case) error {
+	if c.DryRunError == "" {
+		rep, err := conformance.DryRun(c)
+		if err != nil {
+			return fmt.Errorf("%s: dry-run: %w", c.Name, err)
+		}
+		if err := conformance.CheckExplain(c, rep); err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+		if _, err := conformance.Verify(c); err != nil {
+			return err
+		}
+		return nil
+	}
+	if _, err := conformance.DryRun(c); err == nil {
+		return fmt.Errorf("%s: dry-run succeeded, want error containing %q", c.Name, c.DryRunError)
+	} else if !strings.Contains(err.Error(), c.DryRunError) {
+		return fmt.Errorf("%s: dry-run error %q does not contain %q", c.Name, err.Error(), c.DryRunError)
+	}
+	return nil
+}

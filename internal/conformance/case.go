@@ -1,0 +1,439 @@
+// Package conformance implements the declarative fixture-driven test
+// corpus of the ROADMAP's "Recipe/GEL conformance harness" item: each
+// `.case` file carries inline CSV fixtures, a pipeline body written in any
+// front-end dialect (GEL, the Python API, a phrase sentence, or raw recipe
+// steps), an expected result, and optional EXPLAIN-shape assertions. A
+// runner executes every case through all five execution routes — GEL,
+// pyapi, phrase, recipe replay, and over the wire against an in-process
+// datachatd — and asserts cell-identical results, with a matrix mode
+// (streamed vs buffered at several worker counts, with a tiny memory
+// budget to force spill) and a dry-run mode that type-checks and plans
+// without executing.
+//
+// The case format is a line-oriented plain-text file (no YAML dependency):
+//
+//	# comment
+//	case: filter-int-ge
+//	tags: filter int
+//	fixture people:
+//	  id,age,name
+//	  1,34,ann
+//	gel:
+//	  Use the dataset people
+//	  Keep the rows where age >= 30
+//	expect:
+//	  id,age,name
+//	  1,34,ann
+//
+// Top-level sections start at column 0 with `key:` or `key operand:`;
+// indented lines (two spaces) form the section's block. Exactly one body
+// section (`gel:`, `pyapi:`, `recipe:`, `phrase <dataset>:`) is allowed.
+package conformance
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+
+	"datachat/internal/recipe"
+)
+
+// Fixture is one inline table: CSV text registered as both a session
+// dataset and a loadable file under Name.
+type Fixture struct {
+	Name string
+	CSV  string
+}
+
+// DBFixture is one inline cloud-database table (for LoadTable cases):
+// the table lands in a cloud.Database named DB.
+type DBFixture struct {
+	DB    string
+	Table string
+	CSV   string
+}
+
+// ExplainAssert is one dry-run plan-shape assertion.
+type ExplainAssert struct {
+	// Kind is "tasks", "pass", or "pushdown".
+	Kind string
+	// Op and N apply to "tasks" ("<=", ">=", "="; N is the bound).
+	Op string
+	N  int
+	// Name is the pass name for "pass" (Want true = fired) or the marker
+	// substring for "pushdown".
+	Name string
+	Want bool
+}
+
+// Case is one parsed conformance case.
+type Case struct {
+	// Name identifies the case (unique across the corpus).
+	Name string
+	// Path is the source file (set by LoadDir).
+	Path string
+	// Tags are free-form labels ("filter", "join", "nulls", ...).
+	Tags []string
+	// Kind selects extra harness behavior: "" (standard), "lock" (assert
+	// §2.4 contention semantics around the pipeline), "cache" (assert
+	// replay hits the sub-DAG cache), "degraded" (the case's cloud scans
+	// fail permanently and must degrade, annotated).
+	Kind string
+	// Unordered compares the expected table as a multiset of rows.
+	Unordered bool
+	// Fixtures are the session datasets, in declaration order.
+	Fixtures []Fixture
+	// DBFixtures are cloud-database tables, in declaration order.
+	DBFixtures []DBFixture
+	// Dialect is the body's front end: "gel", "pyapi", "recipe", "phrase".
+	Dialect string
+	// PhraseDataset is the target dataset of a phrase body.
+	PhraseDataset string
+	// Body is the raw body text.
+	Body string
+	// Steps is the canonical lowering of the body (filled by Lower).
+	Steps []recipe.Step
+	// Expect is the expected result table as CSV ("" when the case expects
+	// charts, a message, or an error instead).
+	Expect string
+	// ExpectMessage asserts the result message verbatim ("" = unchecked).
+	ExpectMessage string
+	// ExpectCharts asserts the number of charts built (-1 = unchecked).
+	ExpectCharts int
+	// ExpectError asserts execution fails with this substring on every route.
+	ExpectError string
+	// ExpectDegraded asserts the result is annotated as degraded.
+	ExpectDegraded bool
+	// DryRunError asserts the dry-run type checker rejects the case with
+	// this substring (such cases are never executed).
+	DryRunError string
+	// Explain are dry-run plan-shape assertions.
+	Explain []ExplainAssert
+}
+
+// HasExpectation reports whether the case asserts anything beyond
+// cross-route agreement.
+func (c *Case) HasExpectation() bool {
+	return c.Expect != "" || c.ExpectMessage != "" || c.ExpectCharts >= 0 ||
+		c.ExpectError != "" || c.DryRunError != "" || len(c.Explain) > 0 || c.ExpectDegraded
+}
+
+// ParseCase parses one case file.
+func ParseCase(src string) (*Case, error) {
+	c := &Case{ExpectCharts: -1}
+	lines := strings.Split(src, "\n")
+	i := 0
+	nextSection := func() (key, operand, inline string, ok bool) {
+		for i < len(lines) {
+			line := lines[i]
+			trimmed := strings.TrimSpace(line)
+			if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+				i++
+				continue
+			}
+			if strings.HasPrefix(line, " ") || strings.HasPrefix(line, "\t") {
+				return "", "", "", false // stray indented line; caller reports
+			}
+			colon := strings.IndexByte(line, ':')
+			if colon < 0 {
+				return "", "", "", false
+			}
+			head := strings.Fields(line[:colon])
+			if len(head) == 0 || len(head) > 2 {
+				return "", "", "", false
+			}
+			key = head[0]
+			if len(head) == 2 {
+				operand = head[1]
+			}
+			inline = strings.TrimSpace(line[colon+1:])
+			i++
+			return key, operand, inline, true
+		}
+		return "", "", "", false
+	}
+	block := func() string {
+		var b []string
+		for i < len(lines) {
+			line := lines[i]
+			if strings.TrimSpace(line) == "" {
+				// Blank lines inside a block are kept only if more indented
+				// content follows; trailing blanks are dropped below.
+				b = append(b, "")
+				i++
+				continue
+			}
+			if !strings.HasPrefix(line, "  ") && !strings.HasPrefix(line, "\t") {
+				break
+			}
+			b = append(b, strings.TrimPrefix(strings.TrimPrefix(line, "  "), "\t"))
+			i++
+		}
+		for len(b) > 0 && b[len(b)-1] == "" {
+			b = b[:len(b)-1]
+		}
+		return strings.Join(b, "\n")
+	}
+
+	setBody := func(dialect, body string) error {
+		if c.Dialect != "" {
+			return fmt.Errorf("conformance: case has both a %q and a %q body", c.Dialect, dialect)
+		}
+		if strings.TrimSpace(body) == "" {
+			return fmt.Errorf("conformance: empty %q body", dialect)
+		}
+		c.Dialect = dialect
+		c.Body = body
+		return nil
+	}
+
+	for {
+		key, operand, inline, ok := nextSection()
+		if !ok {
+			if i < len(lines) && strings.TrimSpace(strings.Join(lines[i:], "")) != "" {
+				return nil, fmt.Errorf("conformance: malformed line %d: %q", i+1, lines[i])
+			}
+			break
+		}
+		switch key {
+		case "case":
+			c.Name = inline
+		case "tags":
+			c.Tags = strings.Fields(inline)
+		case "kind":
+			switch inline {
+			case "lock", "cache", "degraded":
+				c.Kind = inline
+			default:
+				return nil, fmt.Errorf("conformance: unknown kind %q", inline)
+			}
+		case "unordered":
+			c.Unordered = inline == "true"
+		case "fixture":
+			if operand == "" {
+				return nil, fmt.Errorf("conformance: fixture needs a name")
+			}
+			csv := block()
+			if dot := strings.IndexByte(operand, '.'); dot > 0 {
+				c.DBFixtures = append(c.DBFixtures, DBFixture{DB: operand[:dot], Table: operand[dot+1:], CSV: csv})
+			} else {
+				c.Fixtures = append(c.Fixtures, Fixture{Name: operand, CSV: csv})
+			}
+		case "gel", "pyapi", "recipe":
+			if err := setBody(key, block()); err != nil {
+				return nil, err
+			}
+		case "phrase":
+			if operand == "" {
+				return nil, fmt.Errorf("conformance: phrase body needs a dataset operand")
+			}
+			c.PhraseDataset = operand
+			body := inline
+			if body == "" {
+				body = block()
+			}
+			if err := setBody("phrase", body); err != nil {
+				return nil, err
+			}
+		case "expect":
+			c.Expect = block()
+		case "expect-message":
+			if inline != "" {
+				c.ExpectMessage = inline
+			} else {
+				c.ExpectMessage = block()
+			}
+		case "expect-charts":
+			n, err := strconv.Atoi(inline)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: expect-charts: %w", err)
+			}
+			c.ExpectCharts = n
+		case "expect-degraded":
+			c.ExpectDegraded = inline == "true"
+		case "error":
+			c.ExpectError = inline
+		case "dryrun-error":
+			c.DryRunError = inline
+		case "explain":
+			asserts, err := parseExplainAsserts(block())
+			if err != nil {
+				return nil, err
+			}
+			c.Explain = asserts
+		default:
+			return nil, fmt.Errorf("conformance: unknown section %q", key)
+		}
+	}
+	if c.Name == "" {
+		return nil, fmt.Errorf("conformance: case has no name")
+	}
+	if c.Dialect == "" {
+		return nil, fmt.Errorf("conformance: case %q has no body", c.Name)
+	}
+	return c, nil
+}
+
+// parseExplainAsserts parses the explain: block, one assertion per line:
+//
+//	tasks <= 3
+//	pass pushdown fired
+//	pass consolidate not-fired
+//	pushdown condition
+func parseExplainAsserts(body string) ([]ExplainAssert, error) {
+	var out []ExplainAssert
+	for _, line := range strings.Split(body, "\n") {
+		fields := strings.Fields(line)
+		if len(fields) == 0 {
+			continue
+		}
+		switch fields[0] {
+		case "tasks":
+			if len(fields) != 3 {
+				return nil, fmt.Errorf("conformance: explain tasks wants 'tasks <op> N', got %q", line)
+			}
+			op := fields[1]
+			if op != "<=" && op != ">=" && op != "=" {
+				return nil, fmt.Errorf("conformance: explain tasks: unknown op %q", op)
+			}
+			n, err := strconv.Atoi(fields[2])
+			if err != nil {
+				return nil, fmt.Errorf("conformance: explain tasks: %w", err)
+			}
+			out = append(out, ExplainAssert{Kind: "tasks", Op: op, N: n})
+		case "pass":
+			if len(fields) != 3 || (fields[2] != "fired" && fields[2] != "not-fired") {
+				return nil, fmt.Errorf("conformance: explain pass wants 'pass <name> fired|not-fired', got %q", line)
+			}
+			out = append(out, ExplainAssert{Kind: "pass", Name: fields[1], Want: fields[2] == "fired"})
+		case "pushdown":
+			if len(fields) != 2 {
+				return nil, fmt.Errorf("conformance: explain pushdown wants 'pushdown <marker>', got %q", line)
+			}
+			out = append(out, ExplainAssert{Kind: "pushdown", Name: fields[1]})
+		default:
+			return nil, fmt.Errorf("conformance: unknown explain assertion %q", line)
+		}
+	}
+	return out, nil
+}
+
+// Format serializes a case back to the file format (the generator and the
+// -update golden refresh write through here).
+func (c *Case) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "case: %s\n", c.Name)
+	if len(c.Tags) > 0 {
+		fmt.Fprintf(&b, "tags: %s\n", strings.Join(c.Tags, " "))
+	}
+	if c.Kind != "" {
+		fmt.Fprintf(&b, "kind: %s\n", c.Kind)
+	}
+	if c.Unordered {
+		b.WriteString("unordered: true\n")
+	}
+	writeBlock := func(header, body string) {
+		b.WriteString(header + ":\n")
+		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+			b.WriteString("  " + line + "\n")
+		}
+	}
+	for _, f := range c.Fixtures {
+		writeBlock("fixture "+f.Name, f.CSV)
+	}
+	for _, f := range c.DBFixtures {
+		writeBlock("fixture "+f.DB+"."+f.Table, f.CSV)
+	}
+	switch c.Dialect {
+	case "phrase":
+		fmt.Fprintf(&b, "phrase %s: %s\n", c.PhraseDataset, c.Body)
+	default:
+		writeBlock(c.Dialect, c.Body)
+	}
+	if c.Expect != "" {
+		writeBlock("expect", c.Expect)
+	}
+	if c.ExpectMessage != "" {
+		if strings.Contains(c.ExpectMessage, "\n") {
+			writeBlock("expect-message", c.ExpectMessage)
+		} else {
+			fmt.Fprintf(&b, "expect-message: %s\n", c.ExpectMessage)
+		}
+	}
+	if c.ExpectCharts >= 0 {
+		fmt.Fprintf(&b, "expect-charts: %d\n", c.ExpectCharts)
+	}
+	if c.ExpectDegraded {
+		b.WriteString("expect-degraded: true\n")
+	}
+	if c.ExpectError != "" {
+		fmt.Fprintf(&b, "error: %s\n", c.ExpectError)
+	}
+	if c.DryRunError != "" {
+		fmt.Fprintf(&b, "dryrun-error: %s\n", c.DryRunError)
+	}
+	if len(c.Explain) > 0 {
+		var lines []string
+		for _, a := range c.Explain {
+			switch a.Kind {
+			case "tasks":
+				lines = append(lines, fmt.Sprintf("tasks %s %d", a.Op, a.N))
+			case "pass":
+				state := "fired"
+				if !a.Want {
+					state = "not-fired"
+				}
+				lines = append(lines, fmt.Sprintf("pass %s %s", a.Name, state))
+			case "pushdown":
+				lines = append(lines, "pushdown "+a.Name)
+			}
+		}
+		writeBlock("explain", strings.Join(lines, "\n"))
+	}
+	return b.String()
+}
+
+// LoadDir parses every .case file under dir (sorted by name) and lowers
+// each body to canonical steps. Duplicate case names are an error.
+func LoadDir(dir string) ([]*Case, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".case") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	seen := map[string]string{}
+	var cases []*Case
+	for _, name := range names {
+		path := filepath.Join(dir, name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, err
+		}
+		c, err := ParseCase(string(data))
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		c.Path = path
+		if prev, dup := seen[c.Name]; dup {
+			return nil, fmt.Errorf("%s: case name %q already used by %s", path, c.Name, prev)
+		}
+		seen[c.Name] = path
+		if err := Lower(c); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		cases = append(cases, c)
+	}
+	if len(cases) == 0 {
+		return nil, fmt.Errorf("conformance: no .case files under %s", dir)
+	}
+	return cases, nil
+}

@@ -1,0 +1,257 @@
+package conformance
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"datachat/internal/cloud"
+	"datachat/internal/core"
+	"datachat/internal/dataset"
+	"datachat/internal/recipe"
+)
+
+var update = flag.Bool("update", false, "rewrite the generated gen_*.case corpus goldens")
+
+const corpusDir = "../../testdata/conformance"
+
+func loadCorpus(t *testing.T) []*Case {
+	t.Helper()
+	cases, err := LoadDir(corpusDir)
+	if err != nil {
+		t.Fatalf("loading corpus: %v", err)
+	}
+	if len(cases) < 100 {
+		t.Fatalf("corpus holds %d cases, want at least 100", len(cases))
+	}
+	return cases
+}
+
+// TestCorpusRoutes is the conformance gate: every case is dry-run planned
+// (plan-shape asserts included), then executed through all five front ends
+// and compared cell by cell; dry-run-error cases must be rejected by the
+// type checker without reaching execution.
+func TestCorpusRoutes(t *testing.T) {
+	for _, c := range loadCorpus(t) {
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			if c.DryRunError != "" {
+				_, err := DryRun(c)
+				if err == nil {
+					t.Fatalf("dry-run succeeded, want error containing %q", c.DryRunError)
+				}
+				if !strings.Contains(err.Error(), c.DryRunError) {
+					t.Fatalf("dry-run error %q does not contain %q", err.Error(), c.DryRunError)
+				}
+				return
+			}
+			rep, err := DryRun(c)
+			if err != nil {
+				t.Fatalf("dry-run: %v", err)
+			}
+			if err := CheckExplain(c, rep); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := Verify(c); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestCorpusMatrix re-runs the eligible cases streamed at parallelism
+// {1,2,4} with a 3-row memory budget (so pipeline breakers must spill) and
+// asserts both the final table and the reassembled chunk stream match the
+// buffered reference. Under -short only every fourth case runs, at a
+// single matrix point.
+func TestCorpusMatrix(t *testing.T) {
+	var eligible []*Case
+	for _, c := range loadCorpus(t) {
+		if MatrixEligible(c) {
+			eligible = append(eligible, c)
+		}
+	}
+	if len(eligible) == 0 {
+		t.Fatal("no matrix-eligible cases in the corpus")
+	}
+	for i, c := range eligible {
+		if testing.Short() && i%4 != 0 {
+			continue
+		}
+		c := c
+		t.Run(c.Name, func(t *testing.T) {
+			t.Parallel()
+			ref, err := runRecipe(c)
+			if err != nil {
+				t.Fatalf("buffered reference: %v", err)
+			}
+			if ref.Err != nil {
+				t.Fatalf("buffered reference failed: %v", ref.Err)
+			}
+			points := DefaultMatrix
+			if testing.Short() {
+				points = points[1:2] // one mid-parallelism point is enough
+			}
+			for _, pt := range points {
+				if err := RunMatrix(c, ref, pt, t.TempDir()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestCorpusLint keeps the checked-in case files structurally sound.
+func TestCorpusLint(t *testing.T) {
+	_, errs := LintDir(corpusDir)
+	for _, err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestGeneratedCorpusUpToDate regenerates the corpus in memory and compares
+// it byte for byte against the checked-in gen_*.case files, so editing the
+// generator without refreshing the goldens fails loudly. Run with -update
+// (or `go run ./cmd/dcconform -gen`) to rewrite them.
+func TestGeneratedCorpusUpToDate(t *testing.T) {
+	cases, err := Generate()
+	if err != nil {
+		t.Fatalf("generating corpus: %v", err)
+	}
+	if *update {
+		if err := WriteCorpus(corpusDir, cases); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %d generated cases", len(cases))
+		return
+	}
+	want := map[string]string{}
+	for _, c := range cases {
+		want["gen_"+c.Name+".case"] = c.Format()
+	}
+	entries, err := os.ReadDir(corpusDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	onDisk := map[string]bool{}
+	for _, e := range entries {
+		if !strings.HasPrefix(e.Name(), "gen_") || !strings.HasSuffix(e.Name(), ".case") {
+			continue
+		}
+		onDisk[e.Name()] = true
+		body, err := os.ReadFile(filepath.Join(corpusDir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, ok := want[e.Name()]
+		switch {
+		case !ok:
+			t.Errorf("%s is on disk but no longer generated; refresh with -update", e.Name())
+		case string(body) != w:
+			t.Errorf("%s is stale; refresh with -update", e.Name())
+		}
+	}
+	for name := range want {
+		if !onDisk[name] {
+			t.Errorf("%s is generated but missing on disk; refresh with -update", name)
+		}
+	}
+}
+
+// countingDB wraps a cloud database and counts every row-reading call, so
+// the dry-run test can prove EXPLAIN never touches the data.
+type countingDB struct {
+	cloud.DB
+	reads atomic.Int64
+}
+
+func (c *countingDB) Scan(name string) (*dataset.Table, error) {
+	c.reads.Add(1)
+	return c.DB.Scan(name)
+}
+
+func (c *countingDB) SampleBlocks(name string, rate float64, seed int64) (*dataset.Table, error) {
+	c.reads.Add(1)
+	return c.DB.SampleBlocks(name, rate, seed)
+}
+
+func (c *countingDB) Table(name string) (*dataset.Table, error) {
+	c.reads.Add(1)
+	return c.DB.Table(name)
+}
+
+// TestDryRunExecutesNothing pins the dry-run contract: planning a pipeline
+// rooted at a cloud scan — pass pipeline, plan-shape report and all — must
+// not read a single block, while really running it must.
+func TestDryRunExecutesNothing(t *testing.T) {
+	const eventsCSV = "eid,kind,val\n1,click,3\n2,view,5\n3,click,7\n"
+	events, err := dataset.ReadCSVString("events", eventsCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := cloud.NewDatabase("wh", cloud.DefaultPricing, 4)
+	if err := base.CreateTable(events); err != nil {
+		t.Fatal(err)
+	}
+	cdb := &countingDB{DB: base}
+	p := core.New()
+	if err := p.ConnectDatabase(cdb); err != nil {
+		t.Fatal(err)
+	}
+	s, err := p.CreateSession(SessionName, User)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &Case{
+		Name:    "dryrun-zero-scan",
+		Dialect: "gel",
+		DBFixtures: []DBFixture{
+			{DB: "wh", Table: "events", CSV: eventsCSV},
+		},
+		Body: "Load the table events from the database wh\n" +
+			"Keep the rows where kind = 'click'\n" +
+			"Compute the sum of val",
+	}
+	if err := Lower(c); err != nil {
+		t.Fatal(err)
+	}
+	g := (&recipe.Recipe{Name: c.Name, Steps: c.Steps}).Graph()
+	if _, err := s.Executor().Explain(g, g.Last()); err != nil {
+		t.Fatalf("explain: %v", err)
+	}
+	if n := cdb.reads.Load(); n != 0 {
+		t.Fatalf("EXPLAIN read the cloud table %d times, want 0", n)
+	}
+	// A type error must surface at plan time, again without any read.
+	bad := &Case{
+		Name:    "dryrun-zero-scan-bad",
+		Dialect: "gel",
+		DBFixtures: []DBFixture{
+			{DB: "wh", Table: "events", CSV: eventsCSV},
+		},
+		Body: "Load the table events from the database wh\n" +
+			"Keep the rows where kindd = 'click'",
+		DryRunError: `unknown column "kindd"`,
+	}
+	if err := Lower(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := DryRun(bad); err == nil || !strings.Contains(err.Error(), bad.DryRunError) {
+		t.Fatalf("dry-run of a bad column returned %v, want %q", err, bad.DryRunError)
+	}
+	if n := cdb.reads.Load(); n != 0 {
+		t.Fatalf("dry runs read the cloud table %d times, want 0", n)
+	}
+	// Sanity: actually executing the same program does read, so the
+	// counter is wired to the path EXPLAIN is claimed to skip.
+	if _, _, err := s.RequestProgram(User, invsOf(c.Steps)...); err != nil {
+		t.Fatalf("real run: %v", err)
+	}
+	if cdb.reads.Load() == 0 {
+		t.Fatal("real execution read nothing; the counting wrapper is not in the loop")
+	}
+}

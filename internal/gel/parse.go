@@ -49,6 +49,8 @@ var grammar = []grammarEntry{
 	{"DistinctRows", "remove duplicate rows", nil},
 	{"Concatenate", "concatenate the datasets {inputs:list} remove all duplicates", skills.Args{"dedupe": true}},
 	{"Concatenate", "concatenate the datasets {inputs:list}", nil},
+	{"JoinDatasets", "left join the datasets {inputs:list} on {on:rest}", skills.Args{"kind": "left"}},
+	{"JoinDatasets", "cross join the datasets {inputs:list} on {on:rest}", skills.Args{"kind": "cross"}},
 	{"JoinDatasets", "join the datasets {inputs:list} on {on:rest}", nil},
 	{"Pivot", "pivot {columns} against {rows} computing {measure:rest}", nil},
 	{"Bin", "create bins of size {size:number} on {column}", nil},

@@ -533,7 +533,7 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
-	_, _, err = s.platform.RunCtx(ctx, r.PathValue("name"), req.User, tune, invs...)
+	res, _, err := s.platform.RunCtx(ctx, r.PathValue("name"), req.User, tune, invs...)
 	if err != nil {
 		if !headerSent {
 			s.writeErr(w, err)
@@ -544,6 +544,15 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset,
 			Error: &wire.Error{Code: code, Message: err.Error()}, Stats: streamStats})
 		return
+	}
+	if res != nil && res.Degraded {
+		// The degraded-scan annotation lives on the result, which the
+		// stream never encodes — carry it on the sentinel stats instead.
+		if streamStats == nil {
+			streamStats = &wire.StreamStats{}
+		}
+		streamStats.Degraded = res.Degraded
+		streamStats.DegradedNote = res.DegradedNote
 	}
 	if !headerSent {
 		// No table flowed (chart/model/message-only result): emit a bare

@@ -12,7 +12,9 @@ import (
 	"time"
 
 	"datachat/internal/client"
+	"datachat/internal/dataset"
 	"datachat/internal/server"
+	"datachat/internal/skills"
 	"datachat/internal/wire"
 )
 
@@ -455,5 +457,68 @@ func TestRowStreamDrainMidStream(t *testing.T) {
 	}
 	if err := <-drained; err != nil {
 		t.Fatalf("Shutdown: %v", err)
+	}
+}
+
+// TestRunStreamDegradedSentinel pins streamed-vs-buffered equality of the
+// degraded-scan annotation: a buffered Run carries Degraded/DegradedNote on
+// the result, but a stream never encodes the result object, so the terminal
+// sentinel's stats must carry the same two fields. This guards the
+// regression where handleRunStream discarded the result and streaming
+// clients silently lost the §2.3 data-quality signal.
+func TestRunStreamDegradedSentinel(t *testing.T) {
+	srv, c := newTestDeployment(t, server.Config{})
+	err := srv.Platform().Registry.Register(&skills.Definition{
+		Name:     "StaleScan",
+		Category: skills.DataWrangling,
+		Summary:  "test skill: serves a degraded result",
+		GEL:      "StaleScan",
+		Volatile: true,
+		Apply: func(ctx *skills.Context, inv skills.Invocation) (*skills.Result, error) {
+			tab, err := dataset.NewTable(inv.Output, dataset.IntColumn("v", []int64{7, 8, 9}, nil))
+			if err != nil {
+				return nil, err
+			}
+			return &skills.Result{
+				Table: tab, Degraded: true,
+				DegradedNote: "served from snapshot aged 2h after primary scan failed",
+			}, nil
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s", "ann"); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := c.Run(ctx, "s", wire.RunRequest{User: "ann", Program: program("StaleScan", "d1")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result.Degraded || resp.Result.DegradedNote == "" {
+		t.Fatalf("buffered result = %+v, want degraded with note", resp.Result)
+	}
+
+	rows := 0
+	_, stats, err := c.RunStreamStats(ctx, "s", wire.RunRequest{
+		User: "ann", Program: program("StaleScan", "d2"),
+	}, func(h *wire.Table, rc wire.RowChunk) error {
+		rows += len(rc.Rows)
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("RunStreamStats: %v", err)
+	}
+	if rows != 3 {
+		t.Fatalf("streamed %d rows, want 3", rows)
+	}
+	if stats == nil {
+		t.Fatal("stream ended without sentinel stats")
+	}
+	if stats.Degraded != resp.Result.Degraded || stats.DegradedNote != resp.Result.DegradedNote {
+		t.Fatalf("sentinel degraded = (%v, %q), buffered result = (%v, %q); the stream must carry the same annotation",
+			stats.Degraded, stats.DegradedNote, resp.Result.Degraded, resp.Result.DegradedNote)
 	}
 }

@@ -109,6 +109,21 @@ func ingestionSkills() []*Definition {
 			},
 			GEL:      "Use the dataset {dataset}",
 			Volatile: true, // resolves whatever the session currently holds
+			// The held table's content hash keys the cache, so pipelines
+			// rooted at a session dataset cache across requests, yet
+			// replacing the dataset (PutDataset drops the memoized hash)
+			// changes every downstream key.
+			SourceFingerprint: func(ctx *Context, args Args) (uint64, bool) {
+				name, err := args.String("dataset")
+				if err != nil {
+					return 0, false
+				}
+				fp, err := ctx.Fingerprint(name)
+				if err != nil {
+					return 0, false
+				}
+				return fp, true
+			},
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				name, err := inv.Args.String("dataset")
 				if err != nil {

@@ -30,6 +30,24 @@ func (r *Registry) RenderGEL(inv Invocation) (string, error) {
 			return "Remove duplicate rows over " + strings.Join(cols, ", "), nil
 		}
 		return "Remove duplicate rows", nil
+	case "SortRows":
+		// The template drops the descending flag; render the variant the
+		// grammar's descending entry parses back.
+		sentence := "Sort the rows by " + gelValue(inv, "columns")
+		if inv.Args.Bool("descending") {
+			sentence += " in descending order"
+		}
+		return sentence, nil
+	case "JoinDatasets":
+		prefix := "Join"
+		switch strings.ToLower(inv.Args.StringOr("kind", "")) {
+		case "left":
+			prefix = "Left join"
+		case "cross":
+			prefix = "Cross join"
+		}
+		return prefix + " the datasets " + strings.Join(inv.Inputs, " and ") +
+			" on " + gelValue(inv, "on"), nil
 	}
 	return fillTemplate(def.GEL, inv), nil
 }

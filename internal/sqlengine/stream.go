@@ -132,12 +132,17 @@ type streamExec struct {
 func (se *streamExec) buffer(op string, rows int) error {
 	se.mu.Lock()
 	defer se.mu.Unlock()
-	se.curTotal += rows - se.buffered[op]
+	prev := se.buffered[op]
+	se.curTotal += rows - prev
 	se.buffered[op] = rows
 	if se.curTotal > se.peak {
 		se.peak = se.curTotal
 	}
-	if se.opts.MaxBufferedRows > 0 && se.curTotal > se.opts.MaxBufferedRows {
+	// Only a growing charge can overflow: an operator releasing memory
+	// (rows <= prev) must never be blamed for pressure other live
+	// operators are holding, or a spill that just freed its buffers would
+	// fail with a budget error attributed to the wrong operator.
+	if rows > prev && se.opts.MaxBufferedRows > 0 && se.curTotal > se.opts.MaxBufferedRows {
 		return &BudgetError{Op: op, Buffered: se.curTotal, Budget: se.opts.MaxBufferedRows}
 	}
 	return nil
@@ -1411,14 +1416,37 @@ func (se *streamExec) runGrouped(stmt *SelectStmt, chunks relChunks, aggs []*Agg
 }
 
 // distinctPull drops rows whose rendered row key has been seen, keeping first
-// occurrences across chunks. The seen-set is charged against the budget.
+// occurrences across chunks. The seen-set is charged against the budget;
+// overflow hands the remaining input to a distinctSpiller (external dedupe on
+// disk) when spilling is enabled, and fails with the typed BudgetError when
+// it is not.
 func (se *streamExec) distinctPull(in func() (*dataset.Table, error)) func() (*dataset.Table, error) {
 	seen := map[string]bool{}
+	var sp *distinctSpiller
+	var tail func() (*dataset.Table, error)
 	return func() (*dataset.Table, error) {
 		for {
+			if tail != nil {
+				return tail()
+			}
 			t, err := in()
-			if err != nil || t == nil {
+			if err != nil {
 				return nil, err
+			}
+			if t == nil {
+				if sp == nil {
+					return nil, nil
+				}
+				if tail, err = sp.resolve(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if sp != nil {
+				if err := sp.add(t, nil); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			keep := make([]int, 0, t.NumRows())
 			for r := 0; r < t.NumRows(); r++ {
@@ -1429,7 +1457,20 @@ func (se *streamExec) distinctPull(in func() (*dataset.Table, error)) func() (*d
 				}
 			}
 			if err := se.buffer("distinct", len(seen)); err != nil {
-				return nil, err
+				if !se.spillEnabled() {
+					return nil, err
+				}
+				// This chunk's kept rows are still first occurrences —
+				// emitted below, keys flushed into the emitted run.
+				keys := make([]string, 0, len(seen))
+				for k := range seen {
+					keys = append(keys, k)
+				}
+				if sp, err = newDistinctSpiller(se, "distinct", keys); err != nil {
+					return nil, err
+				}
+				se.forceBuffer("distinct", 0)
+				seen = nil
 			}
 			if len(keep) == t.NumRows() {
 				return t, nil
@@ -1455,8 +1496,8 @@ type distinctBatch struct {
 // own key subspace concurrently into disjoint slots of a keep bitmap. Shard
 // assignment depends only on the key — never the worker count — and chunks
 // are processed in input order, so the kept row set is exactly the serial
-// one. The budget is charged per shard; DISTINCT does not spill, so overflow
-// is a BudgetError like the serial path.
+// one. The budget is charged per shard; overflow hands the remaining input
+// to a distinctSpiller like the serial path.
 func (se *streamExec) parallelDistinctPull(in func() (*dataset.Table, error)) func() (*dataset.Table, error) {
 	shards := se.workers()
 	seen := make([]map[string]bool, shards)
@@ -1479,11 +1520,31 @@ func (se *streamExec) parallelDistinctPull(in func() (*dataset.Table, error)) fu
 		},
 	)
 	se.onStop(pipe.stop)
+	var sp *distinctSpiller
+	var tail func() (*dataset.Table, error)
 	return func() (*dataset.Table, error) {
 		for {
+			if tail != nil {
+				return tail()
+			}
 			b, ok, err := pipe.next()
-			if err != nil || !ok {
+			if err != nil {
 				return nil, err
+			}
+			if !ok {
+				if sp == nil {
+					return nil, nil
+				}
+				if tail, err = sp.resolve(); err != nil {
+					return nil, err
+				}
+				continue
+			}
+			if sp != nil {
+				if err := sp.add(b.t, b.keys); err != nil {
+					return nil, err
+				}
+				continue
 			}
 			n := b.t.NumRows()
 			keepBits := make([]bool, n)
@@ -1502,10 +1563,31 @@ func (se *streamExec) parallelDistinctPull(in func() (*dataset.Table, error)) fu
 				}(s)
 			}
 			wg.Wait()
+			overflow := false
 			for s := 0; s < shards; s++ {
 				if err := se.buffer(fmt.Sprintf("distinct#%d", s), len(seen[s])); err != nil {
+					if !se.spillEnabled() {
+						return nil, err
+					}
+					overflow = true
+				}
+			}
+			if overflow {
+				// This chunk's kept rows are still first occurrences —
+				// emitted below, keys flushed into the emitted run.
+				var keys []string
+				for _, m := range seen {
+					for k := range m {
+						keys = append(keys, k)
+					}
+				}
+				if sp, err = newDistinctSpiller(se, "distinct", keys); err != nil {
 					return nil, err
 				}
+				for s := 0; s < shards; s++ {
+					se.forceBuffer(fmt.Sprintf("distinct#%d", s), 0)
+				}
+				seen = nil
 			}
 			keep := make([]int, 0, n)
 			for r, k := range keepBits {

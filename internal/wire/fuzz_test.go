@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+	"time"
+
+	"datachat/internal/dataset"
+)
+
+// FuzzWireDecodeTable feeds arbitrary bytes through the exact path a client
+// response takes: DecodeJSON into the wire form, Decode into a typed table,
+// re-encode. Wire input comes from the network, so every malformation —
+// short rows, type/schema mismatches, numbers out of range, bogus
+// timestamps — must come back as an error, never a panic.
+func FuzzWireDecodeTable(f *testing.F) {
+	// A well-formed page covering every column type, nulls included, is the
+	// structural seed the mutator works outward from.
+	tab, err := dataset.NewTable("t",
+		dataset.IntColumn("i", []int64{1, -9007199254740993, 0}, []bool{false, false, true}),
+		dataset.FloatColumn("f", []float64{1.5, -0.25, 0}, []bool{false, false, true}),
+		dataset.StringColumn("s", []string{"a", "", "∅"}, []bool{false, false, true}),
+		dataset.BoolColumn("b", []bool{true, false, false}, []bool{false, false, true}),
+		dataset.TimeColumn("ts", []time.Time{time.Unix(0, 0), time.Unix(1e9, 12345), {}}, []bool{false, false, true}),
+	)
+	if err != nil {
+		f.Fatal(err)
+	}
+	seed, err := json.Marshal(EncodeTable(tab, 0, 0))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	paged, err := json.Marshal(EncodeTable(tab, 1, 1))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(paged)
+	for _, s := range []string{
+		`{}`,
+		`{"name":"t","cols":[{"name":"i","type":"int"}],"rows":[[1.5]]}`,
+		`{"cols":[{"name":"i","type":"int"},{"name":"s","type":"string"}],"rows":[[1]]}`,
+		`{"cols":[{"name":"i","type":"int"}],"rows":[["NaN"],[null],[9999999999999999999999]]}`,
+		`{"cols":[{"name":"ts","type":"time"}],"rows":[["not-a-time"]]}`,
+		`{"cols":[{"name":"x","type":"wat"}],"rows":[[1]]}`,
+		`{"cols":[{"name":"b","type":"bool"}],"rows":[[1],[“x”]]}`,
+		`{"rows":[[1,2,3]]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var w Table
+		if err := DecodeJSON(bytes.NewReader(data), &w); err != nil {
+			return
+		}
+		decoded, err := w.Decode()
+		if err != nil || decoded == nil {
+			return
+		}
+		// A table that decoded cleanly must survive re-encoding.
+		if again := EncodeTable(decoded, 0, 0); again == nil {
+			t.Fatalf("re-encoding a decoded table returned nil")
+		}
+	})
+}

@@ -110,6 +110,11 @@ type StreamStats struct {
 	SpillRuns        int   `json:"spill_runs,omitempty"`
 	SpilledRows      int   `json:"spilled_rows,omitempty"`
 	SpilledBytes     int64 `json:"spilled_bytes,omitempty"`
+	// Degraded and DegradedNote mirror the result's degraded-scan
+	// annotation, so a streaming client sees the same data-quality signal
+	// a buffered Run response carries in its Result.
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedNote string `json:"degraded_note,omitempty"`
 }
 
 // EncodeTable converts rows [offset, offset+limit) of t to the wire form.
