@@ -360,3 +360,20 @@ func estimateBytes(t *dataset.Table) int64 {
 	}
 	return total
 }
+
+// ScanLatency estimates the simulated latency of scanning the given byte
+// count under a pricing model. It is the planner-facing view of the same
+// integer-math model the meter charges with, so cost estimates and observed
+// meter latency agree exactly for full scans.
+func ScanLatency(bytes int64, p Pricing) time.Duration {
+	return scanLatency(bytes, p.LatencyPerMB)
+}
+
+// ScanCost estimates the dollar cost of scanning the given byte count under
+// a pricing model, mirroring Meter.Cost for a single hypothetical scan.
+func ScanCost(bytes int64, p Pricing) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	return float64(bytes) / (1 << 30) * p.DollarsPerGB
+}

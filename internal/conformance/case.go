@@ -107,6 +107,13 @@ type Case struct {
 	ExpectError string
 	// ExpectDegraded asserts the result is annotated as degraded.
 	ExpectDegraded bool
+	// ExpectDegradedNote asserts the degraded note contains this substring
+	// on every route ("" = unchecked; requires ExpectDegraded).
+	ExpectDegradedNote string
+	// BudgetBytes caps the estimated cloud scan bytes per request (the §3
+	// cost-budget knob); past it the planner substitutes block samples and
+	// the result must be flagged degraded. 0 = unlimited.
+	BudgetBytes int64
 	// DryRunError asserts the dry-run type checker rejects the case with
 	// this substring (such cases are never executed).
 	DryRunError string
@@ -118,7 +125,8 @@ type Case struct {
 // cross-route agreement.
 func (c *Case) HasExpectation() bool {
 	return c.Expect != "" || c.ExpectMessage != "" || c.ExpectCharts >= 0 ||
-		c.ExpectError != "" || c.DryRunError != "" || len(c.Explain) > 0 || c.ExpectDegraded
+		c.ExpectError != "" || c.DryRunError != "" || len(c.Explain) > 0 || c.ExpectDegraded ||
+		c.ExpectDegradedNote != ""
 }
 
 // ParseCase parses one case file.
@@ -254,6 +262,18 @@ func ParseCase(src string) (*Case, error) {
 			c.ExpectCharts = n
 		case "expect-degraded":
 			c.ExpectDegraded = inline == "true"
+		case "expect-degraded-note":
+			if inline != "" {
+				c.ExpectDegradedNote = inline
+			} else {
+				c.ExpectDegradedNote = block()
+			}
+		case "budget-bytes":
+			n, err := strconv.ParseInt(inline, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("conformance: budget-bytes: %w", err)
+			}
+			c.BudgetBytes = n
 		case "error":
 			c.ExpectError = inline
 		case "dryrun-error":
@@ -335,6 +355,9 @@ func (c *Case) Format() string {
 	if c.Unordered {
 		b.WriteString("unordered: true\n")
 	}
+	if c.BudgetBytes != 0 {
+		fmt.Fprintf(&b, "budget-bytes: %d\n", c.BudgetBytes)
+	}
 	writeBlock := func(header, body string) {
 		b.WriteString(header + ":\n")
 		for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
@@ -368,6 +391,9 @@ func (c *Case) Format() string {
 	}
 	if c.ExpectDegraded {
 		b.WriteString("expect-degraded: true\n")
+	}
+	if c.ExpectDegradedNote != "" {
+		fmt.Fprintf(&b, "expect-degraded-note: %s\n", c.ExpectDegradedNote)
 	}
 	if c.ExpectError != "" {
 		fmt.Fprintf(&b, "error: %s\n", c.ExpectError)

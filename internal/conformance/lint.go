@@ -76,8 +76,17 @@ func Lint(c *Case) []error {
 	if c.Kind == "degraded" && len(c.DBFixtures) == 0 {
 		report("kind degraded needs a cloud fixture (fixture <db>.<table>:)")
 	}
-	if c.ExpectDegraded && c.Kind != "degraded" {
-		report("expect-degraded requires kind: degraded")
+	if c.ExpectDegraded && c.Kind != "degraded" && c.BudgetBytes <= 0 {
+		report("expect-degraded requires kind: degraded or budget-bytes:")
+	}
+	if c.BudgetBytes < 0 {
+		report("budget-bytes must be positive")
+	}
+	if c.BudgetBytes > 0 && len(c.DBFixtures) == 0 {
+		report("budget-bytes needs a cloud fixture (fixture <db>.<table>:) for the planner to cost")
+	}
+	if c.ExpectDegradedNote != "" && !c.ExpectDegraded {
+		report("expect-degraded-note requires expect-degraded: true")
 	}
 	if !c.HasExpectation() {
 		report("case asserts nothing beyond route agreement; add expect:, expect-message:, expect-charts:, error:, dryrun-error:, or explain:")

@@ -125,6 +125,11 @@ func newEnv(c *Case) (*caseEnv, error) {
 	if c.Kind == "degraded" {
 		s.Context().Degrade = skills.DegradePolicy{Enabled: true, SampleRate: 1}
 	}
+	if c.BudgetBytes > 0 {
+		// The in-process routes read the executor's standing options; the
+		// wire route additionally carries the knob on the RunRequest.
+		s.Executor().Options.CostBudgetBytes = c.BudgetBytes
+	}
 	return &caseEnv{p: p, s: s}, nil
 }
 
@@ -362,7 +367,9 @@ func runWire(c *Case) (*RouteResult, error) {
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	cl := client.New(ts.URL)
-	resp, err := cl.Run(context.Background(), SessionName, wire.RunRequest{User: User, Program: c.Steps})
+	resp, err := cl.Run(context.Background(), SessionName, wire.RunRequest{
+		User: User, Program: c.Steps, CostBudgetBytes: c.BudgetBytes,
+	})
 	if err != nil {
 		return &RouteResult{Route: "wire", Err: err}, nil
 	}
@@ -473,6 +480,10 @@ func Verify(c *Case) (*RouteResult, error) {
 		}
 		if c.ExpectDegraded && !rr.Degraded {
 			return nil, fmt.Errorf("case %s: route %s result is not annotated degraded", c.Name, rr.Route)
+		}
+		if c.ExpectDegradedNote != "" && !strings.Contains(rr.DegradedNote, c.ExpectDegradedNote) {
+			return nil, fmt.Errorf("case %s: route %s degraded note %q does not contain %q",
+				c.Name, rr.Route, rr.DegradedNote, c.ExpectDegradedNote)
 		}
 	}
 	if c.ExpectError == "" {
@@ -723,5 +734,5 @@ func RunMatrix(c *Case, ref *RouteResult, pt MatrixPoint, spillDir string) error
 // degraded and error cases exercise failure paths the stream replays
 // identically anyway.
 func MatrixEligible(c *Case) bool {
-	return c.Kind == "" && c.ExpectError == "" && c.DryRunError == ""
+	return c.Kind == "" && c.ExpectError == "" && c.DryRunError == "" && c.BudgetBytes == 0
 }

@@ -55,6 +55,10 @@ type Platform struct {
 	// signature with content fingerprints of the external inputs, so two
 	// sessions holding different data under the same name never collide.
 	cache *dag.Cache
+	// stats is the deployment-wide observed-stats registry backing the cost
+	// model: canonical fingerprints are shared across sessions, so every
+	// session's measurements refine every other session's estimates.
+	stats *plan.StatsRegistry
 }
 
 // New creates an empty platform.
@@ -72,6 +76,7 @@ func New() *Platform {
 		clouds:    map[string]cloud.DB{},
 		files:     map[string]string{},
 		cache:     dag.NewCache(dag.DefaultCacheCapacity),
+		stats:     plan.NewStatsRegistry(plan.DefaultStatsCapacity),
 	}
 }
 
@@ -170,6 +175,7 @@ func (p *Platform) CreateSession(name, owner string) (*session.Session, error) {
 	ctx.Snapshots = p.Snapshots
 	s := session.New(name, owner, p.Registry, ctx)
 	s.Executor().SetCache(p.cache)
+	s.Executor().SetStatsRegistry(p.stats)
 	p.sessions[key] = s
 	return s, nil
 }

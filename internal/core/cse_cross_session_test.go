@@ -1,0 +1,126 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"datachat/internal/dataset"
+	"datachat/internal/skills"
+)
+
+// cseProgram builds a pipeline with a structurally duplicated filter branch:
+// session-wide CSE merges the two filters into one executed node aliased
+// under both output names, and the concatenation consumes the survivor twice.
+func cseProgram(f1, f2, out string) []skills.Invocation {
+	return []skills.Invocation{
+		skillInv("KeepRows", []string{"base"}, f1, map[string]any{"condition": "v > 5"}),
+		skillInv("KeepRows", []string{"base"}, f2, map[string]any{"condition": "v > 5"}),
+		skillInv("Concatenate", []string{f1, f2}, out, nil),
+	}
+}
+
+// TestCrossSessionCSESharesCache pins the platform-wide payoff of plan-time
+// CSE: after one session runs a pipeline with a duplicated branch (merged by
+// CSE into a single executed node), a second session on the same platform
+// running the same shape is served from the shared cache — and replacing the
+// input dataset invalidates those entries through the content fingerprint,
+// never serving stale bytes. The final phase hammers both sessions
+// concurrently so -race checks the shared cache and stats registry.
+func TestCrossSessionCSESharesCache(t *testing.T) {
+	p := New()
+	table := planTable()
+	sa, err := p.CreateSession("a", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sa.Context().PutDataset("base", table)
+	sb, err := p.CreateSession("b", "ann")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb.Context().PutDataset("base", table)
+
+	resA, err := p.Run("a", "ann", cseProgram("f1", "f2", "both")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CSE must have fired on the duplicated branch, and the alias
+	// materialization must publish the merged output under both names.
+	ex, err := p.Explain("a", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cseFired := false
+	for _, tr := range ex.Passes {
+		if tr.Pass == "cse" && tr.Fired && tr.Dedup > 0 {
+			cseFired = true
+		}
+	}
+	if !cseFired {
+		t.Fatal("cse pass did not merge the duplicated branch")
+	}
+	d1, err := sa.Context().Dataset("f1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := sa.Context().Dataset("f2")
+	if err != nil {
+		t.Fatalf("merged branch's alias was not materialized: %v", err)
+	}
+	if !d1.Equal(d2.WithName("f1")) {
+		t.Fatal("alias dataset differs from survivor dataset")
+	}
+
+	// Session B runs the identical shape: its (post-CSE) plan keys match
+	// session A's, so the shared cache must serve it.
+	resB, err := p.Run("b", "ann", cseProgram("f1", "f2", "both")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resB.Table.Equal(resA.Table) {
+		t.Fatal("session B result differs from session A")
+	}
+	if hits := sb.Executor().Stats().CacheHits; hits == 0 {
+		t.Error("session B had no cache hits; CSE'd plans are not sharing keys across sessions")
+	}
+
+	// Invalidation: replacing the input dataset changes its content
+	// fingerprint, so the old entries no longer match and the rerun must
+	// reflect the new data rather than the cached bytes.
+	n := 10
+	ids := make([]int64, n)
+	vals := make([]float64, n)
+	for i := range ids {
+		ids[i] = int64(100 + i)
+		vals[i] = 6 // all pass the v > 5 filter now
+	}
+	sb.Context().PutDataset("base", dataset.MustNewTable("base",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("v", vals, nil),
+	))
+	resB2, err := p.Run("b", "ann", cseProgram("g1", "g2", "both2")...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resB2.Table.NumRows() != 2*n {
+		t.Fatalf("rerun after PutDataset returned %d rows, want %d (stale cache?)", resB2.Table.NumRows(), 2*n)
+	}
+
+	// Concurrent phase: both sessions replan and re-execute CSE'd pipelines
+	// against the shared cache and stats registry at once.
+	var wg sync.WaitGroup
+	for gi, sess := range []string{"a", "b"} {
+		wg.Add(1)
+		go func(gi int, sess string) {
+			defer wg.Done()
+			for i := 0; i < 3; i++ {
+				out := fmt.Sprintf("c%d_%d", gi, i)
+				if _, err := p.Run(sess, "ann", cseProgram(out+"1", out+"2", out)...); err != nil {
+					t.Errorf("concurrent run %s/%d: %v", sess, i, err)
+				}
+			}
+		}(gi, sess)
+	}
+	wg.Wait()
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"datachat/internal/plan"
 	"datachat/internal/skills"
 )
 
@@ -151,10 +152,20 @@ type Executor struct {
 	Pushdown bool
 	// UseCache enables the sub-DAG result cache.
 	UseCache bool
+	// CSE enables session-wide common-subexpression elimination over the
+	// whole lowered graph before slicing.
+	CSE bool
+	// JoinReorder enables cost-based reordering of inner-join chains.
+	JoinReorder bool
+	// CostModel enables per-pass cost estimation (and, with a positive
+	// Options.CostBudgetBytes, budgeted sample substitution).
+	CostModel bool
 	// Options tunes scheduling (worker-pool size).
 	Options ExecOptions
 
 	cache    *Cache
+	statsReg *plan.StatsRegistry
+	lastCost atomic.Pointer[plan.PlanCost]
 	counters counters
 }
 
@@ -169,7 +180,11 @@ func NewExecutor(reg *skills.Registry, ctx *skills.Context) *Executor {
 		Fuse:        true,
 		Pushdown:    true,
 		UseCache:    true,
+		CSE:         true,
+		JoinReorder: true,
+		CostModel:   true,
 		cache:       NewCache(DefaultCacheCapacity),
+		statsReg:    plan.NewStatsRegistry(plan.DefaultStatsCapacity),
 	}
 }
 
@@ -184,6 +199,24 @@ func (e *Executor) SetCache(c *Cache) {
 
 // Cache returns the executor's sub-DAG cache.
 func (e *Executor) Cache() *Cache { return e.cache }
+
+// SetStatsRegistry replaces the executor's observed-stats registry,
+// typically with one shared across every session of a platform so cost
+// estimates learn from all traffic. Call before the first Run.
+func (e *Executor) SetStatsRegistry(r *plan.StatsRegistry) {
+	if r != nil {
+		e.statsReg = r
+	}
+}
+
+// StatsRegistry returns the executor's observed-stats registry (may be nil
+// for zero-value executors).
+func (e *Executor) StatsRegistry() *plan.StatsRegistry { return e.statsReg }
+
+// LastPlanCost returns the cost estimate of the most recently executed
+// plan, or nil when the cost model is off or nothing has run yet. Explain
+// (read-only) never updates it.
+func (e *Executor) LastPlanCost() *plan.PlanCost { return e.lastCost.Load() }
 
 // Stats returns cumulative execution statistics.
 func (e *Executor) Stats() Stats { return e.counters.snapshot() }

@@ -7,6 +7,8 @@ import (
 	"reflect"
 	"testing"
 
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
 	"datachat/internal/plan"
 	"datachat/internal/skills"
 )
@@ -162,4 +164,89 @@ func TestExplainHasNoSideEffects(t *testing.T) {
 	if got := ex.CacheStats(); got != cacheBefore {
 		t.Errorf("Explain changed cache stats: %+v -> %+v", cacheBefore, got)
 	}
+}
+
+// A connected warehouse gives the planner catalog stats: every node carries
+// non-zero cost columns and each pass records its estimated-scan delta.
+func TestExplainGoldenCostedScan(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.Cloud["wh"] = costDB(t, 4000)
+	ex := NewExecutor(reg, ctx)
+	g := NewGraph()
+	g.Add(skills.Invocation{Skill: "LoadTable", Inputs: nil,
+		Args: skills.Args{"database": "wh", "table": "orders"}, Output: "orders"})
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"orders"},
+		Args: skills.Args{"condition": "amount > 100"}, Output: "big"})
+	last := g.Add(skills.Invocation{Skill: "LimitRows", Inputs: []string{"big"},
+		Args: skills.Args{"count": 25}, Output: "preview"})
+	e, err := ex.Explain(g, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "explain_costed_scan", e.String())
+}
+
+// The same scan under a forcing budget: sample-substitute fires, the node is
+// rewritten to a SampleTable flagged [substituted], and the pass line shows
+// the estimated-scan drop.
+func TestExplainGoldenBudgetedSample(t *testing.T) {
+	ctx := newCtx(t)
+	ctx.Cloud["wh"] = costDB(t, 4000)
+	ex := NewExecutor(reg, ctx)
+	ex.Options.CostBudgetBytes = 1024
+	g := NewGraph()
+	g.Add(skills.Invocation{Skill: "LoadTable", Inputs: nil,
+		Args: skills.Args{"database": "wh", "table": "orders"}, Output: "orders"})
+	last := g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"orders"},
+		Args: skills.Args{"condition": "amount > 100"}, Output: "big"})
+	e, err := ex.Explain(g, last)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := 0
+	for _, n := range e.Nodes {
+		if n.Substituted {
+			sub++
+		}
+	}
+	if sub != 1 {
+		t.Fatalf("want exactly 1 substituted node, got %d", sub)
+	}
+	checkGolden(t, "explain_budgeted_sample", e.String())
+
+	// The costed report must survive its JSON encoding unchanged, cost
+	// annotations and substitution flags included.
+	data, err := e.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := plan.DecodeExplain(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(e, back) {
+		t.Errorf("round trip changed the costed report:\nbefore: %+v\nafter:  %+v", e, back)
+	}
+	if back.String() != e.String() {
+		t.Error("round trip changed the costed text rendering")
+	}
+}
+
+// costDB builds a small warehouse whose catalog stats seed the cost model.
+func costDB(t *testing.T, rows int) *cloud.Database {
+	t.Helper()
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 256)
+	ids := make([]int64, rows)
+	amounts := make([]float64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+		amounts[i] = float64(i % 500)
+	}
+	if err := db.CreateTable(dataset.MustNewTable("orders",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("amount", amounts, nil),
+	)); err != nil {
+		t.Fatal(err)
+	}
+	return db
 }

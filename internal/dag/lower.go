@@ -40,9 +40,14 @@ func lowerGraph(g *Graph, target NodeID) (*plan.Plan, error) {
 }
 
 // logicalPlan lowers g and runs the executor's configured pass pipeline:
-// slice, fuse (Fuse), fingerprint, cache probe (UseCache), consolidate
-// (Consolidate), pushdown (Pushdown). With readOnly set the cache probe uses
-// a side-effect-free peek, so Explain never perturbs stats or LRU recency.
+// structural fingerprint + session-wide CSE (CSE, over the whole graph,
+// before slicing), slice, fuse (Fuse), strict fingerprint, cost-based join
+// reorder (JoinReorder), budget sample substitution, cache probe
+// (UseCache), consolidate (Consolidate), pushdown (Pushdown). When the cost
+// model is on, every pass trace snapshots the estimated plan cost, so
+// EXPLAIN shows per-pass cost deltas. With readOnly set the cache probe
+// uses a side-effect-free peek, so Explain never perturbs stats or LRU
+// recency.
 func (e *Executor) logicalPlan(g *Graph, target NodeID, readOnly bool) (*plan.Plan, error) {
 	lp, err := lowerGraph(g, target)
 	if err != nil {
@@ -80,11 +85,53 @@ func (e *Executor) logicalPlan(g *Graph, target NodeID, readOnly bool) (*plan.Pl
 			}
 		}
 	}
-	passes := []plan.Pass{plan.SlicePass()}
+	if e.CostModel {
+		env.TableStats = func(database, table string) (plan.TableEstimate, bool) {
+			db, ok := e.Ctx.Cloud[database]
+			if !ok {
+				return plan.TableEstimate{}, false
+			}
+			ts, err := db.Stats(table)
+			if err != nil {
+				return plan.TableEstimate{}, false
+			}
+			return plan.TableEstimate{Rows: int64(ts.Rows), Bytes: ts.Bytes, Pricing: db.Pricing()}, true
+		}
+		env.DatasetStats = func(name string) (int64, int64, bool) {
+			t, err := e.Ctx.Dataset(name)
+			if err != nil {
+				return 0, 0, false
+			}
+			return int64(t.NumRows()), plan.ApproxTableBytes(t), true
+		}
+		env.DatasetColumns = func(name string) ([]string, bool) {
+			t, err := e.Ctx.Dataset(name)
+			if err != nil {
+				return nil, false
+			}
+			return t.ColumnNames(), true
+		}
+		if e.statsReg != nil {
+			env.Observed = e.statsReg.Lookup
+		}
+		env.CostBudgetBytes = e.Options.CostBudgetBytes
+	}
+	var passes []plan.Pass
+	if e.CSE {
+		passes = append(passes, plan.StructuralFingerprintPass(), plan.CSEPass())
+	}
+	passes = append(passes, plan.SlicePass())
 	if e.Fuse {
 		passes = append(passes, plan.FusePass())
 	}
-	passes = append(passes, plan.FingerprintPass(), plan.CacheProbePass())
+	passes = append(passes, plan.FingerprintPass())
+	if e.JoinReorder {
+		passes = append(passes, plan.JoinReorderPass())
+	}
+	if e.CostModel {
+		passes = append(passes, plan.SampleSubstitutePass())
+	}
+	passes = append(passes, plan.CacheProbePass())
 	if e.Consolidate {
 		passes = append(passes, plan.ConsolidatePass())
 	}
@@ -93,6 +140,9 @@ func (e *Executor) logicalPlan(g *Graph, target NodeID, readOnly bool) (*plan.Pl
 	}
 	if err := plan.RunPasses(lp, env, passes...); err != nil {
 		return nil, err
+	}
+	if !readOnly {
+		e.lastCost.Store(lp.Cost)
 	}
 	return lp, nil
 }

@@ -60,6 +60,11 @@ type ExecOptions struct {
 	// StreamChunkRows bounds the rows per forwarded chunk
 	// (<= 0 means sqlengine.DefaultChunkRows).
 	StreamChunkRows int
+	// CostBudgetBytes caps one request's estimated cloud scan bytes: when
+	// the cost model estimates more, the sample-substitution pass degrades
+	// the most expensive scans to block samples (results annotated
+	// Degraded, never cached). 0 means unlimited.
+	CostBudgetBytes int64
 }
 
 // clock returns the configured time source.
@@ -247,7 +252,7 @@ func (e *Executor) runPlan(ctx context.Context, p *execPlan, workers int) error 
 			active++
 			mu.Unlock()
 
-			res, err := e.executeTask(ctx, t, deadline)
+			res, err := e.executeTask(ctx, p, t, deadline)
 
 			mu.Lock()
 			active--
@@ -293,7 +298,7 @@ func (e *Executor) runPlan(ctx context.Context, p *execPlan, workers int) error 
 // the session context. The retry loop runs inside the cache's singleflight,
 // so concurrent callers of the same key wait out the leader's retries
 // instead of racing their own.
-func (e *Executor) executeTask(ctx context.Context, t *task, deadline time.Time) (*skills.Result, error) {
+func (e *Executor) executeTask(ctx context.Context, p *execPlan, t *task, deadline time.Time) (*skills.Result, error) {
 	var res *skills.Result
 	switch {
 	case t.pinned != nil:
@@ -317,6 +322,39 @@ func (e *Executor) executeTask(ctx context.Context, t *task, deadline time.Time)
 			return nil, err
 		}
 		res = r
+	}
+	if res != nil && res.Table != nil && !res.Degraded && t.node.Substituted {
+		// A budget-substituted scan ran as a block sample: label the answer.
+		// The substituted node is volatile and keyless, so the degraded
+		// result was never stored by the cache arm above.
+		wrapped := *res
+		wrapped.Degraded = true
+		wrapped.DegradedNote = t.node.SubstituteNote
+		res = &wrapped
+		e.counters.degraded.Add(1)
+	}
+	if res != nil && !res.Degraded {
+		// Honesty propagates: anything computed from a degraded input is
+		// itself degraded. Dependency results were published before this
+		// task became ready, so the reads are ordered by the scheduler lock.
+		for _, di := range t.deps {
+			if dep := p.tasks[di].result; dep != nil && dep.Degraded {
+				wrapped := *res
+				wrapped.Degraded = true
+				wrapped.DegradedNote = dep.DegradedNote
+				res = &wrapped
+				break
+			}
+		}
+	}
+	if e.CostModel && e.statsReg != nil && t.pinned == nil &&
+		res != nil && res.Table != nil && !res.Degraded && t.node.Fingerprint != "" {
+		// Feed measured output size back to the cost model; degraded
+		// (sampled) outputs would poison full-scan estimates, so skip them.
+		e.statsReg.Observe(t.node.Fingerprint, plan.ObservedStats{
+			Rows:  int64(res.Table.NumRows()),
+			Bytes: plan.ApproxTableBytes(res.Table),
+		})
 	}
 	// A streamed target whose chunks did not flow live — a plan-time pin, a
 	// cache hit, a direct skill, or a fragment that fell back — still owes
@@ -460,10 +498,17 @@ func (e *Executor) execChainStream(ctx context.Context, t *task) (*skills.Result
 			return nil, fmt.Errorf("dag: node %d: %w", frag.Nodes[0], err)
 		}
 	}
+	par := e.streamParallelism()
+	if par < 0 && e.CostModel && frag.EstBaseRows > 0 {
+		// Adaptive fan-out: with no explicit worker ask, size the morsel
+		// pool from the estimated base cardinality instead of bare
+		// GOMAXPROCS, so small inputs skip the fan-out overhead.
+		par = plan.AdaptiveWorkers(frag.EstBaseRows, runtime.GOMAXPROCS(0))
+	}
 	rs, err := sqlengine.ExecStreamStmt(e.Ctx, frag.Builder.Stmt(), sqlengine.StreamOptions{
 		Options:         e.Options.SQL,
 		ChunkRows:       e.streamChunkRows(),
-		Parallelism:     e.streamParallelism(),
+		Parallelism:     par,
 		MaxBufferedRows: e.Options.StreamMaxBufferedRows,
 		SpillDir:        e.Options.StreamSpillDir,
 		Ctx:             ctx,
@@ -483,6 +528,9 @@ func (e *Executor) execChainStream(ctx context.Context, t *task) (*skills.Result
 		e.counters.spillRuns.Add(int64(ss.Runs))
 		e.counters.spilledRows.Add(int64(ss.SpilledRows))
 		e.counters.spilledBytes.Add(ss.SpilledBytes)
+		if e.CostModel && e.statsReg != nil {
+			e.statsReg.ObserveSpill(t.node.Fingerprint)
+		}
 	}
 	if err != nil {
 		return nil, fmt.Errorf("dag: consolidated task %q: %w", frag.SQL, err)
@@ -503,6 +551,11 @@ func (e *Executor) materialize(n *plan.Node, res *skills.Result) {
 	name := n.OutputName()
 	e.Ctx.PutDataset(name, res.Table.WithName(name))
 	e.counters.rowsMaterialized.Add(int64(res.Table.NumRows()))
+	// Session-wide CSE folded duplicate producers into this node; publish
+	// the one result under every name the duplicates answered to.
+	for _, alias := range n.Aliases {
+		e.Ctx.PutDataset(alias, res.Table.WithName(alias))
+	}
 }
 
 // execDirect applies one skill node directly.

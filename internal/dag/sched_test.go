@@ -290,7 +290,11 @@ func TestParallelMatchesSerialProperty(t *testing.T) {
 // scheduling) — singleflight in action.
 func TestParallelRunDeduplicatesIdenticalBranches(t *testing.T) {
 	for _, parallelism := range []int{1, 8} {
+		// With session-wide CSE off, the duplicate branch still dedups at
+		// execution time: the second fragment joins the first's cache entry
+		// (or in-flight computation) — singleflight in action.
 		ex := NewExecutor(reg, newCtxQuiet())
+		ex.CSE = false
 		ex.Options.Parallelism = parallelism
 		g, target := branchyGraph(1) // branch 0 + its duplicate
 		if _, err := ex.Run(g, target); err != nil {
@@ -299,6 +303,52 @@ func TestParallelRunDeduplicatesIdenticalBranches(t *testing.T) {
 		stats := ex.Stats()
 		if stats.CacheHits != 1 {
 			t.Errorf("parallelism %d: cache hits = %d, want 1 (duplicate branch deduplicated)", parallelism, stats.CacheHits)
+		}
+
+		// With CSE on (the default), the duplicate never even plans: the
+		// cse pass merges the identical sub-plans before task emission and
+		// the one result materializes under both output names.
+		ex2 := NewExecutor(reg, newCtxQuiet())
+		ex2.Options.Parallelism = parallelism
+		g2, target2 := branchyGraph(1)
+		res, err := ex2.Run(g2, target2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx2 := ex2.Ctx
+		dup, err := ctx2.Dataset("dupt")
+		if err != nil {
+			t.Fatalf("parallelism %d: CSE alias dupt not materialized: %v", parallelism, err)
+		}
+		orig, err := ctx2.Dataset("b0t")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !dup.Equal(orig.WithName(dup.Name())) {
+			t.Errorf("parallelism %d: alias dataset differs from survivor", parallelism)
+		}
+		ex3 := NewExecutor(reg, newCtxQuiet())
+		ex3.CSE = false
+		g3, target3 := branchyGraph(1)
+		base, err := ex3.Run(g3, target3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Table.Equal(base.Table.WithName(res.Table.Name())) {
+			t.Errorf("parallelism %d: CSE changed the result", parallelism)
+		}
+		ex2e, err := ex2.Explain(g2, target2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cseFired := false
+		for _, pt := range ex2e.Passes {
+			if pt.Pass == "cse" && pt.Fired && pt.Dedup >= 3 {
+				cseFired = true
+			}
+		}
+		if !cseFired {
+			t.Errorf("parallelism %d: cse pass did not dedup the duplicate branch", parallelism)
 		}
 	}
 }

@@ -1,0 +1,110 @@
+package plan
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"datachat/internal/skills"
+)
+
+// Budgeted sample substitution (§3). When the plan's estimated cloud scan
+// bytes exceed the per-request budget, the pass rewrites the most expensive
+// LoadTable scans into SampleTable block samples, choosing each sample rate
+// so the estimated total lands back inside the budget. The paper's honesty
+// rule is load-bearing: every substituted scan is marked on the node, the
+// executor wraps its result as Degraded with the substitution note, and a
+// degraded result is never cached — an approximate answer is always
+// labeled, never silently reused.
+//
+// Substitution preserves any pushdown arguments already on the scan
+// (SampleTable accepts the same optional condition/columns), and re-runs
+// the strict fingerprint pass afterwards: SampleTable is volatile, so the
+// substituted node and its descendants automatically lose their cache keys.
+
+// minSampleRate floors substitution so a budgeted scan still reads at least
+// a few blocks; matches the degrade ladder's coarsest sample.
+const minSampleRate = 0.05
+
+type sampleSubstitutePass struct{}
+
+// SampleSubstitutePass returns the budget-driven sample-substitution pass.
+// It no-ops without a positive Env.CostBudgetBytes and TableStats hook.
+func SampleSubstitutePass() Pass { return sampleSubstitutePass{} }
+
+func (sampleSubstitutePass) Name() string { return "sample-substitute" }
+
+func (sampleSubstitutePass) Run(p *Plan, env *Env, t *PassTrace) error {
+	budget := env.CostBudgetBytes
+	if budget <= 0 || env.TableStats == nil || !env.Costed() {
+		return nil
+	}
+	// Costs are recomputed after every pass, so node annotations reflect
+	// the pipeline as of the previous pass; compute the current scan total
+	// and collect substitutable scans (descending cost, ID-stable).
+	var total int64
+	var scans []*Node
+	for _, n := range p.Nodes {
+		if n.Cached || n.Cost == nil {
+			continue
+		}
+		total = satAdd64(total, n.Cost.ScanBytes)
+		// ScanBytes is only set when catalog stats were found, so it is the
+		// substitutability signal; Source may have been overridden to
+		// "observed" by stats feedback from an earlier run of the same scan.
+		if strings.EqualFold(n.Skill, "LoadTable") && n.Cost.ScanBytes > 0 {
+			scans = append(scans, n)
+		}
+	}
+	if total <= budget || len(scans) == 0 {
+		return nil
+	}
+	sort.SliceStable(scans, func(i, j int) bool {
+		if scans[i].Cost.ScanBytes != scans[j].Cost.ScanBytes {
+			return scans[i].Cost.ScanBytes > scans[j].Cost.ScanBytes
+		}
+		return scans[i].ID < scans[j].ID
+	})
+	for _, n := range scans {
+		if total <= budget {
+			break
+		}
+		est := n.Cost.ScanBytes
+		others := total - est
+		rate := minSampleRate
+		if remain := budget - others; remain > 0 {
+			rate = float64(remain) / float64(est)
+		}
+		rate = math.Round(rate*100) / 100
+		if rate < minSampleRate {
+			rate = minSampleRate
+		}
+		if rate >= 1 {
+			continue
+		}
+		db := n.Args.StringOr("database", "")
+		table := n.Args.StringOr("table", "")
+		args := make(skills.Args, len(n.Args)+1)
+		for k, v := range n.Args {
+			args[k] = v
+		}
+		args["rate"] = rate
+		n.Skill = "SampleTable"
+		n.Args = args
+		n.Substituted = true
+		n.SubstituteNote = fmt.Sprintf(
+			"scan of %s.%s (~%d bytes) exceeds the %d-byte request budget; substituted a %d%% block sample",
+			db, table, est, budget, int(math.Round(rate*100)))
+		t.Detail = append(t.Detail, n.SubstituteNote)
+		t.Substituted++
+		total = others + int64(float64(est)*rate)
+	}
+	if t.Substituted == 0 {
+		return nil
+	}
+	t.Fired = true
+	// SampleTable is volatile: refingerprinting clears the substituted
+	// subtree's cache keys, so a degraded result can never be cached.
+	return (fingerprintPass{}).Run(p, env, &PassTrace{})
+}

@@ -1,0 +1,354 @@
+package plan
+
+import (
+	"strings"
+	"time"
+
+	"datachat/internal/cloud"
+	"datachat/internal/dataset"
+)
+
+// The cost model annotates every plan node with estimated output
+// cardinality, bytes, cloud scan bytes, simulated latency and dollar cost.
+// Estimates seed from the cloud meter's pricing (§3 block-sampling
+// economics give the units: per-byte scan dollars, per-MB scan latency) and
+// from approximate sizes of external session datasets, then refine with
+// observed output stats fed back by the executor through the stats
+// registry, keyed by canonical fingerprint. Passes read the annotations to
+// make cost-aware decisions — join reordering minimizes estimated
+// intermediate cardinality, budget substitution compares estimated scan
+// bytes against the per-request budget — and EXPLAIN renders them.
+
+// defaultRows is the cardinality assumed for inputs the model knows nothing
+// about; deliberately modest so unknown pipelines never trip the budget.
+const defaultRows = 1000
+
+// defaultRowBytes approximates the width of a row of unknown schema.
+const defaultRowBytes = 32
+
+// TableEstimate is Env.TableStats' answer: the size and pricing of a
+// connected cloud table.
+type TableEstimate struct {
+	Rows    int64
+	Bytes   int64
+	Pricing cloud.Pricing
+}
+
+// NodeCost is one node's estimated cost annotation.
+type NodeCost struct {
+	// Rows and Bytes estimate the node's output.
+	Rows  int64 `json:"rows"`
+	Bytes int64 `json:"bytes"`
+	// ScanBytes estimates cloud bytes this node scans (0 for everything but
+	// cloud reads); Latency and Dollars price that scan via the meter model.
+	ScanBytes int64         `json:"scan_bytes,omitempty"`
+	Latency   time.Duration `json:"latency_ns,omitempty"`
+	Dollars   float64       `json:"dollars,omitempty"`
+	// Source says where the estimate came from: "table-stats" (cloud
+	// catalog), "dataset" (session dataset size), "observed" (stats
+	// registry feedback), "cached" (plan-time cache hit), or "heuristic".
+	Source string `json:"source,omitempty"`
+}
+
+// PlanCost aggregates node costs over the whole plan: scan totals over
+// non-cached nodes, output size from the target.
+type PlanCost struct {
+	Rows        int64         `json:"rows"`
+	Bytes       int64         `json:"bytes"`
+	ScanBytes   int64         `json:"scan_bytes"`
+	Latency     time.Duration `json:"latency_ns"`
+	Dollars     float64       `json:"dollars"`
+	Substituted int           `json:"substituted,omitempty"`
+}
+
+// EstimateCosts annotates every node (and fragment) with cost estimates and
+// stores the whole-plan aggregate on the plan. It returns nil when the env
+// carries no stats hooks; estimation is cheap enough to re-run after every
+// pass. Nodes are visited in plan order, which is topological, so parent
+// estimates are always available.
+func EstimateCosts(p *Plan, env *Env) *PlanCost {
+	if !env.Costed() {
+		return nil
+	}
+	total := &PlanCost{}
+	for _, n := range p.Nodes {
+		c := estimateNode(p, env, n)
+		n.Cost = c
+		if !n.Cached {
+			total.ScanBytes = satAdd64(total.ScanBytes, c.ScanBytes)
+			total.Latency = satAddDur(total.Latency, c.Latency)
+			total.Dollars += c.Dollars
+		}
+		if n.Substituted {
+			total.Substituted++
+		}
+	}
+	if t := p.Node(p.Target); t != nil && t.Cost != nil {
+		total.Rows, total.Bytes = t.Cost.Rows, t.Cost.Bytes
+	}
+	for i := range p.Fragments {
+		f := &p.Fragments[i]
+		f.EstBaseRows = 0
+		if f.Base.Node == External {
+			if rows, _, ok := extStats(env, f.Base.Name); ok {
+				f.EstBaseRows = rows
+			}
+		} else if base := p.Node(f.Base.Node); base != nil && base.Cost != nil {
+			f.EstBaseRows = base.Cost.Rows
+		}
+	}
+	p.Cost = total
+	return total
+}
+
+// extStats sizes an external input via the DatasetStats hook.
+func extStats(env *Env, name string) (rows, bytes int64, ok bool) {
+	if env.DatasetStats == nil {
+		return 0, 0, false
+	}
+	return env.DatasetStats(name)
+}
+
+// estimateNode computes one node's cost from its inputs and skill-specific
+// selectivity heuristics, then lets observed stats override the output
+// cardinality and a plan-time cache hit zero the scan.
+func estimateNode(p *Plan, env *Env, n *Node) *NodeCost {
+	c := &NodeCost{Source: "heuristic"}
+
+	inRows := make([]int64, 0, len(n.Inputs))
+	inBytes := make([]int64, 0, len(n.Inputs))
+	known := false
+	for _, in := range n.Inputs {
+		r, b := int64(defaultRows), int64(defaultRows*defaultRowBytes)
+		if in.Node == External {
+			if rr, bb, ok := extStats(env, in.Name); ok {
+				r, b, known = rr, bb, true
+			}
+		} else if parent := p.Node(in.Node); parent != nil && parent.Cost != nil {
+			r, b = parent.Cost.Rows, parent.Cost.Bytes
+			known = true
+		}
+		inRows = append(inRows, r)
+		inBytes = append(inBytes, b)
+	}
+	var maxRows, sumRows, sumBytes int64
+	for i := range inRows {
+		if inRows[i] > maxRows {
+			maxRows = inRows[i]
+		}
+		sumRows = satAdd64(sumRows, inRows[i])
+		sumBytes = satAdd64(sumBytes, inBytes[i])
+	}
+	if len(n.Inputs) > 0 && known {
+		c.Source = "dataset"
+	}
+
+	switch strings.ToLower(n.Skill) {
+	case "loadtable", "sampletable":
+		estimateScan(env, n, c)
+	case "keeprows", "droprows":
+		c.Rows = maxRows/3 + 1
+		c.Bytes = sumBytes/3 + 1
+	case "limitrows":
+		count := int64(n.Args.IntOr("count", defaultRows))
+		c.Rows = maxRows
+		c.Bytes = sumBytes
+		if count >= 0 && count < maxRows && maxRows > 0 {
+			c.Rows = count
+			c.Bytes = int64(float64(sumBytes) * float64(count) / float64(maxRows))
+		}
+	case "keepcolumns":
+		c.Rows = maxRows
+		c.Bytes = sumBytes/2 + 1
+	case "dropcolumns":
+		c.Rows = maxRows
+		c.Bytes = (sumBytes*4)/5 + 1
+	case "compute":
+		if len(n.Args.StringListOr("for_each")) > 0 {
+			c.Rows = maxRows/4 + 1
+		} else {
+			c.Rows = 1
+		}
+		c.Bytes = c.Rows * defaultRowBytes
+	case "pivot":
+		c.Rows = maxRows/4 + 1
+		c.Bytes = c.Rows * defaultRowBytes
+	case "joindatasets":
+		kind := strings.ToLower(n.Args.StringOr("kind", "inner"))
+		c.Rows, c.Bytes = joinEstimate(kind, inRows, inBytes)
+	case "concatenate":
+		c.Rows = sumRows
+		c.Bytes = sumBytes
+	default:
+		if len(n.Inputs) == 0 {
+			c.Rows, c.Bytes = defaultRows, defaultRows*defaultRowBytes
+		} else {
+			c.Rows, c.Bytes = maxRows, sumBytes
+		}
+	}
+
+	if env.Observed != nil && n.Fingerprint != "" {
+		if obs, ok := env.Observed(n.Fingerprint); ok {
+			c.Rows, c.Bytes = obs.Rows, obs.Bytes
+			c.Source = "observed"
+		}
+	}
+	if n.Cached {
+		c.ScanBytes, c.Latency, c.Dollars = 0, 0, 0
+		c.Source = "cached"
+		if n.Pinned != nil && n.Pinned.Table != nil {
+			c.Rows = int64(n.Pinned.Table.NumRows())
+			c.Bytes = ApproxTableBytes(n.Pinned.Table)
+		}
+	}
+	if c.Rows < 0 {
+		c.Rows = 0
+	}
+	if c.Bytes < 0 {
+		c.Bytes = 0
+	}
+	return c
+}
+
+// estimateScan costs a LoadTable/SampleTable node from catalog stats: the
+// scan reads (rate ×) the table bytes, the optional pushdown condition and
+// columns narrow the output but not the scan (blocks are still read).
+func estimateScan(env *Env, n *Node, c *NodeCost) {
+	db := n.Args.StringOr("database", "")
+	table := n.Args.StringOr("table", "")
+	if env.TableStats == nil {
+		c.Rows, c.Bytes = defaultRows, defaultRows*defaultRowBytes
+		return
+	}
+	ts, ok := env.TableStats(db, table)
+	if !ok {
+		c.Rows, c.Bytes = defaultRows, defaultRows*defaultRowBytes
+		return
+	}
+	c.Source = "table-stats"
+	rows, bytes := ts.Rows, ts.Bytes
+	if strings.EqualFold(n.Skill, "sampletable") {
+		rate := n.Args.FloatOr("rate", 1)
+		if rate > 0 && rate < 1 {
+			rows = int64(float64(rows)*rate) + 1
+			bytes = int64(float64(bytes)*rate) + 1
+		}
+	}
+	c.ScanBytes = bytes
+	c.Latency = cloud.ScanLatency(bytes, ts.Pricing)
+	c.Dollars = cloud.ScanCost(bytes, ts.Pricing)
+	if _, hasCond := n.Args["condition"]; hasCond {
+		rows = rows/3 + 1
+		bytes = bytes/3 + 1
+	}
+	if _, hasCols := n.Args["columns"]; hasCols {
+		bytes = bytes/2 + 1
+	}
+	c.Rows, c.Bytes = rows, bytes
+}
+
+// joinEstimate sizes a two-input join: cross joins multiply, everything
+// else assumes a foreign-key-ish equi-join bounded by the larger side.
+func joinEstimate(kind string, inRows, inBytes []int64) (rows, bytes int64) {
+	if len(inRows) != 2 {
+		for i := range inRows {
+			if inRows[i] > rows {
+				rows = inRows[i]
+			}
+			bytes = satAdd64(bytes, inBytes[i])
+		}
+		return rows, bytes
+	}
+	l, r := inRows[0], inRows[1]
+	switch kind {
+	case "cross":
+		rows = satMul64(l, r)
+	default:
+		rows = l
+		if r > rows {
+			rows = r
+		}
+	}
+	return rows, satAdd64(inBytes[0], inBytes[1])
+}
+
+// AdaptiveWorkers picks a morsel worker count from an estimated base
+// cardinality: one worker per 50k input rows, at least one, capped at the
+// available processors. Unknown cardinality (<= 0) keeps the full fan-out —
+// the pre-cost-model behavior.
+func AdaptiveWorkers(estRows int64, procs int) int {
+	if procs < 1 {
+		procs = 1
+	}
+	if estRows <= 0 {
+		return procs
+	}
+	w := int(1 + estRows/50_000)
+	if w > procs {
+		w = procs
+	}
+	return w
+}
+
+// ApproxTableBytes estimates a table's in-memory payload size. Fixed-width
+// columns count exactly; string columns are sized from a bounded sample of
+// rows so the estimate stays O(columns) however large the table is.
+func ApproxTableBytes(t *dataset.Table) int64 {
+	if t == nil {
+		return 0
+	}
+	rows := t.NumRows()
+	if rows == 0 {
+		return 0
+	}
+	sample := rows
+	if sample > 64 {
+		sample = 64
+	}
+	var perRow int64
+	for _, c := range t.Columns() {
+		switch c.Type() {
+		case dataset.TypeInt, dataset.TypeFloat, dataset.TypeTime:
+			perRow += 8
+		case dataset.TypeBool:
+			perRow++
+		case dataset.TypeString:
+			var seen int64
+			for i := 0; i < sample; i++ {
+				if !c.IsNull(i) {
+					seen += int64(len(c.Value(i).S))
+				}
+			}
+			perRow += 16 + seen/int64(sample)
+		default:
+			perRow += 8
+		}
+	}
+	return satMul64(perRow, int64(rows))
+}
+
+func satAdd64(a, b int64) int64 {
+	s := a + b
+	if a > 0 && b > 0 && s < 0 {
+		return 1<<63 - 1
+	}
+	return s
+}
+
+func satAddDur(a, b time.Duration) time.Duration {
+	s := a + b
+	if a > 0 && b > 0 && s < 0 {
+		return time.Duration(1<<63 - 1)
+	}
+	return s
+}
+
+func satMul64(a, b int64) int64 {
+	if a <= 0 || b <= 0 {
+		return 0
+	}
+	if a > (1<<63-1)/b {
+		return 1<<63 - 1
+	}
+	return a * b
+}

@@ -1,0 +1,92 @@
+package plan
+
+import "fmt"
+
+// Session-wide common-subexpression elimination. The pass runs over the
+// whole lowered session graph, before slicing, so structurally identical
+// sub-plans built by different requests (or different front ends) collapse
+// onto one producer: the first occurrence in topological order survives,
+// later duplicates are dropped, and their consumers are rewired to the
+// survivor. Equality is by canonical structural fingerprint (the lenient
+// whole-graph fingerprint pass runs immediately before), which covers the
+// skill, canonicalized args, and the full input subtree — exactly the
+// cache's notion of identity, minus external content hashes, which don't
+// matter here because both duplicates read the same session state.
+//
+// Rewiring keeps each consumer's Input.Name unchanged — join predicates
+// qualify columns by input dataset names — and instead publishes every
+// dropped node's output name as an alias on the survivor, so the one
+// materialized result answers to all the names the duplicates had. Dropped
+// IDs join the survivor's Absorbed list, which keeps executor bookkeeping
+// (result lookup by original dag node ID) intact for free.
+//
+// Volatile nodes merge too: within one request's execution a duplicated
+// cloud scan reads the same data, so merging trades two identical scans for
+// one — that is the pass's main scan-bytes win, since keyless volatile
+// nodes never dedup through the cache. Invalidating (side-effectful) nodes
+// and nodes without fingerprints never merge.
+
+type csePass struct{}
+
+// CSEPass returns the session-wide common-subexpression-elimination pass.
+// It requires fingerprints (run a fingerprint pass first).
+func CSEPass() Pass { return csePass{} }
+
+func (csePass) Name() string { return "cse" }
+
+func (csePass) Run(p *Plan, env *Env, t *PassTrace) error {
+	survivorByFP := map[string]*Node{}
+	redirect := map[int]*Node{} // dropped ID → survivor
+	for _, n := range p.Nodes {
+		if n.Fingerprint == "" || n.Invalidates {
+			continue
+		}
+		surv, ok := survivorByFP[n.Fingerprint]
+		if !ok {
+			survivorByFP[n.Fingerprint] = n
+			continue
+		}
+		redirect[n.ID] = surv
+		surv.Absorbed = append(surv.Absorbed, n.ID)
+		surv.Absorbed = append(surv.Absorbed, n.Absorbed...)
+		if name := n.OutputName(); name != surv.OutputName() {
+			dup := false
+			for _, a := range surv.Aliases {
+				if a == name {
+					dup = true
+					break
+				}
+			}
+			if !dup {
+				surv.Aliases = append(surv.Aliases, name)
+			}
+		}
+		t.Detail = append(t.Detail,
+			fmt.Sprintf("node %d == node %d (%s)", n.ID, surv.ID, n.Skill))
+		t.Dedup++
+	}
+	if len(redirect) == 0 {
+		return nil
+	}
+	keep := make(map[int]bool, len(p.Nodes))
+	for _, n := range p.Nodes {
+		if _, dropped := redirect[n.ID]; dropped {
+			continue
+		}
+		keep[n.ID] = true
+		for i, in := range n.Inputs {
+			if surv, ok := redirect[in.Node]; ok {
+				// Keep Input.Name: the survivor materializes the dropped
+				// node's output name as an alias, so name-based references
+				// (join predicates, SQL fragments) stay valid.
+				n.Inputs[i].Node = surv.ID
+			}
+		}
+	}
+	if surv, ok := redirect[p.Target]; ok {
+		p.Target = surv.ID
+	}
+	p.keep(keep)
+	t.Fired = true
+	return nil
+}

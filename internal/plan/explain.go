@@ -16,6 +16,9 @@ type Explain struct {
 	Nodes     []ExplainNode     `json:"nodes"`
 	Fragments []ExplainFragment `json:"fragments,omitempty"`
 	Passes    []PassTrace       `json:"passes"`
+	// Cost is the whole-plan estimate after the final pass (nil when the
+	// cost model was off).
+	Cost *PlanCost `json:"cost,omitempty"`
 }
 
 // ExplainNode is one surviving plan node.
@@ -30,6 +33,12 @@ type ExplainNode struct {
 	Absorbed    []int    `json:"absorbed,omitempty"`
 	Cached      bool     `json:"cached,omitempty"`
 	Pushdown    []string `json:"pushdown,omitempty"`
+	Aliases     []string `json:"aliases,omitempty"`
+	// Cost is the node's estimated cost (nil when the cost model was off);
+	// Substituted marks a budget-degraded scan.
+	Cost           *NodeCost `json:"cost,omitempty"`
+	Substituted    bool      `json:"substituted,omitempty"`
+	SubstituteNote string    `json:"substitute_note,omitempty"`
 }
 
 // ExplainFragment is one consolidated SQL fragment.
@@ -45,6 +54,10 @@ type ExplainFragment struct {
 // pipeline.
 func NewExplain(p *Plan) *Explain {
 	e := &Explain{Passes: append([]PassTrace{}, p.Trace...)}
+	if p.Cost != nil {
+		c := *p.Cost
+		e.Cost = &c
+	}
 	if t := p.Node(p.Target); t != nil {
 		e.Target = t.OutputName()
 	}
@@ -64,6 +77,15 @@ func NewExplain(p *Plan) *Explain {
 		if len(n.Pushdown) > 0 {
 			en.Pushdown = append([]string{}, n.Pushdown...)
 		}
+		if len(n.Aliases) > 0 {
+			en.Aliases = append([]string{}, n.Aliases...)
+		}
+		if n.Cost != nil {
+			c := *n.Cost
+			en.Cost = &c
+		}
+		en.Substituted = n.Substituted
+		en.SubstituteNote = n.SubstituteNote
 		if len(n.Fingerprint) >= 12 {
 			en.Fingerprint = n.Fingerprint[:12]
 		} else {
@@ -120,17 +142,28 @@ func (e *Explain) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "EXPLAIN target=%s\n", e.Target)
 	b.WriteString("passes:\n")
+	var prevScan int64
+	prevKnown := false
 	for _, t := range e.Passes {
 		fired := "-"
 		if t.Fired {
 			fired = "fired"
 		}
-		fmt.Fprintf(&b, "  %-12s %s", t.Pass, fired)
+		fmt.Fprintf(&b, "  %-17s %s", t.Pass, fired)
 		if t.Pruned > 0 {
 			fmt.Fprintf(&b, " pruned=%d", t.Pruned)
 		}
 		if t.Merged > 0 {
 			fmt.Fprintf(&b, " merged=%d", t.Merged)
+		}
+		if t.Dedup > 0 {
+			fmt.Fprintf(&b, " dedup=%d", t.Dedup)
+		}
+		if t.Reordered > 0 {
+			fmt.Fprintf(&b, " reordered=%d", t.Reordered)
+		}
+		if t.Substituted > 0 {
+			fmt.Fprintf(&b, " substituted=%d", t.Substituted)
 		}
 		if t.Chains > 0 {
 			fmt.Fprintf(&b, " chains=%d nodes=%d", t.Chains, t.NodesConsolidated)
@@ -140,6 +173,21 @@ func (e *Explain) String() string {
 		}
 		if t.CacheHits > 0 {
 			fmt.Fprintf(&b, " hits=%d", t.CacheHits)
+		}
+		if t.Cost != nil {
+			fmt.Fprintf(&b, " est_scan=%d", t.Cost.ScanBytes)
+			if prevKnown && t.Cost.ScanBytes != prevScan {
+				fmt.Fprintf(&b, " (%+d)", t.Cost.ScanBytes-prevScan)
+			}
+			prevScan, prevKnown = t.Cost.ScanBytes, true
+		}
+		b.WriteByte('\n')
+	}
+	if e.Cost != nil {
+		fmt.Fprintf(&b, "cost: rows~%d bytes~%d scan~%d latency~%s dollars~%.6f",
+			e.Cost.Rows, e.Cost.Bytes, e.Cost.ScanBytes, e.Cost.Latency, e.Cost.Dollars)
+		if e.Cost.Substituted > 0 {
+			fmt.Fprintf(&b, " substituted=%d", e.Cost.Substituted)
 		}
 		b.WriteByte('\n')
 	}
@@ -161,6 +209,19 @@ func (e *Explain) String() string {
 		}
 		if len(n.Pushdown) > 0 {
 			fmt.Fprintf(&b, " [pushdown %s]", strings.Join(n.Pushdown, ","))
+		}
+		if len(n.Aliases) > 0 {
+			fmt.Fprintf(&b, " [aka %s]", strings.Join(n.Aliases, ","))
+		}
+		if n.Cost != nil {
+			fmt.Fprintf(&b, " [rows~%d", n.Cost.Rows)
+			if n.Cost.ScanBytes > 0 {
+				fmt.Fprintf(&b, " scan~%d", n.Cost.ScanBytes)
+			}
+			b.WriteByte(']')
+		}
+		if n.Substituted {
+			b.WriteString(" [substituted]")
 		}
 		b.WriteByte('\n')
 	}

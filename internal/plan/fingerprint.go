@@ -24,15 +24,27 @@ import (
 // can never serve a stale result. Volatile nodes — and their descendants —
 // get no key at all.
 
-type fingerprintPass struct{}
+type fingerprintPass struct {
+	// lenient makes the pass tolerate unresolvable skills — the node (and
+	// its descendants) get an empty fingerprint instead of an error — and
+	// skips cache-key computation. The session-wide CSE pass runs it over
+	// the whole session graph before slicing, where failed past requests
+	// may have left nodes no strict pass could fingerprint and where
+	// out-of-cone external inputs should not be content-hashed.
+	lenient bool
+}
 
 // FingerprintPass annotates nodes with fingerprints, cache keys, and the
 // skill-definition flags later passes rely on (requires Env.Lookup).
 func FingerprintPass() Pass { return fingerprintPass{} }
 
+// StructuralFingerprintPass is the lenient whole-graph variant: structural
+// fingerprints only, no cache keys, unresolvable nodes skipped.
+func StructuralFingerprintPass() Pass { return fingerprintPass{lenient: true} }
+
 func (fingerprintPass) Name() string { return "fingerprint" }
 
-func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
+func (fp fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 	if env.Lookup == nil {
 		return nil
 	}
@@ -40,6 +52,10 @@ func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 	for _, n := range p.Nodes {
 		def, err := env.Lookup(n.Skill)
 		if err != nil {
+			if fp.lenient {
+				n.Fingerprint, n.Key = "", ""
+				continue
+			}
 			return fmt.Errorf("plan: node %d: %w", n.ID, err)
 		}
 		n.Mergeable = def.MergeSQL != nil
@@ -78,6 +94,7 @@ func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 			fmt.Fprintf(h, "arg:%s=%s\n", k, v)
 		}
 		extSet := map[string]bool{}
+		poisoned := false
 		for _, in := range n.Inputs {
 			if in.Node == External {
 				fmt.Fprintf(h, "ext:%s\n", in.Name)
@@ -85,6 +102,13 @@ func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 				continue
 			}
 			parent := p.Node(in.Node)
+			if parent == nil || (fp.lenient && parent.Fingerprint == "") {
+				// An unfingerprintable ancestor poisons the whole subtree:
+				// hashing an empty parent fingerprint would collide
+				// structurally different plans.
+				poisoned = true
+				break
+			}
 			fmt.Fprintf(h, "in:%s\n", parent.Fingerprint)
 			if parent.Volatile {
 				n.Volatile = true
@@ -92,6 +116,10 @@ func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 			for _, name := range exts[parent.ID] {
 				extSet[name] = true
 			}
+		}
+		if poisoned {
+			n.Fingerprint, n.Key = "", ""
+			continue
 		}
 		n.Fingerprint = hex.EncodeToString(h.Sum(nil))
 
@@ -103,7 +131,7 @@ func (fingerprintPass) Run(p *Plan, env *Env, t *PassTrace) error {
 		exts[n.ID] = names
 
 		n.Key = ""
-		if !n.Volatile && env.ExtFingerprint != nil {
+		if !fp.lenient && !n.Volatile && env.ExtFingerprint != nil {
 			var b strings.Builder
 			b.WriteString(n.Fingerprint)
 			ok := true

@@ -1,0 +1,289 @@
+package plan
+
+import (
+	"fmt"
+	"strings"
+
+	"datachat/internal/skills"
+)
+
+// Cost-based join reordering. The pass finds maximal left-deep chains of
+// inner JoinDatasets nodes whose leaves are all external session datasets,
+// and greedily re-permutes the probe sides so the cheapest (smallest
+// estimated cardinality) joins run first, minimizing the estimated sum of
+// intermediate result sizes. It is deliberately conservative — a rewrite
+// fires only when every safety condition holds and the estimated cost
+// strictly improves:
+//
+//   - every chain node is a two-input inner join; interior nodes have a
+//     single consumer and default output names (an explicitly named
+//     intermediate is observable session state whose content would change);
+//   - every leaf is an external dataset with known stats and schema, leaf
+//     schemas are pairwise column-disjoint, and leaf names are distinct;
+//   - every ON predicate is a bare-column equality ("a = b", no
+//     qualifiers): the SQL engine resolves unqualified names against the
+//     joined relation, so with disjoint schemas the predicate stays valid
+//     under any association of the chain. Qualified predicates pin the
+//     original shape (the qualifier must name a direct input) and are left
+//     alone.
+//
+// The top join gains a "columns" projection restoring the original output
+// column order, so downstream column positions are unchanged; row order
+// within the result is multiset-equivalent, as for any hash join.
+//
+// After a rewrite the affected subtree's fingerprints are stale, so the
+// pass re-runs the strict fingerprint pass before returning.
+
+type joinReorderPass struct{}
+
+// JoinReorderPass returns the cost-based join-reordering pass. It requires
+// cost annotations (a costed Env) plus DatasetStats/DatasetColumns hooks.
+func JoinReorderPass() Pass { return joinReorderPass{} }
+
+func (joinReorderPass) Name() string { return "join-reorder" }
+
+// joinLeaf is one reorderable chain leaf: an external dataset with stats.
+type joinLeaf struct {
+	in   Input
+	rows int64
+	cols map[string]bool // lower-cased column names
+}
+
+// joinStep is one probe of a chain: the probe leaf, its predicate, and the
+// leaf the predicate connects back to.
+type joinStep struct {
+	leaf  *joinLeaf
+	on    string
+	other *joinLeaf
+}
+
+func (joinReorderPass) Run(p *Plan, env *Env, t *PassTrace) error {
+	if !env.Costed() || env.DatasetStats == nil || env.DatasetColumns == nil {
+		return nil
+	}
+	cons := p.Consumers()
+	fired := false
+	for i := len(p.Nodes) - 1; i >= 0; i-- {
+		top := p.Nodes[i]
+		if !isInnerJoin(top) {
+			continue
+		}
+		// Only start from a chain top: no consumer continues the left spine.
+		isTop := true
+		for _, cid := range cons[top.ID] {
+			if c := p.Node(cid); c != nil && isInnerJoin(c) && c.Inputs[0].Node == top.ID {
+				isTop = false
+				break
+			}
+		}
+		if !isTop {
+			continue
+		}
+		if reorderChain(p, env, cons, top, t) {
+			fired = true
+		}
+	}
+	if fired {
+		t.Fired = true
+		// Rewired nodes (and their descendants) carry stale fingerprints
+		// and cache keys; recompute them in place.
+		if err := (fingerprintPass{}).Run(p, env, &PassTrace{}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func isInnerJoin(n *Node) bool {
+	if !strings.EqualFold(n.Skill, "JoinDatasets") || len(n.Inputs) != 2 {
+		return false
+	}
+	kind := strings.ToLower(n.Args.StringOr("kind", "inner"))
+	return kind == "inner"
+}
+
+// reorderChain walks the left spine down from top, validates the chain, and
+// rewrites it when a cheaper probe order exists. Returns whether it fired.
+func reorderChain(p *Plan, env *Env, cons map[int][]int, top *Node, t *PassTrace) bool {
+	// Collect the spine top-down, then reverse to bottom-up order.
+	var chain []*Node
+	cur := top
+	for {
+		chain = append(chain, cur)
+		leftIn := cur.Inputs[0]
+		if leftIn.Node == External {
+			break
+		}
+		left := p.Node(leftIn.Node)
+		if left == nil || !isInnerJoin(left) || len(cons[left.ID]) != 1 || left.Output != "" {
+			break
+		}
+		cur = left
+	}
+	for l, r := 0, len(chain)-1; l < r; l, r = l+1, r-1 {
+		chain[l], chain[r] = chain[r], chain[l]
+	}
+	if len(chain) < 2 || chain[0].Inputs[0].Node != External {
+		return false
+	}
+
+	// Leaves: the bottom join's build side plus every probe side.
+	leafInputs := []Input{chain[0].Inputs[0]}
+	for _, j := range chain {
+		if j.Inputs[1].Node != External {
+			return false
+		}
+		leafInputs = append(leafInputs, j.Inputs[1])
+	}
+	leaves := make([]*joinLeaf, len(leafInputs))
+	seenName := map[string]bool{}
+	allCols := map[string]bool{}
+	var origCols []string
+	for i, in := range leafInputs {
+		name := strings.ToLower(in.Name)
+		if seenName[name] {
+			return false
+		}
+		seenName[name] = true
+		rows, _, ok := extStats(env, in.Name)
+		if !ok {
+			return false
+		}
+		cols, ok := env.DatasetColumns(in.Name)
+		if !ok {
+			return false
+		}
+		set := make(map[string]bool, len(cols))
+		for _, c := range cols {
+			lc := strings.ToLower(c)
+			if allCols[lc] {
+				return false // overlapping schemas: predicates become ambiguous
+			}
+			allCols[lc] = true
+			set[lc] = true
+		}
+		origCols = append(origCols, cols...)
+		leaves[i] = &joinLeaf{in: in, rows: rows, cols: set}
+	}
+
+	// Parse each step's predicate and bind it to the two leaves it touches;
+	// exactly one side must be the step's own probe leaf.
+	steps := make([]*joinStep, len(chain))
+	for i, j := range chain {
+		on := j.Args.StringOr("on", "")
+		a, b, ok := parseBareEquality(on)
+		if !ok {
+			return false
+		}
+		la, lb := leafOfColumn(leaves, a), leafOfColumn(leaves, b)
+		if la == nil || lb == nil {
+			return false
+		}
+		probe := leaves[i+1]
+		var other *joinLeaf
+		switch probe {
+		case la:
+			other = lb
+		case lb:
+			other = la
+		default:
+			return false // predicate doesn't involve this step's probe side
+		}
+		steps[i] = &joinStep{leaf: probe, on: on, other: other}
+	}
+
+	// Greedy order: among remaining steps whose "other" leaf is already
+	// joined, take the smallest probe side first.
+	joined := map[*joinLeaf]bool{leaves[0]: true}
+	remaining := append([]*joinStep(nil), steps...)
+	var order []*joinStep
+	for len(remaining) > 0 {
+		best := -1
+		for i, s := range remaining {
+			if !joined[s.other] {
+				continue
+			}
+			if best < 0 || s.leaf.rows < remaining[best].leaf.rows {
+				best = i
+			}
+		}
+		if best < 0 {
+			return false // disconnected under this base; keep original shape
+		}
+		s := remaining[best]
+		order = append(order, s)
+		joined[s.leaf] = true
+		remaining = append(remaining[:best], remaining[best+1:]...)
+	}
+
+	changed := false
+	for i := range order {
+		if order[i] != steps[i] {
+			changed = true
+			break
+		}
+	}
+	if !changed || chainCost(leaves[0].rows, order) >= chainCost(leaves[0].rows, steps) {
+		return false
+	}
+
+	for i, j := range chain {
+		s := order[i]
+		args := make(skills.Args, len(j.Args)+1)
+		for k, v := range j.Args {
+			args[k] = v
+		}
+		args["on"] = s.on
+		if j == top {
+			// Restore the original output column order: SELECT * emits
+			// left-then-right, which the permutation shuffled.
+			args["columns"] = append([]string(nil), origCols...)
+		}
+		j.Args = args
+		j.Inputs[1] = s.leaf.in
+		t.Detail = append(t.Detail,
+			fmt.Sprintf("node %d probes %s (est %d rows)", j.ID, s.leaf.in.Name, s.leaf.rows))
+		t.Reordered++
+	}
+	return true
+}
+
+// chainCost is the estimated sum of intermediate cardinalities of joining
+// the steps in order, using the same max-of-sides model as the node
+// estimator.
+func chainCost(baseRows int64, order []*joinStep) int64 {
+	cur := baseRows
+	var sum int64
+	for _, s := range order {
+		if s.leaf.rows > cur {
+			cur = s.leaf.rows
+		}
+		sum = satAdd64(sum, cur)
+	}
+	return sum
+}
+
+// parseBareEquality parses "a = b" where both sides are bare (unqualified)
+// identifiers.
+func parseBareEquality(on string) (a, b string, ok bool) {
+	parts := strings.Split(on, "=")
+	if len(parts) != 2 {
+		return "", "", false
+	}
+	a = strings.TrimSpace(parts[0])
+	b = strings.TrimSpace(parts[1])
+	if a == "" || b == "" || strings.ContainsAny(a, ". ") || strings.ContainsAny(b, ". ") {
+		return "", "", false
+	}
+	return a, b, true
+}
+
+func leafOfColumn(leaves []*joinLeaf, col string) *joinLeaf {
+	lc := strings.ToLower(col)
+	for _, l := range leaves {
+		if l.cols[lc] {
+			return l
+		}
+	}
+	return nil
+}

@@ -63,6 +63,18 @@ type Node struct {
 	Pinned *skills.Result `json:"-"`
 	// Pushdown notes which scan arguments the pushdown pass injected.
 	Pushdown []string `json:"pushdown,omitempty"`
+	// Aliases are extra dataset names this node's result materializes under.
+	// Session-wide CSE publishes a deduplicated node's output names through
+	// the surviving node so downstream references keep resolving.
+	Aliases []string `json:"aliases,omitempty"`
+	// Cost is the estimated cost annotation, recomputed after every pass
+	// when the Env carries stats hooks (nil when costing is off).
+	Cost *NodeCost `json:"cost,omitempty"`
+	// Substituted marks a scan the budget pass rewrote into a block sample;
+	// SubstituteNote is the human-readable degradation note the executor
+	// attaches to the result (never cached, never silent).
+	Substituted    bool   `json:"substituted,omitempty"`
+	SubstituteNote string `json:"substitute_note,omitempty"`
 }
 
 // OutputName returns the dataset name this node materializes under. It must
@@ -100,6 +112,10 @@ type Fragment struct {
 	// DagNodes counts the original dag nodes the fragment covers, including
 	// ones the fusion pass absorbed — the §2.2 consolidation measure.
 	DagNodes int `json:"dag_nodes"`
+	// EstBaseRows is the estimated row count flowing into the chain from its
+	// base, annotated by the cost model; the executor sizes adaptive morsel
+	// worker counts from it (0 = unknown).
+	EstBaseRows int64 `json:"est_base_rows,omitempty"`
 
 	// Builder is the compiled query, ready to execute.
 	Builder *skills.QueryBuilder `json:"-"`
@@ -112,6 +128,9 @@ type Plan struct {
 	Target    int         `json:"target"`
 	Fragments []Fragment  `json:"fragments,omitempty"`
 	Trace     []PassTrace `json:"trace,omitempty"`
+	// Cost is the whole-plan estimate after the final pass (nil when the
+	// Env carries no stats hooks).
+	Cost *PlanCost `json:"plan_cost,omitempty"`
 
 	byID map[int]*Node
 }
@@ -200,6 +219,29 @@ type Env struct {
 	// CacheGet probes the sub-DAG cache during planning. A hit pins the
 	// node's result and prunes its ancestors.
 	CacheGet func(key string) (*skills.Result, bool)
+
+	// TableStats returns size/pricing estimates for a connected cloud table
+	// (cost model + budget substitution). nil disables table costing.
+	TableStats func(database, table string) (TableEstimate, bool)
+	// DatasetStats returns (rows, approxBytes) for an external session
+	// dataset. nil disables dataset costing.
+	DatasetStats func(name string) (rows, bytes int64, ok bool)
+	// DatasetColumns returns the column names of an external session dataset
+	// (join reordering needs schemas to keep qualified predicates valid).
+	DatasetColumns func(name string) ([]string, bool)
+	// Observed returns measured output stats for a node fingerprint, fed
+	// back from prior executions through the stats registry. Observations
+	// override heuristic cardinality estimates.
+	Observed func(fingerprint string) (ObservedStats, bool)
+	// CostBudgetBytes caps a request's estimated cloud scan bytes; past it
+	// the substitution pass degrades scans to block samples. 0 = unlimited.
+	CostBudgetBytes int64
+}
+
+// Costed reports whether the env carries any stats hooks — the switch that
+// turns on per-pass cost estimation.
+func (e *Env) Costed() bool {
+	return e != nil && (e.TableStats != nil || e.DatasetStats != nil)
 }
 
 // Pass is one rewriting step of the pipeline.
@@ -222,9 +264,20 @@ type PassTrace struct {
 	NodesConsolidated int `json:"nodes_consolidated,omitempty"`
 	Pushdowns         int `json:"pushdowns,omitempty"`
 	CacheHits         int `json:"cache_hits,omitempty"`
+	Dedup             int `json:"dedup,omitempty"`
+	Reordered         int `json:"reordered,omitempty"`
+	Substituted       int `json:"substituted,omitempty"`
+
+	// Cost snapshots the whole-plan estimate after this pass ran, so the
+	// trace history doubles as a per-pass cost-delta log (nil when costing
+	// is off).
+	Cost *PlanCost `json:"cost,omitempty"`
 }
 
 // RunPasses applies the passes in order, appending one trace entry each.
+// When the env carries stats hooks, plan costs are re-estimated after every
+// pass so each trace entry snapshots the cost the pipeline had at that
+// point.
 func RunPasses(p *Plan, env *Env, passes ...Pass) error {
 	if env == nil {
 		env = &Env{}
@@ -233,6 +286,9 @@ func RunPasses(p *Plan, env *Env, passes ...Pass) error {
 		t := PassTrace{Pass: pass.Name()}
 		if err := pass.Run(p, env, &t); err != nil {
 			return err
+		}
+		if env.Costed() {
+			t.Cost = EstimateCosts(p, env)
 		}
 		p.Trace = append(p.Trace, t)
 	}

@@ -1,0 +1,93 @@
+package plan
+
+import "sync"
+
+// ObservedStats is one measured execution outcome for a fingerprinted
+// sub-plan: actual output rows/bytes, and whether the streamed execution
+// spilled to disk.
+type ObservedStats struct {
+	Rows    int64
+	Bytes   int64
+	Spilled bool
+}
+
+// DefaultStatsCapacity bounds a stats registry created by the platform.
+const DefaultStatsCapacity = 4096
+
+// StatsRegistry is a bounded, concurrency-safe feedback store mapping
+// canonical plan fingerprints to observed execution stats. The executor
+// records every successful (non-degraded) task result; the cost model's
+// Env.Observed hook reads it back so cardinality estimates converge on
+// measured reality across a session — and, because fingerprints are
+// canonical across front ends and sessions, across the whole platform.
+type StatsRegistry struct {
+	mu  sync.RWMutex
+	cap int
+	m   map[string]ObservedStats
+}
+
+// NewStatsRegistry returns an empty registry bounded at capacity entries
+// (<= 0 means DefaultStatsCapacity).
+func NewStatsRegistry(capacity int) *StatsRegistry {
+	if capacity <= 0 {
+		capacity = DefaultStatsCapacity
+	}
+	return &StatsRegistry{cap: capacity, m: make(map[string]ObservedStats)}
+}
+
+// Observe records (or overwrites) the stats for a fingerprint. When the
+// registry is full and the fingerprint is new, the whole generation is
+// dropped — estimates degrade gracefully to heuristics and re-learn, which
+// is cheaper than tracking recency for what is pure advisory state.
+func (r *StatsRegistry) Observe(fingerprint string, s ObservedStats) {
+	if r == nil || fingerprint == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, ok := r.m[fingerprint]; !ok && len(r.m) >= r.cap {
+		r.m = make(map[string]ObservedStats)
+	}
+	if prev, ok := r.m[fingerprint]; ok && prev.Spilled {
+		s.Spilled = true // spill history is sticky across re-observations
+	}
+	r.m[fingerprint] = s
+}
+
+// ObserveSpill marks a fingerprint's execution as having spilled to disk,
+// preserving any recorded cardinality.
+func (r *StatsRegistry) ObserveSpill(fingerprint string) {
+	if r == nil || fingerprint == "" {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.m[fingerprint]
+	s.Spilled = true
+	if _, ok := r.m[fingerprint]; !ok && len(r.m) >= r.cap {
+		r.m = make(map[string]ObservedStats)
+	}
+	r.m[fingerprint] = s
+}
+
+// Lookup returns the observed stats for a fingerprint. It has the exact
+// signature of Env.Observed.
+func (r *StatsRegistry) Lookup(fingerprint string) (ObservedStats, bool) {
+	if r == nil {
+		return ObservedStats{}, false
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	s, ok := r.m[fingerprint]
+	return s, ok
+}
+
+// Len returns the number of fingerprints currently tracked.
+func (r *StatsRegistry) Len() int {
+	if r == nil {
+		return 0
+	}
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.m)
+}

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"datachat/internal/client"
+	"datachat/internal/cloud"
 	"datachat/internal/core"
 	"datachat/internal/dataset"
 	"datachat/internal/faults"
@@ -632,5 +633,146 @@ func TestSessionShareOverWire(t *testing.T) {
 	}
 	if len(info.Members) != 2 {
 		t.Fatalf("members = %v, want ann and bob", info.Members)
+	}
+}
+
+// ordersCSV builds a cloud fixture large enough that its estimated scan
+// dwarfs a one-kilobyte request budget.
+func ordersCSV(rows int) string {
+	var sb strings.Builder
+	sb.WriteString("id,region,amount\n")
+	for i := 0; i < rows; i++ {
+		fmt.Fprintf(&sb, "%d,region-%d,%d\n", i, i%7, i*3)
+	}
+	return sb.String()
+}
+
+// TestCostBudgetOverWire pins the §3 budget knob end to end: a request whose
+// estimated scan exceeds cost_budget_bytes gets a block-sampled answer that
+// is flagged degraded with the substitution note and a cost summary showing
+// the scan reduction; the same scan unbudgeted stays exact; and the degraded
+// answer is never served from cache on a repeat run.
+func TestCostBudgetOverWire(t *testing.T) {
+	srv, c := newTestDeployment(t, server.Config{})
+	db := cloud.NewDatabase("warehouse", cloud.DefaultPricing, 64)
+	tab, err := dataset.ReadCSVString("orders", ordersCSV(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Platform().ConnectDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	load := func(output string) []recipe.Step {
+		return []recipe.Step{{
+			Skill:  "LoadTable",
+			Args:   skills.Args{"database": "warehouse", "table": "orders"},
+			Output: output,
+		}}
+	}
+
+	exact, err := c.Run(ctx, "s1", wire.RunRequest{User: "ann", Program: load("full")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Result.Degraded {
+		t.Fatalf("unbudgeted run degraded: %q", exact.Result.DegradedNote)
+	}
+	if exact.Cost == nil || exact.Cost.EstScanBytes <= 0 || exact.Cost.Substituted != 0 {
+		t.Fatalf("unbudgeted cost summary = %+v, want positive scan estimate, no substitution", exact.Cost)
+	}
+
+	budgeted, err := c.Run(ctx, "s1", wire.RunRequest{
+		User: "ann", Program: load("sampled"), CostBudgetBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !budgeted.Result.Degraded || !strings.Contains(budgeted.Result.DegradedNote, "block sample") {
+		t.Fatalf("budgeted result = degraded=%v note=%q, want degraded block-sample note",
+			budgeted.Result.Degraded, budgeted.Result.DegradedNote)
+	}
+	if budgeted.Cost == nil || budgeted.Cost.Substituted == 0 || budgeted.Cost.BudgetBytes != 1024 {
+		t.Fatalf("budgeted cost summary = %+v, want substituted with budget echo", budgeted.Cost)
+	}
+	if budgeted.Cost.EstScanBytes*2 > exact.Cost.EstScanBytes {
+		t.Fatalf("estimated scan %d not reduced >=2x from %d",
+			budgeted.Cost.EstScanBytes, exact.Cost.EstScanBytes)
+	}
+
+	// The sampled scan is keyless (volatile, refingerprinted), so a repeat
+	// can only re-execute — never a silent cache hit of a degraded answer.
+	repeat, err := c.Run(ctx, "s1", wire.RunRequest{
+		User: "ann", Program: load("sampled2"), CostBudgetBytes: 1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !repeat.Result.Degraded {
+		t.Fatal("repeat budgeted run lost the degraded flag (cached?)")
+	}
+
+	// Negative budgets are refused at the door.
+	if _, err := c.Run(ctx, "s1", wire.RunRequest{
+		User: "ann", Program: load("bad"), CostBudgetBytes: -5,
+	}); err == nil {
+		t.Fatal("negative cost_budget_bytes accepted")
+	}
+}
+
+// TestDefaultCostBudgetConfig pins the server-wide default: with
+// DefaultCostBudgetBytes configured, a request that sets no budget of its own
+// still gets the substitution, while an explicit per-request budget overrides
+// the default.
+func TestDefaultCostBudgetConfig(t *testing.T) {
+	srv, c := newTestDeployment(t, server.Config{DefaultCostBudgetBytes: 1024})
+	db := cloud.NewDatabase("warehouse", cloud.DefaultPricing, 64)
+	tab, err := dataset.ReadCSVString("orders", ordersCSV(4000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Platform().ConnectDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	if _, err := c.CreateSession(ctx, "s1", "ann"); err != nil {
+		t.Fatal(err)
+	}
+	steps := []recipe.Step{{
+		Skill:  "LoadTable",
+		Args:   skills.Args{"database": "warehouse", "table": "orders"},
+		Output: "d1",
+	}}
+	resp, err := c.Run(ctx, "s1", wire.RunRequest{User: "ann", Program: steps})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !resp.Result.Degraded || resp.Cost == nil || resp.Cost.Substituted == 0 {
+		t.Fatalf("default budget did not substitute: degraded=%v cost=%+v",
+			resp.Result.Degraded, resp.Cost)
+	}
+	if resp.Cost.BudgetBytes != 1024 {
+		t.Fatalf("budget echo = %d, want 1024", resp.Cost.BudgetBytes)
+	}
+
+	// A generous explicit budget overrides the tight default.
+	steps[0].Output = "d2"
+	resp, err = c.Run(ctx, "s1", wire.RunRequest{
+		User: "ann", Program: steps, CostBudgetBytes: 1 << 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Result.Degraded || (resp.Cost != nil && resp.Cost.Substituted != 0) {
+		t.Fatalf("explicit ample budget still degraded: %+v", resp.Cost)
 	}
 }

@@ -9,6 +9,7 @@ import (
 	"datachat/internal/artifact"
 	"datachat/internal/dag"
 	"datachat/internal/dataset"
+	"datachat/internal/plan"
 	"datachat/internal/pyapi"
 	"datachat/internal/session"
 	"datachat/internal/skills"
@@ -277,7 +278,30 @@ func (s *Server) applyStreamTuning(tune *session.Tuning, req wire.RunRequest) er
 		tune.StreamMaxBufferedRows = s.cfg.StreamMaxBufferedRows
 	}
 	tune.StreamSpillDir = s.cfg.StreamSpillDir
+	if req.CostBudgetBytes < 0 {
+		return fmt.Errorf("server: invalid cost_budget_bytes=%d", req.CostBudgetBytes)
+	}
+	tune.CostBudgetBytes = req.CostBudgetBytes
+	if tune.CostBudgetBytes == 0 {
+		tune.CostBudgetBytes = s.cfg.DefaultCostBudgetBytes
+	}
 	return nil
+}
+
+// costSummary converts the planner's estimate to the wire form.
+func costSummary(pc *plan.PlanCost, budget int64) *wire.CostSummary {
+	if pc == nil {
+		return nil
+	}
+	return &wire.CostSummary{
+		EstRows:      pc.Rows,
+		EstBytes:     pc.Bytes,
+		EstScanBytes: pc.ScanBytes,
+		EstLatencyMS: pc.Latency.Milliseconds(),
+		EstDollars:   pc.Dollars,
+		Substituted:  pc.Substituted,
+		BudgetBytes:  budget,
+	}
 }
 
 func (s *Server) maxRows(asked int) int {
@@ -314,6 +338,8 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
+	var planCost *plan.PlanCost
+	tune.PlanCost = func(pc plan.PlanCost) { planCost = &pc }
 	res, ids, err := s.platform.RunCtx(ctx, r.PathValue("name"), req.User, tune, invs...)
 	if err != nil {
 		s.writeErr(w, err)
@@ -326,6 +352,7 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, wire.RunResponse{
 		Result: wire.EncodeResult(res, s.maxRows(req.MaxRows)),
 		Nodes:  nodes,
+		Cost:   costSummary(planCost, tune.CostBudgetBytes),
 	})
 }
 
@@ -533,6 +560,9 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		}
 		return nil
 	}
+	// The plan-cost callback fires under the same session lock as StreamStats.
+	var planCost *plan.PlanCost
+	tune.PlanCost = func(pc plan.PlanCost) { planCost = &pc }
 	res, _, err := s.platform.RunCtx(ctx, r.PathValue("name"), req.User, tune, invs...)
 	if err != nil {
 		if !headerSent {
@@ -544,6 +574,12 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 		_ = enc.Encode(wire.RowChunk{Offset: offset, Last: true, TotalRows: offset,
 			Error: &wire.Error{Code: code, Message: err.Error()}, Stats: streamStats})
 		return
+	}
+	if cost := costSummary(planCost, tune.CostBudgetBytes); cost != nil {
+		if streamStats == nil {
+			streamStats = &wire.StreamStats{}
+		}
+		streamStats.Cost = cost
 	}
 	if res != nil && res.Degraded {
 		// The degraded-scan annotation lives on the result, which the

@@ -69,6 +69,11 @@ type Config struct {
 	// location.
 	StreamMaxBufferedRows int
 	StreamSpillDir        string
+	// DefaultCostBudgetBytes caps estimated cloud scan bytes for requests
+	// that do not set cost_budget_bytes themselves (0 = unlimited). Past
+	// the budget the planner substitutes block samples and flags the
+	// result degraded.
+	DefaultCostBudgetBytes int64
 }
 
 func (c Config) withDefaults() Config {

@@ -242,6 +242,15 @@ type Tuning struct {
 	// PeakBufferedRows field is the executor's buffered-row high-water mark
 	// as of this request, not a per-request delta.
 	StreamStats func(dag.Stats)
+	// CostBudgetBytes caps this request's estimated cloud scan bytes: past
+	// it the planner substitutes block samples for the most expensive scans
+	// and the result comes back annotated Degraded (never cached). 0 keeps
+	// the executor's standing budget.
+	CostBudgetBytes int64
+	// PlanCost, when non-nil, receives the compiled plan's cost estimate
+	// after the run (estimation must be enabled on the executor; the
+	// callback is skipped when no estimate was produced).
+	PlanCost func(plan.PlanCost)
 }
 
 // RequestProgram executes a multi-step program under one acquisition of the
@@ -295,6 +304,16 @@ func (s *Session) RequestProgramCtx(ctx context.Context, user string, tune *Tuni
 		}
 		if tune.StreamSpillDir != "" {
 			s.executor.Options.StreamSpillDir = tune.StreamSpillDir
+		}
+		if tune.CostBudgetBytes > 0 {
+			s.executor.Options.CostBudgetBytes = tune.CostBudgetBytes
+		}
+		if tune.PlanCost != nil {
+			defer func() {
+				if pc := s.executor.LastPlanCost(); pc != nil {
+					tune.PlanCost(*pc)
+				}
+			}()
 		}
 		if tune.StreamStats != nil {
 			// The session lock serializes executions, so a before/after

@@ -610,11 +610,25 @@ func wranglingSkills() []*Definition {
 			Params: []ParamSpec{
 				{"on", "string", true, "join condition, e.g. left.id = right.person_id"},
 				{"kind", "string", false, "inner (default), left, or cross"},
+				{"columns", "columns", false, "output column order (plan join reordering)"},
 			},
 			GEL: "Join the datasets {inputs} on {on}",
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				if len(inv.Inputs) != 2 {
 					return nil, fmt.Errorf("skills: JoinDatasets needs exactly two input datasets")
+				}
+				project := func(res *Result, err error) (*Result, error) {
+					// The join-reorder pass permutes probe sides and pins the
+					// original output column order back with "columns".
+					cols := inv.Args.StringListOr("columns")
+					if err != nil || len(cols) == 0 {
+						return res, err
+					}
+					t, serr := res.Table.Select(cols...)
+					if serr != nil {
+						return nil, serr
+					}
+					return &Result{Table: t, Message: res.Message, Degraded: res.Degraded, DegradedNote: res.DegradedNote}, nil
 				}
 				left, err := ctx.Dataset(inv.Inputs[0])
 				if err != nil {
@@ -638,13 +652,15 @@ func wranglingSkills() []*Definition {
 				case "LEFT":
 					joinSQL = "LEFT JOIN"
 				case "CROSS":
-					return sqlOverTables(tables,
+					res, err := sqlOverTables(tables,
 						fmt.Sprintf("SELECT * FROM %s CROSS JOIN %s", lName, rName))
+					return project(res, err)
 				default:
 					return nil, fmt.Errorf("skills: unknown join kind %q", kindWord)
 				}
 				query := fmt.Sprintf("SELECT * FROM %s %s %s ON %s", lName, joinSQL, rName, on)
-				return sqlOverTables(tables, query)
+				res, err := sqlOverTables(tables, query)
+				return project(res, err)
 			},
 		},
 		{

@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"testing"
 
+	"datachat/internal/cloud"
 	"datachat/internal/dag"
 	"datachat/internal/dataset"
 	"datachat/internal/skills"
@@ -85,5 +86,79 @@ func BenchmarkPlanCompile(b *testing.B) {
 		if _, err := ex.Explain(g, last); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// benchCostCtx adds a cloud table so the cost model has catalog stats to
+// seed from and the budget pass has a scan to substitute.
+func benchCostCtx(rows int) *skills.Context {
+	ctx := benchPlanCtx(rows)
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 256)
+	ids := make([]int64, rows)
+	vals := make([]float64, rows)
+	for i := range ids {
+		ids[i] = int64(i)
+		vals[i] = float64(i % 997)
+	}
+	if err := db.CreateTable(dataset.MustNewTable("orders",
+		dataset.IntColumn("id", ids, nil),
+		dataset.FloatColumn("c0", vals, nil),
+	)); err != nil {
+		panic(err)
+	}
+	ctx.Cloud["wh"] = db
+	return ctx
+}
+
+func benchCostGraph() (*dag.Graph, dag.NodeID) {
+	g := dag.NewGraph()
+	g.Add(skills.Invocation{Skill: "LoadTable",
+		Args: skills.Args{"database": "wh", "table": "orders"}, Output: "orders"})
+	last := g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"orders"},
+		Args: skills.Args{"condition": "c0 > 100"}, Output: "kept"})
+	return g, last
+}
+
+// BenchmarkCostedPlanning isolates the cost model's planning overhead: the
+// full pass pipeline with per-pass cost estimation, against the same
+// pipeline with the cost model off (see BenchmarkPlanCompile for the
+// pre-cost baseline shape).
+func BenchmarkCostedPlanning(b *testing.B) {
+	for _, costed := range []bool{false, true} {
+		b.Run(fmt.Sprintf("costed=%v", costed), func(b *testing.B) {
+			ctx := benchCostCtx(1_000)
+			ex := dag.NewExecutor(benchReg, ctx)
+			ex.CostModel = costed
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, last := benchCostGraph()
+				if _, err := ex.Explain(g, last); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkBudgetedScan measures the end-to-end §3 path: a budgeted request
+// plans, substitutes the scan for a block sample, and executes the degraded
+// pipeline — against the unbudgeted exact scan.
+func BenchmarkBudgetedScan(b *testing.B) {
+	for _, budget := range []int64{0, 1024} {
+		b.Run(fmt.Sprintf("budget=%d", budget), func(b *testing.B) {
+			ctx := benchCostCtx(50_000)
+			ex := dag.NewExecutor(benchReg, ctx)
+			ex.UseCache = false
+			ex.Options.CostBudgetBytes = budget
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				g, last := benchCostGraph()
+				if _, err := ex.Run(g, last); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

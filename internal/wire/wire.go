@@ -115,6 +115,23 @@ type StreamStats struct {
 	// a buffered Run response carries in its Result.
 	Degraded     bool   `json:"degraded,omitempty"`
 	DegradedNote string `json:"degraded_note,omitempty"`
+	// Cost is the compiled plan's cost estimate (nil when the server's cost
+	// model is off).
+	Cost *CostSummary `json:"cost,omitempty"`
+}
+
+// CostSummary is the planner's cost estimate for one executed request:
+// estimated output size, cloud bytes scanned with their priced latency and
+// dollars, and how many scans the budget pass degraded to samples.
+type CostSummary struct {
+	EstRows      int64   `json:"est_rows"`
+	EstBytes     int64   `json:"est_bytes"`
+	EstScanBytes int64   `json:"est_scan_bytes"`
+	EstLatencyMS int64   `json:"est_latency_ms"`
+	EstDollars   float64 `json:"est_dollars"`
+	Substituted  int     `json:"substituted,omitempty"`
+	// BudgetBytes echoes the budget the request ran under (0 = unlimited).
+	BudgetBytes int64 `json:"budget_bytes,omitempty"`
 }
 
 // EncodeTable converts rows [offset, offset+limit) of t to the wire form.
@@ -415,6 +432,11 @@ type RunRequest struct {
 	// sort, join, distinct) may hold in memory; overflow spills sorted runs
 	// to disk. 0 keeps the server default.
 	MaxBufferedRows int `json:"max_buffered_rows,omitempty"`
+	// CostBudgetBytes caps this request's estimated cloud scan bytes: past
+	// it the planner substitutes block samples for the most expensive scans
+	// and the result comes back flagged degraded. 0 keeps the server
+	// default budget (usually unlimited).
+	CostBudgetBytes int64 `json:"cost_budget_bytes,omitempty"`
 }
 
 // RunResponse is the outcome of one executed request.
@@ -422,6 +444,9 @@ type RunResponse struct {
 	Result *Result `json:"result"`
 	// Nodes are the DAG node ids the program appended (anchor for saves).
 	Nodes []int `json:"nodes"`
+	// Cost is the compiled plan's cost estimate (nil when the server's cost
+	// model is off).
+	Cost *CostSummary `json:"cost,omitempty"`
 }
 
 // ShareSessionRequest grants a user access to a session.

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"datachat/internal/dataset"
+	"datachat/internal/plan"
 	"datachat/internal/skills"
 )
 
@@ -166,5 +167,67 @@ func TestErrorPayload(t *testing.T) {
 	}
 	if got.Error() == "" {
 		t.Fatal("empty error text")
+	}
+}
+
+// TestForwardCompatDecode pins the wire types' forward compatibility: a
+// response or EXPLAIN report produced by a newer server may carry fields
+// this client has never heard of, and decoding must tolerate them — future
+// cost-model extensions (new per-node annotations, new summary fields) must
+// not break older readers.
+func TestForwardCompatDecode(t *testing.T) {
+	respJSON := `{
+		"result": {"message": "ok", "future_flag": true},
+		"nodes": [1, 2],
+		"cost": {
+			"est_rows": 10, "est_bytes": 320, "est_scan_bytes": 4096,
+			"est_latency_ms": 8, "est_dollars": 0.000020,
+			"substituted": 1, "budget_bytes": 1024,
+			"est_carbon_grams": 0.4
+		},
+		"experimental_section": {"nested": [1, 2, 3]}
+	}`
+	var resp RunResponse
+	if err := json.Unmarshal([]byte(respJSON), &resp); err != nil {
+		t.Fatalf("decoding future RunResponse: %v", err)
+	}
+	if resp.Cost == nil || resp.Cost.EstScanBytes != 4096 || resp.Cost.Substituted != 1 ||
+		resp.Cost.BudgetBytes != 1024 {
+		t.Fatalf("cost summary = %+v, want known fields preserved", resp.Cost)
+	}
+	if resp.Result == nil || resp.Result.Message != "ok" {
+		t.Fatalf("result = %+v, want known fields preserved", resp.Result)
+	}
+
+	explainJSON := `{
+		"target": "top",
+		"nodes": [{
+			"id": 1, "skill": "LoadTable", "output": "top",
+			"cost": {"rows": 5, "bytes": 160, "scan_bytes": 4096, "confidence": 0.9},
+			"substituted": true,
+			"substitute_note": "scan exceeds budget",
+			"hologram": {"depth": 3}
+		}],
+		"passes": [{"pass": "sample-substitute", "fired": true, "substituted": 1,
+			"cost": {"rows": 5, "bytes": 160, "scan_bytes": 204, "latency_ns": 1,
+				"dollars": 0.1, "novel_axis": 7}}],
+		"cost": {"rows": 5, "bytes": 160, "scan_bytes": 204, "latency_ns": 1, "dollars": 0.1},
+		"future_top_level": "yes"
+	}`
+	ex, err := plan.DecodeExplain([]byte(explainJSON))
+	if err != nil {
+		t.Fatalf("decoding future EXPLAIN JSON: %v", err)
+	}
+	if ex.Target != "top" || len(ex.Nodes) != 1 || !ex.Nodes[0].Substituted {
+		t.Fatalf("explain = %+v, want known fields preserved", ex)
+	}
+	if ex.Nodes[0].Cost == nil || ex.Nodes[0].Cost.ScanBytes != 4096 {
+		t.Fatalf("node cost = %+v, want scan_bytes preserved", ex.Nodes[0].Cost)
+	}
+	if ex.Cost == nil || ex.Cost.ScanBytes != 204 {
+		t.Fatalf("plan cost = %+v, want scan_bytes preserved", ex.Cost)
+	}
+	if len(ex.Passes) != 1 || ex.Passes[0].Cost == nil || ex.Passes[0].Substituted != 1 {
+		t.Fatalf("passes = %+v, want per-pass cost preserved", ex.Passes)
 	}
 }
