@@ -22,10 +22,12 @@ import (
 	"syscall"
 	"time"
 
+	"datachat/internal/board"
 	"datachat/internal/cloud"
 	"datachat/internal/core"
 	"datachat/internal/dataset"
 	"datachat/internal/faults"
+	"datachat/internal/scheduler"
 	"datachat/internal/server"
 )
 
@@ -47,6 +49,8 @@ func main() {
 		addr        = flag.String("addr", "127.0.0.1:8080", "listen address")
 		maxInFlight = flag.Int("max-inflight", 0, "max concurrent executions (0 = GOMAXPROCS)")
 		maxQueue    = flag.Int("max-queue", -1, "max queued executions (-1 = 2x max-inflight, 0 = refuse when busy)")
+		maxBg       = flag.Int("max-background", 0, "max background-priority executions in flight (0 = half of max-inflight)")
+		schedPoll   = flag.Duration("sched-poll", time.Second, "scheduler poll interval for due jobs")
 		deadline    = flag.Duration("default-deadline", 0, "deadline applied to requests that do not ask for one (0 = none)")
 		maxDeadline = flag.Duration("max-deadline", 0, "cap on client-requested deadlines (0 = uncapped)")
 		retries     = flag.Int("retries", 3, "transient-failure retry attempts per execution (1 = fail fast)")
@@ -66,6 +70,7 @@ func main() {
 
 	cfg := server.Config{
 		MaxInFlight:     *maxInFlight,
+		MaxBackground:   *maxBg,
 		MaxQueue:        *maxQueue,
 		RetryAfter:      *retryAfter,
 		DefaultDeadline: *deadline,
@@ -80,6 +85,19 @@ func main() {
 		}
 	}
 	srv := server.New(p, cfg)
+
+	// Scheduler + boards: saved recipes as long-lived jobs whose refreshes
+	// run under the background admission class and fan out to subscribed
+	// clients via /v1/boards/{id}/subscribe.
+	hub := board.NewHub()
+	sched := scheduler.New(p, hub)
+	srv.AttachScheduler(sched, hub)
+	schedCtx, stopSched := context.WithCancel(context.Background())
+	schedDone := make(chan struct{})
+	go func() {
+		defer close(schedDone)
+		sched.Loop(schedCtx, *schedPoll)
+	}()
 
 	hs := &http.Server{Addr: *addr, Handler: srv}
 	errc := make(chan error, 1)
@@ -99,6 +117,8 @@ func main() {
 
 	// Drain: stop accepting, let in-flight executions finish, then close
 	// the listener.
+	stopSched()
+	<-schedDone
 	ctx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := srv.Shutdown(ctx); err != nil {

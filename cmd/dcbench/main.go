@@ -14,6 +14,7 @@
 //	dcbench -exp server      # datachatd load grid: concurrent HTTP clients, 409/429 accounting
 //	dcbench -exp stream      # morsel streaming: first-chunk latency + peak memory vs row count
 //	dcbench -exp cost        # §3 budget ladder: cost-vs-accuracy grid for sample substitution
+//	dcbench -exp sched       # scheduled refresh: cost vs changed fraction + interference grid
 //	dcbench -exp all         # everything (default)
 package main
 
@@ -28,7 +29,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, server, stream, cost, all")
+	exp := flag.String("exp", "all", "experiment to run: table2, figure7, sampling, consolidation, parallel, slicing, ablations, vectorized, faults, plan, server, stream, cost, sched, all")
 	seed := flag.Int64("seed", 42, "corpus seed")
 	perZone := flag.Int("per-zone", 25, "balanced sample size per zone for table2")
 	rows := flag.Int("rows", 500_000, "synthetic cloud table rows for the sampling experiment")
@@ -39,6 +40,7 @@ func main() {
 	perClient := flag.Int("per-client", 25, "requests per client for the server experiment")
 	streamJSON := flag.String("stream-json", "", "write the streaming grid as JSON to this path")
 	costJSON := flag.String("cost-json", "", "write the cost-vs-accuracy grid as JSON to this path")
+	schedJSON := flag.String("sched-json", "", "write the scheduled-refresh grid as JSON to this path")
 	streamRows := flag.Int("stream-rows", 20_000, "1x row count for the stream experiment (scales to 10x and 100x)")
 	streamCPUs := flag.String("stream-cpus", "1,2,4,8", "comma-separated morsel worker grid for the stream experiment")
 	flag.Parse()
@@ -214,6 +216,22 @@ func main() {
 				return err
 			}
 			return os.WriteFile(*serverJSON, append(data, '\n'), 0o644)
+		}
+		return nil
+	})
+	run("sched", func() error {
+		r, err := experiments.Sched(4, 20_000, 4, *perClient)
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.Report())
+		fmt.Println()
+		if *schedJSON != "" {
+			data, err := r.JSON()
+			if err != nil {
+				return err
+			}
+			return os.WriteFile(*schedJSON, append(data, '\n'), 0o644)
 		}
 		return nil
 	})

@@ -1,0 +1,78 @@
+package board
+
+import (
+	"sync"
+	"testing"
+
+	"datachat/internal/dataset"
+)
+
+func benchTable(b *testing.B) *dataset.Table {
+	b.Helper()
+	n := 256
+	ids := make([]int64, n)
+	vals := make([]int64, n)
+	for i := range ids {
+		ids[i], vals[i] = int64(i), int64(i*31%1000)
+	}
+	return dataset.MustNewTable("tile",
+		dataset.IntColumn("id", ids, nil),
+		dataset.IntColumn("val", vals, nil),
+	)
+}
+
+// BenchmarkPublishFanout measures one publish delivered to 8 live
+// subscribers — the board hot path every scheduled refresh pays.
+func BenchmarkPublishFanout(b *testing.B) {
+	h := NewHub()
+	bd, err := h.Create("bench", "bench", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := benchTable(b)
+	const nsubs = 8
+	var wg sync.WaitGroup
+	subs := make([]*Subscription, nsubs)
+	for i := range subs {
+		sub, _, err := bd.Subscribe(0, b.N+16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		subs[i] = sub
+		wg.Add(1)
+		go func(s *Subscription) {
+			defer wg.Done()
+			for range s.C {
+			}
+		}(sub)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bd.Publish("hot", Update{Table: tb, Message: "refresh"})
+	}
+	b.StopTimer()
+	for _, s := range subs {
+		s.Close()
+	}
+	wg.Wait()
+}
+
+// BenchmarkSnapshot measures the consistent board read a late subscriber
+// or the HTTP snapshot endpoint performs.
+func BenchmarkSnapshot(b *testing.B) {
+	h := NewHub()
+	bd, err := h.Create("bench", "bench", "bench")
+	if err != nil {
+		b.Fatal(err)
+	}
+	tb := benchTable(b)
+	for i := 0; i < 16; i++ {
+		bd.Publish("hot", Update{Table: tb})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if snap := bd.Snapshot(); snap.Version == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}

@@ -1,0 +1,377 @@
+// Package board implements the paper's §2.4 Insights Boards: server-side
+// objects that pin recipe results and fan refreshed artifacts out to
+// subscribed clients. A Board holds named Tiles; every publish bumps a
+// monotonic board version, pins the artifact on its tile, appends to a
+// bounded history ring (so late subscribers can backfill), and offers the
+// update to every live subscriber without ever blocking the publisher — a
+// subscriber that cannot keep up is evicted and its stream ends with
+// ErrSlowConsumer rather than stalling the refresh pipeline.
+package board
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+)
+
+var (
+	// ErrSlowConsumer ends a subscription whose buffer overflowed.
+	ErrSlowConsumer = errors.New("board: subscriber evicted (slow consumer)")
+	// ErrDeleted ends subscriptions on a board that was deleted.
+	ErrDeleted = errors.New("board: board deleted")
+)
+
+// DefaultRetain is how many updates a board keeps for backfill.
+const DefaultRetain = 64
+
+// Update is one published artifact: a refreshed tile result plus the
+// annotations a dashboard needs to render it honestly (degradation flags
+// are mandatory — the chaos suite asserts no degraded table ever reaches a
+// subscriber without them).
+type Update struct {
+	Board   string
+	Tile    string
+	Version uint64 // monotonic per board
+	At      time.Time
+
+	Job string // scheduler job that produced it, if any
+	Seq int    // job run sequence, if any
+
+	Table        *dataset.Table
+	Message      string
+	Degraded     bool
+	DegradedNote string
+	RunError     string // non-empty when the refresh failed; Table is stale/nil
+
+	// Fingerprint-diff summary for the producing run (zero when published
+	// directly rather than by the scheduler).
+	FPTotal   int
+	FPChanged int
+	CacheHits int64
+}
+
+// TileState is a tile's pinned artifact as of the board's current version.
+type TileState struct {
+	Tile    string
+	Last    Update
+	Updates int // publishes to this tile since creation
+}
+
+// Snapshot is a consistent read of a board's metadata and tiles.
+type Snapshot struct {
+	ID      string
+	Name    string
+	Owner   string
+	Version uint64
+	Created time.Time
+	Tiles   []TileState
+}
+
+// Stats are the hub-wide counters surfaced in /statsz.
+type Stats struct {
+	Boards      int
+	Tiles       int
+	Subscribers int
+	Publishes   int64
+	Evictions   int64
+	Backfills   int64
+}
+
+// Subscription is one client's live feed. Read from C until it closes,
+// then check Err: nil means Close was called, ErrSlowConsumer means the
+// hub evicted the subscriber, ErrDeleted means the board went away.
+type Subscription struct {
+	C <-chan Update
+
+	ch    chan Update
+	board *Board
+
+	mu     sync.Mutex
+	closed bool
+	err    error
+}
+
+// Close unsubscribes. Safe to call more than once and concurrently with
+// publishes.
+func (s *Subscription) Close() { s.board.unsubscribe(s, nil) }
+
+// Err reports why C closed. Only meaningful after C is closed.
+func (s *Subscription) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// finish closes the channel exactly once, recording the cause.
+// Must be called with the owning board's lock held (it is the only
+// goroutine that ever closes ch, and board.mu serializes callers).
+func (s *Subscription) finish(cause error) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	s.closed = true
+	s.err = cause
+	close(s.ch)
+	return true
+}
+
+// Board is one insights board: named tiles plus live subscribers.
+type Board struct {
+	hub     *Hub
+	id      string
+	name    string
+	owner   string
+	created time.Time
+
+	mu        sync.Mutex
+	version   uint64
+	tiles     map[string]*tile
+	tileOrder []string
+	history   []Update // ring, capped at hub.retain
+	subs      map[*Subscription]struct{}
+	deleted   bool
+}
+
+type tile struct {
+	name    string
+	last    Update
+	updates int
+}
+
+// ID returns the board's identifier.
+func (b *Board) ID() string { return b.id }
+
+// Owner returns the creating user.
+func (b *Board) Owner() string { return b.owner }
+
+// Publish pins an artifact on tileName (creating the tile on first use),
+// bumps the board version, and offers the stamped update to every
+// subscriber. It never blocks: a subscriber whose buffer is full is
+// evicted. The stamped update is returned.
+func (b *Board) Publish(tileName string, u Update) Update {
+	b.mu.Lock()
+	u.Board = b.id
+	u.Tile = tileName
+	b.version++
+	u.Version = b.version
+	u.At = b.hub.now()
+
+	t, ok := b.tiles[tileName]
+	if !ok {
+		t = &tile{name: tileName}
+		b.tiles[tileName] = t
+		b.tileOrder = append(b.tileOrder, tileName)
+	}
+	t.last = u
+	t.updates++
+
+	b.history = append(b.history, u)
+	if excess := len(b.history) - b.hub.retain; excess > 0 {
+		b.history = append(b.history[:0:0], b.history[excess:]...)
+	}
+
+	var evicted []*Subscription
+	for s := range b.subs {
+		select {
+		case s.ch <- u:
+		default:
+			evicted = append(evicted, s)
+		}
+	}
+	for _, s := range evicted {
+		delete(b.subs, s)
+		s.finish(ErrSlowConsumer)
+	}
+	b.mu.Unlock()
+
+	b.hub.mu.Lock()
+	b.hub.publishes++
+	b.hub.evictions += int64(len(evicted))
+	b.hub.mu.Unlock()
+	return u
+}
+
+// Snapshot returns the board's current state, tiles in creation order.
+func (b *Board) Snapshot() Snapshot {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	snap := Snapshot{ID: b.id, Name: b.name, Owner: b.owner, Version: b.version, Created: b.created}
+	for _, name := range b.tileOrder {
+		t := b.tiles[name]
+		snap.Tiles = append(snap.Tiles, TileState{Tile: name, Last: t.last, Updates: t.updates})
+	}
+	return snap
+}
+
+// Subscribe registers a live feed with the given channel buffer (minimum
+// 1) and returns any retained updates with Version > fromVersion as an
+// immediate backlog. Registration and backlog capture are atomic with
+// respect to Publish, so a caller that drains the backlog and then reads C
+// sees every update exactly once, in order.
+func (b *Board) Subscribe(fromVersion uint64, buf int) (*Subscription, []Update, error) {
+	if buf < 1 {
+		buf = 1
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.deleted {
+		return nil, nil, ErrDeleted
+	}
+	s := &Subscription{board: b, ch: make(chan Update, buf)}
+	s.C = s.ch
+	var backlog []Update
+	for _, u := range b.history {
+		if u.Version > fromVersion {
+			backlog = append(backlog, u)
+		}
+	}
+	b.subs[s] = struct{}{}
+	if len(backlog) > 0 {
+		b.hub.mu.Lock()
+		b.hub.backfills += int64(len(backlog))
+		b.hub.mu.Unlock()
+	}
+	return s, backlog, nil
+}
+
+// unsubscribe removes s, closing its channel with the given cause.
+func (b *Board) unsubscribe(s *Subscription, cause error) {
+	b.mu.Lock()
+	delete(b.subs, s)
+	s.finish(cause)
+	b.mu.Unlock()
+}
+
+// subscriberCount is a test/stats helper.
+func (b *Board) subscriberCount() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.subs)
+}
+
+// Hub owns all boards on a platform.
+type Hub struct {
+	mu        sync.Mutex
+	clock     faults.Clock
+	retain    int
+	boards    map[string]*Board
+	publishes int64
+	evictions int64
+	backfills int64
+}
+
+// NewHub returns an empty hub on the real clock retaining DefaultRetain
+// updates per board.
+func NewHub() *Hub {
+	return &Hub{clock: faults.Real(), retain: DefaultRetain, boards: make(map[string]*Board)}
+}
+
+// SetClock swaps the timestamp source (virtual clock in tests).
+func (h *Hub) SetClock(c faults.Clock) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if c != nil {
+		h.clock = c
+	}
+}
+
+func (h *Hub) now() time.Time {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.clock.Now()
+}
+
+// Create makes a new board. IDs are unique; an empty name defaults to the
+// ID.
+func (h *Hub) Create(id, name, owner string) (*Board, error) {
+	if id == "" {
+		return nil, fmt.Errorf("board: empty board id")
+	}
+	if name == "" {
+		name = id
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if _, exists := h.boards[id]; exists {
+		return nil, fmt.Errorf("board: board %q already exists", id)
+	}
+	b := &Board{
+		hub:     h,
+		id:      id,
+		name:    name,
+		owner:   owner,
+		created: h.clock.Now(),
+		tiles:   make(map[string]*tile),
+		subs:    make(map[*Subscription]struct{}),
+	}
+	h.boards[id] = b
+	return b, nil
+}
+
+// Get looks a board up by ID.
+func (h *Hub) Get(id string) (*Board, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	b, ok := h.boards[id]
+	return b, ok
+}
+
+// Delete removes a board, ending every live subscription with ErrDeleted.
+func (h *Hub) Delete(id string) bool {
+	h.mu.Lock()
+	b, ok := h.boards[id]
+	delete(h.boards, id)
+	h.mu.Unlock()
+	if !ok {
+		return false
+	}
+	b.mu.Lock()
+	b.deleted = true
+	for s := range b.subs {
+		delete(b.subs, s)
+		s.finish(ErrDeleted)
+	}
+	b.mu.Unlock()
+	return true
+}
+
+// List returns snapshots of every board, sorted by ID.
+func (h *Hub) List() []Snapshot {
+	h.mu.Lock()
+	boards := make([]*Board, 0, len(h.boards))
+	for _, b := range h.boards {
+		boards = append(boards, b)
+	}
+	h.mu.Unlock()
+	sort.Slice(boards, func(i, j int) bool { return boards[i].id < boards[j].id })
+	snaps := make([]Snapshot, 0, len(boards))
+	for _, b := range boards {
+		snaps = append(snaps, b.Snapshot())
+	}
+	return snaps
+}
+
+// Stats returns hub-wide counters.
+func (h *Hub) Stats() Stats {
+	h.mu.Lock()
+	boards := make([]*Board, 0, len(h.boards))
+	for _, b := range h.boards {
+		boards = append(boards, b)
+	}
+	st := Stats{Boards: len(h.boards), Publishes: h.publishes, Evictions: h.evictions, Backfills: h.backfills}
+	h.mu.Unlock()
+	for _, b := range boards {
+		b.mu.Lock()
+		st.Tiles += len(b.tiles)
+		st.Subscribers += len(b.subs)
+		b.mu.Unlock()
+	}
+	return st
+}

@@ -1,0 +1,153 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/url"
+	"strconv"
+
+	"datachat/internal/wire"
+)
+
+// --- Schedules ---
+
+// CreateSchedule registers a recipe as a long-lived scheduled job.
+func (c *Client) CreateSchedule(ctx context.Context, req wire.ScheduleRequest) (*wire.ScheduleInfo, error) {
+	var out wire.ScheduleInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/schedules", req, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Schedules lists every job.
+func (c *Client) Schedules(ctx context.Context) ([]wire.ScheduleInfo, error) {
+	var out wire.SchedulesResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/schedules", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Schedules, nil
+}
+
+// Schedule fetches one job and its recent run history.
+func (c *Client) Schedule(ctx context.Context, name string) (*wire.ScheduleInfo, error) {
+	var out wire.ScheduleInfo
+	if err := c.do(ctx, http.MethodGet, "/v1/schedules/"+url.PathEscape(name), nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteSchedule removes a job; published board history stays.
+func (c *Client) DeleteSchedule(ctx context.Context, name string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/schedules/"+url.PathEscape(name), nil, nil)
+}
+
+// RunScheduleNow force-runs a job immediately and returns the run record.
+func (c *Client) RunScheduleNow(ctx context.Context, name string) (*wire.ScheduleRun, error) {
+	var out wire.ScheduleRun
+	if err := c.do(ctx, http.MethodPost, "/v1/schedules/"+url.PathEscape(name)+"/run", struct{}{}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// --- Boards ---
+
+// CreateBoard makes an insights board.
+func (c *Client) CreateBoard(ctx context.Context, id, name, owner string) (*wire.BoardInfo, error) {
+	var out wire.BoardInfo
+	if err := c.do(ctx, http.MethodPost, "/v1/boards", wire.CreateBoardRequest{ID: id, Name: name, Owner: owner}, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Boards lists every board with its tiles.
+func (c *Client) Boards(ctx context.Context) ([]wire.BoardInfo, error) {
+	var out wire.BoardsResponse
+	if err := c.do(ctx, http.MethodGet, "/v1/boards", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Boards, nil
+}
+
+// Board fetches one board snapshot, inlining at most maxRows rows per tile
+// (<= 0 for the server default).
+func (c *Client) Board(ctx context.Context, id string, maxRows int) (*wire.BoardInfo, error) {
+	path := "/v1/boards/" + url.PathEscape(id)
+	if maxRows > 0 {
+		path += "?max_rows=" + strconv.Itoa(maxRows)
+	}
+	var out wire.BoardInfo
+	if err := c.do(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// DeleteBoard removes a board, ending every live subscription.
+func (c *Client) DeleteBoard(ctx context.Context, id string) error {
+	return c.do(ctx, http.MethodDelete, "/v1/boards/"+url.PathEscape(id), nil, nil)
+}
+
+// SubscribeOptions tune a board subscription stream.
+type SubscribeOptions struct {
+	// FromVersion backfills retained updates newer than this version before
+	// going live (0 = everything the history ring holds).
+	FromVersion uint64
+	// MaxUpdates ends the stream cleanly after that many updates
+	// (0 = stream until ctx is cancelled or the server drains).
+	MaxUpdates int
+	// MaxRows caps rows inlined per update table (0 = server default).
+	MaxRows int
+}
+
+// SubscribeBoard attaches to a board's live NDJSON feed and calls fn once
+// per update, backfilled history first, then live publishes, in version
+// order. It rides the same stream machinery as RunStream — the terminal
+// sentinel is mandatory, so a dropped connection surfaces as an explicit
+// truncation error instead of a silently short stream, and server-side
+// endings (drain, slow-consumer eviction, board deletion) come back as
+// typed *wire.Error values. It returns the number of updates delivered.
+func (c *Client) SubscribeBoard(ctx context.Context, id string, opts SubscribeOptions, fn func(ev *wire.BoardEvent) error) (int, error) {
+	q := url.Values{}
+	if opts.FromVersion > 0 {
+		q.Set("from_version", strconv.FormatUint(opts.FromVersion, 10))
+	}
+	if opts.MaxUpdates > 0 {
+		q.Set("max_updates", strconv.Itoa(opts.MaxUpdates))
+	}
+	if opts.MaxRows > 0 {
+		q.Set("max_rows", strconv.Itoa(opts.MaxRows))
+	}
+	path := c.BaseURL + "/v1/boards/" + url.PathEscape(id) + "/subscribe"
+	if len(q) > 0 {
+		path += "?" + q.Encode()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, path, nil)
+	if err != nil {
+		return 0, fmt.Errorf("client: building subscribe request: %w", err)
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return 0, fmt.Errorf("client: subscribing to board %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode/100 != 2 {
+		return 0, decodeError(resp)
+	}
+	delivered := 0
+	_, _, err = consumeStream(resp.Body, "board "+id, func(_ *wire.Table, rc wire.RowChunk) error {
+		if rc.Board == nil {
+			return fmt.Errorf("client: board stream chunk %d carries no update", rc.Offset)
+		}
+		delivered++
+		if fn != nil {
+			return fn(rc.Board)
+		}
+		return nil
+	})
+	return delivered, err
+}

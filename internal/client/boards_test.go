@@ -1,0 +1,97 @@
+package client
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"datachat/internal/wire"
+)
+
+// fakeBoardServer serves a canned NDJSON subscribe stream.
+func fakeBoardServer(t *testing.T, lines ...string) *Client {
+	t.Helper()
+	hs := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !strings.HasSuffix(r.URL.Path, "/subscribe") {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/x-ndjson")
+		for _, line := range lines {
+			fmt.Fprintln(w, line)
+		}
+	}))
+	t.Cleanup(hs.Close)
+	return New(hs.URL)
+}
+
+// TestSubscribeBoardTruncationIsAnError: a subscribe stream that ends
+// without the terminal sentinel is a broken connection, not a short feed —
+// the client must say so instead of returning success. This rides the same
+// consumeStream machinery as run streams, so the sentinel contract holds
+// everywhere.
+func TestSubscribeBoardTruncationIsAnError(t *testing.T) {
+	c := fakeBoardServer(t,
+		`{"name":"board:ops","next_offset":-1}`,
+		`{"offset":0,"board":{"board":"ops","tile":"hot","version":1,"at":"2026-01-01T00:00:00Z"}}`,
+		// ...and the connection drops: no Last chunk.
+	)
+	n, err := c.SubscribeBoard(context.Background(), "ops", SubscribeOptions{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "truncated") {
+		t.Fatalf("truncated stream returned err=%v (delivered %d); want a truncation error", err, n)
+	}
+}
+
+// TestSubscribeBoardDeliversAndStops: a complete stream delivers each update
+// to fn in order and returns the delivered count.
+func TestSubscribeBoardDeliversAndStops(t *testing.T) {
+	c := fakeBoardServer(t,
+		`{"name":"board:ops","next_offset":-1}`,
+		`{"offset":0,"board":{"board":"ops","tile":"hot","version":1,"at":"2026-01-01T00:00:00Z"}}`,
+		`{"offset":1,"board":{"board":"ops","tile":"hot","version":2,"at":"2026-01-01T00:01:00Z","degraded":true,"degraded_note":"sampled"}}`,
+		`{"offset":2,"last":true,"total_rows":2}`,
+	)
+	var got []uint64
+	degraded := false
+	n, err := c.SubscribeBoard(context.Background(), "ops", SubscribeOptions{}, func(ev *wire.BoardEvent) error {
+		got = append(got, ev.Version)
+		degraded = degraded || ev.Degraded
+		return nil
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("SubscribeBoard = (%d, %v)", n, err)
+	}
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 || !degraded {
+		t.Fatalf("delivered versions %v degraded=%v", got, degraded)
+	}
+}
+
+// TestSubscribeBoardTypedSentinelErrors: server-side endings (eviction,
+// drain) arrive through the sentinel as typed wire errors.
+func TestSubscribeBoardTypedSentinelErrors(t *testing.T) {
+	c := fakeBoardServer(t,
+		`{"name":"board:ops","next_offset":-1}`,
+		`{"offset":0,"last":true,"total_rows":0,"error":{"code":"draining","message":"shutting down"}}`,
+	)
+	_, err := c.SubscribeBoard(context.Background(), "ops", SubscribeOptions{}, nil)
+	if !IsDraining(err) {
+		t.Fatalf("sentinel error = %v; want draining", err)
+	}
+}
+
+// TestSubscribeBoardRejectsChunkWithoutUpdate: a data chunk with no board
+// payload violates the protocol.
+func TestSubscribeBoardRejectsChunkWithoutUpdate(t *testing.T) {
+	c := fakeBoardServer(t,
+		`{"name":"board:ops","next_offset":-1}`,
+		`{"offset":0,"rows":[[1]]}`,
+		`{"offset":1,"last":true,"total_rows":1}`,
+	)
+	_, err := c.SubscribeBoard(context.Background(), "ops", SubscribeOptions{}, nil)
+	if err == nil || !strings.Contains(err.Error(), "no update") {
+		t.Fatalf("protocol violation returned %v", err)
+	}
+}

@@ -6,7 +6,11 @@
 package cloud
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
+	"io"
+	"math"
 	"math/rand"
 	"sort"
 	"strings"
@@ -150,6 +154,10 @@ type storedTable struct {
 	blocks     []*block
 	totalRows  int
 	totalBytes int64
+	// fingerprint is a content hash of every cell, computed once at ingest
+	// (free, like the rest of the metadata) so Stats can report whether the
+	// table changed without anyone scanning it.
+	fingerprint uint64
 }
 
 // Database is a simulated cloud database instance.
@@ -193,6 +201,27 @@ func (d *Database) CreateTable(t *dataset.Table) error {
 	if _, exists := d.tables[strings.ToLower(t.Name())]; exists {
 		return fmt.Errorf("cloud: table %q already exists in %s", t.Name(), d.name)
 	}
+	d.tables[strings.ToLower(t.Name())] = d.store(t)
+	return nil
+}
+
+// ReplaceTable swaps a stored table's content in place — the simulator's
+// model of an out-of-band data refresh (a nightly ETL load, a stream sink).
+// The table keeps its name but its content fingerprint moves, so schedulers
+// diffing Stats see the change without scanning anything.
+func (d *Database) ReplaceTable(t *dataset.Table) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if _, ok := d.tables[strings.ToLower(t.Name())]; !ok {
+		return fmt.Errorf("cloud: unknown table %q", t.Name())
+	}
+	d.tables[strings.ToLower(t.Name())] = d.store(t)
+	return nil
+}
+
+// store partitions t into blocks and fingerprints its content; callers hold
+// the write lock.
+func (d *Database) store(t *dataset.Table) *storedTable {
 	st := &storedTable{name: t.Name(), totalRows: t.NumRows()}
 	for from := 0; from < t.NumRows() || from == 0; from += d.blockRows {
 		to := from + d.blockRows
@@ -207,8 +236,48 @@ func (d *Database) CreateTable(t *dataset.Table) error {
 			break
 		}
 	}
-	d.tables[strings.ToLower(t.Name())] = st
-	return nil
+	st.fingerprint = contentFingerprint(t)
+	return st
+}
+
+// contentFingerprint hashes every cell of t (schema included), so two tables
+// with the same rows hash equal and any cell change moves the hash.
+func contentFingerprint(t *dataset.Table) uint64 {
+	h := fnv.New64a()
+	io.WriteString(h, t.Name())
+	var buf [8]byte
+	for _, c := range t.Columns() {
+		io.WriteString(h, c.Name())
+		io.WriteString(h, c.Type().String())
+		for i := 0; i < c.Len(); i++ {
+			if c.IsNull(i) {
+				h.Write([]byte{0xff})
+				continue
+			}
+			v := c.Value(i)
+			switch v.Type {
+			case dataset.TypeInt:
+				binary.LittleEndian.PutUint64(buf[:], uint64(v.I))
+				h.Write(buf[:])
+			case dataset.TypeFloat:
+				binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v.F))
+				h.Write(buf[:])
+			case dataset.TypeString:
+				io.WriteString(h, v.S)
+				h.Write([]byte{0})
+			case dataset.TypeBool:
+				if v.B {
+					h.Write([]byte{1})
+				} else {
+					h.Write([]byte{2})
+				}
+			case dataset.TypeTime:
+				binary.LittleEndian.PutUint64(buf[:], uint64(v.T.UnixNano()))
+				h.Write(buf[:])
+			}
+		}
+	}
+	return h.Sum64()
 }
 
 // DropTable removes a table.
@@ -242,6 +311,10 @@ type TableStats struct {
 	Rows   int
 	Blocks int
 	Bytes  int64
+	// Fingerprint is a content hash of the stored rows, computed at ingest.
+	// It changes exactly when the data does, so cache layers and refresh
+	// schedulers can detect staleness from free metadata alone.
+	Fingerprint uint64
 }
 
 // Stats returns metadata for a stored table.
@@ -252,7 +325,7 @@ func (d *Database) Stats(name string) (TableStats, error) {
 	if !ok {
 		return TableStats{}, fmt.Errorf("cloud: unknown table %q", name)
 	}
-	return TableStats{Name: st.name, Rows: st.totalRows, Blocks: len(st.blocks), Bytes: st.totalBytes}, nil
+	return TableStats{Name: st.name, Rows: st.totalRows, Blocks: len(st.blocks), Bytes: st.totalBytes, Fingerprint: st.fingerprint}, nil
 }
 
 // Table implements sqlengine.Catalog: a full scan of the named table,

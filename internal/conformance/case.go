@@ -372,7 +372,11 @@ func (c *Case) Format() string {
 	}
 	switch c.Dialect {
 	case "phrase":
-		fmt.Fprintf(&b, "phrase %s: %s\n", c.PhraseDataset, c.Body)
+		if strings.Contains(strings.TrimRight(c.Body, "\n"), "\n") {
+			writeBlock("phrase "+c.PhraseDataset, c.Body)
+		} else {
+			fmt.Fprintf(&b, "phrase %s: %s\n", c.PhraseDataset, c.Body)
+		}
 	default:
 		writeBlock(c.Dialect, c.Body)
 	}

@@ -125,16 +125,32 @@ func lowerPhrase(c *Case) ([]recipe.Step, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A phrase session may hold several statements, one per line. The
+	// phrase surface is Visualize-only — statements answer questions about
+	// the dataset without transforming it — so every line lowers against
+	// the same fixture schema and defaults its input to the same dataset.
 	tr := &phrase.Translator{Layer: semantic.NewLayer()}
-	trans, err := tr.Translate(c.Body, t)
-	if err != nil {
-		return nil, err
+	var steps []recipe.Step
+	for _, line := range strings.Split(c.Body, "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		trans, err := tr.Translate(line, t)
+		if err != nil {
+			return nil, err
+		}
+		inv := trans.Invocation
+		if len(inv.Inputs) == 0 {
+			inv.Inputs = []string{c.PhraseDataset}
+		}
+		steps = append(steps, recipe.Step{Skill: inv.Skill, Inputs: inv.Inputs,
+			Output: fmt.Sprintf("s%d", len(steps)+1), Args: inv.Args})
 	}
-	inv := trans.Invocation
-	if len(inv.Inputs) == 0 {
-		inv.Inputs = []string{c.PhraseDataset}
+	if len(steps) == 0 {
+		return nil, fmt.Errorf("phrase body has no sentences")
 	}
-	return []recipe.Step{{Skill: inv.Skill, Inputs: inv.Inputs, Output: "s1", Args: inv.Args}}, nil
+	return steps, nil
 }
 
 // needsInput mirrors core's defaulting rule for GEL sentences: these

@@ -318,7 +318,8 @@ func phraseSentence(step recipe.Step) (string, bool) {
 }
 
 // runPhrase exercises the phrase-based translator whenever the case is
-// phrase-expressible: phrase-dialect cases run their body verbatim; other
+// phrase-expressible: phrase-dialect cases run their statements one by one
+// through the translator; other
 // cases ending in an unfiltered Visualize run their prefix as a program
 // and the final step through the translator. Programs the Visualize-only
 // phrase surface cannot express execute through the same shared Run entry
@@ -329,11 +330,22 @@ func runPhrase(c *Case) (*RouteResult, error) {
 		return nil, err
 	}
 	if c.Dialect == "phrase" {
-		res, err := env.p.RunPhrase(SessionName, User, c.Body, c.PhraseDataset)
-		if err != nil {
-			return &RouteResult{Route: "phrase", Err: err}, nil
+		// A phrase session is a sequence of questions asked of one dataset;
+		// run it statement by statement the way an interactive user would,
+		// with the last answer as the session's result.
+		var last *skills.Result
+		for _, line := range strings.Split(c.Body, "\n") {
+			line = strings.TrimSpace(line)
+			if line == "" || strings.HasPrefix(line, "#") {
+				continue
+			}
+			res, err := env.p.RunPhrase(SessionName, User, line, c.PhraseDataset)
+			if err != nil {
+				return &RouteResult{Route: "phrase", Err: err}, nil
+			}
+			last = res
 		}
-		return fromResult("phrase", res)
+		return fromResult("phrase", last)
 	}
 	last := c.Steps[len(c.Steps)-1]
 	if sentence, ok := phraseSentence(last); ok {

@@ -180,6 +180,28 @@ func (p *Platform) CreateSession(name, owner string) (*session.Session, error) {
 	return s, nil
 }
 
+// EnsureSession returns the named session, creating it (owned by owner)
+// when it does not exist yet — the scheduler's idempotent way to target a
+// dedicated background session per job without racing other creators.
+func (p *Platform) EnsureSession(name, owner string) (*session.Session, error) {
+	p.mu.Lock()
+	if s, ok := p.sessions[strings.ToLower(name)]; ok {
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+	s, err := p.CreateSession(name, owner)
+	if err != nil {
+		// Lost a creation race: someone else made it between the unlock and
+		// CreateSession's relock. Use theirs.
+		if existing, serr := p.Session(name); serr == nil {
+			return existing, nil
+		}
+		return nil, err
+	}
+	return s, nil
+}
+
 // Session returns an open session.
 func (p *Platform) Session(name string) (*session.Session, error) {
 	p.mu.Lock()

@@ -284,3 +284,49 @@ func TestStreamGrid(t *testing.T) {
 		t.Errorf("JSON: %v", err)
 	}
 }
+
+func TestSchedGrid(t *testing.T) {
+	r, err := Sched(4, 2000, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// cold + 0% + 25% + 100%.
+	if len(r.Refresh) != 4 {
+		t.Fatalf("refresh cases = %d, want 4", len(r.Refresh))
+	}
+	cold, unchanged, quarter, full := r.Refresh[0], r.Refresh[1], r.Refresh[2], r.Refresh[3]
+	if cold.CloudScans != 4 {
+		t.Errorf("cold refresh scanned %d tables, want 4", cold.CloudScans)
+	}
+	// The headline claim: a refresh over unchanged sources never touches
+	// the warehouse, and the fingerprint diff says so.
+	if unchanged.CloudScans != 0 || unchanged.CacheHits == 0 || unchanged.FPChanged != 0 {
+		t.Errorf("unchanged refresh: %+v, want zero scans and a cache hit", unchanged)
+	}
+	if quarter.CloudScans != 1 {
+		t.Errorf("25%% refresh scanned %d tables, want exactly the changed one", quarter.CloudScans)
+	}
+	if full.CloudScans != 4 || full.FPChanged != full.FPTotal {
+		t.Errorf("100%% refresh: %+v, want all tables rescanned", full)
+	}
+	if r.Publishes != 4 {
+		t.Errorf("publishes = %d, want one per refresh", r.Publishes)
+	}
+	if len(r.Interference) != 2 {
+		t.Fatalf("interference cases = %d, want 2", len(r.Interference))
+	}
+	for _, c := range r.Interference {
+		if c.Requests != 2*5 {
+			t.Errorf("%s: %d requests, want 10", c.Mode, c.Requests)
+		}
+		if (c.Mode == "with-background") != (c.BackgroundRuns > 0) {
+			t.Errorf("%s: %d background runs", c.Mode, c.BackgroundRuns)
+		}
+	}
+	if !strings.Contains(r.Report(), "cloud_scans") || !strings.Contains(r.Report(), "with-background") {
+		t.Error("report malformed")
+	}
+	if data, err := r.JSON(); err != nil || len(data) == 0 {
+		t.Errorf("JSON: %v", err)
+	}
+}

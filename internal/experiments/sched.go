@@ -1,0 +1,375 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"datachat/internal/board"
+	"datachat/internal/client"
+	"datachat/internal/cloud"
+	"datachat/internal/core"
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/recipe"
+	"datachat/internal/scheduler"
+	"datachat/internal/server"
+	"datachat/internal/skills"
+)
+
+// The sched experiment measures what incremental refresh buys a scheduled
+// recipe: the cost of a refresh should scale with the fraction of source
+// tables whose content actually changed — an unchanged refresh is served
+// entirely from the fingerprint-keyed cache with ZERO cloud scans — and
+// background refreshes running under the background admission class should
+// leave interactive latency essentially untouched. Both claims are enforced,
+// not just reported: a 0%-changed refresh that scans, or an interference
+// run without background admissions, fails the experiment.
+
+// RefreshCase is one refresh of the scheduled recipe after changing a
+// fraction of its source tables.
+type RefreshCase struct {
+	Label         string  `json:"label"` // "cold", "0%", "25%", "100%"
+	FracChanged   float64 `json:"frac_changed"`
+	TablesChanged int     `json:"tables_changed"`
+	ElapsedMs     float64 `json:"elapsed_ms"`
+	// CloudScans is the warehouse query-count delta for this refresh.
+	CloudScans int64 `json:"cloud_scans"`
+	// CacheHits counts sub-DAG results served from the platform cache.
+	CacheHits int64 `json:"cache_hits"`
+	// FPTotal/FPChanged summarize the plan fingerprint diff vs the
+	// previous run.
+	FPTotal   int `json:"fp_total"`
+	FPChanged int `json:"fp_changed"`
+}
+
+// SchedInterferenceCase measures interactive request latency with and
+// without scheduled background refreshes competing on the same server.
+type SchedInterferenceCase struct {
+	Mode     string `json:"mode"` // "alone" or "with-background"
+	Clients  int    `json:"clients"`
+	Requests int    `json:"requests"`
+	P50Ms    float64 `json:"p50_ms"`
+	P95Ms    float64 `json:"p95_ms"`
+	// AdmissionP50WaitMs is the server-side median interactive admission
+	// wait (bucketed upper bound).
+	AdmissionP50WaitMs float64 `json:"admission_p50_wait_ms"`
+	// BackgroundRuns counts scheduled refreshes completed during the cell.
+	BackgroundRuns int64 `json:"background_runs"`
+}
+
+// SchedResult is the full grid for BENCH_sched.json.
+type SchedResult struct {
+	Tables       int           `json:"tables"`
+	RowsPerTable int           `json:"rows_per_table"`
+	Refresh      []RefreshCase `json:"refresh"`
+	// UnchangedNodeFraction is the scheduler-wide fraction of plan
+	// fingerprints that incremental refresh never re-executed.
+	UnchangedNodeFraction float64                 `json:"unchanged_node_fraction"`
+	Publishes             int64                   `json:"publishes"`
+	Interference          []SchedInterferenceCase `json:"interference"`
+}
+
+// schedSourceTable builds one warehouse source table; seed perturbs the
+// values so replacing a table changes its content fingerprint.
+func schedSourceTable(name string, rows, seed int) *dataset.Table {
+	ids := make([]int64, rows)
+	hosts := make([]string, rows)
+	vals := make([]int64, rows)
+	for i := 0; i < rows; i++ {
+		ids[i] = int64(i)
+		hosts[i] = fmt.Sprintf("h%d", i%7)
+		vals[i] = int64((i*31 + seed) % 1000)
+	}
+	return dataset.MustNewTable(name,
+		dataset.IntColumn("mid", ids, nil),
+		dataset.StringColumn("host", hosts, nil),
+		dataset.IntColumn("val", vals, nil),
+	)
+}
+
+// schedFanRecipe loads every source table, filters each, and concatenates —
+// so each table is an independent sub-DAG the fingerprint diff can skip.
+func schedFanRecipe(tables int) (*recipe.Recipe, error) {
+	g := dag.NewGraph()
+	var outs []string
+	for i := 0; i < tables; i++ {
+		tn := fmt.Sprintf("t%d", i)
+		g.Add(skills.Invocation{Skill: "LoadTable",
+			Args: skills.Args{"database": "wh", "table": tn}, Output: tn + "_raw"})
+		g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{tn + "_raw"},
+			Args: skills.Args{"condition": "val >= 500"}, Output: tn + "_hot"})
+		outs = append(outs, tn+"_hot")
+	}
+	g.Add(skills.Invocation{Skill: "Concatenate", Inputs: outs, Output: "all_hot"})
+	return recipe.FromGraph("hot-all", g)
+}
+
+// Sched runs the grid: refresh latency vs fraction of changed sources, then
+// the interactive-interference cells.
+func Sched(tables, rowsPerTable, clients, perClient int) (*SchedResult, error) {
+	if tables <= 0 {
+		tables = 4
+	}
+	if rowsPerTable <= 0 {
+		rowsPerTable = 20_000
+	}
+	res := &SchedResult{Tables: tables, RowsPerTable: rowsPerTable}
+
+	p := core.New()
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 64)
+	for i := 0; i < tables; i++ {
+		if err := db.CreateTable(schedSourceTable(fmt.Sprintf("t%d", i), rowsPerTable, 1)); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.ConnectDatabase(db); err != nil {
+		return nil, err
+	}
+	hub := board.NewHub()
+	sched := scheduler.New(p, hub)
+	rec, err := schedFanRecipe(tables)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := sched.Add(scheduler.Spec{
+		Name: "refresh", User: "bench", Recipe: rec,
+		Every: time.Hour, Board: "bench", Tile: "hot",
+	}); err != nil {
+		return nil, err
+	}
+
+	ctx := context.Background()
+	refresh := func(label string, frac float64) (*RefreshCase, error) {
+		changed := int(frac*float64(tables) + 0.5)
+		for i := 0; i < changed; i++ {
+			nt := schedSourceTable(fmt.Sprintf("t%d", i), rowsPerTable, len(res.Refresh)*100+i+2)
+			if err := db.ReplaceTable(nt); err != nil {
+				return nil, err
+			}
+		}
+		before := db.Meter().Queries()
+		start := time.Now()
+		runRec, err := sched.RunNow(ctx, "refresh")
+		if err != nil {
+			return nil, err
+		}
+		if runRec.Err != "" || runRec.Skipped {
+			return nil, fmt.Errorf("sched: refresh %q did not complete: %+v", label, runRec)
+		}
+		return &RefreshCase{
+			Label: label, FracChanged: frac, TablesChanged: changed,
+			ElapsedMs:  float64(time.Since(start).Microseconds()) / 1000,
+			CloudScans: int64(db.Meter().Queries() - before),
+			CacheHits:  int64(runRec.Stats.CacheHits),
+			FPTotal:    runRec.FPTotal, FPChanged: runRec.FPChanged,
+		}, nil
+	}
+
+	cold, err := refresh("cold", 0)
+	if err != nil {
+		return nil, err
+	}
+	res.Refresh = append(res.Refresh, *cold)
+	for _, cell := range []struct {
+		label string
+		frac  float64
+	}{{"0%", 0}, {"25%", 0.25}, {"100%", 1}} {
+		rc, err := refresh(cell.label, cell.frac)
+		if err != nil {
+			return nil, err
+		}
+		// The contracts the incremental path promises, enforced.
+		if cell.frac == 0 && rc.CloudScans != 0 {
+			return nil, fmt.Errorf("sched: unchanged refresh executed %d cloud scans", rc.CloudScans)
+		}
+		if cell.frac == 0 && rc.CacheHits == 0 {
+			return nil, fmt.Errorf("sched: unchanged refresh hit the cache zero times")
+		}
+		if cell.frac == 1 && rc.FPChanged == 0 {
+			return nil, fmt.Errorf("sched: fully changed refresh diffed as unchanged")
+		}
+		res.Refresh = append(res.Refresh, *rc)
+	}
+	st := sched.Stats()
+	if st.NodesTotal > 0 {
+		res.UnchangedNodeFraction = float64(st.NodesUnchanged) / float64(st.NodesTotal)
+	}
+	res.Publishes = hub.Stats().Publishes
+
+	for _, mode := range []string{"alone", "with-background"} {
+		cell, err := schedInterferenceCell(mode, clients, perClient, rowsPerTable)
+		if err != nil {
+			return nil, err
+		}
+		res.Interference = append(res.Interference, *cell)
+	}
+	return res, nil
+}
+
+// schedInterferenceCell boots a fresh datachatd and measures interactive
+// latency, optionally with a background refresher hammering RunNow the
+// whole time.
+func schedInterferenceCell(mode string, clients, perClient, rowsPerTable int) (*SchedInterferenceCase, error) {
+	if clients <= 0 {
+		clients = 4
+	}
+	if perClient <= 0 {
+		perClient = 25
+	}
+	p := core.New()
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 64)
+	if err := db.CreateTable(schedSourceTable("t0", rowsPerTable, 1)); err != nil {
+		return nil, err
+	}
+	if err := p.ConnectDatabase(db); err != nil {
+		return nil, err
+	}
+	srv := server.New(p, server.Config{MaxInFlight: 4, MaxBackground: 1, MaxQueue: 256})
+	hub := board.NewHub()
+	sched := scheduler.New(p, hub)
+	srv.AttachScheduler(sched, hub)
+	hs := httptest.NewServer(srv)
+	defer hs.Close()
+	ctx := context.Background()
+	c := client.New(hs.URL)
+	if err := c.RegisterFile(ctx, "load.csv", serverLoadCSV(rowsPerTable)); err != nil {
+		return nil, err
+	}
+
+	stop := make(chan struct{})
+	var bgWG sync.WaitGroup
+	if mode == "with-background" {
+		g := dag.NewGraph()
+		g.Add(skills.Invocation{Skill: "LoadTable",
+			Args: skills.Args{"database": "wh", "table": "t0"}, Output: "raw"})
+		g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"raw"},
+			Args: skills.Args{"condition": "val >= 500"}, Output: "hot"})
+		rec, err := recipe.FromGraph("bg", g)
+		if err != nil {
+			return nil, err
+		}
+		if _, err := sched.Add(scheduler.Spec{
+			Name: "bg", User: "sched", Recipe: rec, Every: time.Hour, Board: "bg",
+		}); err != nil {
+			return nil, err
+		}
+		// Sustained background pressure: force-run back to back, flipping
+		// the table between runs so half the refreshes really recompute.
+		bgWG.Add(1)
+		go func() {
+			defer bgWG.Done()
+			seed := 2
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if _, err := sched.RunNow(ctx, "bg"); err != nil {
+					return
+				}
+				seed++
+				_ = db.ReplaceTable(schedSourceTable("t0", rowsPerTable, seed))
+			}
+		}()
+	}
+
+	// Interactive traffic: each client on its own session, preloaded, then
+	// timed aggregate requests.
+	sessions := make([]string, clients)
+	bases := make([]string, clients)
+	for i := range sessions {
+		name := fmt.Sprintf("int-%s-%d", mode, i)
+		if _, err := c.CreateSession(ctx, name, "bench"); err != nil {
+			return nil, err
+		}
+		resp, err := c.RunGEL(ctx, name, "bench", "Load data from the file load.csv", "")
+		if err != nil {
+			return nil, err
+		}
+		sessions[i] = name
+		bases[i] = fmt.Sprintf("node%d", resp.Nodes[len(resp.Nodes)-1])
+	}
+	latencies := make([]time.Duration, 0, clients*perClient)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for r := 0; r < perClient; r++ {
+				t0 := time.Now()
+				_, err := c.RunGEL(ctx, sessions[i], "bench",
+					"Compute the sum of v for each grp", bases[i])
+				if err != nil {
+					errs <- fmt.Errorf("sched: interactive request (%s): %w", mode, err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	bgWG.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+
+	sort.Slice(latencies, func(a, b int) bool { return latencies[a] < latencies[b] })
+	cell := &SchedInterferenceCase{
+		Mode: mode, Clients: clients, Requests: len(latencies),
+		P50Ms: float64(latencies[len(latencies)/2]) / float64(time.Millisecond),
+		P95Ms: float64(latencies[len(latencies)*95/100]) / float64(time.Millisecond),
+	}
+	stats, err := c.Statsz(ctx)
+	if err != nil {
+		return nil, err
+	}
+	if stats.Admission != nil {
+		cell.AdmissionP50WaitMs = stats.Admission.Interactive.P50WaitMs
+	}
+	if stats.Scheduler != nil {
+		cell.BackgroundRuns = stats.Scheduler.Runs
+	}
+	if mode == "with-background" && cell.BackgroundRuns == 0 {
+		return nil, fmt.Errorf("sched: interference cell ran no background refreshes")
+	}
+	return cell, nil
+}
+
+// Report renders the grid as the EXPERIMENTS.md table.
+func (r *SchedResult) Report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Scheduled refresh: cost vs fraction of changed sources (%d tables × %d rows)\n", r.Tables, r.RowsPerTable)
+	b.WriteString("  refresh  frac_changed  tables_changed  elapsed(ms)  cloud_scans  cache_hits  fp_changed/total\n")
+	for _, c := range r.Refresh {
+		fmt.Fprintf(&b, "  %-8s %-13.2f %-15d %-12.2f %-12d %-11d %d/%d\n",
+			c.Label, c.FracChanged, c.TablesChanged, c.ElapsedMs, c.CloudScans, c.CacheHits, c.FPChanged, c.FPTotal)
+	}
+	fmt.Fprintf(&b, "  unchanged node fraction: %.2f, board publishes: %d\n", r.UnchangedNodeFraction, r.Publishes)
+	if len(r.Interference) > 0 {
+		b.WriteString("Interactive latency with background refreshes competing (background class, capped in flight)\n")
+		b.WriteString("  mode             clients  requests  p50(ms)  p95(ms)  admission_p50_wait(ms)  bg_runs\n")
+		for _, c := range r.Interference {
+			fmt.Fprintf(&b, "  %-16s %-8d %-9d %-8.2f %-8.2f %-23.2f %d\n",
+				c.Mode, c.Clients, c.Requests, c.P50Ms, c.P95Ms, c.AdmissionP50WaitMs, c.BackgroundRuns)
+		}
+	}
+	return b.String()
+}
+
+// JSON renders the result for BENCH_sched.json.
+func (r *SchedResult) JSON() ([]byte, error) {
+	return json.MarshalIndent(r, "", "  ")
+}

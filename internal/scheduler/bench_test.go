@@ -1,0 +1,86 @@
+package scheduler
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"datachat/internal/board"
+	"datachat/internal/cloud"
+	"datachat/internal/core"
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+	"datachat/internal/recipe"
+	"datachat/internal/skills"
+)
+
+func benchRig(b *testing.B) (*Scheduler, *faults.VirtualClock) {
+	b.Helper()
+	p := core.New()
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 64)
+	tb, err := dataset.ReadCSVString("metrics", metricsCSV(2000, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(tb); err != nil {
+		b.Fatal(err)
+	}
+	if err := p.ConnectDatabase(db); err != nil {
+		b.Fatal(err)
+	}
+	clock := faults.NewVirtualClock(time.Unix(1_700_000_000, 0))
+	hub := board.NewHub()
+	hub.SetClock(clock)
+	s := New(p, hub)
+	s.SetClock(clock)
+	g := dag.NewGraph()
+	g.Add(skills.Invocation{Skill: "LoadTable",
+		Args: skills.Args{"database": "wh", "table": "metrics"}, Output: "metrics"})
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"metrics"},
+		Args: skills.Args{"condition": "val >= 500"}, Output: "hot"})
+	r, err := recipe.FromGraph("hot-metrics", g)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if _, err := s.Add(Spec{Name: "bench", User: "bench", Recipe: r,
+		Every: time.Hour, Board: "bench", Tile: "hot"}); err != nil {
+		b.Fatal(err)
+	}
+	return s, clock
+}
+
+// BenchmarkRefreshUnchanged measures the scheduler's steady state: a
+// refresh whose sources have not changed, served end to end from the
+// fingerprint-keyed cache (plan + diff + cache hit + publish, no scans).
+func BenchmarkRefreshUnchanged(b *testing.B) {
+	s, _ := benchRig(b)
+	ctx := context.Background()
+	if rec, err := s.RunNow(ctx, "bench"); err != nil || rec.Err != "" {
+		b.Fatalf("cold run: %v %q", err, rec.Err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec, err := s.RunNow(ctx, "bench")
+		if err != nil || rec.Err != "" {
+			b.Fatalf("refresh: %v %q", err, rec.Err)
+		}
+		if rec.FPChanged != 0 {
+			b.Fatalf("refresh recomputed %d nodes, want pure cache", rec.FPChanged)
+		}
+	}
+}
+
+// BenchmarkRunDueIdle measures the no-op tick: RunDue when no job has
+// reached its trigger time — the cost the daemon's poll loop pays when
+// nothing is due.
+func BenchmarkRunDueIdle(b *testing.B) {
+	s, _ := benchRig(b)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if n := s.RunDue(ctx); n != 0 {
+			b.Fatalf("idle tick ran %d jobs", n)
+		}
+	}
+}

@@ -1,0 +1,301 @@
+package server
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"datachat/internal/wire"
+)
+
+// Priority classes. Interactive is the default for every HTTP request;
+// background is what scheduled refreshes (and requests asking for
+// "background") run under.
+const (
+	classInteractive = 0
+	classBackground  = 1
+	numClasses       = 2
+)
+
+// maxTenantEntries bounds the per-tenant accounting map; past it new
+// tenants aggregate under tenantOverflow so a tenant-id flood cannot grow
+// server memory.
+const (
+	maxTenantEntries = 64
+	tenantOverflow   = "~other"
+)
+
+func classOf(priority string) int {
+	if priority == wire.PriorityBackground {
+		return classBackground
+	}
+	return classInteractive
+}
+
+// waiter is one queued admission request. Its channel is buffered so the
+// dispatcher's grant never blocks; granted flips under the admission lock
+// exactly once, either by dispatch or by the waiter's own cancellation.
+type waiter struct {
+	ch      chan struct{}
+	class   int
+	since   time.Time
+	granted bool
+}
+
+// admission is the priority-aware slot allocator: a fixed pool of
+// execution slots, per-class FIFO wait queues with interactive always
+// served first, and a separate cap on background slots in flight so
+// scheduled refreshes can never occupy the whole pool. All state is under
+// one mutex; slot handoff to waiters is direct (a released slot goes to
+// the chosen waiter without becoming free), which keeps the FIFO fair.
+type admission struct {
+	mu       sync.Mutex
+	free     int // unowned execution slots
+	maxBg    int // cap on background slots in flight
+	bgActive int
+	maxQueue int
+	queues   [numClasses][]*waiter
+	waiting  int // total queued, bounded by maxQueue
+
+	active    [numClasses]int64
+	admitted  [numClasses]int64
+	queued    [numClasses]int64 // admitted requests that had to wait first
+	throttled [numClasses]int64
+	waitNs    [numClasses]int64 // total queue wait of admitted requests
+	// waitHist counts admitted requests per wait bucket (see waitBoundsMs;
+	// the last bucket is overflow). Fast-path admissions land in bucket 0,
+	// so percentiles are over every admitted request, not just queued ones.
+	waitHist [numClasses][len(waitBoundsMs) + 1]int64
+
+	tenants map[string]*wire.TenantStats
+}
+
+// waitBoundsMs are the admission-wait histogram bucket upper bounds.
+var waitBoundsMs = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// waitBucket returns the histogram bucket index for a wait in ms.
+func waitBucket(ms float64) int {
+	for i, b := range waitBoundsMs {
+		if ms <= b {
+			return i
+		}
+	}
+	return len(waitBoundsMs)
+}
+
+func newAdmission(slots, maxBg, maxQueue int) *admission {
+	return &admission{free: slots, maxBg: maxBg, maxQueue: maxQueue, tenants: make(map[string]*wire.TenantStats)}
+}
+
+// tenantLocked returns the accounting bucket for tenant, creating it while
+// the map has room.
+func (a *admission) tenantLocked(tenant string) *wire.TenantStats {
+	if tenant == "" {
+		tenant = "anonymous"
+	}
+	t, ok := a.tenants[tenant]
+	if !ok {
+		if len(a.tenants) >= maxTenantEntries {
+			tenant = tenantOverflow
+		}
+		if t, ok = a.tenants[tenant]; !ok {
+			t = &wire.TenantStats{}
+			a.tenants[tenant] = t
+		}
+	}
+	return t
+}
+
+// grantableLocked reports whether a request of class can take a slot now.
+func (a *admission) grantableLocked(class int) bool {
+	if a.free <= 0 {
+		return false
+	}
+	return class == classInteractive || a.bgActive < a.maxBg
+}
+
+// takeLocked consumes a slot for class (which must be grantable).
+func (a *admission) takeLocked(class int) {
+	a.free--
+	if class == classBackground {
+		a.bgActive++
+	}
+	a.active[class]++
+	a.admitted[class]++
+}
+
+// acquire obtains an execution slot for (class, tenant), queueing up to
+// maxQueue waiters. Interactive arrivals do not overtake already-queued
+// interactive requests (FIFO within a class), but any queued interactive
+// request is served before every background one. Returns errThrottled
+// when the queue is full, or ctx.Err() when the caller gave up waiting.
+func (a *admission) acquire(ctx context.Context, class int, tenant string) error {
+	a.mu.Lock()
+	// Fast path: a free slot and nobody of our class (or better) is ahead.
+	if a.grantableLocked(class) && a.queueEmptyForLocked(class) {
+		a.takeLocked(class)
+		a.waitHist[class][0]++
+		a.tenantLocked(tenant).Admitted++
+		a.mu.Unlock()
+		return nil
+	}
+	if a.waiting >= a.maxQueue {
+		a.throttled[class]++
+		a.tenantLocked(tenant).Throttled++
+		a.mu.Unlock()
+		return errThrottled
+	}
+	w := &waiter{ch: make(chan struct{}, 1), class: class, since: time.Now()}
+	a.queues[class] = append(a.queues[class], w)
+	a.waiting++
+	a.queued[class]++
+	// A background waiter may be grantable right now (e.g. a slot is free
+	// but FIFO order put an interactive waiter first and it just left);
+	// dispatch keeps the queues drained whenever capacity allows.
+	a.dispatchLocked()
+	a.mu.Unlock()
+
+	select {
+	case <-w.ch:
+		a.mu.Lock()
+		waited := time.Since(w.since)
+		a.waitNs[class] += waited.Nanoseconds()
+		a.waitHist[class][waitBucket(float64(waited.Nanoseconds())/1e6)]++
+		a.tenantLocked(tenant).Admitted++
+		a.mu.Unlock()
+		return nil
+	case <-ctx.Done():
+		a.mu.Lock()
+		if w.granted {
+			// The grant raced the cancellation: we own a slot nobody will
+			// use. Put it back and let the next waiter have it.
+			a.releaseLocked(class)
+			a.mu.Unlock()
+			return ctx.Err()
+		}
+		a.removeLocked(w)
+		a.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// queueEmptyForLocked reports whether class can be admitted without
+// overtaking anyone: interactive only checks its own queue; background
+// also yields to every queued interactive request.
+func (a *admission) queueEmptyForLocked(class int) bool {
+	if len(a.queues[class]) > 0 {
+		return false
+	}
+	return class == classInteractive || len(a.queues[classInteractive]) == 0
+}
+
+// removeLocked deletes a cancelled waiter from its queue.
+func (a *admission) removeLocked(w *waiter) {
+	q := a.queues[w.class]
+	for i, x := range q {
+		if x == w {
+			a.queues[w.class] = append(q[:i], q[i+1:]...)
+			a.waiting--
+			return
+		}
+	}
+}
+
+// release returns a slot and hands it to the best waiter, if any.
+func (a *admission) release(class int) {
+	a.mu.Lock()
+	a.releaseLocked(class)
+	a.mu.Unlock()
+}
+
+func (a *admission) releaseLocked(class int) {
+	if class == classBackground {
+		a.bgActive--
+	}
+	a.active[class]--
+	a.free++
+	a.dispatchLocked()
+}
+
+// dispatchLocked hands free slots to waiters: every queued interactive
+// request first, then background up to its in-flight cap.
+func (a *admission) dispatchLocked() {
+	for a.free > 0 {
+		var w *waiter
+		if q := a.queues[classInteractive]; len(q) > 0 {
+			w = q[0]
+			a.queues[classInteractive] = q[1:]
+		} else if q := a.queues[classBackground]; len(q) > 0 && a.bgActive < a.maxBg {
+			w = q[0]
+			a.queues[classBackground] = q[1:]
+		} else {
+			return
+		}
+		a.waiting--
+		a.takeLocked(w.class)
+		w.granted = true
+		w.ch <- struct{}{}
+	}
+}
+
+// p50Locked estimates the class's median admission wait from the bucket
+// histogram: the upper bound (in ms) of the bucket holding the median
+// admitted request. The overflow bucket reports its lower bound.
+func (a *admission) p50Locked(class int) float64 {
+	var total int64
+	for _, n := range a.waitHist[class] {
+		total += n
+	}
+	if total == 0 {
+		return 0
+	}
+	half := (total + 1) / 2
+	var cum int64
+	for i, n := range a.waitHist[class] {
+		cum += n
+		if cum >= half {
+			if i < len(waitBoundsMs) {
+				return waitBoundsMs[i]
+			}
+			return waitBoundsMs[len(waitBoundsMs)-1]
+		}
+	}
+	return waitBoundsMs[len(waitBoundsMs)-1]
+}
+
+// gauges returns (total in flight, total waiting).
+func (a *admission) gauges() (int64, int64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.active[classInteractive] + a.active[classBackground], int64(a.waiting)
+}
+
+// snapshot builds the /statsz section.
+func (a *admission) snapshot() *wire.AdmissionStats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	cls := func(c int) wire.ClassStats {
+		st := wire.ClassStats{
+			Admitted:  a.admitted[c],
+			Queued:    a.queued[c],
+			Throttled: a.throttled[c],
+			Active:    a.active[c],
+			Waiting:   int64(len(a.queues[c])),
+		}
+		if a.queued[c] > 0 {
+			st.AvgWaitMs = float64(a.waitNs[c]) / float64(a.queued[c]) / 1e6
+		}
+		st.P50WaitMs = a.p50Locked(c)
+		return st
+	}
+	out := &wire.AdmissionStats{
+		Interactive:   cls(classInteractive),
+		Background:    cls(classBackground),
+		MaxBackground: a.maxBg,
+		Tenants:       make(map[string]wire.TenantStats, len(a.tenants)),
+	}
+	for name, t := range a.tenants {
+		out.Tenants[name] = *t
+	}
+	return out
+}

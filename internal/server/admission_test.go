@@ -1,0 +1,163 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// grab runs acquire on its own goroutine and reports the result.
+func grab(a *admission, ctx context.Context, class int, tenant string) chan error {
+	ch := make(chan error, 1)
+	go func() { ch <- a.acquire(ctx, class, tenant) }()
+	return ch
+}
+
+func mustIdle(t *testing.T, ch chan error) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		t.Fatalf("waiter returned early: %v", err)
+	case <-time.After(20 * time.Millisecond):
+	}
+}
+
+func mustGrant(t *testing.T, ch chan error) {
+	t.Helper()
+	select {
+	case err := <-ch:
+		if err != nil {
+			t.Fatalf("waiter failed: %v", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("waiter never granted")
+	}
+}
+
+// TestBackgroundCapBelowSlots: background in-flight is capped at maxBg even
+// while execution slots are free, and the free slots stay available to
+// interactive work.
+func TestBackgroundCapBelowSlots(t *testing.T) {
+	a := newAdmission(2, 1, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx, classBackground, "sched"); err != nil {
+		t.Fatalf("first background: %v", err)
+	}
+	bg2 := grab(a, ctx, classBackground, "sched")
+	mustIdle(t, bg2) // a slot is free, but the bg cap is reached
+	if err := a.acquire(ctx, classInteractive, "u"); err != nil {
+		t.Fatalf("interactive blocked by queued background: %v", err)
+	}
+	a.release(classBackground)
+	mustGrant(t, bg2)
+	a.release(classBackground)
+	a.release(classInteractive)
+	if inflight, queued := a.gauges(); inflight != 0 || queued != 0 {
+		t.Fatalf("gauges after drain = (%d, %d)", inflight, queued)
+	}
+}
+
+// TestInteractiveServedFirst: a released slot goes to the queued interactive
+// request even when a background request queued before it.
+func TestInteractiveServedFirst(t *testing.T) {
+	a := newAdmission(1, 1, 4)
+	ctx := context.Background()
+	if err := a.acquire(ctx, classBackground, "sched"); err != nil {
+		t.Fatal(err)
+	}
+	bg := grab(a, ctx, classBackground, "sched")
+	mustIdle(t, bg)
+	ia := grab(a, ctx, classInteractive, "u")
+	mustIdle(t, ia)
+
+	a.release(classBackground)
+	mustGrant(t, ia) // interactive overtakes the earlier background waiter
+	mustIdle(t, bg)
+	a.release(classInteractive)
+	mustGrant(t, bg)
+	a.release(classBackground)
+
+	snap := a.snapshot()
+	if snap.Interactive.Admitted != 1 || snap.Background.Admitted != 2 {
+		t.Fatalf("admitted = %+v", snap)
+	}
+	if snap.Interactive.Queued != 1 || snap.Background.Queued != 1 {
+		t.Fatalf("queued = %+v", snap)
+	}
+}
+
+// TestQueueBoundSharedAcrossClasses: the waiter queue is one bound, not one
+// per class.
+func TestQueueBoundSharedAcrossClasses(t *testing.T) {
+	a := newAdmission(1, 1, 1)
+	ctx := context.Background()
+	if err := a.acquire(ctx, classInteractive, "u"); err != nil {
+		t.Fatal(err)
+	}
+	w := grab(a, ctx, classInteractive, "u")
+	mustIdle(t, w)
+	if err := a.acquire(ctx, classBackground, "sched"); !errors.Is(err, errThrottled) {
+		t.Fatalf("over-queue acquire = %v, want errThrottled", err)
+	}
+	a.release(classInteractive)
+	mustGrant(t, w)
+	a.release(classInteractive)
+	snap := a.snapshot()
+	if snap.Background.Throttled != 1 {
+		t.Fatalf("throttled = %+v", snap)
+	}
+	if st := snap.Tenants["sched"]; st.Throttled != 1 {
+		t.Fatalf("tenant stats = %+v", snap.Tenants)
+	}
+}
+
+// TestCancelWhileQueuedReleasesNothing: a cancelled waiter leaves the queue
+// without leaking a slot or a queue position.
+func TestCancelWhileQueuedReleasesNothing(t *testing.T) {
+	a := newAdmission(1, 1, 2)
+	if err := a.acquire(context.Background(), classInteractive, "u"); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	w := grab(a, ctx, classInteractive, "u")
+	mustIdle(t, w)
+	cancel()
+	if err := <-w; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter = %v", err)
+	}
+	a.release(classInteractive)
+	if inflight, queued := a.gauges(); inflight != 0 || queued != 0 {
+		t.Fatalf("gauges = (%d, %d) after cancel+release", inflight, queued)
+	}
+	// The slot freed by the cancel is still grantable.
+	if err := a.acquire(context.Background(), classInteractive, "u"); err != nil {
+		t.Fatal(err)
+	}
+	a.release(classInteractive)
+}
+
+// TestTenantMapBounded: past maxTenantEntries distinct tenants, new ones
+// aggregate under the overflow bucket instead of growing the map.
+func TestTenantMapBounded(t *testing.T) {
+	a := newAdmission(1000, 1000, 0)
+	ctx := context.Background()
+	for i := 0; i < maxTenantEntries+10; i++ {
+		if err := a.acquire(ctx, classInteractive, fmt.Sprintf("tenant-%03d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	snap := a.snapshot()
+	// Every admission took the fast path, so the median wait sits in the
+	// lowest histogram bucket.
+	if snap.Interactive.P50WaitMs > waitBoundsMs[0] {
+		t.Fatalf("fast-path p50 wait = %vms", snap.Interactive.P50WaitMs)
+	}
+	if len(snap.Tenants) != maxTenantEntries+1 {
+		t.Fatalf("tenant map has %d entries; want %d", len(snap.Tenants), maxTenantEntries+1)
+	}
+	if st := snap.Tenants[tenantOverflow]; st.Admitted != 10 {
+		t.Fatalf("overflow bucket = %+v", st)
+	}
+}

@@ -1,0 +1,284 @@
+package server_test
+
+import (
+	"context"
+	"fmt"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"datachat/internal/board"
+	"datachat/internal/client"
+	"datachat/internal/cloud"
+	"datachat/internal/core"
+	"datachat/internal/dag"
+	"datachat/internal/dataset"
+	"datachat/internal/faults"
+	"datachat/internal/recipe"
+	"datachat/internal/scheduler"
+	"datachat/internal/server"
+	"datachat/internal/skills"
+	"datachat/internal/wire"
+)
+
+func schedMetricsCSV(n, seed int) string {
+	var b strings.Builder
+	b.WriteString("mid,host,val\n")
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&b, "%d,h%d,%d\n", i, i%7, (i*31+seed)%1000)
+	}
+	return b.String()
+}
+
+func schedRecipe(t *testing.T) *recipe.Recipe {
+	t.Helper()
+	g := dag.NewGraph()
+	g.Add(skills.Invocation{Skill: "LoadTable",
+		Args: skills.Args{"database": "wh", "table": "metrics"}, Output: "metrics"})
+	g.Add(skills.Invocation{Skill: "KeepRows", Inputs: []string{"metrics"},
+		Args: skills.Args{"condition": "val >= 500"}, Output: "hot"})
+	r, err := recipe.FromGraph("hot-metrics", g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+// newSchedDeployment stands up a full deployment: platform with a warehouse
+// table, server, scheduler + board hub on a virtual clock wired through
+// AttachScheduler (which installs background admission as the gate).
+func newSchedDeployment(t *testing.T, cfg server.Config) (*server.Server, *client.Client, *scheduler.Scheduler, *cloud.Database, *faults.VirtualClock) {
+	t.Helper()
+	p := core.New()
+	db := cloud.NewDatabase("wh", cloud.DefaultPricing, 64)
+	tb, err := dataset.ReadCSVString("metrics", schedMetricsCSV(400, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.ConnectDatabase(db); err != nil {
+		t.Fatal(err)
+	}
+	srv := server.New(p, cfg)
+	clock := faults.NewVirtualClock(time.Unix(1_700_000_000, 0))
+	hub := board.NewHub()
+	hub.SetClock(clock)
+	sched := scheduler.New(p, hub)
+	sched.SetClock(clock)
+	srv.AttachScheduler(sched, hub)
+	hs := httptest.NewServer(srv)
+	t.Cleanup(hs.Close)
+	return srv, client.New(hs.URL), sched, db, clock
+}
+
+// TestScheduleBoardOverTheWire drives the tentpole remotely: create a
+// schedule over HTTP, tick it on the virtual clock, and watch each refresh
+// arrive as a board update on a subscribed client — with the second,
+// unchanged refresh executing zero cloud scans.
+func TestScheduleBoardOverTheWire(t *testing.T) {
+	_, c, sched, db, clock := newSchedDeployment(t, server.Config{})
+	ctx := context.Background()
+
+	info, err := c.CreateSchedule(ctx, wire.ScheduleRequest{
+		Name: "daily", User: "alice", Recipe: schedRecipe(t),
+		EveryMs: 60_000, Board: "ops", Tile: "hot",
+	})
+	if err != nil {
+		t.Fatalf("CreateSchedule: %v", err)
+	}
+	if info.Session != "sched:daily" || info.EveryMs != 60_000 {
+		t.Fatalf("schedule info = %+v", info)
+	}
+	if _, err := c.CreateSchedule(ctx, wire.ScheduleRequest{Name: "daily", User: "alice",
+		Recipe: schedRecipe(t), EveryMs: 60_000}); err == nil {
+		t.Fatal("duplicate schedule accepted")
+	}
+
+	// Two ticks with unchanged data, then a data refresh and a third tick.
+	clock.Advance(time.Minute)
+	sched.RunDue(ctx)
+	q1 := db.Meter().Queries()
+	clock.Advance(time.Minute)
+	sched.RunDue(ctx)
+	if q2 := db.Meter().Queries(); q2 != q1 {
+		t.Fatalf("unchanged refresh scanned: %d -> %d", q1, q2)
+	}
+	tb, err := dataset.ReadCSVString("metrics", schedMetricsCSV(400, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.ReplaceTable(tb); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(time.Minute)
+	sched.RunDue(ctx)
+
+	// The subscribe stream backfills all three updates, in order, with the
+	// fingerprint-diff metadata intact.
+	var evs []*wire.BoardEvent
+	n, err := c.SubscribeBoard(ctx, "ops", client.SubscribeOptions{MaxUpdates: 3, MaxRows: 5},
+		func(ev *wire.BoardEvent) error { evs = append(evs, ev); return nil })
+	if err != nil {
+		t.Fatalf("SubscribeBoard: %v", err)
+	}
+	if n != 3 || len(evs) != 3 {
+		t.Fatalf("subscriber saw %d updates; want 3", n)
+	}
+	for i, ev := range evs {
+		if ev.Job != "daily" || ev.Seq != i+1 || ev.Version != uint64(i+1) || ev.Tile != "hot" {
+			t.Fatalf("event %d = %+v", i, ev)
+		}
+		if ev.Table == nil || len(ev.Table.Rows) == 0 || len(ev.Table.Rows) > 5 {
+			t.Fatalf("event %d table not inlined/capped: %+v", i, ev.Table)
+		}
+	}
+	if evs[1].FPChanged != 0 || evs[2].FPChanged == 0 {
+		t.Fatalf("diff metadata wrong: %+v vs %+v", evs[1], evs[2])
+	}
+
+	// Resuming from a seen version backfills only the tail.
+	if n, err = c.SubscribeBoard(ctx, "ops", client.SubscribeOptions{FromVersion: 2, MaxUpdates: 1}, nil); err != nil || n != 1 {
+		t.Fatalf("resume subscribe = (%d, %v)", n, err)
+	}
+
+	// Run history over the wire carries the same story.
+	got, err := c.Schedule(ctx, "daily")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Runs != 3 || len(got.History) != 3 {
+		t.Fatalf("history = %+v", got)
+	}
+	h2 := got.History[1]
+	if h2.FPChanged != 0 || h2.FPUnchanged != h2.FPTotal || h2.CacheHits == 0 {
+		t.Fatalf("unchanged run record = %+v", h2)
+	}
+
+	// Board CRUD + listing.
+	boards, err := c.Boards(ctx)
+	if err != nil || len(boards) != 1 || boards[0].ID != "ops" {
+		t.Fatalf("Boards = %+v, %v", boards, err)
+	}
+	bi, err := c.Board(ctx, "ops", 5)
+	if err != nil || len(bi.Tiles) != 1 || bi.Tiles[0].Updates != 3 {
+		t.Fatalf("Board = %+v, %v", bi, err)
+	}
+	if bi.Tiles[0].Last == nil || bi.Tiles[0].Last.Version != 3 {
+		t.Fatalf("pinned tile = %+v", bi.Tiles[0].Last)
+	}
+
+	// /statsz surfaces all three new sections.
+	st, err := c.Statsz(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Admission == nil || st.Scheduler == nil || st.Boards == nil {
+		t.Fatalf("statsz missing sections: %+v", st)
+	}
+	if st.Scheduler.Runs != 3 || st.Scheduler.NodesUnchanged == 0 {
+		t.Fatalf("scheduler stats = %+v", st.Scheduler)
+	}
+	if st.Boards.Publishes != 3 || st.Boards.Backfills != 4 {
+		t.Fatalf("board stats = %+v", st.Boards)
+	}
+	// Background runs passed through the gate: they are admitted under the
+	// background class, not interactive.
+	if st.Admission.Background.Admitted != 3 {
+		t.Fatalf("admission stats = %+v", st.Admission)
+	}
+
+	// Deleting the schedule keeps the board; deleting the board 404s after.
+	if err := c.DeleteSchedule(ctx, "daily"); err != nil {
+		t.Fatal(err)
+	}
+	if infos, err := c.Schedules(ctx); err != nil || len(infos) != 0 {
+		t.Fatalf("Schedules after delete = %+v, %v", infos, err)
+	}
+	if err := c.DeleteBoard(ctx, "ops"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Board(ctx, "ops", 0); err == nil {
+		t.Fatal("Board after delete succeeded")
+	}
+}
+
+// TestRunScheduleNowAndFailures: forced runs over the wire, and a missing
+// job maps to 404.
+func TestRunScheduleNowAndFailures(t *testing.T) {
+	_, c, _, _, _ := newSchedDeployment(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.RunScheduleNow(ctx, "ghost"); err == nil {
+		t.Fatal("RunScheduleNow on unknown job succeeded")
+	}
+	if _, err := c.CreateSchedule(ctx, wire.ScheduleRequest{
+		Name: "j", User: "alice", Recipe: schedRecipe(t), EveryMs: 1000, Board: "b",
+	}); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := c.RunScheduleNow(ctx, "j")
+	if err != nil {
+		t.Fatalf("RunScheduleNow: %v", err)
+	}
+	if rec.Seq != 1 || rec.Error != "" || rec.BoardVersion != 1 {
+		t.Fatalf("forced run = %+v", rec)
+	}
+}
+
+// TestSubscribeEndsOnDrain: a live subscriber is ended by Shutdown with a
+// typed draining error instead of pinning the drain forever.
+func TestSubscribeEndsOnDrain(t *testing.T) {
+	srv, c, _, _, _ := newSchedDeployment(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.CreateBoard(ctx, "live", "", "alice"); err != nil {
+		t.Fatal(err)
+	}
+	subErr := make(chan error, 1)
+	go func() {
+		_, err := c.SubscribeBoard(ctx, "live", client.SubscribeOptions{}, nil)
+		subErr <- err
+	}()
+	// Wait until the subscriber is registered, then drain.
+	deadline := time.After(5 * time.Second)
+	for {
+		st, err := c.Statsz(ctx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Boards.Subscribers == 1 {
+			break
+		}
+		select {
+		case <-deadline:
+			t.Fatal("subscriber never registered")
+		case <-time.After(time.Millisecond):
+		}
+	}
+	shCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil {
+		t.Fatalf("Shutdown did not drain: %v", err)
+	}
+	err := <-subErr
+	if !client.IsDraining(err) {
+		t.Fatalf("subscriber ended with %v; want a draining error", err)
+	}
+}
+
+// TestScheduleEndpointsWithoutScheduler: the endpoints 404 until a
+// scheduler/hub is attached.
+func TestScheduleEndpointsWithoutScheduler(t *testing.T) {
+	_, c := newTestDeployment(t, server.Config{})
+	ctx := context.Background()
+	if _, err := c.Schedules(ctx); err == nil {
+		t.Fatal("Schedules without scheduler succeeded")
+	}
+	if _, err := c.Boards(ctx); err == nil {
+		t.Fatal("Boards without hub succeeded")
+	}
+	if st, err := c.Statsz(ctx); err != nil || st.Scheduler != nil || st.Boards != nil {
+		t.Fatalf("statsz advertises absent subsystems: %+v, %v", st, err)
+	}
+}

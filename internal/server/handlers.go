@@ -41,6 +41,16 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/artifacts/{name}/links", s.handleMintLink)
 	mux.HandleFunc("POST /v1/artifacts/{name}/refresh", s.handleRefreshArtifact)
 	mux.HandleFunc("GET /v1/links/{secret}", s.handleResolveLink)
+	mux.HandleFunc("POST /v1/schedules", s.handleCreateSchedule)
+	mux.HandleFunc("GET /v1/schedules", s.handleListSchedules)
+	mux.HandleFunc("GET /v1/schedules/{name}", s.handleGetSchedule)
+	mux.HandleFunc("DELETE /v1/schedules/{name}", s.handleDeleteSchedule)
+	mux.HandleFunc("POST /v1/schedules/{name}/run", s.handleRunSchedule)
+	mux.HandleFunc("POST /v1/boards", s.handleCreateBoard)
+	mux.HandleFunc("GET /v1/boards", s.handleListBoards)
+	mux.HandleFunc("GET /v1/boards/{id}", s.handleGetBoard)
+	mux.HandleFunc("DELETE /v1/boards/{id}", s.handleDeleteBoard)
+	mux.HandleFunc("GET /v1/boards/{id}/subscribe", s.handleSubscribeBoard)
 	return mux
 }
 
@@ -85,7 +95,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 	exec := s.platform.ExecStats()
 	cache := s.platform.CacheStats()
-	writeJSON(w, http.StatusOK, wire.Statsz{
+	statsz := wire.Statsz{
 		Sessions: len(s.platform.Sessions()),
 		Server:   s.Stats(),
 		Exec: map[string]int64{
@@ -114,7 +124,25 @@ func (s *Server) handleStatsz(w http.ResponseWriter, r *http.Request) {
 			"entries":   int64(cache.Entries),
 		},
 		Vec: sqlengine.VecCounters(),
-	})
+	}
+	statsz.Admission = s.adm.snapshot()
+	if s.sched != nil {
+		st := s.sched.Stats()
+		statsz.Scheduler = &wire.SchedulerStats{
+			Jobs: st.Jobs, Done: st.Done, Runs: st.Runs, Failures: st.Failures,
+			Skips: st.Skips, Degraded: st.Degraded, NodesTotal: st.NodesTotal,
+			NodesChanged: st.NodesChanged, NodesUnchanged: st.NodesUnchanged,
+			Published: st.Published,
+		}
+	}
+	if s.boards != nil {
+		st := s.boards.Stats()
+		statsz.Boards = &wire.BoardHubStats{
+			Boards: st.Boards, Tiles: st.Tiles, Subscribers: st.Subscribers,
+			Publishes: st.Publishes, Evictions: st.Evictions, Backfills: st.Backfills,
+		}
+	}
+	writeJSON(w, http.StatusOK, statsz)
 }
 
 func (s *Server) handleRegisterFile(w http.ResponseWriter, r *http.Request) {
@@ -327,11 +355,12 @@ func (s *Server) handleRun(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, tune)
 	defer cancel()
-	if err := s.admit(ctx); err != nil {
+	class := classOf(req.Priority)
+	if err := s.admit(ctx, class, req.User); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	defer s.release()
+	defer s.release(class)
 	s.requests.Add(1)
 	invs, err := s.resolveProgram(r.PathValue("name"), req)
 	if err != nil {
@@ -423,11 +452,11 @@ func (s *Server) handleRowStream(w http.ResponseWriter, r *http.Request) {
 	if chunk > s.cfg.MaxPageRows {
 		chunk = s.cfg.MaxPageRows
 	}
-	if err := s.admit(r.Context()); err != nil {
+	if err := s.admit(r.Context(), classInteractive, r.URL.Query().Get("user")); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	defer s.release()
+	defer s.release(classInteractive)
 	s.requests.Add(1)
 	sess, err := s.platform.Session(r.PathValue("name"))
 	if err != nil {
@@ -493,11 +522,12 @@ func (s *Server) handleRunStream(w http.ResponseWriter, r *http.Request) {
 	}
 	ctx, cancel := s.requestContext(r, tune)
 	defer cancel()
-	if err := s.admit(ctx); err != nil {
+	class := classOf(req.Priority)
+	if err := s.admit(ctx, class, req.User); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	defer s.release()
+	defer s.release(class)
 	s.requests.Add(1)
 	invs, err := s.resolveProgram(r.PathValue("name"), req)
 	if err != nil {
@@ -609,11 +639,11 @@ func (s *Server) handleSaveArtifact(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	if err := s.admit(r.Context()); err != nil {
+	if err := s.admit(r.Context(), classInteractive, req.User); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	defer s.release()
+	defer s.release(classInteractive)
 	s.requests.Add(1)
 	sess, err := s.platform.Session(r.PathValue("name"))
 	if err != nil {
@@ -749,11 +779,11 @@ func (s *Server) handleRefreshArtifact(w http.ResponseWriter, r *http.Request) {
 		s.writeErr(w, err)
 		return
 	}
-	if err := s.admit(r.Context()); err != nil {
+	if err := s.admit(r.Context(), classInteractive, req.User); err != nil {
 		s.writeErr(w, err)
 		return
 	}
-	defer s.release()
+	defer s.release(classInteractive)
 	s.requests.Add(1)
 	a, err := s.platform.RefreshArtifact(req.Session, req.User, r.PathValue("name"))
 	if err != nil {

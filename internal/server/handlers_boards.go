@@ -1,0 +1,368 @@
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"datachat/internal/board"
+	"datachat/internal/scheduler"
+	"datachat/internal/wire"
+)
+
+// --- Schedules ---
+
+// errNoScheduler/errNoBoards gate the endpoints until AttachScheduler wires
+// the subsystems in ("no scheduler"/"no board" map to 404 in errStatus).
+func errNoScheduler() error { return fmt.Errorf("server: no scheduler attached") }
+func errNoBoards() error    { return fmt.Errorf("server: no board hub attached") }
+
+func scheduleRun(rec scheduler.RunRecord) wire.ScheduleRun {
+	return wire.ScheduleRun{
+		Seq:          rec.Seq,
+		At:           rec.At,
+		ElapsedMs:    rec.Elapsed.Milliseconds(),
+		FPTotal:      rec.FPTotal,
+		FPChanged:    rec.FPChanged,
+		FPUnchanged:  rec.FPUnchanged,
+		TasksRun:     rec.Stats.TasksRun,
+		CacheHits:    rec.Stats.CacheHits,
+		Degraded:     rec.Degraded,
+		Skipped:      rec.Skipped,
+		SkipReason:   rec.SkipReason,
+		Error:        rec.Err,
+		BoardVersion: rec.BoardVersion,
+	}
+}
+
+func scheduleInfo(info scheduler.JobInfo) wire.ScheduleInfo {
+	out := wire.ScheduleInfo{
+		Name:    info.Name,
+		Session: info.Session,
+		User:    info.User,
+		Board:   info.Board,
+		Tile:    info.Tile,
+		EveryMs: info.Every.Milliseconds(),
+		MaxRuns: info.MaxRuns,
+		NextRun: info.NextRun,
+		Runs:    info.Runs,
+		Done:    info.Done,
+	}
+	for _, rec := range info.History {
+		out.History = append(out.History, scheduleRun(rec))
+	}
+	return out
+}
+
+func (s *Server) handleCreateSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		s.writeErr(w, errNoScheduler())
+		return
+	}
+	var req wire.ScheduleRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	rec := req.Recipe
+	switch {
+	case rec != nil && req.Artifact != "":
+		s.writeErr(w, fmt.Errorf("server: invalid schedule request: recipe and artifact are mutually exclusive"))
+		return
+	case rec == nil && req.Artifact == "":
+		s.writeErr(w, fmt.Errorf("server: invalid schedule request: one of recipe or artifact required"))
+		return
+	case req.Artifact != "":
+		a, err := s.platform.Artifacts.Get(req.Artifact, req.User)
+		if err != nil {
+			s.writeErr(w, err)
+			return
+		}
+		rec = a.Recipe
+	}
+	info, err := s.sched.Add(scheduler.Spec{
+		Name:    req.Name,
+		Session: req.Session,
+		User:    req.User,
+		Recipe:  rec,
+		Every:   time.Duration(req.EveryMs) * time.Millisecond,
+		Board:   req.Board,
+		Tile:    req.Tile,
+		MaxRuns: req.MaxRuns,
+	})
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, scheduleInfo(info))
+}
+
+func (s *Server) handleListSchedules(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		s.writeErr(w, errNoScheduler())
+		return
+	}
+	resp := wire.SchedulesResponse{Schedules: []wire.ScheduleInfo{}}
+	for _, info := range s.sched.List() {
+		resp.Schedules = append(resp.Schedules, scheduleInfo(info))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		s.writeErr(w, errNoScheduler())
+		return
+	}
+	info, ok := s.sched.Get(r.PathValue("name"))
+	if !ok {
+		s.writeErr(w, fmt.Errorf("scheduler: no job %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, scheduleInfo(info))
+}
+
+func (s *Server) handleDeleteSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		s.writeErr(w, errNoScheduler())
+		return
+	}
+	if !s.sched.Remove(r.PathValue("name")) {
+		s.writeErr(w, fmt.Errorf("scheduler: no job %q", r.PathValue("name")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"name": r.PathValue("name"), "status": "removed"})
+}
+
+// handleRunSchedule force-runs a job. Admission happens inside the run via
+// the scheduler's gate (the server's background class), so a forced refresh
+// still yields to interactive traffic.
+func (s *Server) handleRunSchedule(w http.ResponseWriter, r *http.Request) {
+	if s.sched == nil {
+		s.writeErr(w, errNoScheduler())
+		return
+	}
+	rec, err := s.sched.RunNow(r.Context(), r.PathValue("name"))
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	s.requests.Add(1)
+	writeJSON(w, http.StatusOK, scheduleRun(rec))
+}
+
+// --- Boards ---
+
+// boardEvent converts a published update to its wire form, inlining at most
+// maxRows rows of the pinned table.
+func boardEvent(u board.Update, maxRows int) *wire.BoardEvent {
+	return &wire.BoardEvent{
+		Board:        u.Board,
+		Tile:         u.Tile,
+		Version:      u.Version,
+		At:           u.At,
+		Job:          u.Job,
+		Seq:          u.Seq,
+		Table:        wire.EncodeTable(u.Table, 0, maxRows),
+		Message:      u.Message,
+		Degraded:     u.Degraded,
+		DegradedNote: u.DegradedNote,
+		RunError:     u.RunError,
+		FPTotal:      u.FPTotal,
+		FPChanged:    u.FPChanged,
+		CacheHits:    u.CacheHits,
+	}
+}
+
+func (s *Server) boardInfo(snap board.Snapshot, maxRows int) wire.BoardInfo {
+	info := wire.BoardInfo{
+		ID:      snap.ID,
+		Name:    snap.Name,
+		Owner:   snap.Owner,
+		Version: snap.Version,
+		Created: snap.Created,
+	}
+	for _, t := range snap.Tiles {
+		info.Tiles = append(info.Tiles, wire.TileInfo{
+			Tile:    t.Tile,
+			Updates: t.Updates,
+			Last:    boardEvent(t.Last, maxRows),
+		})
+	}
+	return info
+}
+
+func (s *Server) handleCreateBoard(w http.ResponseWriter, r *http.Request) {
+	if s.boards == nil {
+		s.writeErr(w, errNoBoards())
+		return
+	}
+	var req wire.CreateBoardRequest
+	if err := decodeBody(r, &req); err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	b, err := s.boards.Create(req.ID, req.Name, req.Owner)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusCreated, s.boardInfo(b.Snapshot(), s.cfg.DefaultMaxRows))
+}
+
+func (s *Server) handleListBoards(w http.ResponseWriter, r *http.Request) {
+	if s.boards == nil {
+		s.writeErr(w, errNoBoards())
+		return
+	}
+	resp := wire.BoardsResponse{Boards: []wire.BoardInfo{}}
+	for _, snap := range s.boards.List() {
+		resp.Boards = append(resp.Boards, s.boardInfo(snap, s.cfg.DefaultMaxRows))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleGetBoard(w http.ResponseWriter, r *http.Request) {
+	if s.boards == nil {
+		s.writeErr(w, errNoBoards())
+		return
+	}
+	b, ok := s.boards.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, fmt.Errorf("server: no board %q", r.PathValue("id")))
+		return
+	}
+	maxRows, err := queryInt(r, "max_rows", s.cfg.DefaultMaxRows)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.boardInfo(b.Snapshot(), s.maxRows(maxRows)))
+}
+
+func (s *Server) handleDeleteBoard(w http.ResponseWriter, r *http.Request) {
+	if s.boards == nil {
+		s.writeErr(w, errNoBoards())
+		return
+	}
+	if !s.boards.Delete(r.PathValue("id")) {
+		s.writeErr(w, fmt.Errorf("server: no board %q", r.PathValue("id")))
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"id": r.PathValue("id"), "status": "deleted"})
+}
+
+// handleSubscribeBoard is the live fan-out stream: NDJSON in the same frame
+// format as /run/stream — a header line, then one RowChunk per board update
+// (the update riding in the chunk's Board field), then a terminal sentinel.
+// Retained updates past from_version are backfilled first, so a client that
+// reconnects with its last seen version misses nothing the history ring
+// still holds. The stream holds no execution slot (it does no query work),
+// but it registers with the drain machinery: shutdown ends it with a
+// CodeDraining sentinel, and a subscriber that cannot keep up is evicted
+// with a CodeEvicted sentinel rather than stalling publishers.
+func (s *Server) handleSubscribeBoard(w http.ResponseWriter, r *http.Request) {
+	if s.boards == nil {
+		s.writeErr(w, errNoBoards())
+		return
+	}
+	b, ok := s.boards.Get(r.PathValue("id"))
+	if !ok {
+		s.writeErr(w, fmt.Errorf("server: no board %q", r.PathValue("id")))
+		return
+	}
+	fromVersion, err := queryInt(r, "from_version", 0)
+	if err != nil || fromVersion < 0 {
+		s.writeErr(w, fmt.Errorf("server: invalid from_version"))
+		return
+	}
+	// max_updates ends the stream cleanly after that many updates (0 =
+	// until the client disconnects); it is what makes subscribe testable
+	// without client-side timeouts.
+	maxUpdates, err := queryInt(r, "max_updates", 0)
+	if err != nil || maxUpdates < 0 {
+		s.writeErr(w, fmt.Errorf("server: invalid max_updates"))
+		return
+	}
+	maxRows, err := queryInt(r, "max_rows", s.cfg.DefaultMaxRows)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	maxRows = s.maxRows(maxRows)
+
+	leave, drain, err := s.joinStream()
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer leave()
+	sub, backlog, err := b.Subscribe(uint64(fromVersion), 16)
+	if err != nil {
+		s.writeErr(w, err)
+		return
+	}
+	defer sub.Close()
+	s.requests.Add(1)
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	enc := json.NewEncoder(w)
+	flusher, _ := w.(http.Flusher)
+	if err := enc.Encode(&wire.Table{Name: "board:" + b.ID(), NextOffset: -1}); err != nil {
+		return
+	}
+
+	sent := 0
+	sentinel := func(e *wire.Error) {
+		_ = enc.Encode(wire.RowChunk{Offset: sent, Last: true, TotalRows: sent, Error: e})
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	send := func(u board.Update) bool {
+		if err := enc.Encode(wire.RowChunk{Offset: sent, Board: boardEvent(u, maxRows)}); err != nil {
+			return false
+		}
+		sent++
+		if flusher != nil {
+			flusher.Flush()
+		}
+		return maxUpdates == 0 || sent < maxUpdates
+	}
+	for _, u := range backlog {
+		if !send(u) {
+			sentinel(nil)
+			return
+		}
+	}
+	for {
+		select {
+		case u, open := <-sub.C:
+			if !open {
+				// The hub ended us: slow consumer or board deletion.
+				switch sub.Err() {
+				case board.ErrSlowConsumer:
+					sentinel(&wire.Error{Code: wire.CodeEvicted, Message: board.ErrSlowConsumer.Error()})
+				case board.ErrDeleted:
+					sentinel(&wire.Error{Code: wire.CodeNotFound, Message: board.ErrDeleted.Error()})
+				default:
+					sentinel(nil)
+				}
+				return
+			}
+			if !send(u) {
+				sentinel(nil)
+				return
+			}
+		case <-drain:
+			s.countRefusal(http.StatusServiceUnavailable)
+			sentinel(&wire.Error{Code: wire.CodeDraining, Message: errDraining.Error()})
+			return
+		case <-r.Context().Done():
+			// Client gone; nobody is reading, so no sentinel.
+			return
+		}
+	}
+}

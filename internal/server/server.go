@@ -20,8 +20,10 @@ import (
 	"sync/atomic"
 	"time"
 
+	"datachat/internal/board"
 	"datachat/internal/core"
 	"datachat/internal/faults"
+	"datachat/internal/scheduler"
 	"datachat/internal/session"
 	"datachat/internal/wire"
 )
@@ -36,6 +38,10 @@ type Config struct {
 	// MaxQueue bounds requests waiting for an execution slot; past it the
 	// server refuses with 429. < 0 means 2*MaxInFlight; 0 queues nothing.
 	MaxQueue int
+	// MaxBackground caps background-priority executions in flight, so
+	// scheduled refreshes can never occupy the whole slot pool. <= 0 means
+	// max(1, MaxInFlight/2).
+	MaxBackground int
 	// RetryAfter is the backoff hint sent with 409 and 429 responses.
 	RetryAfter time.Duration
 	// DefaultDeadline bounds requests that do not ask for a deadline
@@ -83,6 +89,12 @@ func (c Config) withDefaults() Config {
 	if c.MaxQueue < 0 {
 		c.MaxQueue = 2 * c.MaxInFlight
 	}
+	if c.MaxBackground <= 0 {
+		c.MaxBackground = c.MaxInFlight / 2
+		if c.MaxBackground < 1 {
+			c.MaxBackground = 1
+		}
+	}
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = 500 * time.Millisecond
 	}
@@ -104,17 +116,23 @@ type Server struct {
 	cfg      Config
 	mux      *http.ServeMux
 
-	// sem is the in-flight execution semaphore; queued counts requests
-	// waiting for a slot (both are the admission-control state).
-	sem      chan struct{}
-	queued   atomic.Int64
-	inflight atomic.Int64
+	// adm is the priority-aware admission state: execution slots, per-class
+	// wait queues, and the background in-flight cap.
+	adm      *admission
 	draining atomic.Bool
+	// drainCh is closed when Shutdown begins; long-lived subscribe streams
+	// select on it to end gracefully instead of pinning the drain forever.
+	drainCh chan struct{}
 	// drainMu makes admit's final draining check atomic with its wg.Add, so
 	// Shutdown's wg.Wait can never observe a zero counter while a request
 	// that passed the check is still being admitted.
 	drainMu sync.Mutex
 	wg      sync.WaitGroup
+
+	// sched and boards are attached by the daemon (or a test) after New;
+	// the schedule/board endpoints 404 until then.
+	sched  *scheduler.Scheduler
+	boards *board.Hub
 
 	requests     atomic.Int64
 	busy409      atomic.Int64
@@ -130,10 +148,24 @@ func New(p *core.Platform, cfg Config) *Server {
 	s := &Server{
 		platform: p,
 		cfg:      cfg,
-		sem:      make(chan struct{}, cfg.MaxInFlight),
+		adm:      newAdmission(cfg.MaxInFlight, cfg.MaxBackground, cfg.MaxQueue),
+		drainCh:  make(chan struct{}),
 	}
 	s.mux = s.routes()
 	return s
+}
+
+// AttachScheduler wires a scheduler and its board hub into the server,
+// enabling the /v1/schedules and /v1/boards endpoints and their /statsz
+// sections, and installs the server's background admission class as the
+// scheduler's gate so refreshes share the slot pool with (and yield to)
+// interactive traffic.
+func (s *Server) AttachScheduler(sched *scheduler.Scheduler, hub *board.Hub) {
+	s.sched = sched
+	s.boards = hub
+	if sched != nil {
+		sched.SetGate(s.AdmitBackground)
+	}
 }
 
 // Platform exposes the served platform (examples seed demo data through it).
@@ -161,49 +193,60 @@ var (
 // the body, but the status keeps logs and stats honest.
 const statusClientClosedRequest = 499
 
-// admit acquires an execution slot, queueing up to the configured depth.
-// It refuses immediately with errThrottled when the queue is full and with
-// errDraining during shutdown. On success the caller owns a slot and must
-// call release.
-func (s *Server) admit(ctx context.Context) error {
+// admit acquires an execution slot for a priority class, queueing up to the
+// configured depth. Queued interactive requests are always served before
+// background ones, and background executions are additionally capped at
+// MaxBackground in flight. It refuses with errThrottled when the queue is
+// full and with errDraining during shutdown. On success the caller owns a
+// slot and must call release with the same class.
+func (s *Server) admit(ctx context.Context, class int, tenant string) error {
 	if s.draining.Load() {
 		return errDraining
 	}
-	select {
-	case s.sem <- struct{}{}:
-	default:
-		// Slots are full: queue if there is room, else refuse. The check is
-		// advisory (two racers may both pass), which only stretches the
-		// bound by the number of simultaneous arrivals.
-		if s.queued.Load() >= int64(s.cfg.MaxQueue) {
-			return errThrottled
-		}
-		s.queued.Add(1)
-		select {
-		case s.sem <- struct{}{}:
-			s.queued.Add(-1)
-		case <-ctx.Done():
-			s.queued.Add(-1)
-			return ctx.Err()
-		}
+	if err := s.adm.acquire(ctx, class, tenant); err != nil {
+		return err
 	}
 	s.drainMu.Lock()
 	if s.draining.Load() {
 		s.drainMu.Unlock()
-		<-s.sem
+		s.adm.release(class)
 		return errDraining
 	}
-	s.inflight.Add(1)
 	s.wg.Add(1)
 	s.drainMu.Unlock()
 	return nil
 }
 
 // release returns an execution slot.
-func (s *Server) release() {
-	s.inflight.Add(-1)
-	<-s.sem
+func (s *Server) release(class int) {
+	s.adm.release(class)
 	s.wg.Done()
+}
+
+// AdmitBackground admits one background-priority execution through the
+// same pool HTTP requests use, yielding to interactive traffic and honoring
+// the MaxBackground cap. It has the scheduler.Gate signature so a daemon can
+// wire sched.SetGate(srv.AdmitBackground) without the scheduler importing
+// this package.
+func (s *Server) AdmitBackground(ctx context.Context) (func(), error) {
+	if err := s.admit(ctx, classBackground, "scheduler"); err != nil {
+		return nil, err
+	}
+	s.requests.Add(1)
+	return func() { s.release(classBackground) }, nil
+}
+
+// joinStream registers a long-lived stream (a board subscription) with the
+// drain machinery without consuming an execution slot: the stream must end
+// when leave() is called or drainCh closes. Refused once draining.
+func (s *Server) joinStream() (leave func(), drain <-chan struct{}, err error) {
+	s.drainMu.Lock()
+	defer s.drainMu.Unlock()
+	if s.draining.Load() {
+		return nil, nil, errDraining
+	}
+	s.wg.Add(1)
+	return func() { s.wg.Done() }, s.drainCh, nil
 }
 
 // Shutdown drains the server: new executions are refused with 503 while
@@ -214,7 +257,10 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	// critical section: every admission either completed its wg.Add before
 	// this store (wg.Wait sees it) or will observe draining and refuse.
 	s.drainMu.Lock()
-	s.draining.Store(true)
+	if !s.draining.Load() {
+		s.draining.Store(true)
+		close(s.drainCh) // wake long-lived subscribe streams
+	}
 	s.drainMu.Unlock()
 	done := make(chan struct{})
 	go func() {
@@ -225,8 +271,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	case <-done:
 		return nil
 	case <-ctx.Done():
+		inflight, _ := s.adm.gauges()
 		return fmt.Errorf("server: drain interrupted with %d executions in flight: %w",
-			s.inflight.Load(), ctx.Err())
+			inflight, ctx.Err())
 	}
 }
 
@@ -283,7 +330,7 @@ func errStatus(err error) (int, string) {
 	for _, marker := range []string{
 		"no session", "no artifact", "no connected database", "no folder",
 		"no dataset", "no snapshot", "invalid or revoked link", "unknown link",
-		"is not in folder", "no step",
+		"is not in folder", "no step", "no scheduler", "no board", "no job",
 	} {
 		if strings.Contains(msg, marker) {
 			return http.StatusNotFound, wire.CodeNotFound
@@ -304,8 +351,8 @@ func errStatus(err error) (int, string) {
 	}
 	for _, marker := range []string{
 		"gel:", "pyapi:", "phrase:", "must not be empty", "can only grant",
-		"empty program", "needs a dataset", "already exists", "already connected",
-		"expected", "unknown skill", "invalid",
+		"empty program", "needs a", "already exists", "already connected",
+		"already running", "expected", "unknown skill", "invalid",
 	} {
 		if strings.Contains(msg, marker) {
 			return http.StatusBadRequest, wire.CodeBadRequest
@@ -316,14 +363,15 @@ func errStatus(err error) (int, string) {
 
 // Stats snapshots the server's own counters.
 func (s *Server) Stats() wire.ServerStats {
+	inflight, queued := s.adm.gauges()
 	return wire.ServerStats{
 		Requests:     s.requests.Load(),
 		Busy409:      s.busy409.Load(),
 		Throttled429: s.throttled429.Load(),
 		Draining503:  s.draining503.Load(),
 		Deadline504:  s.deadline504.Load(),
-		InFlight:     s.inflight.Load(),
-		Queued:       s.queued.Load(),
+		InFlight:     inflight,
+		Queued:       queued,
 		Draining:     s.draining.Load(),
 	}
 }

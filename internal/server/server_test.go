@@ -85,27 +85,27 @@ func TestErrStatus(t *testing.T) {
 
 func TestAdmitRefusesWhenFull(t *testing.T) {
 	s := New(core.New(), Config{MaxInFlight: 1, MaxQueue: 0})
-	if err := s.admit(context.Background()); err != nil {
+	if err := s.admit(context.Background(), classInteractive, "t"); err != nil {
 		t.Fatalf("first admit: %v", err)
 	}
-	if err := s.admit(context.Background()); !errors.Is(err, errThrottled) {
+	if err := s.admit(context.Background(), classInteractive, "t"); !errors.Is(err, errThrottled) {
 		t.Fatalf("second admit = %v, want errThrottled", err)
 	}
-	s.release()
-	if err := s.admit(context.Background()); err != nil {
+	s.release(classInteractive)
+	if err := s.admit(context.Background(), classInteractive, "t"); err != nil {
 		t.Fatalf("admit after release: %v", err)
 	}
-	s.release()
+	s.release(classInteractive)
 }
 
 func TestAdmitQueuesUntilCancel(t *testing.T) {
 	s := New(core.New(), Config{MaxInFlight: 1, MaxQueue: 1})
-	if err := s.admit(context.Background()); err != nil {
+	if err := s.admit(context.Background(), classInteractive, "t"); err != nil {
 		t.Fatalf("first admit: %v", err)
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	errc := make(chan error, 1)
-	go func() { errc <- s.admit(ctx) }()
+	go func() { errc <- s.admit(ctx, classInteractive, "t") }()
 	// The queued waiter blocks until its context dies.
 	select {
 	case err := <-errc:
@@ -116,7 +116,7 @@ func TestAdmitQueuesUntilCancel(t *testing.T) {
 	if err := <-errc; !errors.Is(err, context.Canceled) {
 		t.Fatalf("queued admit = %v, want context.Canceled", err)
 	}
-	s.release()
+	s.release(classInteractive)
 }
 
 func TestAdmitRefusesWhileDraining(t *testing.T) {
@@ -126,7 +126,7 @@ func TestAdmitRefusesWhileDraining(t *testing.T) {
 	if err := s.Shutdown(ctx); err != nil {
 		t.Fatalf("Shutdown with nothing in flight: %v", err)
 	}
-	if err := s.admit(context.Background()); !errors.Is(err, errDraining) {
+	if err := s.admit(context.Background(), classInteractive, "t"); !errors.Is(err, errDraining) {
 		t.Fatalf("admit while draining = %v, want errDraining", err)
 	}
 	if !s.Draining() {

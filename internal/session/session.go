@@ -179,9 +179,24 @@ func (s *Session) acquire(user string) error {
 // is never touched by two operations at once. Callers must pair it with
 // unlock.
 func (s *Session) lockForUser(ctx context.Context, user string) error {
+	return s.lockWithTuning(ctx, user, nil)
+}
+
+// lockWithTuning is lockForUser with an optional per-call busy-retry
+// override: a tuning whose BusyRetry is enabled replaces the session's
+// standing policy for this acquisition only. Background scheduled runs use
+// a small bounded policy here so they yield the §2.4 lock to interactive
+// requests instead of camping on it.
+func (s *Session) lockWithTuning(ctx context.Context, user string, tune *Tuning) error {
 	s.mu.Lock()
 	pol, clock := s.busyRetry, s.busyClock
 	s.mu.Unlock()
+	if tune != nil && tune.BusyRetry.Enabled() {
+		pol = tune.BusyRetry
+		if tune.Clock != nil {
+			clock = tune.Clock
+		}
+	}
 	_, stats, err := faults.Do(ctx, clock, pol, time.Time{},
 		func(err error) bool { return errors.Is(err, ErrBusy) },
 		func() (struct{}, error) { return struct{}{}, s.acquire(user) })
@@ -251,6 +266,74 @@ type Tuning struct {
 	// after the run (estimation must be enabled on the executor; the
 	// callback is skipped when no estimate was produced).
 	PlanCost func(plan.PlanCost)
+	// BusyRetry, when enabled, overrides the session's standing busy-retry
+	// policy for this call's §2.4 lock acquisition only; backoff runs on
+	// Clock when set. Background scheduled refreshes use a small bounded
+	// policy so a held lock makes them skip, not queue indefinitely.
+	BusyRetry faults.RetryPolicy
+}
+
+// applyTuningLocked applies tune to the executor and returns a restore
+// function that fires the post-run callbacks (StreamStats delta, PlanCost)
+// and reinstates the standing options. Both this call and the returned
+// function must run while the session's running flag is held: the §2.4
+// lock guarantees no other execution reads the options concurrently.
+func (s *Session) applyTuningLocked(tune *Tuning) func() {
+	if tune == nil {
+		return func() {}
+	}
+	saved := s.executor.Options
+	if tune.Deadline > 0 {
+		s.executor.Options.Deadline = tune.Deadline
+	}
+	if tune.Retry.Enabled() {
+		s.executor.Options.Retry = tune.Retry
+	}
+	if tune.Clock != nil {
+		s.executor.Options.Clock = tune.Clock
+	}
+	if tune.Stream != nil {
+		s.executor.Options.Stream = tune.Stream
+		s.executor.Options.StreamChunkRows = tune.StreamChunkRows
+	}
+	if tune.StreamParallelism != 0 {
+		s.executor.Options.StreamParallelism = tune.StreamParallelism
+	}
+	if tune.StreamMaxBufferedRows > 0 {
+		s.executor.Options.StreamMaxBufferedRows = tune.StreamMaxBufferedRows
+	}
+	if tune.StreamSpillDir != "" {
+		s.executor.Options.StreamSpillDir = tune.StreamSpillDir
+	}
+	if tune.CostBudgetBytes > 0 {
+		s.executor.Options.CostBudgetBytes = tune.CostBudgetBytes
+	}
+	// The session lock serializes executions, so a before/after snapshot of
+	// the shared counters isolates this request's delta.
+	var before dag.Stats
+	if tune.StreamStats != nil {
+		before = s.executor.Stats()
+	}
+	return func() {
+		if tune.StreamStats != nil {
+			after := s.executor.Stats()
+			tune.StreamStats(dag.Stats{
+				StreamedChunks:   after.StreamedChunks - before.StreamedChunks,
+				StreamedRows:     after.StreamedRows - before.StreamedRows,
+				SpillRuns:        after.SpillRuns - before.SpillRuns,
+				SpilledRows:      after.SpilledRows - before.SpilledRows,
+				SpilledBytes:     after.SpilledBytes - before.SpilledBytes,
+				PeakBufferedRows: after.PeakBufferedRows,
+				StreamWorkers:    after.StreamWorkers,
+			})
+		}
+		if tune.PlanCost != nil {
+			if pc := s.executor.LastPlanCost(); pc != nil {
+				tune.PlanCost(*pc)
+			}
+		}
+		s.executor.Options = saved
+	}
 }
 
 // RequestProgram executes a multi-step program under one acquisition of the
@@ -273,66 +356,12 @@ func (s *Session) RequestProgramCtx(ctx context.Context, user string, tune *Tuni
 	if len(invs) == 0 {
 		return nil, nil, fmt.Errorf("session: empty program")
 	}
-	if err := s.lockForUser(ctx, user); err != nil {
+	if err := s.lockWithTuning(ctx, user, tune); err != nil {
 		return nil, nil, err
 	}
 	defer s.unlock()
-	if tune != nil {
-		// Holding the session's running flag makes this swap safe: no other
-		// execution can be reading these options concurrently. The deferred
-		// restore runs before the flag is released (LIFO defers).
-		saved := s.executor.Options
-		defer func() { s.executor.Options = saved }()
-		if tune.Deadline > 0 {
-			s.executor.Options.Deadline = tune.Deadline
-		}
-		if tune.Retry.Enabled() {
-			s.executor.Options.Retry = tune.Retry
-		}
-		if tune.Clock != nil {
-			s.executor.Options.Clock = tune.Clock
-		}
-		if tune.Stream != nil {
-			s.executor.Options.Stream = tune.Stream
-			s.executor.Options.StreamChunkRows = tune.StreamChunkRows
-		}
-		if tune.StreamParallelism != 0 {
-			s.executor.Options.StreamParallelism = tune.StreamParallelism
-		}
-		if tune.StreamMaxBufferedRows > 0 {
-			s.executor.Options.StreamMaxBufferedRows = tune.StreamMaxBufferedRows
-		}
-		if tune.StreamSpillDir != "" {
-			s.executor.Options.StreamSpillDir = tune.StreamSpillDir
-		}
-		if tune.CostBudgetBytes > 0 {
-			s.executor.Options.CostBudgetBytes = tune.CostBudgetBytes
-		}
-		if tune.PlanCost != nil {
-			defer func() {
-				if pc := s.executor.LastPlanCost(); pc != nil {
-					tune.PlanCost(*pc)
-				}
-			}()
-		}
-		if tune.StreamStats != nil {
-			// The session lock serializes executions, so a before/after
-			// snapshot of the shared counters isolates this request's delta.
-			before := s.executor.Stats()
-			defer func() {
-				after := s.executor.Stats()
-				tune.StreamStats(dag.Stats{
-					StreamedChunks:   after.StreamedChunks - before.StreamedChunks,
-					StreamedRows:     after.StreamedRows - before.StreamedRows,
-					SpillRuns:        after.SpillRuns - before.SpillRuns,
-					SpilledRows:      after.SpilledRows - before.SpilledRows,
-					SpilledBytes:     after.SpilledBytes - before.SpilledBytes,
-					PeakBufferedRows: after.PeakBufferedRows,
-					StreamWorkers:    after.StreamWorkers,
-				})
-			}()
-		}
-	}
+	restore := s.applyTuningLocked(tune)
+	defer restore()
 
 	ids := make([]dag.NodeID, len(invs))
 	entries := make([]HistoryEntry, len(invs))
@@ -394,6 +423,68 @@ func (s *Session) ReplayRecipe(ctx context.Context, user string, r *recipe.Recip
 	}
 	defer s.unlock()
 	return r.Replay(s.executor, invalidate)
+}
+
+// ReplayRecipePlanned is the scheduler's incremental-refresh entry point.
+// Under ONE acquisition of the §2.4 lock (honoring tune.BusyRetry, so a
+// busy session makes a background run skip rather than queue) it first
+// EXPLAINs the recipe's plan — read-only, zero execution; the per-node
+// Cached flags show which sub-DAGs the coming replay will serve from cache
+// — and then replays WITHOUT invalidation: sources whose content
+// fingerprints are unchanged keep their cache keys, so their sub-DAGs
+// cache-hit with zero cloud scans, and only changed inputs recompute. It
+// returns the result, the pre-run explain (for fingerprint diffing against
+// the previous run), and this call's execution-stats delta.
+func (s *Session) ReplayRecipePlanned(ctx context.Context, user string, r *recipe.Recipe, tune *Tuning) (*skills.Result, *plan.Explain, dag.Stats, error) {
+	if err := s.lockWithTuning(ctx, user, tune); err != nil {
+		return nil, nil, dag.Stats{}, err
+	}
+	defer s.unlock()
+	restore := s.applyTuningLocked(tune)
+	defer restore()
+
+	g := r.Graph()
+	last := g.Last()
+	if last < 0 {
+		return nil, nil, dag.Stats{}, fmt.Errorf("session: recipe %q has no steps", r.Name)
+	}
+	exp, err := s.executor.Explain(g, last)
+	if err != nil {
+		return nil, nil, dag.Stats{}, fmt.Errorf("session: planning recipe %q: %w", r.Name, err)
+	}
+	before := s.executor.Stats()
+	res, err := s.executor.RunContext(ctx, g, last)
+	delta := execStatsDelta(before, s.executor.Stats())
+	if err != nil {
+		return nil, exp, delta, err
+	}
+	return res, exp, delta, nil
+}
+
+// execStatsDelta subtracts two executor snapshots field by field; the
+// high-water mark and gauge fields keep their "after" values (they are not
+// sums).
+func execStatsDelta(before, after dag.Stats) dag.Stats {
+	return dag.Stats{
+		TasksRun:          after.TasksRun - before.TasksRun,
+		SQLTasks:          after.SQLTasks - before.SQLTasks,
+		DirectTasks:       after.DirectTasks - before.DirectTasks,
+		NodesConsolidated: after.NodesConsolidated - before.NodesConsolidated,
+		QueryBlocks:       after.QueryBlocks - before.QueryBlocks,
+		RowsMaterialized:  after.RowsMaterialized - before.RowsMaterialized,
+		CacheHits:         after.CacheHits - before.CacheHits,
+		CacheMisses:       after.CacheMisses - before.CacheMisses,
+		Retries:           after.Retries - before.Retries,
+		PermanentFailures: after.PermanentFailures - before.PermanentFailures,
+		Degraded:          after.Degraded - before.Degraded,
+		StreamedChunks:    after.StreamedChunks - before.StreamedChunks,
+		StreamedRows:      after.StreamedRows - before.StreamedRows,
+		SpillRuns:         after.SpillRuns - before.SpillRuns,
+		SpilledRows:       after.SpilledRows - before.SpilledRows,
+		SpilledBytes:      after.SpilledBytes - before.SpilledBytes,
+		PeakBufferedRows:  after.PeakBufferedRows,
+		StreamWorkers:     after.StreamWorkers,
+	}
 }
 
 // SaveArtifact slices the session DAG to the steps node depends on and

@@ -1,6 +1,7 @@
 package skills
 
 import (
+	"encoding/binary"
 	"fmt"
 	"hash/fnv"
 	"io"
@@ -70,6 +71,39 @@ func ingestionSkills() []*Definition {
 			},
 			GEL:      "Load the table {table} from the database {database}",
 			Volatile: true, // cloud tables change outside the DAG
+			// The warehouse computes a content fingerprint at ingest and
+			// serves it as free metadata (cloud.TableStats), so the scan's
+			// cache key tracks the stored data: an unchanged table cache-hits
+			// with zero Scan calls, a refreshed table changes every
+			// downstream key. Metadata reads cost nothing and are never
+			// fault-injected, so this probe cannot itself fail a run.
+			SourceFingerprint: func(ctx *Context, args Args) (uint64, bool) {
+				dbName, err := args.String("database")
+				if err != nil {
+					return 0, false
+				}
+				tableName, err := args.String("table")
+				if err != nil {
+					return 0, false
+				}
+				db, ok := ctx.Cloud[dbName]
+				if !ok {
+					return 0, false
+				}
+				st, err := db.Stats(tableName)
+				if err != nil {
+					return 0, false
+				}
+				h := fnv.New64a()
+				io.WriteString(h, dbName)
+				h.Write([]byte{0})
+				io.WriteString(h, tableName)
+				h.Write([]byte{0})
+				var buf [8]byte
+				binary.LittleEndian.PutUint64(buf[:], st.Fingerprint)
+				h.Write(buf[:])
+				return h.Sum64(), true
+			},
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {
 				dbName, err := inv.Args.String("database")
 				if err != nil {
@@ -301,7 +335,7 @@ func costControlSkills() []*Definition {
 				{"name", "string", true, "snapshot name"},
 				{"database", "string", true, "source database"},
 			},
-			GEL:         "Refresh the snapshot {name}",
+			GEL:         "Refresh the snapshot {name} from the database {database}",
 			Volatile:    true,
 			Invalidates: true, // re-pulls shared source data
 			Apply: func(ctx *Context, inv Invocation) (*Result, error) {

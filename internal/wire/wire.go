@@ -39,6 +39,15 @@ const (
 	CodeDenied     = "denied"
 	CodeBadRequest = "bad_request"
 	CodeInternal   = "internal"
+	// CodeEvicted ends a board subscribe stream whose client fell too far
+	// behind the publish rate (slow-consumer eviction).
+	CodeEvicted = "evicted"
+)
+
+// Priority classes for RunRequest.Priority and the admission layer.
+const (
+	PriorityInteractive = "interactive"
+	PriorityBackground  = "background"
 )
 
 // Error is the JSON body of every non-2xx response.
@@ -99,6 +108,35 @@ type RowChunk struct {
 	// Stats rides the terminal sentinel: how the morsel pipeline executed the
 	// request (worker count, buffered-row peak, disk spill activity).
 	Stats *StreamStats `json:"stats,omitempty"`
+	// Board carries one insights-board update on a board subscribe stream
+	// (GET /v1/boards/{id}/subscribe); Rows is empty on such frames. Reusing
+	// the RowChunk framing means board streams share the header/sentinel
+	// protocol — and its truncation detection — with every other stream.
+	Board *BoardEvent `json:"board,omitempty"`
+}
+
+// BoardEvent is the wire form of one board update: which tile changed, the
+// publishing job's run metadata, the refreshed table page, and the
+// mandatory degradation/error annotations.
+type BoardEvent struct {
+	Board   string    `json:"board"`
+	Tile    string    `json:"tile"`
+	Version uint64    `json:"version"`
+	At      time.Time `json:"at"`
+	Job     string    `json:"job,omitempty"`
+	Seq     int       `json:"seq,omitempty"`
+
+	Table        *Table `json:"table,omitempty"`
+	Message      string `json:"message,omitempty"`
+	Degraded     bool   `json:"degraded,omitempty"`
+	DegradedNote string `json:"degraded_note,omitempty"`
+	RunError     string `json:"run_error,omitempty"`
+
+	// FPTotal/FPChanged summarize the producing run's fingerprint diff;
+	// CacheHits is how many sub-DAGs the refresh served from cache.
+	FPTotal   int   `json:"fp_total,omitempty"`
+	FPChanged int   `json:"fp_changed,omitempty"`
+	CacheHits int64 `json:"cache_hits,omitempty"`
 }
 
 // StreamStats summarizes one streamed execution for the terminal sentinel:
@@ -437,6 +475,10 @@ type RunRequest struct {
 	// and the result comes back flagged degraded. 0 keeps the server
 	// default budget (usually unlimited).
 	CostBudgetBytes int64 `json:"cost_budget_bytes,omitempty"`
+	// Priority selects the admission class: "" or "interactive" competes
+	// normally; "background" queues behind every interactive request and is
+	// additionally capped at the server's MaxBackground in-flight slots.
+	Priority string `json:"priority,omitempty"`
 }
 
 // RunResponse is the outcome of one executed request.
@@ -548,13 +590,175 @@ type ServerStats struct {
 	Draining bool `json:"draining"`
 }
 
+// ClassStats counts one admission priority class.
+type ClassStats struct {
+	// Admitted counts requests that got an execution slot; Queued those
+	// that had to wait for one first; Throttled those refused with 429.
+	Admitted  int64 `json:"admitted"`
+	Queued    int64 `json:"queued"`
+	Throttled int64 `json:"throttled"`
+	// Active and Waiting are point-in-time gauges.
+	Active  int64 `json:"active"`
+	Waiting int64 `json:"waiting"`
+	// AvgWaitMs is the mean time admitted requests of this class spent
+	// queued (0 when nothing queued).
+	AvgWaitMs float64 `json:"avg_wait_ms"`
+	// P50WaitMs is the median admission wait across ALL admitted requests
+	// of this class (fast-path admissions count as zero wait), estimated
+	// from a fixed bucket histogram and reported as the containing bucket's
+	// upper bound in milliseconds.
+	P50WaitMs float64 `json:"p50_wait_ms"`
+}
+
+// TenantStats counts one tenant's admission outcomes.
+type TenantStats struct {
+	Admitted  int64 `json:"admitted"`
+	Throttled int64 `json:"throttled"`
+}
+
+// AdmissionStats is the priority-aware admission layer's /statsz section.
+type AdmissionStats struct {
+	Interactive ClassStats `json:"interactive"`
+	Background  ClassStats `json:"background"`
+	// MaxBackground echoes the background in-flight cap.
+	MaxBackground int `json:"max_background"`
+	// Tenants maps user -> outcome counts (bounded; overflow aggregates
+	// under "~other").
+	Tenants map[string]TenantStats `json:"tenants,omitempty"`
+}
+
+// SchedulerStats is the scheduler's /statsz section.
+type SchedulerStats struct {
+	Jobs     int   `json:"jobs"`
+	Done     int   `json:"done"`
+	Runs     int64 `json:"runs"`
+	Failures int64 `json:"failures"`
+	Skips    int64 `json:"skips"`
+	Degraded int64 `json:"degraded"`
+	// NodesUnchanged/NodesTotal is the fleet-wide fraction of plan nodes
+	// incremental refresh never re-executed.
+	NodesTotal     int64 `json:"nodes_total"`
+	NodesChanged   int64 `json:"nodes_changed"`
+	NodesUnchanged int64 `json:"nodes_unchanged"`
+	Published      int64 `json:"published"`
+}
+
+// BoardHubStats is the insights-board hub's /statsz section.
+type BoardHubStats struct {
+	Boards      int   `json:"boards"`
+	Tiles       int   `json:"tiles"`
+	Subscribers int   `json:"subscribers"`
+	Publishes   int64 `json:"publishes"`
+	Evictions   int64 `json:"evictions"`
+	Backfills   int64 `json:"backfills"`
+}
+
 // Statsz is the /statsz payload: the server's own counters, the summed
 // executor stats of every session, the shared sub-DAG cache counters, and
-// the vectorized-engine counters.
+// the vectorized-engine counters — plus, when the subsystems are wired,
+// the admission classes, the scheduler, and the board hub.
 type Statsz struct {
-	Sessions int              `json:"sessions"`
-	Server   ServerStats      `json:"server"`
-	Exec     map[string]int64 `json:"exec"`
-	Cache    map[string]int64 `json:"cache"`
-	Vec      map[string]int64 `json:"vec,omitempty"`
+	Sessions  int              `json:"sessions"`
+	Server    ServerStats      `json:"server"`
+	Exec      map[string]int64 `json:"exec"`
+	Cache     map[string]int64 `json:"cache"`
+	Vec       map[string]int64 `json:"vec,omitempty"`
+	Admission *AdmissionStats  `json:"admission,omitempty"`
+	Scheduler *SchedulerStats  `json:"scheduler,omitempty"`
+	Boards    *BoardHubStats   `json:"boards,omitempty"`
+}
+
+// --- Schedules ---
+
+// ScheduleRequest creates a scheduled job. Exactly one of Recipe or
+// Artifact (the name of a saved artifact whose recipe to re-run) must be
+// set.
+type ScheduleRequest struct {
+	Name string `json:"name"`
+	// User is the identity background runs execute as (needs edit access
+	// on the target session).
+	User string `json:"user"`
+	// Session is the session replays run in ("" = a dedicated
+	// "sched:<name>" session owned by User).
+	Session  string         `json:"session,omitempty"`
+	Recipe   *recipe.Recipe `json:"recipe,omitempty"`
+	Artifact string         `json:"artifact,omitempty"`
+	// EveryMs is the trigger period in milliseconds.
+	EveryMs int64 `json:"every_ms"`
+	// Board/Tile say where refreshes are published ("" board = nowhere).
+	Board string `json:"board,omitempty"`
+	Tile  string `json:"tile,omitempty"`
+	// MaxRuns stops the job after that many completed runs (0 = unlimited).
+	MaxRuns int `json:"max_runs,omitempty"`
+}
+
+// ScheduleRun is the wire form of one run-history record.
+type ScheduleRun struct {
+	Seq       int       `json:"seq"`
+	At        time.Time `json:"at"`
+	ElapsedMs int64     `json:"elapsed_ms"`
+
+	FPTotal     int `json:"fp_total"`
+	FPChanged   int `json:"fp_changed"`
+	FPUnchanged int `json:"fp_unchanged"`
+
+	TasksRun  int `json:"tasks_run,omitempty"`
+	CacheHits int `json:"cache_hits,omitempty"`
+
+	Degraded     bool   `json:"degraded,omitempty"`
+	Skipped      bool   `json:"skipped,omitempty"`
+	SkipReason   string `json:"skip_reason,omitempty"`
+	Error        string `json:"error,omitempty"`
+	BoardVersion uint64 `json:"board_version,omitempty"`
+}
+
+// ScheduleInfo describes one job and its recent runs.
+type ScheduleInfo struct {
+	Name    string        `json:"name"`
+	Session string        `json:"session"`
+	User    string        `json:"user"`
+	Board   string        `json:"board,omitempty"`
+	Tile    string        `json:"tile,omitempty"`
+	EveryMs int64         `json:"every_ms"`
+	MaxRuns int           `json:"max_runs,omitempty"`
+	NextRun time.Time     `json:"next_run"`
+	Runs    int           `json:"runs"`
+	Done    bool          `json:"done,omitempty"`
+	History []ScheduleRun `json:"history,omitempty"`
+}
+
+// SchedulesResponse lists jobs.
+type SchedulesResponse struct {
+	Schedules []ScheduleInfo `json:"schedules"`
+}
+
+// --- Boards ---
+
+// CreateBoardRequest makes an insights board.
+type CreateBoardRequest struct {
+	ID    string `json:"id"`
+	Name  string `json:"name,omitempty"`
+	Owner string `json:"owner"`
+}
+
+// TileInfo is one tile's pinned artifact.
+type TileInfo struct {
+	Tile    string      `json:"tile"`
+	Updates int         `json:"updates"`
+	Last    *BoardEvent `json:"last,omitempty"`
+}
+
+// BoardInfo describes a board and its tiles as of Version.
+type BoardInfo struct {
+	ID      string     `json:"id"`
+	Name    string     `json:"name"`
+	Owner   string     `json:"owner"`
+	Version uint64     `json:"version"`
+	Created time.Time  `json:"created"`
+	Tiles   []TileInfo `json:"tiles,omitempty"`
+}
+
+// BoardsResponse lists boards.
+type BoardsResponse struct {
+	Boards []BoardInfo `json:"boards"`
 }
